@@ -1,0 +1,222 @@
+use core::fmt::Debug;
+
+use minsync_net::{Context, Node, TimerId, VirtualTime};
+use minsync_types::ProcessId;
+
+/// Boxed per-destination message mutator.
+type Mutator<M> = Box<dyn FnMut(ProcessId, &M) -> Option<M> + Send>;
+
+/// Per-destination rewrite of an honest automaton's outgoing messages.
+///
+/// `FilterNode` runs the wrapped node normally but routes every `send` /
+/// `broadcast` through a mutator closure `fn(to, msg) -> Option<msg>`:
+/// returning `None` drops the copy, returning a modified message equivocates.
+/// Incoming messages, timers, and state are untouched — the node *believes*
+/// it is honest, which is exactly how subtle Byzantine behavior looks.
+///
+/// Outputs of the wrapped node are suppressed by default (a Byzantine
+/// process's "decisions" must not pollute experiment reports); see
+/// [`FilterNode::keep_outputs`].
+///
+/// Ready-made mutators live in [`crate::mutators`].
+pub struct FilterNode<N: Node> {
+    inner: N,
+    mutator: Mutator<N::Msg>,
+    keep_outputs: bool,
+}
+
+impl<N: Node> FilterNode<N> {
+    /// Wraps `inner` with `mutator`.
+    pub fn new(
+        inner: N,
+        mutator: impl FnMut(ProcessId, &N::Msg) -> Option<N::Msg> + Send + 'static,
+    ) -> Self {
+        FilterNode {
+            inner,
+            mutator: Box::new(mutator),
+            keep_outputs: false,
+        }
+    }
+
+    /// Forward the wrapped node's outputs instead of suppressing them.
+    pub fn keep_outputs(mut self) -> Self {
+        self.keep_outputs = true;
+        self
+    }
+}
+
+impl<N: Node + Debug> Debug for FilterNode<N> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("FilterNode").field("inner", &self.inner).finish()
+    }
+}
+
+struct FilterCtx<'a, 'b, M, O> {
+    outer: &'a mut (dyn Context<M, O> + 'b),
+    mutator: &'a mut (dyn FnMut(ProcessId, &M) -> Option<M> + Send),
+    keep_outputs: bool,
+}
+
+impl<M: Clone, O> Context<M, O> for FilterCtx<'_, '_, M, O> {
+    fn me(&self) -> ProcessId {
+        self.outer.me()
+    }
+    fn n(&self) -> usize {
+        self.outer.n()
+    }
+    fn now(&self) -> VirtualTime {
+        self.outer.now()
+    }
+    fn send(&mut self, to: ProcessId, msg: M) {
+        if let Some(m) = (self.mutator)(to, &msg) {
+            self.outer.send(to, m);
+        }
+    }
+    fn broadcast(&mut self, msg: M) {
+        // A Byzantine "broadcast" is n independent sends: each copy can be
+        // dropped or rewritten per destination.
+        for i in 0..self.outer.n() {
+            self.send(ProcessId::new(i), msg.clone());
+        }
+    }
+    fn set_timer(&mut self, delay: u64) -> TimerId {
+        self.outer.set_timer(delay)
+    }
+    fn cancel_timer(&mut self, timer: TimerId) {
+        self.outer.cancel_timer(timer);
+    }
+    fn output(&mut self, event: O) {
+        if self.keep_outputs {
+            self.outer.output(event);
+        }
+    }
+    fn halt(&mut self) {
+        self.outer.halt();
+    }
+    fn random(&mut self) -> u64 {
+        self.outer.random()
+    }
+}
+
+impl<N: Node> Node for FilterNode<N> {
+    type Msg = N::Msg;
+    type Output = N::Output;
+
+    fn on_start(&mut self, ctx: &mut dyn Context<N::Msg, N::Output>) {
+        let mut shim = FilterCtx {
+            outer: ctx,
+            mutator: self.mutator.as_mut(),
+            keep_outputs: self.keep_outputs,
+        };
+        self.inner.on_start(&mut shim);
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: N::Msg,
+        ctx: &mut dyn Context<N::Msg, N::Output>,
+    ) {
+        let mut shim = FilterCtx {
+            outer: ctx,
+            mutator: self.mutator.as_mut(),
+            keep_outputs: self.keep_outputs,
+        };
+        self.inner.on_message(from, msg, &mut shim);
+    }
+
+    fn on_timer(&mut self, timer: TimerId, ctx: &mut dyn Context<N::Msg, N::Output>) {
+        let mut shim = FilterCtx {
+            outer: ctx,
+            mutator: self.mutator.as_mut(),
+            keep_outputs: self.keep_outputs,
+        };
+        self.inner.on_timer(timer, &mut shim);
+    }
+
+    fn label(&self) -> &'static str {
+        "byz-filter"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minsync_net::sim::SimBuilder;
+    use minsync_net::NetworkTopology;
+
+    #[derive(Debug)]
+    struct Broadcaster;
+
+    impl Node for Broadcaster {
+        type Msg = u32;
+        type Output = u32;
+
+        fn on_start(&mut self, ctx: &mut dyn Context<u32, u32>) {
+            ctx.broadcast(7);
+        }
+
+        fn on_message(&mut self, _from: ProcessId, msg: u32, ctx: &mut dyn Context<u32, u32>) {
+            ctx.output(msg);
+        }
+    }
+
+    #[test]
+    fn mutator_equivocates_per_destination() {
+        // p1 broadcasts 7 but the filter turns even destinations' copies
+        // into 100 + index.
+        let byz = FilterNode::new(Broadcaster, |to: ProcessId, msg: &u32| {
+            if to.index().is_multiple_of(2) {
+                Some(100 + to.index() as u32)
+            } else {
+                Some(*msg)
+            }
+        });
+        let mut sim = SimBuilder::new(NetworkTopology::all_timely(3, 1))
+            .node(byz)
+            .node(Broadcaster)
+            .node(Broadcaster)
+            .build();
+        let report = sim.run();
+        let p2_got: Vec<u32> = report
+            .outputs_of(ProcessId::new(1))
+            .map(|o| o.event)
+            .collect();
+        let p3_got: Vec<u32> = report
+            .outputs_of(ProcessId::new(2))
+            .map(|o| o.event)
+            .collect();
+        assert!(p2_got.contains(&7), "odd destination saw the true value");
+        assert!(p3_got.contains(&102), "even destination saw the forged value");
+    }
+
+    #[test]
+    fn mutator_can_drop_messages() {
+        let byz = FilterNode::new(Broadcaster, |_to: ProcessId, _msg: &u32| None);
+        let mut sim = SimBuilder::new(NetworkTopology::all_timely(2, 1))
+            .node(byz)
+            .node(Broadcaster)
+            .build();
+        let report = sim.run();
+        assert_eq!(report.metrics.sent_by_process(ProcessId::new(0)), 0);
+    }
+
+    #[test]
+    fn outputs_suppressed_unless_kept() {
+        let byz = FilterNode::new(Broadcaster, |_t: ProcessId, m: &u32| Some(*m));
+        let mut sim = SimBuilder::new(NetworkTopology::all_timely(2, 1))
+            .node(byz)
+            .node(Broadcaster)
+            .build();
+        let report = sim.run();
+        assert_eq!(report.outputs_of(ProcessId::new(0)).count(), 0);
+
+        let byz = FilterNode::new(Broadcaster, |_t: ProcessId, m: &u32| Some(*m)).keep_outputs();
+        let mut sim = SimBuilder::new(NetworkTopology::all_timely(2, 1))
+            .node(byz)
+            .node(Broadcaster)
+            .build();
+        let report = sim.run();
+        assert!(report.outputs_of(ProcessId::new(0)).count() > 0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Byzantine process behaviors and adversarial network schedulers for the
+//! `minsync` stack.
+//!
+//! The paper's failure model (Section 2.1) lets up to `t` processes behave
+//! arbitrarily — crash, stay silent, send conflicting or garbage messages,
+//! collude — but they can neither impersonate other processes nor control
+//! the network schedule. This crate provides that adversary:
+//!
+//! * [`SilentNode`] — sends nothing, ever (the strongest *liveness* attack a
+//!   single process can mount against quorum waits);
+//! * [`CrashNode`] — wraps an honest automaton and kills it at a chosen
+//!   virtual time (Byzantine subsumes crash);
+//! * [`FilterNode`] — wraps an honest automaton and rewrites/drops/redirects
+//!   its *outgoing* messages per destination: the building block for
+//!   equivocators, mute coordinators, and value-splitting colluders (see
+//!   [`mutators`]);
+//! * [`RandomProtocolNode`] — a protocol-aware fuzzer emitting syntactically
+//!   valid but semantically hostile [`ProtocolMsg`] traffic;
+//! * [`ReplayNode`] — records and replays observed messages, attacking every
+//!   first-message-only dedup rule of §2.1 at once;
+//! * [`oracles`] — delay oracles for the simulator's
+//!   [`DelayOracle`](minsync_net::sim::DelayOracle) hook, which schedule the
+//!   channels the model leaves asynchronous as adversarially as the model
+//!   allows.
+//!
+//! Everything here is *model-legal*: safety properties of the protocols must
+//! hold against any combination of these behaviors, and the test suites
+//! assert exactly that.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod filter;
+pub mod mutators;
+pub mod oracles;
+mod random_node;
+mod replay;
+mod silent;
+
+pub use filter::FilterNode;
+pub use random_node::RandomProtocolNode;
+pub use replay::ReplayNode;
+pub use silent::{CrashNode, SilentNode};
+
+// Re-exported for mutator signatures.
+pub use minsync_core::ProtocolMsg;

@@ -1,0 +1,342 @@
+//! Adversarial delay oracles for the simulator's
+//! [`DelayOracle`] hook.
+//!
+//! These control *when* messages arrive on the channels the model leaves
+//! asynchronous — the other half of the adversary. They cannot violate
+//! (eventually-)timely bounds: the simulator clamps oracle-chosen delays on
+//! stabilized channels to the paper's `max(τ, τ′) + δ` rule.
+
+use minsync_core::ProtocolMsg;
+use minsync_net::sim::DelayOracle;
+use minsync_net::VirtualTime;
+use minsync_types::{ProcessId, Value};
+
+/// Stretches every asynchronous delay to a fixed large value — the
+/// "maximally slow but still reliable" network. With no bisource this
+/// starves every timer-based mechanism; with one, Lemma 3 must still go
+/// through, which is exactly what experiment E3 checks.
+#[derive(Clone, Debug)]
+pub struct UniformSlowOracle {
+    /// Delay applied to every asynchronous message.
+    pub delay: u64,
+}
+
+impl<M> DelayOracle<M> for UniformSlowOracle {
+    fn delay(
+        &mut self,
+        _from: ProcessId,
+        _to: ProcessId,
+        _at: VirtualTime,
+        _msg: &M,
+        _default: u64,
+    ) -> u64 {
+        self.delay
+    }
+}
+
+/// Delays only the messages of the given kinds (per
+/// [`ProtocolMsg::kind`]), letting everything else flow at the channel's
+/// sampled default. `EA_COORD` + `EA_RELAY` with a delay just above the
+/// timeout curve is the sharpest attack on the EA object's coordinator
+/// phase that the model permits.
+#[derive(Clone, Debug)]
+pub struct KindTargetedOracle {
+    /// Message kinds to slow down (e.g. `"EA_COORD"`).
+    pub kinds: Vec<&'static str>,
+    /// Delay for targeted kinds.
+    pub delay: u64,
+}
+
+impl<V: Value> DelayOracle<ProtocolMsg<V>> for KindTargetedOracle {
+    fn delay(
+        &mut self,
+        _from: ProcessId,
+        _to: ProcessId,
+        _at: VirtualTime,
+        msg: &ProtocolMsg<V>,
+        default: u64,
+    ) -> u64 {
+        if self.kinds.contains(&msg.kind()) {
+            self.delay
+        } else {
+            default
+        }
+    }
+}
+
+/// Isolates a victim process: everything *to or from* it crawls at
+/// `delay`, everything else is fast. Against a correct protocol the victim
+/// must still decide (it reaches no quorum itself, but RB-Termination-2
+/// eventually carries the decision to it).
+#[derive(Clone, Debug)]
+pub struct IsolateProcessOracle {
+    /// The victim.
+    pub victim: ProcessId,
+    /// Delay for the victim's traffic.
+    pub delay: u64,
+}
+
+impl<M> DelayOracle<M> for IsolateProcessOracle {
+    fn delay(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        _at: VirtualTime,
+        _msg: &M,
+        default: u64,
+    ) -> u64 {
+        if from == self.victim || to == self.victim {
+            self.delay
+        } else {
+            default
+        }
+    }
+}
+
+/// The strongest model-legal network adversary against the consensus
+/// stack, for binary (0/1) value domains: it works to keep the system
+/// split so that *only* the bisource's timely channels can ever unify it.
+///
+/// Three rules (all delays finite, all (eventually-)timely bounds still
+/// enforced by the simulator):
+///
+/// 1. **Aux splitting** — reliable-broadcast traffic of the CB instances
+///    (`CB_VAL(ConsValid)`, `CB_VAL(EaProp)`, `CB_VAL(AcProp)`) and of
+///    `AC_EST` carrying value `v` is slowed by `split_extra` toward destinations
+///    whose parity differs from `v`. Every process therefore validates and
+///    witnesses its "own" value first: EA's line-4 fast path never fires
+///    unanimously across the system and adopt-commit's MFA keeps returning
+///    each side's own value — the split persists.
+/// 2. **Coordinator starvation** — `EA_COORD` and `EA_RELAY` on
+///    asynchronous channels crawl at `coord_relay_delay`, so relays beat
+///    timers only where the model *guarantees* timeliness.
+/// 3. Everything else flows at the channel's sampled default.
+///
+/// Against this adversary, termination is exactly the paper's Lemma 3
+/// story: a round coordinated by the bisource, after stabilization, with
+/// `X⁺ ⊆ F(r)` and timeouts above `2δ`. Experiments E3/E5/E6/E8 use it to
+/// surface the round-complexity structure that benign schedules hide.
+#[derive(Clone, Debug)]
+pub struct SplitBrainOracle {
+    /// Extra delay for cross-parity value traffic (rule 1).
+    pub split_extra: u64,
+    /// Delay for `EA_COORD` on async channels (rule 2).
+    pub coord_delay: u64,
+    /// Delay for non-⊥ `EA_RELAY` (witnessing relays crawl…).
+    pub value_relay_delay: u64,
+    /// Delay for `⊥` relays (…while suspicion spreads fast, so relay
+    /// quorums fill with ⊥ wherever the model allows it).
+    pub bottom_relay_delay: u64,
+    /// When the round schedule is known, witness relays *from `F(r)`
+    /// members* get this extra delay on top of `value_relay_delay`: line 7
+    /// only accepts non-⊥ relays from `F(r)`, so the sharpest adversary
+    /// makes exactly those the slowest. Convergence then genuinely requires
+    /// the `X⁺ ⊆ F(r)` alignment the §5.4 bounds count.
+    pub f_member_relay_extra: u64,
+    /// The schedule used for the F-membership rule (None disables it).
+    pub schedule: Option<minsync_types::RoundSchedule>,
+}
+
+impl Default for SplitBrainOracle {
+    fn default() -> Self {
+        SplitBrainOracle {
+            split_extra: 60,
+            coord_delay: 1_000,
+            value_relay_delay: 1_000,
+            bottom_relay_delay: 100,
+            f_member_relay_extra: 500,
+            schedule: None,
+        }
+    }
+}
+
+impl SplitBrainOracle {
+    /// Default tuning plus schedule awareness (the F-membership rule).
+    pub fn with_schedule(schedule: minsync_types::RoundSchedule) -> Self {
+        SplitBrainOracle {
+            schedule: Some(schedule),
+            ..Default::default()
+        }
+    }
+}
+
+impl DelayOracle<ProtocolMsg<u64>> for SplitBrainOracle {
+    fn delay(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        _at: VirtualTime,
+        msg: &ProtocolMsg<u64>,
+        default: u64,
+    ) -> u64 {
+        use minsync_broadcast::RbMsg;
+        use minsync_core::{CbId, RbTag};
+        match msg {
+            ProtocolMsg::EaCoord { .. } => self.coord_delay,
+            ProtocolMsg::EaRelay { round, value: Some(_) } => {
+                let from_f = self
+                    .schedule
+                    .as_ref()
+                    .is_some_and(|s| s.f_set(*round).contains(&from));
+                if from_f {
+                    self.value_relay_delay + self.f_member_relay_extra
+                } else {
+                    self.value_relay_delay
+                }
+            }
+            ProtocolMsg::EaRelay { value: None, .. } => self.bottom_relay_delay,
+            // Cross-parity EA_PROP2 is slowed too: otherwise a coordinator
+            // can champion another parity's proposal (arriving before its
+            // own CB instance resolves) and flip itself through its
+            // always-timely self-channel relay.
+            ProtocolMsg::EaProp2 { value, .. } if (to.index() % 2) as u64 != *value % 2 => {
+                default + self.split_extra
+            }
+            ProtocolMsg::Rb(rb) => {
+                let (tag, value) = match rb {
+                    RbMsg::Init { tag, value }
+                    | RbMsg::Echo { tag, value, .. }
+                    | RbMsg::Ready { tag, value, .. } => (tag, value),
+                };
+                let splittable = matches!(
+                    tag,
+                    RbTag::CbVal(CbId::ConsValid)
+                        | RbTag::CbVal(CbId::EaProp(_))
+                        | RbTag::CbVal(CbId::AcProp(_))
+                        | RbTag::AcEst(_)
+                );
+                if splittable && (to.index() % 2) as u64 != *value % 2 {
+                    default + self.split_extra
+                } else {
+                    default
+                }
+            }
+            _ => default,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_slow_returns_constant() {
+        let mut o = UniformSlowOracle { delay: 500 };
+        let d = DelayOracle::<u32>::delay(
+            &mut o,
+            ProcessId::new(0),
+            ProcessId::new(1),
+            VirtualTime::ZERO,
+            &1u32,
+            3,
+        );
+        assert_eq!(d, 500);
+    }
+
+    #[test]
+    fn kind_targeted_hits_only_selected_kinds() {
+        let mut o = KindTargetedOracle {
+            kinds: vec!["EA_COORD"],
+            delay: 900,
+        };
+        let coord: ProtocolMsg<u64> = ProtocolMsg::EaCoord {
+            round: minsync_types::Round::FIRST,
+            value: 1,
+        };
+        let relay: ProtocolMsg<u64> = ProtocolMsg::EaRelay {
+            round: minsync_types::Round::FIRST,
+            value: None,
+        };
+        assert_eq!(
+            o.delay(ProcessId::new(0), ProcessId::new(1), VirtualTime::ZERO, &coord, 3),
+            900
+        );
+        assert_eq!(
+            o.delay(ProcessId::new(0), ProcessId::new(1), VirtualTime::ZERO, &relay, 3),
+            3
+        );
+    }
+
+    #[test]
+    fn isolation_targets_victim_traffic_both_ways() {
+        let mut o = IsolateProcessOracle {
+            victim: ProcessId::new(2),
+            delay: 777,
+        };
+        let d1 = DelayOracle::<u32>::delay(
+            &mut o,
+            ProcessId::new(2),
+            ProcessId::new(0),
+            VirtualTime::ZERO,
+            &1u32,
+            3,
+        );
+        let d2 = DelayOracle::<u32>::delay(
+            &mut o,
+            ProcessId::new(1),
+            ProcessId::new(2),
+            VirtualTime::ZERO,
+            &1u32,
+            3,
+        );
+        let d3 = DelayOracle::<u32>::delay(
+            &mut o,
+            ProcessId::new(0),
+            ProcessId::new(1),
+            VirtualTime::ZERO,
+            &1u32,
+            3,
+        );
+        assert_eq!((d1, d2, d3), (777, 777, 3));
+    }
+
+    #[test]
+    fn split_brain_slows_cross_parity_cb_traffic() {
+        use minsync_broadcast::RbMsg;
+        use minsync_core::{CbId, RbTag};
+        use minsync_types::Round;
+        let mut o = SplitBrainOracle::default();
+        let msg: ProtocolMsg<u64> = ProtocolMsg::Rb(RbMsg::Init {
+            tag: RbTag::CbVal(CbId::EaProp(Round::FIRST)),
+            value: 1,
+        });
+        // Value 1 toward an even process: slowed.
+        let d_even = o.delay(ProcessId::new(3), ProcessId::new(0), VirtualTime::ZERO, &msg, 5);
+        // Value 1 toward an odd process: default.
+        let d_odd = o.delay(ProcessId::new(3), ProcessId::new(1), VirtualTime::ZERO, &msg, 5);
+        assert_eq!((d_even, d_odd), (65, 5));
+    }
+
+    #[test]
+    fn split_brain_leaves_decide_alone() {
+        use minsync_broadcast::RbMsg;
+        use minsync_core::RbTag;
+        let mut o = SplitBrainOracle::default();
+        let msg: ProtocolMsg<u64> = ProtocolMsg::Rb(RbMsg::Init { tag: RbTag::Decide, value: 1 });
+        let d = o.delay(ProcessId::new(3), ProcessId::new(0), VirtualTime::ZERO, &msg, 5);
+        assert_eq!(d, 5, "DECIDE traffic must not be split");
+    }
+
+    #[test]
+    fn split_brain_starves_coordinator_traffic() {
+        let mut o = SplitBrainOracle::default();
+        let msg: ProtocolMsg<u64> = ProtocolMsg::EaCoord {
+            round: minsync_types::Round::FIRST,
+            value: 0,
+        };
+        let d = o.delay(ProcessId::new(0), ProcessId::new(1), VirtualTime::ZERO, &msg, 5);
+        assert_eq!(d, 1_000);
+        let witness: ProtocolMsg<u64> = ProtocolMsg::EaRelay {
+            round: minsync_types::Round::FIRST,
+            value: Some(0),
+        };
+        let suspect: ProtocolMsg<u64> = ProtocolMsg::EaRelay {
+            round: minsync_types::Round::FIRST,
+            value: None,
+        };
+        let dw = o.delay(ProcessId::new(0), ProcessId::new(1), VirtualTime::ZERO, &witness, 5);
+        let db = o.delay(ProcessId::new(0), ProcessId::new(1), VirtualTime::ZERO, &suspect, 5);
+        assert!(dw > db, "witness relays must crawl behind ⊥ relays");
+    }
+}

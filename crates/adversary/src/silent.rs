@@ -1,0 +1,174 @@
+use core::fmt::Debug;
+use core::marker::PhantomData;
+
+use minsync_net::{Context, Node, TimerId, VirtualTime};
+use minsync_types::ProcessId;
+
+/// A Byzantine process that never sends anything — indistinguishable from a
+/// crashed process, and the canonical way to occupy `t` fault slots in
+/// liveness experiments (every `n − t` quorum wait must succeed without it).
+pub struct SilentNode<M, O>(PhantomData<fn() -> (M, O)>);
+
+impl<M, O> SilentNode<M, O> {
+    /// Creates a silent node.
+    pub fn new() -> Self {
+        SilentNode(PhantomData)
+    }
+}
+
+impl<M, O> Default for SilentNode<M, O> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M, O> Debug for SilentNode<M, O> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("SilentNode")
+    }
+}
+
+impl<M, O> Node for SilentNode<M, O>
+where
+    M: Clone + Debug + Send + 'static,
+    O: Clone + Debug + Send + 'static,
+{
+    type Msg = M;
+    type Output = O;
+
+    fn on_message(&mut self, _from: ProcessId, _msg: M, _ctx: &mut dyn Context<M, O>) {}
+
+    fn label(&self) -> &'static str {
+        "byz-silent"
+    }
+}
+
+/// Wraps an honest automaton and stops it cold at `crash_at`: afterwards
+/// every handler is a no-op, mid-protocol, exactly like a crash failure.
+///
+/// Because the wrapped node behaved correctly until the crash, this tests
+/// the protocols against the paper's footnote 4: "even if, up to now, a
+/// process behaved correctly, it may crash in the future and become then
+/// faulty".
+pub struct CrashNode<N> {
+    inner: N,
+    crash_at: VirtualTime,
+}
+
+impl<N> CrashNode<N> {
+    /// Wraps `inner`, killing it at `crash_at` (checked before every
+    /// handler invocation).
+    pub fn new(inner: N, crash_at: VirtualTime) -> Self {
+        CrashNode { inner, crash_at }
+    }
+}
+
+impl<N: Debug> Debug for CrashNode<N> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("CrashNode")
+            .field("inner", &self.inner)
+            .field("crash_at", &self.crash_at)
+            .finish()
+    }
+}
+
+impl<N: Node> Node for CrashNode<N> {
+    type Msg = N::Msg;
+    type Output = N::Output;
+
+    fn on_start(&mut self, ctx: &mut dyn Context<N::Msg, N::Output>) {
+        if ctx.now() < self.crash_at {
+            self.inner.on_start(ctx);
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: N::Msg, ctx: &mut dyn Context<N::Msg, N::Output>) {
+        if ctx.now() < self.crash_at {
+            self.inner.on_message(from, msg, ctx);
+        }
+    }
+
+    fn on_timer(&mut self, timer: TimerId, ctx: &mut dyn Context<N::Msg, N::Output>) {
+        if ctx.now() < self.crash_at {
+            self.inner.on_timer(timer, ctx);
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "byz-crash"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minsync_net::sim::SimBuilder;
+    use minsync_net::NetworkTopology;
+
+    /// Counts received messages; replies to each.
+    #[derive(Debug)]
+    struct Chatty {
+        received: u32,
+    }
+
+    impl Node for Chatty {
+        type Msg = u32;
+        type Output = u32;
+
+        fn on_start(&mut self, ctx: &mut dyn Context<u32, u32>) {
+            ctx.broadcast(0);
+        }
+
+        fn on_message(&mut self, from: ProcessId, msg: u32, ctx: &mut dyn Context<u32, u32>) {
+            self.received += 1;
+            ctx.output(msg);
+            if msg < 3 && from != ctx.me() {
+                ctx.send(from, msg + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn silent_node_sends_nothing() {
+        let mut sim = SimBuilder::new(NetworkTopology::all_timely(2, 1))
+            .node(Chatty { received: 0 })
+            .node(SilentNode::<u32, u32>::new())
+            .build();
+        let report = sim.run();
+        // Only the chatty node's initial broadcast (2 copies) ever flows.
+        assert_eq!(report.metrics.sent_by_process(ProcessId::new(1)), 0);
+        assert_eq!(report.metrics.sent_by_process(ProcessId::new(0)), 2);
+    }
+
+    #[test]
+    fn crash_node_behaves_then_dies() {
+        // δ = 10 per hop; crash at t = 15 allows exactly the start broadcast
+        // and the first reply hop.
+        let crashing = CrashNode::new(Chatty { received: 0 }, VirtualTime::from_ticks(15));
+        let mut sim = SimBuilder::new(NetworkTopology::all_timely(2, 10))
+            .node(Chatty { received: 0 })
+            .node(crashing)
+            .build();
+        let report = sim.run();
+        // The crashed node emitted its start broadcast (2 msgs) and one
+        // reply at t = 10 (its own loopback at t=10 also arrives pre-crash,
+        // triggering a reply only for from != me).
+        let crashed_outputs: Vec<_> = report.outputs_of(ProcessId::new(1)).collect();
+        assert!(!crashed_outputs.is_empty(), "behaved before the crash");
+        assert!(
+            crashed_outputs.iter().all(|o| o.time < VirtualTime::from_ticks(15)),
+            "no activity after the crash: {crashed_outputs:?}"
+        );
+    }
+
+    #[test]
+    fn crash_at_zero_is_born_dead() {
+        let crashing = CrashNode::new(Chatty { received: 0 }, VirtualTime::ZERO);
+        let mut sim = SimBuilder::new(NetworkTopology::all_timely(2, 10))
+            .node(Chatty { received: 0 })
+            .node(crashing)
+            .build();
+        let report = sim.run();
+        assert_eq!(report.metrics.sent_by_process(ProcessId::new(1)), 0);
+    }
+}

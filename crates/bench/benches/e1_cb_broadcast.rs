@@ -1,0 +1,19 @@
+//! E1 — CB-broadcast (Figure 1): one full cooperative broadcast (all-to-all
+//! RB + validation) to quiescence, as a function of system size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minsync_bench::BENCH_SEED;
+use minsync_harness::experiments::e1_cb;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_cb_broadcast");
+    for (n, t) in [(4usize, 1usize), (7, 2), (10, 3), (13, 4)] {
+        group.bench_with_input(BenchmarkId::new("n", n), &(n, t), |b, &(n, t)| {
+            b.iter(|| e1_cb::bench_one(n, t, BENCH_SEED))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! E2 — adopt-commit (Figure 2): one unanimous AC invocation across all
+//! processes, per system size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minsync_bench::BENCH_SEED;
+use minsync_harness::experiments::e2_ac;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_adopt_commit");
+    for (n, t) in [(4usize, 1usize), (7, 2), (10, 3)] {
+        group.bench_with_input(BenchmarkId::new("n", n), &(n, t), |b, &(n, t)| {
+            b.iter(|| e2_ac::bench_one(n, t, BENCH_SEED))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! E3 — eventual agreement (Figure 3): simulate standalone EA until the
+//! first round where all correct processes return one value.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minsync_bench::BENCH_SEED;
+use minsync_harness::experiments::e3_ea;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_eventual_agreement");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::new("tau", 0u64), |b| {
+        b.iter(|| e3_ea::bench_one(4, 1, BENCH_SEED))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

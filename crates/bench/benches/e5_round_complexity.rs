@@ -1,0 +1,40 @@
+//! E5 — §5.4 round-complexity measurement: a full consensus decision with a
+//! ⟨t+1⟩bisource present from the start and a mute-coordinator adversary,
+//! for each bisource identity (the uncertainty the α·n bound quantifies
+//! over).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minsync_bench::BENCH_SEED;
+use minsync_harness::{ConsensusRunBuilder, FaultPlan, TopologySpec};
+use minsync_types::SystemConfig;
+
+fn one(n: usize, t: usize, ell: usize, seed: u64) -> u64 {
+    let cfg = SystemConfig::new(n, t).unwrap();
+    let o = ConsensusRunBuilder::new(n, t)
+        .unwrap()
+        .proposals((0..n).map(|i| (i % 2) as u64))
+        .topology(TopologySpec::standard(ell, &cfg))
+        .faults(FaultPlan::MuteCoordinator { slots: vec![(ell + 1) % n] })
+        .seed(seed)
+        .run()
+        .unwrap();
+    assert!(o.all_decided());
+    o.rounds_to_decide()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_round_complexity");
+    group.sample_size(20);
+    for ell in 0..4usize {
+        group.bench_with_input(BenchmarkId::new("bisource", ell), &ell, |b, &ell| {
+            b.iter(|| one(4, 1, ell, BENCH_SEED))
+        });
+    }
+    group.bench_function(BenchmarkId::new("n", 7usize), |b| {
+        b.iter(|| one(7, 2, 1, BENCH_SEED))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

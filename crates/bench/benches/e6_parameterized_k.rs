@@ -1,0 +1,43 @@
+//! E6 — §5.4 parameterized variant: a full consensus decision per tuning
+//! parameter k (stronger bisource, larger F sets, smaller worst-case
+//! bound).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minsync_bench::BENCH_SEED;
+use minsync_harness::{ConsensusRunBuilder, FaultPlan, TopologySpec};
+use minsync_net::DelayLaw;
+use minsync_types::ProcessId;
+
+fn one(n: usize, t: usize, k: usize, seed: u64) -> u64 {
+    let o = ConsensusRunBuilder::new(n, t)
+        .unwrap()
+        .proposals((0..n).map(|i| (i % 2) as u64))
+        .k(k)
+        .topology(TopologySpec::AsyncWithBisource {
+            bisource: ProcessId::new(1),
+            strength: t + 1 + k,
+            tau: 0,
+            delta: 4,
+            noise: DelayLaw::Uniform { min: 1, max: 40 },
+        })
+        .faults(FaultPlan::MuteCoordinator { slots: vec![0] })
+        .seed(seed)
+        .run()
+        .unwrap();
+    assert!(o.all_decided());
+    o.rounds_to_decide()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_parameterized_k");
+    group.sample_size(30);
+    for k in 0..=2usize {
+        group.bench_with_input(BenchmarkId::new("k", k), &k, |b, &k| {
+            b.iter(|| one(7, 2, k, BENCH_SEED))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E7 — the paper's algorithm vs Ben-Or's randomized baseline: one full
+//! binary decision each, same substrate, t silent faults.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minsync_bench::BENCH_SEED;
+use minsync_harness::experiments::e7_baseline;
+use minsync_harness::{ConsensusRunBuilder, FaultPlan};
+
+fn minsync_one(n: usize, t: usize, seed: u64) -> u64 {
+    let o = ConsensusRunBuilder::new(n, t)
+        .unwrap()
+        .proposals((0..n).map(|i| (i % 2) as u64))
+        .faults(FaultPlan::silent(t))
+        .seed(seed)
+        .run()
+        .unwrap();
+    assert!(o.all_decided());
+    o.total_messages()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_vs_benor");
+    group.sample_size(20);
+    for (n, t) in [(4usize, 1usize), (7, 2)] {
+        group.bench_with_input(BenchmarkId::new("minsync/n", n), &(n, t), |b, &(n, t)| {
+            b.iter(|| minsync_one(n, t, BENCH_SEED))
+        });
+        group.bench_with_input(BenchmarkId::new("ben_or/n", n), &(n, t), |b, &(n, t)| {
+            b.iter(|| e7_baseline::run_ben_or(n, t, BENCH_SEED))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E8 — timeout policy sensitivity (footnote 3): a full decision with a
+//! late-stabilizing bisource under different timeout slopes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minsync_bench::BENCH_SEED;
+use minsync_core::TimeoutPolicy;
+use minsync_harness::{ConsensusRunBuilder, FaultPlan, TopologySpec};
+use minsync_net::DelayLaw;
+use minsync_types::ProcessId;
+
+fn one(slope: u64, seed: u64) -> u64 {
+    let o = ConsensusRunBuilder::new(4, 1)
+        .unwrap()
+        .proposals([0, 1, 0, 1])
+        .timeout_policy(TimeoutPolicy::linear(slope, 0))
+        .topology(TopologySpec::AsyncWithBisource {
+            bisource: ProcessId::new(1),
+            strength: 2,
+            tau: 200,
+            delta: 4,
+            noise: DelayLaw::Uniform { min: 1, max: 30 },
+        })
+        .faults(FaultPlan::MuteCoordinator { slots: vec![0] })
+        .seed(seed)
+        .run()
+        .unwrap();
+    assert!(o.all_decided());
+    o.decision_latency().unwrap_or(0)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_timeout_policy");
+    group.sample_size(20);
+    for slope in [1u64, 4, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("slope", slope), &slope, |b, &slope| {
+            b.iter(|| one(slope, BENCH_SEED))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

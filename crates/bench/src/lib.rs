@@ -1,0 +1,14 @@
+//! Criterion benchmark suite for the `minsync` reproduction.
+//!
+//! One bench target per experiment (E1–E8, see `EXPERIMENTS.md`); each
+//! regenerates its experiment's workload at benchmark-friendly sizes and
+//! measures wall-clock simulation cost. The *scientific* outputs (rounds,
+//! bounds, agreement) are produced by `cargo run -p minsync-harness --bin
+//! experiments`; the benches track that the simulator stays fast enough to
+//! run them.
+
+#![forbid(unsafe_code)]
+
+/// Standard seed used across benches (Criterion varies iterations, not
+/// inputs).
+pub const BENCH_SEED: u64 = 0xBEEF;

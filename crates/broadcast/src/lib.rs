@@ -1,0 +1,67 @@
+//! Broadcast abstractions of the paper: Bracha's reliable broadcast
+//! (Section 2.2) and the new cooperative broadcast (Section 2.3, Figure 1).
+//!
+//! Both are implemented as *engines*: pure state machines hosted inside a
+//! network node (the consensus automaton). The host feeds them received
+//! messages and applies the actions they emit (best-effort broadcasts and
+//! deliveries). This keeps the protocol logic independent of the substrate
+//! and directly unit-testable.
+//!
+//! * [`RbEngine`] — multi-instance Bracha reliable broadcast. An instance is
+//!   keyed by `(origin, tag)`; the tag type is generic so one engine
+//!   multiplexes every RB use of the consensus stack (`CB_VAL`, `AC_EST`,
+//!   `DECIDE`). Implements the paper's §2.1 rule of discarding all but the
+//!   first message of each kind from every sender.
+//! * [`CbInstance`] — the cooperative broadcast of Figure 1, built on RB:
+//!   `cb_valid` collects every value RB-delivered from `t + 1` distinct
+//!   processes; the operation returns once `cb_valid` is non-empty.
+//!
+//! # Example: three correct processes RB-broadcast and deliver
+//!
+//! ```rust
+//! use minsync_broadcast::{RbEngine, RbAction};
+//! use minsync_types::{ProcessId, SystemConfig};
+//!
+//! # fn main() -> Result<(), minsync_types::ConfigError> {
+//! let cfg = SystemConfig::new(4, 1)?;
+//! let mut engines: Vec<RbEngine<&'static str, u64>> = (0..4)
+//!     .map(|i| RbEngine::new(cfg, ProcessId::new(i)))
+//!     .collect();
+//!
+//! // p1 RB-broadcasts; relay every emitted broadcast to every engine until
+//! // quiescence (a zero-delay, reliable network).
+//! let mut wire: Vec<(ProcessId, minsync_broadcast::RbMsg<&'static str, u64>)> = Vec::new();
+//! let mut deliveries = Vec::new();
+//! let mut apply = |from: ProcessId,
+//!                  actions: Vec<RbAction<&'static str, u64>>,
+//!                  wire: &mut Vec<_>,
+//!                  deliveries: &mut Vec<_>| {
+//!     for a in actions {
+//!         match a {
+//!             RbAction::Broadcast(m) => wire.push((from, m)),
+//!             RbAction::Deliver { origin, value, .. } => deliveries.push((from, origin, value)),
+//!         }
+//!     }
+//! };
+//! let acts = engines[0].broadcast("demo", 42);
+//! apply(ProcessId::new(0), acts, &mut wire, &mut deliveries);
+//! while let Some((from, msg)) = wire.pop() {
+//!     for i in 0..4 {
+//!         let acts = engines[i].on_message(from, msg.clone());
+//!         apply(ProcessId::new(i), acts, &mut wire, &mut deliveries);
+//!     }
+//! }
+//! assert_eq!(deliveries.len(), 4, "all four processes RB-deliver");
+//! assert!(deliveries.iter().all(|&(_, o, v)| o == ProcessId::new(0) && v == 42));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cb;
+mod rb;
+
+pub use cb::CbInstance;
+pub use rb::{RbAction, RbEngine, RbMsg};

@@ -1,0 +1,503 @@
+//! Bracha's asynchronous reliable broadcast (Section 2.2 of the paper;
+//! Bracha, *Information & Computation* 1987), multiplexed over instances.
+//!
+//! One instance per `(origin, tag)` pair. The protocol, for `t < n/3`:
+//!
+//! 1. The origin broadcasts `INIT(v)`.
+//! 2. On the **first** `INIT(v)` from the origin, broadcast `ECHO(v)` (once).
+//! 3. On `⌈(n+t+1)/2⌉` `ECHO(v)` from distinct senders, or `t+1` `READY(v)`
+//!    from distinct senders, broadcast `READY(v)` (once).
+//! 4. On `2t+1` `READY(v)` from distinct senders, deliver `v` (once).
+//!
+//! The quorum sizes come from [`SystemConfig`]; the §2.1 dedup rule (only
+//! the first `INIT`/`ECHO`/`READY` of an instance from each sender counts)
+//! is enforced here, which is what defeats equivocating Byzantine senders.
+
+use core::fmt::Debug;
+use std::collections::BTreeMap;
+
+use minsync_types::{ProcessId, SystemConfig, Value};
+
+/// Wire messages of the reliable-broadcast layer.
+///
+/// `T` tags instances so several concurrent RB uses share one engine; the
+/// origin rides along explicitly in `Echo`/`Ready` because those are sent by
+/// processes other than the origin.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RbMsg<T, V> {
+    /// The origin's initial broadcast.
+    Init {
+        /// Instance tag.
+        tag: T,
+        /// Broadcast value.
+        value: V,
+    },
+    /// Second-phase witness.
+    Echo {
+        /// Instance origin.
+        origin: ProcessId,
+        /// Instance tag.
+        tag: T,
+        /// Echoed value.
+        value: V,
+    },
+    /// Third-phase commitment.
+    Ready {
+        /// Instance origin.
+        origin: ProcessId,
+        /// Instance tag.
+        tag: T,
+        /// Committed value.
+        value: V,
+    },
+}
+
+impl<T, V> RbMsg<T, V> {
+    /// Short label for metrics classification.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RbMsg::Init { .. } => "RB_INIT",
+            RbMsg::Echo { .. } => "RB_ECHO",
+            RbMsg::Ready { .. } => "RB_READY",
+        }
+    }
+}
+
+/// Effects the host must apply after feeding the engine.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RbAction<T, V> {
+    /// Best-effort-broadcast this message to **all** processes (self
+    /// included).
+    Broadcast(RbMsg<T, V>),
+    /// RB-deliver `value` from `origin` for instance `tag` (fires at most
+    /// once per instance — RB-Unicity).
+    Deliver {
+        /// Instance origin.
+        origin: ProcessId,
+        /// Instance tag.
+        tag: T,
+        /// Delivered value.
+        value: V,
+    },
+}
+
+/// Per-instance state.
+#[derive(Clone, Debug)]
+struct Instance<V> {
+    /// Set when *this* process called [`RbEngine::broadcast`] for the
+    /// instance (guards against accidental reuse; mere receipt of forged
+    /// `ECHO`/`READY` naming us as origin must not count).
+    initiated: bool,
+    /// First INIT value seen from the origin (dedup of equivocating INITs).
+    init_seen: bool,
+    /// Have we broadcast our ECHO yet?
+    echoed: bool,
+    /// Have we broadcast our READY yet?
+    readied: bool,
+    /// Have we delivered yet?
+    delivered: bool,
+    /// First ECHO per sender.
+    echoes: BTreeMap<ProcessId, V>,
+    /// First READY per sender.
+    readies: BTreeMap<ProcessId, V>,
+}
+
+impl<V> Default for Instance<V> {
+    fn default() -> Self {
+        Instance {
+            initiated: false,
+            init_seen: false,
+            echoed: false,
+            readied: false,
+            delivered: false,
+            echoes: BTreeMap::new(),
+            readies: BTreeMap::new(),
+        }
+    }
+}
+
+/// Multi-instance Bracha reliable-broadcast engine for one host process.
+///
+/// See the [crate docs](crate) for a complete wiring example.
+#[derive(Clone, Debug)]
+pub struct RbEngine<T, V> {
+    cfg: SystemConfig,
+    me: ProcessId,
+    instances: BTreeMap<(ProcessId, T), Instance<V>>,
+}
+
+impl<T, V> RbEngine<T, V>
+where
+    T: Clone + Ord + Debug,
+    V: Value,
+{
+    /// Creates an engine for process `me` in system `cfg`.
+    pub fn new(cfg: SystemConfig, me: ProcessId) -> Self {
+        RbEngine {
+            cfg,
+            me,
+            instances: BTreeMap::new(),
+        }
+    }
+
+    /// RB-broadcasts `value` with this process as origin.
+    ///
+    /// Returns the `INIT` broadcast action; the origin's own `ECHO` follows
+    /// when the network loops the `INIT` back (broadcast includes self).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this process already RB-broadcast for `tag` — instances are
+    /// one-shot.
+    pub fn broadcast(&mut self, tag: T, value: V) -> Vec<RbAction<T, V>> {
+        let key = (self.me, tag.clone());
+        // A Byzantine process may have already sent us forged ECHO/READY
+        // naming us as origin, creating the instance entry; only *our own*
+        // initiation may exist once.
+        let inst = self.instances.entry(key).or_default();
+        assert!(
+            !inst.initiated,
+            "RB instance ({:?}, {:?}) already used by this origin",
+            self.me,
+            tag
+        );
+        inst.initiated = true;
+        vec![RbAction::Broadcast(RbMsg::Init { tag, value })]
+    }
+
+    /// Feeds a received RB message (true sender stamped by the network).
+    pub fn on_message(&mut self, from: ProcessId, msg: RbMsg<T, V>) -> Vec<RbAction<T, V>> {
+        match msg {
+            RbMsg::Init { tag, value } => self.on_init(from, tag, value),
+            RbMsg::Echo { origin, tag, value } => self.on_echo(from, origin, tag, value),
+            RbMsg::Ready { origin, tag, value } => self.on_ready(from, origin, tag, value),
+        }
+    }
+
+    /// Has this process RB-delivered instance `(origin, tag)`?
+    pub fn is_delivered(&self, origin: ProcessId, tag: &T) -> bool {
+        self.instances
+            .get(&(origin, tag.clone()))
+            .is_some_and(|i| i.delivered)
+    }
+
+    /// Number of instances with any state (diagnostics).
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    fn on_init(&mut self, from: ProcessId, tag: T, value: V) -> Vec<RbAction<T, V>> {
+        // The INIT of instance (origin, tag) is only meaningful from the
+        // origin itself; a Byzantine process cannot impersonate (§2.1), so
+        // `from` *is* the origin.
+        let inst = self.instances.entry((from, tag.clone())).or_default();
+        if inst.init_seen {
+            return Vec::new(); // §2.1: discard duplicate INITs.
+        }
+        inst.init_seen = true;
+        let mut actions = Vec::new();
+        if !inst.echoed {
+            inst.echoed = true;
+            actions.push(RbAction::Broadcast(RbMsg::Echo {
+                origin: from,
+                tag,
+                value,
+            }));
+        }
+        actions
+    }
+
+    fn on_echo(
+        &mut self,
+        from: ProcessId,
+        origin: ProcessId,
+        tag: T,
+        value: V,
+    ) -> Vec<RbAction<T, V>> {
+        let echo_quorum = self.cfg.echo_threshold();
+        let inst = self.instances.entry((origin, tag.clone())).or_default();
+        if inst.echoes.contains_key(&from) {
+            return Vec::new(); // §2.1 dedup: first ECHO per sender only.
+        }
+        inst.echoes.insert(from, value.clone());
+        let mut actions = Vec::new();
+        if !inst.readied {
+            let support = inst.echoes.values().filter(|v| **v == value).count();
+            if support >= echo_quorum {
+                inst.readied = true;
+                actions.push(RbAction::Broadcast(RbMsg::Ready { origin, tag, value }));
+            }
+        }
+        actions
+    }
+
+    fn on_ready(
+        &mut self,
+        from: ProcessId,
+        origin: ProcessId,
+        tag: T,
+        value: V,
+    ) -> Vec<RbAction<T, V>> {
+        let amplify = self.cfg.ready_amplify_threshold();
+        let deliver = self.cfg.ready_threshold();
+        let inst = self.instances.entry((origin, tag.clone())).or_default();
+        if inst.readies.contains_key(&from) {
+            return Vec::new(); // §2.1 dedup: first READY per sender only.
+        }
+        inst.readies.insert(from, value.clone());
+        let support = inst.readies.values().filter(|v| **v == value).count();
+        let mut actions = Vec::new();
+        if !inst.readied && support >= amplify {
+            inst.readied = true;
+            actions.push(RbAction::Broadcast(RbMsg::Ready {
+                origin,
+                tag: tag.clone(),
+                value: value.clone(),
+            }));
+        }
+        if !inst.delivered && support >= deliver {
+            inst.delivered = true;
+            actions.push(RbAction::Deliver { origin, tag, value });
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Engine = RbEngine<&'static str, u64>;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::new(4, 1).unwrap()
+    }
+
+    fn engines(n: usize) -> Vec<Engine> {
+        (0..n).map(|i| RbEngine::new(cfg(), ProcessId::new(i))).collect()
+    }
+
+    /// Synchronously runs a message soup to quiescence, FIFO order.
+    /// `byzantine` ids are excluded from processing (they only inject).
+    fn run_soup(
+        engines: &mut [Engine],
+        mut wire: Vec<(ProcessId, RbMsg<&'static str, u64>)>,
+        byzantine: &[usize],
+    ) -> Vec<(usize, ProcessId, u64)> {
+        let mut deliveries = Vec::new();
+        let mut head = 0;
+        while head < wire.len() {
+            let (from, msg) = wire[head].clone();
+            head += 1;
+            for (i, engine) in engines.iter_mut().enumerate() {
+                if byzantine.contains(&i) {
+                    continue;
+                }
+                for action in engine.on_message(from, msg.clone()) {
+                    match action {
+                        RbAction::Broadcast(m) => wire.push((ProcessId::new(i), m)),
+                        RbAction::Deliver { origin, value, .. } => {
+                            deliveries.push((i, origin, value))
+                        }
+                    }
+                }
+            }
+        }
+        deliveries
+    }
+
+    fn start_broadcast(
+        engines: &mut [Engine],
+        origin: usize,
+        tag: &'static str,
+        value: u64,
+    ) -> Vec<(ProcessId, RbMsg<&'static str, u64>)> {
+        engines[origin]
+            .broadcast(tag, value)
+            .into_iter()
+            .map(|a| match a {
+                RbAction::Broadcast(m) => (ProcessId::new(origin), m),
+                other => panic!("unexpected immediate action {other:?}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn correct_origin_everyone_delivers() {
+        let mut e = engines(4);
+        let wire = start_broadcast(&mut e, 0, "x", 7);
+        let deliveries = run_soup(&mut e, wire, &[]);
+        assert_eq!(deliveries.len(), 4);
+        assert!(deliveries.iter().all(|&(_, o, v)| o == ProcessId::new(0) && v == 7));
+    }
+
+    #[test]
+    fn delivery_happens_once_per_instance() {
+        let mut e = engines(4);
+        let wire = start_broadcast(&mut e, 0, "x", 7);
+        let deliveries = run_soup(&mut e, wire, &[]);
+        let mut by_process: Vec<usize> = deliveries.iter().map(|&(i, _, _)| i).collect();
+        by_process.sort();
+        by_process.dedup();
+        assert_eq!(by_process.len(), 4, "RB-Unicity violated");
+    }
+
+    #[test]
+    fn distinct_tags_are_independent_instances() {
+        let mut e = engines(4);
+        let mut wire = start_broadcast(&mut e, 0, "a", 1);
+        wire.extend(start_broadcast(&mut e, 0, "b", 2));
+        let deliveries = run_soup(&mut e, wire, &[]);
+        assert_eq!(deliveries.len(), 8);
+        assert_eq!(deliveries.iter().filter(|&&(_, _, v)| v == 1).count(), 4);
+        assert_eq!(deliveries.iter().filter(|&&(_, _, v)| v == 2).count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "already used")]
+    fn origin_cannot_reuse_instance() {
+        let mut e = engines(4);
+        let _ = e[0].broadcast("x", 1);
+        let _ = e[0].broadcast("x", 2);
+    }
+
+    #[test]
+    fn equivocating_init_yields_agreement_on_one_value() {
+        // Byzantine p4 sends INIT(1) to p1, p2 and INIT(2) to p3.
+        // Correct processes must not deliver different values
+        // (RB-Termination-2 + RB-Unicity); with n = 4, t = 1 the echo
+        // quorum is 3, so only a value echoed by ≥ 3 of {p1,p2,p3} can
+        // progress — and at most one value can get 3 echoes.
+        let mut e = engines(4);
+        let byz = ProcessId::new(3);
+        let mut wire = Vec::new();
+        // Deliver the conflicting INITs directly to the targets.
+        let mut deliveries = Vec::new();
+        for (target, value) in [(0usize, 1u64), (1, 1), (2, 2)] {
+            for action in e[target].on_message(
+                byz,
+                RbMsg::Init {
+                    tag: "x",
+                    value,
+                },
+            ) {
+                match action {
+                    RbAction::Broadcast(m) => wire.push((ProcessId::new(target), m)),
+                    RbAction::Deliver { origin, value, .. } => {
+                        deliveries.push((target, origin, value))
+                    }
+                }
+            }
+        }
+        deliveries.extend(run_soup(&mut e, wire, &[3]));
+        // With a 2/1 echo split no value reaches the quorum of 3:
+        // nobody delivers anything — fine. The critical property: if any
+        // correct process delivered, all delivered values agree.
+        let values: std::collections::BTreeSet<u64> =
+            deliveries.iter().map(|&(_, _, v)| v).collect();
+        assert!(values.len() <= 1, "correct processes delivered different values");
+    }
+
+    #[test]
+    fn byzantine_echo_flood_cannot_force_wrong_value() {
+        // p4 floods READY("x", 99) — a single Byzantine READY (t = 1) is
+        // below both the amplification (2) and delivery (3) thresholds.
+        let mut e = engines(4);
+        let mut actions = Vec::new();
+        for engine in e.iter_mut().take(3) {
+            actions.extend(engine.on_message(
+                ProcessId::new(3),
+                RbMsg::Ready {
+                    origin: ProcessId::new(3),
+                    tag: "x",
+                    value: 99,
+                },
+            ));
+        }
+        assert!(actions.is_empty(), "one Byzantine READY must not trigger anything");
+    }
+
+    #[test]
+    fn ready_amplification_carries_late_processes() {
+        // RB-Termination-2 mechanism: a process that saw no INIT/ECHO still
+        // delivers after 2t+1 READYs, and t+1 READYs make it broadcast its
+        // own READY.
+        let mut e = engines(4);
+        let mut out = Vec::new();
+        // p1 receives READY from p2 and p3 (2 = t+1): amplifies.
+        out.extend(e[0].on_message(
+            ProcessId::new(1),
+            RbMsg::Ready { origin: ProcessId::new(1), tag: "x", value: 5 },
+        ));
+        assert!(out.is_empty());
+        out.extend(e[0].on_message(
+            ProcessId::new(2),
+            RbMsg::Ready { origin: ProcessId::new(1), tag: "x", value: 5 },
+        ));
+        assert!(matches!(out[0], RbAction::Broadcast(RbMsg::Ready { .. })));
+        // Its own READY loops back as the 3rd (2t+1): delivers.
+        let acts = e[0].on_message(
+            ProcessId::new(0),
+            RbMsg::Ready { origin: ProcessId::new(1), tag: "x", value: 5 },
+        );
+        assert!(acts.iter().any(|a| matches!(a, RbAction::Deliver { value: 5, .. })));
+    }
+
+    #[test]
+    fn duplicate_messages_from_same_sender_discarded() {
+        let mut e = engines(4);
+        let ready = RbMsg::Ready { origin: ProcessId::new(1), tag: "x", value: 5 };
+        // Same sender repeats READY 10 times: counts once.
+        let mut actions = Vec::new();
+        for _ in 0..10 {
+            actions.extend(e[0].on_message(ProcessId::new(2), ready.clone()));
+        }
+        assert!(actions.is_empty(), "replays from one sender must not accumulate");
+    }
+
+    #[test]
+    fn echo_quorum_exact_boundary() {
+        let cfg7 = SystemConfig::new(7, 2).unwrap(); // echo threshold 5
+        let mut e: RbEngine<&'static str, u64> = RbEngine::new(cfg7, ProcessId::new(0));
+        let mut actions = Vec::new();
+        for sender in 1..=4 {
+            actions.extend(e.on_message(
+                ProcessId::new(sender),
+                RbMsg::Echo { origin: ProcessId::new(6), tag: "x", value: 9 },
+            ));
+        }
+        assert!(actions.is_empty(), "4 echoes < threshold 5");
+        actions.extend(e.on_message(
+            ProcessId::new(5),
+            RbMsg::Echo { origin: ProcessId::new(6), tag: "x", value: 9 },
+        ));
+        assert_eq!(actions.len(), 1, "5th echo crosses the quorum");
+        assert!(matches!(&actions[0], RbAction::Broadcast(RbMsg::Ready { value: 9, .. })));
+    }
+
+    #[test]
+    fn mixed_value_echoes_do_not_cross_quorum() {
+        // 5 echoes but split 3/2 between two values: no READY (n=7, t=2,
+        // threshold 5 *per value*).
+        let cfg7 = SystemConfig::new(7, 2).unwrap();
+        let mut e: RbEngine<&'static str, u64> = RbEngine::new(cfg7, ProcessId::new(0));
+        let mut actions = Vec::new();
+        for (sender, value) in [(1, 9u64), (2, 9), (3, 9), (4, 8), (5, 8)] {
+            actions.extend(e.on_message(
+                ProcessId::new(sender),
+                RbMsg::Echo { origin: ProcessId::new(6), tag: "x", value },
+            ));
+        }
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn kind_labels() {
+        let m: RbMsg<u8, u8> = RbMsg::Init { tag: 0, value: 0 };
+        assert_eq!(m.kind(), "RB_INIT");
+        let m: RbMsg<u8, u8> = RbMsg::Echo { origin: ProcessId::new(0), tag: 0, value: 0 };
+        assert_eq!(m.kind(), "RB_ECHO");
+        let m: RbMsg<u8, u8> = RbMsg::Ready { origin: ProcessId::new(0), tag: 0, value: 0 };
+        assert_eq!(m.kind(), "RB_READY");
+    }
+}

@@ -1,0 +1,438 @@
+//! The Byzantine adopt-commit object — Section 3, Figure 2.
+//!
+//! Adopt-commit encapsulates the *safety* half of agreement: it never lets
+//! two correct processes leave with contradictory commitments
+//! (AC-Quasi-agreement), forces a committed value whenever the correct
+//! processes already agree (AC-Obligation), and never emits a value only
+//! Byzantine processes proposed (AC-Output domain). One AC object guards
+//! each consensus round.
+//!
+//! Figure 2, for process `p_i`:
+//!
+//! 1. `est_i ← CB_broadcast AC_PROP(v_i)` — run a CB instance; the value it
+//!    returns (a value proposed by a *correct* process) becomes the
+//!    estimate;
+//! 2. `RB_broadcast AC_EST(est_i)`;
+//! 3. wait until `AC_EST` messages were RB-delivered from `n − t` different
+//!    processes **and** their values belong to `cb_valid_i` (both sides of
+//!    the predicate are monotone: deliveries accumulate and `cb_valid` only
+//!    grows, so the wait is re-evaluated on each event);
+//! 4. `MFA_i ←` most frequent value among that witness set;
+//! 5. return `⟨commit, MFA_i⟩` if the witness is unanimous, else
+//!    `⟨adopt, MFA_i⟩`.
+//!
+//! [`AcRound`] holds the per-round state inside the consensus automaton;
+//! [`AcNode`] wraps a single AC object as a standalone network node for the
+//! E2 experiments.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use minsync_broadcast::{CbInstance, RbAction, RbEngine};
+use minsync_net::{Context, Node};
+use minsync_types::{ProcessId, Round, SystemConfig, Value};
+
+use crate::events::AcTag;
+use crate::messages::{CbId, ProtocolMsg, RbTag};
+
+/// Result of an adopt-commit invocation: the tag and the (most frequent)
+/// value.
+pub type AcOutcome<V> = (AcTag, V);
+
+/// Per-round adopt-commit state hosted by the consensus automaton.
+///
+/// The host performs the actual RB broadcasts; `AcRound` is the pure
+/// bookkeeping: the embedded CB instance (line 1), the RB-delivered
+/// estimates (line 3's wait), and the witness/MFA computation (lines 4–7).
+#[derive(Clone, Debug)]
+pub struct AcRound<V> {
+    cfg: SystemConfig,
+    /// CB instance of line 1 (`AC_PROP` values).
+    cb: CbInstance<V>,
+    /// RB-delivered `AC_EST` values in delivery order (first per origin —
+    /// RB-Unicity makes later ones impossible anyway).
+    ests: Vec<(ProcessId, V)>,
+    est_senders: BTreeSet<ProcessId>,
+    /// Set once the host executed lines 1–2 (CB returned, `AC_EST` sent).
+    est_sent: bool,
+    outcome: Option<AcOutcome<V>>,
+}
+
+impl<V: Value> AcRound<V> {
+    /// Fresh state for one AC object.
+    pub fn new(cfg: SystemConfig) -> Self {
+        AcRound {
+            cfg,
+            cb: CbInstance::new(cfg),
+            ests: Vec::new(),
+            est_senders: BTreeSet::new(),
+            est_sent: false,
+            outcome: None,
+        }
+    }
+
+    /// Feeds an RB delivery of `CB_VAL` for this AC's CB instance
+    /// (Figure 1 line 4 applied to the `AC_PROP` exchange).
+    pub fn on_cb_val_delivered(&mut self, from: ProcessId, value: V) {
+        self.cb.on_rb_delivered(from, value);
+    }
+
+    /// The CB instance's pending return value: `Some` once `cb_valid ≠ ∅`
+    /// (Figure 2 line 1 can complete).
+    pub fn cb_returnable(&self) -> Option<&V> {
+        self.cb.returnable()
+    }
+
+    /// The CB instance's current valid set (diagnostics).
+    pub fn cb_valid(&self) -> BTreeSet<V> {
+        self.cb.cb_valid()
+    }
+
+    /// Marks lines 1–2 done (the host RB-broadcast `AC_EST`).
+    pub fn mark_est_sent(&mut self) {
+        self.est_sent = true;
+    }
+
+    /// Whether lines 1–2 are done.
+    pub fn est_sent(&self) -> bool {
+        self.est_sent
+    }
+
+    /// Feeds an RB delivery of `AC_EST(value)` from `from` (line 3).
+    pub fn on_est_delivered(&mut self, from: ProcessId, value: V) {
+        if self.est_senders.insert(from) {
+            self.ests.push((from, value));
+        }
+    }
+
+    /// Evaluates the wait of line 3 and, if satisfied, computes lines 4–7.
+    ///
+    /// The witness set is the first `n − t` RB-delivered estimates (in
+    /// delivery order) whose values are in `cb_valid` — a deterministic
+    /// refinement of the paper's "the previous `(n−t)` messages". Returns
+    /// the cached outcome on later calls (AC objects are one-shot).
+    pub fn try_complete(&mut self) -> Option<AcOutcome<V>> {
+        if let Some(out) = &self.outcome {
+            return Some(out.clone());
+        }
+        if !self.est_sent {
+            // The host has not executed lines 1–2; the paper's process
+            // cannot be waiting at line 3 yet.
+            return None;
+        }
+        let quorum = self.cfg.quorum();
+        let witness: Vec<&V> = self
+            .ests
+            .iter()
+            .filter(|(_, v)| self.cb.is_valid(v))
+            .map(|(_, v)| v)
+            .take(quorum)
+            .collect();
+        if witness.len() < quorum {
+            return None;
+        }
+        // Line 4: most frequent value; ties broken by smallest value so the
+        // choice is deterministic ("if several, pi takes any of them").
+        let mut counts: BTreeMap<&V, usize> = BTreeMap::new();
+        for v in &witness {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+        let (mfa, count) = counts
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+            .map(|(v, c)| ((*v).clone(), *c))
+            .expect("witness is non-empty");
+        let tag = if count == quorum { AcTag::Commit } else { AcTag::Adopt };
+        let outcome = (tag, mfa);
+        self.outcome = Some(outcome.clone());
+        Some(outcome)
+    }
+
+    /// The cached outcome, if the object already returned.
+    pub fn outcome(&self) -> Option<&AcOutcome<V>> {
+        self.outcome.as_ref()
+    }
+
+    /// Number of distinct `AC_EST` origins delivered so far.
+    pub fn est_count(&self) -> usize {
+        self.ests.len()
+    }
+}
+
+/// Telemetry emitted by the standalone [`AcNode`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AcNodeEvent<V> {
+    /// The AC object returned.
+    Returned {
+        /// Commit or adopt.
+        tag: AcTag,
+        /// The value.
+        value: V,
+    },
+}
+
+/// A standalone network node running a single `AC_propose(value)` call —
+/// the paper's Figure 2 executed in isolation (experiment E2).
+///
+/// Message type is the full [`ProtocolMsg`] (EA messages are ignored), so
+/// the same Byzantine behavior library applies.
+#[derive(Debug)]
+pub struct AcNode<V> {
+    cfg: SystemConfig,
+    proposal: V,
+    rb: Option<RbEngine<RbTag, V>>,
+    ac: AcRound<V>,
+}
+
+impl<V: Value> AcNode<V> {
+    /// A node that will propose `proposal` at start.
+    pub fn new(cfg: SystemConfig, proposal: V) -> Self {
+        AcNode {
+            cfg,
+            proposal,
+            rb: None,
+            ac: AcRound::new(cfg),
+        }
+    }
+
+    fn rb_actions(
+        &mut self,
+        actions: Vec<RbAction<RbTag, V>>,
+        ctx: &mut dyn Context<ProtocolMsg<V>, AcNodeEvent<V>>,
+    ) {
+        for action in actions {
+            match action {
+                RbAction::Broadcast(m) => ctx.broadcast(ProtocolMsg::Rb(m)),
+                RbAction::Deliver { origin, tag, value } => match tag {
+                    RbTag::CbVal(CbId::AcProp(r)) if r == Round::FIRST => {
+                        self.ac.on_cb_val_delivered(origin, value);
+                    }
+                    RbTag::AcEst(r) if r == Round::FIRST => {
+                        self.ac.on_est_delivered(origin, value);
+                    }
+                    _ => {}
+                },
+            }
+        }
+        self.advance(ctx);
+    }
+
+    fn advance(&mut self, ctx: &mut dyn Context<ProtocolMsg<V>, AcNodeEvent<V>>) {
+        // Line 1 completion → line 2.
+        if !self.ac.est_sent() {
+            if let Some(est) = self.ac.cb_returnable().cloned() {
+                self.ac.mark_est_sent();
+                let rb = self.rb.as_mut().expect("started");
+                let actions = rb.broadcast(RbTag::AcEst(Round::FIRST), est);
+                self.rb_actions(actions, ctx);
+                return; // rb_actions recursed into advance already
+            }
+        }
+        // Line 3 wait → lines 4–7.
+        if self.ac.outcome().is_none() {
+            if let Some((tag, value)) = self.ac.try_complete() {
+                ctx.output(AcNodeEvent::Returned { tag, value });
+            }
+        }
+    }
+}
+
+impl<V: Value> Node for AcNode<V> {
+    type Msg = ProtocolMsg<V>;
+    type Output = AcNodeEvent<V>;
+
+    fn on_start(&mut self, ctx: &mut dyn Context<ProtocolMsg<V>, AcNodeEvent<V>>) {
+        let mut rb = RbEngine::new(self.cfg, ctx.me());
+        let actions = rb.broadcast(RbTag::CbVal(CbId::AcProp(Round::FIRST)), self.proposal.clone());
+        self.rb = Some(rb);
+        self.rb_actions(actions, ctx);
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: ProtocolMsg<V>,
+        ctx: &mut dyn Context<ProtocolMsg<V>, AcNodeEvent<V>>,
+    ) {
+        if let ProtocolMsg::Rb(rb_msg) = msg {
+            if let Some(mut rb) = self.rb.take() {
+                let actions = rb.on_message(from, rb_msg);
+                self.rb = Some(rb);
+                self.rb_actions(actions, ctx);
+            }
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "adopt-commit"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::new(4, 1).unwrap()
+    }
+
+    fn round_with_cb(values: &[(usize, u64)]) -> AcRound<u64> {
+        let mut ac = AcRound::new(cfg());
+        // Make every mentioned value CB-valid via t+1 = 2 supporters; a CB
+        // instance accepts one value per origin, so each distinct value
+        // gets its own pair of senders.
+        let mut seen = BTreeSet::new();
+        let mut next_sender = 0usize;
+        for &(_, v) in values {
+            if seen.insert(v) {
+                ac.on_cb_val_delivered(ProcessId::new(next_sender), v);
+                ac.on_cb_val_delivered(ProcessId::new(next_sender + 1), v);
+                next_sender += 2;
+            }
+        }
+        ac
+    }
+
+    #[test]
+    fn cb_valid_gates_line1() {
+        let mut ac: AcRound<u64> = AcRound::new(cfg());
+        assert!(ac.cb_returnable().is_none());
+        ac.on_cb_val_delivered(ProcessId::new(0), 9);
+        assert!(ac.cb_returnable().is_none());
+        ac.on_cb_val_delivered(ProcessId::new(1), 9);
+        assert_eq!(ac.cb_returnable(), Some(&9));
+    }
+
+    #[test]
+    fn unanimous_witness_commits() {
+        let mut ac = round_with_cb(&[(0, 5), (1, 5), (2, 5)]);
+        ac.mark_est_sent();
+        for p in 0..3 {
+            ac.on_est_delivered(ProcessId::new(p), 5);
+        }
+        assert_eq!(ac.try_complete(), Some((AcTag::Commit, 5)));
+    }
+
+    #[test]
+    fn mixed_witness_adopts_most_frequent() {
+        let mut ac = round_with_cb(&[(0, 5), (1, 5), (2, 7)]);
+        ac.mark_est_sent();
+        ac.on_est_delivered(ProcessId::new(0), 5);
+        ac.on_est_delivered(ProcessId::new(1), 7);
+        ac.on_est_delivered(ProcessId::new(2), 5);
+        assert_eq!(ac.try_complete(), Some((AcTag::Adopt, 5)));
+    }
+
+    #[test]
+    fn tie_breaks_deterministically_to_smallest() {
+        // n = 13, t = 3 → quorum 10, plurality 4, m_max = 3: three values
+        // can be valid simultaneously (each needs 4 distinct CB origins).
+        let cfg13 = SystemConfig::new(13, 3).unwrap();
+        let mut ac: AcRound<u64> = AcRound::new(cfg13);
+        for (i, v) in [1u64, 2, 3].into_iter().enumerate() {
+            for p in 0..4 {
+                ac.on_cb_val_delivered(ProcessId::new(4 * i + p), v);
+            }
+        }
+        ac.mark_est_sent();
+        // Witness of 10: four 2s, four 1s, two 3s → tie between 1 and 2.
+        for (p, v) in [
+            (0, 2u64),
+            (1, 2),
+            (2, 2),
+            (3, 2),
+            (4, 1),
+            (5, 1),
+            (6, 1),
+            (7, 1),
+            (8, 3),
+            (9, 3),
+        ] {
+            ac.on_est_delivered(ProcessId::new(p), v);
+        }
+        // Tie between 1 and 2 → smallest (1) wins.
+        assert_eq!(ac.try_complete(), Some((AcTag::Adopt, 1)));
+    }
+
+    #[test]
+    fn invalid_values_do_not_qualify() {
+        let mut ac = round_with_cb(&[(0, 5)]);
+        ac.mark_est_sent();
+        // 99 is not CB-valid: these deliveries never qualify.
+        ac.on_est_delivered(ProcessId::new(0), 99);
+        ac.on_est_delivered(ProcessId::new(1), 99);
+        ac.on_est_delivered(ProcessId::new(2), 99);
+        assert_eq!(ac.try_complete(), None);
+        // Valid ones eventually arrive.
+        ac.on_est_delivered(ProcessId::new(3), 5);
+        assert_eq!(ac.try_complete(), None, "only 1 valid est");
+        let mut ac2 = round_with_cb(&[(0, 5)]);
+        ac2.mark_est_sent();
+        for p in 0..3 {
+            ac2.on_est_delivered(ProcessId::new(p), 5);
+        }
+        assert_eq!(ac2.try_complete(), Some((AcTag::Commit, 5)));
+    }
+
+    #[test]
+    fn late_cb_growth_unblocks_pending_ests() {
+        // Estimates arrive before their value becomes valid: the wait
+        // completes only after cb_valid catches up (monotone predicate).
+        let mut ac: AcRound<u64> = AcRound::new(cfg());
+        ac.mark_est_sent();
+        for p in 0..3 {
+            ac.on_est_delivered(ProcessId::new(p), 4);
+        }
+        assert_eq!(ac.try_complete(), None);
+        ac.on_cb_val_delivered(ProcessId::new(0), 4);
+        ac.on_cb_val_delivered(ProcessId::new(1), 4);
+        assert_eq!(ac.try_complete(), Some((AcTag::Commit, 4)));
+    }
+
+    #[test]
+    fn witness_is_first_quorum_in_delivery_order() {
+        // 4 deliveries, quorum 3: the 4th must not affect the outcome.
+        let mut ac = round_with_cb(&[(0, 5), (1, 6)]);
+        ac.mark_est_sent();
+        ac.on_est_delivered(ProcessId::new(0), 5);
+        ac.on_est_delivered(ProcessId::new(1), 5);
+        ac.on_est_delivered(ProcessId::new(2), 5);
+        ac.on_est_delivered(ProcessId::new(3), 6);
+        assert_eq!(ac.try_complete(), Some((AcTag::Commit, 5)));
+    }
+
+    #[test]
+    fn outcome_is_cached_and_stable() {
+        let mut ac = round_with_cb(&[(0, 5), (1, 6)]);
+        ac.mark_est_sent();
+        for p in 0..3 {
+            ac.on_est_delivered(ProcessId::new(p), 5);
+        }
+        let first = ac.try_complete();
+        // More deliveries cannot change a returned outcome.
+        ac.on_est_delivered(ProcessId::new(3), 6);
+        assert_eq!(ac.try_complete(), first);
+    }
+
+    #[test]
+    fn duplicate_est_senders_ignored() {
+        let mut ac = round_with_cb(&[(0, 5)]);
+        ac.mark_est_sent();
+        ac.on_est_delivered(ProcessId::new(0), 5);
+        ac.on_est_delivered(ProcessId::new(0), 5);
+        ac.on_est_delivered(ProcessId::new(0), 5);
+        assert_eq!(ac.est_count(), 1);
+        assert_eq!(ac.try_complete(), None);
+    }
+
+    #[test]
+    fn no_outcome_before_est_sent() {
+        // A process cannot be waiting at line 3 before executing lines 1–2.
+        let mut ac = round_with_cb(&[(0, 5)]);
+        for p in 0..3 {
+            ac.on_est_delivered(ProcessId::new(p), 5);
+        }
+        assert_eq!(ac.try_complete(), None);
+        ac.mark_est_sent();
+        assert_eq!(ac.try_complete(), Some((AcTag::Commit, 5)));
+    }
+}

@@ -1,0 +1,448 @@
+//! The ⊥-validity variant of Section 7 ("A variant").
+//!
+//! The paper's main algorithm needs the m-valued feasibility condition
+//! `n − t > m·t` so that no value proposed only by Byzantine processes can
+//! ever be decided. Section 7 notes that, following [11, 24], the
+//! algorithms "can be modified" to drop that requirement by letting correct
+//! processes decide a default value `⊥` when they do not propose the same
+//! value. The paper gives no construction; this module supplies one and
+//! proves it in the comments.
+//!
+//! # Construction
+//!
+//! 1. **Certification.** Every process RB-broadcasts `CERT(v_i)`. A value
+//!    `v` is *certified* at a process once RB-delivered from strictly more
+//!    than `(n + t)/2` distinct processes.
+//!    *At most one value can ever be certified system-wide*: two
+//!    certification quorums intersect in more than `t` processes, hence in
+//!    a correct process, which RB-broadcast a single `CERT` (RB-Unicity).
+//!    *If all correct processes propose `v`*, then `n − t > (n + t)/2`
+//!    (⇔ `n > 3t`) deliveries of `CERT(v)` eventually occur at every
+//!    correct process, so `v` certifies everywhere.
+//! 2. **Binary consensus.** Run the paper's consensus (always feasible for
+//!    `m = 2`: `⌊(n − t − 1)/t⌋ ≥ 2` whenever `n > 3t`) on the bit
+//!    `b_i = 1` iff some value was certified at `p_i` when its certification
+//!    watch first resolves — concretely, `b_i = 1` if a value certifies
+//!    before `CERT`s from `n − t` distinct processes were delivered without
+//!    any value reaching the threshold, else `b_i = 0`.
+//! 3. **Decision.** If the binary consensus decides `0`, decide `⊥`.
+//!    If it decides `1`, wait until some value certifies locally (if `1`
+//!    was decided, a correct process proposed `1`, so a certificate exists;
+//!    by RB-Termination-2 its `> (n+t)/2` deliveries eventually occur at
+//!    every correct process) and decide that value.
+//!
+//! # Properties
+//!
+//! * **⊥-Validity** — a non-`⊥` decision is certified, i.e. RB-delivered
+//!   from `> (n+t)/2 ≥ t + 1` processes, at least one correct: it was
+//!   proposed by a correct process. Byzantine-only values are never
+//!   decided.
+//! * **Obligation** — if all correct processes propose `v`: every correct
+//!   process certifies `v`. Can a correct process still input `0`? Only if
+//!   `n − t` `CERT`s arrive with no value at threshold — impossible, since
+//!   any `n − t` senders include `≥ n − 2t` correct ones... but
+//!   `n − 2t > (n + t)/2` fails in general, so a fast `0` input *is*
+//!   possible when Byzantine `CERT`s pad the count. To close this, the
+//!   watch resolves `0` only after `CERT`s from **all** `n − t` first
+//!   senders are delivered *and* no value can reach the threshold even
+//!   with every not-yet-delivered process voting for it — with all correct
+//!   on `v`, `v` can always still reach it, so the watch never resolves
+//!   `0`. Hence all correct process propose `1`, the binary consensus
+//!   decides `1` (CONS-Validity), and `v` is decided.
+//! * **Agreement** — the binary consensus agrees on the bit; if `1`, the
+//!   certified value is unique (quorum intersection), so all correct
+//!   processes decide it.
+//! * **Termination** — the certification watch always resolves (`1` when a
+//!   value certifies; `0` once no value can mathematically reach the
+//!   threshold); the binary consensus terminates under the
+//!   ✸⟨t+1⟩bisource; a decided `1` implies an eventually-visible
+//!   certificate.
+
+use std::collections::BTreeMap;
+
+use minsync_broadcast::{RbAction, RbEngine};
+use minsync_net::{Context, Node, TimerId};
+use minsync_types::{ConfigError, ProcessId, SystemConfig, Value};
+
+use crate::consensus::{ConsensusConfig, ConsensusNode};
+use crate::events::ConsensusEvent;
+use crate::messages::ProtocolMsg;
+
+/// Wire messages of the ⊥-variant: certification traffic plus the embedded
+/// binary consensus.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BotMsg<V> {
+    /// RB traffic of the certification exchange (`CERT` values).
+    CertRb(minsync_broadcast::RbMsg<(), V>),
+    /// The embedded binary consensus (proposals 0/1).
+    Inner(ProtocolMsg<u8>),
+}
+
+impl<V> BotMsg<V> {
+    /// Classifier for metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            BotMsg::CertRb(_) => "CERT",
+            BotMsg::Inner(m) => m.kind(),
+        }
+    }
+}
+
+/// Output of the ⊥-variant node.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BotEvent<V> {
+    /// Decided a real value (proposed by a correct process).
+    Decided {
+        /// The value.
+        value: V,
+    },
+    /// Decided the default value `⊥` (correct processes disagreed).
+    DecidedBottom,
+}
+
+/// State of the certification watch (step 1 / step 2 input derivation).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Watch {
+    /// Still undetermined.
+    Pending,
+    /// Resolved with the given binary-consensus input.
+    Resolved(u8),
+}
+
+/// Byzantine consensus with ⊥-validity (Section 7) — no `m`-feasibility
+/// requirement on proposals.
+///
+/// Internally drives a certification exchange and an embedded
+/// [`ConsensusNode`] on one bit; see the module docs for the construction
+/// and its proof sketch.
+#[derive(Debug)]
+pub struct BotConsensusNode<V> {
+    system: SystemConfig,
+    inner_cfg: ConsensusConfig,
+    proposal: V,
+    cert_rb: Option<RbEngine<(), V>>,
+    /// Who certified what: value → distinct RB-origins delivered.
+    cert_support: BTreeMap<V, Vec<ProcessId>>,
+    cert_senders: Vec<ProcessId>,
+    certified: Option<V>,
+    watch: Watch,
+    inner: ConsensusNode<u8>,
+    inner_started: bool,
+    /// Inner-consensus messages received before the certification watch
+    /// resolved (other processes may start their binary consensus first);
+    /// replayed in arrival order once `start_inner` runs.
+    pending_inner: Vec<(ProcessId, ProtocolMsg<u8>)>,
+    bit_decided: Option<u8>,
+    done: bool,
+}
+
+type BotCtx<'a, V> = dyn Context<BotMsg<V>, BotEvent<V>> + 'a;
+
+impl<V: Value> BotConsensusNode<V> {
+    /// Creates a node proposing `proposal`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the embedded binary consensus.
+    pub fn new(cfg: ConsensusConfig, proposal: V) -> Result<Self, ConfigError> {
+        Ok(BotConsensusNode {
+            system: cfg.system,
+            inner_cfg: cfg,
+            proposal,
+            cert_rb: None,
+            cert_support: BTreeMap::new(),
+            cert_senders: Vec::new(),
+            certified: None,
+            watch: Watch::Pending,
+            // Placeholder proposal; replaced when the watch resolves.
+            inner: ConsensusNode::new(cfg, 0)?,
+            inner_started: false,
+            pending_inner: Vec::new(),
+            bit_decided: None,
+            done: false,
+        })
+    }
+
+    fn apply_cert_rb(&mut self, actions: Vec<RbAction<(), V>>, ctx: &mut BotCtx<'_, V>) {
+        for action in actions {
+            match action {
+                RbAction::Broadcast(m) => ctx.broadcast(BotMsg::CertRb(m)),
+                RbAction::Deliver { origin, value, .. } => {
+                    self.on_cert_delivered(origin, value, ctx)
+                }
+            }
+        }
+    }
+
+    fn on_cert_delivered(&mut self, origin: ProcessId, value: V, ctx: &mut BotCtx<'_, V>) {
+        if self.cert_senders.contains(&origin) {
+            return; // RB-Unicity makes this unreachable; defensive.
+        }
+        self.cert_senders.push(origin);
+        self.cert_support.entry(value).or_default().push(origin);
+        self.recheck_certification(ctx);
+    }
+
+    fn recheck_certification(&mut self, ctx: &mut BotCtx<'_, V>) {
+        let threshold = self.system.certification_threshold();
+        let n = self.system.n();
+        if self.certified.is_none() {
+            if let Some((v, _)) = self
+                .cert_support
+                .iter()
+                .find(|(_, s)| s.len() >= threshold)
+            {
+                self.certified = Some(v.clone());
+            }
+        }
+        if self.watch == Watch::Pending {
+            if self.certified.is_some() {
+                self.watch = Watch::Resolved(1);
+            } else {
+                // Resolve 0 only when no value can reach the threshold even
+                // if every process not yet heard from supports it.
+                let outstanding = n - self.cert_senders.len();
+                let best = self
+                    .cert_support
+                    .values()
+                    .map(Vec::len)
+                    .max()
+                    .unwrap_or(0);
+                if best + outstanding < threshold {
+                    self.watch = Watch::Resolved(0);
+                }
+            }
+            if let Watch::Resolved(bit) = self.watch {
+                self.start_inner(bit, ctx);
+            }
+        }
+        self.try_finish(ctx);
+    }
+
+    fn start_inner(&mut self, bit: u8, ctx: &mut BotCtx<'_, V>) {
+        debug_assert!(!self.inner_started);
+        self.inner_started = true;
+        self.inner = ConsensusNode::new(self.inner_cfg, bit).expect("config validated in new()");
+        let mut events = Vec::new();
+        {
+            let mut shim = InnerCtx { outer: ctx, events: Vec::new() };
+            self.inner.on_start(&mut shim);
+            // Replay buffered inner traffic in arrival order.
+            for (from, msg) in std::mem::take(&mut self.pending_inner) {
+                self.inner.on_message(from, msg, &mut shim);
+            }
+            events.append(&mut shim.events);
+        }
+        self.consume_inner_events(events, ctx);
+    }
+
+    fn consume_inner_events(&mut self, events: Vec<ConsensusEvent<u8>>, ctx: &mut BotCtx<'_, V>) {
+        for ev in events {
+            if let ConsensusEvent::Decided { value } = ev {
+                self.bit_decided = Some(value);
+            }
+        }
+        self.try_finish(ctx);
+    }
+
+    fn try_finish(&mut self, ctx: &mut BotCtx<'_, V>) {
+        if self.done {
+            return;
+        }
+        match self.bit_decided {
+            Some(0) => {
+                self.done = true;
+                ctx.output(BotEvent::DecidedBottom);
+            }
+            Some(_) => {
+                // Wait until the (unique) certificate is visible locally.
+                if let Some(v) = self.certified.clone() {
+                    self.done = true;
+                    ctx.output(BotEvent::Decided { value: v });
+                }
+            }
+            None => {}
+        }
+    }
+}
+
+/// Adapter exposing the outer context to the embedded binary consensus:
+/// wraps its messages in [`BotMsg::Inner`] and captures its outputs.
+struct InnerCtx<'a, 'b, V> {
+    outer: &'a mut BotCtx<'b, V>,
+    events: Vec<ConsensusEvent<u8>>,
+}
+
+impl<V: Value> Context<ProtocolMsg<u8>, ConsensusEvent<u8>> for InnerCtx<'_, '_, V> {
+    fn me(&self) -> ProcessId {
+        self.outer.me()
+    }
+    fn n(&self) -> usize {
+        self.outer.n()
+    }
+    fn now(&self) -> minsync_net::VirtualTime {
+        self.outer.now()
+    }
+    fn send(&mut self, to: ProcessId, msg: ProtocolMsg<u8>) {
+        self.outer.send(to, BotMsg::Inner(msg));
+    }
+    fn broadcast(&mut self, msg: ProtocolMsg<u8>) {
+        self.outer.broadcast(BotMsg::Inner(msg));
+    }
+    fn set_timer(&mut self, delay: u64) -> TimerId {
+        self.outer.set_timer(delay)
+    }
+    fn cancel_timer(&mut self, timer: TimerId) {
+        self.outer.cancel_timer(timer);
+    }
+    fn output(&mut self, event: ConsensusEvent<u8>) {
+        self.events.push(event);
+    }
+    fn halt(&mut self) {
+        // The embedded consensus never halts the outer node.
+    }
+    fn random(&mut self) -> u64 {
+        self.outer.random()
+    }
+}
+
+impl<V: Value> Node for BotConsensusNode<V> {
+    type Msg = BotMsg<V>;
+    type Output = BotEvent<V>;
+
+    fn on_start(&mut self, ctx: &mut BotCtx<'_, V>) {
+        let mut rb = RbEngine::new(self.system, ctx.me());
+        let actions = rb.broadcast((), self.proposal.clone());
+        self.cert_rb = Some(rb);
+        self.apply_cert_rb(actions, ctx);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: BotMsg<V>, ctx: &mut BotCtx<'_, V>) {
+        match msg {
+            BotMsg::CertRb(rb_msg) => {
+                if let Some(mut rb) = self.cert_rb.take() {
+                    let actions = rb.on_message(from, rb_msg);
+                    self.cert_rb = Some(rb);
+                    self.apply_cert_rb(actions, ctx);
+                }
+            }
+            BotMsg::Inner(inner_msg) => {
+                if self.inner_started {
+                    let mut shim = InnerCtx { outer: ctx, events: Vec::new() };
+                    self.inner.on_message(from, inner_msg, &mut shim);
+                    let events = shim.events;
+                    self.consume_inner_events(events, ctx);
+                } else {
+                    // The sender's watch resolved before ours: buffer until
+                    // our binary consensus starts.
+                    self.pending_inner.push((from, inner_msg));
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, timer: TimerId, ctx: &mut BotCtx<'_, V>) {
+        if self.inner_started {
+            let mut shim = InnerCtx { outer: ctx, events: Vec::new() };
+            self.inner.on_timer(timer, &mut shim);
+            let events = shim.events;
+            self.consume_inner_events(events, ctx);
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "bot-consensus"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consensus::ConsensusConfig;
+    use minsync_net::sim::SimBuilder;
+    use minsync_net::{NetworkTopology, Node};
+    use minsync_types::SystemConfig;
+
+    type Msg = BotMsg<u64>;
+    type Out = BotEvent<u64>;
+
+    fn run(proposals: &[u64], seed: u64) -> Vec<Option<u64>> {
+        let n = proposals.len();
+        let t = (n - 1) / 3;
+        let cfg = ConsensusConfig::paper(SystemConfig::new(n, t).unwrap());
+        let mut builder =
+            SimBuilder::new(NetworkTopology::all_timely(n, 3)).seed(seed).max_events(3_000_000);
+        for &p in proposals {
+            let node: Box<dyn Node<Msg = Msg, Output = Out>> =
+                Box::new(BotConsensusNode::new(cfg, p).unwrap());
+            builder = builder.boxed_node(node);
+        }
+        let mut sim = builder.build();
+        let report = sim.run_until(|outs| outs.len() == n);
+        report
+            .outputs
+            .iter()
+            .map(|o| match &o.event {
+                BotEvent::Decided { value } => Some(*value),
+                BotEvent::DecidedBottom => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unanimous_decides_value() {
+        let d = run(&[5, 5, 5, 5], 1);
+        assert_eq!(d.len(), 4);
+        assert!(d.iter().all(|v| *v == Some(5)), "{d:?}");
+    }
+
+    #[test]
+    fn all_distinct_agrees_bottom_or_proposed() {
+        for seed in 0..4 {
+            let d = run(&[1, 2, 3, 4], seed);
+            assert_eq!(d.len(), 4, "seed {seed}");
+            assert!(d.windows(2).all(|w| w[0] == w[1]), "seed {seed}: {d:?}");
+            if let Some(v) = d[0] {
+                assert!((1..=4).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn majority_never_loses_to_minority() {
+        // 3 of 4 propose 9: 9 certifies (> (n+t)/2 = 2.5 → 3 deliveries);
+        // 7 (one proposer) can never certify. Decision ∈ {9, ⊥}.
+        for seed in 0..4 {
+            let d = run(&[9, 9, 9, 7], seed);
+            assert!(d.windows(2).all(|w| w[0] == w[1]), "seed {seed}");
+            assert_ne!(d[0], Some(7), "seed {seed}: minority value certified?!");
+        }
+    }
+
+    #[test]
+    fn certification_watch_resolves_zero_only_when_mathematically_final() {
+        let cfg = ConsensusConfig::paper(SystemConfig::new(4, 1).unwrap());
+        let mut node: BotConsensusNode<u64> = BotConsensusNode::new(cfg, 1).unwrap();
+        // Feed deliveries directly: 3 distinct values from 3 origins; the
+        // 4th origin could still push any of them to the threshold (3), so
+        // the watch must stay pending.
+        node.cert_senders.push(minsync_types::ProcessId::new(0));
+        node.cert_support.entry(10).or_default().push(minsync_types::ProcessId::new(0));
+        node.cert_senders.push(minsync_types::ProcessId::new(1));
+        node.cert_support.entry(20).or_default().push(minsync_types::ProcessId::new(1));
+        // best = 1, outstanding = 2, threshold = 3: 1 + 2 = 3 ≥ 3 → pending.
+        assert_eq!(node.watch, Watch::Pending);
+        let outstanding = 4 - node.cert_senders.len();
+        let best = node.cert_support.values().map(Vec::len).max().unwrap_or(0);
+        assert!(best + outstanding >= cfg.system.certification_threshold());
+    }
+
+    #[test]
+    fn kind_labels() {
+        let m: BotMsg<u64> = BotMsg::Inner(ProtocolMsg::EaProp2 {
+            round: minsync_types::Round::FIRST,
+            value: 0,
+        });
+        assert_eq!(m.kind(), "EA_PROP2");
+    }
+}

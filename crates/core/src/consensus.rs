@@ -1,0 +1,591 @@
+//! The m-valued Byzantine consensus algorithm — Section 6, Figure 4.
+//!
+//! Each process: (line 1) runs `CB[0]` on its proposal to obtain an initial
+//! estimate proposed by a correct process, then loops: (line 4) `EA_propose`
+//! the estimate — liveness; (line 5) adopt the returned value if `CB[0]`
+//! certifies it as a correct process's proposal — validity; (line 6) run the
+//! round's adopt-commit object — agreement; (line 7) on `commit`,
+//! RB-broadcast `DECIDE`. A when-clause (line 9) decides as soon as
+//! `DECIDE(v)` is RB-delivered from `t + 1` distinct processes.
+//!
+//! # Departures from the listing (all documented in DESIGN.md)
+//!
+//! * A process RB-broadcasts `DECIDE` at most once: after a first commit its
+//!   estimate can never change (CONS-Agreement proof), so re-broadcasting in
+//!   later committing rounds would be a duplicate RB instance with identical
+//!   content.
+//! * "Decides and stops" (line 9) stops the round loop but keeps servicing
+//!   the RB layer (echo/ready): RB-Termination-2 — which carries the
+//!   remaining correct processes to their own decisions — requires correct
+//!   processes to keep participating in reliable broadcast.
+
+use std::collections::BTreeMap;
+
+use minsync_broadcast::{CbInstance, RbAction, RbEngine};
+use minsync_net::{Context, Node, TimerId};
+use minsync_types::{
+    ConfigError, ProcessId, Round, RoundSchedule, SystemConfig, Value,
+};
+
+use crate::adopt_commit::AcRound;
+use crate::eventual_agreement::{EaAction, EaObject};
+use crate::events::{AcTag, ConsensusEvent};
+use crate::messages::{CbId, ProtocolMsg, RbTag};
+use crate::timeout::TimeoutPolicy;
+
+/// Static parameters of one consensus instance.
+#[derive(Clone, Copy, Debug)]
+pub struct ConsensusConfig {
+    /// System size and fault tolerance.
+    pub system: SystemConfig,
+    /// Tuning parameter `k` of Section 5.4 (`0` = the paper's basic
+    /// algorithm; `k` requires a ⟨t+1+k⟩bisource but shrinks the helper-set
+    /// schedule from `C(n, n−t)` to `C(n, n−t+k)` sets).
+    pub k: usize,
+    /// Timeout growth policy for the EA object (Figure 3 line 5 /
+    /// footnote 3).
+    pub timeout: TimeoutPolicy,
+    /// Stop proposing after this many rounds (the process keeps servicing
+    /// RB so others stay live, but initiates nothing new). `None` =
+    /// unbounded, the paper's semantics.
+    pub max_rounds: Option<u64>,
+}
+
+impl ConsensusConfig {
+    /// The paper's defaults: `k = 0`, `timer[r] = r`, unbounded rounds.
+    pub fn paper(system: SystemConfig) -> Self {
+        ConsensusConfig {
+            system,
+            k: 0,
+            timeout: TimeoutPolicy::paper(),
+            max_rounds: None,
+        }
+    }
+
+    /// Builds the round schedule implied by `system` and `k`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`] from [`RoundSchedule::new`] (invalid `k`
+    /// or combinatorial overflow).
+    pub fn schedule(&self) -> Result<RoundSchedule, ConfigError> {
+        RoundSchedule::new(&self.system, self.k)
+    }
+}
+
+/// Where the round loop of Figure 4 currently blocks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    /// Line 1: waiting for `CB[0]` to return.
+    AwaitValid,
+    /// Line 4: inside `EA_propose` for the current round.
+    InEa,
+    /// Line 6, first half (Figure 2 line 1): waiting for the AC round's CB.
+    AwaitAcCb,
+    /// Line 6, second half (Figure 2 line 3): waiting for the AC witness.
+    AwaitAcEst,
+    /// Stopped: decided, or `max_rounds` exhausted.
+    Stopped,
+}
+
+/// The consensus automaton for one process — Figure 4 runnable on any
+/// [`minsync_net`] substrate.
+///
+/// ```rust
+/// use minsync_core::{ConsensusNode, ConsensusConfig, ConsensusEvent};
+/// use minsync_net::{sim::SimBuilder, NetworkTopology};
+/// use minsync_types::SystemConfig;
+///
+/// # fn main() -> Result<(), minsync_types::ConfigError> {
+/// let system = SystemConfig::new(4, 1)?;
+/// let cfg = ConsensusConfig::paper(system);
+/// let topo = NetworkTopology::all_timely(4, 5);
+/// let mut builder = SimBuilder::new(topo).seed(42);
+/// for value in [10u64, 20, 10, 20] {
+///     builder = builder.node(ConsensusNode::new(cfg, value)?);
+/// }
+/// let mut sim = builder.build();
+/// let report = sim.run_until(|outs| {
+///     outs.iter().filter(|o| matches!(o.event, ConsensusEvent::Decided { .. })).count() == 4
+/// });
+/// let decisions: Vec<u64> = report
+///     .outputs
+///     .iter()
+///     .filter_map(|o| o.event.as_decision().copied())
+///     .collect();
+/// assert_eq!(decisions.len(), 4);
+/// assert!(decisions.windows(2).all(|w| w[0] == w[1]), "agreement");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ConsensusNode<V> {
+    cfg: ConsensusConfig,
+    proposal: V,
+    me: Option<ProcessId>,
+    rb: Option<RbEngine<RbTag, V>>,
+    /// `CB[0]` of line 1.
+    cb0: CbInstance<V>,
+    ea: EaObject<V>,
+    ac_rounds: BTreeMap<Round, AcRound<V>>,
+    /// Counts RB-delivered `DECIDE(v)` per value; `t + 1` triggers decision.
+    decide_votes: CbInstance<V>,
+    est: V,
+    round: Round,
+    phase: Phase,
+    timers: BTreeMap<TimerId, Round>,
+    timer_of_round: BTreeMap<Round, TimerId>,
+    decide_broadcast: bool,
+    decided: Option<V>,
+}
+
+type Ctx<'a, V> = dyn Context<ProtocolMsg<V>, ConsensusEvent<V>> + 'a;
+
+impl<V: Value> ConsensusNode<V> {
+    /// Creates a node that will propose `proposal`.
+    ///
+    /// The process id is taken from the substrate at `on_start`; one node
+    /// value works for any slot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates schedule construction errors (invalid `k`, combinatorial
+    /// overflow).
+    pub fn new(cfg: ConsensusConfig, proposal: V) -> Result<Self, ConfigError> {
+        let schedule = cfg.schedule()?;
+        Ok(ConsensusNode {
+            cfg,
+            proposal: proposal.clone(),
+            me: None,
+            rb: None,
+            cb0: CbInstance::new(cfg.system),
+            // `me` is patched in on_start; placeholder id 0 is fine because
+            // the EA object is rebuilt there.
+            ea: EaObject::new(cfg.system, schedule, ProcessId::new(0), cfg.timeout),
+            ac_rounds: BTreeMap::new(),
+            decide_votes: CbInstance::new(cfg.system),
+            est: proposal,
+            round: Round::FIRST,
+            phase: Phase::AwaitValid,
+            timers: BTreeMap::new(),
+            timer_of_round: BTreeMap::new(),
+            decide_broadcast: false,
+            decided: None,
+        })
+    }
+
+    /// The decided value, if this process has decided.
+    pub fn decision(&self) -> Option<&V> {
+        self.decided.as_ref()
+    }
+
+    /// The round the loop is currently in.
+    pub fn current_round(&self) -> Round {
+        self.round
+    }
+
+    /// The current estimate `est_i`.
+    pub fn estimate(&self) -> &V {
+        &self.est
+    }
+
+    // ------------------------------------------------------------------
+    // Effect plumbing
+    // ------------------------------------------------------------------
+
+    fn rb_broadcast(&mut self, tag: RbTag, value: V, ctx: &mut Ctx<'_, V>) {
+        let mut rb = self.rb.take().expect("rb engine initialized at start");
+        let actions = rb.broadcast(tag, value);
+        self.rb = Some(rb);
+        self.apply_rb(actions, ctx);
+    }
+
+    fn apply_rb(&mut self, actions: Vec<RbAction<RbTag, V>>, ctx: &mut Ctx<'_, V>) {
+        for action in actions {
+            match action {
+                RbAction::Broadcast(m) => ctx.broadcast(ProtocolMsg::Rb(m)),
+                RbAction::Deliver { origin, tag, value } => {
+                    self.on_rb_delivered(origin, tag, value, ctx)
+                }
+            }
+        }
+    }
+
+    fn apply_ea(&mut self, actions: Vec<EaAction<V>>, ctx: &mut Ctx<'_, V>) {
+        for action in actions {
+            match action {
+                EaAction::RbBroadcast { tag, value } => self.rb_broadcast(tag, value, ctx),
+                EaAction::Broadcast(msg) => ctx.broadcast(msg),
+                EaAction::SetTimer { round, delay } => {
+                    let id = ctx.set_timer(delay);
+                    self.timers.insert(id, round);
+                    self.timer_of_round.insert(round, id);
+                }
+                EaAction::CancelTimer { round } => {
+                    if let Some(id) = self.timer_of_round.remove(&round) {
+                        self.timers.remove(&id);
+                        ctx.cancel_timer(id);
+                    }
+                }
+                EaAction::Returned { round, value, fast } => {
+                    self.on_ea_returned(round, value, fast, ctx)
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Protocol steps
+    // ------------------------------------------------------------------
+
+    fn on_rb_delivered(&mut self, origin: ProcessId, tag: RbTag, value: V, ctx: &mut Ctx<'_, V>) {
+        match tag {
+            RbTag::CbVal(CbId::ConsValid) => {
+                self.cb0.on_rb_delivered(origin, value);
+                if self.phase == Phase::AwaitValid {
+                    self.try_leave_line1(ctx);
+                }
+            }
+            RbTag::CbVal(CbId::EaProp(r)) => {
+                if self.decided.is_none() {
+                    let acts = self.ea.on_cb_val_delivered(origin, r, value);
+                    self.apply_ea(acts, ctx);
+                }
+            }
+            RbTag::CbVal(CbId::AcProp(r)) => {
+                self.ac_round(r).on_cb_val_delivered(origin, value);
+                self.try_advance_ac(r, ctx);
+            }
+            RbTag::AcEst(r) => {
+                self.ac_round(r).on_est_delivered(origin, value);
+                self.try_advance_ac(r, ctx);
+            }
+            RbTag::Decide => {
+                if let Some(v) = self.decide_votes.on_rb_delivered(origin, value) {
+                    self.on_decided(v, ctx);
+                }
+            }
+        }
+    }
+
+    fn ac_round(&mut self, r: Round) -> &mut AcRound<V> {
+        let system = self.cfg.system;
+        self.ac_rounds.entry(r).or_insert_with(|| AcRound::new(system))
+    }
+
+    /// Line 1 completion: `CB[0]` returned → enter round 1.
+    fn try_leave_line1(&mut self, ctx: &mut Ctx<'_, V>) {
+        debug_assert_eq!(self.phase, Phase::AwaitValid);
+        let Some(v) = self.cb0.returnable().cloned() else {
+            return;
+        };
+        self.est = v;
+        self.enter_round(Round::FIRST, ctx);
+    }
+
+    /// Lines 3–4: start round `r` and `EA_propose(r, est)`.
+    fn enter_round(&mut self, r: Round, ctx: &mut Ctx<'_, V>) {
+        if let Some(max) = self.cfg.max_rounds {
+            if r.get() > max {
+                self.phase = Phase::Stopped;
+                return;
+            }
+        }
+        self.round = r;
+        self.phase = Phase::InEa;
+        ctx.output(ConsensusEvent::RoundStarted { round: r });
+        let acts = self.ea.propose(r, self.est.clone());
+        self.apply_ea(acts, ctx);
+    }
+
+    /// Line 5 plus entry into line 6.
+    fn on_ea_returned(&mut self, round: Round, value: V, fast: bool, ctx: &mut Ctx<'_, V>) {
+        if self.decided.is_some() || self.phase != Phase::InEa || round != self.round {
+            return;
+        }
+        // Line 5: adopt only values CB[0] certifies as coming from a
+        // correct process.
+        if self.cb0.is_valid(&value) {
+            self.est = value.clone();
+        }
+        ctx.output(ConsensusEvent::EaReturned { round, value, fast });
+        // Line 6, Figure 2 line 1: CB-broadcast AC_PROP(est).
+        self.phase = Phase::AwaitAcCb;
+        self.ac_round(round); // materialize
+        self.rb_broadcast(RbTag::CbVal(CbId::AcProp(round)), self.est.clone(), ctx);
+        self.try_advance_ac(round, ctx);
+    }
+
+    fn try_advance_ac(&mut self, r: Round, ctx: &mut Ctx<'_, V>) {
+        if self.decided.is_some() || r != self.round {
+            return;
+        }
+        if self.phase == Phase::AwaitAcCb {
+            let Some(est2) = self.ac_round(r).cb_returnable().cloned() else {
+                return;
+            };
+            // Figure 2 lines 1–2: the CB-returned value becomes the
+            // estimate RB-broadcast as AC_EST.
+            self.ac_round(r).mark_est_sent();
+            self.phase = Phase::AwaitAcEst;
+            self.rb_broadcast(RbTag::AcEst(r), est2, ctx);
+            // rb_broadcast may have recursed into try_advance_ac and
+            // completed the round; re-check the phase before continuing.
+            if self.phase != Phase::AwaitAcEst || self.round != r {
+                return;
+            }
+        }
+        if self.phase == Phase::AwaitAcEst {
+            let Some((tag, mfa)) = self.ac_round(r).try_complete() else {
+                return;
+            };
+            // Figure 4 line 6: adopt the AC outcome as the new estimate.
+            self.est = mfa.clone();
+            ctx.output(ConsensusEvent::AcReturned {
+                round: r,
+                tag,
+                value: mfa.clone(),
+            });
+            // Line 7.
+            if tag == AcTag::Commit && !self.decide_broadcast {
+                self.decide_broadcast = true;
+                ctx.output(ConsensusEvent::DecideBroadcast {
+                    round: r,
+                    value: mfa.clone(),
+                });
+                self.rb_broadcast(RbTag::Decide, mfa, ctx);
+                if self.decided.is_some() {
+                    return;
+                }
+            }
+            // Line 8: next round.
+            self.enter_round(r.next(), ctx);
+        }
+    }
+
+    /// Line 9: `DECIDE(v)` RB-delivered from `t + 1` distinct processes.
+    fn on_decided(&mut self, value: V, ctx: &mut Ctx<'_, V>) {
+        if self.decided.is_some() {
+            return;
+        }
+        self.decided = Some(value.clone());
+        self.phase = Phase::Stopped;
+        // Cancel every pending timer: the round loop is over. The RB layer
+        // stays live (see module docs).
+        for (id, _) in std::mem::take(&mut self.timers) {
+            ctx.cancel_timer(id);
+        }
+        self.timer_of_round.clear();
+        // Release per-round state: a decided process ignores EA/AC traffic,
+        // so the accumulated round maps are dead weight. (The RB engine is
+        // kept: other correct processes still need its echoes/readies.)
+        self.ac_rounds.clear();
+        self.ea.prune_below(Round::new(u64::MAX));
+        ctx.output(ConsensusEvent::Decided { value });
+    }
+}
+
+impl<V: Value> Node for ConsensusNode<V> {
+    type Msg = ProtocolMsg<V>;
+    type Output = ConsensusEvent<V>;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, V>) {
+        let me = ctx.me();
+        self.me = Some(me);
+        self.rb = Some(RbEngine::new(self.cfg.system, me));
+        self.ea = EaObject::new(
+            self.cfg.system,
+            self.cfg.schedule().expect("validated in new()"),
+            me,
+            self.cfg.timeout,
+        );
+        // Line 1: CB[0].CB_broadcast VALID(v_i).
+        self.rb_broadcast(
+            RbTag::CbVal(CbId::ConsValid),
+            self.proposal.clone(),
+            ctx,
+        );
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: ProtocolMsg<V>, ctx: &mut Ctx<'_, V>) {
+        match msg {
+            ProtocolMsg::Rb(rb_msg) => {
+                // The RB layer is serviced forever — even after deciding —
+                // so other correct processes retain RB-Termination-2.
+                if let Some(mut rb) = self.rb.take() {
+                    let actions = rb.on_message(from, rb_msg);
+                    self.rb = Some(rb);
+                    self.apply_rb(actions, ctx);
+                }
+            }
+            ProtocolMsg::EaProp2 { round, value } => {
+                if self.decided.is_none() {
+                    let acts = self.ea.on_prop2(from, round, value);
+                    self.apply_ea(acts, ctx);
+                }
+            }
+            ProtocolMsg::EaCoord { round, value } => {
+                if self.decided.is_none() {
+                    let acts = self.ea.on_coord(from, round, value);
+                    self.apply_ea(acts, ctx);
+                }
+            }
+            ProtocolMsg::EaRelay { round, value } => {
+                if self.decided.is_none() {
+                    let acts = self.ea.on_relay(from, round, value);
+                    self.apply_ea(acts, ctx);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, timer: TimerId, ctx: &mut Ctx<'_, V>) {
+        if let Some(round) = self.timers.remove(&timer) {
+            self.timer_of_round.remove(&round);
+            if self.decided.is_none() {
+                let acts = self.ea.on_timer_expired(round);
+                self.apply_ea(acts, ctx);
+            }
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "consensus"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minsync_net::sim::{SimBuilder, Simulation};
+    use minsync_net::{ChannelTiming, DelayLaw, NetworkTopology};
+
+    fn build_sim(
+        n: usize,
+        t: usize,
+        proposals: &[u64],
+        topo: NetworkTopology,
+        seed: u64,
+    ) -> Simulation<ProtocolMsg<u64>, ConsensusEvent<u64>> {
+        let system = SystemConfig::new(n, t).unwrap();
+        let cfg = ConsensusConfig::paper(system);
+        let mut builder = SimBuilder::new(topo).seed(seed).max_events(5_000_000);
+        for &p in proposals {
+            builder = builder.node(ConsensusNode::new(cfg, p).unwrap());
+        }
+        builder.build()
+    }
+
+    fn decisions(report: &minsync_net::sim::RunReport<ConsensusEvent<u64>>) -> Vec<(usize, u64)> {
+        report
+            .outputs
+            .iter()
+            .filter_map(|o| o.event.as_decision().map(|v| (o.process.index(), *v)))
+            .collect()
+    }
+
+    #[test]
+    fn all_correct_same_proposal_decides_it() {
+        let mut sim = build_sim(4, 1, &[9, 9, 9, 9], NetworkTopology::all_timely(4, 3), 1);
+        let report = sim.run_until(|outs| {
+            outs.iter().filter(|o| o.event.as_decision().is_some()).count() == 4
+        });
+        let d = decisions(&report);
+        assert_eq!(d.len(), 4, "stop reason {:?}", report.reason);
+        assert!(d.iter().all(|&(_, v)| v == 9), "validity: only 9 was proposed");
+    }
+
+    #[test]
+    fn split_proposals_agree_on_a_proposed_value() {
+        let mut sim = build_sim(4, 1, &[1, 2, 1, 2], NetworkTopology::all_timely(4, 3), 7);
+        let report = sim.run_until(|outs| {
+            outs.iter().filter(|o| o.event.as_decision().is_some()).count() == 4
+        });
+        let d = decisions(&report);
+        assert_eq!(d.len(), 4);
+        let v = d[0].1;
+        assert!(d.iter().all(|&(_, x)| x == v), "agreement violated: {d:?}");
+        assert!(v == 1 || v == 2, "decided value must be proposed: {v}");
+    }
+
+    #[test]
+    fn decides_under_random_asynchrony() {
+        let topo = NetworkTopology::uniform(
+            4,
+            ChannelTiming::asynchronous(DelayLaw::Uniform { min: 1, max: 25 }),
+        );
+        for seed in 0..5 {
+            let mut sim = build_sim(4, 1, &[3, 3, 5, 5], topo.clone(), seed);
+            let report = sim.run_until(|outs| {
+                outs.iter().filter(|o| o.event.as_decision().is_some()).count() == 4
+            });
+            let d = decisions(&report);
+            assert_eq!(d.len(), 4, "seed {seed}: no termination ({:?})", report.reason);
+            assert!(d.windows(2).all(|w| w[0].1 == w[1].1), "seed {seed}: {d:?}");
+        }
+    }
+
+    #[test]
+    fn seven_processes_two_fault_slots_all_correct() {
+        let mut sim = build_sim(
+            7,
+            2,
+            &[1, 1, 1, 2, 2, 2, 1],
+            NetworkTopology::all_timely(7, 2),
+            3,
+        );
+        let report = sim.run_until(|outs| {
+            outs.iter().filter(|o| o.event.as_decision().is_some()).count() == 7
+        });
+        let d = decisions(&report);
+        assert_eq!(d.len(), 7);
+        assert!(d.windows(2).all(|w| w[0].1 == w[1].1));
+    }
+
+    #[test]
+    fn round_telemetry_is_emitted() {
+        let mut sim = build_sim(4, 1, &[4, 4, 4, 4], NetworkTopology::all_timely(4, 3), 1);
+        let report = sim.run_until(|outs| {
+            outs.iter().filter(|o| o.event.as_decision().is_some()).count() == 4
+        });
+        assert!(report
+            .outputs
+            .iter()
+            .any(|o| matches!(o.event, ConsensusEvent::RoundStarted { .. })));
+        assert!(report
+            .outputs
+            .iter()
+            .any(|o| matches!(o.event, ConsensusEvent::EaReturned { fast: true, .. })));
+        assert!(report
+            .outputs
+            .iter()
+            .any(|o| matches!(o.event, ConsensusEvent::AcReturned { tag: AcTag::Commit, .. })));
+        assert!(report
+            .outputs
+            .iter()
+            .any(|o| matches!(o.event, ConsensusEvent::DecideBroadcast { .. })));
+    }
+
+    #[test]
+    fn max_rounds_stops_the_loop() {
+        // One process alone cannot decide; with max_rounds it must stop
+        // cleanly instead of spinning. Use 4 correct processes but a cap of
+        // 0 rounds: everyone stops right after line 1.
+        let system = SystemConfig::new(4, 1).unwrap();
+        let cfg = ConsensusConfig {
+            max_rounds: Some(0),
+            ..ConsensusConfig::paper(system)
+        };
+        let mut builder = SimBuilder::new(NetworkTopology::all_timely(4, 3)).seed(1);
+        for _ in 0..4 {
+            builder = builder.node(ConsensusNode::new(cfg, 1u64).unwrap());
+        }
+        let mut sim = builder.build();
+        let report = sim.run();
+        assert!(decisions(&report).is_empty());
+        assert!(!report
+            .outputs
+            .iter()
+            .any(|o| matches!(o.event, ConsensusEvent::RoundStarted { .. })));
+    }
+}

@@ -1,0 +1,87 @@
+//! Observable events emitted by the protocol automata.
+
+use minsync_types::Round;
+
+/// Outcome tag of an adopt-commit invocation (Figure 2 lines 6–7).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AcTag {
+    /// All `n − t` witnessed estimates agreed — safe to decide.
+    Commit,
+    /// Mixed estimates — adopt the most frequent and continue.
+    Adopt,
+}
+
+/// Telemetry and decisions emitted by [`ConsensusNode`].
+///
+/// [`ConsensusNode`]: crate::ConsensusNode
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ConsensusEvent<V> {
+    /// Entered round `round` (Figure 4 line 3).
+    RoundStarted {
+        /// The round.
+        round: Round,
+    },
+    /// The EA object returned for this round (Figure 4 line 4).
+    EaReturned {
+        /// The round.
+        round: Round,
+        /// Returned value.
+        value: V,
+        /// True if the unanimity fast path (Figure 3 line 4) fired —
+        /// no coordinator/timer phase was needed.
+        fast: bool,
+    },
+    /// The adopt-commit object returned (Figure 4 line 6).
+    AcReturned {
+        /// The round.
+        round: Round,
+        /// `Commit` or `Adopt`.
+        tag: AcTag,
+        /// The (possibly new) estimate.
+        value: V,
+    },
+    /// This process RB-broadcast `DECIDE(value)` (Figure 4 line 7).
+    DecideBroadcast {
+        /// Round of the commit.
+        round: Round,
+        /// Committed value.
+        value: V,
+    },
+    /// This process decided (Figure 4 line 9: `DECIDE(value)` RB-delivered
+    /// from `t + 1` distinct processes).
+    Decided {
+        /// Decided value.
+        value: V,
+    },
+}
+
+impl<V> ConsensusEvent<V> {
+    /// Returns the decided value if this is a decision event.
+    pub fn as_decision(&self) -> Option<&V> {
+        match self {
+            ConsensusEvent::Decided { value } => Some(value),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn as_decision_filters() {
+        let d: ConsensusEvent<u64> = ConsensusEvent::Decided { value: 5 };
+        assert_eq!(d.as_decision(), Some(&5));
+        let r: ConsensusEvent<u64> = ConsensusEvent::RoundStarted { round: Round::FIRST };
+        assert_eq!(r.as_decision(), None);
+    }
+
+    #[test]
+    fn ac_tag_is_copy_eq() {
+        let a = AcTag::Commit;
+        let b = a;
+        assert_eq!(a, b);
+        assert_ne!(AcTag::Commit, AcTag::Adopt);
+    }
+}

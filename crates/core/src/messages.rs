@@ -1,0 +1,155 @@
+//! Wire messages of the consensus stack.
+//!
+//! Everything reliable rides inside [`RbMsg`] instances keyed by [`RbTag`];
+//! the eventual-agreement object's plain (best-effort) broadcasts —
+//! `EA_PROP2`, `EA_COORD`, `EA_RELAY` of Figure 3 — travel outside RB,
+//! exactly as in the paper (footnote 2 explains why `EA_PROP2` is *not*
+//! reliable: the coordinator logic of lines 11–14 consumes the raw
+//! messages).
+
+use minsync_broadcast::RbMsg;
+use minsync_types::Round;
+
+/// Identifies a cooperative-broadcast instance.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum CbId {
+    /// `CB[0]` of Figure 4 — the initial `VALID(v_i)` exchange.
+    ConsValid,
+    /// The CB instance inside round `r`'s adopt-commit object (Figure 2
+    /// line 1, `AC_PROP`).
+    AcProp(Round),
+    /// The CB instance inside round `r` of the EA object (Figure 3 line 1,
+    /// `EA_PROP1`).
+    EaProp(Round),
+}
+
+/// Tags multiplexing every reliable-broadcast use onto one [`RbEngine`]
+/// (instances are keyed `(origin, RbTag)`).
+///
+/// [`RbEngine`]: minsync_broadcast::RbEngine
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum RbTag {
+    /// `CB_VAL` of some CB instance (Figure 1 line 1).
+    CbVal(CbId),
+    /// `AC_EST` of round `r`'s adopt-commit object (Figure 2 line 2).
+    AcEst(Round),
+    /// `DECIDE` (Figure 4 line 7). One instance per process: a correct
+    /// process RB-broadcasts `DECIDE` at most once (its committed estimate
+    /// can never change afterwards — see the CONS-Agreement proof).
+    Decide,
+}
+
+/// Top-level protocol message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ProtocolMsg<V> {
+    /// Reliable-broadcast traffic (`CB_VAL`, `AC_EST`, `DECIDE`).
+    Rb(RbMsg<RbTag, V>),
+    /// Figure 3 line 2: best-effort broadcast of the CB-validated value.
+    EaProp2 {
+        /// EA round.
+        round: Round,
+        /// The `aux_i` value.
+        value: V,
+    },
+    /// Figure 3 line 13: the round coordinator champions a value.
+    EaCoord {
+        /// EA round.
+        round: Round,
+        /// Championed value `w`.
+        value: V,
+    },
+    /// Figure 3 line 18: relay of the coordinator's value, or `None` (the
+    /// paper's `⊥`) if the relaying process's timer expired first.
+    EaRelay {
+        /// EA round.
+        round: Round,
+        /// `Some(v)` = witnessed the coordinator's value; `None` = suspect.
+        value: Option<V>,
+    },
+}
+
+impl<V> ProtocolMsg<V> {
+    /// Classifier for per-kind message metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ProtocolMsg::Rb(rb) => match rb {
+                RbMsg::Init { tag, .. } => Self::tag_kind(tag, "INIT"),
+                RbMsg::Echo { tag, .. } => Self::tag_kind(tag, "ECHO"),
+                RbMsg::Ready { tag, .. } => Self::tag_kind(tag, "READY"),
+            },
+            ProtocolMsg::EaProp2 { .. } => "EA_PROP2",
+            ProtocolMsg::EaCoord { .. } => "EA_COORD",
+            ProtocolMsg::EaRelay { .. } => "EA_RELAY",
+        }
+    }
+
+    fn tag_kind(tag: &RbTag, phase: &'static str) -> &'static str {
+        match (tag, phase) {
+            (RbTag::CbVal(_), "INIT") => "CB_VAL/INIT",
+            (RbTag::CbVal(_), "ECHO") => "CB_VAL/ECHO",
+            (RbTag::CbVal(_), "READY") => "CB_VAL/READY",
+            (RbTag::AcEst(_), "INIT") => "AC_EST/INIT",
+            (RbTag::AcEst(_), "ECHO") => "AC_EST/ECHO",
+            (RbTag::AcEst(_), "READY") => "AC_EST/READY",
+            (RbTag::Decide, "INIT") => "DECIDE/INIT",
+            (RbTag::Decide, "ECHO") => "DECIDE/ECHO",
+            (RbTag::Decide, "READY") => "DECIDE/READY",
+            _ => unreachable!("phase is one of INIT/ECHO/READY"),
+        }
+    }
+
+    /// Free-function form of [`ProtocolMsg::kind`] usable as a `fn` pointer
+    /// for the simulator's classifier hook.
+    pub fn classify(msg: &ProtocolMsg<V>) -> &'static str {
+        msg.kind()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minsync_types::ProcessId;
+
+    #[test]
+    fn kinds_cover_all_variants() {
+        let r = Round::FIRST;
+        let m: ProtocolMsg<u64> = ProtocolMsg::Rb(RbMsg::Init {
+            tag: RbTag::CbVal(CbId::ConsValid),
+            value: 1,
+        });
+        assert_eq!(m.kind(), "CB_VAL/INIT");
+        let m: ProtocolMsg<u64> = ProtocolMsg::Rb(RbMsg::Echo {
+            origin: ProcessId::new(0),
+            tag: RbTag::AcEst(r),
+            value: 1,
+        });
+        assert_eq!(m.kind(), "AC_EST/ECHO");
+        let m: ProtocolMsg<u64> = ProtocolMsg::Rb(RbMsg::Ready {
+            origin: ProcessId::new(0),
+            tag: RbTag::Decide,
+            value: 1,
+        });
+        assert_eq!(m.kind(), "DECIDE/READY");
+        assert_eq!(
+            ProtocolMsg::<u64>::EaProp2 { round: r, value: 1 }.kind(),
+            "EA_PROP2"
+        );
+        assert_eq!(
+            ProtocolMsg::<u64>::EaCoord { round: r, value: 1 }.kind(),
+            "EA_COORD"
+        );
+        assert_eq!(
+            ProtocolMsg::<u64>::EaRelay { round: r, value: None }.kind(),
+            "EA_RELAY"
+        );
+    }
+
+    #[test]
+    fn rb_tags_order_and_compare() {
+        // Needed for BTreeMap keys.
+        let a = RbTag::CbVal(CbId::AcProp(Round::new(1)));
+        let b = RbTag::CbVal(CbId::AcProp(Round::new(2)));
+        assert!(a < b);
+        assert_ne!(RbTag::Decide, RbTag::AcEst(Round::FIRST));
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests of the adopt-commit state machine (Figure 2) under
+//! arbitrary delivery orders and Byzantine-shaped inputs.
+
+use minsync_core::{AcRound, AcTag};
+use minsync_types::{ProcessId, SystemConfig};
+use proptest::prelude::*;
+
+/// Replays a run of one AC object at one process: CB validations and
+/// AC_EST deliveries interleaved in an arbitrary order.
+#[derive(Clone, Debug)]
+enum Input {
+    CbVal { from: usize, value: u64 },
+    Est { from: usize, value: u64 },
+}
+
+fn input_strategy(n: usize, values: u64) -> impl Strategy<Value = Input> {
+    prop_oneof![
+        (0..n, 0..values).prop_map(|(from, value)| Input::CbVal { from, value }),
+        (0..n, 0..values).prop_map(|(from, value)| Input::Est { from, value }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Whatever the interleaving: the outcome (if any) is stable once
+    /// produced, carries a CB-valid value, and an outcome only exists after
+    /// `n − t` qualifying estimates.
+    #[test]
+    fn outcome_is_stable_and_cb_valid(
+        inputs in proptest::collection::vec(input_strategy(4, 3), 0..40),
+        est_sent_at in 0usize..40,
+    ) {
+        let cfg = SystemConfig::new(4, 1).unwrap();
+        let mut ac: AcRound<u64> = AcRound::new(cfg);
+        let mut first_outcome: Option<(AcTag, u64)> = None;
+        for (i, input) in inputs.iter().enumerate() {
+            if i == est_sent_at {
+                ac.mark_est_sent();
+            }
+            match *input {
+                Input::CbVal { from, value } => {
+                    ac.on_cb_val_delivered(ProcessId::new(from), value)
+                }
+                Input::Est { from, value } => ac.on_est_delivered(ProcessId::new(from), value),
+            }
+            if let Some(out) = ac.try_complete() {
+                match &first_outcome {
+                    None => {
+                        // The value must be CB-valid at this point.
+                        prop_assert!(
+                            ac.cb_valid().contains(&out.1),
+                            "outcome value {} not CB-valid", out.1
+                        );
+                        first_outcome = Some(out);
+                    }
+                    Some(first) => prop_assert_eq!(&out, first, "outcome changed"),
+                }
+            }
+        }
+        if first_outcome.is_some() {
+            prop_assert!(ac.est_count() >= 1);
+        }
+    }
+
+    /// AC-Quasi-agreement across two processes of the *same* execution: if
+    /// the RB layer delivers the same (origin, value) pairs — as
+    /// RB-Unicity + RB-Termination-2 guarantee — then a commit at one
+    /// process forces the same value at the other, whatever the per-process
+    /// delivery orders.
+    #[test]
+    fn quasi_agreement_across_delivery_orders(
+        // One global assignment: what each origin RB-broadcast (0/1),
+        // with per-origin CB support baked in.
+        assignment in proptest::collection::vec(0u64..2, 7),
+        order_a in Just(()).prop_perturb(|_, mut rng| {
+            let mut v: Vec<usize> = (0..7).collect();
+            for i in (1..v.len()).rev() {
+                let j = (rng.next_u32() as usize) % (i + 1);
+                v.swap(i, j);
+            }
+            v
+        }),
+        order_b in Just(()).prop_perturb(|_, mut rng| {
+            let mut v: Vec<usize> = (0..7).collect();
+            for i in (1..v.len()).rev() {
+                let j = (rng.next_u32() as usize) % (i + 1);
+                v.swap(i, j);
+            }
+            v
+        }),
+    ) {
+        let cfg = SystemConfig::new(7, 2).unwrap();
+        let run = |order: &[usize]| {
+            let mut ac: AcRound<u64> = AcRound::new(cfg);
+            // CB validation: every proposed value is supported by its
+            // proposers (same at both processes — CB-Set Agreement).
+            for (origin, &v) in assignment.iter().enumerate() {
+                ac.on_cb_val_delivered(ProcessId::new(origin), v);
+            }
+            ac.mark_est_sent();
+            for &origin in order {
+                ac.on_est_delivered(ProcessId::new(origin), assignment[origin]);
+            }
+            ac.try_complete()
+        };
+        let a = run(&order_a);
+        let b = run(&order_b);
+        if let (Some((tag_a, va)), Some((tag_b, vb))) = (a, b) {
+            if tag_a == AcTag::Commit {
+                prop_assert_eq!(va, vb, "commit at A, different value at B");
+            }
+            if tag_b == AcTag::Commit {
+                prop_assert_eq!(va, vb, "commit at B, different value at A");
+            }
+        }
+    }
+
+    /// AC-Obligation: unanimous CB-valid estimates always commit.
+    #[test]
+    fn unanimous_always_commits(
+        order in Just(()).prop_perturb(|_, mut rng| {
+            let mut v: Vec<usize> = (0..7).collect();
+            for i in (1..v.len()).rev() {
+                let j = (rng.next_u32() as usize) % (i + 1);
+                v.swap(i, j);
+            }
+            v
+        }),
+        value in 0u64..100,
+    ) {
+        let cfg = SystemConfig::new(7, 2).unwrap();
+        let mut ac: AcRound<u64> = AcRound::new(cfg);
+        for origin in 0..7 {
+            ac.on_cb_val_delivered(ProcessId::new(origin), value);
+        }
+        ac.mark_est_sent();
+        let mut outcome = None;
+        for &origin in &order {
+            ac.on_est_delivered(ProcessId::new(origin), value);
+            outcome = ac.try_complete();
+        }
+        prop_assert_eq!(outcome, Some((AcTag::Commit, value)));
+    }
+}

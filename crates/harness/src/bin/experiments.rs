@@ -1,0 +1,56 @@
+//! Regenerates every experiment table (E1–E8).
+//!
+//! ```text
+//! cargo run -p minsync-harness --release --bin experiments [-- --quick] [--csv DIR] [e1 e3 ...]
+//! ```
+//!
+//! Prints GitHub-flavored markdown to stdout (paste-ready for
+//! `EXPERIMENTS.md`); `--csv DIR` additionally writes one CSV per table.
+
+use minsync_harness::experiments;
+use minsync_harness::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv_dir = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| a.starts_with('e') && a.len() == 2)
+        .cloned()
+        .collect();
+
+    type Runner = fn(bool) -> Table;
+    let runners: Vec<(&str, Runner)> = vec![
+        ("e1", experiments::e1_cb::run),
+        ("e2", experiments::e2_ac::run),
+        ("e3", experiments::e3_ea::run),
+        ("e4", experiments::e4_consensus::run),
+        ("e5", experiments::e5_rounds::run),
+        ("e6", experiments::e6_k_sweep::run),
+        ("e7", experiments::e7_baseline::run),
+        ("e8", experiments::e8_timeouts::run),
+        ("e9", experiments::e9_message_complexity::run),
+    ];
+
+    for (name, runner) in runners {
+        if !selected.is_empty() && !selected.iter().any(|s| s == name) {
+            continue;
+        }
+        eprintln!("running {name}{}…", if quick { " (quick)" } else { "" });
+        let table = runner(quick);
+        println!("{table}");
+        if let Some(dir) = &csv_dir {
+            let path = std::path::Path::new(dir).join(format!("{name}.csv"));
+            if let Err(e) = table.save_csv(&path) {
+                eprintln!("failed to write {}: {e}", path.display());
+            } else {
+                eprintln!("wrote {}", path.display());
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! A standalone cooperative-broadcast node for experiment E1 (Figure 1 in
+//! isolation).
+
+use minsync_broadcast::{CbInstance, RbAction, RbEngine, RbMsg};
+use minsync_net::{Context, Node};
+use minsync_types::{ProcessId, SystemConfig, Value};
+
+/// Telemetry of the standalone CB node.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CbEvent<V> {
+    /// A value entered `cb_valid` (Figure 1 line 4).
+    ValidAdded {
+        /// The value.
+        value: V,
+    },
+    /// The `CB_broadcast` operation returned (Figure 1 line 3).
+    Returned {
+        /// The returned value.
+        value: V,
+    },
+}
+
+/// Runs one `CB_broadcast(value)` invocation over the network: RB-broadcast
+/// the value, collect `cb_valid`, return once non-empty — emitting events
+/// the E1 experiment aggregates into set-agreement and latency measures.
+#[derive(Debug)]
+pub struct CbBroadcastNode<V> {
+    cfg: SystemConfig,
+    proposal: V,
+    rb: Option<RbEngine<(), V>>,
+    cb: CbInstance<V>,
+    returned: bool,
+}
+
+impl<V: Value> CbBroadcastNode<V> {
+    /// Creates the node with its value to cb-broadcast.
+    pub fn new(cfg: SystemConfig, proposal: V) -> Self {
+        CbBroadcastNode {
+            cfg,
+            proposal,
+            rb: None,
+            cb: CbInstance::new(cfg),
+            returned: false,
+        }
+    }
+
+    /// The current `cb_valid` set (inspection from tests).
+    pub fn cb_valid(&self) -> std::collections::BTreeSet<V> {
+        self.cb.cb_valid()
+    }
+
+    fn apply(
+        &mut self,
+        actions: Vec<RbAction<(), V>>,
+        ctx: &mut dyn Context<RbMsg<(), V>, CbEvent<V>>,
+    ) {
+        for action in actions {
+            match action {
+                RbAction::Broadcast(m) => ctx.broadcast(m),
+                RbAction::Deliver { origin, value, .. } => {
+                    if let Some(newly_valid) = self.cb.on_rb_delivered(origin, value) {
+                        ctx.output(CbEvent::ValidAdded { value: newly_valid });
+                    }
+                    if !self.returned {
+                        if let Some(v) = self.cb.returnable().cloned() {
+                            self.returned = true;
+                            ctx.output(CbEvent::Returned { value: v });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<V: Value> Node for CbBroadcastNode<V> {
+    type Msg = RbMsg<(), V>;
+    type Output = CbEvent<V>;
+
+    fn on_start(&mut self, ctx: &mut dyn Context<RbMsg<(), V>, CbEvent<V>>) {
+        let mut rb = RbEngine::new(self.cfg, ctx.me());
+        let actions = rb.broadcast((), self.proposal.clone());
+        self.rb = Some(rb);
+        self.apply(actions, ctx);
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: RbMsg<(), V>,
+        ctx: &mut dyn Context<RbMsg<(), V>, CbEvent<V>>,
+    ) {
+        if let Some(mut rb) = self.rb.take() {
+            let actions = rb.on_message(from, msg);
+            self.rb = Some(rb);
+            self.apply(actions, ctx);
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "cb-broadcast"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minsync_net::sim::SimBuilder;
+    use minsync_net::NetworkTopology;
+
+    #[test]
+    fn feasible_instance_returns_everywhere() {
+        // n = 4, t = 1, m = 2 (feasible): values 0/1 alternating.
+        let cfg = SystemConfig::new(4, 1).unwrap();
+        let mut builder = SimBuilder::new(NetworkTopology::all_timely(4, 2)).seed(1);
+        for i in 0..4 {
+            builder = builder.node(CbBroadcastNode::new(cfg, (i % 2) as u64));
+        }
+        let mut sim = builder.build();
+        let report = sim.run();
+        let returns = report
+            .outputs
+            .iter()
+            .filter(|o| matches!(o.event, CbEvent::Returned { .. }))
+            .count();
+        assert_eq!(returns, 4, "CB-Operation Termination");
+    }
+
+    #[test]
+    fn infeasible_instance_blocks() {
+        // n = 4, t = 1, all four values distinct (m = 4 > m_max = 2): no
+        // value reaches t+1 proposers — nobody may return.
+        let cfg = SystemConfig::new(4, 1).unwrap();
+        let mut builder = SimBuilder::new(NetworkTopology::all_timely(4, 2)).seed(1);
+        for i in 0..4u64 {
+            builder = builder.node(CbBroadcastNode::new(cfg, i * 10));
+        }
+        let mut sim = builder.build();
+        let report = sim.run();
+        assert!(
+            !report
+                .outputs
+                .iter()
+                .any(|o| matches!(o.event, CbEvent::Returned { .. })),
+            "infeasible m must block CB (the feasibility boundary)"
+        );
+    }
+}

@@ -1,0 +1,64 @@
+use core::fmt;
+
+use minsync_types::ConfigError;
+
+/// Errors surfaced by the experiment harness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HarnessError {
+    /// Invalid system configuration.
+    Config(ConfigError),
+    /// The proposal vector does not match the system size.
+    ProposalCount {
+        /// Expected `n`.
+        expected: usize,
+        /// Provided count.
+        got: usize,
+    },
+    /// A fault plan references an out-of-range slot or too many slots.
+    BadFaultPlan {
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::Config(e) => write!(f, "configuration error: {e}"),
+            HarnessError::ProposalCount { expected, got } => {
+                write!(f, "expected {expected} proposals, got {got}")
+            }
+            HarnessError::BadFaultPlan { reason } => write!(f, "bad fault plan: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HarnessError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for HarnessError {
+    fn from(e: ConfigError) -> Self {
+        HarnessError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = HarnessError::from(ConfigError::Resilience { n: 6, t: 2 });
+        assert!(e.to_string().contains("configuration error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = HarnessError::ProposalCount { expected: 4, got: 3 };
+        assert!(e.to_string().contains("4"));
+    }
+}

@@ -1,0 +1,101 @@
+//! E6 — Section 5.4's parameterized variant: the `k` tradeoff, measured on
+//! the EA object exactly as the paper defines its time complexity ("the
+//! round during which all correct processes return the same value").
+//!
+//! Strengthening the assumption to a ⟨t+1+k⟩bisource lets the helper sets
+//! `F(r)` grow to `n − t + k`, shrinking the schedule from `α = C(n, n−t)`
+//! to `β = C(n, n−t+k)` sets and the worst-case bound from `α·n` to `β·n`;
+//! `k = t` gives `β = 1` and the paper's optimal `n`-round endpoint.
+//!
+//! The bisource sits at a high index (its `X` sets wrap through the top of
+//! the id space), so for small `k` its `X⁺` only fits lexicographically
+//! *late* helper sets — the bad placement the bound quantifies over. The
+//! split-brain oracle prevents accidental early agreement. Shape to
+//! reproduce: measured convergence rounds collapse as `k` grows, tracking
+//! the `β·n` ordering down to the `k = t` endpoint.
+
+use minsync_core::TimeoutPolicy;
+use minsync_types::{RoundSchedule, SystemConfig};
+
+use super::ea_lab::{converge, EaLabParams};
+use super::seeds;
+use crate::Table;
+
+/// Runs E6.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E6 — Parameterized variant (§5.4): EA convergence round vs k",
+        ["n", "t", "k", "beta", "bound_beta_n", "max_round", "avg_round"],
+    );
+    let (n, t) = (7, 2);
+    let cfg = SystemConfig::new(n, t).unwrap();
+    let ks: Vec<usize> = if quick { vec![1, 2] } else { vec![0, 1, 2] };
+    for k in ks {
+        let sched = RoundSchedule::new(&cfg, k).unwrap();
+        let mut rounds = Vec::new();
+        for seed in seeds(quick) {
+            let mut p = EaLabParams::new(n, t);
+            p.k = k;
+            // Bad placement: X sets start just past the first helper set's
+            // reach and wrap through the top ids.
+            p.bisource = n - t - 1;
+            // Timeouts above 2δ from round 1 (footnote 3), isolating the
+            // schedule-alignment component the bound counts.
+            p.policy = TimeoutPolicy::linear(2 * p.delta + 2, 0);
+            p.seed = seed;
+            let c = converge(&p).expect("EA must converge (Theorem 3)");
+            rounds.push(c.round);
+        }
+        let max = rounds.iter().copied().max().unwrap_or(0);
+        let avg = rounds.iter().sum::<u64>() as f64 / rounds.len() as f64;
+        table.push_row([
+            n.to_string(),
+            t.to_string(),
+            k.to_string(),
+            sched.alpha().to_string(),
+            sched.round_bound().to_string(),
+            max.to_string(),
+            format!("{avg:.1}"),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_collapses_monotonically_in_k() {
+        let table = run(true);
+        let bounds: Vec<u128> = table.rows().iter().map(|r| r[4].parse().unwrap()).collect();
+        assert!(
+            bounds.windows(2).all(|w| w[0] >= w[1]),
+            "β·n must shrink as k grows: {bounds:?}"
+        );
+        // k = t endpoint: bound exactly n.
+        let last = table.rows().last().unwrap();
+        let n: u128 = last[0].parse().unwrap();
+        assert_eq!(last[4].parse::<u128>().unwrap(), n);
+    }
+
+    #[test]
+    fn measured_within_bound_for_all_k() {
+        let table = run(true);
+        for row in table.rows() {
+            let measured: u128 = row[5].parse().unwrap();
+            let bound: u128 = row[4].parse().unwrap();
+            assert!(measured <= bound, "row {row:?}");
+        }
+    }
+
+    #[test]
+    fn measured_rounds_collapse_with_k() {
+        let table = run(true);
+        let rounds: Vec<f64> = table.rows().iter().map(|r| r[6].parse().unwrap()).collect();
+        assert!(
+            rounds.windows(2).all(|w| w[0] >= w[1]),
+            "measured rounds must not grow with k: {rounds:?}"
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! E8 — footnote 3's timeout family `f_i(r)` and δ sensitivity, measured
+//! on the EA object.
+//!
+//! Lemma 3 only guarantees a coordinated round once its timeout exceeds
+//! `2δ`: with the paper's `timer[r] = r` that takes `2δ` rounds; a
+//! slope-`s` policy takes `⌈2δ/s⌉ + 1`. With the split-brain oracle
+//! preventing accidental agreement and an aligned ⟨t+1⟩bisource, the first
+//! agreeing round should track
+//! `max(alignment, first_round_exceeding(2δ))` — a staircase across
+//! (slope, δ) that flattens once the floor drops below the alignment.
+
+use minsync_core::TimeoutPolicy;
+
+use super::ea_lab::{converge, EaLabParams};
+use super::seeds;
+use crate::Table;
+
+/// Runs E8.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E8 — Timeout policy f(r) = slope·r and δ sensitivity (EA convergence)",
+        [
+            "n", "t", "slope", "delta", "lemma3_floor_round", "max_round", "avg_round",
+            "avg_time",
+        ],
+    );
+    let (n, t) = (4, 1);
+    let slopes: Vec<u64> = if quick { vec![1, 16] } else { vec![1, 4, 16, 64] };
+    let deltas: Vec<u64> = if quick { vec![400] } else { vec![4, 400] };
+    for &slope in &slopes {
+        for &delta in &deltas {
+            let policy = TimeoutPolicy::linear(slope, 0);
+            let mut rounds = Vec::new();
+            let mut times = Vec::new();
+            for seed in seeds(quick) {
+                let mut p = EaLabParams::new(n, t);
+                p.bisource = 1;
+                p.delta = delta;
+                p.policy = policy;
+                p.seed = seed;
+                let c = converge(&p).expect("EA must converge (Theorem 3)");
+                rounds.push(c.round);
+                times.push(c.time);
+            }
+            let floor = policy.first_round_exceeding(2 * delta);
+            let max = rounds.iter().copied().max().unwrap_or(0);
+            table.push_row([
+                n.to_string(),
+                t.to_string(),
+                slope.to_string(),
+                delta.to_string(),
+                floor.get().to_string(),
+                max.to_string(),
+                format!("{:.1}", avg(&rounds)),
+                format!("{:.0}", avg(&times)),
+            ]);
+        }
+    }
+    table
+}
+
+fn avg(xs: &[u64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<u64>() as f64 / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_slopes_converge() {
+        let table = run(true);
+        assert!(!table.rows().is_empty());
+        for row in table.rows() {
+            let rounds: f64 = row[6].parse().unwrap();
+            assert!(rounds >= 1.0);
+        }
+    }
+
+    #[test]
+    fn steeper_slopes_never_need_more_rounds_on_average_floor() {
+        // The analytical floor is non-increasing in the slope.
+        let table = run(true);
+        let mut by_delta: std::collections::BTreeMap<String, Vec<(u64, u64)>> =
+            std::collections::BTreeMap::new();
+        for row in table.rows() {
+            by_delta
+                .entry(row[3].clone())
+                .or_default()
+                .push((row[2].parse().unwrap(), row[4].parse().unwrap()));
+        }
+        for (_, mut entries) in by_delta {
+            entries.sort();
+            assert!(entries.windows(2).all(|w| w[0].1 >= w[1].1));
+        }
+    }
+}

@@ -1,0 +1,259 @@
+use minsync_core::{ConsensusConfig, ConsensusEvent, ProtocolMsg, TimeoutPolicy};
+use minsync_net::sim::{DelayOracle, SimBuilder};
+use minsync_types::SystemConfig;
+
+use crate::faults::FaultPlan;
+use crate::outcome::RunOutcome;
+use crate::topology::TopologySpec;
+use crate::HarnessError;
+
+/// Builder for one fully-specified consensus run: system size, proposals,
+/// fault plan, network shape, tuning parameter `k`, timeout policy, seed.
+///
+/// See the [crate docs](crate) for a complete example.
+pub struct ConsensusRunBuilder {
+    system: SystemConfig,
+    proposals: Vec<u64>,
+    faults: FaultPlan,
+    topology: TopologySpec,
+    seed: u64,
+    k: usize,
+    timeout: TimeoutPolicy,
+    max_events: u64,
+    max_rounds: Option<u64>,
+    oracle: Option<Box<dyn DelayOracle<ProtocolMsg<u64>>>>,
+}
+
+impl ConsensusRunBuilder {
+    /// Starts a run description for `n` processes tolerating `t` faults.
+    /// Defaults: proposals `i mod 2`, no faults, standard topology
+    /// (async noise + immediate ⟨t+1⟩bisource at `p1`), seed 0, `k = 0`,
+    /// the paper's timeout policy.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::Config`] if `t ≥ n/3` or `n ≤ 1`.
+    pub fn new(n: usize, t: usize) -> Result<Self, HarnessError> {
+        let system = SystemConfig::new(n, t)?;
+        Ok(ConsensusRunBuilder {
+            system,
+            proposals: (0..n).map(|i| (i % 2) as u64).collect(),
+            faults: FaultPlan::AllCorrect,
+            topology: TopologySpec::standard(0, &system),
+            seed: 0,
+            k: 0,
+            timeout: TimeoutPolicy::paper(),
+            max_events: 10_000_000,
+            max_rounds: None,
+            oracle: None,
+        })
+    }
+
+    /// Per-slot proposals (must supply exactly `n`).
+    pub fn proposals(mut self, proposals: impl IntoIterator<Item = u64>) -> Self {
+        self.proposals = proposals.into_iter().collect();
+        self
+    }
+
+    /// Installs a fault plan.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Chooses the network shape.
+    pub fn topology(mut self, topology: TopologySpec) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// RNG seed (runs are deterministic per seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Tuning parameter `k` of Section 5.4.
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// EA timeout policy.
+    pub fn timeout_policy(mut self, timeout: TimeoutPolicy) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Event budget (default 10 million).
+    pub fn max_events(mut self, max_events: u64) -> Self {
+        self.max_events = max_events;
+        self
+    }
+
+    /// Cap on protocol rounds (processes stop proposing beyond it).
+    pub fn max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = Some(max_rounds);
+        self
+    }
+
+    /// Installs an adversarial delay oracle.
+    pub fn delay_oracle(mut self, oracle: impl DelayOracle<ProtocolMsg<u64>> + 'static) -> Self {
+        self.oracle = Some(Box::new(oracle));
+        self
+    }
+
+    /// Executes the run: simulates until every correct process decided (or
+    /// the event budget is spent) and evaluates the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors (proposal count, fault plan, topology).
+    pub fn run(self) -> Result<RunOutcome, HarnessError> {
+        let n = self.system.n();
+        if self.proposals.len() != n {
+            return Err(HarnessError::ProposalCount {
+                expected: n,
+                got: self.proposals.len(),
+            });
+        }
+        self.faults.validate(&self.system)?;
+        let cons_cfg = ConsensusConfig {
+            system: self.system,
+            k: self.k,
+            timeout: self.timeout,
+            max_rounds: self.max_rounds,
+        };
+        // Surface schedule errors (invalid k) eagerly.
+        cons_cfg.schedule()?;
+        let topo = self.topology.build(&self.system)?;
+
+        let mut builder = SimBuilder::new(topo)
+            .seed(self.seed)
+            .max_events(self.max_events)
+            .classify(ProtocolMsg::<u64>::classify);
+        if let Some(oracle) = self.oracle {
+            builder = builder.boxed_delay_oracle(oracle);
+        }
+        for slot in 0..n {
+            let node = self
+                .faults
+                .build_node(slot, cons_cfg, self.proposals[slot])?;
+            builder = builder.boxed_node(node);
+        }
+        let mut sim = builder.build();
+
+        let correct = self.faults.correct_slots(n);
+        let need = correct.len();
+        let correct_pred = correct.clone();
+        let report = sim.run_until(move |outs| {
+            outs.iter()
+                .filter(|o| correct_pred.contains(&o.process.index()))
+                .filter(|o| matches!(o.event, ConsensusEvent::Decided { .. }))
+                .count()
+                == need
+        });
+
+        // Validity is judged against *correct* proposals only: whatever a
+        // Byzantine slot claimed (e.g. an equivocator's two values) may
+        // never be decided unless a correct process also proposed it.
+        let correct_proposals: Vec<u64> =
+            correct.iter().map(|&i| self.proposals[i]).collect();
+        Ok(RunOutcome::from_outputs(
+            &report.outputs,
+            correct,
+            correct_proposals,
+            report.metrics,
+            report.final_time,
+            report.reason,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minsync_net::DelayLaw;
+
+    #[test]
+    fn default_run_reaches_agreement() {
+        let o = ConsensusRunBuilder::new(4, 1)
+            .unwrap()
+            .proposals([7, 7, 8, 8])
+            .seed(1)
+            .run()
+            .unwrap();
+        assert!(o.all_decided());
+        assert!(o.agreement_holds());
+        assert!(o.validity_holds());
+        assert!(o.rounds_to_decide() >= 1);
+        assert!(o.total_messages() > 0);
+    }
+
+    #[test]
+    fn proposal_count_checked() {
+        let err = ConsensusRunBuilder::new(4, 1)
+            .unwrap()
+            .proposals([1, 2])
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, HarnessError::ProposalCount { expected: 4, got: 2 }));
+    }
+
+    #[test]
+    fn fault_plan_checked() {
+        let err = ConsensusRunBuilder::new(4, 1)
+            .unwrap()
+            .faults(FaultPlan::silent(2))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, HarnessError::BadFaultPlan { .. }));
+    }
+
+    #[test]
+    fn silent_fault_run_decides() {
+        let o = ConsensusRunBuilder::new(4, 1)
+            .unwrap()
+            .proposals([3, 3, 4, 0])
+            .faults(FaultPlan::silent(1))
+            .seed(5)
+            .run()
+            .unwrap();
+        assert!(o.all_decided());
+        assert!(o.agreement_holds());
+        assert!(o.validity_holds());
+    }
+
+    #[test]
+    fn all_async_without_bisource_may_stall_but_stays_safe() {
+        // No bisource, adversarially slow network, small budget: the run
+        // may not terminate (the paper proves nothing without the
+        // bisource) but safety must hold for whatever decisions happened.
+        let o = ConsensusRunBuilder::new(4, 1)
+            .unwrap()
+            .proposals([0, 1, 0, 1])
+            .topology(TopologySpec::AllAsync {
+                noise: DelayLaw::Uniform { min: 1, max: 100 },
+            })
+            .max_events(200_000)
+            .seed(3)
+            .run()
+            .unwrap();
+        assert!(o.agreement_holds());
+        assert!(o.validity_holds());
+    }
+
+    #[test]
+    fn same_seed_same_outcome() {
+        let run = |seed| {
+            let o = ConsensusRunBuilder::new(4, 1)
+                .unwrap()
+                .proposals([1, 2, 1, 2])
+                .seed(seed)
+                .run()
+                .unwrap();
+            (o.decided_value(), o.decision_latency(), o.total_messages())
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

@@ -1,0 +1,103 @@
+//! Small summary-statistics helpers for experiment tables.
+
+/// Summary of a sample of `u64` measurements.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Minimum (0 for empty samples).
+    pub min: u64,
+    /// Maximum (0 for empty samples).
+    pub max: u64,
+    /// Arithmetic mean (0.0 for empty samples).
+    pub mean: f64,
+    /// Median (p50).
+    pub median: u64,
+    /// 95th percentile (nearest-rank).
+    pub p95: u64,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    ///
+    /// ```rust
+    /// use minsync_harness::stats::Summary;
+    ///
+    /// let s = Summary::of([4, 1, 3, 2, 5]);
+    /// assert_eq!((s.min, s.max, s.median), (1, 5, 3));
+    /// assert!((s.mean - 3.0).abs() < 1e-9);
+    /// ```
+    pub fn of(sample: impl IntoIterator<Item = u64>) -> Summary {
+        let mut xs: Vec<u64> = sample.into_iter().collect();
+        xs.sort_unstable();
+        if xs.is_empty() {
+            return Summary {
+                count: 0,
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                median: 0,
+                p95: 0,
+            };
+        }
+        let count = xs.len();
+        let sum: u128 = xs.iter().map(|&x| u128::from(x)).sum();
+        Summary {
+            count,
+            min: xs[0],
+            max: xs[count - 1],
+            mean: sum as f64 / count as f64,
+            median: xs[count / 2],
+            p95: xs[nearest_rank(count, 95)],
+        }
+    }
+}
+
+/// Nearest-rank index for percentile `p` of a sorted sample of size `n`.
+fn nearest_rank(n: usize, p: usize) -> usize {
+    debug_assert!(n > 0 && p <= 100);
+    let rank = (p * n).div_ceil(100);
+    rank.saturating_sub(1).min(n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_is_zeroes() {
+        let s = Summary::of([]);
+        assert_eq!(s.count, 0);
+        assert_eq!((s.min, s.max, s.median, s.p95), (0, 0, 0, 0));
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn single_element() {
+        let s = Summary::of([7]);
+        assert_eq!((s.min, s.max, s.median, s.p95), (7, 7, 7, 7));
+        assert_eq!(s.mean, 7.0);
+    }
+
+    #[test]
+    fn known_percentiles() {
+        // 1..=100: p95 = 95 by nearest rank.
+        let s = Summary::of(1..=100u64);
+        assert_eq!(s.p95, 95);
+        assert_eq!(s.median, 51); // xs[50] of 0-indexed sorted 1..=100
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+    }
+
+    #[test]
+    fn unsorted_input_handled() {
+        let s = Summary::of([9, 1, 5]);
+        assert_eq!((s.min, s.max, s.median), (1, 9, 5));
+    }
+
+    #[test]
+    fn mean_avoids_u64_overflow() {
+        let s = Summary::of([u64::MAX, u64::MAX]);
+        assert!((s.mean - u64::MAX as f64).abs() < 1e6);
+    }
+}

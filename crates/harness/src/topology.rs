@@ -1,0 +1,122 @@
+use minsync_net::{ChannelTiming, DelayLaw, NetworkTopology, VirtualTime};
+use minsync_types::{BisourceSpec, ProcessId, SystemConfig};
+
+use crate::HarnessError;
+
+/// Declarative network shapes used across the experiments.
+#[derive(Clone, Debug)]
+pub enum TopologySpec {
+    /// Every channel timely with bound `delta` — the synchronous best case.
+    AllTimely {
+        /// Delivery bound.
+        delta: u64,
+    },
+    /// Every channel asynchronous under `noise` — the paper's impossibility
+    /// regime (FLP): no deterministic algorithm may rely on this ever
+    /// terminating.
+    AllAsync {
+        /// Delay law.
+        noise: DelayLaw,
+    },
+    /// The paper's headline regime: background asynchrony plus one
+    /// ✸⟨strength⟩bisource whose channels stabilize at `tau` with bound
+    /// `delta`.
+    AsyncWithBisource {
+        /// The bisource process.
+        bisource: ProcessId,
+        /// Bisource strength (`t + 1` for the basic algorithm, `t + 1 + k`
+        /// for the parameterized variant).
+        strength: usize,
+        /// Stabilization time of the bisource's channels.
+        tau: u64,
+        /// Post-stabilization delivery bound.
+        delta: u64,
+        /// Delay law of all other channels.
+        noise: DelayLaw,
+    },
+}
+
+impl TopologySpec {
+    /// A reasonable default noise law: uniform 1–40 ticks.
+    pub fn default_noise() -> DelayLaw {
+        DelayLaw::Uniform { min: 1, max: 40 }
+    }
+
+    /// The default experiment regime: asynchronous noise with an immediate
+    /// (`τ = 0`) ⟨t+1⟩bisource at `bisource`.
+    pub fn standard(bisource: usize, cfg: &SystemConfig) -> Self {
+        TopologySpec::AsyncWithBisource {
+            bisource: ProcessId::new(bisource),
+            strength: cfg.plurality(),
+            tau: 0,
+            delta: 4,
+            noise: Self::default_noise(),
+        }
+    }
+
+    /// Materializes the [`NetworkTopology`].
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::Config`] if the bisource spec is invalid for `cfg`.
+    pub fn build(&self, cfg: &SystemConfig) -> Result<NetworkTopology, HarnessError> {
+        let n = cfg.n();
+        Ok(match self {
+            TopologySpec::AllTimely { delta } => NetworkTopology::all_timely(n, *delta),
+            TopologySpec::AllAsync { noise } => {
+                NetworkTopology::uniform(n, ChannelTiming::asynchronous(noise.clone()))
+            }
+            TopologySpec::AsyncWithBisource {
+                bisource,
+                strength,
+                tau,
+                delta,
+                noise,
+            } => {
+                // Adjacent placement: the helper-set alignment then depends
+                // on the bisource's identity (see BisourceSpec::adjacent).
+                let spec = BisourceSpec::adjacent(cfg, *bisource, *strength)?;
+                NetworkTopology::uniform(n, ChannelTiming::asynchronous(noise.clone()))
+                    .with_bisource(&spec, VirtualTime::from_ticks(*tau), *delta)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_timely_builds() {
+        let cfg = SystemConfig::new(4, 1).unwrap();
+        let topo = TopologySpec::AllTimely { delta: 3 }.build(&cfg).unwrap();
+        assert_eq!(topo.n(), 4);
+        assert_eq!(topo.max_delta(), Some(3));
+    }
+
+    #[test]
+    fn bisource_spec_builds_eventually_timely_channels() {
+        let cfg = SystemConfig::new(4, 1).unwrap();
+        let topo = TopologySpec::standard(2, &cfg).build(&cfg).unwrap();
+        // 2 in + 2 out channels for a strength-2 bisource.
+        let et = topo
+            .channels()
+            .filter(|(_, _, t)| matches!(t, ChannelTiming::EventuallyTimely { .. }))
+            .count();
+        assert_eq!(et, 2);
+    }
+
+    #[test]
+    fn invalid_bisource_is_an_error() {
+        let cfg = SystemConfig::new(4, 1).unwrap();
+        let spec = TopologySpec::AsyncWithBisource {
+            bisource: ProcessId::new(9),
+            strength: 2,
+            tau: 0,
+            delta: 1,
+            noise: TopologySpec::default_noise(),
+        };
+        assert!(spec.build(&cfg).is_err());
+    }
+}

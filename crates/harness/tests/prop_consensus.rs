@@ -1,0 +1,114 @@
+//! Property tests over the full consensus stack: random proposals, fault
+//! plans, topologies, and seeds — the paper's three properties must hold in
+//! every sample.
+
+use minsync_harness::{ConsensusRunBuilder, FaultPlan, TopologySpec};
+use minsync_net::DelayLaw;
+use minsync_types::{ProcessId, SystemConfig};
+use proptest::prelude::*;
+
+/// (n, t) with t ≥ 1 small enough to simulate quickly.
+fn system_strategy() -> impl Strategy<Value = (usize, usize)> {
+    prop_oneof![Just((4usize, 1usize)), Just((7, 2))]
+}
+
+fn plan_from_seed(t: usize, plan_seed: u64) -> FaultPlan {
+    let crash_at = 10 + plan_seed % 190;
+    let plans = [
+        FaultPlan::AllCorrect,
+        FaultPlan::silent(t),
+        FaultPlan::crash(t, crash_at),
+        FaultPlan::EquivocateProposal { slots: vec![0], a: 77, b: 88 },
+        FaultPlan::MuteCoordinator { slots: vec![0] },
+        FaultPlan::SplitCoordinator { slots: vec![0], a: 0, b: 1 },
+        FaultPlan::fuzzer(1, vec![0, 1, 99]),
+    ];
+    plans[(plan_seed % plans.len() as u64) as usize].clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// With a standard bisource topology, every run must terminate with
+    /// agreement and validity, whatever the adversary and schedule.
+    #[test]
+    fn consensus_is_correct_under_random_adversaries(
+        (n, t) in system_strategy(),
+        seed in any::<u64>(),
+        bisource_seed in any::<usize>(),
+        plan_seed in any::<u64>(),
+        proposal_bits in any::<u64>(),
+    ) {
+        let system = SystemConfig::new(n, t).unwrap();
+        let plan = plan_from_seed(t, plan_seed);
+        // The fuzzer plan occupies 1 slot; everything else ≤ t by
+        // construction.
+        let bisource = {
+            // The bisource must be a correct process for the guarantee to
+            // apply; pick among correct slots.
+            let correct = plan.correct_slots(n);
+            correct[bisource_seed % correct.len()]
+        };
+        let outcome = ConsensusRunBuilder::new(n, t)
+            .unwrap()
+            .proposals((0..n).map(|i| (proposal_bits >> (i % 64)) & 1))
+            .faults(plan.clone())
+            .topology(TopologySpec::standard(bisource, &system))
+            .seed(seed)
+            .max_events(8_000_000)
+            .run()
+            .unwrap();
+        prop_assert!(
+            outcome.all_decided(),
+            "termination failed (plan {:?}, bisource {bisource}, stop {:?})",
+            plan.name(),
+            outcome.stop_reason()
+        );
+        prop_assert!(outcome.agreement_holds(), "agreement failed under {:?}", plan.name());
+        prop_assert!(outcome.validity_holds(), "validity failed under {:?}", plan.name());
+    }
+
+    /// Safety (but not necessarily liveness) must also hold on *fully
+    /// asynchronous* networks with adversarially spiky delays.
+    #[test]
+    fn safety_without_any_bisource(
+        seed in any::<u64>(),
+        spike in 50u64..500,
+        proposal_bits in any::<u64>(),
+    ) {
+        let outcome = ConsensusRunBuilder::new(4, 1)
+            .unwrap()
+            .proposals((0..4).map(|i| (proposal_bits >> i) & 1))
+            .topology(TopologySpec::AllAsync {
+                noise: DelayLaw::Spiky { base: 2, spike, spike_num: 1, spike_den: 4 },
+            })
+            .seed(seed)
+            .max_events(300_000)
+            .run()
+            .unwrap();
+        prop_assert!(outcome.agreement_holds());
+        prop_assert!(outcome.validity_holds());
+    }
+
+    /// The bisource may be *any* correct process — the algorithm never
+    /// learns its identity.
+    #[test]
+    fn bisource_identity_is_irrelevant(ell in 0usize..4, seed in any::<u64>()) {
+        let system = SystemConfig::new(4, 1).unwrap();
+        let outcome = ConsensusRunBuilder::new(4, 1)
+            .unwrap()
+            .proposals([0, 1, 0, 1])
+            .topology(TopologySpec::AsyncWithBisource {
+                bisource: ProcessId::new(ell),
+                strength: system.plurality(),
+                tau: 50,
+                delta: 4,
+                noise: DelayLaw::Uniform { min: 1, max: 30 },
+            })
+            .seed(seed)
+            .run()
+            .unwrap();
+        prop_assert!(outcome.all_decided());
+        prop_assert!(outcome.agreement_holds() && outcome.validity_holds());
+    }
+}

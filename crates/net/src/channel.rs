@@ -1,0 +1,249 @@
+use rand::Rng;
+
+use crate::VirtualTime;
+
+/// Timing behavior of one *directed* channel (Sections 2.1 and 4 of the
+/// paper).
+///
+/// The network is always reliable — no loss, duplication, corruption, or
+/// creation — so a channel's entire behavior is *when* it delivers:
+///
+/// * [`Timely`](ChannelTiming::Timely): every message sent at `τ′` is
+///   received by `τ′ + δ` (a ⟨·⟩bisource channel after stabilization, or the
+///   `⟨t+1⟩bisource`-from-the-start model of Section 5.4's complexity
+///   analysis).
+/// * [`EventuallyTimely`](ChannelTiming::EventuallyTimely): the paper's
+///   eventual timeliness — there exist a finite time `τ` and bound `δ` such
+///   that a message sent at `τ′` is received by `max(τ, τ′) + δ`. Neither
+///   `τ` nor `δ` is known to the processes. Before `τ` the channel behaves
+///   like an asynchronous one.
+/// * [`Asynchronous`](ChannelTiming::Asynchronous): finite but arbitrary
+///   delays drawn from a [`DelayLaw`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ChannelTiming {
+    /// Timely from the start with bound `delta`.
+    Timely {
+        /// Delivery bound `δ` in ticks.
+        delta: u64,
+    },
+    /// Timely after the (process-hidden) stabilization time `tau`.
+    EventuallyTimely {
+        /// Stabilization time `τ`.
+        tau: VirtualTime,
+        /// Delivery bound `δ` in ticks, effective after `τ`.
+        delta: u64,
+        /// Delay law governing the channel *before* `τ` (delays are capped
+        /// so the delivery respects the `max(τ, τ′) + δ` rule).
+        before: DelayLaw,
+    },
+    /// Never guaranteed timely; delays drawn from `law` (always finite:
+    /// the network is reliable).
+    Asynchronous {
+        /// The delay distribution.
+        law: DelayLaw,
+    },
+}
+
+impl ChannelTiming {
+    /// Shorthand for [`ChannelTiming::Timely`].
+    pub const fn timely(delta: u64) -> Self {
+        ChannelTiming::Timely { delta }
+    }
+
+    /// Shorthand for [`ChannelTiming::EventuallyTimely`] with uniform
+    /// pre-stabilization noise in `[delta, 4·delta]`.
+    pub const fn eventually_timely(tau: VirtualTime, delta: u64) -> Self {
+        ChannelTiming::EventuallyTimely {
+            tau,
+            delta,
+            before: DelayLaw::Uniform {
+                min: delta,
+                max: 4 * delta,
+            },
+        }
+    }
+
+    /// Shorthand for [`ChannelTiming::Asynchronous`].
+    pub const fn asynchronous(law: DelayLaw) -> Self {
+        ChannelTiming::Asynchronous { law }
+    }
+
+    /// Computes the delivery time of a message sent at `sent`, sampling any
+    /// randomness from `rng`.
+    ///
+    /// Deterministic for `Timely`; for `EventuallyTimely` the sampled
+    /// pre-stabilization delay is clamped so delivery never exceeds
+    /// `max(τ, τ′) + δ`, exactly the paper's definition.
+    pub fn delivery_time<R: Rng + ?Sized>(&self, sent: VirtualTime, rng: &mut R) -> VirtualTime {
+        match self {
+            ChannelTiming::Timely { delta } => sent + *delta,
+            ChannelTiming::EventuallyTimely { tau, delta, before } => {
+                let bound = sent.max(*tau) + *delta;
+                if sent >= *tau {
+                    // Stabilized: the bound itself (worst legal case keeps
+                    // the proofs honest — any earlier delivery only helps).
+                    bound
+                } else {
+                    let noisy = sent + before.sample(rng);
+                    noisy.min(bound)
+                }
+            }
+            ChannelTiming::Asynchronous { law } => sent + law.sample(rng),
+        }
+    }
+
+    /// True if this channel is guaranteed timely at time `now` with some
+    /// bound (i.e. `Timely`, or `EventuallyTimely` with `τ ≤ now`).
+    pub fn is_timely_at(&self, now: VirtualTime) -> bool {
+        match self {
+            ChannelTiming::Timely { .. } => true,
+            ChannelTiming::EventuallyTimely { tau, .. } => now >= *tau,
+            ChannelTiming::Asynchronous { .. } => false,
+        }
+    }
+}
+
+/// A finite delay distribution for asynchronous channels.
+///
+/// The model only requires delays to be finite; the law shapes *how*
+/// adversarial the asynchrony looks. All sampling uses the simulation's
+/// seeded RNG, so runs are reproducible.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DelayLaw {
+    /// Constant delay.
+    Fixed(u64),
+    /// Uniform in `[min, max]` (inclusive).
+    Uniform {
+        /// Minimum delay.
+        min: u64,
+        /// Maximum delay.
+        max: u64,
+    },
+    /// Mostly `base`, but with probability `spike_num / spike_den` the delay
+    /// becomes `spike` — a bursty, heavy-tailed-ish adversary that defeats
+    /// naive timeout tuning.
+    Spiky {
+        /// Common-case delay.
+        base: u64,
+        /// Rare large delay.
+        spike: u64,
+        /// Spike probability numerator.
+        spike_num: u32,
+        /// Spike probability denominator (> 0).
+        spike_den: u32,
+    },
+}
+
+impl DelayLaw {
+    /// Samples a delay in ticks.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match self {
+            DelayLaw::Fixed(d) => *d,
+            DelayLaw::Uniform { min, max } => {
+                assert!(min <= max, "uniform delay law needs min ≤ max");
+                rng.gen_range(*min..=*max)
+            }
+            DelayLaw::Spiky {
+                base,
+                spike,
+                spike_num,
+                spike_den,
+            } => {
+                assert!(*spike_den > 0, "spike_den must be positive");
+                if rng.gen_ratio(*spike_num, *spike_den) {
+                    *spike
+                } else {
+                    *base
+                }
+            }
+        }
+    }
+
+    /// An upper bound on sampled delays (used for sanity checks in tests).
+    pub fn max_delay(&self) -> u64 {
+        match self {
+            DelayLaw::Fixed(d) => *d,
+            DelayLaw::Uniform { max, .. } => *max,
+            DelayLaw::Spiky { base, spike, .. } => (*base).max(*spike),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn timely_delivers_at_exact_bound() {
+        let c = ChannelTiming::timely(5);
+        let t = c.delivery_time(VirtualTime::from_ticks(10), &mut rng());
+        assert_eq!(t.ticks(), 15);
+    }
+
+    #[test]
+    fn eventually_timely_respects_paper_bound_before_tau() {
+        // Sent before τ: delivery by max(τ, τ′) + δ = τ + δ.
+        let c = ChannelTiming::eventually_timely(VirtualTime::from_ticks(100), 5);
+        let mut r = rng();
+        for _ in 0..200 {
+            let d = c.delivery_time(VirtualTime::from_ticks(10), &mut r);
+            assert!(d.ticks() <= 105, "delivery {} beyond bound", d.ticks());
+            assert!(d.ticks() >= 10, "delivery before send");
+        }
+    }
+
+    #[test]
+    fn eventually_timely_is_exactly_bound_after_tau() {
+        let c = ChannelTiming::eventually_timely(VirtualTime::from_ticks(100), 5);
+        let d = c.delivery_time(VirtualTime::from_ticks(200), &mut rng());
+        assert_eq!(d.ticks(), 205);
+    }
+
+    #[test]
+    fn is_timely_at_transitions_at_tau() {
+        let c = ChannelTiming::eventually_timely(VirtualTime::from_ticks(100), 5);
+        assert!(!c.is_timely_at(VirtualTime::from_ticks(99)));
+        assert!(c.is_timely_at(VirtualTime::from_ticks(100)));
+        assert!(ChannelTiming::timely(1).is_timely_at(VirtualTime::ZERO));
+        let a = ChannelTiming::asynchronous(DelayLaw::Fixed(1));
+        assert!(!a.is_timely_at(VirtualTime::from_ticks(1_000_000)));
+    }
+
+    #[test]
+    fn uniform_law_stays_in_range() {
+        let law = DelayLaw::Uniform { min: 3, max: 9 };
+        let mut r = rng();
+        for _ in 0..500 {
+            let d = law.sample(&mut r);
+            assert!((3..=9).contains(&d));
+        }
+    }
+
+    #[test]
+    fn spiky_law_produces_both_values() {
+        let law = DelayLaw::Spiky {
+            base: 1,
+            spike: 100,
+            spike_num: 1,
+            spike_den: 4,
+        };
+        let mut r = rng();
+        let samples: Vec<u64> = (0..200).map(|_| law.sample(&mut r)).collect();
+        assert!(samples.contains(&1));
+        assert!(samples.contains(&100));
+        assert_eq!(law.max_delay(), 100);
+    }
+
+    #[test]
+    fn fixed_law_is_constant() {
+        let law = DelayLaw::Fixed(7);
+        assert_eq!(law.sample(&mut rng()), 7);
+        assert_eq!(law.max_delay(), 7);
+    }
+}

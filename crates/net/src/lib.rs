@@ -1,0 +1,75 @@
+//! Network substrate for the `minsync` Byzantine consensus stack.
+//!
+//! The paper's model (Section 2.1) is an asynchronous reliable point-to-point
+//! network: every ordered pair of processes is connected by a uni-directional
+//! channel that does not lose, duplicate, modify, or create messages, and
+//! whose delays are finite but otherwise arbitrary — unless the channel is
+//! *(eventually) timely* (Section 4). This crate implements that model twice:
+//!
+//! * [`sim`] — a deterministic discrete-event simulator with virtual time.
+//!   Channel behavior is a per-directed-edge [`ChannelTiming`]:
+//!   [`ChannelTiming::Timely`], [`ChannelTiming::EventuallyTimely`] (the
+//!   paper's `max(τ, τ′) + δ` delivery rule with hidden `τ`, `δ`), or
+//!   [`ChannelTiming::Asynchronous`] with a pluggable delay law. Identical
+//!   seeds yield identical executions, which makes the paper's *eventual*
+//!   assumptions testable.
+//! * [`threaded`] — a live runtime executing the same [`Node`] automata on
+//!   OS threads with crossbeam channels and a delay-injecting router, for
+//!   examples that want wall-clock behavior.
+//!
+//! Protocols are written once against the [`Node`] / [`Context`] automaton
+//! API and run unchanged on both substrates.
+//!
+//! # Example: two nodes ping-pong on a simulated network
+//!
+//! ```rust
+//! use minsync_net::{Node, Context, NetworkTopology, ChannelTiming, sim::SimBuilder};
+//! use minsync_types::ProcessId;
+//!
+//! struct Ping { count: u32 }
+//!
+//! impl Node for Ping {
+//!     type Msg = u32;
+//!     type Output = u32;
+//!
+//!     fn on_start(&mut self, ctx: &mut dyn Context<u32, u32>) {
+//!         if ctx.me() == ProcessId::new(0) {
+//!             ctx.send(ProcessId::new(1), 0);
+//!         }
+//!     }
+//!
+//!     fn on_message(&mut self, from: ProcessId, msg: u32, ctx: &mut dyn Context<u32, u32>) {
+//!         self.count += 1;
+//!         if msg < 3 {
+//!             ctx.send(from, msg + 1);
+//!         } else {
+//!             ctx.output(msg);
+//!         }
+//!     }
+//! }
+//!
+//! let topo = NetworkTopology::uniform(2, ChannelTiming::timely(5));
+//! let mut sim = SimBuilder::new(topo)
+//!     .seed(1)
+//!     .node(Ping { count: 0 })
+//!     .node(Ping { count: 0 })
+//!     .build();
+//! let report = sim.run();
+//! assert_eq!(report.outputs.len(), 1);
+//! assert_eq!(report.outputs[0].event, 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod channel;
+mod node;
+pub mod sim;
+pub mod threaded;
+mod time;
+mod topology;
+
+pub use channel::{ChannelTiming, DelayLaw};
+pub use node::{Context, Node, TimerId};
+pub use time::VirtualTime;
+pub use topology::NetworkTopology;

@@ -1,0 +1,136 @@
+use core::fmt::Debug;
+
+use minsync_types::ProcessId;
+
+use crate::VirtualTime;
+
+/// Handle to a pending timer, returned by [`Context::set_timer`].
+///
+/// Timer ids are unique per process within one execution. Figure 3 of the
+/// paper keeps one timer per round (`timer_i[r]`); protocols map their round
+/// (or other keys) to the `TimerId` the context handed back.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TimerId(pub(crate) u64);
+
+impl TimerId {
+    /// Raw id, exposed for logging.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// The capabilities a running node gets from its substrate (simulator or
+/// threaded runtime).
+///
+/// `M` is the protocol message type, `O` the protocol's observable output
+/// (decisions, round telemetry, …) collected by the harness.
+pub trait Context<M, O> {
+    /// This process's id.
+    fn me(&self) -> ProcessId;
+
+    /// Total number of processes `n`.
+    fn n(&self) -> usize;
+
+    /// Current time. In the simulator this is exact virtual time; in the
+    /// threaded runtime it is wall-clock time converted to ticks.
+    fn now(&self) -> VirtualTime;
+
+    /// Sends `msg` to `to` over the directed channel `me → to`. Sending to
+    /// oneself is allowed (the paper's virtual self-channel) and is always
+    /// timely.
+    fn send(&mut self, to: ProcessId, msg: M);
+
+    /// The paper's unreliable (best-effort) broadcast: `send` to every
+    /// process including the sender itself. A *correct* process sends the
+    /// same message to everyone; Byzantine nodes simply avoid calling this
+    /// and `send` different payloads instead.
+    fn broadcast(&mut self, msg: M);
+
+    /// Arms a one-shot timer that fires `delay` ticks from now, delivering
+    /// [`Node::on_timer`] with the returned id (unless cancelled).
+    fn set_timer(&mut self, delay: u64) -> TimerId;
+
+    /// Cancels a pending timer (Figure 3 line 16, "disable `timer_i[r]`").
+    /// Cancelling an already-fired or unknown timer is a no-op.
+    fn cancel_timer(&mut self, timer: TimerId);
+
+    /// Emits an observable event (decision, telemetry) to the harness.
+    fn output(&mut self, event: O);
+
+    /// Marks this node as halted: the substrate stops delivering messages
+    /// and timers to it. Used by Figure 4 line 9 ("decides v and stops").
+    fn halt(&mut self);
+
+    /// Draws a pseudo-random `u64` from the substrate's seeded RNG stream
+    /// for this process. Correct protocols in this stack are deterministic
+    /// and never call this; randomized baselines (Ben-Or) and Byzantine
+    /// behaviors do.
+    fn random(&mut self) -> u64;
+}
+
+/// An event-driven process automaton.
+///
+/// The paper assumes local processing takes zero time; accordingly, handler
+/// invocations are atomic and instantaneous — all sends performed inside a
+/// handler are stamped with the handler's invocation time.
+///
+/// Both correct protocol machines and Byzantine behaviors implement this
+/// trait; the network layer stamps the true sender on every message, so a
+/// Byzantine implementation can lie about anything except its identity
+/// (Section 2.1: no impersonation).
+pub trait Node: Send {
+    /// Protocol message type carried by the network.
+    type Msg: Clone + Debug + Send + 'static;
+
+    /// Observable output collected by the harness.
+    type Output: Clone + Debug + Send + 'static;
+
+    /// Invoked once at time zero, before any delivery.
+    fn on_start(&mut self, ctx: &mut dyn Context<Self::Msg, Self::Output>) {
+        let _ = ctx;
+    }
+
+    /// Invoked when a message from `from` is received.
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &mut dyn Context<Self::Msg, Self::Output>,
+    );
+
+    /// Invoked when a timer armed with [`Context::set_timer`] fires.
+    fn on_timer(&mut self, timer: TimerId, ctx: &mut dyn Context<Self::Msg, Self::Output>) {
+        let _ = (timer, ctx);
+    }
+
+    /// A short label for traces and metrics (defaults to "node").
+    fn label(&self) -> &'static str {
+        "node"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_id_accessors() {
+        let t = TimerId(9);
+        assert_eq!(t.get(), 9);
+        assert_eq!(format!("{t:?}"), "TimerId(9)");
+    }
+
+    // Compile-time check: Node with boxed dyn usage.
+    struct Nop;
+    impl Node for Nop {
+        type Msg = ();
+        type Output = ();
+        fn on_message(&mut self, _: ProcessId, _: (), _: &mut dyn Context<(), ()>) {}
+    }
+
+    #[test]
+    fn node_is_object_safe() {
+        let b: Box<dyn Node<Msg = (), Output = ()>> = Box::new(Nop);
+        assert_eq!(b.label(), "node");
+    }
+}

@@ -1,0 +1,121 @@
+use core::cmp::Ordering;
+
+use minsync_types::ProcessId;
+
+use crate::{TimerId, VirtualTime};
+
+/// What a scheduled event does when it fires.
+#[derive(Clone, Debug)]
+pub(crate) enum EventKind<M> {
+    /// Invoke `on_start` on a node (enqueued once per node at time zero).
+    Start(ProcessId),
+    /// Deliver a message.
+    Deliver {
+        /// True sender (stamped by the network — no impersonation).
+        from: ProcessId,
+        /// Destination.
+        to: ProcessId,
+        /// Payload.
+        msg: M,
+    },
+    /// Fire a timer on a node (ignored if the timer was cancelled).
+    Timer {
+        /// Owner of the timer.
+        process: ProcessId,
+        /// Which timer.
+        timer: TimerId,
+    },
+}
+
+/// Heap entry ordered by `(time, seq)`; `seq` is unique, making the order
+/// total and the simulation deterministic.
+#[derive(Clone, Debug)]
+pub(crate) struct Event<M> {
+    pub time: VirtualTime,
+    pub seq: u64,
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Event<M> {}
+
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest-first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Why a simulation run stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StopReason {
+    /// No events left: the system is quiescent.
+    Quiescent,
+    /// The caller's predicate became true.
+    PredicateSatisfied,
+    /// The configured virtual-time horizon was reached.
+    MaxTimeReached,
+    /// The configured event-count budget was exhausted.
+    MaxEventsReached,
+}
+
+impl StopReason {
+    /// True if the run ended for a benign reason (quiescence or predicate),
+    /// false if it hit a resource cap.
+    pub fn is_natural(self) -> bool {
+        matches!(self, StopReason::Quiescent | StopReason::PredicateSatisfied)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn heap_pops_earliest_time_first() {
+        let mut heap: BinaryHeap<Event<()>> = BinaryHeap::new();
+        for (t, s) in [(5u64, 0u64), (1, 1), (3, 2)] {
+            heap.push(Event {
+                time: VirtualTime::from_ticks(t),
+                seq: s,
+                kind: EventKind::Start(ProcessId::new(0)),
+            });
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| heap.pop().map(|e| e.time.ticks())).collect();
+        assert_eq!(order, [1, 3, 5]);
+    }
+
+    #[test]
+    fn heap_breaks_time_ties_by_sequence() {
+        let mut heap: BinaryHeap<Event<()>> = BinaryHeap::new();
+        for s in [2u64, 0, 1] {
+            heap.push(Event {
+                time: VirtualTime::from_ticks(7),
+                seq: s,
+                kind: EventKind::Start(ProcessId::new(0)),
+            });
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| heap.pop().map(|e| e.seq)).collect();
+        assert_eq!(order, [0, 1, 2], "same-time events fire in insertion order");
+    }
+
+    #[test]
+    fn stop_reason_naturalness() {
+        assert!(StopReason::Quiescent.is_natural());
+        assert!(StopReason::PredicateSatisfied.is_natural());
+        assert!(!StopReason::MaxTimeReached.is_natural());
+        assert!(!StopReason::MaxEventsReached.is_natural());
+    }
+}

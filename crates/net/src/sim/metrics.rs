@@ -1,0 +1,66 @@
+use std::collections::BTreeMap;
+
+use minsync_types::ProcessId;
+
+use crate::VirtualTime;
+
+/// Counters collected by the simulator, used by the experiment harness to
+/// report message complexity and latency.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// Total messages handed to the network (`send` calls, including
+    /// self-sends and each fan-out copy of a broadcast).
+    pub messages_sent: u64,
+    /// Messages actually delivered to a live (non-halted) node.
+    pub messages_delivered: u64,
+    /// Messages dropped because the destination had halted.
+    pub messages_dropped: u64,
+    /// Timer firings delivered (cancelled timers excluded).
+    pub timers_fired: u64,
+    /// Events processed in total (starts + deliveries + timers).
+    pub events_processed: u64,
+    /// Per-sender message counts.
+    pub sent_by: BTreeMap<ProcessId, u64>,
+    /// Per message-kind counts, populated when a classifier is installed on
+    /// the [`SimBuilder`](crate::sim::SimBuilder).
+    pub sent_by_kind: BTreeMap<&'static str, u64>,
+    /// Latest event time processed.
+    pub last_event_time: VirtualTime,
+    /// High-water mark of the event queue.
+    pub max_queue_len: usize,
+}
+
+impl Metrics {
+    /// Messages sent by one process (0 if none).
+    pub fn sent_by_process(&self, p: ProcessId) -> u64 {
+        self.sent_by.get(&p).copied().unwrap_or(0)
+    }
+
+    /// Messages of one classified kind (0 if none / no classifier).
+    pub fn sent_of_kind(&self, kind: &str) -> u64 {
+        self.sent_by_kind.get(kind).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_all_zero() {
+        let m = Metrics::default();
+        assert_eq!(m.messages_sent, 0);
+        assert_eq!(m.sent_by_process(ProcessId::new(0)), 0);
+        assert_eq!(m.sent_of_kind("ECHO"), 0);
+        assert_eq!(m.last_event_time, VirtualTime::ZERO);
+    }
+
+    #[test]
+    fn accessors_read_back_inserted_counts() {
+        let mut m = Metrics::default();
+        m.sent_by.insert(ProcessId::new(2), 5);
+        m.sent_by_kind.insert("READY", 7);
+        assert_eq!(m.sent_by_process(ProcessId::new(2)), 5);
+        assert_eq!(m.sent_of_kind("READY"), 7);
+    }
+}

@@ -1,0 +1,69 @@
+use minsync_types::ProcessId;
+
+use crate::VirtualTime;
+
+/// Adversarial control over message delays on channels the model leaves
+/// asynchronous.
+///
+/// The paper's Byzantine processes "do not control the network", but the
+/// network itself may be scheduled adversarially as long as every delay is
+/// finite and (eventually-)timely channels respect their bounds. A
+/// `DelayOracle` is consulted:
+///
+/// * for every message on an [`Asynchronous`](crate::ChannelTiming::Asynchronous)
+///   channel — the returned delay is used as-is;
+/// * for messages sent *before* stabilization on an
+///   [`EventuallyTimely`](crate::ChannelTiming::EventuallyTimely) channel —
+///   the returned delay is clamped to the paper's `max(τ, τ′) + δ` bound.
+///
+/// Returning `u64::MAX` effectively delays past any simulation horizon
+/// (still finite, as the model requires).
+pub trait DelayOracle<M>: Send {
+    /// Picks the delay (in ticks) for a message from `from` to `to` sent at
+    /// `at`. `default` is the delay the channel's own law sampled; oracles
+    /// can return it to defer.
+    fn delay(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        at: VirtualTime,
+        msg: &M,
+        default: u64,
+    ) -> u64;
+}
+
+/// Blanket impl so closures can serve as oracles.
+impl<M, F> DelayOracle<M> for F
+where
+    F: FnMut(ProcessId, ProcessId, VirtualTime, &M, u64) -> u64 + Send,
+{
+    fn delay(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        at: VirtualTime,
+        msg: &M,
+        default: u64,
+    ) -> u64 {
+        self(from, to, at, msg, default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closures_are_oracles() {
+        let mut oracle = |_f: ProcessId, _t: ProcessId, _at: VirtualTime, _m: &u32, d: u64| d * 2;
+        let d = DelayOracle::delay(
+            &mut oracle,
+            ProcessId::new(0),
+            ProcessId::new(1),
+            VirtualTime::ZERO,
+            &5u32,
+            10,
+        );
+        assert_eq!(d, 20);
+    }
+}

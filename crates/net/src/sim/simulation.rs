@@ -1,0 +1,754 @@
+use std::collections::{BTreeSet, BinaryHeap};
+use std::fmt::Debug;
+
+use minsync_types::ProcessId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::event::{Event, EventKind, StopReason};
+use super::metrics::Metrics;
+use super::oracle::DelayOracle;
+use crate::{ChannelTiming, Context, NetworkTopology, Node, TimerId, VirtualTime};
+
+/// One recorded message delivery (see [`SimBuilder::log_deliveries`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeliveryRecord {
+    /// Delivery time.
+    pub time: VirtualTime,
+    /// True sender.
+    pub from: ProcessId,
+    /// Destination.
+    pub to: ProcessId,
+    /// Message kind per the installed classifier (`"?"` without one).
+    pub kind: &'static str,
+}
+
+/// One observable event emitted by a node via [`Context::output`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OutputRecord<O> {
+    /// Virtual time of emission.
+    pub time: VirtualTime,
+    /// Emitting process.
+    pub process: ProcessId,
+    /// The event itself.
+    pub event: O,
+}
+
+/// Summary of a finished (or paused) run.
+#[derive(Clone, Debug)]
+pub struct RunReport<O> {
+    /// All outputs emitted so far, in emission order.
+    pub outputs: Vec<OutputRecord<O>>,
+    /// Network and event counters.
+    pub metrics: Metrics,
+    /// Virtual time of the last processed event.
+    pub final_time: VirtualTime,
+    /// Why the run stopped.
+    pub reason: StopReason,
+}
+
+impl<O: Clone> RunReport<O> {
+    /// Outputs emitted by one process, in order.
+    pub fn outputs_of(&self, p: ProcessId) -> impl Iterator<Item = &OutputRecord<O>> {
+        self.outputs.iter().filter(move |r| r.process == p)
+    }
+}
+
+/// Builder for a [`Simulation`]. Nodes must be added in process-id order;
+/// `build` checks the count against the topology.
+pub struct SimBuilder<M, O> {
+    topology: NetworkTopology,
+    seed: u64,
+    nodes: Vec<Box<dyn Node<Msg = M, Output = O>>>,
+    max_time: Option<VirtualTime>,
+    max_events: u64,
+    classifier: Option<fn(&M) -> &'static str>,
+    oracle: Option<Box<dyn DelayOracle<M>>>,
+    log_deliveries: usize,
+}
+
+impl<M, O> SimBuilder<M, O>
+where
+    M: Clone + Debug + Send + 'static,
+    O: Clone + Debug + Send + 'static,
+{
+    /// Starts a builder over `topology` (seed defaults to 0, event budget to
+    /// 50 million).
+    pub fn new(topology: NetworkTopology) -> Self {
+        SimBuilder {
+            topology,
+            seed: 0,
+            nodes: Vec::new(),
+            max_time: None,
+            max_events: 50_000_000,
+            classifier: None,
+            oracle: None,
+            log_deliveries: 0,
+        }
+    }
+
+    /// Sets the RNG seed; identical seeds (with identical nodes and
+    /// topology) give identical executions.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Adds the next node (process ids are assigned in insertion order).
+    pub fn node(mut self, node: impl Node<Msg = M, Output = O> + 'static) -> Self {
+        self.nodes.push(Box::new(node));
+        self
+    }
+
+    /// Adds an already-boxed node (for heterogeneous line-ups built at
+    /// runtime, e.g. honest + Byzantine mixes).
+    pub fn boxed_node(mut self, node: Box<dyn Node<Msg = M, Output = O>>) -> Self {
+        self.nodes.push(node);
+        self
+    }
+
+    /// Caps the virtual-time horizon.
+    pub fn max_time(mut self, t: VirtualTime) -> Self {
+        self.max_time = Some(t);
+        self
+    }
+
+    /// Caps the number of processed events (default 50 million).
+    pub fn max_events(mut self, n: u64) -> Self {
+        self.max_events = n;
+        self
+    }
+
+    /// Installs a message classifier for per-kind metrics.
+    pub fn classify(mut self, f: fn(&M) -> &'static str) -> Self {
+        self.classifier = Some(f);
+        self
+    }
+
+    /// Records the first `capacity` message deliveries as
+    /// [`DeliveryRecord`]s (timestamp, sender, destination, classified
+    /// kind) for debugging; read them back via
+    /// [`Simulation::delivery_log`].
+    pub fn log_deliveries(mut self, capacity: usize) -> Self {
+        self.log_deliveries = capacity;
+        self
+    }
+
+    /// Installs an adversarial delay oracle (see [`DelayOracle`]).
+    pub fn delay_oracle(mut self, oracle: impl DelayOracle<M> + 'static) -> Self {
+        self.oracle = Some(Box::new(oracle));
+        self
+    }
+
+    /// Installs an already-boxed delay oracle (for oracles chosen at
+    /// runtime).
+    pub fn boxed_delay_oracle(mut self, oracle: Box<dyn DelayOracle<M>>) -> Self {
+        self.oracle = Some(oracle);
+        self
+    }
+
+    /// Builds the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of added nodes differs from `topology.n()`.
+    pub fn build(self) -> Simulation<M, O> {
+        assert_eq!(
+            self.nodes.len(),
+            self.topology.n(),
+            "node count must match topology size"
+        );
+        let n = self.nodes.len();
+        let mut sim = Simulation {
+            topology: self.topology,
+            nodes: self.nodes,
+            halted: vec![false; n],
+            cancelled: vec![BTreeSet::new(); n],
+            timer_counters: vec![0; n],
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: VirtualTime::ZERO,
+            rng: StdRng::seed_from_u64(self.seed),
+            outputs: Vec::new(),
+            metrics: Metrics::default(),
+            max_time: self.max_time,
+            max_events: self.max_events,
+            classifier: self.classifier,
+            oracle: self.oracle,
+            delivery_log: Vec::new(),
+            delivery_log_capacity: self.log_deliveries,
+        };
+        for p in 0..n {
+            let seq = sim.next_seq();
+            sim.queue.push(Event {
+                time: VirtualTime::ZERO,
+                seq,
+                kind: EventKind::Start(ProcessId::new(p)),
+            });
+        }
+        sim
+    }
+}
+
+/// A deterministic discrete-event simulation of `n` nodes on a
+/// [`NetworkTopology`].
+pub struct Simulation<M, O> {
+    topology: NetworkTopology,
+    nodes: Vec<Box<dyn Node<Msg = M, Output = O>>>,
+    halted: Vec<bool>,
+    cancelled: Vec<BTreeSet<TimerId>>,
+    timer_counters: Vec<u64>,
+    queue: BinaryHeap<Event<M>>,
+    seq: u64,
+    now: VirtualTime,
+    rng: StdRng,
+    outputs: Vec<OutputRecord<O>>,
+    metrics: Metrics,
+    max_time: Option<VirtualTime>,
+    max_events: u64,
+    classifier: Option<fn(&M) -> &'static str>,
+    oracle: Option<Box<dyn DelayOracle<M>>>,
+    delivery_log: Vec<DeliveryRecord>,
+    delivery_log_capacity: usize,
+}
+
+impl<M, O> Simulation<M, O>
+where
+    M: Clone + Debug + Send + 'static,
+    O: Clone + Debug + Send + 'static,
+{
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> VirtualTime {
+        self.now
+    }
+
+    /// Outputs emitted so far.
+    pub fn outputs(&self) -> &[OutputRecord<O>] {
+        &self.outputs
+    }
+
+    /// Metrics collected so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Recorded deliveries (empty unless [`SimBuilder::log_deliveries`] was
+    /// used; capped at the configured capacity).
+    pub fn delivery_log(&self) -> &[DeliveryRecord] {
+        &self.delivery_log
+    }
+
+    /// True if process `p` has halted itself.
+    pub fn is_halted(&self, p: ProcessId) -> bool {
+        self.halted[p.index()]
+    }
+
+    /// Immutable access to a node (for state inspection in tests). The node
+    /// was added at position `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn node(&self, p: ProcessId) -> &dyn Node<Msg = M, Output = O> {
+        self.nodes[p.index()].as_ref()
+    }
+
+    /// Processes events until quiescence or a cap; returns the report.
+    pub fn run(&mut self) -> RunReport<O> {
+        self.run_until(|_| false)
+    }
+
+    /// Processes events until `stop(outputs)` is true (checked after every
+    /// event), quiescence, or a cap.
+    pub fn run_until(&mut self, mut stop: impl FnMut(&[OutputRecord<O>]) -> bool) -> RunReport<O> {
+        let reason = loop {
+            if self.metrics.events_processed >= self.max_events {
+                break StopReason::MaxEventsReached;
+            }
+            if stop(&self.outputs) {
+                break StopReason::PredicateSatisfied;
+            }
+            let Some(event) = self.queue.pop() else {
+                break StopReason::Quiescent;
+            };
+            if let Some(cap) = self.max_time {
+                if event.time > cap {
+                    // Put it back so a later run_until could resume.
+                    self.queue.push(event);
+                    break StopReason::MaxTimeReached;
+                }
+            }
+            self.dispatch(event);
+        };
+        RunReport {
+            outputs: self.outputs.clone(),
+            metrics: self.metrics.clone(),
+            final_time: self.now,
+            reason,
+        }
+    }
+
+    fn dispatch(&mut self, event: Event<M>) {
+        debug_assert!(event.time >= self.now, "event queue went backwards");
+        self.now = event.time;
+        self.metrics.events_processed += 1;
+        self.metrics.last_event_time = self.now;
+        self.metrics.max_queue_len = self.metrics.max_queue_len.max(self.queue.len() + 1);
+
+        match event.kind {
+            EventKind::Start(p) => {
+                if self.halted[p.index()] {
+                    return;
+                }
+                self.with_node(p, |node, ctx| node.on_start(ctx));
+            }
+            EventKind::Deliver { from, to, msg } => {
+                if self.halted[to.index()] {
+                    self.metrics.messages_dropped += 1;
+                    return;
+                }
+                self.metrics.messages_delivered += 1;
+                if self.delivery_log.len() < self.delivery_log_capacity {
+                    self.delivery_log.push(DeliveryRecord {
+                        time: self.now,
+                        from,
+                        to,
+                        kind: self.classifier.map_or("?", |c| c(&msg)),
+                    });
+                }
+                self.with_node(to, |node, ctx| node.on_message(from, msg, ctx));
+            }
+            EventKind::Timer { process, timer } => {
+                if self.halted[process.index()] {
+                    return;
+                }
+                if self.cancelled[process.index()].remove(&timer) {
+                    return;
+                }
+                self.metrics.timers_fired += 1;
+                self.with_node(process, |node, ctx| node.on_timer(timer, ctx));
+            }
+        }
+    }
+
+    /// Runs one node handler with a context, then applies the effects it
+    /// queued (sends, timers, outputs, halt).
+    fn with_node(
+        &mut self,
+        p: ProcessId,
+        f: impl FnOnce(&mut Box<dyn Node<Msg = M, Output = O>>, &mut SimContext<'_, M, O>),
+    ) {
+        // Temporarily move the node out so the context can borrow `self`
+        // mutably without aliasing the node.
+        let mut node = std::mem::replace(&mut self.nodes[p.index()], tombstone::<M, O>());
+        {
+            let mut ctx = SimContext { sim: self, me: p };
+            f(&mut node, &mut ctx);
+        }
+        self.nodes[p.index()] = node;
+    }
+
+    fn enqueue_message(&mut self, from: ProcessId, to: ProcessId, msg: M) {
+        self.metrics.messages_sent += 1;
+        *self.metrics.sent_by.entry(from).or_insert(0) += 1;
+        if let Some(classify) = self.classifier {
+            *self.metrics.sent_by_kind.entry(classify(&msg)).or_insert(0) += 1;
+        }
+        let timing = self.topology.timing(from, to);
+        let sampled = timing.delivery_time(self.now, &mut self.rng);
+        let deliver_at = match (&self.oracle, &timing) {
+            (Some(_), ChannelTiming::Asynchronous { .. }) => {
+                let default = sampled - self.now;
+                let chosen = self.consult_oracle(from, to, &msg, default);
+                self.now.saturating_add(chosen)
+            }
+            (Some(_), ChannelTiming::EventuallyTimely { tau, delta, .. }) if self.now < *tau => {
+                let bound = self.now.max(*tau) + *delta;
+                let default = sampled - self.now;
+                let chosen = self.consult_oracle(from, to, &msg, default);
+                self.now.saturating_add(chosen).min(bound)
+            }
+            _ => sampled,
+        };
+        let seq = self.next_seq();
+        self.queue.push(Event {
+            time: deliver_at,
+            seq,
+            kind: EventKind::Deliver { from, to, msg },
+        });
+    }
+
+    fn consult_oracle(&mut self, from: ProcessId, to: ProcessId, msg: &M, default: u64) -> u64 {
+        let mut oracle = self.oracle.take().expect("caller checked oracle presence");
+        let d = oracle.delay(from, to, self.now, msg, default);
+        self.oracle = Some(oracle);
+        d
+    }
+}
+
+/// Placeholder node swapped in while a real node's handler runs; its
+/// `PhantomData<fn() -> _>` is `Send` regardless of `M`/`O`.
+struct Tombstone<M, O>(std::marker::PhantomData<fn() -> (M, O)>);
+
+fn tombstone<M, O>() -> Box<dyn Node<Msg = M, Output = O>>
+where
+    M: Clone + Debug + Send + 'static,
+    O: Clone + Debug + Send + 'static,
+{
+    Box::new(Tombstone(std::marker::PhantomData))
+}
+
+impl<M, O> Node for Tombstone<M, O>
+where
+    M: Clone + Debug + Send + 'static,
+    O: Clone + Debug + Send + 'static,
+{
+    type Msg = M;
+    type Output = O;
+    fn on_message(&mut self, _: ProcessId, _: M, _: &mut dyn Context<M, O>) {
+        unreachable!("tombstone node must never run");
+    }
+}
+
+struct SimContext<'a, M, O> {
+    sim: &'a mut Simulation<M, O>,
+    me: ProcessId,
+}
+
+impl<M, O> Context<M, O> for SimContext<'_, M, O>
+where
+    M: Clone + Debug + Send + 'static,
+    O: Clone + Debug + Send + 'static,
+{
+    fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    fn n(&self) -> usize {
+        self.sim.topology.n()
+    }
+
+    fn now(&self) -> VirtualTime {
+        self.sim.now
+    }
+
+    fn send(&mut self, to: ProcessId, msg: M) {
+        self.sim.enqueue_message(self.me, to, msg);
+    }
+
+    fn broadcast(&mut self, msg: M) {
+        for p in 0..self.sim.topology.n() {
+            self.sim.enqueue_message(self.me, ProcessId::new(p), msg.clone());
+        }
+    }
+
+    fn set_timer(&mut self, delay: u64) -> TimerId {
+        let counter = &mut self.sim.timer_counters[self.me.index()];
+        let id = TimerId(*counter);
+        *counter += 1;
+        let time = self.sim.now.saturating_add(delay);
+        let seq = self.sim.next_seq();
+        self.sim.queue.push(Event {
+            time,
+            seq,
+            kind: EventKind::Timer {
+                process: self.me,
+                timer: id,
+            },
+        });
+        id
+    }
+
+    fn cancel_timer(&mut self, timer: TimerId) {
+        self.sim.cancelled[self.me.index()].insert(timer);
+    }
+
+    fn output(&mut self, event: O) {
+        self.sim.outputs.push(OutputRecord {
+            time: self.sim.now,
+            process: self.me,
+            event,
+        });
+    }
+
+    fn halt(&mut self) {
+        self.sim.halted[self.me.index()] = true;
+    }
+
+    fn random(&mut self) -> u64 {
+        self.sim.rng.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DelayLaw;
+
+    /// Echoes every message back to its sender, up to a hop budget.
+    struct Echo {
+        hops: u32,
+    }
+
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    enum EchoOut {
+        Done(u32),
+    }
+
+    impl Node for Echo {
+        type Msg = u32;
+        type Output = EchoOut;
+
+        fn on_start(&mut self, ctx: &mut dyn Context<u32, EchoOut>) {
+            if ctx.me() == ProcessId::new(0) {
+                ctx.send(ProcessId::new(1), 0);
+            }
+        }
+
+        fn on_message(&mut self, from: ProcessId, msg: u32, ctx: &mut dyn Context<u32, EchoOut>) {
+            if msg >= self.hops {
+                ctx.output(EchoOut::Done(msg));
+                ctx.halt();
+            } else {
+                ctx.send(from, msg + 1);
+            }
+        }
+    }
+
+    fn two_node_sim(delta: u64) -> Simulation<u32, EchoOut> {
+        SimBuilder::new(NetworkTopology::all_timely(2, delta))
+            .node(Echo { hops: 4 })
+            .node(Echo { hops: 4 })
+            .build()
+    }
+
+    #[test]
+    fn ping_pong_terminates_with_correct_latency() {
+        let mut sim = two_node_sim(10);
+        let report = sim.run();
+        assert_eq!(report.reason, StopReason::Quiescent);
+        assert_eq!(report.outputs.len(), 1);
+        assert_eq!(report.outputs[0].event, EchoOut::Done(4));
+        // 5 hops of 10 ticks each.
+        assert_eq!(report.outputs[0].time, VirtualTime::from_ticks(50));
+        assert_eq!(report.metrics.messages_sent, 5);
+        assert_eq!(report.metrics.messages_delivered, 5);
+    }
+
+    #[test]
+    fn identical_seeds_identical_runs() {
+        let topo = NetworkTopology::uniform(
+            2,
+            ChannelTiming::asynchronous(DelayLaw::Uniform { min: 1, max: 50 }),
+        );
+        let run = |seed: u64| {
+            let mut sim = SimBuilder::new(topo.clone())
+                .seed(seed)
+                .node(Echo { hops: 6 })
+                .node(Echo { hops: 6 })
+                .build();
+            let r = sim.run();
+            (r.final_time, r.metrics.messages_sent)
+        };
+        assert_eq!(run(3), run(3));
+        // Different seeds almost surely give different finishing times.
+        assert_ne!(run(3).0, run(4).0);
+    }
+
+    #[test]
+    fn halted_nodes_drop_messages() {
+        struct Spammer;
+        impl Node for Spammer {
+            type Msg = u32;
+            type Output = EchoOut;
+            fn on_start(&mut self, ctx: &mut dyn Context<u32, EchoOut>) {
+                if ctx.me() == ProcessId::new(0) {
+                    // Halt immediately; peer's messages must be dropped.
+                    ctx.halt();
+                } else {
+                    for _ in 0..3 {
+                        ctx.send(ProcessId::new(0), 1);
+                    }
+                }
+            }
+            fn on_message(&mut self, _: ProcessId, _: u32, _: &mut dyn Context<u32, EchoOut>) {
+                panic!("halted node must not receive");
+            }
+        }
+        let mut sim = SimBuilder::new(NetworkTopology::all_timely(2, 1))
+            .node(Spammer)
+            .node(Spammer)
+            .build();
+        let report = sim.run();
+        assert_eq!(report.metrics.messages_dropped, 3);
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_cancel_works() {
+        struct TimerNode {
+            fired: Vec<u64>,
+            cancel_me: Option<TimerId>,
+        }
+        #[derive(Clone, Debug, PartialEq, Eq)]
+        struct Fired(u64);
+        impl Node for TimerNode {
+            type Msg = ();
+            type Output = Fired;
+            fn on_start(&mut self, ctx: &mut dyn Context<(), Fired>) {
+                let _t10 = ctx.set_timer(10);
+                let t5 = ctx.set_timer(5);
+                let _t20 = ctx.set_timer(20);
+                // Cancel the 5-tick timer right away.
+                ctx.cancel_timer(t5);
+                self.cancel_me = Some(t5);
+            }
+            fn on_message(&mut self, _: ProcessId, _: (), _: &mut dyn Context<(), Fired>) {}
+            fn on_timer(&mut self, timer: TimerId, ctx: &mut dyn Context<(), Fired>) {
+                self.fired.push(timer.get());
+                ctx.output(Fired(ctx.now().ticks()));
+            }
+        }
+        let mut sim = SimBuilder::new(NetworkTopology::all_timely(1, 1))
+            .node(TimerNode {
+                fired: vec![],
+                cancel_me: None,
+            })
+            .build();
+        let report = sim.run();
+        let times: Vec<u64> = report.outputs.iter().map(|o| match o.event {
+            Fired(t) => t,
+        }).collect();
+        assert_eq!(times, [10, 20], "cancelled timer must not fire");
+        assert_eq!(report.metrics.timers_fired, 2);
+    }
+
+    #[test]
+    fn run_until_predicate_stops_early() {
+        let mut sim = two_node_sim(10);
+        let report = sim.run_until(|outs| !outs.is_empty());
+        assert_eq!(report.reason, StopReason::PredicateSatisfied);
+    }
+
+    #[test]
+    fn max_time_pauses_and_resumes() {
+        let mut sim = two_node_sim(10);
+        // Horizon after the second hop.
+        let report = {
+            let mut s = SimBuilder::new(NetworkTopology::all_timely(2, 10))
+                .node(Echo { hops: 4 })
+                .node(Echo { hops: 4 })
+                .max_time(VirtualTime::from_ticks(25))
+                .build();
+            s.run()
+        };
+        assert_eq!(report.reason, StopReason::MaxTimeReached);
+        assert!(report.final_time <= VirtualTime::from_ticks(25));
+        // The unbounded sim still finishes.
+        let full = sim.run();
+        assert_eq!(full.reason, StopReason::Quiescent);
+    }
+
+    #[test]
+    fn max_events_budget_enforced() {
+        let mut sim = SimBuilder::new(NetworkTopology::all_timely(2, 10))
+            .node(Echo { hops: u32::MAX })
+            .node(Echo { hops: u32::MAX })
+            .max_events(100)
+            .build();
+        let report = sim.run();
+        assert_eq!(report.reason, StopReason::MaxEventsReached);
+        assert_eq!(report.metrics.events_processed, 100);
+    }
+
+    #[test]
+    fn classifier_counts_by_kind() {
+        fn classify(m: &u32) -> &'static str {
+            if m.is_multiple_of(2) {
+                "even"
+            } else {
+                "odd"
+            }
+        }
+        let mut sim = SimBuilder::new(NetworkTopology::all_timely(2, 10))
+            .node(Echo { hops: 4 })
+            .node(Echo { hops: 4 })
+            .classify(classify)
+            .build();
+        let report = sim.run();
+        assert_eq!(report.metrics.sent_of_kind("even"), 3); // 0, 2, 4
+        assert_eq!(report.metrics.sent_of_kind("odd"), 2); // 1, 3
+    }
+
+    #[test]
+    fn oracle_controls_async_delays() {
+        let topo = NetworkTopology::uniform(
+            2,
+            ChannelTiming::asynchronous(DelayLaw::Fixed(1)),
+        );
+        let mut sim = SimBuilder::new(topo)
+            .node(Echo { hops: 0 })
+            .node(Echo { hops: 0 })
+            .delay_oracle(
+                |_f: ProcessId, _t: ProcessId, _at: VirtualTime, _m: &u32, _d: u64| 1234u64,
+            )
+            .build();
+        let report = sim.run();
+        assert_eq!(report.outputs[0].time, VirtualTime::from_ticks(1234));
+    }
+
+    #[test]
+    fn oracle_cannot_break_eventually_timely_bound() {
+        // Channel stabilizes at τ = 100 with δ = 5; oracle asks for a huge
+        // delay on a message sent at t = 0 → must deliver by 105.
+        let topo = NetworkTopology::uniform(
+            2,
+            ChannelTiming::eventually_timely(VirtualTime::from_ticks(100), 5),
+        );
+        let mut sim = SimBuilder::new(topo)
+            .node(Echo { hops: 0 })
+            .node(Echo { hops: 0 })
+            .delay_oracle(
+                |_f: ProcessId, _t: ProcessId, _at: VirtualTime, _m: &u32, _d: u64| u64::MAX,
+            )
+            .build();
+        let report = sim.run();
+        assert_eq!(report.outputs[0].time, VirtualTime::from_ticks(105));
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_including_self() {
+        struct Caster {
+            got: usize,
+        }
+        #[derive(Clone, Debug, PartialEq, Eq)]
+        struct Got(usize);
+        impl Node for Caster {
+            type Msg = ();
+            type Output = Got;
+            fn on_start(&mut self, ctx: &mut dyn Context<(), Got>) {
+                if ctx.me() == ProcessId::new(0) {
+                    ctx.broadcast(());
+                }
+            }
+            fn on_message(&mut self, _: ProcessId, _: (), ctx: &mut dyn Context<(), Got>) {
+                self.got += 1;
+                ctx.output(Got(self.got));
+            }
+        }
+        let mut sim = SimBuilder::new(NetworkTopology::all_timely(3, 2))
+            .node(Caster { got: 0 })
+            .node(Caster { got: 0 })
+            .node(Caster { got: 0 })
+            .build();
+        let report = sim.run();
+        // All three processes (incl. the sender) got exactly one copy.
+        assert_eq!(report.outputs.len(), 3);
+        assert_eq!(report.metrics.messages_sent, 3);
+    }
+}

@@ -1,0 +1,469 @@
+//! A live, multi-threaded runtime for the same [`Node`] automata the
+//! simulator runs.
+//!
+//! Every process gets an OS thread; a router thread applies the
+//! [`NetworkTopology`]'s per-channel delays in wall-clock time (one virtual
+//! tick = [`ThreadedConfig::tick`]). This runtime exists for the examples —
+//! it demonstrates that the protocol automata are substrate-independent —
+//! and makes no determinism promises: that is the simulator's job.
+
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt::Debug;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, RecvTimeoutError, Sender};
+use minsync_types::ProcessId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Context, NetworkTopology, Node, TimerId, VirtualTime};
+
+/// Wall-clock execution parameters.
+#[derive(Clone, Debug)]
+pub struct ThreadedConfig {
+    /// Wall-clock duration of one virtual tick (delays and timeouts in the
+    /// topology/protocol are expressed in ticks).
+    pub tick: Duration,
+    /// Hard wall-clock cap on the whole run.
+    pub timeout: Duration,
+    /// RNG seed (per-thread RNGs are derived from it; scheduling is still
+    /// OS-dependent, so runs are *not* reproducible).
+    pub seed: u64,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> Self {
+        ThreadedConfig {
+            tick: Duration::from_micros(200),
+            timeout: Duration::from_secs(30),
+            seed: 0,
+        }
+    }
+}
+
+/// One output event with its wall-clock emission offset.
+#[derive(Clone, Debug)]
+pub struct ThreadedOutput<O> {
+    /// Emitting process.
+    pub process: ProcessId,
+    /// Wall-clock offset from run start.
+    pub elapsed: Duration,
+    /// The event.
+    pub event: O,
+}
+
+/// Result of a threaded run.
+#[derive(Clone, Debug)]
+pub struct ThreadedReport<O> {
+    /// All outputs, in arrival order at the collector.
+    pub outputs: Vec<ThreadedOutput<O>>,
+    /// Total wall-clock duration.
+    pub elapsed: Duration,
+    /// True if the run hit [`ThreadedConfig::timeout`] before the stop
+    /// predicate was satisfied.
+    pub timed_out: bool,
+}
+
+enum RouterCmd<M> {
+    Send {
+        from: ProcessId,
+        to: ProcessId,
+        msg: M,
+    },
+}
+
+enum NodeEvent<M> {
+    Deliver { from: ProcessId, msg: M },
+}
+
+/// Runs `nodes` on OS threads until `stop` returns true over the collected
+/// outputs, or the timeout elapses.
+///
+/// # Panics
+///
+/// Panics if `nodes.len() != topology.n()`.
+pub fn run_threaded<M, O>(
+    topology: NetworkTopology,
+    nodes: Vec<Box<dyn Node<Msg = M, Output = O>>>,
+    config: ThreadedConfig,
+    mut stop: impl FnMut(&[ThreadedOutput<O>]) -> bool,
+) -> ThreadedReport<O>
+where
+    M: Clone + Debug + Send + 'static,
+    O: Clone + Debug + Send + 'static,
+{
+    assert_eq!(nodes.len(), topology.n(), "node count must match topology");
+    let n = nodes.len();
+    let start = Instant::now();
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    let (router_tx, router_rx) = unbounded::<RouterCmd<M>>();
+    let (output_tx, output_rx) = unbounded::<ThreadedOutput<O>>();
+
+    let mut inbox_txs = Vec::with_capacity(n);
+    let mut inbox_rxs = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Bounded inboxes apply gentle backpressure to runaway senders.
+        let (tx, rx) = bounded::<NodeEvent<M>>(64 * 1024);
+        inbox_txs.push(tx);
+        inbox_rxs.push(rx);
+    }
+
+    // Router thread: applies channel delays, then forwards into inboxes.
+    let router_handle = {
+        let shutdown = Arc::clone(&shutdown);
+        let topology = topology.clone();
+        let inboxes = inbox_txs.clone();
+        let tick = config.tick;
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        std::thread::spawn(move || {
+            struct Pending<M> {
+                due: Instant,
+                seq: u64,
+                to: ProcessId,
+                from: ProcessId,
+                msg: M,
+            }
+            impl<M> PartialEq for Pending<M> {
+                fn eq(&self, o: &Self) -> bool {
+                    self.due == o.due && self.seq == o.seq
+                }
+            }
+            impl<M> Eq for Pending<M> {}
+            impl<M> PartialOrd for Pending<M> {
+                fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+                    Some(self.cmp(o))
+                }
+            }
+            impl<M> Ord for Pending<M> {
+                fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+                    // Min-heap by (due, seq).
+                    (o.due, o.seq).cmp(&(self.due, self.seq))
+                }
+            }
+
+            let mut heap: BinaryHeap<Pending<M>> = BinaryHeap::new();
+            let mut seq = 0u64;
+            loop {
+                if shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
+                // Deliver everything due.
+                let now = Instant::now();
+                while heap.peek().is_some_and(|p| p.due <= now) {
+                    let p = heap.pop().expect("peeked");
+                    // A closed inbox just means the node is done.
+                    let _ = inboxes[p.to.index()].send(NodeEvent::Deliver {
+                        from: p.from,
+                        msg: p.msg,
+                    });
+                }
+                let wait = heap
+                    .peek()
+                    .map(|p| p.due.saturating_duration_since(Instant::now()))
+                    .unwrap_or(Duration::from_millis(20))
+                    .min(Duration::from_millis(20));
+                match router_rx.recv_timeout(wait) {
+                    Ok(RouterCmd::Send { from, to, msg }) => {
+                        let sent_ticks =
+                            VirtualTime::from_ticks((start.elapsed().as_nanos()
+                                / tick.as_nanos().max(1))
+                                as u64);
+                        let due_ticks =
+                            topology.timing(from, to).delivery_time(sent_ticks, &mut rng);
+                        let delay = due_ticks - sent_ticks;
+                        heap.push(Pending {
+                            due: Instant::now() + tick * u32::try_from(delay).unwrap_or(u32::MAX),
+                            seq,
+                            to,
+                            from,
+                            msg,
+                        });
+                        seq += 1;
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => {
+                        // All node threads gone; flush what is due and exit.
+                        if heap.is_empty() {
+                            break;
+                        }
+                    }
+                }
+            }
+        })
+    };
+
+    // Node threads.
+    let mut handles = Vec::with_capacity(n);
+    for (idx, mut node) in nodes.into_iter().enumerate() {
+        let me = ProcessId::new(idx);
+        let inbox = inbox_rxs[idx].clone();
+        let router = router_tx.clone();
+        let outputs = output_tx.clone();
+        let shutdown = Arc::clone(&shutdown);
+        let tick = config.tick;
+        let seed = config.seed.wrapping_add(idx as u64 + 1);
+        handles.push(std::thread::spawn(move || {
+            let mut ctx = ThreadedContext {
+                me,
+                n,
+                start,
+                tick,
+                router,
+                outputs,
+                timers: BinaryHeap::new(),
+                cancelled: HashSet::new(),
+                next_timer: 0,
+                halted: false,
+                rng: StdRng::seed_from_u64(seed),
+            };
+            node.on_start(&mut ctx);
+            while !ctx.halted && !shutdown.load(Ordering::Relaxed) {
+                let now = Instant::now();
+                // Fire due timers first.
+                while ctx.timers.peek().is_some_and(|t: &PendingTimer| t.due <= now) {
+                    let t = ctx.timers.pop().expect("peeked");
+                    if !ctx.cancelled.remove(&t.id) {
+                        node.on_timer(t.id, &mut ctx);
+                        if ctx.halted {
+                            break;
+                        }
+                    }
+                }
+                if ctx.halted {
+                    break;
+                }
+                let wait = ctx
+                    .timers
+                    .peek()
+                    .map(|t| t.due.saturating_duration_since(Instant::now()))
+                    .unwrap_or(Duration::from_millis(20))
+                    .min(Duration::from_millis(20));
+                match inbox.recv_timeout(wait) {
+                    Ok(NodeEvent::Deliver { from, msg }) => {
+                        node.on_message(from, msg, &mut ctx);
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        }));
+    }
+    drop(router_tx);
+    drop(output_tx);
+
+    // Collector loop on the calling thread.
+    let mut collected: Vec<ThreadedOutput<O>> = Vec::new();
+    let mut timed_out = false;
+    loop {
+        if stop(&collected) {
+            break;
+        }
+        if start.elapsed() >= config.timeout {
+            timed_out = true;
+            break;
+        }
+        match output_rx.recv_timeout(Duration::from_millis(10)) {
+            Ok(out) => collected.push(out),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    shutdown.store(true, Ordering::Relaxed);
+    // Drain any last outputs without blocking.
+    while let Ok(out) = output_rx.try_recv() {
+        collected.push(out);
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let _ = router_handle.join();
+    ThreadedReport {
+        outputs: collected,
+        elapsed: start.elapsed(),
+        timed_out,
+    }
+}
+
+struct PendingTimer {
+    due: Instant,
+    id: TimerId,
+}
+
+impl PartialEq for PendingTimer {
+    fn eq(&self, o: &Self) -> bool {
+        self.due == o.due && self.id == o.id
+    }
+}
+impl Eq for PendingTimer {}
+impl PartialOrd for PendingTimer {
+    fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl Ord for PendingTimer {
+    fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+        (o.due, o.id).cmp(&(self.due, self.id)) // min-heap
+    }
+}
+
+struct ThreadedContext<M, O> {
+    me: ProcessId,
+    n: usize,
+    start: Instant,
+    tick: Duration,
+    router: Sender<RouterCmd<M>>,
+    outputs: Sender<ThreadedOutput<O>>,
+    timers: BinaryHeap<PendingTimer>,
+    cancelled: HashSet<TimerId>,
+    next_timer: u64,
+    halted: bool,
+    rng: StdRng,
+}
+
+impl<M, O> Context<M, O> for ThreadedContext<M, O>
+where
+    M: Clone + Debug + Send + 'static,
+    O: Clone + Debug + Send + 'static,
+{
+    fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn now(&self) -> VirtualTime {
+        VirtualTime::from_ticks(
+            (self.start.elapsed().as_nanos() / self.tick.as_nanos().max(1)) as u64,
+        )
+    }
+
+    fn send(&mut self, to: ProcessId, msg: M) {
+        let _ = self.router.send(RouterCmd::Send {
+            from: self.me,
+            to,
+            msg,
+        });
+    }
+
+    fn broadcast(&mut self, msg: M) {
+        for p in 0..self.n {
+            self.send(ProcessId::new(p), msg.clone());
+        }
+    }
+
+    fn set_timer(&mut self, delay: u64) -> TimerId {
+        let id = TimerId(self.next_timer);
+        self.next_timer += 1;
+        let due = Instant::now() + self.tick * (delay.min(u32::MAX as u64) as u32);
+        self.timers.push(PendingTimer { due, id });
+        id
+    }
+
+    fn cancel_timer(&mut self, timer: TimerId) {
+        self.cancelled.insert(timer);
+    }
+
+    fn output(&mut self, event: O) {
+        let _ = self.outputs.send(ThreadedOutput {
+            process: self.me,
+            elapsed: self.start.elapsed(),
+            event,
+        });
+    }
+
+    fn halt(&mut self) {
+        self.halted = true;
+    }
+
+    fn random(&mut self) -> u64 {
+        self.rng.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChannelTiming;
+
+    struct Pinger;
+
+    impl Node for Pinger {
+        type Msg = u32;
+        type Output = u32;
+
+        fn on_start(&mut self, ctx: &mut dyn Context<u32, u32>) {
+            if ctx.me() == ProcessId::new(0) {
+                ctx.broadcast(1);
+            }
+        }
+
+        fn on_message(&mut self, _from: ProcessId, msg: u32, ctx: &mut dyn Context<u32, u32>) {
+            ctx.output(msg);
+            ctx.halt();
+        }
+    }
+
+    #[test]
+    fn threaded_ping_delivers_to_all() {
+        let topo = NetworkTopology::uniform(3, ChannelTiming::timely(1));
+        let nodes: Vec<Box<dyn Node<Msg = u32, Output = u32>>> =
+            vec![Box::new(Pinger), Box::new(Pinger), Box::new(Pinger)];
+        let report = run_threaded(
+            topo,
+            nodes,
+            ThreadedConfig {
+                tick: Duration::from_micros(50),
+                timeout: Duration::from_secs(10),
+                seed: 1,
+            },
+            |outs| outs.len() >= 3,
+        );
+        assert!(!report.timed_out, "threaded run timed out");
+        assert_eq!(report.outputs.len(), 3);
+        assert!(report.outputs.iter().all(|o| o.event == 1));
+    }
+
+    struct TimerOnly;
+
+    impl Node for TimerOnly {
+        type Msg = ();
+        type Output = &'static str;
+
+        fn on_start(&mut self, ctx: &mut dyn Context<(), &'static str>) {
+            let keep = ctx.set_timer(5);
+            let drop_me = ctx.set_timer(1);
+            ctx.cancel_timer(drop_me);
+            let _ = keep;
+        }
+
+        fn on_message(&mut self, _: ProcessId, _: (), _: &mut dyn Context<(), &'static str>) {}
+
+        fn on_timer(&mut self, _t: TimerId, ctx: &mut dyn Context<(), &'static str>) {
+            ctx.output("fired");
+            ctx.halt();
+        }
+    }
+
+    #[test]
+    fn threaded_timers_fire_and_cancel() {
+        let topo = NetworkTopology::all_timely(1, 1);
+        let report = run_threaded(
+            topo,
+            vec![Box::new(TimerOnly) as Box<dyn Node<Msg = (), Output = &'static str>>],
+            ThreadedConfig {
+                tick: Duration::from_micros(100),
+                timeout: Duration::from_secs(5),
+                seed: 2,
+            },
+            |outs| !outs.is_empty(),
+        );
+        assert!(!report.timed_out);
+        assert_eq!(report.outputs.len(), 1, "cancelled timer must not fire");
+        assert_eq!(report.outputs[0].event, "fired");
+    }
+}

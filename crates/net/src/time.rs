@@ -1,0 +1,110 @@
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in abstract ticks.
+///
+/// The paper's bounds (`δ`, the hidden stabilization time `τ`, and the
+/// round-number-valued timeouts of Figure 3) are all expressed in the same
+/// tick unit, so their *relationships* — the only thing the proofs depend on
+/// — are exact.
+///
+/// ```rust
+/// use minsync_net::VirtualTime;
+///
+/// let t = VirtualTime::ZERO + 10;
+/// assert_eq!(t.ticks(), 10);
+/// assert_eq!((t + 5) - t, 5);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct VirtualTime(u64);
+
+impl VirtualTime {
+    /// The origin of simulated time.
+    pub const ZERO: VirtualTime = VirtualTime(0);
+
+    /// Creates a time point from raw ticks.
+    pub const fn from_ticks(ticks: u64) -> Self {
+        VirtualTime(ticks)
+    }
+
+    /// Raw tick count since the origin.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// The later of two time points (the paper's `max(τ, τ′)`).
+    pub fn max(self, other: VirtualTime) -> VirtualTime {
+        VirtualTime(self.0.max(other.0))
+    }
+
+    /// Saturating addition of a tick delta.
+    pub const fn saturating_add(self, delta: u64) -> VirtualTime {
+        VirtualTime(self.0.saturating_add(delta))
+    }
+}
+
+impl Add<u64> for VirtualTime {
+    type Output = VirtualTime;
+
+    fn add(self, delta: u64) -> VirtualTime {
+        VirtualTime(
+            self.0
+                .checked_add(delta)
+                .expect("virtual time overflow: simulation ran far too long"),
+        )
+    }
+}
+
+impl AddAssign<u64> for VirtualTime {
+    fn add_assign(&mut self, delta: u64) {
+        *self = *self + delta;
+    }
+}
+
+impl Sub<VirtualTime> for VirtualTime {
+    type Output = u64;
+
+    fn sub(self, earlier: VirtualTime) -> u64 {
+        self.0
+            .checked_sub(earlier.0)
+            .expect("subtracting a later virtual time from an earlier one")
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = VirtualTime::from_ticks(7);
+        assert_eq!((t + 3).ticks(), 10);
+        assert_eq!((t + 3) - t, 3);
+        assert_eq!(t.max(VirtualTime::from_ticks(9)).ticks(), 9);
+        assert_eq!(t.max(VirtualTime::ZERO), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "later virtual time")]
+    fn negative_difference_panics() {
+        let _ = VirtualTime::ZERO - VirtualTime::from_ticks(1);
+    }
+
+    #[test]
+    fn saturating_add_caps() {
+        let t = VirtualTime::from_ticks(u64::MAX);
+        assert_eq!(t.saturating_add(10).ticks(), u64::MAX);
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(VirtualTime::ZERO < VirtualTime::from_ticks(1));
+        assert_eq!(VirtualTime::from_ticks(42).to_string(), "t=42");
+    }
+}

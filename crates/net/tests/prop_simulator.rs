@@ -1,0 +1,151 @@
+//! Property tests of the discrete-event simulator: the paper's channel
+//! semantics, determinism, and event ordering.
+
+use minsync_net::sim::SimBuilder;
+use minsync_net::{ChannelTiming, Context, DelayLaw, NetworkTopology, Node, VirtualTime};
+use minsync_types::ProcessId;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+// Delivery-time law: for any channel and any send time, delivery respects
+// the channel's contract.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn timely_channels_deliver_at_exactly_delta(
+        sent in 0u64..1_000_000,
+        delta in 0u64..10_000,
+        seed in any::<u64>(),
+    ) {
+        let c = ChannelTiming::timely(delta);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = c.delivery_time(VirtualTime::from_ticks(sent), &mut rng);
+        prop_assert_eq!(d.ticks(), sent + delta);
+    }
+
+    #[test]
+    fn eventually_timely_never_violates_paper_bound(
+        sent in 0u64..100_000,
+        tau in 0u64..100_000,
+        delta in 1u64..1_000,
+        seed in any::<u64>(),
+    ) {
+        let c = ChannelTiming::eventually_timely(VirtualTime::from_ticks(tau), delta);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = c.delivery_time(VirtualTime::from_ticks(sent), &mut rng);
+        // max(τ, τ′) + δ — the exact definition from Section 4.
+        prop_assert!(d.ticks() <= sent.max(tau) + delta);
+        prop_assert!(d.ticks() >= sent, "delivery before send");
+    }
+
+    #[test]
+    fn async_delays_respect_law_bounds(
+        sent in 0u64..100_000,
+        min in 0u64..100,
+        span in 0u64..1_000,
+        seed in any::<u64>(),
+    ) {
+        let law = DelayLaw::Uniform { min, max: min + span };
+        let c = ChannelTiming::asynchronous(law);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = c.delivery_time(VirtualTime::from_ticks(sent), &mut rng);
+        prop_assert!(d.ticks() >= sent + min);
+        prop_assert!(d.ticks() <= sent + min + span);
+    }
+}
+
+/// A gossip node: floods a counter, records receipt order.
+#[derive(Debug)]
+struct Gossip {
+    budget: u32,
+}
+
+impl Node for Gossip {
+    type Msg = u32;
+    type Output = (u32, u64);
+
+    fn on_start(&mut self, ctx: &mut dyn Context<u32, (u32, u64)>) {
+        if ctx.me() == ProcessId::new(0) {
+            ctx.broadcast(0);
+        }
+    }
+
+    fn on_message(&mut self, _from: ProcessId, msg: u32, ctx: &mut dyn Context<u32, (u32, u64)>) {
+        ctx.output((msg, ctx.now().ticks()));
+        if msg < self.budget {
+            ctx.broadcast(msg + 1);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Bit-for-bit determinism: same seed ⇒ identical outputs and metrics,
+    /// on a noisy asynchronous network.
+    #[test]
+    fn identical_seeds_replay_identically(seed in any::<u64>(), n in 2usize..5) {
+        let topo = NetworkTopology::uniform(
+            n,
+            ChannelTiming::asynchronous(DelayLaw::Uniform { min: 1, max: 100 }),
+        );
+        let run = || {
+            let mut builder = SimBuilder::new(topo.clone()).seed(seed);
+            for _ in 0..n {
+                builder = builder.node(Gossip { budget: 4 });
+            }
+            let mut sim = builder.build();
+            let report = sim.run();
+            (
+                report.outputs.clone(),
+                report.metrics.messages_sent,
+                report.final_time,
+            )
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.1, b.1);
+        prop_assert_eq!(a.2, b.2);
+    }
+
+    /// Output timestamps never decrease: the event queue is monotone.
+    #[test]
+    fn event_times_are_monotone(seed in any::<u64>()) {
+        let topo = NetworkTopology::uniform(
+            3,
+            ChannelTiming::asynchronous(DelayLaw::Uniform { min: 1, max: 50 }),
+        );
+        let mut builder = SimBuilder::new(topo).seed(seed);
+        for _ in 0..3 {
+            builder = builder.node(Gossip { budget: 5 });
+        }
+        let mut sim = builder.build();
+        let report = sim.run();
+        let times: Vec<u64> = report.outputs.iter().map(|o| o.time.ticks()).collect();
+        prop_assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
+    }
+}
+
+#[test]
+fn delivery_log_records_classified_deliveries() {
+    fn classify(m: &u32) -> &'static str {
+        if *m < 2 { "low" } else { "high" }
+    }
+    let topo = NetworkTopology::all_timely(3, 2);
+    let mut builder = SimBuilder::new(topo)
+        .seed(1)
+        .classify(classify)
+        .log_deliveries(5);
+    for _ in 0..3 {
+        builder = builder.node(Gossip { budget: 3 });
+    }
+    let mut sim = builder.build();
+    let _ = sim.run();
+    let log = sim.delivery_log();
+    assert_eq!(log.len(), 5, "log capped at capacity");
+    assert!(log.iter().all(|r| r.kind == "low" || r.kind == "high"));
+    assert!(log.windows(2).all(|w| w[0].time <= w[1].time));
+}

@@ -1,0 +1,376 @@
+//! State-machine replication on top of the paper's consensus: a pipeline of
+//! independent consensus instances, one per log slot.
+//!
+//! This is the application the paper's introduction motivates — and the
+//! standard way a single-shot consensus object is consumed downstream. Each
+//! [`ReplicaNode`] runs one [`ConsensusNode`] per slot behind a
+//! slot-stamping adapter:
+//!
+//! * slot `s + 1` starts locally once slot `s` commits (pipelined, not
+//!   lock-stepped: different replicas may be several slots apart);
+//! * messages for slots a replica has not reached yet are buffered and
+//!   replayed on entry;
+//! * decided instances keep servicing reliable broadcast, so laggards
+//!   always catch up (RB-Termination-2 per slot).
+//!
+//! Proposals come from a [`ProposalSource`]: the application-supplied rule
+//! for what a replica proposes in each slot. **Feasibility caveat** — the
+//! paper's consensus is m-valued: across the *correct* replicas, each slot
+//! may see at most `⌊(n − t − 1)/t⌋` distinct proposals. Sources that draw
+//! from a small shared command pool (e.g. the per-client queues of
+//! [`TwoClientSource`]) satisfy this by construction.
+//!
+//! ```rust
+//! use minsync_net::{sim::SimBuilder, NetworkTopology};
+//! use minsync_smr::{collect_logs, ReplicaNode, SmrEvent, TwoClientSource};
+//! use minsync_types::SystemConfig;
+//! use minsync_core::ConsensusConfig;
+//!
+//! # fn main() -> Result<(), minsync_types::ConfigError> {
+//! let system = SystemConfig::new(4, 1)?;
+//! let cfg = ConsensusConfig::paper(system);
+//! let mut builder = SimBuilder::new(NetworkTopology::all_timely(4, 3)).seed(7);
+//! for i in 0..4 {
+//!     builder = builder.node(ReplicaNode::new(cfg, TwoClientSource::new(1 + (i as u64 % 2)), 4));
+//! }
+//! let mut sim = builder.build();
+//! let report = sim.run_until(|outs| {
+//!     (0..4).all(|p| outs.iter().filter(|o| o.process.index() == p).count() >= 4)
+//! });
+//! let logs = collect_logs(&report.outputs);
+//! let reference = logs.values().next().unwrap().clone();
+//! assert!(logs.values().all(|l| *l == reference), "replicated logs agree");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use minsync_core::{ConsensusConfig, ConsensusEvent, ConsensusNode, ProtocolMsg};
+use minsync_net::sim::OutputRecord;
+use minsync_net::{Context, Node, TimerId, VirtualTime};
+use minsync_types::{ProcessId, Value};
+
+/// Consensus traffic stamped with its log slot (1-based).
+pub type SlotMsg<V> = (u64, ProtocolMsg<V>);
+
+/// Observable output of a replica.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SmrEvent<V> {
+    /// Slot `slot` committed `command` at this replica.
+    Committed {
+        /// 1-based log slot.
+        slot: u64,
+        /// The decided command.
+        command: V,
+    },
+}
+
+/// Application rule deciding what a replica proposes for each slot.
+///
+/// `log` is the replica's committed prefix (slots `1..=log.len()`).
+/// Implementations must keep the per-slot proposal diversity across correct
+/// replicas within the m-valued feasibility bound (see crate docs).
+pub trait ProposalSource<V>: Send {
+    /// The proposal for `slot` (1-based), given the committed prefix.
+    fn propose(&mut self, slot: u64, log: &[V]) -> V;
+}
+
+impl<V, F> ProposalSource<V> for F
+where
+    F: FnMut(u64, &[V]) -> V + Send,
+{
+    fn propose(&mut self, slot: u64, log: &[V]) -> V {
+        self(slot, log)
+    }
+}
+
+/// A canonical feasibility-safe source: two client command streams
+/// (commands encoded `client·1000 + seq`), each replica pushing one
+/// client's next command — at most two distinct proposals per slot.
+#[derive(Clone, Debug)]
+pub struct TwoClientSource {
+    preferred_client: u64,
+}
+
+impl TwoClientSource {
+    /// Creates a source pushing `preferred_client`'s stream (1 or 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `preferred_client` is 1 or 2.
+    pub fn new(preferred_client: u64) -> Self {
+        assert!(
+            preferred_client == 1 || preferred_client == 2,
+            "two-client source serves clients 1 and 2"
+        );
+        TwoClientSource { preferred_client }
+    }
+
+    /// Encodes a command.
+    pub fn command(client: u64, seq: u64) -> u64 {
+        client * 1000 + seq
+    }
+
+    /// The client of an encoded command.
+    pub fn client_of(cmd: u64) -> u64 {
+        cmd / 1000
+    }
+}
+
+impl ProposalSource<u64> for TwoClientSource {
+    fn propose(&mut self, _slot: u64, log: &[u64]) -> u64 {
+        // Next unused sequence number of the preferred client = how many of
+        // its commands committed already.
+        let seq = log
+            .iter()
+            .filter(|c| Self::client_of(**c) == self.preferred_client)
+            .count() as u64;
+        Self::command(self.preferred_client, seq)
+    }
+}
+
+/// One replica: a pipeline of consensus instances, one per log slot.
+pub struct ReplicaNode<V, P> {
+    cfg: ConsensusConfig,
+    source: P,
+    target_slots: u64,
+    instances: BTreeMap<u64, ConsensusNode<V>>,
+    started: BTreeSet<u64>,
+    log: BTreeMap<u64, V>,
+    pending: BTreeMap<u64, Vec<(ProcessId, ProtocolMsg<V>)>>,
+    timer_slots: BTreeMap<TimerId, u64>,
+}
+
+impl<V: Value, P: ProposalSource<V>> ReplicaNode<V, P> {
+    /// Creates a replica that fills `target_slots` log slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_slots == 0`.
+    pub fn new(cfg: ConsensusConfig, source: P, target_slots: u64) -> Self {
+        assert!(target_slots > 0, "need at least one slot");
+        ReplicaNode {
+            cfg,
+            source,
+            target_slots,
+            instances: BTreeMap::new(),
+            started: BTreeSet::new(),
+            log: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            timer_slots: BTreeMap::new(),
+        }
+    }
+
+    /// The committed prefix as a dense vector (slots `1..=k` for the
+    /// longest committed prefix `k`).
+    pub fn committed_prefix(&self) -> Vec<V> {
+        let mut out = Vec::new();
+        for slot in 1.. {
+            match self.log.get(&slot) {
+                Some(v) => out.push(v.clone()),
+                None => break,
+            }
+        }
+        out
+    }
+
+    fn start_slot(&mut self, slot: u64, ctx: &mut dyn Context<SlotMsg<V>, SmrEvent<V>>) {
+        if self.started.contains(&slot) || slot > self.target_slots {
+            return;
+        }
+        self.started.insert(slot);
+        let prefix = self.committed_prefix();
+        let proposal = self.source.propose(slot, &prefix);
+        let node = ConsensusNode::new(self.cfg, proposal).expect("config validated");
+        self.instances.insert(slot, node);
+        self.drive(slot, ctx, |node, shim| node.on_start(shim));
+        for (from, msg) in self.pending.remove(&slot).unwrap_or_default() {
+            self.drive(slot, ctx, |node, shim| node.on_message(from, msg, shim));
+        }
+    }
+
+    /// Runs one inner-node handler behind the slot-stamping adapter, then
+    /// folds its outputs back into replica state.
+    fn drive(
+        &mut self,
+        slot: u64,
+        ctx: &mut dyn Context<SlotMsg<V>, SmrEvent<V>>,
+        f: impl FnOnce(&mut ConsensusNode<V>, &mut SlotCtx<'_, '_, V>),
+    ) {
+        let Some(mut node) = self.instances.remove(&slot) else {
+            return;
+        };
+        let mut shim = SlotCtx {
+            outer: ctx,
+            slot,
+            events: Vec::new(),
+            new_timers: Vec::new(),
+        };
+        f(&mut node, &mut shim);
+        let events = std::mem::take(&mut shim.events);
+        let new_timers = std::mem::take(&mut shim.new_timers);
+        self.instances.insert(slot, node);
+        for timer in new_timers {
+            self.timer_slots.insert(timer, slot);
+        }
+        for event in events {
+            if let ConsensusEvent::Decided { value } = event {
+                self.commit(slot, value, ctx);
+            }
+        }
+    }
+
+    fn commit(&mut self, slot: u64, cmd: V, ctx: &mut dyn Context<SlotMsg<V>, SmrEvent<V>>) {
+        if self.log.contains_key(&slot) {
+            return;
+        }
+        self.log.insert(slot, cmd.clone());
+        ctx.output(SmrEvent::Committed { slot, command: cmd });
+        self.start_slot(slot + 1, ctx);
+    }
+}
+
+impl<V: Value, P: ProposalSource<V> + core::fmt::Debug> core::fmt::Debug for ReplicaNode<V, P> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ReplicaNode")
+            .field("source", &self.source)
+            .field("committed", &self.log.len())
+            .finish()
+    }
+}
+
+/// Context adapter stamping the slot onto every outgoing message.
+struct SlotCtx<'a, 'b, V> {
+    outer: &'a mut (dyn Context<SlotMsg<V>, SmrEvent<V>> + 'b),
+    slot: u64,
+    events: Vec<ConsensusEvent<V>>,
+    new_timers: Vec<TimerId>,
+}
+
+impl<V: Value> Context<ProtocolMsg<V>, ConsensusEvent<V>> for SlotCtx<'_, '_, V> {
+    fn me(&self) -> ProcessId {
+        self.outer.me()
+    }
+    fn n(&self) -> usize {
+        self.outer.n()
+    }
+    fn now(&self) -> VirtualTime {
+        self.outer.now()
+    }
+    fn send(&mut self, to: ProcessId, msg: ProtocolMsg<V>) {
+        self.outer.send(to, (self.slot, msg));
+    }
+    fn broadcast(&mut self, msg: ProtocolMsg<V>) {
+        self.outer.broadcast((self.slot, msg));
+    }
+    fn set_timer(&mut self, delay: u64) -> TimerId {
+        let id = self.outer.set_timer(delay);
+        self.new_timers.push(id);
+        id
+    }
+    fn cancel_timer(&mut self, timer: TimerId) {
+        self.outer.cancel_timer(timer);
+    }
+    fn output(&mut self, event: ConsensusEvent<V>) {
+        self.events.push(event);
+    }
+    fn halt(&mut self) {
+        // Slot instances never halt the replica.
+    }
+    fn random(&mut self) -> u64 {
+        self.outer.random()
+    }
+}
+
+impl<V: Value, P: ProposalSource<V>> Node for ReplicaNode<V, P> {
+    type Msg = SlotMsg<V>;
+    type Output = SmrEvent<V>;
+
+    fn on_start(&mut self, ctx: &mut dyn Context<SlotMsg<V>, SmrEvent<V>>) {
+        self.start_slot(1, ctx);
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: SlotMsg<V>,
+        ctx: &mut dyn Context<SlotMsg<V>, SmrEvent<V>>,
+    ) {
+        let (slot, inner) = msg;
+        if slot == 0 || slot > self.target_slots {
+            return; // out-of-range slot: Byzantine garbage
+        }
+        if self.started.contains(&slot) {
+            self.drive(slot, ctx, |node, shim| node.on_message(from, inner, shim));
+        } else {
+            // Another replica is ahead: buffer until we start the slot.
+            self.pending.entry(slot).or_default().push((from, inner));
+        }
+    }
+
+    fn on_timer(&mut self, timer: TimerId, ctx: &mut dyn Context<SlotMsg<V>, SmrEvent<V>>) {
+        if let Some(slot) = self.timer_slots.remove(&timer) {
+            self.drive(slot, ctx, |node, shim| node.on_timer(timer, shim));
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "smr-replica"
+    }
+}
+
+/// Reconstructs each replica's committed log from simulation outputs.
+pub fn collect_logs<V: Value>(
+    outputs: &[OutputRecord<SmrEvent<V>>],
+) -> BTreeMap<usize, BTreeMap<u64, V>> {
+    let mut logs: BTreeMap<usize, BTreeMap<u64, V>> = BTreeMap::new();
+    for rec in outputs {
+        let SmrEvent::Committed { slot, command } = &rec.event;
+        logs.entry(rec.process.index())
+            .or_default()
+            .insert(*slot, command.clone());
+    }
+    logs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_client_source_advances_with_the_log() {
+        let mut s = TwoClientSource::new(1);
+        assert_eq!(s.propose(1, &[]), 1000);
+        // One of client 1's commands committed → next seq.
+        assert_eq!(s.propose(2, &[1000]), 1001);
+        // Client 2's commits don't advance client 1's stream.
+        assert_eq!(s.propose(3, &[1000, 2000]), 1001);
+    }
+
+    #[test]
+    #[should_panic(expected = "clients 1 and 2")]
+    fn bad_client_rejected() {
+        let _ = TwoClientSource::new(3);
+    }
+
+    #[test]
+    fn closures_are_proposal_sources() {
+        let mut f = |slot: u64, _log: &[u64]| slot * 10;
+        assert_eq!(ProposalSource::propose(&mut f, 3, &[]), 30);
+    }
+
+    #[test]
+    fn committed_prefix_is_dense() {
+        let cfg = ConsensusConfig::paper(minsync_types::SystemConfig::new(4, 1).unwrap());
+        let mut r: ReplicaNode<u64, TwoClientSource> =
+            ReplicaNode::new(cfg, TwoClientSource::new(1), 5);
+        r.log.insert(1, 10);
+        r.log.insert(2, 20);
+        r.log.insert(4, 40); // gap at 3
+        assert_eq!(r.committed_prefix(), vec![10, 20]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Integration tests of the replicated log: identical logs across replicas
+//! under asynchrony and Byzantine faults, with pipelined slots.
+
+use minsync_adversary::SilentNode;
+use minsync_core::ConsensusConfig;
+use minsync_net::sim::SimBuilder;
+use minsync_net::{ChannelTiming, DelayLaw, NetworkTopology, Node};
+use minsync_smr::{collect_logs, ReplicaNode, SlotMsg, SmrEvent, TwoClientSource};
+use minsync_types::SystemConfig;
+
+type Msg = SlotMsg<u64>;
+type Out = SmrEvent<u64>;
+
+fn run_replicas(
+    n: usize,
+    t: usize,
+    slots: u64,
+    silent: usize,
+    topo: NetworkTopology,
+    seed: u64,
+) -> std::collections::BTreeMap<usize, std::collections::BTreeMap<u64, u64>> {
+    let system = SystemConfig::new(n, t).unwrap();
+    let cfg = ConsensusConfig::paper(system);
+    let mut builder = SimBuilder::new(topo).seed(seed).max_events(20_000_000);
+    let correct = n - silent;
+    for i in 0..n {
+        if i < correct {
+            builder = builder.node(ReplicaNode::new(
+                cfg,
+                TwoClientSource::new(1 + (i as u64 % 2)),
+                slots,
+            ));
+        } else {
+            builder = builder.boxed_node(Box::new(SilentNode::<Msg, Out>::new())
+                as Box<dyn Node<Msg = Msg, Output = Out>>);
+        }
+    }
+    let mut sim = builder.build();
+    let report = sim.run_until(move |outs| {
+        (0..correct).all(|p| {
+            outs.iter().filter(|o| o.process.index() == p).count() as u64 >= slots
+        })
+    });
+    collect_logs(&report.outputs)
+}
+
+fn assert_logs_identical(
+    logs: &std::collections::BTreeMap<usize, std::collections::BTreeMap<u64, u64>>,
+    expected_replicas: usize,
+    slots: u64,
+) {
+    assert_eq!(logs.len(), expected_replicas, "every correct replica commits");
+    let reference = logs.values().next().unwrap();
+    assert_eq!(reference.len() as u64, slots);
+    for (replica, log) in logs {
+        assert_eq!(log, reference, "replica {replica} diverged");
+    }
+}
+
+#[test]
+fn four_replicas_six_slots_synchronous() {
+    let logs = run_replicas(4, 1, 6, 0, NetworkTopology::all_timely(4, 3), 1);
+    assert_logs_identical(&logs, 4, 6);
+}
+
+#[test]
+fn logs_agree_under_asynchrony() {
+    let topo = NetworkTopology::uniform(
+        4,
+        ChannelTiming::asynchronous(DelayLaw::Uniform { min: 1, max: 20 }),
+    );
+    for seed in 0..3 {
+        let logs = run_replicas(4, 1, 5, 0, topo.clone(), seed);
+        assert_logs_identical(&logs, 4, 5);
+    }
+}
+
+#[test]
+fn tolerates_silent_replica() {
+    let logs = run_replicas(4, 1, 5, 1, NetworkTopology::all_timely(4, 3), 3);
+    assert_logs_identical(&logs, 3, 5);
+}
+
+#[test]
+fn seven_replicas_two_silent() {
+    let logs = run_replicas(7, 2, 4, 2, NetworkTopology::all_timely(7, 2), 5);
+    assert_logs_identical(&logs, 5, 4);
+}
+
+#[test]
+fn every_committed_command_is_well_formed() {
+    let logs = run_replicas(4, 1, 6, 0, NetworkTopology::all_timely(4, 3), 9);
+    for log in logs.values() {
+        for &cmd in log.values() {
+            let client = TwoClientSource::client_of(cmd);
+            assert!(client == 1 || client == 2, "command {cmd} from unknown client");
+        }
+        // Per-client sequence numbers are committed in order without gaps.
+        for client in [1u64, 2] {
+            let seqs: Vec<u64> = log
+                .values()
+                .filter(|c| TwoClientSource::client_of(**c) == client)
+                .map(|c| c % 1000)
+                .collect();
+            for (i, &s) in seqs.iter().enumerate() {
+                assert_eq!(s, i as u64, "client {client} commands out of order: {seqs:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn same_seed_same_log() {
+    let a = run_replicas(4, 1, 5, 0, NetworkTopology::all_timely(4, 3), 11);
+    let b = run_replicas(4, 1, 5, 0, NetworkTopology::all_timely(4, 3), 11);
+    assert_eq!(a, b);
+}

@@ -1,0 +1,234 @@
+//! Exact combinatorics backing the paper's `F(r)` schedule (Section 5.2).
+//!
+//! The eventual-agreement object cycles through all `α = C(n, n−t)`
+//! combinations `F_1 … F_α` of `n − t` processes. We never materialize that
+//! list: [`binomial`] computes `C(n, k)` in checked `u128` arithmetic and
+//! [`unrank_combination`] produces the `rank`-th combination in
+//! lexicographic order on demand.
+
+use crate::ConfigError;
+
+/// Computes the binomial coefficient `C(n, k)` exactly in `u128`.
+///
+/// Returns `None` on overflow (which [`crate::RoundSchedule::new`] converts
+/// into [`ConfigError::CombinatoricsOverflow`]); systems anywhere near that
+/// size are far beyond what can be simulated.
+///
+/// ```rust
+/// use minsync_types::combinatorics::binomial;
+///
+/// assert_eq!(binomial(7, 5), Some(21));
+/// assert_eq!(binomial(10, 0), Some(1));
+/// assert_eq!(binomial(5, 9), Some(0));
+/// ```
+pub fn binomial(n: usize, k: usize) -> Option<u128> {
+    if k > n {
+        return Some(0);
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        // acc * (n − i) is divisible by (i + 1) only after the
+        // multiplication, so reduce by gcd first to delay overflow.
+        let num = (n - i) as u128;
+        let den = (i + 1) as u128;
+        let g1 = gcd(acc, den);
+        let acc_r = acc / g1;
+        let den_r = den / g1;
+        let g2 = gcd(num, den_r);
+        let num_r = num / g2;
+        debug_assert_eq!(den_r / g2, 1, "product of i+1 consecutive ints divisible by (i+1)!");
+        acc = acc_r.checked_mul(num_r)?;
+    }
+    Some(acc)
+}
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Returns the `rank`-th (0-based) `k`-element subset of `{0, …, n−1}` in
+/// lexicographic order, as an ascending vector.
+///
+/// This is the inverse of [`rank_combination`]. Together they realize the
+/// paper's indexing `F_1 … F_α` of the `C(n, n−t)` combinations of `n − t`
+/// processes.
+///
+/// # Errors
+///
+/// [`ConfigError::CombinatoricsOverflow`] if intermediate binomials overflow
+/// `u128`.
+///
+/// # Panics
+///
+/// Panics if `rank ≥ C(n, k)` or `k > n`: ranks produced by
+/// [`crate::RoundSchedule`] are always reduced modulo `α`.
+///
+/// ```rust
+/// use minsync_types::combinatorics::unrank_combination;
+///
+/// // The C(4,2) = 6 pairs in lexicographic order.
+/// let pairs: Vec<_> = (0..6).map(|r| unrank_combination(4, 2, r).unwrap()).collect();
+/// assert_eq!(
+///     pairs,
+///     vec![vec![0,1], vec![0,2], vec![0,3], vec![1,2], vec![1,3], vec![2,3]]
+/// );
+/// ```
+pub fn unrank_combination(n: usize, k: usize, mut rank: u128) -> Result<Vec<usize>, ConfigError> {
+    assert!(k <= n, "cannot choose {k} elements out of {n}");
+    let total = binomial(n, k).ok_or(ConfigError::CombinatoricsOverflow { n, k })?;
+    assert!(rank < total, "rank {rank} out of range for C({n}, {k}) = {total}");
+    let mut out = Vec::with_capacity(k);
+    let mut next_candidate = 0usize;
+    for slot in 0..k {
+        let remaining = k - slot - 1;
+        loop {
+            // Number of combinations that keep `next_candidate` in this slot:
+            // choose the `remaining` others among the elements above it.
+            let with_candidate = binomial(n - next_candidate - 1, remaining)
+                .ok_or(ConfigError::CombinatoricsOverflow { n, k })?;
+            if rank < with_candidate {
+                out.push(next_candidate);
+                next_candidate += 1;
+                break;
+            }
+            rank -= with_candidate;
+            next_candidate += 1;
+        }
+    }
+    Ok(out)
+}
+
+/// Returns the lexicographic rank (0-based) of an ascending `k`-subset of
+/// `{0, …, n−1}`; the inverse of [`unrank_combination`].
+///
+/// # Panics
+///
+/// Panics if `members` is not strictly ascending or contains an element
+/// ≥ `n`.
+///
+/// ```rust
+/// use minsync_types::combinatorics::rank_combination;
+///
+/// assert_eq!(rank_combination(4, &[1, 3]).unwrap(), 4);
+/// ```
+pub fn rank_combination(n: usize, members: &[usize]) -> Result<u128, ConfigError> {
+    let k = members.len();
+    let mut rank: u128 = 0;
+    let mut prev: Option<usize> = None;
+    for (slot, &m) in members.iter().enumerate() {
+        assert!(m < n, "member {m} out of range for n = {n}");
+        if let Some(p) = prev {
+            assert!(m > p, "members must be strictly ascending");
+        }
+        let start = prev.map_or(0, |p| p + 1);
+        let remaining = k - slot - 1;
+        for skipped in start..m {
+            rank = rank
+                .checked_add(
+                    binomial(n - skipped - 1, remaining)
+                        .ok_or(ConfigError::CombinatoricsOverflow { n, k })?,
+                )
+                .ok_or(ConfigError::CombinatoricsOverflow { n, k })?;
+        }
+        prev = Some(m);
+    }
+    Ok(rank)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_binomials() {
+        assert_eq!(binomial(0, 0), Some(1));
+        assert_eq!(binomial(5, 0), Some(1));
+        assert_eq!(binomial(5, 5), Some(1));
+        assert_eq!(binomial(5, 2), Some(10));
+        assert_eq!(binomial(7, 5), Some(21));
+        assert_eq!(binomial(10, 7), Some(120));
+        assert_eq!(binomial(13, 10), Some(286));
+        assert_eq!(binomial(3, 4), Some(0));
+    }
+
+    #[test]
+    fn pascal_identity_holds() {
+        for n in 1..30usize {
+            for k in 1..n {
+                assert_eq!(
+                    binomial(n, k).unwrap(),
+                    binomial(n - 1, k - 1).unwrap() + binomial(n - 1, k).unwrap(),
+                    "Pascal failed at C({n},{k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn large_binomial_is_exact() {
+        // C(100, 50) known value.
+        assert_eq!(
+            binomial(100, 50),
+            Some(100_891_344_545_564_193_334_812_497_256u128)
+        );
+    }
+
+    #[test]
+    fn binomial_overflow_detected() {
+        // C(200, 100) ≈ 9e58 > u128::MAX ≈ 3.4e38.
+        assert_eq!(binomial(200, 100), None);
+    }
+
+    #[test]
+    fn unrank_enumerates_lexicographically() {
+        let total = binomial(5, 3).unwrap();
+        let mut seen = Vec::new();
+        for r in 0..total {
+            seen.push(unrank_combination(5, 3, r).unwrap());
+        }
+        let mut sorted = seen.clone();
+        sorted.sort();
+        assert_eq!(seen, sorted, "ranks must follow lexicographic order");
+        assert_eq!(seen.len(), 10);
+        assert_eq!(seen.first().unwrap(), &vec![0, 1, 2]);
+        assert_eq!(seen.last().unwrap(), &vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn rank_unrank_round_trip() {
+        for n in 1..10usize {
+            for k in 0..=n {
+                let total = binomial(n, k).unwrap();
+                for r in 0..total {
+                    let c = unrank_combination(n, k, r).unwrap();
+                    assert_eq!(c.len(), k);
+                    assert_eq!(rank_combination(n, &c).unwrap(), r);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unrank_edge_cases() {
+        assert_eq!(unrank_combination(4, 0, 0).unwrap(), Vec::<usize>::new());
+        assert_eq!(unrank_combination(4, 4, 0).unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unrank_rejects_out_of_range_rank() {
+        let _ = unrank_combination(4, 2, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn rank_rejects_unsorted() {
+        let _ = rank_combination(5, &[2, 1]);
+    }
+}

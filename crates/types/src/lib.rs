@@ -1,0 +1,53 @@
+//! Core identifiers, system configuration, and combinatorics shared by the
+//! whole `minsync` stack.
+//!
+//! `minsync` is a reproduction of *Minimal Synchrony for Asynchronous
+//! Byzantine Consensus* (Bouzid, Mostéfaoui, Raynal — PODC 2015). This crate
+//! holds the vocabulary of that paper:
+//!
+//! * [`ProcessId`] — the processes `p_1 … p_n` (0-based internally),
+//! * [`Round`] — the round counter `r ≥ 1` of the round-based objects,
+//! * [`SystemConfig`] — `n`, `t` with the paper's resilience bound `t < n/3`,
+//!   quorum sizes, and the *m-valued feasibility* predicate `n − t > m·t`,
+//! * [`RoundSchedule`] — the paper's `coord(r)` and `F(r)` maps (Section 5.2),
+//!   built on exact [`combinatorics`] (binomial coefficients and
+//!   lexicographic unranking of fixed-size subsets),
+//! * [`BisourceSpec`] — a concrete ✸⟨x⟩bisource assignment (Section 4).
+//!
+//! # Example
+//!
+//! ```rust
+//! use minsync_types::{SystemConfig, RoundSchedule, Round};
+//!
+//! # fn main() -> Result<(), minsync_types::ConfigError> {
+//! let cfg = SystemConfig::new(7, 2)?;            // n = 7, t = 2 (t < n/3)
+//! assert_eq!(cfg.quorum(), 5);                   // n − t
+//! assert_eq!(cfg.m_max(), 2);                    // ⌊(n − (t+1)) / t⌋
+//! assert!(cfg.feasible(2) && !cfg.feasible(3));  // n − t > m·t
+//!
+//! let sched = RoundSchedule::new(&cfg, 0)?;      // k = 0: |F(r)| = n − t
+//! assert_eq!(sched.alpha(), 21);                 // C(7, 5)
+//! assert_eq!(sched.coordinator(Round::new(8)).index(), 0); // p1 again
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bisource;
+pub mod combinatorics;
+mod config;
+mod error;
+mod id;
+mod round;
+mod schedule;
+mod value;
+
+pub use bisource::BisourceSpec;
+pub use config::SystemConfig;
+pub use error::ConfigError;
+pub use id::ProcessId;
+pub use round::Round;
+pub use schedule::RoundSchedule;
+pub use value::Value;

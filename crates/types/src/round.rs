@@ -1,0 +1,90 @@
+use core::fmt;
+
+/// A round number of the paper's round-based objects.
+///
+/// Rounds start at 1 (the paper's `r ≥ 1`); the consensus algorithm of
+/// Figure 4 initializes `r_i = 0` and increments before use, so [`Round`]
+/// values handled by protocol code are always ≥ 1. `Round` is also used
+/// directly as the timeout value of Figure 3 line 5 (`set timer_i[r_i] to
+/// r_i` — the timeout grows with the round number).
+///
+/// ```rust
+/// use minsync_types::Round;
+///
+/// let r = Round::FIRST;
+/// assert_eq!(r.get(), 1);
+/// assert_eq!(r.next().get(), 2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Round(u64);
+
+impl Round {
+    /// The first round, `r = 1`.
+    pub const FIRST: Round = Round(1);
+
+    /// Creates a round from its 1-based number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r == 0`; round numbers are 1-based in the paper.
+    pub const fn new(r: u64) -> Self {
+        assert!(r >= 1, "round numbers are 1-based");
+        Round(r)
+    }
+
+    /// Returns the round number (≥ 1).
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The round that follows this one.
+    pub const fn next(self) -> Round {
+        Round(self.0 + 1)
+    }
+
+    /// Iterates `FIRST, FIRST+1, …` without bound; callers `take` what they
+    /// need.
+    pub fn sequence() -> impl Iterator<Item = Round> {
+        (1u64..).map(Round)
+    }
+}
+
+impl fmt::Display for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl Default for Round {
+    fn default() -> Self {
+        Round::FIRST
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_and_next() {
+        assert_eq!(Round::FIRST.get(), 1);
+        assert_eq!(Round::FIRST.next(), Round::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_round_rejected() {
+        let _ = Round::new(0);
+    }
+
+    #[test]
+    fn sequence_counts_up() {
+        let rs: Vec<_> = Round::sequence().take(3).map(Round::get).collect();
+        assert_eq!(rs, [1, 2, 3]);
+    }
+
+    #[test]
+    fn display_round() {
+        assert_eq!(Round::new(17).to_string(), "r17");
+    }
+}

@@ -1,0 +1,268 @@
+use std::collections::BTreeSet;
+
+use crate::combinatorics::{binomial, unrank_combination};
+use crate::{ConfigError, ProcessId, Round, SystemConfig};
+
+/// The round → (coordinator, helper set) schedule of Section 5.2, including
+/// the parameterized variant of Section 5.4.
+///
+/// For each round `r ≥ 1`:
+///
+/// * `coord(r) = ((r − 1) mod n) + 1` — every process coordinates infinitely
+///   often;
+/// * `F(r) = F_{index(r)}` with `index(r) = ((⌈r/n⌉ − 1) mod α) + 1`, where
+///   `F_1 … F_α` are the `α = C(n, s)` subsets of size `s` in lexicographic
+///   order. The basic algorithm uses `s = n − t` (`k = 0`); the parameterized
+///   algorithm of Section 5.4 uses `s = n − t + k` with `0 ≤ k ≤ t`, which
+///   shrinks `α` to `β = C(n, n−t+k)` at the cost of the stronger
+///   ⟨t+1+k⟩bisource assumption.
+///
+/// Each `F` set is used by `n` consecutive rounds (one per coordinator), so a
+/// full sweep of the schedule takes `α·n` rounds — the paper's worst-case
+/// round complexity when a ⟨t+1⟩bisource exists from the start.
+///
+/// ```rust
+/// use minsync_types::{SystemConfig, RoundSchedule, Round, ProcessId};
+///
+/// # fn main() -> Result<(), minsync_types::ConfigError> {
+/// let cfg = SystemConfig::new(4, 1)?;
+/// let sched = RoundSchedule::new(&cfg, 0)?;
+/// assert_eq!(sched.alpha(), 4);                     // C(4, 3)
+/// assert_eq!(sched.coordinator(Round::new(1)), ProcessId::new(0));
+/// assert_eq!(sched.coordinator(Round::new(5)), ProcessId::new(0));
+/// // Rounds 1..=4 share F_1 = {p1, p2, p3}; round 5 moves to F_2.
+/// assert!(sched.f_set(Round::new(1)).contains(&ProcessId::new(0)));
+/// assert_ne!(sched.f_set(Round::new(4)), sched.f_set(Round::new(5)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct RoundSchedule {
+    n: usize,
+    set_size: usize,
+    k: usize,
+    alpha: u128,
+}
+
+impl RoundSchedule {
+    /// Builds the schedule for `cfg` with tuning parameter `k` (Section 5.4;
+    /// `k = 0` is the paper's basic algorithm).
+    ///
+    /// # Errors
+    ///
+    /// * [`ConfigError::TuningParameter`] if `k > t`,
+    /// * [`ConfigError::CombinatoricsOverflow`] if `C(n, n−t+k)` overflows
+    ///   `u128`.
+    pub fn new(cfg: &SystemConfig, k: usize) -> Result<Self, ConfigError> {
+        if k > cfg.t() {
+            return Err(ConfigError::TuningParameter { k, t: cfg.t() });
+        }
+        let n = cfg.n();
+        let set_size = cfg.quorum() + k; // n − t + k
+        let alpha =
+            binomial(n, set_size).ok_or(ConfigError::CombinatoricsOverflow { n, k: set_size })?;
+        debug_assert!(alpha >= 1);
+        Ok(RoundSchedule {
+            n,
+            set_size,
+            k,
+            alpha,
+        })
+    }
+
+    /// Number of processes `n`.
+    pub const fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Size of each helper set: `n − t + k`.
+    pub const fn set_size(&self) -> usize {
+        self.set_size
+    }
+
+    /// The tuning parameter `k` (0 for the basic algorithm).
+    pub const fn k(&self) -> usize {
+        self.k
+    }
+
+    /// `α = C(n, n−t+k)` — the number of distinct helper sets (the paper's
+    /// `α` for `k = 0`, `β` for the parameterized variant).
+    pub const fn alpha(&self) -> u128 {
+        self.alpha
+    }
+
+    /// Worst-case number of rounds for a full sweep of the schedule:
+    /// `α·n` (the paper's time-complexity bound under a ⟨t+1+k⟩bisource
+    /// present from the start). Saturates at `u128::MAX`.
+    pub const fn round_bound(&self) -> u128 {
+        self.alpha.saturating_mul(self.n as u128)
+    }
+
+    /// The coordinator of round `r`: `coord(r) = ((r − 1) mod n) + 1`.
+    pub fn coordinator(&self, r: Round) -> ProcessId {
+        ProcessId::new(((r.get() - 1) % self.n as u64) as usize)
+    }
+
+    /// The 0-based index of the helper set used in round `r`:
+    /// `((⌈r/n⌉ − 1) mod α)` (the paper's `index(r) − 1`).
+    pub fn f_index(&self, r: Round) -> u128 {
+        let block = (r.get() - 1) / self.n as u64; // ⌈r/n⌉ − 1
+        (block as u128) % self.alpha
+    }
+
+    /// The helper set `F(r)` of `n − t + k` processes for round `r`.
+    pub fn f_set(&self, r: Round) -> BTreeSet<ProcessId> {
+        let rank = self.f_index(r);
+        unrank_combination(self.n, self.set_size, rank)
+            .expect("rank < alpha by construction")
+            .into_iter()
+            .map(ProcessId::new)
+            .collect()
+    }
+
+    /// First round `≥ from` whose coordinator is `coord` and whose helper set
+    /// contains all of `required`. Returns `None` if `required` cannot fit in
+    /// a helper set or `coord`/`required` are out of range.
+    ///
+    /// Used by tests and experiments to predict when a given bisource must
+    /// succeed (Lemma 3 selects rounds with `coord(r) = ℓ` and
+    /// `X⁺_ℓ ⊆ F(r)`).
+    pub fn first_round_for(
+        &self,
+        from: Round,
+        coord: ProcessId,
+        required: &BTreeSet<ProcessId>,
+    ) -> Option<Round> {
+        if coord.index() >= self.n
+            || required.len() > self.set_size
+            || required.iter().any(|p| p.index() >= self.n)
+        {
+            return None;
+        }
+        // Scan block by block: within each block of n rounds there is exactly
+        // one round coordinated by `coord`, and all rounds of the block share
+        // one F set; α blocks cover every F set.
+        let mut r = from;
+        let horizon = self
+            .round_bound()
+            .saturating_mul(2)
+            .min(u64::MAX as u128) as u64;
+        for _ in 0..horizon {
+            if self.coordinator(r) == coord && required.is_subset(&self.f_set(r)) {
+                return Some(r);
+            }
+            r = r.next();
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched(n: usize, t: usize, k: usize) -> RoundSchedule {
+        RoundSchedule::new(&SystemConfig::new(n, t).unwrap(), k).unwrap()
+    }
+
+    #[test]
+    fn coordinator_rotates_through_all_processes() {
+        let s = sched(4, 1, 0);
+        let coords: Vec<_> = Round::sequence()
+            .take(8)
+            .map(|r| s.coordinator(r).index())
+            .collect();
+        assert_eq!(coords, [0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn f_set_constant_within_block_of_n_rounds() {
+        let s = sched(4, 1, 0);
+        let f1 = s.f_set(Round::new(1));
+        for r in 2..=4 {
+            assert_eq!(s.f_set(Round::new(r)), f1);
+        }
+        assert_ne!(s.f_set(Round::new(5)), f1);
+    }
+
+    #[test]
+    fn f_schedule_cycles_after_alpha_blocks() {
+        let s = sched(4, 1, 0);
+        let alpha = s.alpha() as u64; // 4
+        assert_eq!(
+            s.f_set(Round::new(1)),
+            s.f_set(Round::new(alpha * 4 + 1)),
+            "after α blocks of n rounds the schedule restarts at F_1"
+        );
+    }
+
+    #[test]
+    fn every_coordinator_f_set_pair_occurs() {
+        // The proof of Lemma 3 needs: for every process ℓ and every helper
+        // set F, infinitely many rounds with coord = ℓ and F(r) = F.
+        let s = sched(4, 1, 0);
+        let alpha = s.alpha() as u64;
+        let mut pairs = std::collections::BTreeSet::new();
+        for r in 1..=(alpha * 4) {
+            let round = Round::new(r);
+            pairs.insert((s.coordinator(round), s.f_set(round)));
+        }
+        assert_eq!(pairs.len(), (alpha as usize) * 4);
+    }
+
+    #[test]
+    fn parameterized_k_shrinks_alpha() {
+        // n = 7, t = 2: α(k=0) = C(7,5) = 21, α(k=1) = C(7,6) = 7,
+        // α(k=2) = C(7,7) = 1 (the paper's k = t endpoint: bound = n rounds).
+        assert_eq!(sched(7, 2, 0).alpha(), 21);
+        assert_eq!(sched(7, 2, 1).alpha(), 7);
+        assert_eq!(sched(7, 2, 2).alpha(), 1);
+        assert_eq!(sched(7, 2, 2).round_bound(), 7);
+    }
+
+    #[test]
+    fn k_beyond_t_rejected() {
+        let cfg = SystemConfig::new(7, 2).unwrap();
+        assert_eq!(
+            RoundSchedule::new(&cfg, 3).unwrap_err(),
+            ConfigError::TuningParameter { k: 3, t: 2 }
+        );
+    }
+
+    #[test]
+    fn f_sets_have_requested_size() {
+        for k in 0..=2 {
+            let s = sched(7, 2, k);
+            assert_eq!(s.f_set(Round::new(1)).len(), 5 + k);
+        }
+    }
+
+    #[test]
+    fn first_round_for_finds_lemma3_round() {
+        let s = sched(4, 1, 0);
+        let coord = ProcessId::new(2);
+        let need: BTreeSet<_> = [ProcessId::new(2), ProcessId::new(3)].into_iter().collect();
+        let r = s.first_round_for(Round::FIRST, coord, &need).unwrap();
+        assert_eq!(s.coordinator(r), coord);
+        assert!(need.is_subset(&s.f_set(r)));
+        // And it is the first such round.
+        for earlier in 1..r.get() {
+            let e = Round::new(earlier);
+            assert!(!(s.coordinator(e) == coord && need.is_subset(&s.f_set(e))));
+        }
+    }
+
+    #[test]
+    fn first_round_for_rejects_oversized_requirement() {
+        let s = sched(4, 1, 0);
+        let too_big: BTreeSet<_> = ProcessId::all(4).collect();
+        assert_eq!(s.first_round_for(Round::FIRST, ProcessId::new(0), &too_big), None);
+    }
+
+    #[test]
+    fn round_bound_matches_paper_formula() {
+        let s = sched(10, 3, 0);
+        // α·n = C(10, 7) · 10 = 120 · 10.
+        assert_eq!(s.round_bound(), 1200);
+    }
+}

@@ -1,0 +1,38 @@
+use core::fmt::Debug;
+use core::hash::Hash;
+
+/// Requirements on the values processes propose and decide.
+///
+/// The paper is agnostic about what values are; every protocol in this stack
+/// is generic over `V: Value`. The bounds are what a value must satisfy to
+/// be carried in messages (`Clone + Send`), compared (`Eq`), stored in
+/// deterministic ordered sets (`Ord`), counted (`Hash`), and logged
+/// (`Debug`). `Value` is blanket-implemented — never implement it manually.
+///
+/// ```rust
+/// use minsync_types::Value;
+///
+/// fn takes_value<V: Value>(_v: V) {}
+/// takes_value(42u64);
+/// takes_value("label".to_string());
+/// ```
+pub trait Value: Clone + Eq + Ord + Hash + Debug + Send + 'static {}
+
+impl<T> Value for T where T: Clone + Eq + Ord + Hash + Debug + Send + 'static {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_value<V: Value>() {}
+
+    #[test]
+    fn common_types_are_values() {
+        assert_value::<u8>();
+        assert_value::<u64>();
+        assert_value::<String>();
+        assert_value::<Option<u32>>();
+        assert_value::<(u32, String)>();
+        assert_value::<Vec<u8>>();
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the combinatorics backing the F(r) schedule.
+
+use std::collections::BTreeSet;
+
+use minsync_types::combinatorics::{binomial, rank_combination, unrank_combination};
+use minsync_types::{ProcessId, Round, RoundSchedule, SystemConfig};
+use proptest::prelude::*;
+
+/// A small (n, t) configuration with t < n/3.
+fn config_strategy() -> impl Strategy<Value = SystemConfig> {
+    (1usize..=4).prop_flat_map(|t| {
+        ((3 * t + 1)..=(3 * t + 4))
+            .prop_map(move |n| SystemConfig::new(n, t).expect("n > 3t by construction"))
+    })
+}
+
+proptest! {
+    /// unrank is injective and produces ascending k-subsets of {0..n-1}.
+    #[test]
+    fn unrank_produces_valid_ascending_subsets(
+        (n, k) in (1usize..=12).prop_flat_map(|n| (Just(n), 0usize..=n)),
+        seed in any::<u64>(),
+    ) {
+        let total = binomial(n, k).unwrap();
+        let rank = u128::from(seed) % total;
+        let c = unrank_combination(n, k, rank).unwrap();
+        prop_assert_eq!(c.len(), k);
+        prop_assert!(c.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(c.iter().all(|&x| x < n));
+    }
+
+    /// rank ∘ unrank = identity.
+    #[test]
+    fn rank_inverts_unrank(
+        (n, k) in (1usize..=12).prop_flat_map(|n| (Just(n), 0usize..=n)),
+        seed in any::<u64>(),
+    ) {
+        let total = binomial(n, k).unwrap();
+        let rank = u128::from(seed) % total;
+        let c = unrank_combination(n, k, rank).unwrap();
+        prop_assert_eq!(rank_combination(n, &c).unwrap(), rank);
+    }
+
+    /// unrank ∘ rank = identity on arbitrary subsets.
+    #[test]
+    fn unrank_inverts_rank(n in 2usize..=12, raw in proptest::collection::btree_set(0usize..12, 0..8)) {
+        let members: Vec<usize> = raw.into_iter().filter(|&x| x < n).collect();
+        let rank = rank_combination(n, &members).unwrap();
+        let back = unrank_combination(n, members.len(), rank).unwrap();
+        prop_assert_eq!(back, members);
+    }
+
+    /// Lexicographic order: larger ranks produce lexicographically larger subsets.
+    #[test]
+    fn unrank_is_monotone(
+        (n, k) in (2usize..=10).prop_flat_map(|n| (Just(n), 1usize..=n)),
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        let total = binomial(n, k).unwrap();
+        let (ra, rb) = (u128::from(a) % total, u128::from(b) % total);
+        let (ca, cb) = (
+            unrank_combination(n, k, ra).unwrap(),
+            unrank_combination(n, k, rb).unwrap(),
+        );
+        prop_assert_eq!(ra.cmp(&rb), ca.cmp(&cb));
+    }
+
+    /// The schedule's coordinator cycles with period n and its F set with
+    /// period α·n, and F(r) always has the configured size and contains only
+    /// valid processes.
+    #[test]
+    fn schedule_invariants(cfg in config_strategy(), r in 1u64..5_000, k_seed in any::<usize>()) {
+        let k = k_seed % (cfg.t() + 1);
+        let sched = RoundSchedule::new(&cfg, k).unwrap();
+        let round = Round::new(r);
+        let coord = sched.coordinator(round);
+        prop_assert!(coord.index() < cfg.n());
+        prop_assert_eq!(sched.coordinator(Round::new(r + cfg.n() as u64)), coord);
+
+        let f = sched.f_set(round);
+        prop_assert_eq!(f.len(), cfg.quorum() + k);
+        prop_assert!(f.iter().all(|p| p.index() < cfg.n()));
+
+        let period = sched.alpha() * cfg.n() as u128;
+        if period < 10_000 {
+            let wrapped = Round::new(r + period as u64);
+            prop_assert_eq!(sched.f_set(wrapped), f);
+        }
+    }
+
+    /// Lemma 3 precondition: for any coordinator ℓ and any X⁺ of size
+    /// t + 1 + k, some round has coord(r) = ℓ and X⁺ ⊆ F(r).
+    #[test]
+    fn lemma3_round_always_exists(cfg in config_strategy(), ell_seed in any::<usize>(), k_seed in any::<usize>()) {
+        let k = k_seed % (cfg.t() + 1);
+        let sched = RoundSchedule::new(&cfg, k).unwrap();
+        let ell = ProcessId::new(ell_seed % cfg.n());
+        // X⁺ = ℓ plus the next t + k processes cyclically.
+        let mut x_plus = BTreeSet::new();
+        x_plus.insert(ell);
+        let mut i = ell.index();
+        while x_plus.len() < cfg.t() + 1 + k {
+            i = (i + 1) % cfg.n();
+            x_plus.insert(ProcessId::new(i));
+        }
+        if sched.round_bound() < 100_000 {
+            let r = sched.first_round_for(Round::FIRST, ell, &x_plus);
+            prop_assert!(r.is_some(), "no round found for coord {ell} within schedule");
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Section 5.4's tuning knob `k`: strengthen the synchrony assumption to a
+//! ⟨t+1+k⟩bisource and the worst-case round bound collapses from
+//! `C(n, n−t)·n` to `C(n, n−t+k)·n` — down to `n` at `k = t`.
+//!
+//! ```text
+//! cargo run --example parameterized_k
+//! ```
+
+use minsync::harness::{ConsensusRunBuilder, FaultPlan, Table, TopologySpec};
+use minsync::net::DelayLaw;
+use minsync::types::{ProcessId, RoundSchedule, SystemConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (n, t) = (7, 2);
+    let system = SystemConfig::new(n, t)?;
+
+    let mut table = Table::new(
+        "Parameterized variant: bound β·n collapses as k grows (n = 7, t = 2)",
+        ["k", "F_set_size", "beta=C(n,n-t+k)", "bound_beta_n", "measured_commit_round"],
+    );
+    for k in 0..=t {
+        let schedule = RoundSchedule::new(&system, k)?;
+        let outcome = ConsensusRunBuilder::new(n, t)?
+            .proposals((0..n).map(|i| (i % 2) as u64))
+            .k(k)
+            .topology(TopologySpec::AsyncWithBisource {
+                bisource: ProcessId::new(2),
+                strength: t + 1 + k, // the stronger assumption k buys
+                tau: 0,
+                delta: 4,
+                noise: DelayLaw::Uniform { min: 1, max: 30 },
+            })
+            .faults(FaultPlan::MuteCoordinator { slots: vec![0] })
+            .seed(5)
+            .run()?;
+        assert!(outcome.all_decided(), "k = {k} must terminate");
+        table.push_row([
+            k.to_string(),
+            schedule.set_size().to_string(),
+            schedule.alpha().to_string(),
+            schedule.round_bound().to_string(),
+            outcome.commit_round().map_or("—".into(), |r| r.to_string()),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "note: measured rounds sit far below the worst-case bounds — the bounds \
+         quantify over every possible bisource identity and adversarial schedule."
+    );
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! Quickstart: four processes (one fault slot), split proposals, one
+//! consensus decision on a simulated partially-synchronous network.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use minsync::harness::{ConsensusRunBuilder, FaultPlan};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // n = 4 processes, t = 1 Byzantine slot (left silent here), binary
+    // proposals. The default topology is the paper's headline regime:
+    // asynchronous background noise plus one ✸⟨t+1⟩bisource.
+    let outcome = ConsensusRunBuilder::new(4, 1)?
+        .proposals([0u64, 1, 0, 1])
+        .faults(FaultPlan::silent(1))
+        .seed(2024)
+        .run()?;
+
+    println!("decided value : {:?}", outcome.decided_value());
+    println!("terminated    : {}", outcome.all_decided());
+    println!("agreement     : {}", outcome.agreement_holds());
+    println!("validity      : {}", outcome.validity_holds());
+    println!("commit round  : {:?}", outcome.commit_round());
+    println!("latency       : {:?} ticks", outcome.decision_latency());
+    println!("messages      : {}", outcome.total_messages());
+    println!();
+    println!("messages by kind:");
+    for (kind, count) in &outcome.metrics().sent_by_kind {
+        println!("  {kind:<14} {count}");
+    }
+
+    assert!(outcome.agreement_holds() && outcome.validity_holds());
+    Ok(())
+}

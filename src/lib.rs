@@ -1,0 +1,50 @@
+//! # minsync — Minimal Synchrony for Byzantine Consensus
+//!
+//! Umbrella crate for the reproduction of *Minimal Synchrony for
+//! (Asynchronous) Byzantine Consensus* (Bouzid, Mostéfaoui, Raynal —
+//! PODC 2015). It re-exports the whole stack so examples and downstream
+//! users need a single dependency:
+//!
+//! * [`types`] — ids, rounds, system configuration, `F(r)` combinatorics,
+//!   bisource specifications;
+//! * [`net`] — deterministic discrete-event network simulator (per-channel
+//!   timing models: timely, eventually timely, asynchronous) and a threaded
+//!   live runtime;
+//! * [`broadcast`] — Bracha reliable broadcast and the paper's cooperative
+//!   broadcast (Figure 1);
+//! * [`core`] — adopt-commit (Figure 2), eventual agreement (Figure 3, plus
+//!   the parameterized variant of Section 5.4), the consensus algorithm
+//!   (Figure 4), and the ⊥-validity variant (Section 7);
+//! * [`adversary`] — Byzantine behaviors and adversarial schedulers;
+//! * [`baselines`] — Ben-Or-style randomized binary consensus for
+//!   comparison;
+//! * [`harness`] — experiment runner regenerating every claim of the paper
+//!   (see `EXPERIMENTS.md`).
+//!
+//! # Quickstart
+//!
+//! ```rust
+//! use minsync::harness::{ConsensusRunBuilder, FaultPlan};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 4 processes, 1 Byzantine slot left empty (all correct), binary values.
+//! let report = ConsensusRunBuilder::new(4, 1)?
+//!     .proposals([0u64, 1, 0, 1])
+//!     .seed(7)
+//!     .run()?;
+//! assert!(report.agreement_holds());
+//! assert!(report.validity_holds());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use minsync_adversary as adversary;
+pub use minsync_baselines as baselines;
+pub use minsync_broadcast as broadcast;
+pub use minsync_core as core;
+pub use minsync_harness as harness;
+pub use minsync_net as net;
+pub use minsync_smr as smr;
+pub use minsync_types as types;

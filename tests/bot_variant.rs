@@ -1,0 +1,99 @@
+//! End-to-end tests of the ⊥-validity variant (Section 7): consensus with
+//! no m-feasibility requirement, deciding ⊥ when correct processes
+//! disagree.
+
+use minsync::core::bot_variant::{BotConsensusNode, BotEvent, BotMsg};
+use minsync::core::ConsensusConfig;
+use minsync::net::sim::SimBuilder;
+use minsync::net::{ChannelTiming, DelayLaw, NetworkTopology, Node};
+use minsync::types::SystemConfig;
+
+type Msg = BotMsg<u64>;
+type Out = BotEvent<u64>;
+
+fn run(proposals: &[u64], topo: NetworkTopology, seed: u64) -> Vec<(usize, Option<u64>)> {
+    let n = proposals.len();
+    let t = (n - 1) / 3;
+    let system = SystemConfig::new(n, t).unwrap();
+    let cfg = ConsensusConfig::paper(system);
+    let mut builder = SimBuilder::new(topo).seed(seed).max_events(5_000_000);
+    for &p in proposals {
+        let node: Box<dyn Node<Msg = Msg, Output = Out>> =
+            Box::new(BotConsensusNode::new(cfg, p).unwrap());
+        builder = builder.boxed_node(node);
+    }
+    let mut sim = builder.build();
+    let report = sim.run_until(|outs| outs.len() == n);
+    report
+        .outputs
+        .iter()
+        .map(|o| {
+            let d = match &o.event {
+                BotEvent::Decided { value } => Some(*value),
+                BotEvent::DecidedBottom => None,
+            };
+            (o.process.index(), d)
+        })
+        .collect()
+}
+
+#[test]
+fn unanimous_proposals_decide_the_value_not_bottom() {
+    let d = run(&[42, 42, 42, 42], NetworkTopology::all_timely(4, 3), 1);
+    assert_eq!(d.len(), 4);
+    assert!(
+        d.iter().all(|(_, v)| *v == Some(42)),
+        "obligation: all-same input must decide the value, got {d:?}"
+    );
+}
+
+#[test]
+fn all_distinct_proposals_agree_possibly_on_bottom() {
+    // m = n distinct values: infeasible for the main algorithm, fine here.
+    for seed in 0..5 {
+        let d = run(&[10, 20, 30, 40], NetworkTopology::all_timely(4, 3), seed);
+        assert_eq!(d.len(), 4, "seed {seed}: termination");
+        let first = d[0].1;
+        assert!(
+            d.iter().all(|(_, v)| *v == first),
+            "seed {seed}: agreement violated: {d:?}"
+        );
+        if let Some(v) = first {
+            assert!(
+                [10, 20, 30, 40].contains(&v),
+                "seed {seed}: decided value {v} was never proposed"
+            );
+        }
+    }
+}
+
+#[test]
+fn works_under_asynchrony() {
+    let topo = NetworkTopology::uniform(
+        4,
+        ChannelTiming::asynchronous(DelayLaw::Uniform { min: 1, max: 15 }),
+    );
+    for seed in 0..3 {
+        let d = run(&[7, 7, 8, 9], topo.clone(), seed);
+        assert_eq!(d.len(), 4, "seed {seed}");
+        let first = d[0].1;
+        assert!(d.iter().all(|(_, v)| *v == first), "seed {seed}: {d:?}");
+        if let Some(v) = first {
+            assert!([7, 8, 9].contains(&v));
+        }
+    }
+}
+
+#[test]
+fn seven_processes_majority_value_can_win() {
+    // 5 of 7 propose 1: 1 certifies (> (n+t)/2 = 4 deliveries reachable);
+    // whether it wins depends on timing, but the decision is 1 or ⊥ and
+    // never 2 (only two proposers — can never certify).
+    for seed in 0..3 {
+        let d = run(&[1, 1, 1, 1, 1, 2, 2], NetworkTopology::all_timely(7, 2), seed);
+        assert_eq!(d.len(), 7, "seed {seed}");
+        let first = d[0].1;
+        assert!(d.iter().all(|(_, v)| *v == first), "seed {seed}: {d:?}");
+        assert_ne!(first, Some(2), "2 can never certify with 2 proposers");
+    }
+}
