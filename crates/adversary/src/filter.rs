@@ -47,7 +47,9 @@ impl<N: Node> FilterNode<N> {
 
 impl<N: Node + Debug> Debug for FilterNode<N> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("FilterNode").field("inner", &self.inner).finish()
+        f.debug_struct("FilterNode")
+            .field("inner", &self.inner)
+            .finish()
     }
 }
 
@@ -187,7 +189,10 @@ mod tests {
             .map(|o| o.event)
             .collect();
         assert!(p2_got.contains(&7), "odd destination saw the true value");
-        assert!(p3_got.contains(&102), "even destination saw the forged value");
+        assert!(
+            p3_got.contains(&102),
+            "even destination saw the forged value"
+        );
     }
 
     #[test]

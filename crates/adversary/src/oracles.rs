@@ -173,7 +173,10 @@ impl DelayOracle<ProtocolMsg<u64>> for SplitBrainOracle {
         use minsync_core::{CbId, RbTag};
         match msg {
             ProtocolMsg::EaCoord { .. } => self.coord_delay,
-            ProtocolMsg::EaRelay { round, value: Some(_) } => {
+            ProtocolMsg::EaRelay {
+                round,
+                value: Some(_),
+            } => {
                 let from_f = self
                     .schedule
                     .as_ref()
@@ -249,11 +252,23 @@ mod tests {
             value: None,
         };
         assert_eq!(
-            o.delay(ProcessId::new(0), ProcessId::new(1), VirtualTime::ZERO, &coord, 3),
+            o.delay(
+                ProcessId::new(0),
+                ProcessId::new(1),
+                VirtualTime::ZERO,
+                &coord,
+                3
+            ),
             900
         );
         assert_eq!(
-            o.delay(ProcessId::new(0), ProcessId::new(1), VirtualTime::ZERO, &relay, 3),
+            o.delay(
+                ProcessId::new(0),
+                ProcessId::new(1),
+                VirtualTime::ZERO,
+                &relay,
+                3
+            ),
             3
         );
     }
@@ -302,9 +317,21 @@ mod tests {
             value: 1,
         });
         // Value 1 toward an even process: slowed.
-        let d_even = o.delay(ProcessId::new(3), ProcessId::new(0), VirtualTime::ZERO, &msg, 5);
+        let d_even = o.delay(
+            ProcessId::new(3),
+            ProcessId::new(0),
+            VirtualTime::ZERO,
+            &msg,
+            5,
+        );
         // Value 1 toward an odd process: default.
-        let d_odd = o.delay(ProcessId::new(3), ProcessId::new(1), VirtualTime::ZERO, &msg, 5);
+        let d_odd = o.delay(
+            ProcessId::new(3),
+            ProcessId::new(1),
+            VirtualTime::ZERO,
+            &msg,
+            5,
+        );
         assert_eq!((d_even, d_odd), (65, 5));
     }
 
@@ -313,8 +340,17 @@ mod tests {
         use minsync_broadcast::RbMsg;
         use minsync_core::RbTag;
         let mut o = SplitBrainOracle::default();
-        let msg: ProtocolMsg<u64> = ProtocolMsg::Rb(RbMsg::Init { tag: RbTag::Decide, value: 1 });
-        let d = o.delay(ProcessId::new(3), ProcessId::new(0), VirtualTime::ZERO, &msg, 5);
+        let msg: ProtocolMsg<u64> = ProtocolMsg::Rb(RbMsg::Init {
+            tag: RbTag::Decide,
+            value: 1,
+        });
+        let d = o.delay(
+            ProcessId::new(3),
+            ProcessId::new(0),
+            VirtualTime::ZERO,
+            &msg,
+            5,
+        );
         assert_eq!(d, 5, "DECIDE traffic must not be split");
     }
 
@@ -325,7 +361,13 @@ mod tests {
             round: minsync_types::Round::FIRST,
             value: 0,
         };
-        let d = o.delay(ProcessId::new(0), ProcessId::new(1), VirtualTime::ZERO, &msg, 5);
+        let d = o.delay(
+            ProcessId::new(0),
+            ProcessId::new(1),
+            VirtualTime::ZERO,
+            &msg,
+            5,
+        );
         assert_eq!(d, 1_000);
         let witness: ProtocolMsg<u64> = ProtocolMsg::EaRelay {
             round: minsync_types::Round::FIRST,
@@ -335,8 +377,20 @@ mod tests {
             round: minsync_types::Round::FIRST,
             value: None,
         };
-        let dw = o.delay(ProcessId::new(0), ProcessId::new(1), VirtualTime::ZERO, &witness, 5);
-        let db = o.delay(ProcessId::new(0), ProcessId::new(1), VirtualTime::ZERO, &suspect, 5);
+        let dw = o.delay(
+            ProcessId::new(0),
+            ProcessId::new(1),
+            VirtualTime::ZERO,
+            &witness,
+            5,
+        );
+        let db = o.delay(
+            ProcessId::new(0),
+            ProcessId::new(1),
+            VirtualTime::ZERO,
+            &suspect,
+            5,
+        );
         assert!(dw > db, "witness relays must crawl behind ⊥ relays");
     }
 }

@@ -131,7 +131,10 @@ where
             ProtocolMsg::EaProp2 { round, .. }
             | ProtocolMsg::EaCoord { round, .. }
             | ProtocolMsg::EaRelay { round, .. } => Some(round.get()),
-            ProtocolMsg::Rb(RbMsg::Init { tag: RbTag::AcEst(r), .. }) => Some(r.get()),
+            ProtocolMsg::Rb(RbMsg::Init {
+                tag: RbTag::AcEst(r),
+                ..
+            }) => Some(r.get()),
             _ => None,
         };
         if let Some(r) = seen {

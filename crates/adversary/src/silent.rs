@@ -82,7 +82,12 @@ impl<N: Node> Node for CrashNode<N> {
         }
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: N::Msg, ctx: &mut dyn Context<N::Msg, N::Output>) {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: N::Msg,
+        ctx: &mut dyn Context<N::Msg, N::Output>,
+    ) {
         if ctx.now() < self.crash_at {
             self.inner.on_message(from, msg, ctx);
         }
@@ -156,7 +161,9 @@ mod tests {
         let crashed_outputs: Vec<_> = report.outputs_of(ProcessId::new(1)).collect();
         assert!(!crashed_outputs.is_empty(), "behaved before the crash");
         assert!(
-            crashed_outputs.iter().all(|o| o.time < VirtualTime::from_ticks(15)),
+            crashed_outputs
+                .iter()
+                .all(|o| o.time < VirtualTime::from_ticks(15)),
             "no activity after the crash: {crashed_outputs:?}"
         );
     }

@@ -152,12 +152,7 @@ fn survives_mute_coordinator() {
         consensus(cfg, 9),
         consensus(cfg, 9),
     ];
-    let (d, _) = run_to_decisions(
-        NetworkTopology::all_timely(4, 3),
-        nodes,
-        vec![1, 2, 3],
-        2,
-    );
+    let (d, _) = run_to_decisions(NetworkTopology::all_timely(4, 3), nodes, vec![1, 2, 3], 2);
     assert_agreement_validity(&d, &[7, 9], 3);
 }
 
@@ -200,12 +195,7 @@ fn survives_rb_support_withholder() {
         consensus(cfg, 2),
         consensus(cfg, 2),
     ];
-    let (d, _) = run_to_decisions(
-        NetworkTopology::all_timely(4, 3),
-        nodes,
-        vec![0, 2, 3],
-        4,
-    );
+    let (d, _) = run_to_decisions(NetworkTopology::all_timely(4, 3), nodes, vec![0, 2, 3], 4);
     assert_agreement_validity(&d, &[1, 2], 3);
 }
 
@@ -279,10 +269,7 @@ fn terminates_with_bisource_despite_adversarial_async_noise() {
 fn isolated_victim_still_decides() {
     let system = SystemConfig::new(4, 1).unwrap();
     let cfg = ConsensusConfig::paper(system);
-    let topo = NetworkTopology::uniform(
-        4,
-        ChannelTiming::asynchronous(DelayLaw::Fixed(2)),
-    );
+    let topo = NetworkTopology::uniform(4, ChannelTiming::asynchronous(DelayLaw::Fixed(2)));
     let nodes: Vec<BoxedNode> = vec![
         consensus(cfg, 1),
         consensus(cfg, 1),
@@ -300,7 +287,10 @@ fn isolated_victim_still_decides() {
         })
         .build();
     let report = sim.run_until(|outs| {
-        outs.iter().filter(|o| o.event.as_decision().is_some()).count() == 4
+        outs.iter()
+            .filter(|o| o.event.as_decision().is_some())
+            .count()
+            == 4
     });
     let d = decisions(&report, &[0, 1, 2, 3]);
     assert_agreement_validity(&d, &[1, 2], 4);

@@ -299,9 +299,7 @@ mod tests {
             .outputs
             .iter()
             .filter_map(|o| match o.event {
-                BenOrEvent::Decided { round, value } => {
-                    Some((o.process.index(), value, round))
-                }
+                BenOrEvent::Decided { round, value } => Some((o.process.index(), value, round)),
                 _ => None,
             })
             .collect()
@@ -312,7 +310,10 @@ mod tests {
         let d = run(4, 1, &[1, 1, 1, 1], 3);
         assert_eq!(d.len(), 4);
         assert!(d.iter().all(|&(_, v, _)| v == 1));
-        assert!(d.iter().all(|&(_, _, r)| r <= 2), "unanimous should be ~1 round: {d:?}");
+        assert!(
+            d.iter().all(|&(_, _, r)| r <= 2),
+            "unanimous should be ~1 round: {d:?}"
+        );
     }
 
     #[test]

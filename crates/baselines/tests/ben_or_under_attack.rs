@@ -99,7 +99,10 @@ fn unanimous_validity_holds_under_equivocator() {
         BenOrNode::new(cfg, 0, 100_000),
         |_to: ProcessId, msg: &BenOrMsg| match *msg {
             BenOrMsg::Report { round, .. } => Some(BenOrMsg::Report { round, value: 0 }),
-            BenOrMsg::Propose { round, .. } => Some(BenOrMsg::Propose { round, value: Some(0) }),
+            BenOrMsg::Propose { round, .. } => Some(BenOrMsg::Propose {
+                round,
+                value: Some(0),
+            }),
         },
     );
     let mut nodes: Vec<BoxedNode> = (0..6)

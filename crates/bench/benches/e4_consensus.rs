@@ -10,9 +10,13 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4_consensus");
     group.sample_size(30);
     for (n, t) in [(4usize, 1usize), (7, 2), (10, 3)] {
-        group.bench_with_input(BenchmarkId::new("all_correct/n", n), &(n, t), |b, &(n, t)| {
-            b.iter(|| e4_consensus::bench_one(n, t, FaultPlan::AllCorrect, BENCH_SEED))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("all_correct/n", n),
+            &(n, t),
+            |b, &(n, t)| {
+                b.iter(|| e4_consensus::bench_one(n, t, FaultPlan::AllCorrect, BENCH_SEED))
+            },
+        );
         group.bench_with_input(BenchmarkId::new("silent_t/n", n), &(n, t), |b, &(n, t)| {
             b.iter(|| e4_consensus::bench_one(n, t, FaultPlan::silent(t), BENCH_SEED))
         });

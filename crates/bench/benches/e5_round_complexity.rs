@@ -14,7 +14,9 @@ fn one(n: usize, t: usize, ell: usize, seed: u64) -> u64 {
         .unwrap()
         .proposals((0..n).map(|i| (i % 2) as u64))
         .topology(TopologySpec::standard(ell, &cfg))
-        .faults(FaultPlan::MuteCoordinator { slots: vec![(ell + 1) % n] })
+        .faults(FaultPlan::MuteCoordinator {
+            slots: vec![(ell + 1) % n],
+        })
         .seed(seed)
         .run()
         .unwrap();

@@ -145,7 +145,10 @@ mod tests {
         let mut c = cb(7, 2);
         assert!(c.on_rb_delivered(ProcessId::new(5), 99).is_none());
         assert!(c.on_rb_delivered(ProcessId::new(6), 99).is_none());
-        assert!(!c.is_valid(&99), "CB-Set Validity: t supporters are not enough");
+        assert!(
+            !c.is_valid(&99),
+            "CB-Set Validity: t supporters are not enough"
+        );
         assert!(!c.has_valid());
     }
 

@@ -158,8 +158,7 @@ where
         assert!(
             !inst.initiated,
             "RB instance ({:?}, {:?}) already used by this origin",
-            self.me,
-            tag
+            self.me, tag
         );
         inst.initiated = true;
         vec![RbAction::Broadcast(RbMsg::Init { tag, value })]
@@ -274,7 +273,9 @@ mod tests {
     }
 
     fn engines(n: usize) -> Vec<Engine> {
-        (0..n).map(|i| RbEngine::new(cfg(), ProcessId::new(i))).collect()
+        (0..n)
+            .map(|i| RbEngine::new(cfg(), ProcessId::new(i)))
+            .collect()
     }
 
     /// Synchronously runs a message soup to quiescence, FIFO order.
@@ -328,7 +329,9 @@ mod tests {
         let wire = start_broadcast(&mut e, 0, "x", 7);
         let deliveries = run_soup(&mut e, wire, &[]);
         assert_eq!(deliveries.len(), 4);
-        assert!(deliveries.iter().all(|&(_, o, v)| o == ProcessId::new(0) && v == 7));
+        assert!(deliveries
+            .iter()
+            .all(|&(_, o, v)| o == ProcessId::new(0) && v == 7));
     }
 
     #[test]
@@ -374,13 +377,7 @@ mod tests {
         // Deliver the conflicting INITs directly to the targets.
         let mut deliveries = Vec::new();
         for (target, value) in [(0usize, 1u64), (1, 1), (2, 2)] {
-            for action in e[target].on_message(
-                byz,
-                RbMsg::Init {
-                    tag: "x",
-                    value,
-                },
-            ) {
+            for action in e[target].on_message(byz, RbMsg::Init { tag: "x", value }) {
                 match action {
                     RbAction::Broadcast(m) => wire.push((ProcessId::new(target), m)),
                     RbAction::Deliver { origin, value, .. } => {
@@ -395,7 +392,10 @@ mod tests {
         // correct process delivered, all delivered values agree.
         let values: std::collections::BTreeSet<u64> =
             deliveries.iter().map(|&(_, _, v)| v).collect();
-        assert!(values.len() <= 1, "correct processes delivered different values");
+        assert!(
+            values.len() <= 1,
+            "correct processes delivered different values"
+        );
     }
 
     #[test]
@@ -414,7 +414,10 @@ mod tests {
                 },
             ));
         }
-        assert!(actions.is_empty(), "one Byzantine READY must not trigger anything");
+        assert!(
+            actions.is_empty(),
+            "one Byzantine READY must not trigger anything"
+        );
     }
 
     #[test]
@@ -427,32 +430,53 @@ mod tests {
         // p1 receives READY from p2 and p3 (2 = t+1): amplifies.
         out.extend(e[0].on_message(
             ProcessId::new(1),
-            RbMsg::Ready { origin: ProcessId::new(1), tag: "x", value: 5 },
+            RbMsg::Ready {
+                origin: ProcessId::new(1),
+                tag: "x",
+                value: 5,
+            },
         ));
         assert!(out.is_empty());
         out.extend(e[0].on_message(
             ProcessId::new(2),
-            RbMsg::Ready { origin: ProcessId::new(1), tag: "x", value: 5 },
+            RbMsg::Ready {
+                origin: ProcessId::new(1),
+                tag: "x",
+                value: 5,
+            },
         ));
         assert!(matches!(out[0], RbAction::Broadcast(RbMsg::Ready { .. })));
         // Its own READY loops back as the 3rd (2t+1): delivers.
         let acts = e[0].on_message(
             ProcessId::new(0),
-            RbMsg::Ready { origin: ProcessId::new(1), tag: "x", value: 5 },
+            RbMsg::Ready {
+                origin: ProcessId::new(1),
+                tag: "x",
+                value: 5,
+            },
         );
-        assert!(acts.iter().any(|a| matches!(a, RbAction::Deliver { value: 5, .. })));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, RbAction::Deliver { value: 5, .. })));
     }
 
     #[test]
     fn duplicate_messages_from_same_sender_discarded() {
         let mut e = engines(4);
-        let ready = RbMsg::Ready { origin: ProcessId::new(1), tag: "x", value: 5 };
+        let ready = RbMsg::Ready {
+            origin: ProcessId::new(1),
+            tag: "x",
+            value: 5,
+        };
         // Same sender repeats READY 10 times: counts once.
         let mut actions = Vec::new();
         for _ in 0..10 {
             actions.extend(e[0].on_message(ProcessId::new(2), ready.clone()));
         }
-        assert!(actions.is_empty(), "replays from one sender must not accumulate");
+        assert!(
+            actions.is_empty(),
+            "replays from one sender must not accumulate"
+        );
     }
 
     #[test]
@@ -463,16 +487,27 @@ mod tests {
         for sender in 1..=4 {
             actions.extend(e.on_message(
                 ProcessId::new(sender),
-                RbMsg::Echo { origin: ProcessId::new(6), tag: "x", value: 9 },
+                RbMsg::Echo {
+                    origin: ProcessId::new(6),
+                    tag: "x",
+                    value: 9,
+                },
             ));
         }
         assert!(actions.is_empty(), "4 echoes < threshold 5");
         actions.extend(e.on_message(
             ProcessId::new(5),
-            RbMsg::Echo { origin: ProcessId::new(6), tag: "x", value: 9 },
+            RbMsg::Echo {
+                origin: ProcessId::new(6),
+                tag: "x",
+                value: 9,
+            },
         ));
         assert_eq!(actions.len(), 1, "5th echo crosses the quorum");
-        assert!(matches!(&actions[0], RbAction::Broadcast(RbMsg::Ready { value: 9, .. })));
+        assert!(matches!(
+            &actions[0],
+            RbAction::Broadcast(RbMsg::Ready { value: 9, .. })
+        ));
     }
 
     #[test]
@@ -485,7 +520,11 @@ mod tests {
         for (sender, value) in [(1, 9u64), (2, 9), (3, 9), (4, 8), (5, 8)] {
             actions.extend(e.on_message(
                 ProcessId::new(sender),
-                RbMsg::Echo { origin: ProcessId::new(6), tag: "x", value },
+                RbMsg::Echo {
+                    origin: ProcessId::new(6),
+                    tag: "x",
+                    value,
+                },
             ));
         }
         assert!(actions.is_empty());
@@ -495,9 +534,17 @@ mod tests {
     fn kind_labels() {
         let m: RbMsg<u8, u8> = RbMsg::Init { tag: 0, value: 0 };
         assert_eq!(m.kind(), "RB_INIT");
-        let m: RbMsg<u8, u8> = RbMsg::Echo { origin: ProcessId::new(0), tag: 0, value: 0 };
+        let m: RbMsg<u8, u8> = RbMsg::Echo {
+            origin: ProcessId::new(0),
+            tag: 0,
+            value: 0,
+        };
         assert_eq!(m.kind(), "RB_ECHO");
-        let m: RbMsg<u8, u8> = RbMsg::Ready { origin: ProcessId::new(0), tag: 0, value: 0 };
+        let m: RbMsg<u8, u8> = RbMsg::Ready {
+            origin: ProcessId::new(0),
+            tag: 0,
+            value: 0,
+        };
         assert_eq!(m.kind(), "RB_READY");
     }
 }

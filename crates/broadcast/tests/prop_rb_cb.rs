@@ -40,7 +40,9 @@ impl Soup {
     fn new(cfg: SystemConfig, correct: Vec<usize>, seed: u64) -> Self {
         let n = cfg.n();
         Soup {
-            engines: (0..n).map(|i| RbEngine::new(cfg, ProcessId::new(i))).collect(),
+            engines: (0..n)
+                .map(|i| RbEngine::new(cfg, ProcessId::new(i)))
+                .collect(),
             cbs: (0..n).map(|_| CbInstance::new(cfg)).collect(),
             correct,
             pool: Vec::new(),

@@ -141,7 +141,11 @@ impl<V: Value> AcRound<V> {
             .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
             .map(|(v, c)| ((*v).clone(), *c))
             .expect("witness is non-empty");
-        let tag = if count == quorum { AcTag::Commit } else { AcTag::Adopt };
+        let tag = if count == quorum {
+            AcTag::Commit
+        } else {
+            AcTag::Adopt
+        };
         let outcome = (tag, mfa);
         self.outcome = Some(outcome.clone());
         Some(outcome)
@@ -242,7 +246,10 @@ impl<V: Value> Node for AcNode<V> {
 
     fn on_start(&mut self, ctx: &mut dyn Context<ProtocolMsg<V>, AcNodeEvent<V>>) {
         let mut rb = RbEngine::new(self.cfg, ctx.me());
-        let actions = rb.broadcast(RbTag::CbVal(CbId::AcProp(Round::FIRST)), self.proposal.clone());
+        let actions = rb.broadcast(
+            RbTag::CbVal(CbId::AcProp(Round::FIRST)),
+            self.proposal.clone(),
+        );
         self.rb = Some(rb);
         self.rb_actions(actions, ctx);
     }

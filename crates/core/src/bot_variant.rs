@@ -187,11 +187,7 @@ impl<V: Value> BotConsensusNode<V> {
         let threshold = self.system.certification_threshold();
         let n = self.system.n();
         if self.certified.is_none() {
-            if let Some((v, _)) = self
-                .cert_support
-                .iter()
-                .find(|(_, s)| s.len() >= threshold)
-            {
+            if let Some((v, _)) = self.cert_support.iter().find(|(_, s)| s.len() >= threshold) {
                 self.certified = Some(v.clone());
             }
         }
@@ -202,12 +198,7 @@ impl<V: Value> BotConsensusNode<V> {
                 // Resolve 0 only when no value can reach the threshold even
                 // if every process not yet heard from supports it.
                 let outstanding = n - self.cert_senders.len();
-                let best = self
-                    .cert_support
-                    .values()
-                    .map(Vec::len)
-                    .max()
-                    .unwrap_or(0);
+                let best = self.cert_support.values().map(Vec::len).max().unwrap_or(0);
                 if best + outstanding < threshold {
                     self.watch = Watch::Resolved(0);
                 }
@@ -225,7 +216,10 @@ impl<V: Value> BotConsensusNode<V> {
         self.inner = ConsensusNode::new(self.inner_cfg, bit).expect("config validated in new()");
         let mut events = Vec::new();
         {
-            let mut shim = InnerCtx { outer: ctx, events: Vec::new() };
+            let mut shim = InnerCtx {
+                outer: ctx,
+                events: Vec::new(),
+            };
             self.inner.on_start(&mut shim);
             // Replay buffered inner traffic in arrival order.
             for (from, msg) in std::mem::take(&mut self.pending_inner) {
@@ -328,7 +322,10 @@ impl<V: Value> Node for BotConsensusNode<V> {
             }
             BotMsg::Inner(inner_msg) => {
                 if self.inner_started {
-                    let mut shim = InnerCtx { outer: ctx, events: Vec::new() };
+                    let mut shim = InnerCtx {
+                        outer: ctx,
+                        events: Vec::new(),
+                    };
                     self.inner.on_message(from, inner_msg, &mut shim);
                     let events = shim.events;
                     self.consume_inner_events(events, ctx);
@@ -343,7 +340,10 @@ impl<V: Value> Node for BotConsensusNode<V> {
 
     fn on_timer(&mut self, timer: TimerId, ctx: &mut BotCtx<'_, V>) {
         if self.inner_started {
-            let mut shim = InnerCtx { outer: ctx, events: Vec::new() };
+            let mut shim = InnerCtx {
+                outer: ctx,
+                events: Vec::new(),
+            };
             self.inner.on_timer(timer, &mut shim);
             let events = shim.events;
             self.consume_inner_events(events, ctx);
@@ -370,8 +370,9 @@ mod tests {
         let n = proposals.len();
         let t = (n - 1) / 3;
         let cfg = ConsensusConfig::paper(SystemConfig::new(n, t).unwrap());
-        let mut builder =
-            SimBuilder::new(NetworkTopology::all_timely(n, 3)).seed(seed).max_events(3_000_000);
+        let mut builder = SimBuilder::new(NetworkTopology::all_timely(n, 3))
+            .seed(seed)
+            .max_events(3_000_000);
         for &p in proposals {
             let node: Box<dyn Node<Msg = Msg, Output = Out>> =
                 Box::new(BotConsensusNode::new(cfg, p).unwrap());
@@ -427,9 +428,15 @@ mod tests {
         // 4th origin could still push any of them to the threshold (3), so
         // the watch must stay pending.
         node.cert_senders.push(minsync_types::ProcessId::new(0));
-        node.cert_support.entry(10).or_default().push(minsync_types::ProcessId::new(0));
+        node.cert_support
+            .entry(10)
+            .or_default()
+            .push(minsync_types::ProcessId::new(0));
         node.cert_senders.push(minsync_types::ProcessId::new(1));
-        node.cert_support.entry(20).or_default().push(minsync_types::ProcessId::new(1));
+        node.cert_support
+            .entry(20)
+            .or_default()
+            .push(minsync_types::ProcessId::new(1));
         // best = 1, outstanding = 2, threshold = 3: 1 + 2 = 3 ≥ 3 → pending.
         assert_eq!(node.watch, Watch::Pending);
         let outstanding = 4 - node.cert_senders.len();

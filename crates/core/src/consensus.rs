@@ -23,13 +23,11 @@ use std::collections::BTreeMap;
 
 use minsync_broadcast::{CbInstance, RbAction, RbEngine};
 use minsync_net::{Context, Node, TimerId};
-use minsync_types::{
-    ConfigError, ProcessId, Round, RoundSchedule, SystemConfig, Value,
-};
+use minsync_types::{ConfigError, ProcessId, Round, RoundSchedule, SystemConfig, Value};
 
 use crate::adopt_commit::AcRound;
-use crate::eventual_agreement::{EaAction, EaObject};
 use crate::events::{AcTag, ConsensusEvent};
+use crate::eventual_agreement::{EaAction, EaObject};
 use crate::messages::{CbId, ProtocolMsg, RbTag};
 use crate::timeout::TimeoutPolicy;
 
@@ -270,7 +268,9 @@ impl<V: Value> ConsensusNode<V> {
 
     fn ac_round(&mut self, r: Round) -> &mut AcRound<V> {
         let system = self.cfg.system;
-        self.ac_rounds.entry(r).or_insert_with(|| AcRound::new(system))
+        self.ac_rounds
+            .entry(r)
+            .or_insert_with(|| AcRound::new(system))
     }
 
     /// Line 1 completion: `CB[0]` returned → enter round 1.
@@ -400,11 +400,7 @@ impl<V: Value> Node for ConsensusNode<V> {
             self.cfg.timeout,
         );
         // Line 1: CB[0].CB_broadcast VALID(v_i).
-        self.rb_broadcast(
-            RbTag::CbVal(CbId::ConsValid),
-            self.proposal.clone(),
-            ctx,
-        );
+        self.rb_broadcast(RbTag::CbVal(CbId::ConsValid), self.proposal.clone(), ctx);
     }
 
     fn on_message(&mut self, from: ProcessId, msg: ProtocolMsg<V>, ctx: &mut Ctx<'_, V>) {
@@ -488,18 +484,27 @@ mod tests {
     fn all_correct_same_proposal_decides_it() {
         let mut sim = build_sim(4, 1, &[9, 9, 9, 9], NetworkTopology::all_timely(4, 3), 1);
         let report = sim.run_until(|outs| {
-            outs.iter().filter(|o| o.event.as_decision().is_some()).count() == 4
+            outs.iter()
+                .filter(|o| o.event.as_decision().is_some())
+                .count()
+                == 4
         });
         let d = decisions(&report);
         assert_eq!(d.len(), 4, "stop reason {:?}", report.reason);
-        assert!(d.iter().all(|&(_, v)| v == 9), "validity: only 9 was proposed");
+        assert!(
+            d.iter().all(|&(_, v)| v == 9),
+            "validity: only 9 was proposed"
+        );
     }
 
     #[test]
     fn split_proposals_agree_on_a_proposed_value() {
         let mut sim = build_sim(4, 1, &[1, 2, 1, 2], NetworkTopology::all_timely(4, 3), 7);
         let report = sim.run_until(|outs| {
-            outs.iter().filter(|o| o.event.as_decision().is_some()).count() == 4
+            outs.iter()
+                .filter(|o| o.event.as_decision().is_some())
+                .count()
+                == 4
         });
         let d = decisions(&report);
         assert_eq!(d.len(), 4);
@@ -517,10 +522,18 @@ mod tests {
         for seed in 0..5 {
             let mut sim = build_sim(4, 1, &[3, 3, 5, 5], topo.clone(), seed);
             let report = sim.run_until(|outs| {
-                outs.iter().filter(|o| o.event.as_decision().is_some()).count() == 4
+                outs.iter()
+                    .filter(|o| o.event.as_decision().is_some())
+                    .count()
+                    == 4
             });
             let d = decisions(&report);
-            assert_eq!(d.len(), 4, "seed {seed}: no termination ({:?})", report.reason);
+            assert_eq!(
+                d.len(),
+                4,
+                "seed {seed}: no termination ({:?})",
+                report.reason
+            );
             assert!(d.windows(2).all(|w| w[0].1 == w[1].1), "seed {seed}: {d:?}");
         }
     }
@@ -535,7 +548,10 @@ mod tests {
             3,
         );
         let report = sim.run_until(|outs| {
-            outs.iter().filter(|o| o.event.as_decision().is_some()).count() == 7
+            outs.iter()
+                .filter(|o| o.event.as_decision().is_some())
+                .count()
+                == 7
         });
         let d = decisions(&report);
         assert_eq!(d.len(), 7);
@@ -546,7 +562,10 @@ mod tests {
     fn round_telemetry_is_emitted() {
         let mut sim = build_sim(4, 1, &[4, 4, 4, 4], NetworkTopology::all_timely(4, 3), 1);
         let report = sim.run_until(|outs| {
-            outs.iter().filter(|o| o.event.as_decision().is_some()).count() == 4
+            outs.iter()
+                .filter(|o| o.event.as_decision().is_some())
+                .count()
+                == 4
         });
         assert!(report
             .outputs
@@ -556,10 +575,13 @@ mod tests {
             .outputs
             .iter()
             .any(|o| matches!(o.event, ConsensusEvent::EaReturned { fast: true, .. })));
-        assert!(report
-            .outputs
-            .iter()
-            .any(|o| matches!(o.event, ConsensusEvent::AcReturned { tag: AcTag::Commit, .. })));
+        assert!(report.outputs.iter().any(|o| matches!(
+            o.event,
+            ConsensusEvent::AcReturned {
+                tag: AcTag::Commit,
+                ..
+            }
+        )));
         assert!(report
             .outputs
             .iter()

@@ -73,7 +73,9 @@ mod tests {
     fn as_decision_filters() {
         let d: ConsensusEvent<u64> = ConsensusEvent::Decided { value: 5 };
         assert_eq!(d.as_decision(), Some(&5));
-        let r: ConsensusEvent<u64> = ConsensusEvent::RoundStarted { round: Round::FIRST };
+        let r: ConsensusEvent<u64> = ConsensusEvent::RoundStarted {
+            round: Round::FIRST,
+        };
         assert_eq!(r.as_decision(), None);
     }
 

@@ -219,7 +219,10 @@ impl<V: Value> EaObject<V> {
         // receives from an F(r) member — independent of its own stage.
         if me == coord && in_f && !round.champion_sent {
             round.champion_sent = true;
-            actions.push(EaAction::Broadcast(ProtocolMsg::EaCoord { round: r, value }));
+            actions.push(EaAction::Broadcast(ProtocolMsg::EaCoord {
+                round: r,
+                value,
+            }));
         }
         actions.extend(self.advance(r));
         actions
@@ -242,7 +245,11 @@ impl<V: Value> EaObject<V> {
             if round.timer_armed && !round.timer_expired {
                 actions.push(EaAction::CancelTimer { round: r });
             }
-            let v_coord = if round.timer_expired { None } else { Some(value) };
+            let v_coord = if round.timer_expired {
+                None
+            } else {
+                Some(value)
+            };
             actions.push(EaAction::Broadcast(ProtocolMsg::EaRelay {
                 round: r,
                 value: v_coord,
@@ -555,11 +562,7 @@ impl<V: Value> Node for EaNode<V> {
         }
     }
 
-    fn on_timer(
-        &mut self,
-        timer: TimerId,
-        ctx: &mut dyn Context<ProtocolMsg<V>, EaNodeEvent<V>>,
-    ) {
+    fn on_timer(&mut self, timer: TimerId, ctx: &mut dyn Context<ProtocolMsg<V>, EaNodeEvent<V>>) {
         if let Some(round) = self.timers.remove(&timer) {
             self.timer_of_round.remove(&round);
             let actions = self.ea.on_timer_expired(round);
@@ -636,7 +639,10 @@ mod tests {
         let _ = obj.propose(r, 5);
         let acts = make_valid(&mut obj, r, 5);
         assert!(
-            acts.contains(&EaAction::Broadcast(ProtocolMsg::EaProp2 { round: r, value: 5 })),
+            acts.contains(&EaAction::Broadcast(ProtocolMsg::EaProp2 {
+                round: r,
+                value: 5
+            })),
             "line 2 must fire once aux is available: {acts:?}"
         );
     }
@@ -651,9 +657,14 @@ mod tests {
         for p in 0..3 {
             acts.extend(obj.on_prop2(ProcessId::new(p), r, 5));
         }
-        assert!(acts.iter().any(
-            |a| matches!(a, EaAction::Returned { value: 5, fast: true, .. })
-        ));
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            EaAction::Returned {
+                value: 5,
+                fast: true,
+                ..
+            }
+        )));
         // Liveness bridge: the timer is armed anyway.
         assert!(acts.iter().any(|a| matches!(a, EaAction::SetTimer { .. })));
     }
@@ -669,7 +680,9 @@ mod tests {
         acts.extend(obj.on_prop2(ProcessId::new(0), r, 5));
         acts.extend(obj.on_prop2(ProcessId::new(1), r, 9));
         acts.extend(obj.on_prop2(ProcessId::new(2), r, 5));
-        assert!(acts.iter().any(|a| matches!(a, EaAction::SetTimer { delay: 1, .. })));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, EaAction::SetTimer { delay: 1, .. })));
         assert!(!acts.iter().any(|a| matches!(a, EaAction::Returned { .. })));
     }
 
@@ -694,13 +707,15 @@ mod tests {
         let r = Round::FIRST;
         // No propose needed: lines 11–14 are a when-clause.
         let acts = obj.on_prop2(ProcessId::new(2), r, 7);
-        assert!(acts.contains(&EaAction::Broadcast(ProtocolMsg::EaCoord { round: r, value: 7 })));
+        assert!(acts.contains(&EaAction::Broadcast(ProtocolMsg::EaCoord {
+            round: r,
+            value: 7
+        })));
         // Second F-member prop2 must not re-champion.
         let acts = obj.on_prop2(ProcessId::new(1), r, 8);
-        assert!(!acts.iter().any(|a| matches!(
-            a,
-            EaAction::Broadcast(ProtocolMsg::EaCoord { .. })
-        )));
+        assert!(!acts
+            .iter()
+            .any(|a| matches!(a, EaAction::Broadcast(ProtocolMsg::EaCoord { .. }))));
     }
 
     #[test]
@@ -775,10 +790,17 @@ mod tests {
         acts.extend(obj.on_relay(ProcessId::new(3), r, None));
         acts.extend(obj.on_relay(ProcessId::new(0), r, Some(9)));
         acts.extend(obj.on_relay(ProcessId::new(2), r, None));
-        assert!(acts.iter().any(|a| matches!(
-            a,
-            EaAction::Returned { value: 9, fast: false, .. }
-        )), "{acts:?}");
+        assert!(
+            acts.iter().any(|a| matches!(
+                a,
+                EaAction::Returned {
+                    value: 9,
+                    fast: false,
+                    ..
+                }
+            )),
+            "{acts:?}"
+        );
     }
 
     #[test]
@@ -795,10 +817,17 @@ mod tests {
         for p in 0..3 {
             acts.extend(obj.on_relay(ProcessId::new(p), r, None));
         }
-        assert!(acts.iter().any(|a| matches!(
-            a,
-            EaAction::Returned { value: 5, fast: false, .. }
-        )), "line 9 must return the ea-proposed value: {acts:?}");
+        assert!(
+            acts.iter().any(|a| matches!(
+                a,
+                EaAction::Returned {
+                    value: 5,
+                    fast: false,
+                    ..
+                }
+            )),
+            "line 9 must return the ea-proposed value: {acts:?}"
+        );
     }
 
     #[test]
@@ -816,10 +845,17 @@ mod tests {
         acts.extend(obj.on_relay(ProcessId::new(3), r, Some(77)));
         acts.extend(obj.on_relay(ProcessId::new(0), r, None));
         acts.extend(obj.on_relay(ProcessId::new(1), r, None));
-        assert!(acts.iter().any(|a| matches!(
-            a,
-            EaAction::Returned { value: 5, fast: false, .. }
-        )), "{acts:?}");
+        assert!(
+            acts.iter().any(|a| matches!(
+                a,
+                EaAction::Returned {
+                    value: 5,
+                    fast: false,
+                    ..
+                }
+            )),
+            "{acts:?}"
+        );
     }
 
     #[test]
@@ -855,14 +891,20 @@ mod tests {
         // Now propose: the buffered state counts immediately; one more
         // prop2 completes the witness.
         let acts = obj.propose(future, 5);
-        assert!(acts.iter().any(|a| matches!(
-            a,
-            EaAction::Broadcast(ProtocolMsg::EaProp2 { .. })
-        )));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, EaAction::Broadcast(ProtocolMsg::EaProp2 { .. }))));
         let acts = obj.on_prop2(ProcessId::new(3), future, 5);
-        assert!(acts.iter().any(|a| matches!(
-            a,
-            EaAction::Returned { value: 5, fast: true, .. }
-        )), "{acts:?}");
+        assert!(
+            acts.iter().any(|a| matches!(
+                a,
+                EaAction::Returned {
+                    value: 5,
+                    fast: true,
+                    ..
+                }
+            )),
+            "{acts:?}"
+        );
     }
 }

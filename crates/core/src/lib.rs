@@ -49,15 +49,15 @@
 pub mod adopt_commit;
 pub mod bot_variant;
 pub mod consensus;
-pub mod eventual_agreement;
 mod events;
+pub mod eventual_agreement;
 mod messages;
 mod timeout;
 
 pub use adopt_commit::{AcNode, AcNodeEvent, AcOutcome, AcRound};
 pub use bot_variant::{BotConsensusNode, BotEvent, BotMsg};
 pub use consensus::{ConsensusConfig, ConsensusNode};
-pub use eventual_agreement::{EaAction, EaNode, EaNodeEvent, EaObject};
 pub use events::{AcTag, ConsensusEvent};
+pub use eventual_agreement::{EaAction, EaNode, EaNodeEvent, EaObject};
 pub use messages::{CbId, ProtocolMsg, RbTag};
 pub use timeout::TimeoutPolicy;

@@ -139,7 +139,11 @@ mod tests {
             "EA_COORD"
         );
         assert_eq!(
-            ProtocolMsg::<u64>::EaRelay { round: r, value: None }.kind(),
+            ProtocolMsg::<u64>::EaRelay {
+                round: r,
+                value: None
+            }
+            .kind(),
             "EA_RELAY"
         );
     }

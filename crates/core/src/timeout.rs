@@ -33,7 +33,10 @@ pub struct TimeoutPolicy {
 impl TimeoutPolicy {
     /// The paper's policy: `timer[r] = r`.
     pub const fn paper() -> Self {
-        TimeoutPolicy { slope: 1, offset: 0 }
+        TimeoutPolicy {
+            slope: 1,
+            offset: 0,
+        }
     }
 
     /// `f(r) = offset + slope·r`.

@@ -49,7 +49,9 @@ fn fast_path_and_champion_can_disagree_within_a_round() {
     // Liveness bridge: despite returning, A armed its round timer so it
     // will still relay (⊥ on expiry, or the champion).
     assert!(
-        acts_a.iter().any(|x| matches!(x, EaAction::SetTimer { .. })),
+        acts_a
+            .iter()
+            .any(|x| matches!(x, EaAction::SetTimer { .. })),
         "bridge: fast path must still arm the timer: {acts_a:?}"
     );
 
@@ -80,7 +82,11 @@ fn fast_path_and_champion_can_disagree_within_a_round() {
         EaAction::Returned { value, fast, .. } => Some((*value, *fast)),
         _ => None,
     });
-    assert_eq!(slow_b, Some((9, false)), "B returns the champion: {acts_b:?}");
+    assert_eq!(
+        slow_b,
+        Some((9, false)),
+        "B returns the champion: {acts_b:?}"
+    );
 
     // The documented tension: same round, two correct processes, two
     // different returns (0 fast at A, 9 slow at B). EA tolerates this —
@@ -111,7 +117,10 @@ fn mixed_round_does_not_break_consensus_safety() {
         }
         let mut sim = builder.build();
         let report = sim.run_until(|outs| {
-            outs.iter().filter(|o| o.event.as_decision().is_some()).count() == 4
+            outs.iter()
+                .filter(|o| o.event.as_decision().is_some())
+                .count()
+                == 4
         });
         let decisions: Vec<u64> = report
             .outputs
@@ -119,7 +128,10 @@ fn mixed_round_does_not_break_consensus_safety() {
             .filter_map(|o| o.event.as_decision().copied())
             .collect();
         assert_eq!(decisions.len(), 4, "seed {seed}");
-        assert!(decisions.windows(2).all(|w| w[0] == w[1]), "seed {seed}: {decisions:?}");
+        assert!(
+            decisions.windows(2).all(|w| w[0] == w[1]),
+            "seed {seed}: {decisions:?}"
+        );
         assert!(decisions[0] == 0 || decisions[0] == 9);
         let _ = ConsensusEvent::Decided { value: 0u64 };
     }

@@ -58,7 +58,10 @@ mod tests {
         let e = HarnessError::from(ConfigError::Resilience { n: 6, t: 2 });
         assert!(e.to_string().contains("configuration error"));
         assert!(std::error::Error::source(&e).is_some());
-        let e = HarnessError::ProposalCount { expected: 4, got: 3 };
+        let e = HarnessError::ProposalCount {
+            expected: 4,
+            got: 3,
+        };
         assert!(e.to_string().contains("4"));
     }
 }

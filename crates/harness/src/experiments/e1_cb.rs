@@ -24,7 +24,13 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "E1 — CB-broadcast (Figure 1): termination, set agreement, feasibility",
         [
-            "n", "t", "m", "feasible", "returned", "set_agreement", "last_return_time",
+            "n",
+            "t",
+            "m",
+            "feasible",
+            "returned",
+            "set_agreement",
+            "last_return_time",
             "messages",
         ],
     );
@@ -77,7 +83,9 @@ fn run_one(cfg: SystemConfig, m: usize, seed: u64) -> OneRun {
     for rec in &report.outputs {
         match rec.event {
             CbEvent::Returned { .. } => {
-                returned_at.entry(rec.process.index()).or_insert(rec.time.ticks());
+                returned_at
+                    .entry(rec.process.index())
+                    .or_insert(rec.time.ticks());
             }
             CbEvent::ValidAdded { value } => {
                 sets.get_mut(&rec.process.index()).unwrap().insert(value);

@@ -22,8 +22,15 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "E2 — Adopt-commit (Figure 2): outcomes and quasi-agreement",
         [
-            "n", "t", "scenario", "commits", "adopts", "quasi_agreement", "obligation_ok",
-            "time", "messages",
+            "n",
+            "t",
+            "scenario",
+            "commits",
+            "adopts",
+            "quasi_agreement",
+            "obligation_ok",
+            "time",
+            "messages",
         ],
     );
     for (n, t) in systems(quick) {
@@ -91,7 +98,10 @@ fn run_one(cfg: SystemConfig, scenario: &str, seed: u64) -> OneRun {
             AcNodeEvent::Returned { tag, value } => (o.process.index(), tag, value),
         })
         .collect();
-    let commits = outcomes.iter().filter(|(_, tag, _)| *tag == AcTag::Commit).count();
+    let commits = outcomes
+        .iter()
+        .filter(|(_, tag, _)| *tag == AcTag::Commit)
+        .count();
     let adopts = outcomes.len() - commits;
     // AC-Quasi-agreement: a commit on v forbids any ⟨·, v'≠v⟩.
     let quasi_agreement = outcomes

@@ -24,11 +24,21 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "E3 — Eventual agreement (Figure 3): convergence vs bisource stabilization τ",
         [
-            "n", "t", "bisource", "tau", "agree_round", "agree_time", "lemma3_round_floor",
+            "n",
+            "t",
+            "bisource",
+            "tau",
+            "agree_round",
+            "agree_time",
+            "lemma3_round_floor",
         ],
     );
     let (n, t) = (4, 1);
-    let taus: Vec<u64> = if quick { vec![0, 400] } else { vec![0, 200, 800, 3200] };
+    let taus: Vec<u64> = if quick {
+        vec![0, 400]
+    } else {
+        vec![0, 200, 800, 3200]
+    };
     for tau in taus {
         for seed in seeds(quick) {
             push_row(&mut table, n, t, 1, tau, seed);
@@ -79,7 +89,10 @@ mod tests {
     fn immediate_bisource_converges() {
         let mut p = EaLabParams::new(4, 1);
         p.seed = 3;
-        assert!(converge(&p).is_some(), "EA must converge with a τ=0 bisource");
+        assert!(
+            converge(&p).is_some(),
+            "EA must converge with a τ=0 bisource"
+        );
     }
 
     #[test]

@@ -15,7 +15,14 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "E4 — Consensus (Figure 4): correctness and cost under fault mixes",
         [
-            "n", "t", "faults", "terminated", "agreement", "validity", "rounds", "latency",
+            "n",
+            "t",
+            "faults",
+            "terminated",
+            "agreement",
+            "validity",
+            "rounds",
+            "latency",
             "messages",
         ],
     );

@@ -40,16 +40,31 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "E5 — Round complexity vs §5.4 bound α·n (⟨t+1⟩bisource from start)",
         [
-            "n", "t", "bisource", "faults", "max_commit_round", "avg_commit_round", "bound_alpha_n",
+            "n",
+            "t",
+            "bisource",
+            "faults",
+            "max_commit_round",
+            "avg_commit_round",
+            "bound_alpha_n",
         ],
     );
-    let sys: Vec<(usize, usize)> = if quick { vec![(4, 1)] } else { vec![(4, 1), (7, 2)] };
+    let sys: Vec<(usize, usize)> = if quick {
+        vec![(4, 1)]
+    } else {
+        vec![(4, 1), (7, 2)]
+    };
     for (n, t) in sys {
         let cfg = SystemConfig::new(n, t).unwrap();
         let bound = RoundSchedule::new(&cfg, 0).unwrap().round_bound();
         let bisources: Vec<usize> = if quick { vec![1] } else { (0..n).collect() };
         for ell in bisources {
-            for plan in [FaultPlan::AllCorrect, FaultPlan::MuteCoordinator { slots: vec![(ell + 1) % n] }] {
+            for plan in [
+                FaultPlan::AllCorrect,
+                FaultPlan::MuteCoordinator {
+                    slots: vec![(ell + 1) % n],
+                },
+            ] {
                 let mut rounds = Vec::new();
                 for seed in seeds(quick) {
                     let outcome = ConsensusRunBuilder::new(n, t)

@@ -25,7 +25,15 @@ use crate::Table;
 pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "E6 — Parameterized variant (§5.4): EA convergence round vs k",
-        ["n", "t", "k", "beta", "bound_beta_n", "max_round", "avg_round"],
+        [
+            "n",
+            "t",
+            "k",
+            "beta",
+            "bound_beta_n",
+            "max_round",
+            "avg_round",
+        ],
     );
     let (n, t) = (7, 2);
     let cfg = SystemConfig::new(n, t).unwrap();

@@ -23,7 +23,14 @@ use crate::Table;
 pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "E7 — Minimal-synchrony consensus vs Ben-Or (randomized baseline)",
-        ["algorithm", "n", "t", "avg_rounds", "avg_messages", "avg_latency"],
+        [
+            "algorithm",
+            "n",
+            "t",
+            "avg_rounds",
+            "avg_messages",
+            "avg_latency",
+        ],
     );
     for (n, t) in systems(quick) {
         // Paper's algorithm.

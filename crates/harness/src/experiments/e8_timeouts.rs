@@ -20,12 +20,22 @@ pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "E8 — Timeout policy f(r) = slope·r and δ sensitivity (EA convergence)",
         [
-            "n", "t", "slope", "delta", "lemma3_floor_round", "max_round", "avg_round",
+            "n",
+            "t",
+            "slope",
+            "delta",
+            "lemma3_floor_round",
+            "max_round",
+            "avg_round",
             "avg_time",
         ],
     );
     let (n, t) = (4, 1);
-    let slopes: Vec<u64> = if quick { vec![1, 16] } else { vec![1, 4, 16, 64] };
+    let slopes: Vec<u64> = if quick {
+        vec![1, 16]
+    } else {
+        vec![1, 4, 16, 64]
+    };
     let deltas: Vec<u64> = if quick { vec![400] } else { vec![4, 400] };
     for &slope in &slopes {
         for &delta in &deltas {

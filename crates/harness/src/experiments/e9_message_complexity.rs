@@ -20,7 +20,14 @@ use crate::Table;
 pub fn run(quick: bool) -> Table {
     let mut table = Table::new(
         "E9 — Message complexity by primitive (all-timely network, unanimous inputs)",
-        ["n", "t", "primitive", "messages", "msgs_per_n2", "msgs_per_n3"],
+        [
+            "n",
+            "t",
+            "primitive",
+            "messages",
+            "msgs_per_n2",
+            "msgs_per_n3",
+        ],
     );
     let sizes: Vec<(usize, usize)> = if quick {
         vec![(4, 1), (7, 2)]

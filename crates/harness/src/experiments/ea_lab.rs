@@ -98,7 +98,8 @@ pub fn converge(p: &EaLabParams) -> Option<EaConvergence> {
     let correct_pred = correct.clone();
     let report = sim.run_until(move |outs| {
         first_agreement(
-            outs.iter().map(|o| (o.process.index(), &o.event, o.time.ticks())),
+            outs.iter()
+                .map(|o| (o.process.index(), &o.event, o.time.ticks())),
             &correct_pred,
         )
         .is_some()
@@ -122,7 +123,10 @@ pub(crate) fn first_agreement<'a>(
     let mut per_round: BTreeMap<u64, BTreeMap<usize, (u64, u64)>> = BTreeMap::new();
     for (p, ev, time) in events {
         let EaNodeEvent::Returned { round, value, .. } = ev;
-        per_round.entry(round.get()).or_default().insert(p, (*value, time));
+        per_round
+            .entry(round.get())
+            .or_default()
+            .insert(p, (*value, time));
     }
     for (round, by_proc) in per_round {
         if correct.iter().all(|p| by_proc.contains_key(p)) {
@@ -154,6 +158,10 @@ mod tests {
         p.k = 1;
         p.policy = TimeoutPolicy::linear(10, 0);
         let c = converge(&p).expect("must converge");
-        assert!(c.round <= 8, "k = t should converge within two coordinator cycles, got {}", c.round);
+        assert!(
+            c.round <= 8,
+            "k = t should converge within two coordinator cycles, got {}",
+            c.round
+        );
     }
 }

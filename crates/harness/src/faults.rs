@@ -76,7 +76,11 @@ impl FaultPlan {
 
     /// `count` crash-midway faults in the highest slots.
     pub fn crash(count: usize, at: u64) -> Self {
-        FaultPlan::CrashMidway { slots: Vec::new(), at }.with_top_slots(count)
+        FaultPlan::CrashMidway {
+            slots: Vec::new(),
+            at,
+        }
+        .with_top_slots(count)
     }
 
     /// `count` fuzzers in the highest slots.
@@ -242,7 +246,9 @@ mod tests {
     fn validate_rejects_out_of_range_and_duplicates() {
         let cfg = SystemConfig::new(7, 2).unwrap();
         assert!(FaultPlan::Silent { slots: vec![7] }.validate(&cfg).is_err());
-        assert!(FaultPlan::Silent { slots: vec![1, 1] }.validate(&cfg).is_err());
+        assert!(FaultPlan::Silent { slots: vec![1, 1] }
+            .validate(&cfg)
+            .is_err());
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod stats;
 mod table;
 mod topology;
 
-pub use cb_node::{CbEvent, CbBroadcastNode};
+pub use cb_node::{CbBroadcastNode, CbEvent};
 pub use error::HarnessError;
 pub use faults::FaultPlan;
 pub use outcome::RunOutcome;

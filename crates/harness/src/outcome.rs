@@ -167,11 +167,7 @@ mod tests {
     use super::*;
     use minsync_types::{ProcessId, Round};
 
-    fn rec(
-        p: usize,
-        t: u64,
-        event: ConsensusEvent<u64>,
-    ) -> OutputRecord<ConsensusEvent<u64>> {
+    fn rec(p: usize, t: u64, event: ConsensusEvent<u64>) -> OutputRecord<ConsensusEvent<u64>> {
         OutputRecord {
             time: VirtualTime::from_ticks(t),
             process: ProcessId::new(p),
@@ -193,8 +189,20 @@ mod tests {
     #[test]
     fn happy_path_properties() {
         let o = outcome(vec![
-            rec(0, 1, ConsensusEvent::RoundStarted { round: Round::FIRST }),
-            rec(1, 1, ConsensusEvent::RoundStarted { round: Round::FIRST }),
+            rec(
+                0,
+                1,
+                ConsensusEvent::RoundStarted {
+                    round: Round::FIRST,
+                },
+            ),
+            rec(
+                1,
+                1,
+                ConsensusEvent::RoundStarted {
+                    round: Round::FIRST,
+                },
+            ),
             rec(0, 9, ConsensusEvent::Decided { value: 5 }),
             rec(1, 11, ConsensusEvent::Decided { value: 5 }),
         ]);
@@ -248,10 +256,28 @@ mod tests {
     #[test]
     fn decision_round_tracks_latest_round_started() {
         let o = outcome(vec![
-            rec(0, 1, ConsensusEvent::RoundStarted { round: Round::FIRST }),
-            rec(0, 5, ConsensusEvent::RoundStarted { round: Round::new(2) }),
+            rec(
+                0,
+                1,
+                ConsensusEvent::RoundStarted {
+                    round: Round::FIRST,
+                },
+            ),
+            rec(
+                0,
+                5,
+                ConsensusEvent::RoundStarted {
+                    round: Round::new(2),
+                },
+            ),
             rec(0, 9, ConsensusEvent::Decided { value: 5 }),
-            rec(1, 2, ConsensusEvent::RoundStarted { round: Round::FIRST }),
+            rec(
+                1,
+                2,
+                ConsensusEvent::RoundStarted {
+                    round: Round::FIRST,
+                },
+            ),
             rec(1, 9, ConsensusEvent::Decided { value: 5 }),
         ]);
         assert_eq!(o.rounds_to_decide(), 2);

@@ -157,8 +157,7 @@ impl ConsensusRunBuilder {
         // Validity is judged against *correct* proposals only: whatever a
         // Byzantine slot claimed (e.g. an equivocator's two values) may
         // never be decided unless a correct process also proposed it.
-        let correct_proposals: Vec<u64> =
-            correct.iter().map(|&i| self.proposals[i]).collect();
+        let correct_proposals: Vec<u64> = correct.iter().map(|&i| self.proposals[i]).collect();
         Ok(RunOutcome::from_outputs(
             &report.outputs,
             correct,
@@ -197,7 +196,13 @@ mod tests {
             .proposals([1, 2])
             .run()
             .unwrap_err();
-        assert!(matches!(err, HarnessError::ProposalCount { expected: 4, got: 2 }));
+        assert!(matches!(
+            err,
+            HarnessError::ProposalCount {
+                expected: 4,
+                got: 2
+            }
+        ));
     }
 
     #[test]

@@ -18,9 +18,17 @@ fn plan_from_seed(t: usize, plan_seed: u64) -> FaultPlan {
         FaultPlan::AllCorrect,
         FaultPlan::silent(t),
         FaultPlan::crash(t, crash_at),
-        FaultPlan::EquivocateProposal { slots: vec![0], a: 77, b: 88 },
+        FaultPlan::EquivocateProposal {
+            slots: vec![0],
+            a: 77,
+            b: 88,
+        },
         FaultPlan::MuteCoordinator { slots: vec![0] },
-        FaultPlan::SplitCoordinator { slots: vec![0], a: 0, b: 1 },
+        FaultPlan::SplitCoordinator {
+            slots: vec![0],
+            a: 0,
+            b: 1,
+        },
         FaultPlan::fuzzer(1, vec![0, 1, 99]),
     ];
     plans[(plan_seed % plans.len() as u64) as usize].clone()

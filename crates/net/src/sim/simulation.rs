@@ -444,7 +444,8 @@ where
 
     fn broadcast(&mut self, msg: M) {
         for p in 0..self.sim.topology.n() {
-            self.sim.enqueue_message(self.me, ProcessId::new(p), msg.clone());
+            self.sim
+                .enqueue_message(self.me, ProcessId::new(p), msg.clone());
         }
     }
 
@@ -621,9 +622,13 @@ mod tests {
             })
             .build();
         let report = sim.run();
-        let times: Vec<u64> = report.outputs.iter().map(|o| match o.event {
-            Fired(t) => t,
-        }).collect();
+        let times: Vec<u64> = report
+            .outputs
+            .iter()
+            .map(|o| match o.event {
+                Fired(t) => t,
+            })
+            .collect();
         assert_eq!(times, [10, 20], "cancelled timer must not fire");
         assert_eq!(report.metrics.timers_fired, 2);
     }
@@ -687,10 +692,7 @@ mod tests {
 
     #[test]
     fn oracle_controls_async_delays() {
-        let topo = NetworkTopology::uniform(
-            2,
-            ChannelTiming::asynchronous(DelayLaw::Fixed(1)),
-        );
+        let topo = NetworkTopology::uniform(2, ChannelTiming::asynchronous(DelayLaw::Fixed(1)));
         let mut sim = SimBuilder::new(topo)
             .node(Echo { hops: 0 })
             .node(Echo { hops: 0 })

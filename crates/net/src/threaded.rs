@@ -167,12 +167,12 @@ where
                     .min(Duration::from_millis(20));
                 match router_rx.recv_timeout(wait) {
                     Ok(RouterCmd::Send { from, to, msg }) => {
-                        let sent_ticks =
-                            VirtualTime::from_ticks((start.elapsed().as_nanos()
-                                / tick.as_nanos().max(1))
-                                as u64);
-                        let due_ticks =
-                            topology.timing(from, to).delivery_time(sent_ticks, &mut rng);
+                        let sent_ticks = VirtualTime::from_ticks(
+                            (start.elapsed().as_nanos() / tick.as_nanos().max(1)) as u64,
+                        );
+                        let due_ticks = topology
+                            .timing(from, to)
+                            .delivery_time(sent_ticks, &mut rng);
                         let delay = due_ticks - sent_ticks;
                         heap.push(Pending {
                             due: Instant::now() + tick * u32::try_from(delay).unwrap_or(u32::MAX),
@@ -223,7 +223,11 @@ where
             while !ctx.halted && !shutdown.load(Ordering::Relaxed) {
                 let now = Instant::now();
                 // Fire due timers first.
-                while ctx.timers.peek().is_some_and(|t: &PendingTimer| t.due <= now) {
+                while ctx
+                    .timers
+                    .peek()
+                    .is_some_and(|t: &PendingTimer| t.due <= now)
+                {
                     let t = ctx.timers.pop().expect("peeked");
                     if !ctx.cancelled.remove(&t.id) {
                         node.on_timer(t.id, &mut ctx);

@@ -67,7 +67,10 @@ impl NetworkTopology {
     /// Panics on out-of-range ids or `from == to` (self-channels are virtual
     /// and always timely; they cannot be overridden).
     pub fn set(&mut self, from: ProcessId, to: ProcessId, timing: ChannelTiming) -> &mut Self {
-        assert!(from.index() < self.n && to.index() < self.n, "channel endpoint out of range");
+        assert!(
+            from.index() < self.n && to.index() < self.n,
+            "channel endpoint out of range"
+        );
         assert_ne!(from, to, "self-channels are virtual and always timely");
         self.overrides.insert((from, to), timing);
         self
@@ -96,7 +99,10 @@ impl NetworkTopology {
     /// Panics on out-of-range ids. `from == to` returns a zero-delay timely
     /// channel.
     pub fn timing(&self, from: ProcessId, to: ProcessId) -> ChannelTiming {
-        assert!(from.index() < self.n && to.index() < self.n, "channel endpoint out of range");
+        assert!(
+            from.index() < self.n && to.index() < self.n,
+            "channel endpoint out of range"
+        );
         if from == to {
             return ChannelTiming::timely(0);
         }
@@ -192,19 +198,19 @@ mod tests {
     #[should_panic(expected = "self-channels")]
     fn overriding_self_channel_panics() {
         let mut topo = NetworkTopology::all_timely(3, 1);
-        topo.set(ProcessId::new(0), ProcessId::new(0), ChannelTiming::timely(1));
+        topo.set(
+            ProcessId::new(0),
+            ProcessId::new(0),
+            ChannelTiming::timely(1),
+        );
     }
 
     #[test]
     fn with_bisource_marks_exactly_spec_channels() {
         let cfg = SystemConfig::new(4, 1).unwrap();
-        let spec =
-            BisourceSpec::symmetric(&cfg, ProcessId::new(2), cfg.plurality()).unwrap();
-        let topo = NetworkTopology::uniform(
-            4,
-            ChannelTiming::asynchronous(DelayLaw::Fixed(30)),
-        )
-        .with_bisource(&spec, VirtualTime::from_ticks(10), 2);
+        let spec = BisourceSpec::symmetric(&cfg, ProcessId::new(2), cfg.plurality()).unwrap();
+        let topo = NetworkTopology::uniform(4, ChannelTiming::asynchronous(DelayLaw::Fixed(30)))
+            .with_bisource(&spec, VirtualTime::from_ticks(10), 2);
         let timely: Vec<_> = topo
             .channels()
             .filter(|(_, _, t)| matches!(t, ChannelTiming::EventuallyTimely { .. }))

@@ -132,7 +132,11 @@ proptest! {
 #[test]
 fn delivery_log_records_classified_deliveries() {
     fn classify(m: &u32) -> &'static str {
-        if *m < 2 { "low" } else { "high" }
+        if *m < 2 {
+            "low"
+        } else {
+            "high"
+        }
     }
     let topo = NetworkTopology::all_timely(3, 2);
     let mut builder = SimBuilder::new(topo)

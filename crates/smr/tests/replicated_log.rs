@@ -31,15 +31,14 @@ fn run_replicas(
                 slots,
             ));
         } else {
-            builder = builder.boxed_node(Box::new(SilentNode::<Msg, Out>::new())
-                as Box<dyn Node<Msg = Msg, Output = Out>>);
+            builder = builder
+                .boxed_node(Box::new(SilentNode::<Msg, Out>::new())
+                    as Box<dyn Node<Msg = Msg, Output = Out>>);
         }
     }
     let mut sim = builder.build();
     let report = sim.run_until(move |outs| {
-        (0..correct).all(|p| {
-            outs.iter().filter(|o| o.process.index() == p).count() as u64 >= slots
-        })
+        (0..correct).all(|p| outs.iter().filter(|o| o.process.index() == p).count() as u64 >= slots)
     });
     collect_logs(&report.outputs)
 }
@@ -49,7 +48,11 @@ fn assert_logs_identical(
     expected_replicas: usize,
     slots: u64,
 ) {
-    assert_eq!(logs.len(), expected_replicas, "every correct replica commits");
+    assert_eq!(
+        logs.len(),
+        expected_replicas,
+        "every correct replica commits"
+    );
     let reference = logs.values().next().unwrap();
     assert_eq!(reference.len() as u64, slots);
     for (replica, log) in logs {
@@ -93,7 +96,10 @@ fn every_committed_command_is_well_formed() {
     for log in logs.values() {
         for &cmd in log.values() {
             let client = TwoClientSource::client_of(cmd);
-            assert!(client == 1 || client == 2, "command {cmd} from unknown client");
+            assert!(
+                client == 1 || client == 2,
+                "command {cmd} from unknown client"
+            );
         }
         // Per-client sequence numbers are committed in order without gaps.
         for client in [1u64, 2] {
@@ -103,7 +109,10 @@ fn every_committed_command_is_well_formed() {
                 .map(|c| c % 1000)
                 .collect();
             for (i, &s) in seqs.iter().enumerate() {
-                assert_eq!(s, i as u64, "client {client} commands out of order: {seqs:?}");
+                assert_eq!(
+                    s, i as u64,
+                    "client {client} commands out of order: {seqs:?}"
+                );
             }
         }
     }

@@ -73,7 +73,9 @@ impl BisourceSpec {
         }
         if !x_minus.contains(&process) || !x_plus.contains(&process) {
             return Err(ConfigError::Bisource {
-                reason: format!("{process} must belong to its own X⁻ and X⁺ (virtual self-channel)"),
+                reason: format!(
+                    "{process} must belong to its own X⁻ and X⁺ (virtual self-channel)"
+                ),
             });
         }
         if x_minus.len() < strength {

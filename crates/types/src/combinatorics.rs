@@ -37,7 +37,11 @@ pub fn binomial(n: usize, k: usize) -> Option<u128> {
         let den_r = den / g1;
         let g2 = gcd(num, den_r);
         let num_r = num / g2;
-        debug_assert_eq!(den_r / g2, 1, "product of i+1 consecutive ints divisible by (i+1)!");
+        debug_assert_eq!(
+            den_r / g2,
+            1,
+            "product of i+1 consecutive ints divisible by (i+1)!"
+        );
         acc = acc_r.checked_mul(num_r)?;
     }
     Some(acc)
@@ -82,7 +86,10 @@ fn gcd(mut a: u128, mut b: u128) -> u128 {
 pub fn unrank_combination(n: usize, k: usize, mut rank: u128) -> Result<Vec<usize>, ConfigError> {
     assert!(k <= n, "cannot choose {k} elements out of {n}");
     let total = binomial(n, k).ok_or(ConfigError::CombinatoricsOverflow { n, k })?;
-    assert!(rank < total, "rank {rank} out of range for C({n}, {k}) = {total}");
+    assert!(
+        rank < total,
+        "rank {rank} out of range for C({n}, {k}) = {total}"
+    );
     let mut out = Vec::with_capacity(k);
     let mut next_candidate = 0usize;
     for slot in 0..k {

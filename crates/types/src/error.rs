@@ -72,7 +72,10 @@ impl fmt::Display for ConfigError {
                 "m-valued feasibility n − t > m·t violated: n = {n}, t = {t}, m = {m}"
             ),
             ConfigError::TuningParameter { k, t } => {
-                write!(f, "tuning parameter must satisfy 0 ≤ k ≤ t: k = {k}, t = {t}")
+                write!(
+                    f,
+                    "tuning parameter must satisfy 0 ≤ k ≤ t: k = {k}, t = {t}"
+                )
             }
             ConfigError::CombinatoricsOverflow { n, k } => {
                 write!(f, "binomial coefficient C({n}, {k}) overflows u128")

@@ -86,6 +86,9 @@ mod tests {
         let iter = ProcessId::all(4);
         assert_eq!(iter.len(), 4);
         let rev: Vec<_> = ProcessId::all(3).rev().collect();
-        assert_eq!(rev, [ProcessId::new(2), ProcessId::new(1), ProcessId::new(0)]);
+        assert_eq!(
+            rev,
+            [ProcessId::new(2), ProcessId::new(1), ProcessId::new(0)]
+        );
     }
 }

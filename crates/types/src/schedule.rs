@@ -143,10 +143,7 @@ impl RoundSchedule {
         // one round coordinated by `coord`, and all rounds of the block share
         // one F set; α blocks cover every F set.
         let mut r = from;
-        let horizon = self
-            .round_bound()
-            .saturating_mul(2)
-            .min(u64::MAX as u128) as u64;
+        let horizon = self.round_bound().saturating_mul(2).min(u64::MAX as u128) as u64;
         for _ in 0..horizon {
             if self.coordinator(r) == coord && required.is_subset(&self.f_set(r)) {
                 return Some(r);
@@ -256,7 +253,10 @@ mod tests {
     fn first_round_for_rejects_oversized_requirement() {
         let s = sched(4, 1, 0);
         let too_big: BTreeSet<_> = ProcessId::all(4).collect();
-        assert_eq!(s.first_round_for(Round::FIRST, ProcessId::new(0), &too_big), None);
+        assert_eq!(
+            s.first_round_for(Round::FIRST, ProcessId::new(0), &too_big),
+            None
+        );
     }
 
     #[test]

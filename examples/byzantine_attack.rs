@@ -17,19 +17,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // The round-1 coordinator equivocates its proposal: 100 to half the
         // system, 200 to the rest. Bracha RB lets at most one of them live,
         // and CB validity keeps both out of cb_valid (single proposer).
-        FaultPlan::EquivocateProposal { slots: vec![0], a: 100, b: 200 },
+        FaultPlan::EquivocateProposal {
+            slots: vec![0],
+            a: 100,
+            b: 200,
+        },
         // The round-1 coordinator goes mute in its coordinator role:
         // every round it leads falls back to the ⊥-relay path.
         FaultPlan::MuteCoordinator { slots: vec![0] },
         // ...or champions different values to different halves.
-        FaultPlan::SplitCoordinator { slots: vec![0], a: 0, b: 1 },
+        FaultPlan::SplitCoordinator {
+            slots: vec![0],
+            a: 0,
+            b: 1,
+        },
         // Protocol-shaped random garbage from two colluding processes.
         FaultPlan::fuzzer(t, vec![0, 1, 42, 99]),
     ];
 
     let mut table = Table::new(
         "Byzantine attack gallery (n = 7, t = 2)",
-        ["attack", "decided", "agreement", "validity", "commit_round", "messages"],
+        [
+            "attack",
+            "decided",
+            "agreement",
+            "validity",
+            "commit_round",
+            "messages",
+        ],
     );
     for plan in attacks {
         let outcome = ConsensusRunBuilder::new(n, t)?

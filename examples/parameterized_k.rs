@@ -16,7 +16,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut table = Table::new(
         "Parameterized variant: bound β·n collapses as k grows (n = 7, t = 2)",
-        ["k", "F_set_size", "beta=C(n,n-t+k)", "bound_beta_n", "measured_commit_round"],
+        [
+            "k",
+            "F_set_size",
+            "beta=C(n,n-t+k)",
+            "bound_beta_n",
+            "measured_commit_round",
+        ],
     );
     for k in 0..=t {
         let schedule = RoundSchedule::new(&system, k)?;

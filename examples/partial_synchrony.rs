@@ -35,10 +35,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         table.push_row([
             tau.to_string(),
             outcome.all_decided().to_string(),
-            outcome.decision_latency().map_or("—".into(), |l| l.to_string()),
+            outcome
+                .decision_latency()
+                .map_or("—".into(), |l| l.to_string()),
             outcome.commit_round().map_or("—".into(), |r| r.to_string()),
         ]);
-        assert!(outcome.all_decided(), "bisource with τ = {tau} must suffice");
+        assert!(
+            outcome.all_decided(),
+            "bisource with τ = {tau} must suffice"
+        );
     }
     println!("{table}");
 

@@ -37,14 +37,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ));
     }
     // The fourth replica is Byzantine-silent.
-    builder = builder.boxed_node(Box::new(SilentNode::<Msg, Out>::new())
-        as Box<dyn Node<Msg = Msg, Output = Out>>);
+    builder = builder.boxed_node(
+        Box::new(SilentNode::<Msg, Out>::new()) as Box<dyn Node<Msg = Msg, Output = Out>>
+    );
 
     let mut sim = builder.build();
     let report = sim.run_until(|outs| {
-        (0..3).all(|p| {
-            outs.iter().filter(|o| o.process.index() == p).count() as u64 >= SLOTS
-        })
+        (0..3).all(|p| outs.iter().filter(|o| o.process.index() == p).count() as u64 >= SLOTS)
     });
 
     let logs = collect_logs(&report.outputs);

@@ -50,10 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(!report.timed_out, "live run timed out");
     for out in &report.outputs {
         if let ConsensusEvent::Decided { value } = &out.event {
-            println!(
-                "  {} decided {value} after {:?}",
-                out.process, out.elapsed
-            );
+            println!("  {} decided {value} after {:?}", out.process, out.elapsed);
         }
     }
     let decisions: Vec<u64> = report
@@ -61,7 +58,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .filter_map(|o| o.event.as_decision().copied())
         .collect();
-    assert!(decisions.windows(2).all(|w| w[0] == w[1]), "agreement violated");
-    println!("agreement on {} in {:?} wall-clock ✓", decisions[0], report.elapsed);
+    assert!(
+        decisions.windows(2).all(|w| w[0] == w[1]),
+        "agreement violated"
+    );
+    println!(
+        "agreement on {} in {:?} wall-clock ✓",
+        decisions[0], report.elapsed
+    );
     Ok(())
 }

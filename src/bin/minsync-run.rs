@@ -62,9 +62,17 @@ fn fault_plan(name: &str, t: usize) -> Result<FaultPlan, String> {
         "none" => FaultPlan::AllCorrect,
         "silent" => FaultPlan::silent(t),
         "crash" => FaultPlan::crash(t, 100),
-        "equivocate" => FaultPlan::EquivocateProposal { slots: vec![0], a: 100, b: 200 },
+        "equivocate" => FaultPlan::EquivocateProposal {
+            slots: vec![0],
+            a: 100,
+            b: 200,
+        },
         "mute-coord" => FaultPlan::MuteCoordinator { slots: vec![0] },
-        "split-coord" => FaultPlan::SplitCoordinator { slots: vec![0], a: 0, b: 1 },
+        "split-coord" => FaultPlan::SplitCoordinator {
+            slots: vec![0],
+            a: 0,
+            b: 1,
+        },
         "fuzzer" => FaultPlan::fuzzer(t, vec![0, 1, 99]),
         other => return Err(format!("unknown fault plan: {other}")),
     })
@@ -109,7 +117,10 @@ fn main() {
             .max_events(5_000_000)
             .run()?;
 
-        println!("n = {}, t = {}, k = {}, seed = {}", args.n, args.t, args.k, args.seed);
+        println!(
+            "n = {}, t = {}, k = {}, seed = {}",
+            args.n, args.t, args.k, args.seed
+        );
         println!("faults        : {}", args.faults);
         println!("topology      : {} (tau = {})", args.topology, args.tau);
         println!("decided value : {:?}", outcome.decided_value());

@@ -90,7 +90,11 @@ fn seven_processes_majority_value_can_win() {
     // whether it wins depends on timing, but the decision is 1 or ⊥ and
     // never 2 (only two proposers — can never certify).
     for seed in 0..3 {
-        let d = run(&[1, 1, 1, 1, 1, 2, 2], NetworkTopology::all_timely(7, 2), seed);
+        let d = run(
+            &[1, 1, 1, 1, 1, 2, 2],
+            NetworkTopology::all_timely(7, 2),
+            seed,
+        );
         assert_eq!(d.len(), 7, "seed {seed}");
         let first = d[0].1;
         assert!(d.iter().all(|(_, v)| *v == first), "seed {seed}: {d:?}");

@@ -31,7 +31,10 @@ fn determinism_same_seed_same_everything() {
     assert_eq!(a, b, "identical seeds must replay identically");
     // And different seeds generally differ in at least the latency.
     let c = run(99);
-    assert!(a != c || a.0 == c.0, "sanity: decisions may match, metrics differ");
+    assert!(
+        a != c || a.0 == c.0,
+        "sanity: decisions may match, metrics differ"
+    );
 }
 
 #[test]
@@ -80,8 +83,7 @@ fn threaded_runtime_runs_the_same_consensus_automaton() {
         [5u64, 6, 5, 6]
             .into_iter()
             .map(|v| {
-                Box::new(ConsensusNode::new(cfg, v).unwrap())
-                    as Box<dyn Node<Msg = _, Output = _>>
+                Box::new(ConsensusNode::new(cfg, v).unwrap()) as Box<dyn Node<Msg = _, Output = _>>
             })
             .collect();
     let report = run_threaded(
@@ -119,7 +121,10 @@ fn message_kind_metrics_are_collected() {
         .run()
         .unwrap();
     let m = o.metrics();
-    assert!(m.sent_of_kind("CB_VAL/INIT") >= 4, "every process starts CB[0]");
+    assert!(
+        m.sent_of_kind("CB_VAL/INIT") >= 4,
+        "every process starts CB[0]"
+    );
     assert!(m.sent_of_kind("CB_VAL/ECHO") > 0);
     assert!(m.sent_of_kind("EA_PROP2") > 0);
     assert!(m.sent_of_kind("DECIDE/INIT") > 0);
@@ -138,7 +143,11 @@ fn unanimous_inputs_decide_in_the_first_round() {
         .unwrap();
     assert!(o.all_decided());
     assert_eq!(o.decided_value(), Some(9));
-    assert_eq!(o.commit_round(), Some(1), "unanimous case must commit in round 1");
+    assert_eq!(
+        o.commit_round(),
+        Some(1),
+        "unanimous case must commit in round 1"
+    );
     assert!(
         o.rounds_to_decide() <= 2,
         "decision (t+1 DECIDE deliveries) lands in round 1 or just after"

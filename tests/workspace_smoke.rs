@@ -1,0 +1,54 @@
+//! Workspace smoke tests: the examples must keep compiling and the
+//! umbrella doctests must keep running.
+//!
+//! `cargo test` does not build example or doctest targets of dependency
+//! paths by default, so an example rotting would otherwise only surface in
+//! CI's separate build step. These tests shell out to the ambient `cargo`
+//! (sharing the workspace target directory, so warm builds are cheap).
+
+use std::path::Path;
+use std::process::Command;
+
+const EXAMPLES: [&str; 6] = [
+    "byzantine_attack",
+    "parameterized_k",
+    "partial_synchrony",
+    "quickstart",
+    "replicated_log",
+    "threaded_live",
+];
+
+fn cargo(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("failed to spawn cargo")
+}
+
+#[test]
+fn every_example_is_present_and_compiles() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for name in EXAMPLES {
+        let path = root.join("examples").join(format!("{name}.rs"));
+        assert!(path.is_file(), "missing example source {}", path.display());
+    }
+
+    let out = cargo(&["build", "--examples", "--quiet"]);
+    assert!(
+        out.status.success(),
+        "`cargo build --examples` failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn umbrella_doctests_pass() {
+    let out = cargo(&["test", "--doc", "-p", "minsync", "--quiet"]);
+    assert!(
+        out.status.success(),
+        "`cargo test --doc -p minsync` failed:\nstdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -1,0 +1,332 @@
+//! Offline stand-in for the `crossbeam` crate, implementing the
+//! `crossbeam::channel` subset this workspace uses: multi-producer
+//! multi-consumer channels with cloneable receivers, `bounded`/`unbounded`
+//! constructors, and timeout-aware receives.
+//!
+//! The build environment has no network access, so the real crates-io
+//! dependency cannot be fetched. The implementation is a `Mutex` +
+//! `Condvar` queue — slower than crossbeam's lock-free channels but
+//! semantically equivalent for the workspace's uses. See `vendor/README.md`
+//! for the swap-back plan.
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    //! MPMC channels mirroring `crossbeam::channel`.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        capacity: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        /// Signalled when a message arrives or all senders disconnect.
+        not_empty: Condvar,
+        /// Signalled when space frees up or all receivers disconnect.
+        not_full: Condvar,
+    }
+
+    /// Sending half of a channel. Cloneable (multi-producer).
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half of a channel. Cloneable (multi-consumer).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone; the
+    /// unsent message is returned to the caller.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Receiver::recv`].
+    #[derive(Clone, Copy, Debug, Eq, PartialEq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty, disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Clone, Copy, Debug, Eq, PartialEq)]
+    pub enum TryRecvError {
+        /// No message was ready.
+        Empty,
+        /// Every sender is gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Clone, Copy, Debug, Eq, PartialEq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived before the deadline.
+        Timeout,
+        /// Every sender is gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// Creates a channel with unlimited buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// Creates a channel holding at most `cap` in-flight messages; `send`
+    /// blocks while full. `cap` must be non-zero (rendezvous channels are
+    /// not part of this shim).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "this shim does not implement rendezvous channels");
+        with_capacity(Some(cap))
+    }
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                capacity,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.inner.lock().unwrap().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().unwrap();
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.inner.lock().unwrap().receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().unwrap();
+            inner.receivers -= 1;
+            if inner.receivers == 0 {
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `msg`, blocking while a bounded channel is full. Fails
+        /// only when every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut inner = self.shared.inner.lock().unwrap();
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                match inner.capacity {
+                    Some(cap) if inner.queue.len() >= cap => {
+                        inner = self.shared.not_full.wait(inner).unwrap();
+                    }
+                    _ => break,
+                }
+            }
+            inner.queue.push_back(msg);
+            drop(inner);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues a message, blocking until one arrives or every sender
+        /// disconnects.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.shared.inner.lock().unwrap();
+            loop {
+                if let Some(msg) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.shared.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.shared.not_empty.wait(inner).unwrap();
+            }
+        }
+
+        /// Dequeues a message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.shared.inner.lock().unwrap();
+            if let Some(msg) = inner.queue.pop_front() {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Dequeues a message, blocking for at most `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut inner = self.shared.inner.lock().unwrap();
+            loop {
+                if let Some(msg) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.shared.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, result) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(inner, deadline - now)
+                    .unwrap();
+                inner = guard;
+                if result.timed_out() && inner.queue.is_empty() {
+                    return if inner.senders == 0 {
+                        Err(RecvTimeoutError::Disconnected)
+                    } else {
+                        Err(RecvTimeoutError::Timeout)
+                    };
+                }
+            }
+        }
+
+        /// Blocking iterator over incoming messages; ends when every sender
+        /// disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    /// Iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::thread;
+
+        #[test]
+        fn mpmc_delivers_every_message_once() {
+            let (tx, rx) = unbounded::<u64>();
+            let consumers: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    thread::spawn(move || rx.iter().count())
+                })
+                .collect();
+            drop(rx);
+            for i in 0..1_000 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let total: usize = consumers.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(total, 1_000);
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = bounded::<u8>(4);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(9).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(9));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn send_fails_after_receivers_drop() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(rx);
+            assert!(tx.send(1).is_err());
+        }
+    }
+}
