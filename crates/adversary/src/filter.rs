@@ -1,18 +1,23 @@
 use core::fmt::Debug;
 
-use minsync_net::{Context, Node, TimerId, VirtualTime};
+use minsync_net::{Effect, Env, Node, TimerId};
 use minsync_types::ProcessId;
 
 /// Boxed per-destination message mutator.
 type Mutator<M> = Box<dyn FnMut(ProcessId, &M) -> Option<M> + Send>;
 
-/// Per-destination rewrite of an honest automaton's outgoing messages.
+/// Per-destination rewrite of an honest automaton's *effect stream*.
 ///
-/// `FilterNode` runs the wrapped node normally but routes every `send` /
-/// `broadcast` through a mutator closure `fn(to, msg) -> Option<msg>`:
-/// returning `None` drops the copy, returning a modified message equivocates.
-/// Incoming messages, timers, and state are untouched — the node *believes*
-/// it is honest, which is exactly how subtle Byzantine behavior looks.
+/// `FilterNode` runs the wrapped node normally, then intercepts everything
+/// it queued since the handler began ([`Env::mark`] / [`Env::take_since`])
+/// and rewrites it: each [`Effect::Send`] goes through a mutator closure
+/// `fn(to, msg) -> Option<msg>` (returning `None` drops the copy, returning
+/// a modified message equivocates), and each [`Effect::Broadcast`] is first
+/// split into `n` per-destination sends so every copy can be dropped or
+/// forged independently — a Byzantine "broadcast" is exactly that. Timer
+/// effects pass through untouched; incoming messages and state are
+/// unmodified — the node *believes* it is honest, which is exactly how
+/// subtle Byzantine behavior looks.
 ///
 /// Outputs of the wrapped node are suppressed by default (a Byzantine
 /// process's "decisions" must not pollute experiment reports); see
@@ -43,6 +48,36 @@ impl<N: Node> FilterNode<N> {
         self.keep_outputs = true;
         self
     }
+
+    /// Rewrites every effect the inner handler queued since `mark`.
+    fn rewrite(&mut self, env: &mut Env<N::Msg, N::Output>, mark: usize) {
+        let n = env.n();
+        for effect in env.take_since(mark) {
+            match effect {
+                Effect::Send { to, msg } => {
+                    if let Some(m) = (self.mutator)(to, &msg) {
+                        env.send(to, m);
+                    }
+                }
+                Effect::Broadcast { msg } => {
+                    // Split the fan-out: each copy is independently
+                    // droppable/forgeable per destination.
+                    for i in 0..n {
+                        let to = ProcessId::new(i);
+                        if let Some(m) = (self.mutator)(to, &msg) {
+                            env.send(to, m);
+                        }
+                    }
+                }
+                Effect::Output(event) => {
+                    if self.keep_outputs {
+                        env.output(event);
+                    }
+                }
+                other => env.push(other),
+            }
+        }
+    }
 }
 
 impl<N: Node + Debug> Debug for FilterNode<N> {
@@ -53,87 +88,26 @@ impl<N: Node + Debug> Debug for FilterNode<N> {
     }
 }
 
-struct FilterCtx<'a, 'b, M, O> {
-    outer: &'a mut (dyn Context<M, O> + 'b),
-    mutator: &'a mut (dyn FnMut(ProcessId, &M) -> Option<M> + Send),
-    keep_outputs: bool,
-}
-
-impl<M: Clone, O> Context<M, O> for FilterCtx<'_, '_, M, O> {
-    fn me(&self) -> ProcessId {
-        self.outer.me()
-    }
-    fn n(&self) -> usize {
-        self.outer.n()
-    }
-    fn now(&self) -> VirtualTime {
-        self.outer.now()
-    }
-    fn send(&mut self, to: ProcessId, msg: M) {
-        if let Some(m) = (self.mutator)(to, &msg) {
-            self.outer.send(to, m);
-        }
-    }
-    fn broadcast(&mut self, msg: M) {
-        // A Byzantine "broadcast" is n independent sends: each copy can be
-        // dropped or rewritten per destination.
-        for i in 0..self.outer.n() {
-            self.send(ProcessId::new(i), msg.clone());
-        }
-    }
-    fn set_timer(&mut self, delay: u64) -> TimerId {
-        self.outer.set_timer(delay)
-    }
-    fn cancel_timer(&mut self, timer: TimerId) {
-        self.outer.cancel_timer(timer);
-    }
-    fn output(&mut self, event: O) {
-        if self.keep_outputs {
-            self.outer.output(event);
-        }
-    }
-    fn halt(&mut self) {
-        self.outer.halt();
-    }
-    fn random(&mut self) -> u64 {
-        self.outer.random()
-    }
-}
-
 impl<N: Node> Node for FilterNode<N> {
     type Msg = N::Msg;
     type Output = N::Output;
 
-    fn on_start(&mut self, ctx: &mut dyn Context<N::Msg, N::Output>) {
-        let mut shim = FilterCtx {
-            outer: ctx,
-            mutator: self.mutator.as_mut(),
-            keep_outputs: self.keep_outputs,
-        };
-        self.inner.on_start(&mut shim);
+    fn on_start(&mut self, env: &mut Env<N::Msg, N::Output>) {
+        let mark = env.mark();
+        self.inner.on_start(env);
+        self.rewrite(env, mark);
     }
 
-    fn on_message(
-        &mut self,
-        from: ProcessId,
-        msg: N::Msg,
-        ctx: &mut dyn Context<N::Msg, N::Output>,
-    ) {
-        let mut shim = FilterCtx {
-            outer: ctx,
-            mutator: self.mutator.as_mut(),
-            keep_outputs: self.keep_outputs,
-        };
-        self.inner.on_message(from, msg, &mut shim);
+    fn on_message(&mut self, from: ProcessId, msg: N::Msg, env: &mut Env<N::Msg, N::Output>) {
+        let mark = env.mark();
+        self.inner.on_message(from, msg, env);
+        self.rewrite(env, mark);
     }
 
-    fn on_timer(&mut self, timer: TimerId, ctx: &mut dyn Context<N::Msg, N::Output>) {
-        let mut shim = FilterCtx {
-            outer: ctx,
-            mutator: self.mutator.as_mut(),
-            keep_outputs: self.keep_outputs,
-        };
-        self.inner.on_timer(timer, &mut shim);
+    fn on_timer(&mut self, timer: TimerId, env: &mut Env<N::Msg, N::Output>) {
+        let mark = env.mark();
+        self.inner.on_timer(timer, env);
+        self.rewrite(env, mark);
     }
 
     fn label(&self) -> &'static str {
@@ -154,12 +128,12 @@ mod tests {
         type Msg = u32;
         type Output = u32;
 
-        fn on_start(&mut self, ctx: &mut dyn Context<u32, u32>) {
-            ctx.broadcast(7);
+        fn on_start(&mut self, env: &mut Env<u32, u32>) {
+            env.broadcast(7);
         }
 
-        fn on_message(&mut self, _from: ProcessId, msg: u32, ctx: &mut dyn Context<u32, u32>) {
-            ctx.output(msg);
+        fn on_message(&mut self, _from: ProcessId, msg: u32, env: &mut Env<u32, u32>) {
+            env.output(msg);
         }
     }
 
@@ -223,5 +197,24 @@ mod tests {
             .build();
         let report = sim.run();
         assert!(report.outputs_of(ProcessId::new(0)).count() > 0);
+    }
+
+    /// The rewrite only touches effects queued by the wrapped node — a
+    /// stream prefix queued by an enclosing adapter is left alone.
+    #[test]
+    fn rewrite_respects_the_mark() {
+        let mut env: Env<u32, u32> = Env::new(2, 0);
+        env.send(ProcessId::new(0), 99); // queued "before" the handler
+        let mut byz = FilterNode::new(Broadcaster, |_t: ProcessId, _m: &u32| None);
+        byz.on_start(&mut env);
+        let effects: Vec<_> = env.drain().collect();
+        // The prefix survived; the broadcast was dropped entirely.
+        assert_eq!(
+            effects,
+            [Effect::Send {
+                to: ProcessId::new(0),
+                msg: 99
+            }]
+        );
     }
 }

@@ -18,6 +18,9 @@
 //!   valid but semantically hostile [`ProtocolMsg`] traffic;
 //! * [`ReplayNode`] — records and replays observed messages, attacking every
 //!   first-message-only dedup rule of §2.1 at once;
+//! * [`ScriptedNode`] — replays a recorded effect trace verbatim (the
+//!   perfect mimic), reproducing a simulated execution byte-for-byte from
+//!   a [`minsync_net::sim::SimBuilder::record_effects`] recording;
 //! * [`oracles`] — delay oracles for the simulator's
 //!   [`DelayOracle`](minsync_net::sim::DelayOracle) hook, which schedule the
 //!   channels the model leaves asynchronous as adversarially as the model
@@ -39,7 +42,7 @@ mod silent;
 
 pub use filter::FilterNode;
 pub use random_node::RandomProtocolNode;
-pub use replay::ReplayNode;
+pub use replay::{ReplayNode, ScriptedNode};
 pub use silent::{CrashNode, SilentNode};
 
 // Re-exported for mutator signatures.

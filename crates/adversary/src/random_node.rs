@@ -3,7 +3,7 @@ use core::marker::PhantomData;
 
 use minsync_broadcast::RbMsg;
 use minsync_core::{CbId, ProtocolMsg, RbTag};
-use minsync_net::{Context, Node};
+use minsync_net::{Env, Node};
 use minsync_types::{ProcessId, Round, Value};
 
 /// A protocol-aware fuzzer: on every received message it emits a burst of
@@ -52,12 +52,12 @@ impl<V: Value, O> RandomProtocolNode<V, O> {
         Round::new(lo + roll % self.round_window)
     }
 
-    fn random_msg(&self, ctx: &mut dyn Context<ProtocolMsg<V>, O>) -> ProtocolMsg<V> {
-        let kind = ctx.random() % 8;
-        let value = self.random_value(ctx.random());
-        let round = self.random_round(ctx.random());
-        let origin = ProcessId::new((ctx.random() as usize) % ctx.n());
-        let tag = match ctx.random() % 4 {
+    fn random_msg(&self, env: &mut Env<ProtocolMsg<V>, O>) -> ProtocolMsg<V> {
+        let kind = env.random() % 8;
+        let value = self.random_value(env.random());
+        let round = self.random_round(env.random());
+        let origin = ProcessId::new((env.random() as usize) % env.n());
+        let tag = match env.random() % 4 {
             0 => RbTag::CbVal(CbId::ConsValid),
             1 => RbTag::CbVal(CbId::AcProp(round)),
             2 => RbTag::CbVal(CbId::EaProp(round)),
@@ -82,17 +82,17 @@ impl<V: Value, O> RandomProtocolNode<V, O> {
         }
     }
 
-    fn burst(&mut self, ctx: &mut dyn Context<ProtocolMsg<V>, O>) {
-        let me = ctx.me();
+    fn burst(&mut self, env: &mut Env<ProtocolMsg<V>, O>) {
+        let me = env.me();
         for _ in 0..self.burst {
-            let msg = self.random_msg(ctx);
-            let mut target = ProcessId::new((ctx.random() as usize) % ctx.n());
+            let msg = self.random_msg(env);
+            let mut target = ProcessId::new((env.random() as usize) % env.n());
             if target == me {
                 // Spamming oneself only re-triggers this handler; aim at a
                 // real victim instead.
-                target = ProcessId::new((target.index() + 1) % ctx.n());
+                target = ProcessId::new((target.index() + 1) % env.n());
             }
-            ctx.send(target, msg);
+            env.send(target, msg);
         }
     }
 }
@@ -113,17 +113,17 @@ where
     type Msg = ProtocolMsg<V>;
     type Output = O;
 
-    fn on_start(&mut self, ctx: &mut dyn Context<ProtocolMsg<V>, O>) {
-        self.burst(ctx);
+    fn on_start(&mut self, env: &mut Env<ProtocolMsg<V>, O>) {
+        self.burst(env);
     }
 
     fn on_message(
         &mut self,
         from: ProcessId,
         msg: ProtocolMsg<V>,
-        ctx: &mut dyn Context<ProtocolMsg<V>, O>,
+        env: &mut Env<ProtocolMsg<V>, O>,
     ) {
-        if from == ctx.me() {
+        if from == env.me() {
             return; // never amplify own noise into an infinite loop
         }
         // Track the round frontier so the junk stays relevant.
@@ -140,7 +140,7 @@ where
         if let Some(r) = seen {
             self.last_seen_round = self.last_seen_round.max(r);
         }
-        self.burst(ctx);
+        self.burst(env);
     }
 
     fn label(&self) -> &'static str {
@@ -163,7 +163,7 @@ mod tests {
             &mut self,
             _: ProcessId,
             _: ProtocolMsg<u64>,
-            _: &mut dyn Context<ProtocolMsg<u64>, u8>,
+            _: &mut Env<ProtocolMsg<u64>, u8>,
         ) {
         }
     }

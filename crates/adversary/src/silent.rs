@@ -1,7 +1,7 @@
 use core::fmt::Debug;
 use core::marker::PhantomData;
 
-use minsync_net::{Context, Node, TimerId, VirtualTime};
+use minsync_net::{Env, Node, TimerId, VirtualTime};
 use minsync_types::ProcessId;
 
 /// A Byzantine process that never sends anything — indistinguishable from a
@@ -36,7 +36,7 @@ where
     type Msg = M;
     type Output = O;
 
-    fn on_message(&mut self, _from: ProcessId, _msg: M, _ctx: &mut dyn Context<M, O>) {}
+    fn on_message(&mut self, _from: ProcessId, _msg: M, _ctx: &mut Env<M, O>) {}
 
     fn label(&self) -> &'static str {
         "byz-silent"
@@ -76,26 +76,21 @@ impl<N: Node> Node for CrashNode<N> {
     type Msg = N::Msg;
     type Output = N::Output;
 
-    fn on_start(&mut self, ctx: &mut dyn Context<N::Msg, N::Output>) {
-        if ctx.now() < self.crash_at {
-            self.inner.on_start(ctx);
+    fn on_start(&mut self, env: &mut Env<N::Msg, N::Output>) {
+        if env.now() < self.crash_at {
+            self.inner.on_start(env);
         }
     }
 
-    fn on_message(
-        &mut self,
-        from: ProcessId,
-        msg: N::Msg,
-        ctx: &mut dyn Context<N::Msg, N::Output>,
-    ) {
-        if ctx.now() < self.crash_at {
-            self.inner.on_message(from, msg, ctx);
+    fn on_message(&mut self, from: ProcessId, msg: N::Msg, env: &mut Env<N::Msg, N::Output>) {
+        if env.now() < self.crash_at {
+            self.inner.on_message(from, msg, env);
         }
     }
 
-    fn on_timer(&mut self, timer: TimerId, ctx: &mut dyn Context<N::Msg, N::Output>) {
-        if ctx.now() < self.crash_at {
-            self.inner.on_timer(timer, ctx);
+    fn on_timer(&mut self, timer: TimerId, env: &mut Env<N::Msg, N::Output>) {
+        if env.now() < self.crash_at {
+            self.inner.on_timer(timer, env);
         }
     }
 
@@ -120,15 +115,15 @@ mod tests {
         type Msg = u32;
         type Output = u32;
 
-        fn on_start(&mut self, ctx: &mut dyn Context<u32, u32>) {
-            ctx.broadcast(0);
+        fn on_start(&mut self, env: &mut Env<u32, u32>) {
+            env.broadcast(0);
         }
 
-        fn on_message(&mut self, from: ProcessId, msg: u32, ctx: &mut dyn Context<u32, u32>) {
+        fn on_message(&mut self, from: ProcessId, msg: u32, env: &mut Env<u32, u32>) {
             self.received += 1;
-            ctx.output(msg);
-            if msg < 3 && from != ctx.me() {
-                ctx.send(from, msg + 1);
+            env.output(msg);
+            if msg < 3 && from != env.me() {
+                env.send(from, msg + 1);
             }
         }
     }

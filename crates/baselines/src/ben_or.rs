@@ -21,7 +21,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use minsync_net::{Context, Node};
+use minsync_net::{Env, Node};
 use minsync_types::{ProcessId, SystemConfig};
 
 /// Wire messages of Ben-Or's algorithm.
@@ -139,31 +139,31 @@ impl BenOrNode {
         self.rounds.entry(round).or_default()
     }
 
-    fn start_round(&mut self, ctx: &mut dyn Context<BenOrMsg, BenOrEvent>) {
+    fn start_round(&mut self, env: &mut Env<BenOrMsg, BenOrEvent>) {
         self.round += 1;
         if self.round > self.max_rounds {
             self.phase = Phase::Done;
-            ctx.halt();
+            env.halt();
             return;
         }
         if self.decided.is_some() {
             if self.grace_left == 0 {
                 self.phase = Phase::Done;
-                ctx.halt();
+                env.halt();
                 return;
             }
             self.grace_left -= 1;
         }
         self.phase = Phase::Report;
-        ctx.output(BenOrEvent::RoundStarted { round: self.round });
-        ctx.broadcast(BenOrMsg::Report {
+        env.output(BenOrEvent::RoundStarted { round: self.round });
+        env.broadcast(BenOrMsg::Report {
             round: self.round,
             value: self.est,
         });
-        self.advance(ctx);
+        self.advance(env);
     }
 
-    fn advance(&mut self, ctx: &mut dyn Context<BenOrMsg, BenOrEvent>) {
+    fn advance(&mut self, env: &mut Env<BenOrMsg, BenOrEvent>) {
         loop {
             let quorum = self.cfg.quorum();
             let super_majority = (self.cfg.n() + self.cfg.t()) / 2 + 1;
@@ -188,7 +188,7 @@ impl BenOrNode {
                         None
                     };
                     self.phase = Phase::Propose;
-                    ctx.broadcast(BenOrMsg::Propose {
+                    env.broadcast(BenOrMsg::Propose {
                         round,
                         value: proposal,
                     });
@@ -214,14 +214,14 @@ impl BenOrNode {
                     if best_count >= strong && self.decided.is_none() {
                         self.decided = Some(best);
                         self.est = best;
-                        ctx.output(BenOrEvent::Decided { round, value: best });
+                        env.output(BenOrEvent::Decided { round, value: best });
                         self.grace_left = self.grace_rounds;
                     } else if best_count >= plurality {
                         self.est = best;
                     } else {
-                        self.est = (ctx.random() & 1) as u8;
+                        self.est = (env.random() & 1) as u8;
                     }
-                    self.start_round(ctx);
+                    self.start_round(env);
                     return;
                 }
                 Phase::Done => return,
@@ -234,16 +234,11 @@ impl Node for BenOrNode {
     type Msg = BenOrMsg;
     type Output = BenOrEvent;
 
-    fn on_start(&mut self, ctx: &mut dyn Context<BenOrMsg, BenOrEvent>) {
-        self.start_round(ctx);
+    fn on_start(&mut self, env: &mut Env<BenOrMsg, BenOrEvent>) {
+        self.start_round(env);
     }
 
-    fn on_message(
-        &mut self,
-        from: ProcessId,
-        msg: BenOrMsg,
-        ctx: &mut dyn Context<BenOrMsg, BenOrEvent>,
-    ) {
+    fn on_message(&mut self, from: ProcessId, msg: BenOrMsg, env: &mut Env<BenOrMsg, BenOrEvent>) {
         match msg {
             BenOrMsg::Report { round, value } => {
                 if value > 1 {
@@ -264,7 +259,7 @@ impl Node for BenOrNode {
                 }
             }
         }
-        self.advance(ctx);
+        self.advance(env);
     }
 
     fn label(&self) -> &'static str {

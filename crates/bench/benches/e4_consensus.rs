@@ -1,28 +1,59 @@
 //! E4 — consensus (Figure 4): full decision (split proposals) per system
 //! size, with and without silent Byzantine slots.
+//!
+//! Unlike the other targets this one hand-rolls its measurement loop so it
+//! can emit a machine-readable `BENCH_e4.json` (min/mean/max nanoseconds
+//! per case) next to the human-readable lines — successive PRs diff that
+//! file to track the simulator's perf trajectory. Invoked without
+//! `--bench` (e.g. `cargo test --benches`) it smoke-runs every case once
+//! and writes nothing.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use minsync_bench::BENCH_SEED;
+use std::time::Instant;
+
+use criterion::black_box;
+use minsync_bench::{bench_json, CaseStats, BENCH_SEED};
 use minsync_harness::experiments::e4_consensus;
 use minsync_harness::FaultPlan;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e4_consensus");
-    group.sample_size(30);
-    for (n, t) in [(4usize, 1usize), (7, 2), (10, 3)] {
-        group.bench_with_input(
-            BenchmarkId::new("all_correct/n", n),
-            &(n, t),
-            |b, &(n, t)| {
-                b.iter(|| e4_consensus::bench_one(n, t, FaultPlan::AllCorrect, BENCH_SEED))
-            },
-        );
-        group.bench_with_input(BenchmarkId::new("silent_t/n", n), &(n, t), |b, &(n, t)| {
-            b.iter(|| e4_consensus::bench_one(n, t, FaultPlan::silent(t), BENCH_SEED))
-        });
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Honor cargo's positional bench filter like criterion targets do:
+    // `cargo bench e1_cb_broadcast` still launches this binary with the
+    // filter as an argument, and must not rewrite BENCH_e4.json.
+    let filters: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if !filters.is_empty() && !filters.iter().any(|f| "e4_consensus".contains(f.as_str())) {
+        println!("e4_consensus: skipped (filtered out)");
+        return;
     }
-    group.finish();
+    let full = args.iter().any(|a| a == "--bench");
+    let samples = if full { 30 } else { 1 };
+    let mut cases = Vec::new();
+    for (n, t) in [(4usize, 1usize), (7, 2), (10, 3)] {
+        for (label, plan) in [
+            ("all_correct", FaultPlan::AllCorrect),
+            ("silent_t", FaultPlan::silent(t)),
+        ] {
+            let mut times = Vec::with_capacity(samples);
+            for _ in 0..samples {
+                let start = Instant::now();
+                black_box(e4_consensus::bench_one(n, t, plan.clone(), BENCH_SEED));
+                times.push(start.elapsed());
+            }
+            let stats = CaseStats::from_times(format!("{label}/n={n}"), &times);
+            println!(
+                "e4_consensus/{}: mean {}ns, min {}ns, max {}ns ({} samples)",
+                stats.name, stats.mean_ns, stats.min_ns, stats.max_ns, stats.samples
+            );
+            cases.push(stats);
+        }
+    }
+    if full {
+        // Bench binaries run with CWD = the package dir; anchor the report
+        // at the workspace root where it is tracked.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e4.json");
+        std::fs::write(path, bench_json("e4_consensus", &cases)).expect("write BENCH_e4.json");
+        println!("wrote {path}");
+    } else {
+        println!("e4_consensus: ok (smoke test, 1 sample per case, no JSON)");
+    }
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

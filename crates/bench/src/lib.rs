@@ -12,3 +12,89 @@
 /// Standard seed used across benches (Criterion varies iterations, not
 /// inputs).
 pub const BENCH_SEED: u64 = 0xBEEF;
+
+/// Wall-clock statistics for one benchmark case, in nanoseconds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CaseStats {
+    /// Case label, e.g. `"all_correct/n=7"`.
+    pub name: String,
+    /// Samples taken.
+    pub samples: usize,
+    /// Fastest sample.
+    pub min_ns: u128,
+    /// Mean over all samples.
+    pub mean_ns: u128,
+    /// Slowest sample.
+    pub max_ns: u128,
+}
+
+impl CaseStats {
+    /// Summarizes a set of measured sample durations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `times` is empty.
+    pub fn from_times(name: impl Into<String>, times: &[std::time::Duration]) -> Self {
+        assert!(!times.is_empty(), "need at least one sample");
+        let ns: Vec<u128> = times.iter().map(std::time::Duration::as_nanos).collect();
+        CaseStats {
+            name: name.into(),
+            samples: ns.len(),
+            min_ns: *ns.iter().min().expect("non-empty"),
+            mean_ns: ns.iter().sum::<u128>() / ns.len() as u128,
+            max_ns: *ns.iter().max().expect("non-empty"),
+        }
+    }
+}
+
+/// Renders `cases` as a machine-readable JSON document (hand-rolled — the
+/// offline environment has no serde) so successive PRs can track the perf
+/// trajectory, e.g. `BENCH_e4.json`.
+pub fn bench_json(bench_name: &str, cases: &[CaseStats]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": \"{bench_name}\",\n"));
+    out.push_str(&format!("  \"seed\": {BENCH_SEED},\n"));
+    out.push_str("  \"unit\": \"ns\",\n  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        let comma = if i + 1 == cases.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"samples\": {}, \"min\": {}, \"mean\": {}, \"max\": {}}}{comma}\n",
+            c.name, c.samples, c.min_ns, c.mean_ns, c.max_ns
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn case_stats_summarize_correctly() {
+        let times = [
+            Duration::from_nanos(30),
+            Duration::from_nanos(10),
+            Duration::from_nanos(20),
+        ];
+        let s = CaseStats::from_times("x", &times);
+        assert_eq!((s.samples, s.min_ns, s.mean_ns, s.max_ns), (3, 10, 20, 30));
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let cases = [
+            CaseStats::from_times("a", &[Duration::from_nanos(5)]),
+            CaseStats::from_times("b", &[Duration::from_nanos(7)]),
+        ];
+        let j = bench_json("e4", &cases);
+        assert!(j.contains("\"bench\": \"e4\""));
+        assert!(j.contains("\"name\": \"a\""));
+        assert!(j.contains("\"mean\": 7"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        // No trailing comma before the closing bracket.
+        assert!(!j.contains("},\n  ]"));
+    }
+}

@@ -28,7 +28,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use minsync_broadcast::{CbInstance, RbAction, RbEngine};
-use minsync_net::{Context, Node};
+use minsync_net::{Env, Node};
 use minsync_types::{ProcessId, Round, SystemConfig, Value};
 
 use crate::events::AcTag;
@@ -201,11 +201,11 @@ impl<V: Value> AcNode<V> {
     fn rb_actions(
         &mut self,
         actions: Vec<RbAction<RbTag, V>>,
-        ctx: &mut dyn Context<ProtocolMsg<V>, AcNodeEvent<V>>,
+        env: &mut Env<ProtocolMsg<V>, AcNodeEvent<V>>,
     ) {
         for action in actions {
             match action {
-                RbAction::Broadcast(m) => ctx.broadcast(ProtocolMsg::Rb(m)),
+                RbAction::Broadcast(m) => env.broadcast(ProtocolMsg::Rb(m)),
                 RbAction::Deliver { origin, tag, value } => match tag {
                     RbTag::CbVal(CbId::AcProp(r)) if r == Round::FIRST => {
                         self.ac.on_cb_val_delivered(origin, value);
@@ -217,24 +217,24 @@ impl<V: Value> AcNode<V> {
                 },
             }
         }
-        self.advance(ctx);
+        self.advance(env);
     }
 
-    fn advance(&mut self, ctx: &mut dyn Context<ProtocolMsg<V>, AcNodeEvent<V>>) {
+    fn advance(&mut self, env: &mut Env<ProtocolMsg<V>, AcNodeEvent<V>>) {
         // Line 1 completion → line 2.
         if !self.ac.est_sent() {
             if let Some(est) = self.ac.cb_returnable().cloned() {
                 self.ac.mark_est_sent();
                 let rb = self.rb.as_mut().expect("started");
                 let actions = rb.broadcast(RbTag::AcEst(Round::FIRST), est);
-                self.rb_actions(actions, ctx);
+                self.rb_actions(actions, env);
                 return; // rb_actions recursed into advance already
             }
         }
         // Line 3 wait → lines 4–7.
         if self.ac.outcome().is_none() {
             if let Some((tag, value)) = self.ac.try_complete() {
-                ctx.output(AcNodeEvent::Returned { tag, value });
+                env.output(AcNodeEvent::Returned { tag, value });
             }
         }
     }
@@ -244,27 +244,27 @@ impl<V: Value> Node for AcNode<V> {
     type Msg = ProtocolMsg<V>;
     type Output = AcNodeEvent<V>;
 
-    fn on_start(&mut self, ctx: &mut dyn Context<ProtocolMsg<V>, AcNodeEvent<V>>) {
-        let mut rb = RbEngine::new(self.cfg, ctx.me());
+    fn on_start(&mut self, env: &mut Env<ProtocolMsg<V>, AcNodeEvent<V>>) {
+        let mut rb = RbEngine::new(self.cfg, env.me());
         let actions = rb.broadcast(
             RbTag::CbVal(CbId::AcProp(Round::FIRST)),
             self.proposal.clone(),
         );
         self.rb = Some(rb);
-        self.rb_actions(actions, ctx);
+        self.rb_actions(actions, env);
     }
 
     fn on_message(
         &mut self,
         from: ProcessId,
         msg: ProtocolMsg<V>,
-        ctx: &mut dyn Context<ProtocolMsg<V>, AcNodeEvent<V>>,
+        env: &mut Env<ProtocolMsg<V>, AcNodeEvent<V>>,
     ) {
         if let ProtocolMsg::Rb(rb_msg) = msg {
             if let Some(mut rb) = self.rb.take() {
                 let actions = rb.on_message(from, rb_msg);
                 self.rb = Some(rb);
-                self.rb_actions(actions, ctx);
+                self.rb_actions(actions, env);
             }
         }
     }

@@ -61,7 +61,7 @@
 use std::collections::BTreeMap;
 
 use minsync_broadcast::{RbAction, RbEngine};
-use minsync_net::{Context, Node, TimerId};
+use minsync_net::{Effect, Env, Node, TimerId};
 use minsync_types::{ConfigError, ProcessId, SystemConfig, Value};
 
 use crate::consensus::{ConsensusConfig, ConsensusNode};
@@ -114,7 +114,10 @@ enum Watch {
 ///
 /// Internally drives a certification exchange and an embedded
 /// [`ConsensusNode`] on one bit; see the module docs for the construction
-/// and its proof sketch.
+/// and its proof sketch. The embedded automaton runs on a *child
+/// environment*: its queued effects are drained, its messages wrapped in
+/// [`BotMsg::Inner`], and its outputs folded into this node's state —
+/// sans-io composition with no context shims.
 #[derive(Debug)]
 pub struct BotConsensusNode<V> {
     system: SystemConfig,
@@ -127,6 +130,10 @@ pub struct BotConsensusNode<V> {
     certified: Option<V>,
     watch: Watch,
     inner: ConsensusNode<u8>,
+    /// Child environment the embedded consensus runs on (created lazily on
+    /// first drive; seed irrelevant — the inner automaton is deterministic
+    /// and never draws randomness).
+    inner_env: Option<Env<ProtocolMsg<u8>, ConsensusEvent<u8>>>,
     inner_started: bool,
     /// Inner-consensus messages received before the certification watch
     /// resolved (other processes may start their binary consensus first);
@@ -136,7 +143,7 @@ pub struct BotConsensusNode<V> {
     done: bool,
 }
 
-type BotCtx<'a, V> = dyn Context<BotMsg<V>, BotEvent<V>> + 'a;
+type BotCtx<V> = Env<BotMsg<V>, BotEvent<V>>;
 
 impl<V: Value> BotConsensusNode<V> {
     /// Creates a node proposing `proposal`.
@@ -156,6 +163,7 @@ impl<V: Value> BotConsensusNode<V> {
             watch: Watch::Pending,
             // Placeholder proposal; replaced when the watch resolves.
             inner: ConsensusNode::new(cfg, 0)?,
+            inner_env: None,
             inner_started: false,
             pending_inner: Vec::new(),
             bit_decided: None,
@@ -163,27 +171,27 @@ impl<V: Value> BotConsensusNode<V> {
         })
     }
 
-    fn apply_cert_rb(&mut self, actions: Vec<RbAction<(), V>>, ctx: &mut BotCtx<'_, V>) {
+    fn apply_cert_rb(&mut self, actions: Vec<RbAction<(), V>>, env: &mut BotCtx<V>) {
         for action in actions {
             match action {
-                RbAction::Broadcast(m) => ctx.broadcast(BotMsg::CertRb(m)),
+                RbAction::Broadcast(m) => env.broadcast(BotMsg::CertRb(m)),
                 RbAction::Deliver { origin, value, .. } => {
-                    self.on_cert_delivered(origin, value, ctx)
+                    self.on_cert_delivered(origin, value, env)
                 }
             }
         }
     }
 
-    fn on_cert_delivered(&mut self, origin: ProcessId, value: V, ctx: &mut BotCtx<'_, V>) {
+    fn on_cert_delivered(&mut self, origin: ProcessId, value: V, env: &mut BotCtx<V>) {
         if self.cert_senders.contains(&origin) {
             return; // RB-Unicity makes this unreachable; defensive.
         }
         self.cert_senders.push(origin);
         self.cert_support.entry(value).or_default().push(origin);
-        self.recheck_certification(ctx);
+        self.recheck_certification(env);
     }
 
-    fn recheck_certification(&mut self, ctx: &mut BotCtx<'_, V>) {
+    fn recheck_certification(&mut self, env: &mut BotCtx<V>) {
         let threshold = self.system.certification_threshold();
         let n = self.system.n();
         if self.certified.is_none() {
@@ -204,55 +212,76 @@ impl<V: Value> BotConsensusNode<V> {
                 }
             }
             if let Watch::Resolved(bit) = self.watch {
-                self.start_inner(bit, ctx);
+                self.start_inner(bit, env);
             }
         }
-        self.try_finish(ctx);
+        self.try_finish(env);
     }
 
-    fn start_inner(&mut self, bit: u8, ctx: &mut BotCtx<'_, V>) {
+    fn start_inner(&mut self, bit: u8, env: &mut BotCtx<V>) {
         debug_assert!(!self.inner_started);
         self.inner_started = true;
         self.inner = ConsensusNode::new(self.inner_cfg, bit).expect("config validated in new()");
-        let mut events = Vec::new();
-        {
-            let mut shim = InnerCtx {
-                outer: ctx,
-                events: Vec::new(),
-            };
-            self.inner.on_start(&mut shim);
-            // Replay buffered inner traffic in arrival order.
-            for (from, msg) in std::mem::take(&mut self.pending_inner) {
-                self.inner.on_message(from, msg, &mut shim);
-            }
-            events.append(&mut shim.events);
+        self.drive_inner(env, |inner, ienv| inner.on_start(ienv));
+        // Replay buffered inner traffic in arrival order.
+        for (from, msg) in std::mem::take(&mut self.pending_inner) {
+            self.drive_inner(env, |inner, ienv| inner.on_message(from, msg, ienv));
         }
-        self.consume_inner_events(events, ctx);
     }
 
-    fn consume_inner_events(&mut self, events: Vec<ConsensusEvent<u8>>, ctx: &mut BotCtx<'_, V>) {
+    /// Runs one embedded-consensus handler on the child environment, then
+    /// maps its effect stream into the outer one: messages are wrapped in
+    /// [`BotMsg::Inner`], timer effects pass through unchanged (the timer
+    /// cursor is shared, so ids never collide with the outer node's),
+    /// outputs are folded into local state, and `Halt` is swallowed (the
+    /// embedded consensus never halts the outer node).
+    fn drive_inner(
+        &mut self,
+        env: &mut BotCtx<V>,
+        f: impl FnOnce(&mut ConsensusNode<u8>, &mut Env<ProtocolMsg<u8>, ConsensusEvent<u8>>),
+    ) {
+        let ienv = self.inner_env.get_or_insert_with(|| Env::new(env.n(), 0));
+        ienv.prepare(env.me(), env.now());
+        ienv.set_timer_cursor(env.timer_cursor());
+        f(&mut self.inner, ienv);
+        env.set_timer_cursor(ienv.timer_cursor());
+        let mut events = Vec::new();
+        for effect in ienv.drain() {
+            match effect {
+                Effect::Send { to, msg } => env.send(to, BotMsg::Inner(msg)),
+                Effect::Broadcast { msg } => env.broadcast(BotMsg::Inner(msg)),
+                Effect::SetTimer { id, delay } => env.push(Effect::SetTimer { id, delay }),
+                Effect::CancelTimer { id } => env.push(Effect::CancelTimer { id }),
+                Effect::Output(event) => events.push(event),
+                Effect::Halt => {}
+            }
+        }
+        self.consume_inner_events(events, env);
+    }
+
+    fn consume_inner_events(&mut self, events: Vec<ConsensusEvent<u8>>, env: &mut BotCtx<V>) {
         for ev in events {
             if let ConsensusEvent::Decided { value } = ev {
                 self.bit_decided = Some(value);
             }
         }
-        self.try_finish(ctx);
+        self.try_finish(env);
     }
 
-    fn try_finish(&mut self, ctx: &mut BotCtx<'_, V>) {
+    fn try_finish(&mut self, env: &mut BotCtx<V>) {
         if self.done {
             return;
         }
         match self.bit_decided {
             Some(0) => {
                 self.done = true;
-                ctx.output(BotEvent::DecidedBottom);
+                env.output(BotEvent::DecidedBottom);
             }
             Some(_) => {
                 // Wait until the (unique) certificate is visible locally.
                 if let Some(v) = self.certified.clone() {
                     self.done = true;
-                    ctx.output(BotEvent::Decided { value: v });
+                    env.output(BotEvent::Decided { value: v });
                 }
             }
             None => {}
@@ -260,75 +289,29 @@ impl<V: Value> BotConsensusNode<V> {
     }
 }
 
-/// Adapter exposing the outer context to the embedded binary consensus:
-/// wraps its messages in [`BotMsg::Inner`] and captures its outputs.
-struct InnerCtx<'a, 'b, V> {
-    outer: &'a mut BotCtx<'b, V>,
-    events: Vec<ConsensusEvent<u8>>,
-}
-
-impl<V: Value> Context<ProtocolMsg<u8>, ConsensusEvent<u8>> for InnerCtx<'_, '_, V> {
-    fn me(&self) -> ProcessId {
-        self.outer.me()
-    }
-    fn n(&self) -> usize {
-        self.outer.n()
-    }
-    fn now(&self) -> minsync_net::VirtualTime {
-        self.outer.now()
-    }
-    fn send(&mut self, to: ProcessId, msg: ProtocolMsg<u8>) {
-        self.outer.send(to, BotMsg::Inner(msg));
-    }
-    fn broadcast(&mut self, msg: ProtocolMsg<u8>) {
-        self.outer.broadcast(BotMsg::Inner(msg));
-    }
-    fn set_timer(&mut self, delay: u64) -> TimerId {
-        self.outer.set_timer(delay)
-    }
-    fn cancel_timer(&mut self, timer: TimerId) {
-        self.outer.cancel_timer(timer);
-    }
-    fn output(&mut self, event: ConsensusEvent<u8>) {
-        self.events.push(event);
-    }
-    fn halt(&mut self) {
-        // The embedded consensus never halts the outer node.
-    }
-    fn random(&mut self) -> u64 {
-        self.outer.random()
-    }
-}
-
 impl<V: Value> Node for BotConsensusNode<V> {
     type Msg = BotMsg<V>;
     type Output = BotEvent<V>;
 
-    fn on_start(&mut self, ctx: &mut BotCtx<'_, V>) {
-        let mut rb = RbEngine::new(self.system, ctx.me());
+    fn on_start(&mut self, env: &mut BotCtx<V>) {
+        let mut rb = RbEngine::new(self.system, env.me());
         let actions = rb.broadcast((), self.proposal.clone());
         self.cert_rb = Some(rb);
-        self.apply_cert_rb(actions, ctx);
+        self.apply_cert_rb(actions, env);
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: BotMsg<V>, ctx: &mut BotCtx<'_, V>) {
+    fn on_message(&mut self, from: ProcessId, msg: BotMsg<V>, env: &mut BotCtx<V>) {
         match msg {
             BotMsg::CertRb(rb_msg) => {
                 if let Some(mut rb) = self.cert_rb.take() {
                     let actions = rb.on_message(from, rb_msg);
                     self.cert_rb = Some(rb);
-                    self.apply_cert_rb(actions, ctx);
+                    self.apply_cert_rb(actions, env);
                 }
             }
             BotMsg::Inner(inner_msg) => {
                 if self.inner_started {
-                    let mut shim = InnerCtx {
-                        outer: ctx,
-                        events: Vec::new(),
-                    };
-                    self.inner.on_message(from, inner_msg, &mut shim);
-                    let events = shim.events;
-                    self.consume_inner_events(events, ctx);
+                    self.drive_inner(env, |inner, ienv| inner.on_message(from, inner_msg, ienv));
                 } else {
                     // The sender's watch resolved before ours: buffer until
                     // our binary consensus starts.
@@ -338,15 +321,9 @@ impl<V: Value> Node for BotConsensusNode<V> {
         }
     }
 
-    fn on_timer(&mut self, timer: TimerId, ctx: &mut BotCtx<'_, V>) {
+    fn on_timer(&mut self, timer: TimerId, env: &mut BotCtx<V>) {
         if self.inner_started {
-            let mut shim = InnerCtx {
-                outer: ctx,
-                events: Vec::new(),
-            };
-            self.inner.on_timer(timer, &mut shim);
-            let events = shim.events;
-            self.consume_inner_events(events, ctx);
+            self.drive_inner(env, |inner, ienv| inner.on_timer(timer, ienv));
         }
     }
 

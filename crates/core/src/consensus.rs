@@ -22,7 +22,7 @@
 use std::collections::BTreeMap;
 
 use minsync_broadcast::{CbInstance, RbAction, RbEngine};
-use minsync_net::{Context, Node, TimerId};
+use minsync_net::{Env, Node, TimerId};
 use minsync_types::{ConfigError, ProcessId, Round, RoundSchedule, SystemConfig, Value};
 
 use crate::adopt_commit::AcRound;
@@ -137,7 +137,7 @@ pub struct ConsensusNode<V> {
     decided: Option<V>,
 }
 
-type Ctx<'a, V> = dyn Context<ProtocolMsg<V>, ConsensusEvent<V>> + 'a;
+type Ctx<V> = Env<ProtocolMsg<V>, ConsensusEvent<V>>;
 
 impl<V: Value> ConsensusNode<V> {
     /// Creates a node that will propose `proposal`.
@@ -191,42 +191,42 @@ impl<V: Value> ConsensusNode<V> {
     // Effect plumbing
     // ------------------------------------------------------------------
 
-    fn rb_broadcast(&mut self, tag: RbTag, value: V, ctx: &mut Ctx<'_, V>) {
+    fn rb_broadcast(&mut self, tag: RbTag, value: V, env: &mut Ctx<V>) {
         let mut rb = self.rb.take().expect("rb engine initialized at start");
         let actions = rb.broadcast(tag, value);
         self.rb = Some(rb);
-        self.apply_rb(actions, ctx);
+        self.apply_rb(actions, env);
     }
 
-    fn apply_rb(&mut self, actions: Vec<RbAction<RbTag, V>>, ctx: &mut Ctx<'_, V>) {
+    fn apply_rb(&mut self, actions: Vec<RbAction<RbTag, V>>, env: &mut Ctx<V>) {
         for action in actions {
             match action {
-                RbAction::Broadcast(m) => ctx.broadcast(ProtocolMsg::Rb(m)),
+                RbAction::Broadcast(m) => env.broadcast(ProtocolMsg::Rb(m)),
                 RbAction::Deliver { origin, tag, value } => {
-                    self.on_rb_delivered(origin, tag, value, ctx)
+                    self.on_rb_delivered(origin, tag, value, env)
                 }
             }
         }
     }
 
-    fn apply_ea(&mut self, actions: Vec<EaAction<V>>, ctx: &mut Ctx<'_, V>) {
+    fn apply_ea(&mut self, actions: Vec<EaAction<V>>, env: &mut Ctx<V>) {
         for action in actions {
             match action {
-                EaAction::RbBroadcast { tag, value } => self.rb_broadcast(tag, value, ctx),
-                EaAction::Broadcast(msg) => ctx.broadcast(msg),
+                EaAction::RbBroadcast { tag, value } => self.rb_broadcast(tag, value, env),
+                EaAction::Broadcast(msg) => env.broadcast(msg),
                 EaAction::SetTimer { round, delay } => {
-                    let id = ctx.set_timer(delay);
+                    let id = env.set_timer(delay);
                     self.timers.insert(id, round);
                     self.timer_of_round.insert(round, id);
                 }
                 EaAction::CancelTimer { round } => {
                     if let Some(id) = self.timer_of_round.remove(&round) {
                         self.timers.remove(&id);
-                        ctx.cancel_timer(id);
+                        env.cancel_timer(id);
                     }
                 }
                 EaAction::Returned { round, value, fast } => {
-                    self.on_ea_returned(round, value, fast, ctx)
+                    self.on_ea_returned(round, value, fast, env)
                 }
             }
         }
@@ -236,31 +236,31 @@ impl<V: Value> ConsensusNode<V> {
     // Protocol steps
     // ------------------------------------------------------------------
 
-    fn on_rb_delivered(&mut self, origin: ProcessId, tag: RbTag, value: V, ctx: &mut Ctx<'_, V>) {
+    fn on_rb_delivered(&mut self, origin: ProcessId, tag: RbTag, value: V, env: &mut Ctx<V>) {
         match tag {
             RbTag::CbVal(CbId::ConsValid) => {
                 self.cb0.on_rb_delivered(origin, value);
                 if self.phase == Phase::AwaitValid {
-                    self.try_leave_line1(ctx);
+                    self.try_leave_line1(env);
                 }
             }
             RbTag::CbVal(CbId::EaProp(r)) => {
                 if self.decided.is_none() {
                     let acts = self.ea.on_cb_val_delivered(origin, r, value);
-                    self.apply_ea(acts, ctx);
+                    self.apply_ea(acts, env);
                 }
             }
             RbTag::CbVal(CbId::AcProp(r)) => {
                 self.ac_round(r).on_cb_val_delivered(origin, value);
-                self.try_advance_ac(r, ctx);
+                self.try_advance_ac(r, env);
             }
             RbTag::AcEst(r) => {
                 self.ac_round(r).on_est_delivered(origin, value);
-                self.try_advance_ac(r, ctx);
+                self.try_advance_ac(r, env);
             }
             RbTag::Decide => {
                 if let Some(v) = self.decide_votes.on_rb_delivered(origin, value) {
-                    self.on_decided(v, ctx);
+                    self.on_decided(v, env);
                 }
             }
         }
@@ -274,17 +274,17 @@ impl<V: Value> ConsensusNode<V> {
     }
 
     /// Line 1 completion: `CB[0]` returned → enter round 1.
-    fn try_leave_line1(&mut self, ctx: &mut Ctx<'_, V>) {
+    fn try_leave_line1(&mut self, env: &mut Ctx<V>) {
         debug_assert_eq!(self.phase, Phase::AwaitValid);
         let Some(v) = self.cb0.returnable().cloned() else {
             return;
         };
         self.est = v;
-        self.enter_round(Round::FIRST, ctx);
+        self.enter_round(Round::FIRST, env);
     }
 
     /// Lines 3–4: start round `r` and `EA_propose(r, est)`.
-    fn enter_round(&mut self, r: Round, ctx: &mut Ctx<'_, V>) {
+    fn enter_round(&mut self, r: Round, env: &mut Ctx<V>) {
         if let Some(max) = self.cfg.max_rounds {
             if r.get() > max {
                 self.phase = Phase::Stopped;
@@ -293,13 +293,13 @@ impl<V: Value> ConsensusNode<V> {
         }
         self.round = r;
         self.phase = Phase::InEa;
-        ctx.output(ConsensusEvent::RoundStarted { round: r });
+        env.output(ConsensusEvent::RoundStarted { round: r });
         let acts = self.ea.propose(r, self.est.clone());
-        self.apply_ea(acts, ctx);
+        self.apply_ea(acts, env);
     }
 
     /// Line 5 plus entry into line 6.
-    fn on_ea_returned(&mut self, round: Round, value: V, fast: bool, ctx: &mut Ctx<'_, V>) {
+    fn on_ea_returned(&mut self, round: Round, value: V, fast: bool, env: &mut Ctx<V>) {
         if self.decided.is_some() || self.phase != Phase::InEa || round != self.round {
             return;
         }
@@ -308,15 +308,15 @@ impl<V: Value> ConsensusNode<V> {
         if self.cb0.is_valid(&value) {
             self.est = value.clone();
         }
-        ctx.output(ConsensusEvent::EaReturned { round, value, fast });
+        env.output(ConsensusEvent::EaReturned { round, value, fast });
         // Line 6, Figure 2 line 1: CB-broadcast AC_PROP(est).
         self.phase = Phase::AwaitAcCb;
         self.ac_round(round); // materialize
-        self.rb_broadcast(RbTag::CbVal(CbId::AcProp(round)), self.est.clone(), ctx);
-        self.try_advance_ac(round, ctx);
+        self.rb_broadcast(RbTag::CbVal(CbId::AcProp(round)), self.est.clone(), env);
+        self.try_advance_ac(round, env);
     }
 
-    fn try_advance_ac(&mut self, r: Round, ctx: &mut Ctx<'_, V>) {
+    fn try_advance_ac(&mut self, r: Round, env: &mut Ctx<V>) {
         if self.decided.is_some() || r != self.round {
             return;
         }
@@ -328,7 +328,7 @@ impl<V: Value> ConsensusNode<V> {
             // estimate RB-broadcast as AC_EST.
             self.ac_round(r).mark_est_sent();
             self.phase = Phase::AwaitAcEst;
-            self.rb_broadcast(RbTag::AcEst(r), est2, ctx);
+            self.rb_broadcast(RbTag::AcEst(r), est2, env);
             // rb_broadcast may have recursed into try_advance_ac and
             // completed the round; re-check the phase before continuing.
             if self.phase != Phase::AwaitAcEst || self.round != r {
@@ -341,7 +341,7 @@ impl<V: Value> ConsensusNode<V> {
             };
             // Figure 4 line 6: adopt the AC outcome as the new estimate.
             self.est = mfa.clone();
-            ctx.output(ConsensusEvent::AcReturned {
+            env.output(ConsensusEvent::AcReturned {
                 round: r,
                 tag,
                 value: mfa.clone(),
@@ -349,22 +349,22 @@ impl<V: Value> ConsensusNode<V> {
             // Line 7.
             if tag == AcTag::Commit && !self.decide_broadcast {
                 self.decide_broadcast = true;
-                ctx.output(ConsensusEvent::DecideBroadcast {
+                env.output(ConsensusEvent::DecideBroadcast {
                     round: r,
                     value: mfa.clone(),
                 });
-                self.rb_broadcast(RbTag::Decide, mfa, ctx);
+                self.rb_broadcast(RbTag::Decide, mfa, env);
                 if self.decided.is_some() {
                     return;
                 }
             }
             // Line 8: next round.
-            self.enter_round(r.next(), ctx);
+            self.enter_round(r.next(), env);
         }
     }
 
     /// Line 9: `DECIDE(v)` RB-delivered from `t + 1` distinct processes.
-    fn on_decided(&mut self, value: V, ctx: &mut Ctx<'_, V>) {
+    fn on_decided(&mut self, value: V, env: &mut Ctx<V>) {
         if self.decided.is_some() {
             return;
         }
@@ -373,7 +373,7 @@ impl<V: Value> ConsensusNode<V> {
         // Cancel every pending timer: the round loop is over. The RB layer
         // stays live (see module docs).
         for (id, _) in std::mem::take(&mut self.timers) {
-            ctx.cancel_timer(id);
+            env.cancel_timer(id);
         }
         self.timer_of_round.clear();
         // Release per-round state: a decided process ignores EA/AC traffic,
@@ -381,7 +381,7 @@ impl<V: Value> ConsensusNode<V> {
         // kept: other correct processes still need its echoes/readies.)
         self.ac_rounds.clear();
         self.ea.prune_below(Round::new(u64::MAX));
-        ctx.output(ConsensusEvent::Decided { value });
+        env.output(ConsensusEvent::Decided { value });
     }
 }
 
@@ -389,8 +389,8 @@ impl<V: Value> Node for ConsensusNode<V> {
     type Msg = ProtocolMsg<V>;
     type Output = ConsensusEvent<V>;
 
-    fn on_start(&mut self, ctx: &mut Ctx<'_, V>) {
-        let me = ctx.me();
+    fn on_start(&mut self, env: &mut Ctx<V>) {
+        let me = env.me();
         self.me = Some(me);
         self.rb = Some(RbEngine::new(self.cfg.system, me));
         self.ea = EaObject::new(
@@ -400,10 +400,10 @@ impl<V: Value> Node for ConsensusNode<V> {
             self.cfg.timeout,
         );
         // Line 1: CB[0].CB_broadcast VALID(v_i).
-        self.rb_broadcast(RbTag::CbVal(CbId::ConsValid), self.proposal.clone(), ctx);
+        self.rb_broadcast(RbTag::CbVal(CbId::ConsValid), self.proposal.clone(), env);
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: ProtocolMsg<V>, ctx: &mut Ctx<'_, V>) {
+    fn on_message(&mut self, from: ProcessId, msg: ProtocolMsg<V>, env: &mut Ctx<V>) {
         match msg {
             ProtocolMsg::Rb(rb_msg) => {
                 // The RB layer is serviced forever — even after deciding —
@@ -411,36 +411,36 @@ impl<V: Value> Node for ConsensusNode<V> {
                 if let Some(mut rb) = self.rb.take() {
                     let actions = rb.on_message(from, rb_msg);
                     self.rb = Some(rb);
-                    self.apply_rb(actions, ctx);
+                    self.apply_rb(actions, env);
                 }
             }
             ProtocolMsg::EaProp2 { round, value } => {
                 if self.decided.is_none() {
                     let acts = self.ea.on_prop2(from, round, value);
-                    self.apply_ea(acts, ctx);
+                    self.apply_ea(acts, env);
                 }
             }
             ProtocolMsg::EaCoord { round, value } => {
                 if self.decided.is_none() {
                     let acts = self.ea.on_coord(from, round, value);
-                    self.apply_ea(acts, ctx);
+                    self.apply_ea(acts, env);
                 }
             }
             ProtocolMsg::EaRelay { round, value } => {
                 if self.decided.is_none() {
                     let acts = self.ea.on_relay(from, round, value);
-                    self.apply_ea(acts, ctx);
+                    self.apply_ea(acts, env);
                 }
             }
         }
     }
 
-    fn on_timer(&mut self, timer: TimerId, ctx: &mut Ctx<'_, V>) {
+    fn on_timer(&mut self, timer: TimerId, env: &mut Ctx<V>) {
         if let Some(round) = self.timers.remove(&timer) {
             self.timer_of_round.remove(&round);
             if self.decided.is_none() {
                 let acts = self.ea.on_timer_expired(round);
-                self.apply_ea(acts, ctx);
+                self.apply_ea(acts, env);
             }
         }
     }

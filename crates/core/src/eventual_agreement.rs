@@ -38,7 +38,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use minsync_broadcast::{CbInstance, RbAction, RbEngine};
-use minsync_net::{Context, Node, TimerId};
+use minsync_net::{Env, Node, TimerId};
 use minsync_types::{ProcessId, Round, RoundSchedule, SystemConfig, Value};
 
 use crate::messages::{CbId, ProtocolMsg, RbTag};
@@ -464,40 +464,36 @@ impl<V: Value> EaNode<V> {
         }
     }
 
-    fn apply(
-        &mut self,
-        actions: Vec<EaAction<V>>,
-        ctx: &mut dyn Context<ProtocolMsg<V>, EaNodeEvent<V>>,
-    ) {
+    fn apply(&mut self, actions: Vec<EaAction<V>>, env: &mut Env<ProtocolMsg<V>, EaNodeEvent<V>>) {
         for action in actions {
             match action {
                 EaAction::RbBroadcast { tag, value } => {
                     let mut rb = self.rb.take().expect("started");
                     let rb_actions = rb.broadcast(tag, value);
                     self.rb = Some(rb);
-                    self.apply_rb(rb_actions, ctx);
+                    self.apply_rb(rb_actions, env);
                 }
-                EaAction::Broadcast(msg) => ctx.broadcast(msg),
+                EaAction::Broadcast(msg) => env.broadcast(msg),
                 EaAction::SetTimer { round, delay } => {
-                    let id = ctx.set_timer(delay);
+                    let id = env.set_timer(delay);
                     self.timers.insert(id, round);
                     self.timer_of_round.insert(round, id);
                 }
                 EaAction::CancelTimer { round } => {
                     if let Some(id) = self.timer_of_round.remove(&round) {
                         self.timers.remove(&id);
-                        ctx.cancel_timer(id);
+                        env.cancel_timer(id);
                     }
                 }
                 EaAction::Returned { round, value, fast } => {
                     self.estimate = value.clone();
-                    ctx.output(EaNodeEvent::Returned { round, value, fast });
+                    env.output(EaNodeEvent::Returned { round, value, fast });
                     if round.get() >= self.max_rounds {
-                        ctx.halt();
+                        env.halt();
                     } else if round == self.current {
                         self.current = round.next();
                         let next = self.ea.propose(self.current, self.estimate.clone());
-                        self.apply(next, ctx);
+                        self.apply(next, env);
                     }
                 }
             }
@@ -507,15 +503,15 @@ impl<V: Value> EaNode<V> {
     fn apply_rb(
         &mut self,
         actions: Vec<RbAction<RbTag, V>>,
-        ctx: &mut dyn Context<ProtocolMsg<V>, EaNodeEvent<V>>,
+        env: &mut Env<ProtocolMsg<V>, EaNodeEvent<V>>,
     ) {
         for action in actions {
             match action {
-                RbAction::Broadcast(m) => ctx.broadcast(ProtocolMsg::Rb(m)),
+                RbAction::Broadcast(m) => env.broadcast(ProtocolMsg::Rb(m)),
                 RbAction::Deliver { origin, tag, value } => {
                     if let RbTag::CbVal(CbId::EaProp(r)) = tag {
                         let ea_actions = self.ea.on_cb_val_delivered(origin, r, value);
-                        self.apply(ea_actions, ctx);
+                        self.apply(ea_actions, env);
                     }
                 }
             }
@@ -527,46 +523,46 @@ impl<V: Value> Node for EaNode<V> {
     type Msg = ProtocolMsg<V>;
     type Output = EaNodeEvent<V>;
 
-    fn on_start(&mut self, ctx: &mut dyn Context<ProtocolMsg<V>, EaNodeEvent<V>>) {
-        self.rb = Some(RbEngine::new(self.cfg, ctx.me()));
+    fn on_start(&mut self, env: &mut Env<ProtocolMsg<V>, EaNodeEvent<V>>) {
+        self.rb = Some(RbEngine::new(self.cfg, env.me()));
         let actions = self.ea.propose(Round::FIRST, self.estimate.clone());
-        self.apply(actions, ctx);
+        self.apply(actions, env);
     }
 
     fn on_message(
         &mut self,
         from: ProcessId,
         msg: ProtocolMsg<V>,
-        ctx: &mut dyn Context<ProtocolMsg<V>, EaNodeEvent<V>>,
+        env: &mut Env<ProtocolMsg<V>, EaNodeEvent<V>>,
     ) {
         match msg {
             ProtocolMsg::Rb(rb_msg) => {
                 if let Some(mut rb) = self.rb.take() {
                     let actions = rb.on_message(from, rb_msg);
                     self.rb = Some(rb);
-                    self.apply_rb(actions, ctx);
+                    self.apply_rb(actions, env);
                 }
             }
             ProtocolMsg::EaProp2 { round, value } => {
                 let actions = self.ea.on_prop2(from, round, value);
-                self.apply(actions, ctx);
+                self.apply(actions, env);
             }
             ProtocolMsg::EaCoord { round, value } => {
                 let actions = self.ea.on_coord(from, round, value);
-                self.apply(actions, ctx);
+                self.apply(actions, env);
             }
             ProtocolMsg::EaRelay { round, value } => {
                 let actions = self.ea.on_relay(from, round, value);
-                self.apply(actions, ctx);
+                self.apply(actions, env);
             }
         }
     }
 
-    fn on_timer(&mut self, timer: TimerId, ctx: &mut dyn Context<ProtocolMsg<V>, EaNodeEvent<V>>) {
+    fn on_timer(&mut self, timer: TimerId, env: &mut Env<ProtocolMsg<V>, EaNodeEvent<V>>) {
         if let Some(round) = self.timers.remove(&timer) {
             self.timer_of_round.remove(&round);
             let actions = self.ea.on_timer_expired(round);
-            self.apply(actions, ctx);
+            self.apply(actions, env);
         }
     }
 

@@ -2,7 +2,7 @@
 //! isolation).
 
 use minsync_broadcast::{CbInstance, RbAction, RbEngine, RbMsg};
-use minsync_net::{Context, Node};
+use minsync_net::{Env, Node};
 use minsync_types::{ProcessId, SystemConfig, Value};
 
 /// Telemetry of the standalone CB node.
@@ -49,22 +49,18 @@ impl<V: Value> CbBroadcastNode<V> {
         self.cb.cb_valid()
     }
 
-    fn apply(
-        &mut self,
-        actions: Vec<RbAction<(), V>>,
-        ctx: &mut dyn Context<RbMsg<(), V>, CbEvent<V>>,
-    ) {
+    fn apply(&mut self, actions: Vec<RbAction<(), V>>, env: &mut Env<RbMsg<(), V>, CbEvent<V>>) {
         for action in actions {
             match action {
-                RbAction::Broadcast(m) => ctx.broadcast(m),
+                RbAction::Broadcast(m) => env.broadcast(m),
                 RbAction::Deliver { origin, value, .. } => {
                     if let Some(newly_valid) = self.cb.on_rb_delivered(origin, value) {
-                        ctx.output(CbEvent::ValidAdded { value: newly_valid });
+                        env.output(CbEvent::ValidAdded { value: newly_valid });
                     }
                     if !self.returned {
                         if let Some(v) = self.cb.returnable().cloned() {
                             self.returned = true;
-                            ctx.output(CbEvent::Returned { value: v });
+                            env.output(CbEvent::Returned { value: v });
                         }
                     }
                 }
@@ -77,23 +73,23 @@ impl<V: Value> Node for CbBroadcastNode<V> {
     type Msg = RbMsg<(), V>;
     type Output = CbEvent<V>;
 
-    fn on_start(&mut self, ctx: &mut dyn Context<RbMsg<(), V>, CbEvent<V>>) {
-        let mut rb = RbEngine::new(self.cfg, ctx.me());
+    fn on_start(&mut self, env: &mut Env<RbMsg<(), V>, CbEvent<V>>) {
+        let mut rb = RbEngine::new(self.cfg, env.me());
         let actions = rb.broadcast((), self.proposal.clone());
         self.rb = Some(rb);
-        self.apply(actions, ctx);
+        self.apply(actions, env);
     }
 
     fn on_message(
         &mut self,
         from: ProcessId,
         msg: RbMsg<(), V>,
-        ctx: &mut dyn Context<RbMsg<(), V>, CbEvent<V>>,
+        env: &mut Env<RbMsg<(), V>, CbEvent<V>>,
     ) {
         if let Some(mut rb) = self.rb.take() {
             let actions = rb.on_message(from, msg);
             self.rb = Some(rb);
-            self.apply(actions, ctx);
+            self.apply(actions, env);
         }
     }
 

@@ -20,6 +20,12 @@ pub enum HarnessError {
         /// Explanation.
         reason: String,
     },
+    /// The requested operation is not supported in this configuration
+    /// (e.g. a parallel seed sweep with a boxed delay oracle installed).
+    Unsupported {
+        /// Explanation.
+        reason: String,
+    },
 }
 
 impl fmt::Display for HarnessError {
@@ -30,6 +36,7 @@ impl fmt::Display for HarnessError {
                 write!(f, "expected {expected} proposals, got {got}")
             }
             HarnessError::BadFaultPlan { reason } => write!(f, "bad fault plan: {reason}"),
+            HarnessError::Unsupported { reason } => write!(f, "unsupported: {reason}"),
         }
     }
 }

@@ -59,7 +59,7 @@ pub fn run(quick: bool) -> Table {
 /// Messages for one completed RB instance (all-correct, one origin).
 fn rb_messages(n: usize, t: usize) -> u64 {
     use minsync_broadcast::{RbAction, RbEngine, RbMsg};
-    use minsync_net::{Context, Node};
+    use minsync_net::{Env, Node};
     use minsync_types::ProcessId;
 
     #[derive(Debug)]
@@ -70,12 +70,12 @@ fn rb_messages(n: usize, t: usize) -> u64 {
     impl Node for RbNode {
         type Msg = RbMsg<(), u64>;
         type Output = u8;
-        fn on_start(&mut self, ctx: &mut dyn Context<RbMsg<(), u64>, u8>) {
-            let mut e = RbEngine::new(self.cfg, ctx.me());
-            if ctx.me() == ProcessId::new(0) {
+        fn on_start(&mut self, env: &mut Env<RbMsg<(), u64>, u8>) {
+            let mut e = RbEngine::new(self.cfg, env.me());
+            if env.me() == ProcessId::new(0) {
                 for a in e.broadcast((), 5) {
                     if let RbAction::Broadcast(m) = a {
-                        ctx.broadcast(m);
+                        env.broadcast(m);
                     }
                 }
             }
@@ -85,13 +85,13 @@ fn rb_messages(n: usize, t: usize) -> u64 {
             &mut self,
             from: ProcessId,
             msg: RbMsg<(), u64>,
-            ctx: &mut dyn Context<RbMsg<(), u64>, u8>,
+            env: &mut Env<RbMsg<(), u64>, u8>,
         ) {
             if let Some(mut e) = self.engine.take() {
                 for a in e.on_message(from, msg) {
                     match a {
-                        RbAction::Broadcast(m) => ctx.broadcast(m),
-                        RbAction::Deliver { .. } => ctx.output(1),
+                        RbAction::Broadcast(m) => env.broadcast(m),
+                        RbAction::Deliver { .. } => env.output(1),
                     }
                 }
                 self.engine = Some(e);
@@ -168,6 +168,22 @@ mod tests {
             (0.5..2.0).contains(&ratio),
             "CB should scale ~n³: m4 = {m4}, m10 = {m10}, normalized ratio {ratio}"
         );
+    }
+
+    /// Broadcast fan-out batching must not change message accounting: these
+    /// are the exact per-primitive counts measured under the pre-batching
+    /// substrate (one metrics increment per copy). If batching ever drifts
+    /// the totals, this pins it.
+    #[test]
+    fn counts_identical_to_unbatched_substrate() {
+        assert_eq!(rb_messages(4, 1), 36);
+        assert_eq!(cb_messages(4, 1), 144);
+        assert_eq!(ac_messages(4, 1), 288);
+        assert_eq!(consensus_messages(4, 1), 900);
+        assert_eq!(rb_messages(7, 2), 105);
+        assert_eq!(cb_messages(7, 2), 735);
+        assert_eq!(ac_messages(7, 2), 1470);
+        assert_eq!(consensus_messages(7, 2), 4515);
     }
 
     #[test]

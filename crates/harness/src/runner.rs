@@ -167,6 +167,112 @@ impl ConsensusRunBuilder {
             report.reason,
         ))
     }
+
+    /// Executes the same run description once per seed in `seeds`, fanned
+    /// across OS threads (one crossbeam work queue feeding
+    /// `available_parallelism` workers), and returns the outcomes sorted by
+    /// seed.
+    ///
+    /// Sans-io makes this safe and exact: every per-seed simulation owns
+    /// its nodes outright (no substrate borrows), so runs are fully
+    /// independent and each parallel outcome is identical to what the same
+    /// seed produces sequentially.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ConsensusRunBuilder::run`] can return, plus
+    /// [`HarnessError::Unsupported`] if a delay oracle is installed (a
+    /// boxed oracle is single-run state and cannot be shared across
+    /// threads — sweep without one, or loop over seeds sequentially).
+    pub fn run_seeds(
+        self,
+        seeds: std::ops::Range<u64>,
+    ) -> Result<Vec<(u64, RunOutcome)>, HarnessError> {
+        if self.oracle.is_some() {
+            return Err(HarnessError::Unsupported {
+                reason: "run_seeds cannot share a boxed delay oracle across threads".into(),
+            });
+        }
+        let spec = SweepSpec {
+            n: self.system.n(),
+            t: self.system.t(),
+            proposals: self.proposals,
+            faults: self.faults,
+            topology: self.topology,
+            k: self.k,
+            timeout: self.timeout,
+            max_events: self.max_events,
+            max_rounds: self.max_rounds,
+        };
+        let seeds: Vec<u64> = seeds.collect();
+        if seeds.is_empty() {
+            return Ok(Vec::new());
+        }
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4)
+            .min(seeds.len());
+        let (work_tx, work_rx) = crossbeam::channel::unbounded::<u64>();
+        let (result_tx, result_rx) =
+            crossbeam::channel::unbounded::<Result<(u64, RunOutcome), HarnessError>>();
+        for seed in &seeds {
+            work_tx.send(*seed).expect("receiver alive");
+        }
+        drop(work_tx);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let work_rx = work_rx.clone();
+                let result_tx = result_tx.clone();
+                let spec = &spec;
+                scope.spawn(move || {
+                    while let Ok(seed) = work_rx.recv() {
+                        let outcome = spec.build(seed).and_then(ConsensusRunBuilder::run);
+                        if result_tx.send(outcome.map(|o| (seed, o))).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        drop(result_tx);
+        let mut results = Vec::with_capacity(seeds.len());
+        for outcome in result_rx.iter() {
+            results.push(outcome?);
+        }
+        results.sort_by_key(|(seed, _)| *seed);
+        Ok(results)
+    }
+}
+
+/// The cloneable, thread-shareable core of a [`ConsensusRunBuilder`]
+/// (everything except the seed and the uncloneable delay oracle).
+struct SweepSpec {
+    n: usize,
+    t: usize,
+    proposals: Vec<u64>,
+    faults: FaultPlan,
+    topology: TopologySpec,
+    k: usize,
+    timeout: TimeoutPolicy,
+    max_events: u64,
+    max_rounds: Option<u64>,
+}
+
+impl SweepSpec {
+    fn build(&self, seed: u64) -> Result<ConsensusRunBuilder, HarnessError> {
+        let mut builder = ConsensusRunBuilder::new(self.n, self.t)?
+            .proposals(self.proposals.iter().copied())
+            .faults(self.faults.clone())
+            .topology(self.topology.clone())
+            .seed(seed)
+            .k(self.k)
+            .timeout_policy(self.timeout)
+            .max_events(self.max_events);
+        if let Some(max_rounds) = self.max_rounds {
+            builder = builder.max_rounds(max_rounds);
+        }
+        Ok(builder)
+    }
 }
 
 #[cfg(test)]
@@ -246,6 +352,75 @@ mod tests {
             .unwrap();
         assert!(o.agreement_holds());
         assert!(o.validity_holds());
+    }
+
+    #[test]
+    fn run_seeds_matches_sequential_runs() {
+        let sweep = |seeds: std::ops::Range<u64>| {
+            ConsensusRunBuilder::new(4, 1)
+                .unwrap()
+                .proposals([1, 2, 1, 2])
+                .faults(FaultPlan::silent(1))
+                .run_seeds(seeds)
+                .unwrap()
+        };
+        // ≥ 4 seeds fanned across threads...
+        let parallel = sweep(0..6);
+        assert_eq!(parallel.len(), 6);
+        // ...must be indistinguishable from running each seed alone.
+        for (seed, outcome) in &parallel {
+            let solo = ConsensusRunBuilder::new(4, 1)
+                .unwrap()
+                .proposals([1, 2, 1, 2])
+                .faults(FaultPlan::silent(1))
+                .seed(*seed)
+                .run()
+                .unwrap();
+            assert_eq!(outcome.decided_value(), solo.decided_value(), "seed {seed}");
+            assert_eq!(
+                outcome.decision_latency(),
+                solo.decision_latency(),
+                "seed {seed}"
+            );
+            assert_eq!(
+                outcome.total_messages(),
+                solo.total_messages(),
+                "seed {seed}"
+            );
+            assert!(outcome.agreement_holds() && outcome.validity_holds());
+        }
+        // And the sweep itself is reproducible.
+        let again = sweep(0..6);
+        for ((s1, a), (s2, b)) in parallel.iter().zip(again.iter()) {
+            assert_eq!(s1, s2);
+            assert_eq!(a.decided_value(), b.decided_value());
+            assert_eq!(a.total_messages(), b.total_messages());
+        }
+    }
+
+    #[test]
+    fn run_seeds_rejects_oracle() {
+        let err = ConsensusRunBuilder::new(4, 1)
+            .unwrap()
+            .delay_oracle(
+                |_f: minsync_types::ProcessId,
+                 _t: minsync_types::ProcessId,
+                 _at: minsync_net::VirtualTime,
+                 _m: &ProtocolMsg<u64>,
+                 d: u64| d,
+            )
+            .run_seeds(0..2)
+            .unwrap_err();
+        assert!(matches!(err, HarnessError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn run_seeds_empty_range_is_empty() {
+        let out = ConsensusRunBuilder::new(4, 1)
+            .unwrap()
+            .run_seeds(5..5)
+            .unwrap();
+        assert!(out.is_empty());
     }
 
     #[test]

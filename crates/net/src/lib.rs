@@ -1,4 +1,4 @@
-//! Network substrate for the `minsync` Byzantine consensus stack.
+//! Network substrate for the `minsync` Byzantine consensus stack — sans-io.
 //!
 //! The paper's model (Section 2.1) is an asynchronous reliable point-to-point
 //! network: every ordered pair of processes is connected by a uni-directional
@@ -17,13 +17,49 @@
 //!   OS threads with crossbeam channels and a delay-injecting router, for
 //!   examples that want wall-clock behavior.
 //!
-//! Protocols are written once against the [`Node`] / [`Context`] automaton
-//! API and run unchanged on both substrates.
+//! # The sans-io automaton API
+//!
+//! Protocols are written once against [`Node`] / [`Env`] and run unchanged
+//! on both substrates. A handler never calls into the substrate: it pushes
+//! [`Effect`] values (sends, broadcasts, timer operations, outputs, halt)
+//! into the concrete [`Env`] it was handed, and the substrate drains and
+//! interprets the buffer after the handler returns. Consequences:
+//!
+//! * **No trait objects on the hot path.** The old `&mut dyn Context`
+//!   callback surface is gone; draining effects is a plain enum match.
+//! * **Nodes are plain state machines.** They borrow nothing from the
+//!   substrate, so unit tests drive them with a bare [`Env`], the harness
+//!   sweeps whole line-ups across seeds on parallel threads, and the
+//!   simulator can record complete effect traces
+//!   ([`sim::SimBuilder::record_effects`]) that replay byte-identically.
+//! * **Timer ids are caller-visible immediately.** [`Env::set_timer`]
+//!   allocates the [`TimerId`] from a per-process cursor *before* the
+//!   substrate applies the effect — protocols store it in state with no
+//!   substrate round-trip (see [`TimerId`] for the allocation rule).
+//! * **Byzantine behaviors intercept effect streams.** A wrapper node runs
+//!   an honest automaton, then rewrites everything it queued
+//!   ([`Env::mark`] / [`Env::take_since`]) — drop, forge, or equivocate
+//!   per destination — which is strictly more powerful than filtering
+//!   callbacks.
+//!
+//! ## Migrating from the callback API
+//!
+//! | old (`ctx: &mut dyn Context<M, O>`) | new (`env: &mut Env<M, O>`)     |
+//! |-------------------------------------|---------------------------------|
+//! | `ctx.me()`, `ctx.n()`, `ctx.now()`  | `env.me()`, `env.n()`, `env.now()` (unchanged) |
+//! | `ctx.send(to, msg)`                 | `env.send(to, msg)` → queues [`Effect::Send`] |
+//! | `ctx.broadcast(msg)`                | `env.broadcast(msg)` → queues [`Effect::Broadcast`] (substrate expands the fan-out once) |
+//! | `let t = ctx.set_timer(d)`          | `let t = env.set_timer(d)` — id pre-allocated in the env |
+//! | `ctx.cancel_timer(t)`               | `env.cancel_timer(t)`           |
+//! | `ctx.output(event)`                 | `env.output(event)`             |
+//! | `ctx.halt()`                        | `env.halt()`                    |
+//! | `ctx.random()`                      | `env.random()` (per-env seeded stream) |
+//! | `impl Context for MyShim { … }`     | rewrite effects: `env.mark()` before driving the inner node, `env.take_since(mark)` after, push transformed effects |
 //!
 //! # Example: two nodes ping-pong on a simulated network
 //!
 //! ```rust
-//! use minsync_net::{Node, Context, NetworkTopology, ChannelTiming, sim::SimBuilder};
+//! use minsync_net::{Node, Env, NetworkTopology, ChannelTiming, sim::SimBuilder};
 //! use minsync_types::ProcessId;
 //!
 //! struct Ping { count: u32 }
@@ -32,18 +68,18 @@
 //!     type Msg = u32;
 //!     type Output = u32;
 //!
-//!     fn on_start(&mut self, ctx: &mut dyn Context<u32, u32>) {
-//!         if ctx.me() == ProcessId::new(0) {
-//!             ctx.send(ProcessId::new(1), 0);
+//!     fn on_start(&mut self, env: &mut Env<u32, u32>) {
+//!         if env.me() == ProcessId::new(0) {
+//!             env.send(ProcessId::new(1), 0);
 //!         }
 //!     }
 //!
-//!     fn on_message(&mut self, from: ProcessId, msg: u32, ctx: &mut dyn Context<u32, u32>) {
+//!     fn on_message(&mut self, from: ProcessId, msg: u32, env: &mut Env<u32, u32>) {
 //!         self.count += 1;
 //!         if msg < 3 {
-//!             ctx.send(from, msg + 1);
+//!             env.send(from, msg + 1);
 //!         } else {
-//!             ctx.output(msg);
+//!             env.output(msg);
 //!         }
 //!     }
 //! }
@@ -63,6 +99,7 @@
 #![warn(missing_docs)]
 
 mod channel;
+mod effect;
 mod node;
 pub mod sim;
 pub mod threaded;
@@ -70,6 +107,7 @@ mod time;
 mod topology;
 
 pub use channel::{ChannelTiming, DelayLaw};
-pub use node::{Context, Node, TimerId};
+pub use effect::{Effect, Env};
+pub use node::{Node, TimerId};
 pub use time::VirtualTime;
 pub use topology::NetworkTopology;

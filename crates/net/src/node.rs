@@ -1,14 +1,27 @@
+//! The automaton API: event-driven [`Node`]s that emit [`crate::Effect`]s.
+
 use core::fmt::Debug;
 
 use minsync_types::ProcessId;
 
-use crate::VirtualTime;
+use crate::Env;
 
-/// Handle to a pending timer, returned by [`Context::set_timer`].
+/// Handle to a pending timer, returned by [`crate::Env::set_timer`].
 ///
 /// Timer ids are unique per process within one execution. Figure 3 of the
 /// paper keeps one timer per round (`timer_i[r]`); protocols map their round
-/// (or other keys) to the `TimerId` the context handed back.
+/// (or other keys) to the `TimerId` the environment handed back.
+///
+/// # Allocation rule
+///
+/// Ids are allocated *in the [`Env`](crate::Env)*, from a per-process
+/// cursor, at the moment [`crate::Env::set_timer`] is called — before the
+/// substrate ever sees the [`crate::Effect::SetTimer`] effect. A protocol
+/// can therefore store the id in its state immediately, with no substrate
+/// round-trip and no ordering hazard between "effect emitted" and "effect
+/// applied". Substrates persist the cursor per process across handler
+/// invocations; wrapper nodes hosting inner automata on child environments
+/// copy the cursor in before driving the inner node and back out after.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct TimerId(pub(crate) u64);
 
@@ -19,65 +32,29 @@ impl TimerId {
     }
 }
 
-/// The capabilities a running node gets from its substrate (simulator or
-/// threaded runtime).
+/// An event-driven process automaton, written sans-io.
 ///
-/// `M` is the protocol message type, `O` the protocol's observable output
-/// (decisions, round telemetry, …) collected by the harness.
-pub trait Context<M, O> {
-    /// This process's id.
-    fn me(&self) -> ProcessId;
-
-    /// Total number of processes `n`.
-    fn n(&self) -> usize;
-
-    /// Current time. In the simulator this is exact virtual time; in the
-    /// threaded runtime it is wall-clock time converted to ticks.
-    fn now(&self) -> VirtualTime;
-
-    /// Sends `msg` to `to` over the directed channel `me → to`. Sending to
-    /// oneself is allowed (the paper's virtual self-channel) and is always
-    /// timely.
-    fn send(&mut self, to: ProcessId, msg: M);
-
-    /// The paper's unreliable (best-effort) broadcast: `send` to every
-    /// process including the sender itself. A *correct* process sends the
-    /// same message to everyone; Byzantine nodes simply avoid calling this
-    /// and `send` different payloads instead.
-    fn broadcast(&mut self, msg: M);
-
-    /// Arms a one-shot timer that fires `delay` ticks from now, delivering
-    /// [`Node::on_timer`] with the returned id (unless cancelled).
-    fn set_timer(&mut self, delay: u64) -> TimerId;
-
-    /// Cancels a pending timer (Figure 3 line 16, "disable `timer_i[r]`").
-    /// Cancelling an already-fired or unknown timer is a no-op.
-    fn cancel_timer(&mut self, timer: TimerId);
-
-    /// Emits an observable event (decision, telemetry) to the harness.
-    fn output(&mut self, event: O);
-
-    /// Marks this node as halted: the substrate stops delivering messages
-    /// and timers to it. Used by Figure 4 line 9 ("decides v and stops").
-    fn halt(&mut self);
-
-    /// Draws a pseudo-random `u64` from the substrate's seeded RNG stream
-    /// for this process. Correct protocols in this stack are deterministic
-    /// and never call this; randomized baselines (Ben-Or) and Byzantine
-    /// behaviors do.
-    fn random(&mut self) -> u64;
-}
-
-/// An event-driven process automaton.
+/// Handlers receive a `&mut Env<Msg, Output>` and *queue* effects
+/// ([`crate::Env::send`], [`crate::Env::broadcast`],
+/// [`crate::Env::set_timer`], [`crate::Env::output`], …) instead of calling
+/// into the substrate; the substrate drains and interprets the queued
+/// [`crate::Effect`]s after the handler returns. Because the node borrows
+/// nothing from the substrate, the same automaton value runs unchanged on
+/// the deterministic simulator and the threaded runtime, can be driven from
+/// plain unit tests with a bare [`Env`], and whole line-ups can be swept
+/// across seeds on parallel threads.
 ///
 /// The paper assumes local processing takes zero time; accordingly, handler
-/// invocations are atomic and instantaneous — all sends performed inside a
+/// invocations are atomic and instantaneous — all sends queued inside a
 /// handler are stamped with the handler's invocation time.
 ///
 /// Both correct protocol machines and Byzantine behaviors implement this
 /// trait; the network layer stamps the true sender on every message, so a
 /// Byzantine implementation can lie about anything except its identity
-/// (Section 2.1: no impersonation).
+/// (Section 2.1: no impersonation). Byzantine wrappers get a strictly more
+/// powerful API than the old callback design: they can intercept the
+/// effect stream an honest inner automaton queued and rewrite it
+/// wholesale (see `minsync-adversary`).
 pub trait Node: Send {
     /// Protocol message type carried by the network.
     type Msg: Clone + Debug + Send + 'static;
@@ -86,8 +63,8 @@ pub trait Node: Send {
     type Output: Clone + Debug + Send + 'static;
 
     /// Invoked once at time zero, before any delivery.
-    fn on_start(&mut self, ctx: &mut dyn Context<Self::Msg, Self::Output>) {
-        let _ = ctx;
+    fn on_start(&mut self, env: &mut Env<Self::Msg, Self::Output>) {
+        let _ = env;
     }
 
     /// Invoked when a message from `from` is received.
@@ -95,12 +72,12 @@ pub trait Node: Send {
         &mut self,
         from: ProcessId,
         msg: Self::Msg,
-        ctx: &mut dyn Context<Self::Msg, Self::Output>,
+        env: &mut Env<Self::Msg, Self::Output>,
     );
 
-    /// Invoked when a timer armed with [`Context::set_timer`] fires.
-    fn on_timer(&mut self, timer: TimerId, ctx: &mut dyn Context<Self::Msg, Self::Output>) {
-        let _ = (timer, ctx);
+    /// Invoked when a timer armed with [`crate::Env::set_timer`] fires.
+    fn on_timer(&mut self, timer: TimerId, env: &mut Env<Self::Msg, Self::Output>) {
+        let _ = (timer, env);
     }
 
     /// A short label for traces and metrics (defaults to "node").
@@ -112,6 +89,7 @@ pub trait Node: Send {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Effect;
 
     #[test]
     fn timer_id_accessors() {
@@ -120,17 +98,47 @@ mod tests {
         assert_eq!(format!("{t:?}"), "TimerId(9)");
     }
 
-    // Compile-time check: Node with boxed dyn usage.
+    // Compile-time check: Node stays object-safe (heterogeneous Byzantine
+    // line-ups are stored as Box<dyn Node>).
     struct Nop;
     impl Node for Nop {
         type Msg = ();
         type Output = ();
-        fn on_message(&mut self, _: ProcessId, _: (), _: &mut dyn Context<(), ()>) {}
+        fn on_message(&mut self, _: ProcessId, _: (), _: &mut Env<(), ()>) {}
     }
 
     #[test]
     fn node_is_object_safe() {
         let b: Box<dyn Node<Msg = (), Output = ()>> = Box::new(Nop);
         assert_eq!(b.label(), "node");
+    }
+
+    /// A node is now a plain state machine: it can be driven from a unit
+    /// test with a bare Env and its effects inspected directly.
+    struct Echoer;
+    impl Node for Echoer {
+        type Msg = u32;
+        type Output = u32;
+        fn on_message(&mut self, from: ProcessId, msg: u32, env: &mut Env<u32, u32>) {
+            env.send(from, msg + 1);
+            env.output(msg);
+        }
+    }
+
+    #[test]
+    fn nodes_are_testable_without_a_substrate() {
+        let mut env = Env::new(2, 0);
+        Echoer.on_message(ProcessId::new(1), 5, &mut env);
+        let effects: Vec<_> = env.drain().collect();
+        assert_eq!(
+            effects,
+            [
+                Effect::Send {
+                    to: ProcessId::new(1),
+                    msg: 6
+                },
+                Effect::Output(5)
+            ]
+        );
     }
 }

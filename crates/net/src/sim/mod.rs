@@ -20,4 +20,6 @@ mod simulation;
 pub use event::StopReason;
 pub use metrics::Metrics;
 pub use oracle::DelayOracle;
-pub use simulation::{DeliveryRecord, OutputRecord, RunReport, SimBuilder, Simulation};
+pub use simulation::{
+    DeliveryRecord, EffectRecord, OutputRecord, RunReport, SimBuilder, Simulation,
+};

@@ -4,8 +4,14 @@
 //! Every process gets an OS thread; a router thread applies the
 //! [`NetworkTopology`]'s per-channel delays in wall-clock time (one virtual
 //! tick = [`ThreadedConfig::tick`]). This runtime exists for the examples —
-//! it demonstrates that the protocol automata are substrate-independent —
+//! it demonstrates that the sans-io automata are substrate-independent —
 //! and makes no determinism promises: that is the simulator's job.
+//!
+//! Each node thread owns a private [`Env`]; after every handler invocation
+//! it drains the queued [`Effect`]s: sends and broadcasts go to the router
+//! (a broadcast travels as *one* router command and is fanned out there,
+//! with a single send timestamp), timers stay in a local heap, outputs flow
+//! to the collector.
 
 use std::collections::{BinaryHeap, HashSet};
 use std::fmt::Debug;
@@ -16,9 +22,9 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, unbounded, RecvTimeoutError, Sender};
 use minsync_types::ProcessId;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
-use crate::{Context, NetworkTopology, Node, TimerId, VirtualTime};
+use crate::{Effect, Env, NetworkTopology, Node, TimerId, VirtualTime};
 
 /// Wall-clock execution parameters.
 #[derive(Clone, Debug)]
@@ -72,6 +78,9 @@ enum RouterCmd<M> {
         to: ProcessId,
         msg: M,
     },
+    /// One broadcast = one command: the router expands the fan-out with a
+    /// single send timestamp for all `n` copies.
+    Broadcast { from: ProcessId, msg: M },
 }
 
 enum NodeEvent<M> {
@@ -146,6 +155,29 @@ where
 
             let mut heap: BinaryHeap<Pending<M>> = BinaryHeap::new();
             let mut seq = 0u64;
+            let ticks_now = |start: Instant, tick: Duration| {
+                VirtualTime::from_ticks(
+                    (start.elapsed().as_nanos() / tick.as_nanos().max(1)) as u64,
+                )
+            };
+            let schedule = |heap: &mut BinaryHeap<Pending<M>>,
+                            seq: &mut u64,
+                            rng: &mut StdRng,
+                            sent_ticks: VirtualTime,
+                            from: ProcessId,
+                            to: ProcessId,
+                            msg: M| {
+                let due_ticks = topology.timing(from, to).delivery_time(sent_ticks, rng);
+                let delay = due_ticks - sent_ticks;
+                heap.push(Pending {
+                    due: Instant::now() + tick * u32::try_from(delay).unwrap_or(u32::MAX),
+                    seq: *seq,
+                    to,
+                    from,
+                    msg,
+                });
+                *seq += 1;
+            };
             loop {
                 if shutdown.load(Ordering::Relaxed) {
                     break;
@@ -167,21 +199,24 @@ where
                     .min(Duration::from_millis(20));
                 match router_rx.recv_timeout(wait) {
                     Ok(RouterCmd::Send { from, to, msg }) => {
-                        let sent_ticks = VirtualTime::from_ticks(
-                            (start.elapsed().as_nanos() / tick.as_nanos().max(1)) as u64,
-                        );
-                        let due_ticks = topology
-                            .timing(from, to)
-                            .delivery_time(sent_ticks, &mut rng);
-                        let delay = due_ticks - sent_ticks;
-                        heap.push(Pending {
-                            due: Instant::now() + tick * u32::try_from(delay).unwrap_or(u32::MAX),
-                            seq,
-                            to,
-                            from,
-                            msg,
-                        });
-                        seq += 1;
+                        let sent_ticks = ticks_now(start, tick);
+                        schedule(&mut heap, &mut seq, &mut rng, sent_ticks, from, to, msg);
+                    }
+                    Ok(RouterCmd::Broadcast { from, msg }) => {
+                        // One timestamp for the whole fan-out; per-channel
+                        // delays still sampled per destination.
+                        let sent_ticks = ticks_now(start, tick);
+                        for p in 0..inboxes.len() {
+                            schedule(
+                                &mut heap,
+                                &mut seq,
+                                &mut rng,
+                                sent_ticks,
+                                from,
+                                ProcessId::new(p),
+                                msg.clone(),
+                            );
+                        }
                     }
                     Err(RecvTimeoutError::Timeout) => {}
                     Err(RecvTimeoutError::Disconnected) => {
@@ -206,40 +241,42 @@ where
         let tick = config.tick;
         let seed = config.seed.wrapping_add(idx as u64 + 1);
         handles.push(std::thread::spawn(move || {
-            let mut ctx = ThreadedContext {
+            let mut worker = NodeWorker {
                 me,
-                n,
                 start,
                 tick,
                 router,
                 outputs,
                 timers: BinaryHeap::new(),
                 cancelled: HashSet::new(),
-                next_timer: 0,
                 halted: false,
-                rng: StdRng::seed_from_u64(seed),
+                env: Env::new(n, seed),
             };
-            node.on_start(&mut ctx);
-            while !ctx.halted && !shutdown.load(Ordering::Relaxed) {
+            worker.env.prepare(me, worker.now());
+            node.on_start(&mut worker.env);
+            worker.apply_effects();
+            while !worker.halted && !shutdown.load(Ordering::Relaxed) {
                 let now = Instant::now();
                 // Fire due timers first.
-                while ctx
+                while worker
                     .timers
                     .peek()
                     .is_some_and(|t: &PendingTimer| t.due <= now)
                 {
-                    let t = ctx.timers.pop().expect("peeked");
-                    if !ctx.cancelled.remove(&t.id) {
-                        node.on_timer(t.id, &mut ctx);
-                        if ctx.halted {
+                    let t = worker.timers.pop().expect("peeked");
+                    if !worker.cancelled.remove(&t.id) {
+                        worker.env.prepare(me, worker.now());
+                        node.on_timer(t.id, &mut worker.env);
+                        worker.apply_effects();
+                        if worker.halted {
                             break;
                         }
                     }
                 }
-                if ctx.halted {
+                if worker.halted {
                     break;
                 }
-                let wait = ctx
+                let wait = worker
                     .timers
                     .peek()
                     .map(|t| t.due.saturating_duration_since(Instant::now()))
@@ -247,7 +284,9 @@ where
                     .min(Duration::from_millis(20));
                 match inbox.recv_timeout(wait) {
                     Ok(NodeEvent::Deliver { from, msg }) => {
-                        node.on_message(from, msg, &mut ctx);
+                        worker.env.prepare(me, worker.now());
+                        node.on_message(from, msg, &mut worker.env);
+                        worker.apply_effects();
                     }
                     Err(RecvTimeoutError::Timeout) => {}
                     Err(RecvTimeoutError::Disconnected) => break,
@@ -313,79 +352,64 @@ impl Ord for PendingTimer {
     }
 }
 
-struct ThreadedContext<M, O> {
+/// Per-thread interpreter state: one [`Env`] plus the local timer wheel and
+/// the channels into the router/collector.
+struct NodeWorker<M, O> {
     me: ProcessId,
-    n: usize,
     start: Instant,
     tick: Duration,
     router: Sender<RouterCmd<M>>,
     outputs: Sender<ThreadedOutput<O>>,
     timers: BinaryHeap<PendingTimer>,
     cancelled: HashSet<TimerId>,
-    next_timer: u64,
     halted: bool,
-    rng: StdRng,
+    env: Env<M, O>,
 }
 
-impl<M, O> Context<M, O> for ThreadedContext<M, O>
-where
-    M: Clone + Debug + Send + 'static,
-    O: Clone + Debug + Send + 'static,
-{
-    fn me(&self) -> ProcessId {
-        self.me
-    }
-
-    fn n(&self) -> usize {
-        self.n
-    }
-
+impl<M, O> NodeWorker<M, O> {
     fn now(&self) -> VirtualTime {
         VirtualTime::from_ticks(
             (self.start.elapsed().as_nanos() / self.tick.as_nanos().max(1)) as u64,
         )
     }
 
-    fn send(&mut self, to: ProcessId, msg: M) {
-        let _ = self.router.send(RouterCmd::Send {
-            from: self.me,
-            to,
-            msg,
-        });
-    }
-
-    fn broadcast(&mut self, msg: M) {
-        for p in 0..self.n {
-            self.send(ProcessId::new(p), msg.clone());
+    /// Drains the env and interprets each effect.
+    fn apply_effects(&mut self) {
+        let mut effects = self.env.take_buffer();
+        for effect in effects.drain(..) {
+            match effect {
+                Effect::Send { to, msg } => {
+                    let _ = self.router.send(RouterCmd::Send {
+                        from: self.me,
+                        to,
+                        msg,
+                    });
+                }
+                Effect::Broadcast { msg } => {
+                    let _ = self
+                        .router
+                        .send(RouterCmd::Broadcast { from: self.me, msg });
+                }
+                Effect::SetTimer { id, delay } => {
+                    let due = Instant::now() + self.tick * (delay.min(u32::MAX as u64) as u32);
+                    self.timers.push(PendingTimer { due, id });
+                }
+                Effect::CancelTimer { id } => {
+                    self.cancelled.insert(id);
+                }
+                Effect::Output(event) => {
+                    let _ = self.outputs.send(ThreadedOutput {
+                        process: self.me,
+                        elapsed: self.start.elapsed(),
+                        event,
+                    });
+                }
+                Effect::Halt => {
+                    self.halted = true;
+                }
+            }
         }
-    }
-
-    fn set_timer(&mut self, delay: u64) -> TimerId {
-        let id = TimerId(self.next_timer);
-        self.next_timer += 1;
-        let due = Instant::now() + self.tick * (delay.min(u32::MAX as u64) as u32);
-        self.timers.push(PendingTimer { due, id });
-        id
-    }
-
-    fn cancel_timer(&mut self, timer: TimerId) {
-        self.cancelled.insert(timer);
-    }
-
-    fn output(&mut self, event: O) {
-        let _ = self.outputs.send(ThreadedOutput {
-            process: self.me,
-            elapsed: self.start.elapsed(),
-            event,
-        });
-    }
-
-    fn halt(&mut self) {
-        self.halted = true;
-    }
-
-    fn random(&mut self) -> u64 {
-        self.rng.gen()
+        self.env.restore_buffer(effects);
     }
 }
 
@@ -400,15 +424,15 @@ mod tests {
         type Msg = u32;
         type Output = u32;
 
-        fn on_start(&mut self, ctx: &mut dyn Context<u32, u32>) {
-            if ctx.me() == ProcessId::new(0) {
-                ctx.broadcast(1);
+        fn on_start(&mut self, env: &mut Env<u32, u32>) {
+            if env.me() == ProcessId::new(0) {
+                env.broadcast(1);
             }
         }
 
-        fn on_message(&mut self, _from: ProcessId, msg: u32, ctx: &mut dyn Context<u32, u32>) {
-            ctx.output(msg);
-            ctx.halt();
+        fn on_message(&mut self, _from: ProcessId, msg: u32, env: &mut Env<u32, u32>) {
+            env.output(msg);
+            env.halt();
         }
     }
 
@@ -438,18 +462,18 @@ mod tests {
         type Msg = ();
         type Output = &'static str;
 
-        fn on_start(&mut self, ctx: &mut dyn Context<(), &'static str>) {
-            let keep = ctx.set_timer(5);
-            let drop_me = ctx.set_timer(1);
-            ctx.cancel_timer(drop_me);
+        fn on_start(&mut self, env: &mut Env<(), &'static str>) {
+            let keep = env.set_timer(5);
+            let drop_me = env.set_timer(1);
+            env.cancel_timer(drop_me);
             let _ = keep;
         }
 
-        fn on_message(&mut self, _: ProcessId, _: (), _: &mut dyn Context<(), &'static str>) {}
+        fn on_message(&mut self, _: ProcessId, _: (), _: &mut Env<(), &'static str>) {}
 
-        fn on_timer(&mut self, _t: TimerId, ctx: &mut dyn Context<(), &'static str>) {
-            ctx.output("fired");
-            ctx.halt();
+        fn on_timer(&mut self, _t: TimerId, env: &mut Env<(), &'static str>) {
+            env.output("fired");
+            env.halt();
         }
     }
 

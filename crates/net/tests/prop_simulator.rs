@@ -2,7 +2,7 @@
 //! semantics, determinism, and event ordering.
 
 use minsync_net::sim::SimBuilder;
-use minsync_net::{ChannelTiming, Context, DelayLaw, NetworkTopology, Node, VirtualTime};
+use minsync_net::{ChannelTiming, DelayLaw, Env, NetworkTopology, Node, VirtualTime};
 use minsync_types::ProcessId;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -66,16 +66,16 @@ impl Node for Gossip {
     type Msg = u32;
     type Output = (u32, u64);
 
-    fn on_start(&mut self, ctx: &mut dyn Context<u32, (u32, u64)>) {
-        if ctx.me() == ProcessId::new(0) {
-            ctx.broadcast(0);
+    fn on_start(&mut self, env: &mut Env<u32, (u32, u64)>) {
+        if env.me() == ProcessId::new(0) {
+            env.broadcast(0);
         }
     }
 
-    fn on_message(&mut self, _from: ProcessId, msg: u32, ctx: &mut dyn Context<u32, (u32, u64)>) {
-        ctx.output((msg, ctx.now().ticks()));
+    fn on_message(&mut self, _from: ProcessId, msg: u32, env: &mut Env<u32, (u32, u64)>) {
+        env.output((msg, env.now().ticks()));
         if msg < self.budget {
-            ctx.broadcast(msg + 1);
+            env.broadcast(msg + 1);
         }
     }
 }

@@ -51,7 +51,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use minsync_core::{ConsensusConfig, ConsensusEvent, ConsensusNode, ProtocolMsg};
 use minsync_net::sim::OutputRecord;
-use minsync_net::{Context, Node, TimerId, VirtualTime};
+use minsync_net::{Effect, Env, Node, TimerId};
 use minsync_types::{ProcessId, Value};
 
 /// Consensus traffic stamped with its log slot (1-based).
@@ -134,6 +134,11 @@ impl ProposalSource<u64> for TwoClientSource {
 }
 
 /// One replica: a pipeline of consensus instances, one per log slot.
+///
+/// Slot instances run on a shared *child environment*: the replica drains
+/// each instance's effect stream, stamps outgoing messages with the slot,
+/// and maps freshly armed timers back to their slot — sans-io composition
+/// with no context shims.
 pub struct ReplicaNode<V, P> {
     cfg: ConsensusConfig,
     source: P,
@@ -143,6 +148,10 @@ pub struct ReplicaNode<V, P> {
     log: BTreeMap<u64, V>,
     pending: BTreeMap<u64, Vec<(ProcessId, ProtocolMsg<V>)>>,
     timer_slots: BTreeMap<TimerId, u64>,
+    /// Child environment all slot instances run on (created lazily on
+    /// first drive; seed irrelevant — slot instances are deterministic and
+    /// never draw randomness).
+    slot_env: Option<Env<ProtocolMsg<V>, ConsensusEvent<V>>>,
 }
 
 impl<V: Value, P: ProposalSource<V>> ReplicaNode<V, P> {
@@ -162,6 +171,7 @@ impl<V: Value, P: ProposalSource<V>> ReplicaNode<V, P> {
             log: BTreeMap::new(),
             pending: BTreeMap::new(),
             timer_slots: BTreeMap::new(),
+            slot_env: None,
         }
     }
 
@@ -178,7 +188,7 @@ impl<V: Value, P: ProposalSource<V>> ReplicaNode<V, P> {
         out
     }
 
-    fn start_slot(&mut self, slot: u64, ctx: &mut dyn Context<SlotMsg<V>, SmrEvent<V>>) {
+    fn start_slot(&mut self, slot: u64, env: &mut Env<SlotMsg<V>, SmrEvent<V>>) {
         if self.started.contains(&slot) || slot > self.target_slots {
             return;
         }
@@ -187,50 +197,59 @@ impl<V: Value, P: ProposalSource<V>> ReplicaNode<V, P> {
         let proposal = self.source.propose(slot, &prefix);
         let node = ConsensusNode::new(self.cfg, proposal).expect("config validated");
         self.instances.insert(slot, node);
-        self.drive(slot, ctx, |node, shim| node.on_start(shim));
+        self.drive(slot, env, |node, ienv| node.on_start(ienv));
         for (from, msg) in self.pending.remove(&slot).unwrap_or_default() {
-            self.drive(slot, ctx, |node, shim| node.on_message(from, msg, shim));
+            self.drive(slot, env, |node, ienv| node.on_message(from, msg, ienv));
         }
     }
 
-    /// Runs one inner-node handler behind the slot-stamping adapter, then
-    /// folds its outputs back into replica state.
+    /// Runs one slot instance's handler on the child environment, then
+    /// rewrites its effect stream into the outer one: messages are stamped
+    /// with the slot, fresh timers are mapped to the slot, outputs are
+    /// folded into replica state, and `Halt` is swallowed (slot instances
+    /// never halt the replica).
     fn drive(
         &mut self,
         slot: u64,
-        ctx: &mut dyn Context<SlotMsg<V>, SmrEvent<V>>,
-        f: impl FnOnce(&mut ConsensusNode<V>, &mut SlotCtx<'_, '_, V>),
+        env: &mut Env<SlotMsg<V>, SmrEvent<V>>,
+        f: impl FnOnce(&mut ConsensusNode<V>, &mut Env<ProtocolMsg<V>, ConsensusEvent<V>>),
     ) {
-        let Some(mut node) = self.instances.remove(&slot) else {
+        let Some(node) = self.instances.get_mut(&slot) else {
             return;
         };
-        let mut shim = SlotCtx {
-            outer: ctx,
-            slot,
-            events: Vec::new(),
-            new_timers: Vec::new(),
-        };
-        f(&mut node, &mut shim);
-        let events = std::mem::take(&mut shim.events);
-        let new_timers = std::mem::take(&mut shim.new_timers);
-        self.instances.insert(slot, node);
-        for timer in new_timers {
-            self.timer_slots.insert(timer, slot);
+        let ienv = self.slot_env.get_or_insert_with(|| Env::new(env.n(), 0));
+        ienv.prepare(env.me(), env.now());
+        ienv.set_timer_cursor(env.timer_cursor());
+        f(node, ienv);
+        env.set_timer_cursor(ienv.timer_cursor());
+        let mut events = Vec::new();
+        for effect in ienv.drain() {
+            match effect {
+                Effect::Send { to, msg } => env.send(to, (slot, msg)),
+                Effect::Broadcast { msg } => env.broadcast((slot, msg)),
+                Effect::SetTimer { id, delay } => {
+                    self.timer_slots.insert(id, slot);
+                    env.push(Effect::SetTimer { id, delay });
+                }
+                Effect::CancelTimer { id } => env.push(Effect::CancelTimer { id }),
+                Effect::Output(event) => events.push(event),
+                Effect::Halt => {}
+            }
         }
         for event in events {
             if let ConsensusEvent::Decided { value } = event {
-                self.commit(slot, value, ctx);
+                self.commit(slot, value, env);
             }
         }
     }
 
-    fn commit(&mut self, slot: u64, cmd: V, ctx: &mut dyn Context<SlotMsg<V>, SmrEvent<V>>) {
+    fn commit(&mut self, slot: u64, cmd: V, env: &mut Env<SlotMsg<V>, SmrEvent<V>>) {
         if self.log.contains_key(&slot) {
             return;
         }
         self.log.insert(slot, cmd.clone());
-        ctx.output(SmrEvent::Committed { slot, command: cmd });
-        self.start_slot(slot + 1, ctx);
+        env.output(SmrEvent::Committed { slot, command: cmd });
+        self.start_slot(slot + 1, env);
     }
 }
 
@@ -243,78 +262,35 @@ impl<V: Value, P: ProposalSource<V> + core::fmt::Debug> core::fmt::Debug for Rep
     }
 }
 
-/// Context adapter stamping the slot onto every outgoing message.
-struct SlotCtx<'a, 'b, V> {
-    outer: &'a mut (dyn Context<SlotMsg<V>, SmrEvent<V>> + 'b),
-    slot: u64,
-    events: Vec<ConsensusEvent<V>>,
-    new_timers: Vec<TimerId>,
-}
-
-impl<V: Value> Context<ProtocolMsg<V>, ConsensusEvent<V>> for SlotCtx<'_, '_, V> {
-    fn me(&self) -> ProcessId {
-        self.outer.me()
-    }
-    fn n(&self) -> usize {
-        self.outer.n()
-    }
-    fn now(&self) -> VirtualTime {
-        self.outer.now()
-    }
-    fn send(&mut self, to: ProcessId, msg: ProtocolMsg<V>) {
-        self.outer.send(to, (self.slot, msg));
-    }
-    fn broadcast(&mut self, msg: ProtocolMsg<V>) {
-        self.outer.broadcast((self.slot, msg));
-    }
-    fn set_timer(&mut self, delay: u64) -> TimerId {
-        let id = self.outer.set_timer(delay);
-        self.new_timers.push(id);
-        id
-    }
-    fn cancel_timer(&mut self, timer: TimerId) {
-        self.outer.cancel_timer(timer);
-    }
-    fn output(&mut self, event: ConsensusEvent<V>) {
-        self.events.push(event);
-    }
-    fn halt(&mut self) {
-        // Slot instances never halt the replica.
-    }
-    fn random(&mut self) -> u64 {
-        self.outer.random()
-    }
-}
-
 impl<V: Value, P: ProposalSource<V>> Node for ReplicaNode<V, P> {
     type Msg = SlotMsg<V>;
     type Output = SmrEvent<V>;
 
-    fn on_start(&mut self, ctx: &mut dyn Context<SlotMsg<V>, SmrEvent<V>>) {
-        self.start_slot(1, ctx);
+    fn on_start(&mut self, env: &mut Env<SlotMsg<V>, SmrEvent<V>>) {
+        self.start_slot(1, env);
     }
 
     fn on_message(
         &mut self,
         from: ProcessId,
         msg: SlotMsg<V>,
-        ctx: &mut dyn Context<SlotMsg<V>, SmrEvent<V>>,
+        env: &mut Env<SlotMsg<V>, SmrEvent<V>>,
     ) {
         let (slot, inner) = msg;
         if slot == 0 || slot > self.target_slots {
             return; // out-of-range slot: Byzantine garbage
         }
         if self.started.contains(&slot) {
-            self.drive(slot, ctx, |node, shim| node.on_message(from, inner, shim));
+            self.drive(slot, env, |node, ienv| node.on_message(from, inner, ienv));
         } else {
             // Another replica is ahead: buffer until we start the slot.
             self.pending.entry(slot).or_default().push((from, inner));
         }
     }
 
-    fn on_timer(&mut self, timer: TimerId, ctx: &mut dyn Context<SlotMsg<V>, SmrEvent<V>>) {
+    fn on_timer(&mut self, timer: TimerId, env: &mut Env<SlotMsg<V>, SmrEvent<V>>) {
         if let Some(slot) = self.timer_slots.remove(&timer) {
-            self.drive(slot, ctx, |node, shim| node.on_timer(timer, shim));
+            self.drive(slot, env, |node, ienv| node.on_timer(timer, ienv));
         }
     }
 

@@ -1,0 +1,178 @@
+//! Cross-substrate equivalence and effect-trace golden tests for the
+//! sans-io automaton API: the same `ConsensusNode` line-up must decide the
+//! same value on the deterministic simulator and the threaded runtime, and
+//! a seeded simulation's recorded effect trace must be stable.
+
+use std::time::Duration;
+
+use minsync::adversary::ScriptedNode;
+use minsync::core::{ConsensusConfig, ConsensusEvent, ConsensusNode, ProtocolMsg};
+use minsync::net::sim::SimBuilder;
+use minsync::net::threaded::{run_threaded, ThreadedConfig};
+use minsync::net::{NetworkTopology, Node};
+use minsync::types::{ProcessId, SystemConfig};
+
+type Msg = ProtocolMsg<u64>;
+type Out = ConsensusEvent<u64>;
+
+fn consensus_nodes(proposals: &[u64]) -> Vec<Box<dyn Node<Msg = Msg, Output = Out>>> {
+    let system = SystemConfig::new(proposals.len(), 1).unwrap();
+    let cfg = ConsensusConfig::paper(system);
+    proposals
+        .iter()
+        .map(|&v| {
+            Box::new(ConsensusNode::new(cfg, v).expect("valid config"))
+                as Box<dyn Node<Msg = Msg, Output = Out>>
+        })
+        .collect()
+}
+
+fn sim_decisions(proposals: &[u64], seed: u64) -> Vec<u64> {
+    let n = proposals.len();
+    let mut builder = SimBuilder::new(NetworkTopology::all_timely(n, 3))
+        .seed(seed)
+        .max_events(5_000_000);
+    for node in consensus_nodes(proposals) {
+        builder = builder.boxed_node(node);
+    }
+    let mut sim = builder.build();
+    let report = sim.run_until(|outs| {
+        outs.iter()
+            .filter(|o| matches!(o.event, ConsensusEvent::Decided { .. }))
+            .count()
+            == n
+    });
+    report
+        .outputs
+        .iter()
+        .filter_map(|o| o.event.as_decision().copied())
+        .collect()
+}
+
+fn threaded_decisions(proposals: &[u64]) -> Vec<u64> {
+    let n = proposals.len();
+    let report = run_threaded(
+        NetworkTopology::all_timely(n, 3),
+        consensus_nodes(proposals),
+        ThreadedConfig {
+            tick: Duration::from_micros(100),
+            timeout: Duration::from_secs(30),
+            seed: 7,
+        },
+        |outs| {
+            outs.iter()
+                .filter(|o| matches!(o.event, ConsensusEvent::Decided { .. }))
+                .count()
+                == n
+        },
+    );
+    assert!(!report.timed_out, "threaded run timed out");
+    report
+        .outputs
+        .iter()
+        .filter_map(|o| o.event.as_decision().copied())
+        .collect()
+}
+
+/// The same automaton type and configuration decides the same value on both
+/// substrates. (With unanimous proposals, validity forces a unique
+/// decision, so the comparison is exact even though the threaded runtime's
+/// schedule is wall-clock-dependent.)
+#[test]
+fn simulator_and_threaded_runtime_decide_identically() {
+    let proposals = [42u64, 42, 42, 42];
+    let sim = sim_decisions(&proposals, 1);
+    let threaded = threaded_decisions(&proposals);
+    assert_eq!(sim.len(), 4);
+    assert_eq!(threaded.len(), 4);
+    assert!(sim.iter().all(|&v| v == 42), "sim decisions: {sim:?}");
+    assert_eq!(sim, threaded, "substrates disagree");
+}
+
+/// With split proposals the decided value is schedule-dependent, but each
+/// substrate must internally agree and decide a proposed value.
+#[test]
+fn both_substrates_uphold_agreement_on_split_proposals() {
+    let proposals = [5u64, 9, 5, 9];
+    for decisions in [sim_decisions(&proposals, 3), threaded_decisions(&proposals)] {
+        assert_eq!(decisions.len(), 4);
+        let v = decisions[0];
+        assert!(
+            decisions.iter().all(|&x| x == v),
+            "agreement: {decisions:?}"
+        );
+        assert!(v == 5 || v == 9, "validity: {v}");
+    }
+}
+
+/// Golden effect-trace test: a seeded all-timely consensus run (no RNG
+/// draws at all — fixed delays, deterministic automata) records a stable
+/// effect stream. The digest below was produced by this test's own
+/// scenario; it changing means the execution semantics changed.
+#[test]
+fn seeded_effect_trace_digest_is_stable() {
+    let digest = || {
+        let proposals = [3u64, 8, 3, 8];
+        let mut builder = SimBuilder::new(NetworkTopology::all_timely(4, 2))
+            .seed(99)
+            .record_effects(usize::MAX)
+            .max_events(5_000_000);
+        for node in consensus_nodes(&proposals) {
+            builder = builder.boxed_node(node);
+        }
+        let mut sim = builder.build();
+        sim.run_until(|outs| {
+            outs.iter()
+                .filter(|o| matches!(o.event, ConsensusEvent::Decided { .. }))
+                .count()
+                == 4
+        });
+        sim.effect_trace_digest()
+    };
+    let first = digest();
+    assert_eq!(first, digest(), "trace digest not reproducible");
+    assert_eq!(
+        first, GOLDEN_TRACE_DIGEST,
+        "execution semantics changed: update GOLDEN_TRACE_DIGEST only if intentional"
+    );
+}
+
+/// Pinned by `seeded_effect_trace_digest_is_stable` (printed by running the
+/// test with the constant set to 0 and reading the assertion message).
+const GOLDEN_TRACE_DIGEST: u64 = 12_930_462_810_997_223_412;
+
+/// A recorded consensus execution replays byte-identically through
+/// `ScriptedNode`s — the sans-io API's replayability guarantee, end to end
+/// on the full protocol stack.
+#[test]
+fn recorded_consensus_run_replays_byte_identically() {
+    let proposals = [3u64, 8, 3, 8];
+    let topo = NetworkTopology::all_timely(4, 2);
+    let mut builder = SimBuilder::new(topo.clone())
+        .seed(21)
+        .record_effects(usize::MAX)
+        .max_events(5_000_000);
+    for node in consensus_nodes(&proposals) {
+        builder = builder.boxed_node(node);
+    }
+    // Run to quiescence (not a predicate stop) so the recorded invocation
+    // stream covers the entire execution — the replay also runs dry, and
+    // the two traces must align one-to-one.
+    let mut original = builder.build();
+    original.run();
+    let trace = original.effect_trace().to_vec();
+    assert!(!trace.is_empty());
+
+    let mut replay_builder = SimBuilder::new(topo).seed(21).record_effects(usize::MAX);
+    for p in 0..4 {
+        replay_builder = replay_builder.node(ScriptedNode::from_trace(&trace, ProcessId::new(p)));
+    }
+    let mut replayed = replay_builder.build();
+    replayed.run();
+    assert_eq!(
+        original.effect_trace_digest(),
+        replayed.effect_trace_digest(),
+        "consensus replay diverged"
+    );
+    assert_eq!(original.effect_trace(), replayed.effect_trace());
+}

@@ -505,7 +505,7 @@ pub mod option {
         type Value = Option<S::Value>;
 
         fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
-            if rng.next_u64() % 4 == 0 {
+            if rng.next_u64().is_multiple_of(4) {
                 None
             } else {
                 Some(self.inner.generate(rng))
@@ -528,16 +528,17 @@ pub mod prelude {
 /// Defines property tests: zero-argument `#[test]` functions that run the
 /// body over `cases` generated inputs.
 ///
-/// ```
+/// ```no_run
 /// use proptest::prelude::*;
 ///
 /// proptest! {
 ///     #![proptest_config(ProptestConfig::with_cases(64))]
-///     #[test]
+///     # #[test] // the attribute is consumed by the macro, not rustdoc
 ///     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
 ///         prop_assert_eq!(a + b, b + a);
 ///     }
 /// }
+/// # fn main() {}
 /// ```
 #[macro_export]
 macro_rules! proptest {
