@@ -1,0 +1,116 @@
+//! E0 — raw event throughput of the discrete-event simulator.
+//!
+//! Every experiment bottoms out in the simulator's pop → dispatch → apply
+//! loop; this target measures that loop with trivial handlers so the
+//! number is the substrate's own constant factor, not a protocol's. Two
+//! shapes bracket the real workloads:
+//!
+//! * `unicast_ring` — one message in flight per node, shallow event queue:
+//!   the best case for the calendar queue's hot bucket.
+//! * `broadcast_storm` — every `n`-th receipt re-broadcasts, keeping a
+//!   deep standing queue of in-flight fan-out copies: the shape consensus
+//!   traffic has (E4's n = 10 run holds ~1.5k pending deliveries).
+//!
+//! Prints ns/event and events/sec; no JSON (BENCH_e4.json is the tracked
+//! perf artifact — this target exists to attribute its movements).
+
+use std::time::Instant;
+
+use criterion::black_box;
+use minsync_bench::BENCH_SEED;
+use minsync_net::sim::SimBuilder;
+use minsync_net::{ChannelTiming, DelayLaw, Env, NetworkTopology, Node};
+use minsync_types::ProcessId;
+
+const N: usize = 10;
+
+struct Ring;
+
+impl Node for Ring {
+    type Msg = u64;
+    type Output = ();
+
+    fn on_start(&mut self, env: &mut Env<u64, ()>) {
+        if env.me() == ProcessId::new(0) {
+            env.send(ProcessId::new(1), 1);
+        }
+    }
+
+    fn on_message(&mut self, _from: ProcessId, msg: u64, env: &mut Env<u64, ()>) {
+        env.send(ProcessId::new((env.me().index() + 1) % env.n()), msg + 1);
+    }
+}
+
+struct Storm {
+    received: u64,
+}
+
+impl Node for Storm {
+    type Msg = u64;
+    type Output = ();
+
+    fn on_start(&mut self, env: &mut Env<u64, ()>) {
+        env.broadcast(0);
+    }
+
+    fn on_message(&mut self, _from: ProcessId, msg: u64, env: &mut Env<u64, ()>) {
+        self.received += 1;
+        if self.received % env.n() as u64 == 0 {
+            env.broadcast(msg + 1);
+        }
+    }
+}
+
+/// Runs one case to its event budget and returns ns/event.
+fn measure(name: &str, budget: u64, build: impl Fn() -> minsync_net::sim::SimBuilder<u64, ()>) {
+    let mut sim = build().max_events(budget).build();
+    let start = Instant::now();
+    let report = black_box(sim.run());
+    let elapsed = start.elapsed();
+    let events = report.metrics.events_processed;
+    assert_eq!(events, budget, "budget must bound the run");
+    let ns_per_event = elapsed.as_nanos() / u128::from(events);
+    let per_sec = (events as f64 / elapsed.as_secs_f64()) as u64;
+    println!(
+        "e0_event_throughput/{name}: {ns_per_event}ns/event, {per_sec} events/s \
+         ({events} events, max queue {})",
+        report.metrics.max_queue_len
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let filters: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if !filters.is_empty()
+        && !filters
+            .iter()
+            .any(|f| "e0_event_throughput".contains(f.as_str()))
+    {
+        println!("e0_event_throughput: skipped (filtered out)");
+        return;
+    }
+    let full = args.iter().any(|a| a == "--bench");
+    let budget: u64 = if full { 2_000_000 } else { 20_000 };
+
+    let law = DelayLaw::Uniform { min: 1, max: 100 };
+    let topo = NetworkTopology::uniform(N, ChannelTiming::asynchronous(law));
+
+    let ring_topo = topo.clone();
+    measure("unicast_ring", budget, move || {
+        let mut b = SimBuilder::new(ring_topo.clone()).seed(BENCH_SEED);
+        for _ in 0..N {
+            b = b.node(Ring);
+        }
+        b
+    });
+    measure("broadcast_storm", budget, move || {
+        let mut b = SimBuilder::new(topo.clone()).seed(BENCH_SEED);
+        for _ in 0..N {
+            b = b.node(Storm { received: 0 });
+        }
+        b
+    });
+    if !full {
+        println!("e0_event_throughput: ok (smoke budget, {budget} events per case)");
+    }
+}

@@ -4,9 +4,16 @@
 //! Unlike the other targets this one hand-rolls its measurement loop so it
 //! can emit a machine-readable `BENCH_e4.json` (min/mean/max nanoseconds
 //! per case) next to the human-readable lines — successive PRs diff that
-//! file to track the simulator's perf trajectory. Invoked without
-//! `--bench` (e.g. `cargo test --benches`) it smoke-runs every case once
-//! and writes nothing.
+//! file with `bench_diff` to track the simulator's perf trajectory (see
+//! "Performance & benchmarking" in the README). Invoked without `--bench`
+//! (e.g. `cargo test --benches`) it smoke-runs every case once and writes
+//! nothing.
+//!
+//! Flags (after `--`):
+//! * `--smoke` — three samples per case even under `--bench` (for CI, paired
+//!   with `--json` and `bench_diff` in report-only mode).
+//! * `--json PATH` — write the report to `PATH` instead of the default
+//!   workspace-root `BENCH_e4.json` (which is only written on full runs).
 
 use std::time::Instant;
 
@@ -20,15 +27,38 @@ fn main() {
     // Honor cargo's positional bench filter like criterion targets do:
     // `cargo bench e1_cb_broadcast` still launches this binary with the
     // filter as an argument, and must not rewrite BENCH_e4.json.
-    let filters: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let mut filters: Vec<&String> = Vec::new();
+    let mut skip_next = false;
+    for a in &args {
+        if skip_next {
+            skip_next = false; // the value of `--json`, not a filter
+        } else if a == "--json" {
+            skip_next = true;
+        } else if !a.starts_with("--") {
+            filters.push(a);
+        }
+    }
     if !filters.is_empty() && !filters.iter().any(|f| "e4_consensus".contains(f.as_str())) {
         println!("e4_consensus: skipped (filtered out)");
         return;
     }
     let full = args.iter().any(|a| a == "--bench");
-    let samples = if full { 30 } else { 1 };
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path: Option<String> = args.iter().position(|a| a == "--json").map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| panic!("--json needs a path argument"))
+            .clone()
+    });
+    // Full runs take 30 samples; smoke takes 3 (the first sample pays
+    // cold-start costs, and a singleton mean made the report-only CI diff
+    // needlessly noisy); `cargo test --benches` takes 1 (pure smoke).
+    let samples = match (full, smoke) {
+        (true, false) => 30,
+        (_, true) => 3,
+        (false, false) => 1,
+    };
     let mut cases = Vec::new();
-    for (n, t) in [(4usize, 1usize), (7, 2), (10, 3)] {
+    for (n, t) in [(4usize, 1usize), (7, 2), (10, 3), (20, 6), (40, 13)] {
         for (label, plan) in [
             ("all_correct", FaultPlan::AllCorrect),
             ("silent_t", FaultPlan::silent(t)),
@@ -47,13 +77,28 @@ fn main() {
             cases.push(stats);
         }
     }
-    if full {
-        // Bench binaries run with CWD = the package dir; anchor the report
-        // at the workspace root where it is tracked.
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e4.json");
-        std::fs::write(path, bench_json("e4_consensus", &cases)).expect("write BENCH_e4.json");
-        println!("wrote {path}");
-    } else {
-        println!("e4_consensus: ok (smoke test, 1 sample per case, no JSON)");
+    // Bench binaries run with CWD = the package dir; anchor the default
+    // report at the workspace root where it is tracked.
+    let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e4.json");
+    match (json_path, full && !smoke) {
+        (Some(path), _) => {
+            // Bench binaries run with CWD = the package dir; create any
+            // missing parent so relative paths like `target/x.json` work.
+            if let Some(parent) = std::path::Path::new(&path).parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent).expect("create json parent dir");
+                }
+            }
+            std::fs::write(&path, bench_json("e4_consensus", &cases)).expect("write bench json");
+            println!("wrote {path}");
+        }
+        (None, true) => {
+            std::fs::write(default_path, bench_json("e4_consensus", &cases))
+                .expect("write BENCH_e4.json");
+            println!("wrote {default_path}");
+        }
+        (None, false) => {
+            println!("e4_consensus: ok (smoke, {samples} sample(s) per case, no JSON)");
+        }
     }
 }

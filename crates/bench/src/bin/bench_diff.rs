@@ -1,0 +1,104 @@
+//! Compares two `BENCH_*.json` reports and prints per-case mean deltas.
+//!
+//! ```text
+//! cargo run --release -p minsync-bench --bin bench_diff -- OLD.json NEW.json [--threshold PCT]
+//! ```
+//!
+//! Exit status is non-zero when any case present in *both* files regressed
+//! by more than the threshold (default 25% on the mean). Cases that appear
+//! in only one file are reported informationally and never fail the run —
+//! benches grow new sizes over time.
+
+use std::process::ExitCode;
+
+use minsync_bench::{parse_bench_json, BenchReport};
+
+const DEFAULT_THRESHOLD_PCT: f64 = 25.0;
+
+fn load(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_bench_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut paths = Vec::new();
+    let mut threshold = DEFAULT_THRESHOLD_PCT;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threshold" {
+            let v = it.next().ok_or("--threshold needs a value")?;
+            threshold = v
+                .parse()
+                .map_err(|_| format!("bad threshold {v:?} (want a percentage)"))?;
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        return Err("usage: bench_diff OLD.json NEW.json [--threshold PCT]".into());
+    };
+    let old = load(old_path)?;
+    let new = load(new_path)?;
+    if old.bench != new.bench {
+        return Err(format!(
+            "bench mismatch: {} vs {} — refusing to compare",
+            old.bench, new.bench
+        ));
+    }
+
+    println!(
+        "bench {}: {} (old) vs {} (new)",
+        new.bench, old_path, new_path
+    );
+    println!(
+        "{:<24} {:>12} {:>12} {:>9}",
+        "case", "old mean", "new mean", "delta"
+    );
+    let mut regressed = false;
+    for case in &new.cases {
+        match old.case(&case.name) {
+            Some(before) => {
+                let delta_pct =
+                    (case.mean_ns as f64 - before.mean_ns as f64) / before.mean_ns as f64 * 100.0;
+                let flag = if delta_pct > threshold {
+                    regressed = true;
+                    "  REGRESSION"
+                } else {
+                    ""
+                };
+                println!(
+                    "{:<24} {:>10}ns {:>10}ns {:>+8.1}%{}",
+                    case.name, before.mean_ns, case.mean_ns, delta_pct, flag
+                );
+            }
+            None => println!(
+                "{:<24} {:>12} {:>10}ns      (new case)",
+                case.name, "—", case.mean_ns
+            ),
+        }
+    }
+    for case in &old.cases {
+        if new.case(&case.name).is_none() {
+            println!(
+                "{:<24} {:>10}ns {:>12}      (case removed)",
+                case.name, case.mean_ns, "—"
+            );
+        }
+    }
+    if regressed {
+        println!("FAIL: at least one case's mean regressed more than {threshold}%");
+    }
+    Ok(regressed)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

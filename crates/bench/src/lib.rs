@@ -67,6 +67,89 @@ pub fn bench_json(bench_name: &str, cases: &[CaseStats]) -> String {
     out
 }
 
+/// A parsed `BENCH_*.json` report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchReport {
+    /// Bench name (e.g. `"e4_consensus"`).
+    pub bench: String,
+    /// RNG seed the cases ran under.
+    pub seed: u64,
+    /// Per-case statistics.
+    pub cases: Vec<CaseStats>,
+}
+
+impl BenchReport {
+    /// Looks up a case by name.
+    pub fn case(&self, name: &str) -> Option<&CaseStats> {
+        self.cases.iter().find(|c| c.name == name)
+    }
+}
+
+/// Parses a report produced by [`bench_json`] (the offline environment has
+/// no serde, so this is a minimal hand-rolled scanner for exactly that
+/// shape: flat string/integer fields plus one array of flat objects).
+///
+/// # Errors
+///
+/// A human-readable description of the first malformed construct.
+pub fn parse_bench_json(text: &str) -> Result<BenchReport, String> {
+    fn str_field(obj: &str, key: &str) -> Result<String, String> {
+        let pat = format!("\"{key}\":");
+        let at = obj.find(&pat).ok_or_else(|| format!("missing key {key}"))?;
+        let rest = obj[at + pat.len()..].trim_start();
+        let rest = rest
+            .strip_prefix('"')
+            .ok_or_else(|| format!("{key} is not a string"))?;
+        let end = rest
+            .find('"')
+            .ok_or_else(|| format!("unterminated {key}"))?;
+        Ok(rest[..end].to_string())
+    }
+    fn int_field(obj: &str, key: &str) -> Result<u128, String> {
+        let pat = format!("\"{key}\":");
+        let at = obj.find(&pat).ok_or_else(|| format!("missing key {key}"))?;
+        let rest = obj[at + pat.len()..].trim_start();
+        let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+        digits
+            .parse()
+            .map_err(|_| format!("{key} is not an integer"))
+    }
+
+    let cases_at = text
+        .find("\"cases\":")
+        .ok_or_else(|| "missing key cases".to_string())?;
+    let (head, tail) = text.split_at(cases_at);
+    let array_start = tail
+        .find('[')
+        .ok_or_else(|| "cases is not an array".to_string())?;
+    let array_end = tail
+        .rfind(']')
+        .ok_or_else(|| "unterminated cases array".to_string())?;
+    let mut cases = Vec::new();
+    let mut rest = &tail[array_start + 1..array_end];
+    while let Some(open) = rest.find('{') {
+        let close = rest[open..]
+            .find('}')
+            .ok_or_else(|| "unterminated case object".to_string())?;
+        let obj = &rest[open..open + close + 1];
+        cases.push(CaseStats {
+            name: str_field(obj, "name")?,
+            samples: usize::try_from(int_field(obj, "samples")?)
+                .map_err(|_| "samples out of range".to_string())?,
+            min_ns: int_field(obj, "min")?,
+            mean_ns: int_field(obj, "mean")?,
+            max_ns: int_field(obj, "max")?,
+        });
+        rest = &rest[open + close + 1..];
+    }
+    Ok(BenchReport {
+        bench: str_field(head, "bench")?,
+        seed: u64::try_from(int_field(head, "seed")?)
+            .map_err(|_| "seed out of range".to_string())?,
+        cases,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,5 +179,41 @@ mod tests {
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         // No trailing comma before the closing bracket.
         assert!(!j.contains("},\n  ]"));
+    }
+
+    #[test]
+    fn parse_round_trips_bench_json() {
+        let cases = [
+            CaseStats {
+                name: "all_correct/n=4".into(),
+                samples: 30,
+                min_ns: 100,
+                mean_ns: 150,
+                max_ns: 900,
+            },
+            CaseStats {
+                name: "silent_t/n=7".into(),
+                samples: 30,
+                min_ns: 7,
+                mean_ns: 8,
+                max_ns: 9,
+            },
+        ];
+        let parsed = parse_bench_json(&bench_json("e4_consensus", &cases)).unwrap();
+        assert_eq!(parsed.bench, "e4_consensus");
+        assert_eq!(parsed.seed, BENCH_SEED);
+        assert_eq!(parsed.cases, cases);
+        assert_eq!(parsed.case("silent_t/n=7").unwrap().mean_ns, 8);
+        assert!(parsed.case("missing").is_none());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(parse_bench_json("{}").is_err());
+        assert!(parse_bench_json("{\"bench\": \"x\"}").is_err());
+        assert!(parse_bench_json(
+            "{\"bench\": \"x\", \"seed\": 1, \"unit\": \"ns\", \"cases\": []}"
+        )
+        .is_ok_and(|r| r.cases.is_empty()));
     }
 }

@@ -19,7 +19,7 @@
 //! # Example: three correct processes RB-broadcast and deliver
 //!
 //! ```rust
-//! use minsync_broadcast::{RbEngine, RbAction};
+//! use minsync_broadcast::{RbEngine, RbAction, RbActions};
 //! use minsync_types::{ProcessId, SystemConfig};
 //!
 //! # fn main() -> Result<(), minsync_types::ConfigError> {
@@ -33,7 +33,7 @@
 //! let mut wire: Vec<(ProcessId, minsync_broadcast::RbMsg<&'static str, u64>)> = Vec::new();
 //! let mut deliveries = Vec::new();
 //! let mut apply = |from: ProcessId,
-//!                  actions: Vec<RbAction<&'static str, u64>>,
+//!                  actions: RbActions<&'static str, u64>,
 //!                  wire: &mut Vec<_>,
 //!                  deliveries: &mut Vec<_>| {
 //!     for a in actions {
@@ -64,4 +64,4 @@ mod cb;
 mod rb;
 
 pub use cb::CbInstance;
-pub use rb::{RbAction, RbEngine, RbMsg};
+pub use rb::{ActionsIter, RbAction, RbActions, RbEngine, RbMsg};

@@ -14,7 +14,6 @@
 //! is enforced here, which is what defeats equivocating Byzantine senders.
 
 use core::fmt::Debug;
-use std::collections::BTreeMap;
 
 use minsync_types::{ProcessId, SystemConfig, Value};
 
@@ -81,7 +80,103 @@ pub enum RbAction<T, V> {
     },
 }
 
-/// Per-instance state.
+/// The actions one engine call produced: at most two (a READY
+/// amplification plus a delivery), held inline so the per-message hot path
+/// never allocates. Iterate it like the `Vec` it replaced.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RbActions<T, V>(Acts<T, V>);
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Acts<T, V> {
+    Zero,
+    One(RbAction<T, V>),
+    Two(RbAction<T, V>, RbAction<T, V>),
+}
+
+impl<T, V> RbActions<T, V> {
+    const NONE: Self = RbActions(Acts::Zero);
+
+    fn one(a: RbAction<T, V>) -> Self {
+        RbActions(Acts::One(a))
+    }
+
+    fn push(&mut self, a: RbAction<T, V>) {
+        self.0 = match std::mem::replace(&mut self.0, Acts::Zero) {
+            Acts::Zero => Acts::One(a),
+            Acts::One(first) => Acts::Two(first, a),
+            Acts::Two(..) => unreachable!("an RB step emits at most two actions"),
+        };
+    }
+
+    /// Number of queued actions (0, 1, or 2).
+    pub fn len(&self) -> usize {
+        match self.0 {
+            Acts::Zero => 0,
+            Acts::One(_) => 1,
+            Acts::Two(..) => 2,
+        }
+    }
+
+    /// True if the call produced nothing.
+    pub fn is_empty(&self) -> bool {
+        matches!(self.0, Acts::Zero)
+    }
+
+    /// The `index`-th action, if present.
+    pub fn get(&self, index: usize) -> Option<&RbAction<T, V>> {
+        match (&self.0, index) {
+            (Acts::One(a), 0) | (Acts::Two(a, _), 0) => Some(a),
+            (Acts::Two(_, b), 1) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Borrowing iterator over the actions.
+    pub fn iter(&self) -> impl Iterator<Item = &RbAction<T, V>> {
+        (0..self.len()).filter_map(|i| self.get(i))
+    }
+}
+
+impl<T, V> core::ops::Index<usize> for RbActions<T, V> {
+    type Output = RbAction<T, V>;
+
+    fn index(&self, index: usize) -> &RbAction<T, V> {
+        self.get(index).expect("RbActions index out of range")
+    }
+}
+
+impl<T, V> IntoIterator for RbActions<T, V> {
+    type Item = RbAction<T, V>;
+    type IntoIter = ActionsIter<T, V>;
+
+    fn into_iter(self) -> ActionsIter<T, V> {
+        ActionsIter(self.0)
+    }
+}
+
+/// Owning iterator over an [`RbActions`].
+#[derive(Debug)]
+pub struct ActionsIter<T, V>(Acts<T, V>);
+
+impl<T, V> Iterator for ActionsIter<T, V> {
+    type Item = RbAction<T, V>;
+
+    fn next(&mut self) -> Option<RbAction<T, V>> {
+        match std::mem::replace(&mut self.0, Acts::Zero) {
+            Acts::Zero => None,
+            Acts::One(a) => Some(a),
+            Acts::Two(a, b) => {
+                self.0 = Acts::One(b);
+                Some(a)
+            }
+        }
+    }
+}
+
+/// Per-instance state. The per-sender dedup sets are flat vectors — at most
+/// `n` entries each, scanned linearly, which beats a tree probe for every
+/// realistic system size and keeps each instance in a handful of cache
+/// lines.
 #[derive(Clone, Debug)]
 struct Instance<V> {
     /// Set when *this* process called [`RbEngine::broadcast`] for the
@@ -96,22 +191,25 @@ struct Instance<V> {
     readied: bool,
     /// Have we delivered yet?
     delivered: bool,
-    /// First ECHO per sender.
-    echoes: BTreeMap<ProcessId, V>,
-    /// First READY per sender.
-    readies: BTreeMap<ProcessId, V>,
+    /// First ECHO per sender (insertion order).
+    echoes: Vec<(ProcessId, V)>,
+    /// First READY per sender (insertion order).
+    readies: Vec<(ProcessId, V)>,
 }
 
-impl<V> Default for Instance<V> {
-    fn default() -> Self {
+impl<V> Instance<V> {
+    /// A fresh instance with the dedup sets sized for `n` senders up
+    /// front — one allocation each instead of a doubling ladder as
+    /// echoes trickle in.
+    fn sized_for(n: usize) -> Self {
         Instance {
             initiated: false,
             init_seen: false,
             echoed: false,
             readied: false,
             delivered: false,
-            echoes: BTreeMap::new(),
-            readies: BTreeMap::new(),
+            echoes: Vec::with_capacity(n),
+            readies: Vec::with_capacity(n),
         }
     }
 }
@@ -123,7 +221,12 @@ impl<V> Default for Instance<V> {
 pub struct RbEngine<T, V> {
     cfg: SystemConfig,
     me: ProcessId,
-    instances: BTreeMap<(ProcessId, T), Instance<V>>,
+    /// Instance state, split per origin: the origin's process id indexes a
+    /// dense vector; within an origin, instances live in a flat vector in
+    /// creation order, scanned backwards (protocols create instances
+    /// round-by-round, so the live ones sit at the tail and a probe is one
+    /// bounds-checked index plus a couple of tag compares).
+    instances: Vec<Vec<(T, Instance<V>)>>,
 }
 
 impl<T, V> RbEngine<T, V>
@@ -136,7 +239,7 @@ where
         RbEngine {
             cfg,
             me,
-            instances: BTreeMap::new(),
+            instances: Vec::new(),
         }
     }
 
@@ -149,23 +252,22 @@ where
     ///
     /// Panics if this process already RB-broadcast for `tag` — instances are
     /// one-shot.
-    pub fn broadcast(&mut self, tag: T, value: V) -> Vec<RbAction<T, V>> {
-        let key = (self.me, tag.clone());
+    pub fn broadcast(&mut self, tag: T, value: V) -> RbActions<T, V> {
         // A Byzantine process may have already sent us forged ECHO/READY
         // naming us as origin, creating the instance entry; only *our own*
         // initiation may exist once.
-        let inst = self.instances.entry(key).or_default();
+        let inst = Self::instance(&mut self.instances, self.cfg.n(), self.me, tag.clone());
         assert!(
             !inst.initiated,
             "RB instance ({:?}, {:?}) already used by this origin",
             self.me, tag
         );
         inst.initiated = true;
-        vec![RbAction::Broadcast(RbMsg::Init { tag, value })]
+        RbActions::one(RbAction::Broadcast(RbMsg::Init { tag, value }))
     }
 
     /// Feeds a received RB message (true sender stamped by the network).
-    pub fn on_message(&mut self, from: ProcessId, msg: RbMsg<T, V>) -> Vec<RbAction<T, V>> {
+    pub fn on_message(&mut self, from: ProcessId, msg: RbMsg<T, V>) -> RbActions<T, V> {
         match msg {
             RbMsg::Init { tag, value } => self.on_init(from, tag, value),
             RbMsg::Echo { origin, tag, value } => self.on_echo(from, origin, tag, value),
@@ -176,58 +278,77 @@ where
     /// Has this process RB-delivered instance `(origin, tag)`?
     pub fn is_delivered(&self, origin: ProcessId, tag: &T) -> bool {
         self.instances
-            .get(&(origin, tag.clone()))
-            .is_some_and(|i| i.delivered)
+            .get(origin.index())
+            .and_then(|tags| tags.iter().rev().find(|(t, _)| t == tag))
+            .is_some_and(|(_, i)| i.delivered)
     }
 
     /// Number of instances with any state (diagnostics).
     pub fn instance_count(&self) -> usize {
-        self.instances.len()
+        self.instances.iter().map(Vec::len).sum()
     }
 
-    fn on_init(&mut self, from: ProcessId, tag: T, value: V) -> Vec<RbAction<T, V>> {
+    /// The (created-on-demand) instance for `(origin, tag)`.
+    fn instance(
+        instances: &mut Vec<Vec<(T, Instance<V>)>>,
+        n: usize,
+        origin: ProcessId,
+        tag: T,
+    ) -> &mut Instance<V> {
+        let idx = origin.index();
+        if idx >= instances.len() {
+            instances.resize_with(idx + 1, Vec::new);
+        }
+        let tags = &mut instances[idx];
+        // Backwards: the instance being exercised is almost always the most
+        // recently created one.
+        match tags.iter().rev().position(|(t, _)| *t == tag) {
+            Some(back) => {
+                let at = tags.len() - 1 - back;
+                &mut tags[at].1
+            }
+            None => {
+                tags.push((tag, Instance::sized_for(n)));
+                &mut tags.last_mut().expect("just pushed").1
+            }
+        }
+    }
+
+    fn on_init(&mut self, from: ProcessId, tag: T, value: V) -> RbActions<T, V> {
         // The INIT of instance (origin, tag) is only meaningful from the
         // origin itself; a Byzantine process cannot impersonate (§2.1), so
         // `from` *is* the origin.
-        let inst = self.instances.entry((from, tag.clone())).or_default();
+        let inst = Self::instance(&mut self.instances, self.cfg.n(), from, tag.clone());
         if inst.init_seen {
-            return Vec::new(); // §2.1: discard duplicate INITs.
+            return RbActions::NONE; // §2.1: discard duplicate INITs.
         }
         inst.init_seen = true;
-        let mut actions = Vec::new();
         if !inst.echoed {
             inst.echoed = true;
-            actions.push(RbAction::Broadcast(RbMsg::Echo {
+            return RbActions::one(RbAction::Broadcast(RbMsg::Echo {
                 origin: from,
                 tag,
                 value,
             }));
         }
-        actions
+        RbActions::NONE
     }
 
-    fn on_echo(
-        &mut self,
-        from: ProcessId,
-        origin: ProcessId,
-        tag: T,
-        value: V,
-    ) -> Vec<RbAction<T, V>> {
+    fn on_echo(&mut self, from: ProcessId, origin: ProcessId, tag: T, value: V) -> RbActions<T, V> {
         let echo_quorum = self.cfg.echo_threshold();
-        let inst = self.instances.entry((origin, tag.clone())).or_default();
-        if inst.echoes.contains_key(&from) {
-            return Vec::new(); // §2.1 dedup: first ECHO per sender only.
+        let inst = Self::instance(&mut self.instances, self.cfg.n(), origin, tag.clone());
+        if inst.echoes.iter().any(|(p, _)| *p == from) {
+            return RbActions::NONE; // §2.1 dedup: first ECHO per sender only.
         }
-        inst.echoes.insert(from, value.clone());
-        let mut actions = Vec::new();
+        inst.echoes.push((from, value.clone()));
         if !inst.readied {
-            let support = inst.echoes.values().filter(|v| **v == value).count();
+            let support = inst.echoes.iter().filter(|(_, v)| *v == value).count();
             if support >= echo_quorum {
                 inst.readied = true;
-                actions.push(RbAction::Broadcast(RbMsg::Ready { origin, tag, value }));
+                return RbActions::one(RbAction::Broadcast(RbMsg::Ready { origin, tag, value }));
             }
         }
-        actions
+        RbActions::NONE
     }
 
     fn on_ready(
@@ -236,16 +357,16 @@ where
         origin: ProcessId,
         tag: T,
         value: V,
-    ) -> Vec<RbAction<T, V>> {
+    ) -> RbActions<T, V> {
         let amplify = self.cfg.ready_amplify_threshold();
         let deliver = self.cfg.ready_threshold();
-        let inst = self.instances.entry((origin, tag.clone())).or_default();
-        if inst.readies.contains_key(&from) {
-            return Vec::new(); // §2.1 dedup: first READY per sender only.
+        let inst = Self::instance(&mut self.instances, self.cfg.n(), origin, tag.clone());
+        if inst.readies.iter().any(|(p, _)| *p == from) {
+            return RbActions::NONE; // §2.1 dedup: first READY per sender only.
         }
-        inst.readies.insert(from, value.clone());
-        let support = inst.readies.values().filter(|v| **v == value).count();
-        let mut actions = Vec::new();
+        inst.readies.push((from, value.clone()));
+        let support = inst.readies.iter().filter(|(_, v)| *v == value).count();
+        let mut actions = RbActions::NONE;
         if !inst.readied && support >= amplify {
             inst.readied = true;
             actions.push(RbAction::Broadcast(RbMsg::Ready {

@@ -7,7 +7,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use minsync_broadcast::{CbInstance, RbAction, RbEngine, RbMsg};
+use minsync_broadcast::{CbInstance, RbAction, RbActions, RbEngine, RbMsg};
 use minsync_types::{ProcessId, SystemConfig};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -66,7 +66,7 @@ impl Soup {
         });
     }
 
-    fn apply(&mut self, process: usize, actions: Vec<RbAction<Tag, Val>>) {
+    fn apply(&mut self, process: usize, actions: RbActions<Tag, Val>) {
         for action in actions {
             match action {
                 RbAction::Broadcast(msg) => {

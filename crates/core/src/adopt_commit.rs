@@ -27,7 +27,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use minsync_broadcast::{CbInstance, RbAction, RbEngine};
+use minsync_broadcast::{CbInstance, RbAction, RbActions, RbEngine};
 use minsync_net::{Env, Node};
 use minsync_types::{ProcessId, Round, SystemConfig, Value};
 
@@ -200,7 +200,7 @@ impl<V: Value> AcNode<V> {
 
     fn rb_actions(
         &mut self,
-        actions: Vec<RbAction<RbTag, V>>,
+        actions: RbActions<RbTag, V>,
         env: &mut Env<ProtocolMsg<V>, AcNodeEvent<V>>,
     ) {
         for action in actions {

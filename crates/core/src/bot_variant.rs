@@ -60,7 +60,7 @@
 
 use std::collections::BTreeMap;
 
-use minsync_broadcast::{RbAction, RbEngine};
+use minsync_broadcast::{RbAction, RbActions, RbEngine};
 use minsync_net::{Effect, Env, Node, TimerId};
 use minsync_types::{ConfigError, ProcessId, SystemConfig, Value};
 
@@ -171,7 +171,7 @@ impl<V: Value> BotConsensusNode<V> {
         })
     }
 
-    fn apply_cert_rb(&mut self, actions: Vec<RbAction<(), V>>, env: &mut BotCtx<V>) {
+    fn apply_cert_rb(&mut self, actions: RbActions<(), V>, env: &mut BotCtx<V>) {
         for action in actions {
             match action {
                 RbAction::Broadcast(m) => env.broadcast(BotMsg::CertRb(m)),
@@ -232,7 +232,7 @@ impl<V: Value> BotConsensusNode<V> {
     /// Runs one embedded-consensus handler on the child environment, then
     /// maps its effect stream into the outer one: messages are wrapped in
     /// [`BotMsg::Inner`], timer effects pass through unchanged (the timer
-    /// cursor is shared, so ids never collide with the outer node's),
+    /// table is shared, so ids never collide with the outer node's),
     /// outputs are folded into local state, and `Halt` is swallowed (the
     /// embedded consensus never halts the outer node).
     fn drive_inner(
@@ -242,9 +242,9 @@ impl<V: Value> BotConsensusNode<V> {
     ) {
         let ienv = self.inner_env.get_or_insert_with(|| Env::new(env.n(), 0));
         ienv.prepare(env.me(), env.now());
-        ienv.set_timer_cursor(env.timer_cursor());
+        env.swap_timers(ienv);
         f(&mut self.inner, ienv);
-        env.set_timer_cursor(ienv.timer_cursor());
+        env.swap_timers(ienv);
         let mut events = Vec::new();
         for effect in ienv.drain() {
             match effect {

@@ -21,7 +21,7 @@
 
 use std::collections::BTreeMap;
 
-use minsync_broadcast::{CbInstance, RbAction, RbEngine};
+use minsync_broadcast::{CbInstance, RbAction, RbActions, RbEngine};
 use minsync_net::{Env, Node, TimerId};
 use minsync_types::{ConfigError, ProcessId, Round, RoundSchedule, SystemConfig, Value};
 
@@ -198,7 +198,7 @@ impl<V: Value> ConsensusNode<V> {
         self.apply_rb(actions, env);
     }
 
-    fn apply_rb(&mut self, actions: Vec<RbAction<RbTag, V>>, env: &mut Ctx<V>) {
+    fn apply_rb(&mut self, actions: RbActions<RbTag, V>, env: &mut Ctx<V>) {
         for action in actions {
             match action {
                 RbAction::Broadcast(m) => env.broadcast(ProtocolMsg::Rb(m)),

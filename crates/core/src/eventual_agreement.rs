@@ -37,7 +37,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use minsync_broadcast::{CbInstance, RbAction, RbEngine};
+use minsync_broadcast::{CbInstance, RbAction, RbActions, RbEngine};
 use minsync_net::{Env, Node, TimerId};
 use minsync_types::{ProcessId, Round, RoundSchedule, SystemConfig, Value};
 
@@ -146,6 +146,10 @@ pub struct EaObject<V> {
     me: ProcessId,
     policy: TimeoutPolicy,
     rounds: BTreeMap<Round, EaRound<V>>,
+    /// Which block of `n` rounds `f_bitmap` describes (`u64::MAX` = none).
+    f_block: u64,
+    /// Dense membership bitmap of the cached block's helper set `F(r)`.
+    f_bitmap: Vec<bool>,
 }
 
 impl<V: Value> EaObject<V> {
@@ -162,7 +166,27 @@ impl<V: Value> EaObject<V> {
             me,
             policy,
             rounds: BTreeMap::new(),
+            f_block: u64::MAX,
+            f_bitmap: Vec::new(),
         }
+    }
+
+    /// Refreshes the cached `F(r)` membership bitmap. The helper set is
+    /// constant within each block of `n` rounds, so the combinatorial
+    /// unranking (u128 arithmetic plus a fresh tree) runs once per block
+    /// instead of once per received message; membership checks become one
+    /// indexed load.
+    fn refresh_f(&mut self, r: Round) {
+        let block = (r.get() - 1) / self.cfg.n() as u64;
+        if self.f_block == block {
+            return;
+        }
+        self.f_bitmap.clear();
+        self.f_bitmap.resize(self.cfg.n(), false);
+        for p in self.schedule.f_set(r) {
+            self.f_bitmap[p.index()] = true;
+        }
+        self.f_block = block;
     }
 
     /// The round schedule (coordinator and `F(r)` maps).
@@ -207,7 +231,8 @@ impl<V: Value> EaObject<V> {
     /// Also runs the coordinator when-clause (lines 11–14).
     pub fn on_prop2(&mut self, from: ProcessId, r: Round, value: V) -> Vec<EaAction<V>> {
         let coord = self.schedule.coordinator(r);
-        let in_f = self.schedule.f_set(r).contains(&from);
+        self.refresh_f(r);
+        let in_f = self.f_bitmap.get(from.index()).copied().unwrap_or(false);
         let me = self.me;
         let round = self.round(r);
         if !round.prop2_senders.insert(from) {
@@ -292,8 +317,10 @@ impl<V: Value> EaObject<V> {
     fn advance(&mut self, r: Round) -> Vec<EaAction<V>> {
         let quorum = self.cfg.quorum();
         let policy = self.policy;
-        let f_set = self.schedule.f_set(r);
-        let round = self.round(r);
+        self.refresh_f(r);
+        let f_bitmap = &self.f_bitmap;
+        let cfg = self.cfg;
+        let round = self.rounds.entry(r).or_insert_with(|| EaRound::new(cfg));
         let mut actions = Vec::new();
         loop {
             match round.stage {
@@ -364,7 +391,9 @@ impl<V: Value> EaObject<V> {
                     let witness_value = round
                         .relays
                         .iter()
-                        .find(|(p, v)| v.is_some() && f_set.contains(p))
+                        .find(|(p, v)| {
+                            v.is_some() && f_bitmap.get(p.index()).copied().unwrap_or(false)
+                        })
                         .and_then(|(_, v)| v.clone());
                     let value = match witness_value {
                         Some(v) => v,
@@ -502,7 +531,7 @@ impl<V: Value> EaNode<V> {
 
     fn apply_rb(
         &mut self,
-        actions: Vec<RbAction<RbTag, V>>,
+        actions: RbActions<RbTag, V>,
         env: &mut Env<ProtocolMsg<V>, EaNodeEvent<V>>,
     ) {
         for action in actions {

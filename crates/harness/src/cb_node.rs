@@ -1,7 +1,7 @@
 //! A standalone cooperative-broadcast node for experiment E1 (Figure 1 in
 //! isolation).
 
-use minsync_broadcast::{CbInstance, RbAction, RbEngine, RbMsg};
+use minsync_broadcast::{CbInstance, RbAction, RbActions, RbEngine, RbMsg};
 use minsync_net::{Env, Node};
 use minsync_types::{ProcessId, SystemConfig, Value};
 
@@ -49,7 +49,7 @@ impl<V: Value> CbBroadcastNode<V> {
         self.cb.cb_valid()
     }
 
-    fn apply(&mut self, actions: Vec<RbAction<(), V>>, env: &mut Env<RbMsg<(), V>, CbEvent<V>>) {
+    fn apply(&mut self, actions: RbActions<(), V>, env: &mut Env<RbMsg<(), V>, CbEvent<V>>) {
         for action in actions {
             match action {
                 RbAction::Broadcast(m) => env.broadcast(m),

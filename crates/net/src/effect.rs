@@ -19,7 +19,7 @@ use minsync_types::ProcessId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{TimerId, VirtualTime};
+use crate::{TimerId, TimerTable, VirtualTime};
 
 /// One instruction from a node to its substrate.
 ///
@@ -94,17 +94,17 @@ impl<M, O> Effect<M, O> {
 /// # Timer-id allocation rule
 ///
 /// [`Env::set_timer`] allocates the [`TimerId`] *immediately*, before the
-/// substrate applies the effect, from a per-process cursor the substrate
-/// threads through [`Env::timer_cursor`] / [`Env::set_timer_cursor`].
-/// Protocols can therefore store the id in their state with no substrate
-/// round-trip. Wrapper nodes that host an inner automaton on a child `Env`
-/// must copy the cursor into the child before driving it and copy it back
-/// after, so ids stay unique per process.
+/// substrate applies the effect, from the per-process [`TimerTable`] the
+/// substrate threads through [`Env::swap_timers`]. Protocols can therefore
+/// store the id in their state with no substrate round-trip. Wrapper nodes
+/// that host an inner automaton on a child `Env` must swap the table into
+/// the child before driving it and swap it back after, so ids stay unique
+/// per process.
 pub struct Env<M, O> {
     me: ProcessId,
     n: usize,
     now: VirtualTime,
-    next_timer: u64,
+    timers: TimerTable,
     rng: StdRng,
     effects: Vec<Effect<M, O>>,
 }
@@ -119,7 +119,7 @@ impl<M, O> Env<M, O> {
             me: ProcessId::new(0),
             n,
             now: VirtualTime::ZERO,
-            next_timer: 0,
+            timers: TimerTable::new(),
             rng: StdRng::seed_from_u64(seed),
             effects: Vec::new(),
         }
@@ -167,8 +167,7 @@ impl<M, O> Env<M, O> {
     /// `delay` ticks from [`Env::now`]. The returned id is valid
     /// immediately (see the module docs for the allocation rule).
     pub fn set_timer(&mut self, delay: u64) -> TimerId {
-        let id = TimerId(self.next_timer);
-        self.next_timer += 1;
+        let id = self.timers.alloc();
         self.effects.push(Effect::SetTimer { id, delay });
         id
     }
@@ -236,17 +235,23 @@ impl<M, O> Env<M, O> {
         self.now = now;
     }
 
-    /// The timer-id allocation cursor: the raw id the next
-    /// [`Env::set_timer`] will hand out.
-    pub fn timer_cursor(&self) -> u64 {
-        self.next_timer
+    /// Swaps this environment's [`TimerTable`] with `other`'s.
+    ///
+    /// Two callers, one idiom: the simulator swaps the per-process table
+    /// into its shared `Env` before a handler runs and back out after
+    /// (allocation and liveness live in one place, so the exchange is two
+    /// pointer-sized swaps); wrapper nodes hosting an inner automaton on a
+    /// child `Env` swap the table in before driving the inner handler and —
+    /// the swap being symmetric — call the same method again to return it.
+    pub fn swap_timers<M2, O2>(&mut self, other: &mut Env<M2, O2>) {
+        std::mem::swap(&mut self.timers, &mut other.timers);
     }
 
-    /// Sets the timer-id allocation cursor. The simulator threads the
-    /// per-process cursor through its shared `Env` here; wrappers copy the
-    /// cursor between outer and child environments.
-    pub fn set_timer_cursor(&mut self, cursor: u64) {
-        self.next_timer = cursor;
+    /// Direct access to the timer table (substrate-side: the threaded
+    /// runtime keeps each process's table inside its own `Env` permanently
+    /// and consults it when applying timer effects and firings).
+    pub(crate) fn timers_mut(&mut self) -> &mut TimerTable {
+        &mut self.timers
     }
 }
 
@@ -256,7 +261,7 @@ impl<M, O> fmt::Debug for Env<M, O> {
             .field("me", &self.me)
             .field("n", &self.n)
             .field("now", &self.now)
-            .field("next_timer", &self.next_timer)
+            .field("timer_slots", &self.timers.capacity())
             .field("pending_effects", &self.effects.len())
             .finish()
     }
@@ -296,7 +301,6 @@ mod tests {
         let a = env.set_timer(1);
         let b = env.set_timer(2);
         assert_ne!(a, b, "ids unique without any substrate round-trip");
-        assert_eq!(env.timer_cursor(), 2);
         // The queued effects carry the pre-allocated ids.
         let effects: Vec<_> = env.drain().collect();
         assert_eq!(

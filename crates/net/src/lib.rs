@@ -33,8 +33,8 @@
 //!   simulator can record complete effect traces
 //!   ([`sim::SimBuilder::record_effects`]) that replay byte-identically.
 //! * **Timer ids are caller-visible immediately.** [`Env::set_timer`]
-//!   allocates the [`TimerId`] from a per-process cursor *before* the
-//!   substrate applies the effect — protocols store it in state with no
+//!   allocates the [`TimerId`] from the per-process [`TimerTable`] *before*
+//!   the substrate applies the effect — protocols store it in state with no
 //!   substrate round-trip (see [`TimerId`] for the allocation rule).
 //! * **Byzantine behaviors intercept effect streams.** A wrapper node runs
 //!   an honest automaton, then rewrites everything it queued
@@ -104,10 +104,12 @@ mod node;
 pub mod sim;
 pub mod threaded;
 mod time;
+mod timer;
 mod topology;
 
 pub use channel::{ChannelTiming, DelayLaw};
 pub use effect::{Effect, Env};
 pub use node::{Node, TimerId};
 pub use time::VirtualTime;
+pub use timer::TimerTable;
 pub use topology::NetworkTopology;

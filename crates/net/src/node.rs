@@ -14,14 +14,23 @@ use crate::Env;
 ///
 /// # Allocation rule
 ///
-/// Ids are allocated *in the [`Env`](crate::Env)*, from a per-process
-/// cursor, at the moment [`crate::Env::set_timer`] is called — before the
-/// substrate ever sees the [`crate::Effect::SetTimer`] effect. A protocol
-/// can therefore store the id in its state immediately, with no substrate
-/// round-trip and no ordering hazard between "effect emitted" and "effect
-/// applied". Substrates persist the cursor per process across handler
-/// invocations; wrapper nodes hosting inner automata on child environments
-/// copy the cursor in before driving the inner node and back out after.
+/// Ids are allocated *in the [`Env`](crate::Env)*, from the per-process
+/// [`TimerTable`](crate::TimerTable), at the moment
+/// [`crate::Env::set_timer`] is called — before the substrate ever sees the
+/// [`crate::Effect::SetTimer`] effect. A protocol can therefore store the
+/// id in its state immediately, with no substrate round-trip and no
+/// ordering hazard between "effect emitted" and "effect applied".
+/// Substrates persist the table per process across handler invocations;
+/// wrapper nodes hosting inner automata on child environments swap the
+/// table in before driving the inner node and back out after
+/// ([`Env::swap_timers`](crate::Env::swap_timers)).
+///
+/// # Representation
+///
+/// The raw `u64` packs a recycled *slot* in the low 32 bits and that slot's
+/// *generation* in the high 32: two timers never share an id, and a firing
+/// scheduled under an old generation is recognized as stale with one
+/// integer comparison (see [`TimerTable`](crate::TimerTable)).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct TimerId(pub(crate) u64);
 

@@ -1,8 +1,6 @@
-use core::cmp::Ordering;
-
 use minsync_types::ProcessId;
 
-use crate::{TimerId, VirtualTime};
+use crate::TimerId;
 
 /// What a scheduled event does when it fires.
 #[derive(Clone, Debug)]
@@ -25,36 +23,6 @@ pub(crate) enum EventKind<M> {
         /// Which timer.
         timer: TimerId,
     },
-}
-
-/// Heap entry ordered by `(time, seq)`; `seq` is unique, making the order
-/// total and the simulation deterministic.
-#[derive(Clone, Debug)]
-pub(crate) struct Event<M> {
-    pub time: VirtualTime,
-    pub seq: u64,
-    pub kind: EventKind<M>,
-}
-
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-
-impl<M> Eq for Event<M> {}
-
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: BinaryHeap is a max-heap, we want earliest-first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
 }
 
 /// Why a simulation run stopped.
@@ -81,35 +49,6 @@ impl StopReason {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::BinaryHeap;
-
-    #[test]
-    fn heap_pops_earliest_time_first() {
-        let mut heap: BinaryHeap<Event<()>> = BinaryHeap::new();
-        for (t, s) in [(5u64, 0u64), (1, 1), (3, 2)] {
-            heap.push(Event {
-                time: VirtualTime::from_ticks(t),
-                seq: s,
-                kind: EventKind::Start(ProcessId::new(0)),
-            });
-        }
-        let order: Vec<u64> = std::iter::from_fn(|| heap.pop().map(|e| e.time.ticks())).collect();
-        assert_eq!(order, [1, 3, 5]);
-    }
-
-    #[test]
-    fn heap_breaks_time_ties_by_sequence() {
-        let mut heap: BinaryHeap<Event<()>> = BinaryHeap::new();
-        for s in [2u64, 0, 1] {
-            heap.push(Event {
-                time: VirtualTime::from_ticks(7),
-                seq: s,
-                kind: EventKind::Start(ProcessId::new(0)),
-            });
-        }
-        let order: Vec<u64> = std::iter::from_fn(|| heap.pop().map(|e| e.seq)).collect();
-        assert_eq!(order, [0, 1, 2], "same-time events fire in insertion order");
-    }
 
     #[test]
     fn stop_reason_naturalness() {

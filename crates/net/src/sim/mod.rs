@@ -15,11 +15,13 @@
 mod event;
 mod metrics;
 mod oracle;
+mod queue;
 mod simulation;
 
 pub use event::StopReason;
 pub use metrics::Metrics;
 pub use oracle::DelayOracle;
+pub use queue::EventQueue;
 pub use simulation::{
     DeliveryRecord, EffectRecord, OutputRecord, RunReport, SimBuilder, Simulation,
 };

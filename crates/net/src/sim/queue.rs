@@ -1,0 +1,385 @@
+//! The simulator's event queue: a tick-granular calendar over a slab of
+//! payloads.
+//!
+//! The naive design — `BinaryHeap<Event<M>>` — moves whole events (virtual
+//! time, sequence number, *and* the message payload) on every sift, so with
+//! a thousand-entry backlog every pop drags `log n` cache lines of message
+//! bytes through the heap. Here payloads sit still in a slab until popped
+//! and the priority structure holds only compact `(seq, slot)` keys.
+//!
+//! The structure itself exploits the one property a discrete-event
+//! simulation guarantees: *monotonicity*. Events are always scheduled at or
+//! after the time of the event being processed, so the queue never needs a
+//! general heap. Near-future entries (within [`NEAR`] ticks — virtually all
+//! message deliveries) go straight into a calendar ring with one `Vec`
+//! bucket per tick: push is an append, pop walks the ring forward, and both
+//! are O(1) with no comparisons at all. Far-future entries (long timers,
+//! stabilization bounds) wait in a sorted overflow map and migrate into the
+//! ring as the clock approaches — a per-tick check of one `BTreeMap` first
+//! key. Freed slab slots and drained buckets are recycled, so the
+//! steady-state push/pop cycle allocates nothing.
+//!
+//! Ordering is identical to the old design: strictly by `(time, seq)` with
+//! the sequence number assigned at push. Same-time entries share a bucket
+//! in push order, so FIFO-within-time falls out structurally.
+//! `tests/prop_simulator.rs` pins all of this against a reference binary
+//! heap.
+
+use std::collections::BTreeMap;
+
+use crate::VirtualTime;
+
+/// Compact queue entry: the push sequence number and the payload's slab
+/// slot. Time is implicit — it is the entry's bucket.
+#[derive(Clone, Copy, Debug)]
+struct Key {
+    seq: u64,
+    slot: u32,
+}
+
+/// Width of the calendar window in ticks (a power of two; times map to
+/// ring buckets by `time & (NEAR − 1)`).
+const NEAR: u64 = 1024;
+
+/// A deterministic earliest-first event queue with slab-backed payloads.
+///
+/// `push` assigns each entry the next sequence number, so entries pushed at
+/// equal times pop in push order.
+///
+/// # Monotonicity contract
+///
+/// `push` panics if `time` is earlier than the queue's current position —
+/// the time of the earliest pending entry, which advances on `pop` *and*
+/// `peek_time` — because the calendar layout relies on it. The simulator
+/// upholds this by construction (effects schedule at `now + delay`, and
+/// `now` is never behind a peek).
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    /// The calendar's current position: no pending entry is earlier.
+    floor: u64,
+    /// Ring of per-tick buckets covering `[floor, floor + NEAR)`.
+    ring: Vec<Vec<Key>>,
+    /// Entries in the ring (excluding the already-popped prefix of the
+    /// current bucket).
+    near_len: usize,
+    /// Pop cursor into the current bucket, `ring[floor & (NEAR − 1)]`
+    /// (popping from the front without shifting; the bucket is cleared when
+    /// the cursor drains it).
+    head: usize,
+    /// Far-future entries, `time → keys` in push order. Invariant: every
+    /// key here is at least `NEAR` ticks past `floor`.
+    far: BTreeMap<u64, Vec<Key>>,
+    /// Spare `Vec` capacities recycled from drained far buckets.
+    spare: Vec<Vec<Key>>,
+    len: usize,
+    slab: Vec<Option<T>>,
+    free: Vec<u32>,
+    seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            floor: 0,
+            ring: (0..NEAR).map(|_| Vec::new()).collect(),
+            near_len: 0,
+            head: 0,
+            far: BTreeMap::new(),
+            spare: Vec::new(),
+            len: 0,
+            slab: Vec::new(),
+            free: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket(time: u64) -> usize {
+        (time & (NEAR - 1)) as usize
+    }
+
+    /// Schedules `payload` at `time`, assigning and returning the entry's
+    /// sequence number. O(1) (amortized for far-future times);
+    /// allocation-free while the slab's free list and the bucket
+    /// capacities suffice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` precedes the queue's current position (see the
+    /// monotonicity contract).
+    pub fn push(&mut self, time: VirtualTime, payload: T) -> u64 {
+        let time = time.ticks();
+        assert!(
+            time >= self.floor,
+            "event scheduled at t={time}, behind the queue's position t={}",
+            self.floor
+        );
+        let slot = match self.free.pop() {
+            Some(s) => {
+                debug_assert!(self.slab[s as usize].is_none(), "free slot occupied");
+                self.slab[s as usize] = Some(payload);
+                s
+            }
+            None => {
+                let s = u32::try_from(self.slab.len()).expect("event slab exhausted");
+                self.slab.push(Some(payload));
+                s
+            }
+        };
+        let seq = self.seq;
+        self.seq += 1;
+        let key = Key { seq, slot };
+        if time - self.floor < NEAR {
+            self.ring[Self::bucket(time)].push(key);
+            self.near_len += 1;
+        } else {
+            self.far
+                .entry(time)
+                .or_insert_with(|| self.spare.pop().unwrap_or_default())
+                .push(key);
+        }
+        self.len += 1;
+        seq
+    }
+
+    /// Moves every far entry that the window now covers into the ring.
+    /// Called on each floor change, so the ring always owns `[floor,
+    /// floor + NEAR)` exclusively and pushes never race migrated entries
+    /// out of seq order.
+    fn migrate(&mut self) {
+        while let Some(entry) = self.far.first_entry() {
+            let time = *entry.key();
+            if time - self.floor >= NEAR {
+                break;
+            }
+            let mut keys = entry.remove();
+            let bucket = &mut self.ring[Self::bucket(time)];
+            debug_assert!(bucket.is_empty(), "ring bucket held an out-of-window time");
+            self.near_len += keys.len();
+            if bucket.capacity() == 0 {
+                // Adopt the drained Vec's allocation wholesale.
+                std::mem::swap(bucket, &mut keys);
+            } else {
+                bucket.append(&mut keys);
+            }
+            if keys.capacity() > 0 && self.spare.len() < 8 {
+                self.spare.push(keys);
+            }
+        }
+    }
+
+    /// Advances `floor` to the bucket holding the earliest pending entry.
+    /// O(gap) ring walk; each tick of virtual time is walked at most once
+    /// over the queue's lifetime, and an empty ring jumps straight to the
+    /// overflow's first key.
+    #[inline]
+    fn seek(&mut self) {
+        if self.head < self.ring[Self::bucket(self.floor)].len() {
+            return;
+        }
+        debug_assert_eq!(self.head, 0, "drained bucket left a cursor");
+        if self.near_len > 0 {
+            loop {
+                self.floor += 1;
+                self.migrate();
+                if !self.ring[Self::bucket(self.floor)].is_empty() {
+                    return;
+                }
+            }
+        }
+        // Ring empty: leap directly to the first far time.
+        self.floor = *self.far.keys().next().expect("len > 0 but queue empty");
+        self.migrate();
+    }
+
+    /// Removes and returns the earliest `(time, seq, payload)` entry.
+    pub fn pop(&mut self) -> Option<(VirtualTime, u64, T)> {
+        if self.len == 0 {
+            return None;
+        }
+        self.seek();
+        let bucket = &mut self.ring[Self::bucket(self.floor)];
+        let key = bucket[self.head];
+        self.head += 1;
+        if self.head == bucket.len() {
+            bucket.clear();
+            self.head = 0;
+        }
+        self.near_len -= 1;
+        self.len -= 1;
+        let payload = self.slab[key.slot as usize]
+            .take()
+            .expect("queue key points at an occupied slot");
+        self.free.push(key.slot);
+        Some((VirtualTime::from_ticks(self.floor), key.seq, payload))
+    }
+
+    /// The timestamp of the earliest pending entry, without popping it.
+    /// (Takes `&mut self`: peeking may advance the calendar's position,
+    /// which changes layout but never order.)
+    pub fn peek_time(&mut self) -> Option<VirtualTime> {
+        if self.len == 0 {
+            return None;
+        }
+        self.seek();
+        Some(VirtualTime::from_ticks(self.floor))
+    }
+
+    /// Pending entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reserves slab room for `additional` more entries (used by the
+    /// broadcast fan-out to grab all `n` payload slots up front).
+    pub fn reserve(&mut self, additional: usize) {
+        let vacant = self.free.len() + self.slab.capacity() - self.slab.len();
+        if vacant < additional {
+            self.slab.reserve(additional - vacant);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_earliest_time_first() {
+        let mut q: EventQueue<&'static str> = EventQueue::new();
+        q.push(VirtualTime::from_ticks(5), "late");
+        q.push(VirtualTime::from_ticks(1), "early");
+        q.push(VirtualTime::from_ticks(3), "mid");
+        let order: Vec<_> =
+            std::iter::from_fn(|| q.pop().map(|(t, _, p)| (t.ticks(), p))).collect();
+        assert_eq!(order, [(1, "early"), (3, "mid"), (5, "late")]);
+    }
+
+    #[test]
+    fn breaks_time_ties_by_push_order() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        for payload in [10u32, 11, 12] {
+            q.push(VirtualTime::from_ticks(7), payload);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, [10, 11, 12], "same-time events pop in push order");
+    }
+
+    #[test]
+    fn interleaved_push_pop_respects_order() {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        q.push(VirtualTime::from_ticks(10), 10);
+        q.push(VirtualTime::from_ticks(4), 4);
+        assert_eq!(q.pop().map(|(t, _, _)| t.ticks()), Some(4));
+        // Monotone schedule: anything ≥ the popped time is fair game.
+        q.push(VirtualTime::from_ticks(4), 40);
+        q.push(VirtualTime::from_ticks(7), 7);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, [40, 7, 10]);
+    }
+
+    #[test]
+    fn sequence_numbers_are_unique_and_monotone() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        let a = q.push(VirtualTime::from_ticks(9), ());
+        let b = q.push(VirtualTime::from_ticks(2), ());
+        assert_eq!((a, b), (0, 1), "assigned in push order, not time order");
+        assert_eq!(q.pop().map(|(_, s, _)| s), Some(1));
+        assert_eq!(q.pop().map(|(_, s, _)| s), Some(0));
+    }
+
+    #[test]
+    fn slab_slots_are_recycled() {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        for round in 0..10_000u64 {
+            q.push(VirtualTime::from_ticks(round), round);
+            let (_, _, p) = q.pop().expect("just pushed");
+            assert_eq!(p, round);
+        }
+        assert_eq!(q.slab.len(), 1, "steady push/pop reuses one slot");
+    }
+
+    #[test]
+    fn len_and_peek_track_contents() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(VirtualTime::from_ticks(4), 1);
+        q.push(VirtualTime::from_ticks(2), 2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(VirtualTime::from_ticks(2)));
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn far_future_entries_cross_the_window() {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        // Entries far beyond the ring window, plus near fillers.
+        q.push(VirtualTime::from_ticks(NEAR * 3 + 17), 1);
+        q.push(VirtualTime::from_ticks(NEAR * 3 + 17), 2);
+        q.push(VirtualTime::from_ticks(5), 0);
+        q.push(VirtualTime::from_ticks(NEAR * 7), 3);
+        let order: Vec<_> =
+            std::iter::from_fn(|| q.pop().map(|(t, _, p)| (t.ticks(), p))).collect();
+        assert_eq!(
+            order,
+            [
+                (5, 0),
+                (NEAR * 3 + 17, 1),
+                (NEAR * 3 + 17, 2),
+                (NEAR * 7, 3)
+            ]
+        );
+    }
+
+    #[test]
+    fn migration_keeps_seq_order_against_fresh_pushes() {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let t = NEAR + 50;
+        q.push(VirtualTime::from_ticks(t), 1); // far at push time
+        q.push(VirtualTime::from_ticks(60), 0);
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some(0));
+        // Now t is within the window of floor = 60; a fresh same-time push
+        // must land *after* the migrated entry.
+        q.push(VirtualTime::from_ticks(t), 2);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, [1, 2]);
+    }
+
+    #[test]
+    fn doomsday_entries_survive_long_runs() {
+        let mut q: EventQueue<&'static str> = EventQueue::new();
+        q.push(VirtualTime::from_ticks(u64::MAX), "doomsday");
+        for t in 0..10_000u64 {
+            q.push(VirtualTime::from_ticks(t), "tick");
+            assert_eq!(q.pop().map(|(_, _, p)| p), Some("tick"));
+        }
+        assert_eq!(
+            q.pop().map(|(t, _, p)| (t.ticks(), p)),
+            Some((u64::MAX, "doomsday"))
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "behind the queue's position")]
+    fn pushing_into_the_past_panics() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.push(VirtualTime::from_ticks(10), ());
+        q.pop();
+        q.push(VirtualTime::from_ticks(9), ());
+    }
+}

@@ -1,14 +1,14 @@
-use std::collections::{BTreeSet, BinaryHeap};
-use std::fmt::Debug;
+use std::fmt::{Debug, Write as _};
 
 use minsync_types::ProcessId;
-use rand::rngs::StdRng;
+use rand::rngs::SplitMix64;
 use rand::SeedableRng;
 
-use super::event::{Event, EventKind, StopReason};
+use super::event::{EventKind, StopReason};
 use super::metrics::Metrics;
 use super::oracle::DelayOracle;
-use crate::{ChannelTiming, Effect, Env, NetworkTopology, Node, TimerId, VirtualTime};
+use super::queue::EventQueue;
+use crate::{ChannelTiming, Effect, Env, NetworkTopology, Node, TimerTable, VirtualTime};
 
 /// One recorded message delivery (see [`SimBuilder::log_deliveries`]).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -193,16 +193,24 @@ where
         // traces replay identically even when the replaying nodes draw no
         // randomness.
         let env_seed = self.seed ^ 0x9E37_79B9_7F4A_7C15;
+        // Dense per-channel timing matrix (row-major `from · n + to`): the
+        // routing hot path indexes instead of probing the topology's sparse
+        // override map and cloning a `ChannelTiming` per message.
+        let timings: Vec<ChannelTiming> = (0..n)
+            .flat_map(|from| {
+                let topology = &self.topology;
+                (0..n).map(move |to| topology.timing(ProcessId::new(from), ProcessId::new(to)))
+            })
+            .collect();
         let mut sim = Simulation {
+            timings,
             topology: self.topology,
             nodes: self.nodes,
             halted: vec![false; n],
-            cancelled: vec![BTreeSet::new(); n],
-            timer_counters: vec![0; n],
-            queue: BinaryHeap::new(),
-            seq: 0,
+            timer_tables: (0..n).map(|_| TimerTable::new()).collect(),
+            queue: EventQueue::new(),
             now: VirtualTime::ZERO,
-            rng: StdRng::seed_from_u64(self.seed),
+            rng: SplitMix64::seed_from_u64(self.seed),
             env: Env::new(n, env_seed),
             outputs: Vec::new(),
             metrics: Metrics::default(),
@@ -216,12 +224,7 @@ where
             effect_trace_capacity: self.record_effects,
         };
         for p in 0..n {
-            let seq = sim.next_seq();
-            sim.queue.push(Event {
-                time: VirtualTime::ZERO,
-                seq,
-                kind: EventKind::Start(ProcessId::new(p)),
-            });
+            sim.push_event(VirtualTime::ZERO, EventKind::Start(ProcessId::new(p)));
         }
         sim
     }
@@ -235,16 +238,25 @@ where
 /// buffer afterwards — no `dyn Context` callbacks anywhere on the per-event
 /// path (the only dynamic dispatch left is the single handler call on the
 /// boxed node, which heterogeneous Byzantine line-ups require).
+///
+/// The steady-state loop is allocation-free: the priority queue is a heap
+/// of compact `(time, seq, slot)` keys over a slab of payloads
+/// ([`EventQueue`]), per-send metrics are dense counters
+/// ([`Metrics`]), timer cancellation is an O(1) generation check
+/// ([`TimerTable`]), and delay sampling draws from a single-word SplitMix64
+/// stream.
 pub struct Simulation<M, O> {
     topology: NetworkTopology,
+    /// Dense copy of the topology's per-channel timings, `from · n + to`.
+    timings: Vec<ChannelTiming>,
     nodes: Vec<Box<dyn Node<Msg = M, Output = O>>>,
     halted: Vec<bool>,
-    cancelled: Vec<BTreeSet<TimerId>>,
-    timer_counters: Vec<u64>,
-    queue: BinaryHeap<Event<M>>,
-    seq: u64,
+    /// Per-process timer tables; swapped into the shared [`Env`] for the
+    /// duration of each handler invocation.
+    timer_tables: Vec<TimerTable>,
+    queue: EventQueue<EventKind<M>>,
     now: VirtualTime,
-    rng: StdRng,
+    rng: SplitMix64,
     env: Env<M, O>,
     outputs: Vec<OutputRecord<O>>,
     metrics: Metrics,
@@ -263,12 +275,6 @@ where
     M: Clone + Debug + Send + 'static,
     O: Clone + Debug + Send + 'static,
 {
-    fn next_seq(&mut self) -> u64 {
-        let s = self.seq;
-        self.seq += 1;
-        s
-    }
-
     /// Current virtual time.
     pub fn now(&self) -> VirtualTime {
         self.now
@@ -302,14 +308,13 @@ where
     /// the same effects at the same times in the same order — the golden
     /// value for replay tests.
     pub fn effect_trace_digest(&self) -> u64 {
-        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut hasher = FnvWriter(0xcbf2_9ce4_8422_2325);
         for record in &self.effect_trace {
-            for byte in format!("{record:?}").bytes() {
-                hash ^= u64::from(byte);
-                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-            }
+            // Stream the Debug rendering straight into the hasher — same
+            // bytes `format!` would produce, zero heap allocation.
+            write!(hasher, "{record:?}").expect("fnv writer is infallible");
         }
-        hash
+        hasher.0
     }
 
     /// True if process `p` has halted itself.
@@ -332,27 +337,35 @@ where
         self.run_until(|_| false)
     }
 
-    /// Processes events until `stop(outputs)` is true (checked after every
-    /// event), quiescence, or a cap.
+    /// Processes events until `stop(outputs)` is true, quiescence, or a
+    /// cap.
+    ///
+    /// `stop` must be a pure function of the output slice. The loop
+    /// re-evaluates it only when the outputs have grown since the last
+    /// check (a predicate over an unchanged slice cannot change its mind),
+    /// so events that emit nothing — the overwhelming majority — pay
+    /// nothing for the predicate.
     pub fn run_until(&mut self, mut stop: impl FnMut(&[OutputRecord<O>]) -> bool) -> RunReport<O> {
+        let mut checked_outputs = usize::MAX; // force one initial evaluation
         let reason = loop {
             if self.metrics.events_processed >= self.max_events {
                 break StopReason::MaxEventsReached;
             }
-            if stop(&self.outputs) {
-                break StopReason::PredicateSatisfied;
-            }
-            let Some(event) = self.queue.pop() else {
-                break StopReason::Quiescent;
-            };
-            if let Some(cap) = self.max_time {
-                if event.time > cap {
-                    // Put it back so a later run_until could resume.
-                    self.queue.push(event);
-                    break StopReason::MaxTimeReached;
+            if checked_outputs != self.outputs.len() {
+                checked_outputs = self.outputs.len();
+                if stop(&self.outputs) {
+                    break StopReason::PredicateSatisfied;
                 }
             }
-            self.dispatch(event);
+            let Some(next) = self.queue.peek_time() else {
+                break StopReason::Quiescent;
+            };
+            if self.max_time.is_some_and(|cap| next > cap) {
+                // Leave it queued so a later run_until can resume.
+                break StopReason::MaxTimeReached;
+            }
+            let (time, _seq, kind) = self.queue.pop().expect("peeked");
+            self.dispatch(time, kind);
         };
         RunReport {
             outputs: self.outputs.clone(),
@@ -362,14 +375,13 @@ where
         }
     }
 
-    fn dispatch(&mut self, event: Event<M>) {
-        debug_assert!(event.time >= self.now, "event queue went backwards");
-        self.now = event.time;
+    fn dispatch(&mut self, time: VirtualTime, kind: EventKind<M>) {
+        debug_assert!(time >= self.now, "event queue went backwards");
+        self.now = time;
         self.metrics.events_processed += 1;
         self.metrics.last_event_time = self.now;
-        self.metrics.max_queue_len = self.metrics.max_queue_len.max(self.queue.len() + 1);
 
-        match event.kind {
+        match kind {
             EventKind::Start(p) => {
                 if self.halted[p.index()] {
                     return;
@@ -400,8 +412,8 @@ where
                 if self.halted[process.index()] {
                     return;
                 }
-                if self.cancelled[process.index()].remove(&timer) {
-                    return;
+                if !self.timer_tables[process.index()].try_fire(timer) {
+                    return; // cancelled or stale generation
                 }
                 self.metrics.timers_fired += 1;
                 self.begin_invocation(process);
@@ -412,17 +424,19 @@ where
     }
 
     /// Re-targets the shared [`Env`] at process `p` for one atomic handler
-    /// invocation (identity, clock, per-process timer cursor).
+    /// invocation (identity, clock, and the per-process timer table, which
+    /// moves into the env so `set_timer` allocates without a round-trip).
     fn begin_invocation(&mut self, p: ProcessId) {
         self.env.prepare(p, self.now);
-        self.env.set_timer_cursor(self.timer_counters[p.index()]);
+        std::mem::swap(&mut self.timer_tables[p.index()], self.env.timers_mut());
     }
 
-    /// Persists the timer cursor and applies every effect the handler
-    /// queued, in emission order. The drain is a concrete enum match over a
-    /// plain `Vec` — zero trait-object calls.
+    /// Applies every effect the handler queued, in emission order, then
+    /// returns the timer table to its per-process home. The drain is a
+    /// concrete enum match over a plain `Vec` — zero trait-object calls —
+    /// and the buffer's capacity is recycled, so a steady-state invocation
+    /// allocates nothing.
     fn end_invocation(&mut self, p: ProcessId) {
-        self.timer_counters[p.index()] = self.env.timer_cursor();
         let mut effects = self.env.take_buffer();
         if self.effect_trace.len() < self.effect_trace_capacity {
             self.effect_trace.push(EffectRecord {
@@ -437,18 +451,17 @@ where
                 Effect::Broadcast { msg } => self.enqueue_broadcast(p, msg),
                 Effect::SetTimer { id, delay } => {
                     let time = self.now.saturating_add(delay);
-                    let seq = self.next_seq();
-                    self.queue.push(Event {
+                    self.env.timers_mut().arm(id);
+                    self.push_event(
                         time,
-                        seq,
-                        kind: EventKind::Timer {
+                        EventKind::Timer {
                             process: p,
                             timer: id,
                         },
-                    });
+                    );
                 }
                 Effect::CancelTimer { id } => {
-                    self.cancelled[p.index()].insert(id);
+                    self.env.timers_mut().cancel(id);
                 }
                 Effect::Output(event) => {
                     self.outputs.push(OutputRecord {
@@ -463,13 +476,22 @@ where
             }
         }
         self.env.restore_buffer(effects);
+        std::mem::swap(&mut self.timer_tables[p.index()], self.env.timers_mut());
+    }
+
+    /// Schedules one event and maintains the queue's high-water mark (the
+    /// mark lives on the push path so pops pay nothing for it).
+    fn push_event(&mut self, time: VirtualTime, kind: EventKind<M>) {
+        self.queue.push(time, kind);
+        if self.queue.len() > self.metrics.max_queue_len {
+            self.metrics.max_queue_len = self.queue.len();
+        }
     }
 
     fn enqueue_message(&mut self, from: ProcessId, to: ProcessId, msg: M) {
-        self.metrics.messages_sent += 1;
-        *self.metrics.sent_by.entry(from).or_insert(0) += 1;
+        self.metrics.record_sent(from, 1);
         if let Some(classify) = self.classifier {
-            *self.metrics.sent_by_kind.entry(classify(&msg)).or_insert(0) += 1;
+            self.metrics.record_kind(classify(&msg), 1);
         }
         self.route(from, to, msg);
     }
@@ -482,10 +504,9 @@ where
     /// `n` individual sends.
     fn enqueue_broadcast(&mut self, from: ProcessId, msg: M) {
         let n = self.topology.n();
-        self.metrics.messages_sent += n as u64;
-        *self.metrics.sent_by.entry(from).or_insert(0) += n as u64;
+        self.metrics.record_sent(from, n as u64);
         if let Some(classify) = self.classifier {
-            *self.metrics.sent_by_kind.entry(classify(&msg)).or_insert(0) += n as u64;
+            self.metrics.record_kind(classify(&msg), n as u64);
         }
         self.queue.reserve(n);
         for p in 0..n - 1 {
@@ -496,28 +517,29 @@ where
 
     /// Samples the channel delay for `from → to` and enqueues the delivery.
     fn route(&mut self, from: ProcessId, to: ProcessId, msg: M) {
-        let timing = self.topology.timing(from, to);
+        let idx = from.index() * self.topology.n() + to.index();
+        let timing = &self.timings[idx];
         let sampled = timing.delivery_time(self.now, &mut self.rng);
-        let deliver_at = match (&self.oracle, &timing) {
-            (Some(_), ChannelTiming::Asynchronous { .. }) => {
-                let default = sampled - self.now;
-                let chosen = self.consult_oracle(from, to, &msg, default);
-                self.now.saturating_add(chosen)
-            }
+        // Copy the oracle-relevant facts out of the matrix borrow before
+        // consulting (the oracle call needs `&mut self`). `None` = the
+        // oracle has no say on this channel at this time.
+        let oracle_bound = match (&self.oracle, timing) {
+            (Some(_), ChannelTiming::Asynchronous { .. }) => Some(None),
             (Some(_), ChannelTiming::EventuallyTimely { tau, delta, .. }) if self.now < *tau => {
-                let bound = self.now.max(*tau) + *delta;
+                Some(Some(self.now.max(*tau) + *delta))
+            }
+            _ => None,
+        };
+        let deliver_at = match oracle_bound {
+            None => sampled,
+            Some(bound) => {
                 let default = sampled - self.now;
                 let chosen = self.consult_oracle(from, to, &msg, default);
-                self.now.saturating_add(chosen).min(bound)
+                let at = self.now.saturating_add(chosen);
+                bound.map_or(at, |b| at.min(b))
             }
-            _ => sampled,
         };
-        let seq = self.next_seq();
-        self.queue.push(Event {
-            time: deliver_at,
-            seq,
-            kind: EventKind::Deliver { from, to, msg },
-        });
+        self.push_event(deliver_at, EventKind::Deliver { from, to, msg });
     }
 
     fn consult_oracle(&mut self, from: ProcessId, to: ProcessId, msg: &M, default: u64) -> u64 {
@@ -528,10 +550,24 @@ where
     }
 }
 
+/// FNV-1a over a `fmt::Write` sink: hashes `Debug` output as the formatter
+/// produces it, so digesting a trace never materializes a `String`.
+struct FnvWriter(u64);
+
+impl std::fmt::Write for FnvWriter {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        for byte in s.bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::DelayLaw;
+    use crate::{DelayLaw, TimerId};
 
     /// Echoes every message back to its sender, up to a hop budget.
     struct Echo {

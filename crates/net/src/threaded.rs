@@ -13,7 +13,7 @@
 //! with a single send timestamp), timers stay in a local heap, outputs flow
 //! to the collector.
 
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 use std::fmt::Debug;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, RecvTimeoutError, Sender};
 use minsync_types::ProcessId;
-use rand::rngs::StdRng;
+use rand::rngs::SplitMix64;
 use rand::SeedableRng;
 
 use crate::{Effect, Env, NetworkTopology, Node, TimerId, VirtualTime};
@@ -126,7 +126,7 @@ where
         let topology = topology.clone();
         let inboxes = inbox_txs.clone();
         let tick = config.tick;
-        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = SplitMix64::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         std::thread::spawn(move || {
             struct Pending<M> {
                 due: Instant,
@@ -162,7 +162,7 @@ where
             };
             let schedule = |heap: &mut BinaryHeap<Pending<M>>,
                             seq: &mut u64,
-                            rng: &mut StdRng,
+                            rng: &mut SplitMix64,
                             sent_ticks: VirtualTime,
                             from: ProcessId,
                             to: ProcessId,
@@ -248,7 +248,6 @@ where
                 router,
                 outputs,
                 timers: BinaryHeap::new(),
-                cancelled: HashSet::new(),
                 halted: false,
                 env: Env::new(n, seed),
             };
@@ -264,7 +263,7 @@ where
                     .is_some_and(|t: &PendingTimer| t.due <= now)
                 {
                     let t = worker.timers.pop().expect("peeked");
-                    if !worker.cancelled.remove(&t.id) {
+                    if worker.env.timers_mut().try_fire(t.id) {
                         worker.env.prepare(me, worker.now());
                         node.on_timer(t.id, &mut worker.env);
                         worker.apply_effects();
@@ -353,7 +352,10 @@ impl Ord for PendingTimer {
 }
 
 /// Per-thread interpreter state: one [`Env`] plus the local timer wheel and
-/// the channels into the router/collector.
+/// the channels into the router/collector. Timer liveness is the
+/// [`crate::TimerTable`] living inside the env (the same table
+/// [`Env::set_timer`] allocates from), so cancellation checks are O(1)
+/// generation comparisons instead of hash-set probes.
 struct NodeWorker<M, O> {
     me: ProcessId,
     start: Instant,
@@ -361,7 +363,6 @@ struct NodeWorker<M, O> {
     router: Sender<RouterCmd<M>>,
     outputs: Sender<ThreadedOutput<O>>,
     timers: BinaryHeap<PendingTimer>,
-    cancelled: HashSet<TimerId>,
     halted: bool,
     env: Env<M, O>,
 }
@@ -392,10 +393,11 @@ impl<M, O> NodeWorker<M, O> {
                 }
                 Effect::SetTimer { id, delay } => {
                     let due = Instant::now() + self.tick * (delay.min(u32::MAX as u64) as u32);
+                    self.env.timers_mut().arm(id);
                     self.timers.push(PendingTimer { due, id });
                 }
                 Effect::CancelTimer { id } => {
-                    self.cancelled.insert(id);
+                    self.env.timers_mut().cancel(id);
                 }
                 Effect::Output(event) => {
                     let _ = self.outputs.send(ThreadedOutput {

@@ -219,9 +219,9 @@ impl<V: Value, P: ProposalSource<V>> ReplicaNode<V, P> {
         };
         let ienv = self.slot_env.get_or_insert_with(|| Env::new(env.n(), 0));
         ienv.prepare(env.me(), env.now());
-        ienv.set_timer_cursor(env.timer_cursor());
+        env.swap_timers(ienv);
         f(node, ienv);
-        env.set_timer_cursor(ienv.timer_cursor());
+        env.swap_timers(ienv);
         let mut events = Vec::new();
         for effect in ienv.drain() {
             match effect {

@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("messages      : {}", outcome.total_messages());
     println!();
     println!("messages by kind:");
-    for (kind, count) in &outcome.metrics().sent_by_kind {
+    for (kind, count) in outcome.metrics().kind_counts() {
         println!("  {kind:<14} {count}");
     }
 

@@ -133,7 +133,7 @@ fn main() {
         println!("stop reason   : {:?}", outcome.stop_reason());
         println!();
         println!("messages by kind:");
-        for (kind, count) in &outcome.metrics().sent_by_kind {
+        for (kind, count) in outcome.metrics().kind_counts() {
             println!("  {kind:<14} {count}");
         }
         Ok(outcome.agreement_holds() && outcome.validity_holds())
