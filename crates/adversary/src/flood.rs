@@ -1,0 +1,166 @@
+use core::fmt::Debug;
+use core::marker::PhantomData;
+
+use minsync_net::{Env, Node, TimerId};
+use minsync_types::ProcessId;
+
+/// A Byzantine flooder: on a timer loop it broadcasts bursts of messages
+/// produced by a caller-supplied generator — the canonical memory-pressure
+/// attack against any protocol that buffers traffic it cannot process yet
+/// (future log slots, future rounds, …).
+///
+/// The generator receives a running message counter, so a flood can sweep
+/// slot or round numbers (e.g. far-future SMR slots) instead of repeating
+/// one message. The flood stops after `rounds` bursts so simulations still
+/// quiesce; pick `rounds` large enough to outlast the honest execution
+/// under test.
+///
+/// ```rust
+/// use minsync_adversary::FloodNode;
+///
+/// // Burst 8 junk u32 messages every 5 ticks, 100 times over.
+/// let _flood: FloodNode<u32, (), _> = FloodNode::new(5, 8, 100, |i| i as u32);
+/// ```
+pub struct FloodNode<M, O, F> {
+    interval: u64,
+    burst: usize,
+    rounds: u64,
+    fired: u64,
+    sent: u64,
+    make: F,
+    _marker: PhantomData<fn() -> (M, O)>,
+}
+
+impl<M, O, F> FloodNode<M, O, F>
+where
+    F: FnMut(u64) -> M + Send,
+{
+    /// Creates a flooder that broadcasts `burst` generated messages every
+    /// `interval` ticks, `rounds` times, starting immediately at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval == 0` or `burst == 0`.
+    pub fn new(interval: u64, burst: usize, rounds: u64, make: F) -> Self {
+        assert!(interval > 0, "a zero interval would jam the event queue");
+        assert!(burst > 0, "an empty burst floods nothing");
+        FloodNode {
+            interval,
+            burst,
+            rounds,
+            fired: 0,
+            sent: 0,
+            make,
+            _marker: PhantomData,
+        }
+    }
+
+    fn burst_now(&mut self, env: &mut Env<M, O>) {
+        for _ in 0..self.burst {
+            let msg = (self.make)(self.sent);
+            self.sent += 1;
+            env.broadcast(msg);
+        }
+    }
+}
+
+impl<M, O, F> Debug for FloodNode<M, O, F> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("FloodNode")
+            .field("interval", &self.interval)
+            .field("burst", &self.burst)
+            .field("rounds", &self.rounds)
+            .field("sent", &self.sent)
+            .finish()
+    }
+}
+
+impl<M, O, F> Node for FloodNode<M, O, F>
+where
+    M: Clone + Debug + Send + 'static,
+    O: Clone + Debug + Send + 'static,
+    F: FnMut(u64) -> M + Send,
+{
+    type Msg = M;
+    type Output = O;
+
+    fn on_start(&mut self, env: &mut Env<M, O>) {
+        if self.rounds == 0 {
+            return;
+        }
+        self.fired = 1;
+        self.burst_now(env);
+        if self.fired < self.rounds {
+            env.set_timer(self.interval);
+        }
+    }
+
+    fn on_message(&mut self, _from: ProcessId, _msg: M, _env: &mut Env<M, O>) {
+        // Deaf to the protocol: the flood is unconditional.
+    }
+
+    fn on_timer(&mut self, _timer: TimerId, env: &mut Env<M, O>) {
+        self.fired += 1;
+        self.burst_now(env);
+        if self.fired < self.rounds {
+            env.set_timer(self.interval);
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "byz-flood"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minsync_net::sim::SimBuilder;
+    use minsync_net::NetworkTopology;
+
+    /// Counts what it receives.
+    #[derive(Debug)]
+    struct Counter;
+    impl Node for Counter {
+        type Msg = u32;
+        type Output = u32;
+        fn on_message(&mut self, _: ProcessId, msg: u32, env: &mut Env<u32, u32>) {
+            env.output(msg);
+        }
+    }
+
+    #[test]
+    fn flood_emits_rounds_times_burst_messages() {
+        let mut sim = SimBuilder::new(NetworkTopology::all_timely(2, 1))
+            .node(Counter)
+            .node(FloodNode::<u32, u32, _>::new(3, 4, 5, |i| i as u32))
+            .build();
+        let report = sim.run();
+        // 5 bursts × 4 messages × 2 destinations (broadcast fan-out).
+        assert_eq!(report.metrics.messages_sent, 40);
+        // The generator saw a running counter.
+        let got: Vec<u32> = report
+            .outputs_of(ProcessId::new(0))
+            .map(|o| o.event)
+            .collect();
+        assert_eq!(got, (0..20).collect::<Vec<u32>>());
+        // And the run quiesced (the flood is finite).
+        assert_eq!(report.reason, minsync_net::sim::StopReason::Quiescent);
+    }
+
+    #[test]
+    fn zero_rounds_is_silent() {
+        let mut sim = SimBuilder::new(NetworkTopology::all_timely(2, 1))
+            .node(Counter)
+            .node(FloodNode::<u32, u32, _>::new(1, 1, 0, |i| i as u32))
+            .build();
+        let report = sim.run();
+        assert_eq!(report.metrics.messages_sent, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero interval")]
+    fn zero_interval_rejected() {
+        let _ = FloodNode::<u32, u32, _>::new(0, 1, 1, |i| i as u32);
+    }
+}

@@ -10,6 +10,8 @@
 //!   single process can mount against quorum waits);
 //! * [`CrashNode`] — wraps an honest automaton and kills it at a chosen
 //!   virtual time (Byzantine subsumes crash);
+//! * [`FloodNode`] — broadcasts timed bursts of generated garbage (the
+//!   memory-pressure attack against future-slot/future-round buffers);
 //! * [`FilterNode`] — wraps an honest automaton and rewrites/drops/redirects
 //!   its *outgoing* messages per destination: the building block for
 //!   equivocators, mute coordinators, and value-splitting colluders (see
@@ -34,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod filter;
+mod flood;
 pub mod mutators;
 pub mod oracles;
 mod random_node;
@@ -41,6 +44,7 @@ mod replay;
 mod silent;
 
 pub use filter::FilterNode;
+pub use flood::FloodNode;
 pub use random_node::RandomProtocolNode;
 pub use replay::{ReplayNode, ScriptedNode};
 pub use silent::{CrashNode, SilentNode};

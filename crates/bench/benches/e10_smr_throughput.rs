@@ -1,0 +1,109 @@
+//! E10 — batched SMR throughput: wall-clock cost of draining a fixed
+//! client workload through the replicated log, per system size and batch
+//! cap (batch = 1 is the unbatched pipeline).
+//!
+//! Like the E4 target this hand-rolls its measurement loop so it can emit a
+//! machine-readable `BENCH_e10.json` (min/mean/max nanoseconds per case)
+//! next to the human-readable lines — successive PRs diff that file with
+//! `bench_diff` to track the replicated-service perf trajectory. Invoked
+//! without `--bench` (e.g. `cargo test --benches`) it smoke-runs every case
+//! once and writes nothing.
+//!
+//! Flags (after `--`):
+//! * `--smoke` — three samples per case even under `--bench` (for CI,
+//!   paired with `--json` and `bench_diff` in report-only mode).
+//! * `--json PATH` — write the report to `PATH` instead of the default
+//!   workspace-root `BENCH_e10.json` (which is only written on full runs).
+
+use std::time::Instant;
+
+use criterion::black_box;
+use minsync_bench::{bench_json, CaseStats, BENCH_SEED};
+use minsync_harness::experiments::e10_smr;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Honor cargo's positional bench filter like criterion targets do.
+    let mut filters: Vec<&String> = Vec::new();
+    let mut skip_next = false;
+    for a in &args {
+        if skip_next {
+            skip_next = false; // the value of `--json`, not a filter
+        } else if a == "--json" {
+            skip_next = true;
+        } else if !a.starts_with("--") {
+            filters.push(a);
+        }
+    }
+    if !filters.is_empty()
+        && !filters
+            .iter()
+            .any(|f| "e10_smr_throughput".contains(f.as_str()))
+    {
+        println!("e10_smr_throughput: skipped (filtered out)");
+        return;
+    }
+    let full = args.iter().any(|a| a == "--bench");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path: Option<String> = args.iter().position(|a| a == "--json").map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| panic!("--json needs a path argument"))
+            .clone()
+    });
+    let samples = match (full, smoke) {
+        (true, false) => 10,
+        (_, true) => 3,
+        (false, false) => 1,
+    };
+    // Fixed workload per case: 2 groups × 4 clients × 16 commands = 128
+    // commands; the batch cap is the swept variable, so wall-clock tracks
+    // the consensus-instances-per-command amortization.
+    const COMMANDS_PER_CLIENT: usize = 16;
+    let mut cases = Vec::new();
+    for (n, t) in [(4usize, 1usize), (10, 3)] {
+        for batch in [1usize, 16, 64] {
+            let mut times = Vec::with_capacity(samples);
+            let mut virtual_ticks = 0;
+            for _ in 0..samples {
+                let start = Instant::now();
+                virtual_ticks = black_box(e10_smr::bench_one(
+                    n,
+                    t,
+                    batch,
+                    COMMANDS_PER_CLIENT,
+                    BENCH_SEED,
+                ));
+                times.push(start.elapsed());
+            }
+            let stats = CaseStats::from_times(format!("batch{batch}/n={n}"), &times);
+            println!(
+                "e10_smr_throughput/{}: mean {}ns, min {}ns, max {}ns ({} samples, {} vticks)",
+                stats.name, stats.mean_ns, stats.min_ns, stats.max_ns, stats.samples, virtual_ticks
+            );
+            cases.push(stats);
+        }
+    }
+    // Bench binaries run with CWD = the package dir; anchor the default
+    // report at the workspace root where it is tracked.
+    let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e10.json");
+    match (json_path, full && !smoke) {
+        (Some(path), _) => {
+            if let Some(parent) = std::path::Path::new(&path).parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent).expect("create json parent dir");
+                }
+            }
+            std::fs::write(&path, bench_json("e10_smr_throughput", &cases))
+                .expect("write bench json");
+            println!("wrote {path}");
+        }
+        (None, true) => {
+            std::fs::write(default_path, bench_json("e10_smr_throughput", &cases))
+                .expect("write BENCH_e10.json");
+            println!("wrote {default_path}");
+        }
+        (None, false) => {
+            println!("e10_smr_throughput: ok (smoke, {samples} sample(s) per case, no JSON)");
+        }
+    }
+}

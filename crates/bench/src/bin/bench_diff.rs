@@ -1,17 +1,22 @@
 //! Compares two `BENCH_*.json` reports and prints per-case mean deltas.
 //!
 //! ```text
-//! cargo run --release -p minsync-bench --bin bench_diff -- OLD.json NEW.json [--threshold PCT]
+//! cargo run --release -p minsync-bench --bin bench_diff -- OLD.json NEW.json \
+//!     [--threshold PCT] [--allow-missing-baseline]
 //! ```
 //!
 //! Exit status is non-zero when any case present in *both* files regressed
 //! by more than the threshold (default 25% on the mean). Cases that appear
 //! in only one file are reported informationally and never fail the run —
-//! benches grow new sizes over time.
+//! benches grow new sizes and whole new case sets over time, and a
+//! baseline that lacks them must not fail CI. With
+//! `--allow-missing-baseline`, a nonexistent baseline *file* is also
+//! tolerated (exit 0 with a note) — the bootstrap case for a brand-new
+//! `BENCH_*.json`.
 
 use std::process::ExitCode;
 
-use minsync_bench::{parse_bench_json, BenchReport};
+use minsync_bench::{diff_cases, parse_bench_json, BenchReport};
 
 const DEFAULT_THRESHOLD_PCT: f64 = 25.0;
 
@@ -23,6 +28,7 @@ fn load(path: &str) -> Result<BenchReport, String> {
 fn run(args: &[String]) -> Result<bool, String> {
     let mut paths = Vec::new();
     let mut threshold = DEFAULT_THRESHOLD_PCT;
+    let mut allow_missing_baseline = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--threshold" {
@@ -30,13 +36,22 @@ fn run(args: &[String]) -> Result<bool, String> {
             threshold = v
                 .parse()
                 .map_err(|_| format!("bad threshold {v:?} (want a percentage)"))?;
+        } else if a == "--allow-missing-baseline" {
+            allow_missing_baseline = true;
         } else {
             paths.push(a.clone());
         }
     }
     let [old_path, new_path] = paths.as_slice() else {
-        return Err("usage: bench_diff OLD.json NEW.json [--threshold PCT]".into());
+        return Err(
+            "usage: bench_diff OLD.json NEW.json [--threshold PCT] [--allow-missing-baseline]"
+                .into(),
+        );
     };
+    if allow_missing_baseline && !std::path::Path::new(old_path).exists() {
+        println!("bench_diff: no baseline at {old_path} — nothing to compare (allowed)");
+        return Ok(false);
+    }
     let old = load(old_path)?;
     let new = load(new_path)?;
     if old.bench != new.bench {
@@ -54,35 +69,28 @@ fn run(args: &[String]) -> Result<bool, String> {
         "{:<24} {:>12} {:>12} {:>9}",
         "case", "old mean", "new mean", "delta"
     );
-    let mut regressed = false;
-    for case in &new.cases {
-        match old.case(&case.name) {
-            Some(before) => {
-                let delta_pct =
-                    (case.mean_ns as f64 - before.mean_ns as f64) / before.mean_ns as f64 * 100.0;
-                let flag = if delta_pct > threshold {
-                    regressed = true;
-                    "  REGRESSION"
-                } else {
-                    ""
-                };
+    let (deltas, regressed) = diff_cases(&old, &new, threshold);
+    for d in &deltas {
+        match (d.old_mean, d.new_mean) {
+            (Some(before), Some(after)) => {
+                let flag = if d.regressed { "  REGRESSION" } else { "" };
                 println!(
                     "{:<24} {:>10}ns {:>10}ns {:>+8.1}%{}",
-                    case.name, before.mean_ns, case.mean_ns, delta_pct, flag
+                    d.name,
+                    before,
+                    after,
+                    d.delta_pct.expect("both sides present"),
+                    flag
                 );
             }
-            None => println!(
-                "{:<24} {:>12} {:>10}ns      (new case)",
-                case.name, "—", case.mean_ns
-            ),
-        }
-    }
-    for case in &old.cases {
-        if new.case(&case.name).is_none() {
-            println!(
+            (None, Some(after)) => {
+                println!("{:<24} {:>12} {:>10}ns      (new case)", d.name, "—", after)
+            }
+            (Some(before), None) => println!(
                 "{:<24} {:>10}ns {:>12}      (case removed)",
-                case.name, case.mean_ns, "—"
-            );
+                d.name, before, "—"
+            ),
+            (None, None) => unreachable!("delta without either side"),
         }
     }
     if regressed {

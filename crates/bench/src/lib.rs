@@ -150,6 +150,75 @@ pub fn parse_bench_json(text: &str) -> Result<BenchReport, String> {
     })
 }
 
+/// One line of a [`diff_cases`] comparison.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CaseDelta {
+    /// Case name.
+    pub name: String,
+    /// Baseline mean, if the baseline has the case.
+    pub old_mean: Option<u128>,
+    /// Candidate mean, if the candidate has the case.
+    pub new_mean: Option<u128>,
+    /// Mean delta in percent (only when both sides have the case).
+    pub delta_pct: Option<f64>,
+    /// True when the case regressed beyond the threshold.
+    pub regressed: bool,
+}
+
+/// Compares a candidate report against a baseline: per-case mean deltas,
+/// flagging regressions beyond `threshold_pct`.
+///
+/// Cases present in only one report never fail the comparison — a baseline
+/// that *lacks* cases the candidate has (new benches, new sizes — e.g. a
+/// freshly added `BENCH_e10.json` case set) yields informational
+/// `old_mean: None` lines, and removed cases yield `new_mean: None` lines.
+/// Returns the deltas (candidate cases first, then removed baseline cases)
+/// and whether any shared case regressed.
+pub fn diff_cases(
+    old: &BenchReport,
+    new: &BenchReport,
+    threshold_pct: f64,
+) -> (Vec<CaseDelta>, bool) {
+    let mut deltas = Vec::new();
+    let mut regressed = false;
+    for case in &new.cases {
+        match old.case(&case.name) {
+            Some(before) => {
+                let delta_pct =
+                    (case.mean_ns as f64 - before.mean_ns as f64) / before.mean_ns as f64 * 100.0;
+                let is_regression = delta_pct > threshold_pct;
+                regressed |= is_regression;
+                deltas.push(CaseDelta {
+                    name: case.name.clone(),
+                    old_mean: Some(before.mean_ns),
+                    new_mean: Some(case.mean_ns),
+                    delta_pct: Some(delta_pct),
+                    regressed: is_regression,
+                });
+            }
+            None => deltas.push(CaseDelta {
+                name: case.name.clone(),
+                old_mean: None,
+                new_mean: Some(case.mean_ns),
+                delta_pct: None,
+                regressed: false,
+            }),
+        }
+    }
+    for case in &old.cases {
+        if new.case(&case.name).is_none() {
+            deltas.push(CaseDelta {
+                name: case.name.clone(),
+                old_mean: Some(case.mean_ns),
+                new_mean: None,
+                delta_pct: None,
+                regressed: false,
+            });
+        }
+    }
+    (deltas, regressed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +274,67 @@ mod tests {
         assert_eq!(parsed.cases, cases);
         assert_eq!(parsed.case("silent_t/n=7").unwrap().mean_ns, 8);
         assert!(parsed.case("missing").is_none());
+    }
+
+    fn case(name: &str, mean: u128) -> CaseStats {
+        CaseStats {
+            name: name.into(),
+            samples: 3,
+            min_ns: mean / 2,
+            mean_ns: mean,
+            max_ns: mean * 2,
+        }
+    }
+
+    fn report(cases: Vec<CaseStats>) -> BenchReport {
+        BenchReport {
+            bench: "x".into(),
+            seed: 1,
+            cases,
+        }
+    }
+
+    #[test]
+    fn diff_flags_only_threshold_regressions() {
+        let old = report(vec![case("a", 100), case("b", 100)]);
+        let new = report(vec![case("a", 110), case("b", 200)]);
+        let (deltas, regressed) = diff_cases(&old, &new, 25.0);
+        assert!(regressed);
+        assert!(!deltas[0].regressed, "+10% is within threshold");
+        assert!(deltas[1].regressed, "+100% is a regression");
+        assert!((deltas[1].delta_pct.unwrap() - 100.0).abs() < 1e-9);
+        // Improvements never regress.
+        let (_, ok) = diff_cases(&old, &report(vec![case("a", 10), case("b", 10)]), 25.0);
+        assert!(!ok);
+    }
+
+    #[test]
+    fn baseline_lacking_candidate_cases_never_fails() {
+        // The baseline predates the candidate's new cases entirely (e.g.
+        // the first PR that adds a BENCH_e10 case set).
+        let old = report(vec![case("a", 100)]);
+        let new = report(vec![case("a", 100), case("batch64/n=10", 999_999)]);
+        let (deltas, regressed) = diff_cases(&old, &new, 25.0);
+        assert!(!regressed, "new cases are informational");
+        let fresh = deltas.iter().find(|d| d.name == "batch64/n=10").unwrap();
+        assert_eq!(fresh.old_mean, None);
+        assert_eq!(fresh.delta_pct, None);
+        assert!(!fresh.regressed);
+        // Even an *empty* baseline is acceptable.
+        let (deltas, regressed) = diff_cases(&report(vec![]), &new, 25.0);
+        assert!(!regressed);
+        assert_eq!(deltas.len(), 2);
+    }
+
+    #[test]
+    fn removed_cases_are_reported_but_never_fail() {
+        let old = report(vec![case("a", 100), case("gone", 50)]);
+        let new = report(vec![case("a", 100)]);
+        let (deltas, regressed) = diff_cases(&old, &new, 25.0);
+        assert!(!regressed);
+        let removed = deltas.iter().find(|d| d.name == "gone").unwrap();
+        assert_eq!(removed.new_mean, None);
+        assert_eq!(removed.old_mean, Some(50));
     }
 
     #[test]

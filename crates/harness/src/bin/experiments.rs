@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (E1–E8).
+//! Regenerates every experiment table (E1–E10).
 //!
 //! ```text
 //! cargo run -p minsync-harness --release --bin experiments [-- --quick] [--csv DIR] [e1 e3 ...]
@@ -20,7 +20,9 @@ fn main() {
         .cloned();
     let selected: Vec<String> = args
         .iter()
-        .filter(|a| a.starts_with('e') && a.len() == 2)
+        .filter(|a| {
+            a.len() >= 2 && a.starts_with('e') && a[1..].chars().all(|c| c.is_ascii_digit())
+        })
         .cloned()
         .collect();
 
@@ -35,6 +37,7 @@ fn main() {
         ("e7", experiments::e7_baseline::run),
         ("e8", experiments::e8_timeouts::run),
         ("e9", experiments::e9_message_complexity::run),
+        ("e10", experiments::e10_smr::run),
     ];
 
     for (name, runner) in runners {

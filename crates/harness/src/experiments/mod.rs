@@ -1,4 +1,4 @@
-//! The experiment suite E1–E8 (see `EXPERIMENTS.md` for the paper-vs-
+//! The experiment suite E1–E10 (see `EXPERIMENTS.md` for the paper-vs-
 //! measured record).
 //!
 //! Every experiment is a pure function `run(quick) -> Table`; `quick = true`
@@ -7,6 +7,7 @@
 //! `EXPERIMENTS.md` (via the `experiments` binary) and the Criterion
 //! benches.
 
+pub mod e10_smr;
 pub mod e1_cb;
 pub mod e2_ac;
 pub mod e3_ea;
@@ -32,6 +33,7 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e7_baseline::run(quick),
         e8_timeouts::run(quick),
         e9_message_complexity::run(quick),
+        e10_smr::run(quick),
     ]
 }
 
@@ -60,7 +62,7 @@ mod tests {
     #[test]
     fn quick_suite_produces_all_tables() {
         let tables = run_all(true);
-        assert_eq!(tables.len(), 9);
+        assert_eq!(tables.len(), 10);
         for t in &tables {
             assert!(!t.rows().is_empty(), "{} produced no rows", t.title());
         }

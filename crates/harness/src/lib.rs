@@ -18,6 +18,7 @@
 //! | E7  | footnote 1: vs randomized (Ben-Or) | [`experiments::e7_baseline`] |
 //! | E8  | footnote 3: timeout policy & δ sensitivity | [`experiments::e8_timeouts`] |
 //! | E9  | implicit RB message costs (Θ(n²)/Θ(n³)) | [`experiments::e9_message_complexity`] |
+//! | E10 | SMR throughput/latency (batched replicated service) | [`experiments::e10_smr`] |
 //!
 //! The central entry point for programmatic use is [`ConsensusRunBuilder`]:
 //!

@@ -1,5 +1,6 @@
 //! State-machine replication on top of the paper's consensus: a pipeline of
-//! independent consensus instances, one per log slot.
+//! independent consensus instances, one per log slot, with commit
+//! acknowledgements, log garbage collection, and quorum-certified catch-up.
 //!
 //! This is the application the paper's introduction motivates — and the
 //! standard way a single-shot consensus object is consumed downstream. Each
@@ -7,23 +8,47 @@
 //! slot-stamping adapter:
 //!
 //! * slot `s + 1` starts locally once slot `s` commits (pipelined, not
-//!   lock-stepped: different replicas may be several slots apart);
+//!   lock-stepped: different replicas may be several slots apart), subject
+//!   to the flow-control window of [`SmrLimits`];
 //! * messages for slots a replica has not reached yet are buffered and
-//!   replayed on entry;
-//! * decided instances keep servicing reliable broadcast, so laggards
-//!   always catch up (RB-Termination-2 per slot).
+//!   replayed on entry — up to the caps of [`SmrLimits`], so a Byzantine
+//!   flooder cannot grow memory without bound (overflow is counted in
+//!   [`ReplicaNode::future_drops`]);
+//! * on commit a replica broadcasts [`SmrMsg::Ack`] — acks are
+//!   **cumulative** (one floor per peer, O(n) ack state; a lost ack is
+//!   repaired by any later one). Decided consensus instances are dropped
+//!   as soon as an `n − t` quorum acked past them; once **all** `n`
+//!   replicas acked a slot it is fully *retired* — its committed value and
+//!   bookkeeping are dropped too and traffic for it is refused
+//!   ([`ReplicaNode::retired_drops`]), announced via [`SmrEvent::Retired`].
+//!   On all-correct runs live state therefore stays flat indefinitely. A
+//!   replica that never acks (crashed, or Byzantine-silent) holds *value*
+//!   retirement back — `recent` values then grow one per slot (instances
+//!   and buffers stay bounded regardless) — which is inherent to "retire
+//!   only what no correct replica can still need";
+//! * laggards catch up in two ways: instances not yet past the quorum-ack
+//!   floor still service reliable broadcast (RB-Termination-2 per slot),
+//!   and committed replicas answer a laggard's slot traffic with
+//!   [`SmrMsg::Checkpoint`] — `t + 1` matching checkpoints carry at least
+//!   one correct sender, so the laggard may commit the certified value
+//!   directly even if its buffers dropped the original protocol traffic
+//!   (checkpoints double as acks from their sender).
 //!
 //! Proposals come from a [`ProposalSource`]: the application-supplied rule
-//! for what a replica proposes in each slot. **Feasibility caveat** — the
-//! paper's consensus is m-valued: across the *correct* replicas, each slot
-//! may see at most `⌊(n − t − 1)/t⌋` distinct proposals. Sources that draw
-//! from a small shared command pool (e.g. the per-client queues of
-//! [`TwoClientSource`]) satisfy this by construction.
+//! for what a replica proposes in each slot. Sources are *batching* by
+//! design: a value `V` may be a whole batch of client commands (see the
+//! `minsync-workload` crate), amortizing one consensus instance over many
+//! commands. **Feasibility caveat** — the paper's consensus is m-valued:
+//! across the *correct* replicas, each slot may see at most
+//! `⌊(n − t − 1)/t⌋` distinct proposals. Sources must derive their proposal
+//! deterministically from the commit stream (which [`ProposalSource`]'s
+//! contract makes natural), so that replicas sharing a command partition
+//! propose identical values.
 //!
 //! ```rust
 //! use minsync_net::{sim::SimBuilder, NetworkTopology};
-//! use minsync_smr::{collect_logs, ReplicaNode, SmrEvent, TwoClientSource};
-//! use minsync_types::SystemConfig;
+//! use minsync_smr::{collect_logs, committed_count, ReplicaNode, TwoClientSource};
+//! use minsync_types::{ProcessId, SystemConfig};
 //! use minsync_core::ConsensusConfig;
 //!
 //! # fn main() -> Result<(), minsync_types::ConfigError> {
@@ -35,7 +60,7 @@
 //! }
 //! let mut sim = builder.build();
 //! let report = sim.run_until(|outs| {
-//!     (0..4).all(|p| outs.iter().filter(|o| o.process.index() == p).count() >= 4)
+//!     (0..4).all(|p| committed_count(outs, ProcessId::new(p)) >= 4)
 //! });
 //! let logs = collect_logs(&report.outputs);
 //! let reference = logs.values().next().unwrap().clone();
@@ -47,15 +72,58 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 use minsync_core::{ConsensusConfig, ConsensusEvent, ConsensusNode, ProtocolMsg};
 use minsync_net::sim::OutputRecord;
 use minsync_net::{Effect, Env, Node, TimerId};
 use minsync_types::{ProcessId, Value};
 
-/// Consensus traffic stamped with its log slot (1-based).
-pub type SlotMsg<V> = (u64, ProtocolMsg<V>);
+/// Replica-to-replica traffic: slot-stamped consensus messages plus the GC
+/// and catch-up control plane.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SmrMsg<V> {
+    /// Consensus traffic for log slot `slot` (1-based).
+    Slot {
+        /// The slot the wrapped message belongs to.
+        slot: u64,
+        /// The wrapped consensus-protocol message.
+        msg: ProtocolMsg<V>,
+    },
+    /// "I committed every slot up to and including `slot`": broadcast by
+    /// every replica on commit. Acks are **cumulative** (commits are in
+    /// slot order), so receivers keep one floor per peer and any later ack
+    /// repairs earlier lost ones. Once the minimum floor over **all** `n`
+    /// replicas passes a slot (everyone committed — no correct process can
+    /// ever need its traffic again) the slot is retired.
+    Ack {
+        /// The highest committed slot.
+        slot: u64,
+    },
+    /// Catch-up state transfer: "slot `slot` decided `value`". Sent by a
+    /// committed replica when it sees slot traffic from a peer that has not
+    /// acked the slot. `t + 1` matching checkpoints contain at least one
+    /// correct sender, so the receiver may commit `value` directly.
+    Checkpoint {
+        /// The decided slot.
+        slot: u64,
+        /// Its decided value.
+        value: V,
+    },
+}
+
+impl<V> SmrMsg<V> {
+    /// Classifier for [`minsync_net::sim::SimBuilder::classify`]: the
+    /// wrapped protocol kind for slot traffic, `"SMR_ACK"` /
+    /// `"SMR_CKPT"` for the control plane.
+    pub fn classify(msg: &SmrMsg<V>) -> &'static str {
+        match msg {
+            SmrMsg::Slot { msg, .. } => msg.kind(),
+            SmrMsg::Ack { .. } => "SMR_ACK",
+            SmrMsg::Checkpoint { .. } => "SMR_CKPT",
+        }
+    }
+}
 
 /// Observable output of a replica.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -64,28 +132,66 @@ pub enum SmrEvent<V> {
     Committed {
         /// 1-based log slot.
         slot: u64,
-        /// The decided command.
+        /// The decided value (a whole batch of client commands under a
+        /// batching source).
         command: V,
     },
+    /// Garbage collection progressed: slots `1..=through` are retired at
+    /// this replica (instances, ack sets, and values dropped; traffic for
+    /// them refused).
+    Retired {
+        /// New retirement floor.
+        through: u64,
+    },
+}
+
+impl<V> SmrEvent<V> {
+    /// The committed `(slot, value)` if this is a commit event.
+    pub fn as_committed(&self) -> Option<(u64, &V)> {
+        match self {
+            SmrEvent::Committed { slot, command } => Some((*slot, command)),
+            SmrEvent::Retired { .. } => None,
+        }
+    }
 }
 
 /// Application rule deciding what a replica proposes for each slot.
 ///
-/// `log` is the replica's committed prefix (slots `1..=log.len()`).
+/// The contract is commit-driven, which is what makes **batching** sources
+/// natural and lets the replica garbage-collect its log:
+///
+/// * [`ProposalSource::on_commit`] is called exactly once per slot, in slot
+///   order, with the decided value — the source folds the commit stream
+///   into whatever state it needs (cursors into command queues, per-client
+///   sequence numbers, …). The replica does **not** retain the committed
+///   prefix for the source, so sources cannot re-read old slots.
+/// * [`ProposalSource::propose`] is called exactly once per slot, in slot
+///   order, after every earlier slot's `on_commit`. The returned value may
+///   be a batch of many pending commands.
+///
 /// Implementations must keep the per-slot proposal diversity across correct
-/// replicas within the m-valued feasibility bound (see crate docs).
+/// replicas within the m-valued feasibility bound (see crate docs): a
+/// source's proposal should be a deterministic function of the commit
+/// stream shared by every replica serving the same command partition.
 pub trait ProposalSource<V>: Send {
-    /// The proposal for `slot` (1-based), given the committed prefix.
-    fn propose(&mut self, slot: u64, log: &[V]) -> V;
+    /// The proposal for `slot` (1-based).
+    fn propose(&mut self, slot: u64) -> V;
+
+    /// Notification that `slot` committed `value` (called in slot order,
+    /// before any later [`ProposalSource::propose`]).
+    fn on_commit(&mut self, slot: u64, value: &V);
 }
 
+/// Stateless closures are proposal sources that ignore the commit stream.
 impl<V, F> ProposalSource<V> for F
 where
-    F: FnMut(u64, &[V]) -> V + Send,
+    F: FnMut(u64) -> V + Send,
 {
-    fn propose(&mut self, slot: u64, log: &[V]) -> V {
-        self(slot, log)
+    fn propose(&mut self, slot: u64) -> V {
+        self(slot)
     }
+
+    fn on_commit(&mut self, _slot: u64, _value: &V) {}
 }
 
 /// A canonical feasibility-safe source: two client command streams
@@ -94,6 +200,7 @@ where
 #[derive(Clone, Debug)]
 pub struct TwoClientSource {
     preferred_client: u64,
+    next_seq: u64,
 }
 
 impl TwoClientSource {
@@ -107,7 +214,10 @@ impl TwoClientSource {
             preferred_client == 1 || preferred_client == 2,
             "two-client source serves clients 1 and 2"
         );
-        TwoClientSource { preferred_client }
+        TwoClientSource {
+            preferred_client,
+            next_seq: 0,
+        }
     }
 
     /// Encodes a command.
@@ -122,18 +232,69 @@ impl TwoClientSource {
 }
 
 impl ProposalSource<u64> for TwoClientSource {
-    fn propose(&mut self, _slot: u64, log: &[u64]) -> u64 {
-        // Next unused sequence number of the preferred client = how many of
-        // its commands committed already.
-        let seq = log
-            .iter()
-            .filter(|c| Self::client_of(**c) == self.preferred_client)
-            .count() as u64;
-        Self::command(self.preferred_client, seq)
+    fn propose(&mut self, _slot: u64) -> u64 {
+        Self::command(self.preferred_client, self.next_seq)
+    }
+
+    fn on_commit(&mut self, _slot: u64, value: &u64) {
+        // A commit of the preferred client's pending command advances its
+        // stream; other clients' commits don't.
+        if Self::client_of(*value) == self.preferred_client {
+            self.next_seq += 1;
+        }
     }
 }
 
-/// One replica: a pipeline of consensus instances, one per log slot.
+/// Resource bounds of one [`ReplicaNode`]: how far the pipeline may run
+/// ahead and how much future-slot traffic may be buffered.
+///
+/// The defaults are generous enough that honest traffic is never dropped in
+/// practice; shrink them in tests to exercise the drop paths. Even when a
+/// bound is hit and honest traffic is discarded, liveness is preserved by
+/// the [`SmrMsg::Checkpoint`] catch-up path.
+#[derive(Clone, Copy, Debug)]
+pub struct SmrLimits {
+    /// Flow control: a replica does not start slot `s` until
+    /// `s ≤ quorum_floor + window`, where `quorum_floor` is the highest
+    /// in-order slot acked by `n − t` replicas. Bounds how far a fast
+    /// replica can outrun the slowest quorum (and hence how much the
+    /// others must buffer for it).
+    pub window: u64,
+    /// Messages for slots beyond `committed + 1 + horizon` are dropped —
+    /// a flooder cannot reserve buffer space arbitrarily far in the
+    /// future. Should comfortably exceed `window`.
+    pub future_horizon: u64,
+    /// Total cap on buffered future-slot messages across all slots.
+    pub max_buffered: usize,
+}
+
+impl Default for SmrLimits {
+    fn default() -> Self {
+        SmrLimits {
+            window: 64,
+            future_horizon: 128,
+            max_buffered: 65_536,
+        }
+    }
+}
+
+/// A set of process indices as a bitmap (`n ≤ 128` is asserted at replica
+/// construction; the simulator tops out well below that).
+#[derive(Clone, Copy, Default, Debug)]
+struct ProcSet(u128);
+
+impl ProcSet {
+    /// Inserts `i`; true if it was absent.
+    fn insert(&mut self, i: usize) -> bool {
+        let bit = 1u128 << i;
+        let fresh = self.0 & bit == 0;
+        self.0 |= bit;
+        fresh
+    }
+}
+
+/// One replica: a pipeline of consensus instances, one per log slot, plus
+/// the ack/retire/checkpoint control plane described in the crate docs.
 ///
 /// Slot instances run on a shared *child environment*: the replica drains
 /// each instance's effect stream, stamps outgoing messages with the slot,
@@ -143,10 +304,49 @@ pub struct ReplicaNode<V, P> {
     cfg: ConsensusConfig,
     source: P,
     target_slots: u64,
+    limits: SmrLimits,
+    /// Highest started slot (slots start in order; the active, undecided
+    /// instance is always slot `committed + 1` when `started > committed`).
+    started: u64,
+    /// Slots `1..=committed` are committed (commits are in slot order).
+    committed: u64,
+    /// Slots `1..=low_water` are retired (fully garbage-collected).
+    low_water: u64,
+    /// Highest slot acked by an `n − t` quorum — the `(n − t)`-th largest
+    /// ack floor (flow control, and the instance-drop threshold).
+    quorum_floor: u64,
+    /// Live instances: the active slot plus decided slots not yet past the
+    /// quorum-ack floor. Decided instances keep servicing reliable
+    /// broadcast until an `n − t` quorum acked them; beyond that laggards
+    /// are caught up via checkpoints, so the instances are dropped.
     instances: BTreeMap<u64, ConsensusNode<V>>,
-    started: BTreeSet<u64>,
-    log: BTreeMap<u64, V>,
+    /// Committed-but-unretired values, kept for checkpoint replies.
+    recent: BTreeMap<u64, V>,
+    /// Buffered messages for not-yet-started slots.
     pending: BTreeMap<u64, Vec<(ProcessId, ProtocolMsg<V>)>>,
+    /// Total buffered message count (the `max_buffered` gauge).
+    buffered: usize,
+    /// Per-peer **cumulative** ack floors: `ack_floors[p] = f` means `p`
+    /// announced it committed every slot `≤ f`. O(n) total ack state, and
+    /// a lost ack is repaired by any later one.
+    ack_floors: Vec<u64>,
+    /// Decided instances for slots `≤ min(quorum_floor, committed)` are
+    /// dropped (laggards catch up via checkpoints); this floor tracks how
+    /// far that has progressed.
+    instance_floor: u64,
+    /// Scratch buffer for the quorum-floor order statistic (no per-ack
+    /// allocation).
+    floor_scratch: Vec<u64>,
+    /// Checkpoint-reply rate limit: peers already served, per slot.
+    ckpt_sent: BTreeMap<u64, ProcSet>,
+    /// Checkpoint voting for slot `committed + 1`: senders counted once.
+    ckpt_seen: ProcSet,
+    /// Vote tally per claimed value for slot `committed + 1`.
+    ckpt_votes: Vec<(V, usize)>,
+    /// Future-slot traffic dropped by the horizon/buffer caps.
+    future_drops: u64,
+    /// Traffic for retired slots refused.
+    retired_drops: u64,
     timer_slots: BTreeMap<TimerId, u64>,
     /// Child environment all slot instances run on (created lazily on
     /// first drive; seed irrelevant — slot instances are deterministic and
@@ -155,51 +355,110 @@ pub struct ReplicaNode<V, P> {
 }
 
 impl<V: Value, P: ProposalSource<V>> ReplicaNode<V, P> {
-    /// Creates a replica that fills `target_slots` log slots.
+    /// Creates a replica that fills `target_slots` log slots, with default
+    /// [`SmrLimits`].
     ///
     /// # Panics
     ///
-    /// Panics if `target_slots == 0`.
+    /// Panics if `target_slots == 0` or `n > 128`.
     pub fn new(cfg: ConsensusConfig, source: P, target_slots: u64) -> Self {
         assert!(target_slots > 0, "need at least one slot");
+        assert!(
+            cfg.system.n() <= 128,
+            "checkpoint bitmaps hold at most 128 processes"
+        );
+        let n = cfg.system.n();
         ReplicaNode {
             cfg,
             source,
             target_slots,
+            limits: SmrLimits::default(),
+            started: 0,
+            committed: 0,
+            low_water: 0,
+            quorum_floor: 0,
             instances: BTreeMap::new(),
-            started: BTreeSet::new(),
-            log: BTreeMap::new(),
+            recent: BTreeMap::new(),
             pending: BTreeMap::new(),
+            buffered: 0,
+            ack_floors: vec![0; n],
+            instance_floor: 0,
+            floor_scratch: Vec::with_capacity(n),
+            ckpt_sent: BTreeMap::new(),
+            ckpt_seen: ProcSet::default(),
+            ckpt_votes: Vec::new(),
+            future_drops: 0,
+            retired_drops: 0,
             timer_slots: BTreeMap::new(),
             slot_env: None,
         }
     }
 
-    /// The committed prefix as a dense vector (slots `1..=k` for the
-    /// longest committed prefix `k`).
-    pub fn committed_prefix(&self) -> Vec<V> {
-        let mut out = Vec::new();
-        for slot in 1.. {
-            match self.log.get(&slot) {
-                Some(v) => out.push(v.clone()),
-                None => break,
-            }
-        }
-        out
+    /// Overrides the resource bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `max_buffered == 0`.
+    pub fn with_limits(mut self, limits: SmrLimits) -> Self {
+        assert!(limits.window > 0, "a zero window never starts slot 1");
+        assert!(limits.max_buffered > 0, "need some buffer space");
+        self.limits = limits;
+        self
     }
 
-    fn start_slot(&mut self, slot: u64, env: &mut Env<SlotMsg<V>, SmrEvent<V>>) {
-        if self.started.contains(&slot) || slot > self.target_slots {
-            return;
-        }
-        self.started.insert(slot);
-        let prefix = self.committed_prefix();
-        let proposal = self.source.propose(slot, &prefix);
-        let node = ConsensusNode::new(self.cfg, proposal).expect("config validated");
-        self.instances.insert(slot, node);
-        self.drive(slot, env, |node, ienv| node.on_start(ienv));
-        for (from, msg) in self.pending.remove(&slot).unwrap_or_default() {
-            self.drive(slot, env, |node, ienv| node.on_message(from, msg, ienv));
+    /// Slots committed so far (commits are in slot order, so this is the
+    /// committed prefix length).
+    pub fn committed_count(&self) -> u64 {
+        self.committed
+    }
+
+    /// Retirement floor: slots `1..=low_water` are garbage-collected.
+    pub fn low_water(&self) -> u64 {
+        self.low_water
+    }
+
+    /// Live consensus instances held right now (the active slot plus
+    /// decided slots not yet past the quorum-ack floor).
+    pub fn live_instances(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Highest slot acked by an `n − t` quorum (the flow-control floor).
+    pub fn quorum_floor(&self) -> u64 {
+        self.quorum_floor
+    }
+
+    /// Future-slot messages currently buffered.
+    pub fn buffered_len(&self) -> usize {
+        self.buffered
+    }
+
+    /// Future-slot messages dropped by the horizon/buffer caps.
+    pub fn future_drops(&self) -> u64 {
+        self.future_drops
+    }
+
+    /// Messages refused because their slot was already retired.
+    pub fn retired_drops(&self) -> u64 {
+        self.retired_drops
+    }
+
+    /// Starts every slot the pipeline and flow-control window allow.
+    fn try_start(&mut self, env: &mut Env<SmrMsg<V>, SmrEvent<V>>) {
+        while self.started < self.target_slots
+            && self.started == self.committed
+            && self.started < self.quorum_floor + self.limits.window
+        {
+            let slot = self.started + 1;
+            self.started = slot;
+            let proposal = self.source.propose(slot);
+            let node = ConsensusNode::new(self.cfg, proposal).expect("config validated");
+            self.instances.insert(slot, node);
+            self.drive(slot, env, |node, ienv| node.on_start(ienv));
+            for (from, msg) in self.pending.remove(&slot).unwrap_or_default() {
+                self.buffered -= 1;
+                self.drive(slot, env, |node, ienv| node.on_message(from, msg, ienv));
+            }
         }
     }
 
@@ -211,7 +470,7 @@ impl<V: Value, P: ProposalSource<V>> ReplicaNode<V, P> {
     fn drive(
         &mut self,
         slot: u64,
-        env: &mut Env<SlotMsg<V>, SmrEvent<V>>,
+        env: &mut Env<SmrMsg<V>, SmrEvent<V>>,
         f: impl FnOnce(&mut ConsensusNode<V>, &mut Env<ProtocolMsg<V>, ConsensusEvent<V>>),
     ) {
         let Some(node) = self.instances.get_mut(&slot) else {
@@ -225,13 +484,16 @@ impl<V: Value, P: ProposalSource<V>> ReplicaNode<V, P> {
         let mut events = Vec::new();
         for effect in ienv.drain() {
             match effect {
-                Effect::Send { to, msg } => env.send(to, (slot, msg)),
-                Effect::Broadcast { msg } => env.broadcast((slot, msg)),
+                Effect::Send { to, msg } => env.send(to, SmrMsg::Slot { slot, msg }),
+                Effect::Broadcast { msg } => env.broadcast(SmrMsg::Slot { slot, msg }),
                 Effect::SetTimer { id, delay } => {
                     self.timer_slots.insert(id, slot);
                     env.push(Effect::SetTimer { id, delay });
                 }
-                Effect::CancelTimer { id } => env.push(Effect::CancelTimer { id }),
+                Effect::CancelTimer { id } => {
+                    self.timer_slots.remove(&id);
+                    env.push(Effect::CancelTimer { id });
+                }
                 Effect::Output(event) => events.push(event),
                 Effect::Halt => {}
             }
@@ -243,13 +505,147 @@ impl<V: Value, P: ProposalSource<V>> ReplicaNode<V, P> {
         }
     }
 
-    fn commit(&mut self, slot: u64, cmd: V, env: &mut Env<SlotMsg<V>, SmrEvent<V>>) {
-        if self.log.contains_key(&slot) {
+    /// Commits `slot` (in order only — duplicates and out-of-order calls
+    /// are ignored): notifies the source, announces the commit, broadcasts
+    /// the GC ack, and advances the pipeline.
+    fn commit(&mut self, slot: u64, value: V, env: &mut Env<SmrMsg<V>, SmrEvent<V>>) {
+        if slot != self.committed + 1 {
             return;
         }
-        self.log.insert(slot, cmd.clone());
-        env.output(SmrEvent::Committed { slot, command: cmd });
-        self.start_slot(slot + 1, env);
+        self.committed = slot;
+        self.ckpt_seen = ProcSet::default();
+        self.ckpt_votes.clear();
+        self.source.on_commit(slot, &value);
+        env.output(SmrEvent::Committed {
+            slot,
+            command: value.clone(),
+        });
+        self.recent.insert(slot, value);
+        env.broadcast(SmrMsg::Ack { slot });
+        self.note_ack(slot, env.me());
+        self.try_retire(env);
+        self.try_start(env);
+    }
+
+    /// Raises one peer's cumulative ack floor and re-derives the quorum
+    /// floor (the `(n − t)`-th largest floor), then drops instances the
+    /// quorum has moved past.
+    fn note_ack(&mut self, slot: u64, from: ProcessId) {
+        let floor = &mut self.ack_floors[from.index()];
+        if slot <= *floor {
+            return; // stale: acks are cumulative
+        }
+        *floor = slot;
+        self.floor_scratch.clear();
+        self.floor_scratch.extend_from_slice(&self.ack_floors);
+        let k = self.cfg.system.quorum() - 1;
+        let (_, kth, _) = self
+            .floor_scratch
+            .select_nth_unstable_by(k, |a, b| b.cmp(a));
+        self.quorum_floor = *kth;
+        // Decided instances behind the quorum floor are no longer needed
+        // for catch-up (committed peers answer stragglers with
+        // checkpoints), so their memory is reclaimed even while slower or
+        // faulty replicas hold full retirement back.
+        let settled = self.quorum_floor.min(self.committed);
+        while self.instance_floor < settled {
+            self.instance_floor += 1;
+            self.instances.remove(&self.instance_floor);
+        }
+    }
+
+    /// Retires every slot acked by **all** replicas (the minimum ack
+    /// floor), dropping its remaining state — value, checkpoint-reply
+    /// bookkeeping, and instance if still present. Only then is traffic
+    /// for the slot refused: no correct replica can ever need it again.
+    fn try_retire(&mut self, env: &mut Env<SmrMsg<V>, SmrEvent<V>>) {
+        let all_floor = self.ack_floors.iter().copied().min().unwrap_or(0);
+        let new_floor = all_floor.min(self.committed);
+        if new_floor <= self.low_water {
+            return;
+        }
+        for slot in self.low_water + 1..=new_floor {
+            self.instances.remove(&slot);
+            self.recent.remove(&slot);
+            self.ckpt_sent.remove(&slot);
+        }
+        self.low_water = new_floor;
+        env.output(SmrEvent::Retired { through: new_floor });
+    }
+
+    /// Answers a laggard's slot traffic with the committed value — once per
+    /// peer per slot, and only for peers whose ack floor shows they have
+    /// not committed the slot.
+    fn checkpoint_reply(
+        &mut self,
+        slot: u64,
+        to: ProcessId,
+        env: &mut Env<SmrMsg<V>, SmrEvent<V>>,
+    ) {
+        if self.ack_floors[to.index()] >= slot {
+            return; // the peer already committed this slot
+        }
+        let Some(value) = self.recent.get(&slot) else {
+            return;
+        };
+        if !self.ckpt_sent.entry(slot).or_default().insert(to.index()) {
+            return; // already served
+        }
+        env.send(
+            to,
+            SmrMsg::Checkpoint {
+                slot,
+                value: value.clone(),
+            },
+        );
+    }
+
+    /// Counts a checkpoint vote for slot `committed + 1`; with `t + 1`
+    /// matching votes (one of them necessarily correct) the certified value
+    /// is committed directly — the laggard catch-up path.
+    fn on_checkpoint(
+        &mut self,
+        from: ProcessId,
+        slot: u64,
+        value: V,
+        env: &mut Env<SmrMsg<V>, SmrEvent<V>>,
+    ) {
+        if slot == 0 || slot > self.target_slots {
+            return;
+        }
+        // A correct sender only checkpoints slots it committed, so the
+        // message doubles as a cumulative ack — this also repairs acks a
+        // far-behind replica dropped before catching up.
+        if slot > self.ack_floors[from.index()] {
+            self.note_ack(slot, from);
+            self.try_retire(env);
+            self.try_start(env);
+        }
+        if slot != self.committed + 1 {
+            return; // stale, or unsolicited for a slot we cannot use yet
+        }
+        if !self.ckpt_seen.insert(from.index()) {
+            return; // one vote per sender
+        }
+        let votes = match self.ckpt_votes.iter_mut().find(|(v, _)| *v == value) {
+            Some((_, count)) => {
+                *count += 1;
+                *count
+            }
+            None => {
+                self.ckpt_votes.push((value.clone(), 1));
+                1
+            }
+        };
+        if votes >= self.cfg.system.plurality() {
+            // Drop the local instance (its protocol run is moot) and any
+            // buffered traffic for the slot, then adopt the decision.
+            self.instances.remove(&slot);
+            if let Some(msgs) = self.pending.remove(&slot) {
+                self.buffered -= msgs.len();
+            }
+            self.commit(slot, value, env);
+        }
     }
 }
 
@@ -257,38 +653,76 @@ impl<V: Value, P: ProposalSource<V> + core::fmt::Debug> core::fmt::Debug for Rep
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("ReplicaNode")
             .field("source", &self.source)
-            .field("committed", &self.log.len())
+            .field("committed", &self.committed)
+            .field("low_water", &self.low_water)
+            .field("buffered", &self.buffered)
             .finish()
     }
 }
 
 impl<V: Value, P: ProposalSource<V>> Node for ReplicaNode<V, P> {
-    type Msg = SlotMsg<V>;
+    type Msg = SmrMsg<V>;
     type Output = SmrEvent<V>;
 
-    fn on_start(&mut self, env: &mut Env<SlotMsg<V>, SmrEvent<V>>) {
-        self.start_slot(1, env);
+    fn on_start(&mut self, env: &mut Env<SmrMsg<V>, SmrEvent<V>>) {
+        self.try_start(env);
     }
 
     fn on_message(
         &mut self,
         from: ProcessId,
-        msg: SlotMsg<V>,
-        env: &mut Env<SlotMsg<V>, SmrEvent<V>>,
+        msg: SmrMsg<V>,
+        env: &mut Env<SmrMsg<V>, SmrEvent<V>>,
     ) {
-        let (slot, inner) = msg;
-        if slot == 0 || slot > self.target_slots {
-            return; // out-of-range slot: Byzantine garbage
-        }
-        if self.started.contains(&slot) {
-            self.drive(slot, env, |node, ienv| node.on_message(from, inner, ienv));
-        } else {
-            // Another replica is ahead: buffer until we start the slot.
-            self.pending.entry(slot).or_default().push((from, inner));
+        match msg {
+            SmrMsg::Slot { slot, msg } => {
+                if slot == 0 || slot > self.target_slots {
+                    return; // out-of-range slot: Byzantine garbage
+                }
+                if slot <= self.low_water {
+                    self.retired_drops += 1;
+                    return;
+                }
+                if self.instances.contains_key(&slot) {
+                    self.drive(slot, env, |node, ienv| node.on_message(from, msg, ienv));
+                } else if slot <= self.committed {
+                    // Committed here but the sender is still working on it:
+                    // hand it the certified decision instead.
+                    self.checkpoint_reply(slot, from, env);
+                } else if slot > self.started {
+                    // A replica ahead of us (or a flooder): buffer within
+                    // the caps, drop beyond them.
+                    if slot > self.committed + 1 + self.limits.future_horizon
+                        || self.buffered >= self.limits.max_buffered
+                    {
+                        self.future_drops += 1;
+                    } else {
+                        self.buffered += 1;
+                        self.pending.entry(slot).or_default().push((from, msg));
+                    }
+                }
+                // Started slots whose instance is gone were checkpoint-
+                // committed; their late traffic needs no reply until we
+                // commit them (handled by the `slot <= committed` arm).
+            }
+            SmrMsg::Ack { slot } => {
+                // Acks are cumulative (a peer acks its whole committed
+                // prefix), so one floor per peer is the entire ack state —
+                // no horizon cap needed, and stale acks are free to ignore.
+                if slot == 0 || slot > self.target_slots || slot <= self.ack_floors[from.index()] {
+                    return;
+                }
+                self.note_ack(slot, from);
+                self.try_retire(env);
+                self.try_start(env);
+            }
+            SmrMsg::Checkpoint { slot, value } => {
+                self.on_checkpoint(from, slot, value, env);
+            }
         }
     }
 
-    fn on_timer(&mut self, timer: TimerId, env: &mut Env<SlotMsg<V>, SmrEvent<V>>) {
+    fn on_timer(&mut self, timer: TimerId, env: &mut Env<SmrMsg<V>, SmrEvent<V>>) {
         if let Some(slot) = self.timer_slots.remove(&timer) {
             self.drive(slot, env, |node, ienv| node.on_timer(timer, ienv));
         }
@@ -299,16 +733,33 @@ impl<V: Value, P: ProposalSource<V>> Node for ReplicaNode<V, P> {
     }
 }
 
-/// Reconstructs each replica's committed log from simulation outputs.
+/// Commits observed so far at process `p` — the standard stop-predicate
+/// helper for replicated-log runs (each [`SmrEvent::Committed`] is one
+/// slot; [`SmrEvent::Retired`] markers are not counted).
+pub fn committed_count<V: Value>(outputs: &[OutputRecord<SmrEvent<V>>], p: ProcessId) -> u64 {
+    outputs
+        .iter()
+        .filter(|o| o.process == p)
+        .filter(|o| matches!(o.event, SmrEvent::Committed { .. }))
+        .count() as u64
+}
+
+/// Reconstructs each replica's committed log from simulation outputs
+/// ([`SmrEvent::Retired`] markers are skipped — retirement drops *replica*
+/// state, not the observed history).
+///
+/// Under a batching source each log entry is a whole batch; flatten with
+/// the batch type's accessors to recover the client-command sequence.
 pub fn collect_logs<V: Value>(
     outputs: &[OutputRecord<SmrEvent<V>>],
 ) -> BTreeMap<usize, BTreeMap<u64, V>> {
     let mut logs: BTreeMap<usize, BTreeMap<u64, V>> = BTreeMap::new();
     for rec in outputs {
-        let SmrEvent::Committed { slot, command } = &rec.event;
-        logs.entry(rec.process.index())
-            .or_default()
-            .insert(*slot, command.clone());
+        if let SmrEvent::Committed { slot, command } = &rec.event {
+            logs.entry(rec.process.index())
+                .or_default()
+                .insert(*slot, command.clone());
+        }
     }
     logs
 }
@@ -316,15 +767,31 @@ pub fn collect_logs<V: Value>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use minsync_types::{Round, SystemConfig};
+
+    fn cfg4() -> ConsensusConfig {
+        ConsensusConfig::paper(SystemConfig::new(4, 1).unwrap())
+    }
+
+    /// A syntactically valid protocol message for drop-path tests (its
+    /// content never reaches an instance in those tests).
+    fn garbage_msg() -> ProtocolMsg<u64> {
+        ProtocolMsg::EaProp2 {
+            round: Round::FIRST,
+            value: 0,
+        }
+    }
 
     #[test]
-    fn two_client_source_advances_with_the_log() {
+    fn two_client_source_advances_with_the_commit_stream() {
         let mut s = TwoClientSource::new(1);
-        assert_eq!(s.propose(1, &[]), 1000);
+        assert_eq!(s.propose(1), 1000);
         // One of client 1's commands committed → next seq.
-        assert_eq!(s.propose(2, &[1000]), 1001);
+        s.on_commit(1, &1000);
+        assert_eq!(s.propose(2), 1001);
         // Client 2's commits don't advance client 1's stream.
-        assert_eq!(s.propose(3, &[1000, 2000]), 1001);
+        s.on_commit(2, &2000);
+        assert_eq!(s.propose(3), 1001);
     }
 
     #[test]
@@ -335,18 +802,228 @@ mod tests {
 
     #[test]
     fn closures_are_proposal_sources() {
-        let mut f = |slot: u64, _log: &[u64]| slot * 10;
-        assert_eq!(ProposalSource::propose(&mut f, 3, &[]), 30);
+        let mut f = |slot: u64| slot * 10;
+        assert_eq!(ProposalSource::propose(&mut f, 3), 30);
     }
 
     #[test]
-    fn committed_prefix_is_dense() {
-        let cfg = ConsensusConfig::paper(minsync_types::SystemConfig::new(4, 1).unwrap());
+    fn proc_set_deduplicates_members() {
+        let mut s = ProcSet::default();
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(0));
+        assert!(!s.insert(0));
+    }
+
+    #[test]
+    fn future_traffic_beyond_horizon_is_dropped_and_counted() {
         let mut r: ReplicaNode<u64, TwoClientSource> =
-            ReplicaNode::new(cfg, TwoClientSource::new(1), 5);
-        r.log.insert(1, 10);
-        r.log.insert(2, 20);
-        r.log.insert(4, 40); // gap at 3
-        assert_eq!(r.committed_prefix(), vec![10, 20]);
+            ReplicaNode::new(cfg4(), TwoClientSource::new(1), 1000).with_limits(SmrLimits {
+                window: 4,
+                future_horizon: 8,
+                max_buffered: 16,
+            });
+        let mut env = Env::new(4, 0);
+        env.prepare(ProcessId::new(0), minsync_net::VirtualTime::ZERO);
+        r.on_start(&mut env);
+        let _ = env.take_buffer();
+        // Messages far beyond the horizon are refused outright.
+        for i in 0..100u64 {
+            r.on_message(
+                ProcessId::new(3),
+                SmrMsg::Slot {
+                    slot: 500 + i,
+                    msg: garbage_msg(),
+                },
+                &mut env,
+            );
+        }
+        assert_eq!(r.buffered_len(), 0);
+        assert_eq!(r.future_drops(), 100);
+    }
+
+    #[test]
+    fn buffer_cap_bounds_in_horizon_flood() {
+        let mut r: ReplicaNode<u64, TwoClientSource> =
+            ReplicaNode::new(cfg4(), TwoClientSource::new(1), 1000).with_limits(SmrLimits {
+                window: 64,
+                future_horizon: 64,
+                max_buffered: 16,
+            });
+        let mut env = Env::new(4, 0);
+        env.prepare(ProcessId::new(0), minsync_net::VirtualTime::ZERO);
+        r.on_start(&mut env);
+        let _ = env.take_buffer();
+        // A flood of distinct in-horizon future slots: the total cap holds.
+        for i in 0..200u64 {
+            r.on_message(
+                ProcessId::new(3),
+                SmrMsg::Slot {
+                    slot: 3 + (i % 60),
+                    msg: garbage_msg(),
+                },
+                &mut env,
+            );
+        }
+        assert_eq!(r.buffered_len(), 16);
+        assert_eq!(r.future_drops(), 200 - 16);
+    }
+
+    #[test]
+    fn retired_traffic_is_refused() {
+        let mut r: ReplicaNode<u64, TwoClientSource> =
+            ReplicaNode::new(cfg4(), TwoClientSource::new(1), 10);
+        // Force the floor up without running a full execution.
+        r.low_water = 3;
+        let mut env = Env::new(4, 0);
+        env.prepare(ProcessId::new(0), minsync_net::VirtualTime::ZERO);
+        r.on_message(
+            ProcessId::new(2),
+            SmrMsg::Slot {
+                slot: 2,
+                msg: garbage_msg(),
+            },
+            &mut env,
+        );
+        assert_eq!(r.retired_drops(), 1);
+    }
+
+    #[test]
+    fn checkpoint_plurality_commits_directly() {
+        let mut r: ReplicaNode<u64, TwoClientSource> =
+            ReplicaNode::new(cfg4(), TwoClientSource::new(1), 10);
+        let mut env = Env::new(4, 0);
+        env.prepare(ProcessId::new(0), minsync_net::VirtualTime::ZERO);
+        r.on_start(&mut env);
+        let _ = env.take_buffer();
+        // One vote is not enough; a second distinct sender is (t + 1 = 2).
+        r.on_message(
+            ProcessId::new(1),
+            SmrMsg::Checkpoint { slot: 1, value: 77 },
+            &mut env,
+        );
+        assert_eq!(r.committed_count(), 0);
+        // Repeated votes from the same sender don't count.
+        r.on_message(
+            ProcessId::new(1),
+            SmrMsg::Checkpoint { slot: 1, value: 77 },
+            &mut env,
+        );
+        assert_eq!(r.committed_count(), 0);
+        r.on_message(
+            ProcessId::new(2),
+            SmrMsg::Checkpoint { slot: 1, value: 77 },
+            &mut env,
+        );
+        assert_eq!(r.committed_count(), 1);
+        let committed: Vec<_> = env
+            .drain()
+            .filter_map(|e| match e {
+                Effect::Output(SmrEvent::Committed { slot, command }) => Some((slot, command)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(committed, [(1, 77)]);
+    }
+
+    #[test]
+    fn conflicting_checkpoint_votes_do_not_certify() {
+        let mut r: ReplicaNode<u64, TwoClientSource> =
+            ReplicaNode::new(cfg4(), TwoClientSource::new(1), 10);
+        let mut env = Env::new(4, 0);
+        env.prepare(ProcessId::new(0), minsync_net::VirtualTime::ZERO);
+        r.on_start(&mut env);
+        let _ = env.take_buffer();
+        r.on_message(
+            ProcessId::new(1),
+            SmrMsg::Checkpoint { slot: 1, value: 7 },
+            &mut env,
+        );
+        r.on_message(
+            ProcessId::new(2),
+            SmrMsg::Checkpoint { slot: 1, value: 8 },
+            &mut env,
+        );
+        assert_eq!(r.committed_count(), 0, "split votes must not certify");
+    }
+
+    #[test]
+    fn cumulative_acks_retire_everything_with_one_ack_per_peer() {
+        let mut r: ReplicaNode<u64, TwoClientSource> =
+            ReplicaNode::new(cfg4(), TwoClientSource::new(1), 10);
+        let mut env = Env::new(4, 0);
+        env.prepare(ProcessId::new(0), minsync_net::VirtualTime::ZERO);
+        r.on_start(&mut env);
+        // Commit slots 1 and 2 via checkpoint certification (t + 1 = 2
+        // matching votes each). The checkpoints double as acks from their
+        // senders.
+        for slot in 1..=2u64 {
+            for peer in [1, 2] {
+                r.on_message(
+                    ProcessId::new(peer),
+                    SmrMsg::Checkpoint {
+                        slot,
+                        value: 100 + slot,
+                    },
+                    &mut env,
+                );
+            }
+        }
+        assert_eq!(r.committed_count(), 2);
+        // Floors: me = 2 (own commits), p1 = p2 = 2 (implicit), p3 = 0 —
+        // a 3-of-4 quorum reaches slot 2, full retirement does not.
+        assert_eq!(r.quorum_floor(), 2);
+        assert_eq!(r.low_water(), 0);
+        // The instances behind the quorum floor are gone; only the active
+        // slot (3) remains.
+        assert_eq!(r.live_instances(), 1);
+        let _ = env.take_buffer();
+        // ONE cumulative ack from the last peer retires both slots: the
+        // floor covers its whole committed prefix, so earlier per-slot
+        // acks lost to any cause are irrelevant.
+        r.on_message(ProcessId::new(3), SmrMsg::Ack { slot: 2 }, &mut env);
+        assert_eq!(r.low_water(), 2);
+        let retired: Vec<_> = env
+            .drain()
+            .filter_map(|e| match e {
+                Effect::Output(SmrEvent::Retired { through }) => Some(through),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(retired, [2]);
+    }
+
+    #[test]
+    fn stale_and_out_of_range_acks_are_ignored() {
+        let mut r: ReplicaNode<u64, TwoClientSource> =
+            ReplicaNode::new(cfg4(), TwoClientSource::new(1), 10);
+        let mut env = Env::new(4, 0);
+        env.prepare(ProcessId::new(0), minsync_net::VirtualTime::ZERO);
+        r.on_start(&mut env);
+        let _ = env.take_buffer();
+        r.on_message(ProcessId::new(1), SmrMsg::Ack { slot: 4 }, &mut env);
+        // A lower ack from the same peer cannot regress its floor, and
+        // out-of-range acks change nothing.
+        r.on_message(ProcessId::new(1), SmrMsg::Ack { slot: 2 }, &mut env);
+        r.on_message(ProcessId::new(2), SmrMsg::Ack { slot: 999 }, &mut env);
+        assert_eq!(r.quorum_floor(), 0, "one peer is not a quorum");
+        r.on_message(ProcessId::new(2), SmrMsg::Ack { slot: 3 }, &mut env);
+        // Floors 0 (me), 4, 3, 0: the 3rd largest is 0 — still no quorum
+        // past any slot.
+        assert_eq!(r.quorum_floor(), 0);
+        r.on_message(ProcessId::new(3), SmrMsg::Ack { slot: 5 }, &mut env);
+        // Floors 0, 4, 3, 5 → quorum (3) reaches slot 3.
+        assert_eq!(r.quorum_floor(), 3);
+        // Retirement still requires *everyone* — and our own floor is 0.
+        assert_eq!(r.low_water(), 0);
+    }
+
+    #[test]
+    fn classify_names_the_control_plane() {
+        assert_eq!(SmrMsg::<u64>::classify(&SmrMsg::Ack { slot: 1 }), "SMR_ACK");
+        assert_eq!(
+            SmrMsg::<u64>::classify(&SmrMsg::Checkpoint { slot: 1, value: 0 }),
+            "SMR_CKPT"
+        );
     }
 }

@@ -3,8 +3,8 @@
 use minsync_core::ConsensusConfig;
 use minsync_net::sim::SimBuilder;
 use minsync_net::{ChannelTiming, DelayLaw, NetworkTopology};
-use minsync_smr::{collect_logs, ReplicaNode, TwoClientSource};
-use minsync_types::SystemConfig;
+use minsync_smr::{collect_logs, committed_count, ReplicaNode, TwoClientSource};
+use minsync_types::{ProcessId, SystemConfig};
 use proptest::prelude::*;
 
 proptest! {
@@ -29,9 +29,8 @@ proptest! {
             ));
         }
         let mut sim = builder.build();
-        let report = sim.run_until(move |outs| {
-            (0..4).all(|p| outs.iter().filter(|o| o.process.index() == p).count() as u64 >= slots)
-        });
+        let report =
+            sim.run_until(move |outs| (0..4).all(|p| committed_count(outs, ProcessId::new(p)) >= slots));
         let logs = collect_logs(&report.outputs);
         prop_assert_eq!(logs.len(), 4, "every replica commits");
         let reference = logs.values().next().unwrap();

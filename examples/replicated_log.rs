@@ -16,10 +16,10 @@ use minsync::adversary::SilentNode;
 use minsync::core::ConsensusConfig;
 use minsync::net::sim::SimBuilder;
 use minsync::net::{NetworkTopology, Node};
-use minsync::smr::{collect_logs, ReplicaNode, SlotMsg, SmrEvent, TwoClientSource};
+use minsync::smr::{collect_logs, committed_count, ReplicaNode, SmrEvent, SmrMsg, TwoClientSource};
 use minsync::types::SystemConfig;
 
-type Msg = SlotMsg<u64>;
+type Msg = SmrMsg<u64>;
 type Out = SmrEvent<u64>;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut sim = builder.build();
     let report = sim.run_until(|outs| {
-        (0..3).all(|p| outs.iter().filter(|o| o.process.index() == p).count() as u64 >= SLOTS)
+        (0..3).all(|p| committed_count(outs, minsync::types::ProcessId::new(p)) >= SLOTS)
     });
 
     let logs = collect_logs(&report.outputs);

@@ -19,7 +19,11 @@
 //! * [`baselines`] — Ben-Or-style randomized binary consensus for
 //!   comparison;
 //! * [`harness`] — experiment runner regenerating every claim of the paper
-//!   (see `EXPERIMENTS.md`).
+//!   (see `EXPERIMENTS.md`);
+//! * [`smr`] — the batched replicated log (state-machine replication with
+//!   commit acks, log GC, and checkpoint catch-up);
+//! * [`workload`] — deterministic client populations, arrival processes,
+//!   and submit→commit latency accounting for the replicated log.
 //!
 //! # Quickstart
 //!
@@ -48,3 +52,4 @@ pub use minsync_harness as harness;
 pub use minsync_net as net;
 pub use minsync_smr as smr;
 pub use minsync_types as types;
+pub use minsync_workload as workload;
