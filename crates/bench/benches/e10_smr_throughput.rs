@@ -18,43 +18,15 @@
 use std::time::Instant;
 
 use criterion::black_box;
-use minsync_bench::{bench_json, CaseStats, BENCH_SEED};
+use minsync_bench::{CaseStats, JsonBenchRun, BENCH_SEED};
 use minsync_harness::experiments::e10_smr;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    // Honor cargo's positional bench filter like criterion targets do.
-    let mut filters: Vec<&String> = Vec::new();
-    let mut skip_next = false;
-    for a in &args {
-        if skip_next {
-            skip_next = false; // the value of `--json`, not a filter
-        } else if a == "--json" {
-            skip_next = true;
-        } else if !a.starts_with("--") {
-            filters.push(a);
-        }
-    }
-    if !filters.is_empty()
-        && !filters
-            .iter()
-            .any(|f| "e10_smr_throughput".contains(f.as_str()))
-    {
-        println!("e10_smr_throughput: skipped (filtered out)");
+    // Flag/filter handling is the shared JsonBenchRun convention.
+    let Some(run) = JsonBenchRun::from_env("e10_smr_throughput", 10) else {
         return;
-    }
-    let full = args.iter().any(|a| a == "--bench");
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let json_path: Option<String> = args.iter().position(|a| a == "--json").map(|i| {
-        args.get(i + 1)
-            .unwrap_or_else(|| panic!("--json needs a path argument"))
-            .clone()
-    });
-    let samples = match (full, smoke) {
-        (true, false) => 10,
-        (_, true) => 3,
-        (false, false) => 1,
     };
+    let samples = run.samples;
     // Fixed workload per case: 2 groups × 4 clients × 16 commands = 128
     // commands; the batch cap is the swept variable, so wall-clock tracks
     // the consensus-instances-per-command amortization.
@@ -83,27 +55,5 @@ fn main() {
             cases.push(stats);
         }
     }
-    // Bench binaries run with CWD = the package dir; anchor the default
-    // report at the workspace root where it is tracked.
-    let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e10.json");
-    match (json_path, full && !smoke) {
-        (Some(path), _) => {
-            if let Some(parent) = std::path::Path::new(&path).parent() {
-                if !parent.as_os_str().is_empty() {
-                    std::fs::create_dir_all(parent).expect("create json parent dir");
-                }
-            }
-            std::fs::write(&path, bench_json("e10_smr_throughput", &cases))
-                .expect("write bench json");
-            println!("wrote {path}");
-        }
-        (None, true) => {
-            std::fs::write(default_path, bench_json("e10_smr_throughput", &cases))
-                .expect("write BENCH_e10.json");
-            println!("wrote {default_path}");
-        }
-        (None, false) => {
-            println!("e10_smr_throughput: ok (smoke, {samples} sample(s) per case, no JSON)");
-        }
-    }
+    run.write_report("e10_smr_throughput", "BENCH_e10.json", &cases);
 }

@@ -1,0 +1,55 @@
+//! E11 — TCP cluster wall-clock: full cost of spawning an n-process
+//! `minsync-node` cluster on 127.0.0.1 and draining a fixed client
+//! workload through it over real sockets.
+//!
+//! Two numbers per case matter: the *sample* time (spawn + bootstrap +
+//! drain + teardown, what this bench measures around `bench_one`) and the
+//! in-cluster drain time `bench_one` itself returns (printed as `cluster
+//! ns` for context). Like E4/E10 this hand-rolls its loop to emit a
+//! machine-readable `BENCH_e11.json` (min/mean/max nanoseconds per case)
+//! that successive PRs diff with `bench_diff`. Invoked without `--bench`
+//! (e.g. `cargo test --benches`) it smoke-runs every case once and writes
+//! nothing.
+//!
+//! Requires the `minsync-node` binary next to this bench's own profile
+//! directory (`cargo build --release -p minsync-transport` for `cargo
+//! bench`); the cluster layer's discovery handles the rest.
+//!
+//! Flags (after `--`): `--smoke` (three samples per case), `--json PATH`
+//! (redirect the report; the default workspace-root `BENCH_e11.json` is
+//! only written on full runs).
+
+use std::time::Instant;
+
+use criterion::black_box;
+use minsync_bench::{CaseStats, JsonBenchRun};
+use minsync_harness::experiments::e11_transport;
+
+fn main() {
+    // Flag/filter handling is the shared JsonBenchRun convention.
+    let Some(run) = JsonBenchRun::from_env("e11_transport", 10) else {
+        return;
+    };
+    let samples = run.samples;
+    // Fixed workload per case: 1 group × 4 clients × 16 commands = 64
+    // commands; n is the swept variable, so wall-clock tracks the real
+    // fan-out cost (connections, frames, processes).
+    const COMMANDS_PER_CLIENT: usize = 16;
+    let mut cases = Vec::new();
+    for (n, t) in [(4usize, 1usize), (7, 2)] {
+        let mut times = Vec::with_capacity(samples);
+        let mut cluster_ns = 0u128;
+        for _ in 0..samples {
+            let start = Instant::now();
+            cluster_ns = black_box(e11_transport::bench_one(n, t, COMMANDS_PER_CLIENT));
+            times.push(start.elapsed());
+        }
+        let stats = CaseStats::from_times(format!("cluster/n={n}"), &times);
+        println!(
+            "e11_transport/{}: mean {}ns, min {}ns, max {}ns ({} samples, cluster {}ns)",
+            stats.name, stats.mean_ns, stats.min_ns, stats.max_ns, stats.samples, cluster_ns
+        );
+        cases.push(stats);
+    }
+    run.write_report("e11_transport", "BENCH_e11.json", &cases);
+}

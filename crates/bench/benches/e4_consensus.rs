@@ -18,45 +18,17 @@
 use std::time::Instant;
 
 use criterion::black_box;
-use minsync_bench::{bench_json, CaseStats, BENCH_SEED};
+use minsync_bench::{CaseStats, JsonBenchRun, BENCH_SEED};
 use minsync_harness::experiments::e4_consensus;
 use minsync_harness::FaultPlan;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    // Honor cargo's positional bench filter like criterion targets do:
-    // `cargo bench e1_cb_broadcast` still launches this binary with the
-    // filter as an argument, and must not rewrite BENCH_e4.json.
-    let mut filters: Vec<&String> = Vec::new();
-    let mut skip_next = false;
-    for a in &args {
-        if skip_next {
-            skip_next = false; // the value of `--json`, not a filter
-        } else if a == "--json" {
-            skip_next = true;
-        } else if !a.starts_with("--") {
-            filters.push(a);
-        }
-    }
-    if !filters.is_empty() && !filters.iter().any(|f| "e4_consensus".contains(f.as_str())) {
-        println!("e4_consensus: skipped (filtered out)");
+    // Flag/filter handling is the shared JsonBenchRun convention; full
+    // runs take 30 samples (the first pays cold-start costs).
+    let Some(run) = JsonBenchRun::from_env("e4_consensus", 30) else {
         return;
-    }
-    let full = args.iter().any(|a| a == "--bench");
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let json_path: Option<String> = args.iter().position(|a| a == "--json").map(|i| {
-        args.get(i + 1)
-            .unwrap_or_else(|| panic!("--json needs a path argument"))
-            .clone()
-    });
-    // Full runs take 30 samples; smoke takes 3 (the first sample pays
-    // cold-start costs, and a singleton mean made the report-only CI diff
-    // needlessly noisy); `cargo test --benches` takes 1 (pure smoke).
-    let samples = match (full, smoke) {
-        (true, false) => 30,
-        (_, true) => 3,
-        (false, false) => 1,
     };
+    let samples = run.samples;
     let mut cases = Vec::new();
     for (n, t) in [(4usize, 1usize), (7, 2), (10, 3), (20, 6), (40, 13)] {
         for (label, plan) in [
@@ -77,28 +49,5 @@ fn main() {
             cases.push(stats);
         }
     }
-    // Bench binaries run with CWD = the package dir; anchor the default
-    // report at the workspace root where it is tracked.
-    let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e4.json");
-    match (json_path, full && !smoke) {
-        (Some(path), _) => {
-            // Bench binaries run with CWD = the package dir; create any
-            // missing parent so relative paths like `target/x.json` work.
-            if let Some(parent) = std::path::Path::new(&path).parent() {
-                if !parent.as_os_str().is_empty() {
-                    std::fs::create_dir_all(parent).expect("create json parent dir");
-                }
-            }
-            std::fs::write(&path, bench_json("e4_consensus", &cases)).expect("write bench json");
-            println!("wrote {path}");
-        }
-        (None, true) => {
-            std::fs::write(default_path, bench_json("e4_consensus", &cases))
-                .expect("write BENCH_e4.json");
-            println!("wrote {default_path}");
-        }
-        (None, false) => {
-            println!("e4_consensus: ok (smoke, {samples} sample(s) per case, no JSON)");
-        }
-    }
+    run.write_report("e4_consensus", "BENCH_e4.json", &cases);
 }

@@ -47,6 +47,109 @@ impl CaseStats {
     }
 }
 
+/// The parsed command line of a JSON-emitting bench target — the
+/// `--bench` / `--smoke` / `--json PATH` + positional-filter convention
+/// the E4/E10/E11 targets share (one implementation here instead of a
+/// copy per target).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonBenchRun {
+    /// Samples to take per case (full / smoke / `cargo test --benches`).
+    pub samples: usize,
+    /// Explicit `--json PATH` destination, if given.
+    json_path: Option<String>,
+    /// Full non-smoke runs rewrite the committed workspace-root report.
+    write_default: bool,
+}
+
+impl JsonBenchRun {
+    /// Parses `args` (everything after the binary name) for `target`.
+    ///
+    /// Returns `None` when cargo's positional bench filter excludes this
+    /// target — e.g. `cargo bench e1_cb_broadcast` still launches every
+    /// bench binary with the filter as an argument, and a filtered-out
+    /// target must not run (or rewrite its committed report). Sample
+    /// counts: `full_samples` under `--bench`, 3 under `--smoke` (a
+    /// singleton mean made the report-only CI diff needlessly noisy), 1
+    /// otherwise (`cargo test --benches` smoke).
+    pub fn parse(target: &str, full_samples: usize, args: &[String]) -> Option<Self> {
+        let mut filters: Vec<&String> = Vec::new();
+        let mut skip_next = false;
+        for a in args {
+            if skip_next {
+                skip_next = false; // the value of `--json`, not a filter
+            } else if a == "--json" {
+                skip_next = true;
+            } else if !a.starts_with("--") {
+                filters.push(a);
+            }
+        }
+        if !filters.is_empty() && !filters.iter().any(|f| target.contains(f.as_str())) {
+            return None;
+        }
+        let full = args.iter().any(|a| a == "--bench");
+        let smoke = args.iter().any(|a| a == "--smoke");
+        let json_path = args.iter().position(|a| a == "--json").map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("--json needs a path argument"))
+                .clone()
+        });
+        let samples = match (full, smoke) {
+            (true, false) => full_samples,
+            (_, true) => 3,
+            (false, false) => 1,
+        };
+        Some(JsonBenchRun {
+            samples,
+            json_path,
+            write_default: full && !smoke,
+        })
+    }
+
+    /// Like [`JsonBenchRun::parse`] over the process arguments, printing
+    /// the conventional skip line when filtered out.
+    pub fn from_env(target: &str, full_samples: usize) -> Option<Self> {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let run = Self::parse(target, full_samples, &args);
+        if run.is_none() {
+            println!("{target}: skipped (filtered out)");
+        }
+        run
+    }
+
+    /// Writes the report where the flags asked for it: `--json PATH`
+    /// verbatim (creating missing parents — bench binaries run with CWD =
+    /// the package dir, so relative paths like `target/x.json` need it),
+    /// the committed workspace-root `default_file` on full runs, nowhere
+    /// on smoke runs.
+    pub fn write_report(&self, target: &str, default_file: &str, cases: &[CaseStats]) {
+        match (&self.json_path, self.write_default) {
+            (Some(path), _) => {
+                if let Some(parent) = std::path::Path::new(path).parent() {
+                    if !parent.as_os_str().is_empty() {
+                        std::fs::create_dir_all(parent).expect("create json parent dir");
+                    }
+                }
+                std::fs::write(path, bench_json(target, cases)).expect("write bench json");
+                println!("wrote {path}");
+            }
+            (None, true) => {
+                // This crate sits two levels below the workspace root,
+                // where the committed BENCH_*.json reports live.
+                let path = format!("{}/../../{default_file}", env!("CARGO_MANIFEST_DIR"));
+                std::fs::write(&path, bench_json(target, cases))
+                    .unwrap_or_else(|e| panic!("write {default_file}: {e}"));
+                println!("wrote {path}");
+            }
+            (None, false) => {
+                println!(
+                    "{target}: ok (smoke, {} sample(s) per case, no JSON)",
+                    self.samples
+                );
+            }
+        }
+    }
+}
+
 /// Renders `cases` as a machine-readable JSON document (hand-rolled — the
 /// offline environment has no serde) so successive PRs can track the perf
 /// trajectory, e.g. `BENCH_e4.json`.
@@ -335,6 +438,31 @@ mod tests {
         let removed = deltas.iter().find(|d| d.name == "gone").unwrap();
         assert_eq!(removed.new_mean, None);
         assert_eq!(removed.old_mean, Some(50));
+    }
+
+    #[test]
+    fn json_bench_args_follow_the_convention() {
+        let args = |list: &[&str]| list.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        // Full run: full_samples, default report.
+        let run = JsonBenchRun::parse("e4_consensus", 30, &args(&["--bench"])).unwrap();
+        assert_eq!((run.samples, run.write_default), (30, true));
+        // Smoke overrides full; explicit --json wins over the default.
+        let run = JsonBenchRun::parse(
+            "e4_consensus",
+            30,
+            &args(&["--bench", "--smoke", "--json", "x"]),
+        )
+        .unwrap();
+        assert_eq!((run.samples, run.write_default), (3, false));
+        assert_eq!(run.json_path.as_deref(), Some("x"));
+        // Bare invocation (cargo test --benches): one sample, no report.
+        let run = JsonBenchRun::parse("e4_consensus", 30, &args(&[])).unwrap();
+        assert_eq!((run.samples, run.write_default), (1, false));
+        // Positional filters match by substring; --json's value is not a
+        // filter.
+        assert!(JsonBenchRun::parse("e4_consensus", 30, &args(&["e4"])).is_some());
+        assert!(JsonBenchRun::parse("e4_consensus", 30, &args(&["e10"])).is_none());
+        assert!(JsonBenchRun::parse("e4_consensus", 30, &args(&["--json", "e10", "e4"])).is_some());
     }
 
     #[test]

@@ -1,18 +1,94 @@
-//! Regenerates every experiment table (E1–E10).
+//! Regenerates every experiment table (E1–E11).
 //!
 //! ```text
 //! cargo run -p minsync-harness --release --bin experiments [-- --quick] [--csv DIR] [e1 e3 ...]
+//! cargo run -p minsync-harness --release --bin experiments -- --list
 //! ```
 //!
 //! Prints GitHub-flavored markdown to stdout (paste-ready for
-//! `EXPERIMENTS.md`); `--csv DIR` additionally writes one CSV per table.
+//! `EXPERIMENTS.md`); `--csv DIR` additionally writes one CSV per table;
+//! `--list` prints the experiment catalog (id + one-line description) and
+//! exits without running anything.
+//!
+//! E11 spawns real `minsync-node` OS processes — build them first
+//! (`cargo build --release -p minsync-transport`) or it aborts with a hint.
 
 use minsync_harness::experiments;
 use minsync_harness::Table;
 
+type Runner = fn(bool) -> Table;
+
+/// The experiment catalog: id, one-line description, runner.
+fn catalog() -> Vec<(&'static str, &'static str, Runner)> {
+    vec![
+        (
+            "e1",
+            "Cooperative broadcast (Figure 1 / Theorem 1): CB-Validity, CB-Set quality, message cost",
+            experiments::e1_cb::run,
+        ),
+        (
+            "e2",
+            "Adopt-commit (Figure 2 / Theorem 2): AC properties under split and Byzantine proposals",
+            experiments::e2_ac::run,
+        ),
+        (
+            "e3",
+            "Eventual agreement (Figure 3 / Theorem 3): convergence once the bisource stabilizes",
+            experiments::e3_ea::run,
+        ),
+        (
+            "e4",
+            "Consensus (Figure 4 / Theorem 4): agreement/validity/termination, rounds and latency",
+            experiments::e4_consensus::run,
+        ),
+        (
+            "e5",
+            "Round complexity vs the §5.4 bound with a from-start ⟨t+1⟩bisource",
+            experiments::e5_rounds::run,
+        ),
+        (
+            "e6",
+            "Parameterized variant (§5.4): the k knob trading bisource strength for rounds",
+            experiments::e6_k_sweep::run,
+        ),
+        (
+            "e7",
+            "Ben-Or baseline (footnote 1): deterministic stack vs randomized binary consensus",
+            experiments::e7_baseline::run,
+        ),
+        (
+            "e8",
+            "Timeout policy f(r) and δ sensitivity (footnote 3)",
+            experiments::e8_timeouts::run,
+        ),
+        (
+            "e9",
+            "Message complexity by primitive (per-kind counts across the stack)",
+            experiments::e9_message_complexity::run,
+        ),
+        (
+            "e10",
+            "Batched SMR throughput/latency on the simulator (virtual-time, sim↔threaded equivalence)",
+            experiments::e10_smr::run,
+        ),
+        (
+            "e11",
+            "TCP cluster: n OS processes over minsync-wire on 127.0.0.1, wall-clock throughput/latency, silent+flood riders",
+            experiments::e11_transport::run,
+        ),
+    ]
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let runners = catalog();
+    if args.iter().any(|a| a == "--list") {
+        for (name, description, _) in &runners {
+            println!("{name:>4}  {description}");
+        }
+        return;
+    }
     let csv_dir = args
         .iter()
         .position(|a| a == "--csv")
@@ -26,21 +102,7 @@ fn main() {
         .cloned()
         .collect();
 
-    type Runner = fn(bool) -> Table;
-    let runners: Vec<(&str, Runner)> = vec![
-        ("e1", experiments::e1_cb::run),
-        ("e2", experiments::e2_ac::run),
-        ("e3", experiments::e3_ea::run),
-        ("e4", experiments::e4_consensus::run),
-        ("e5", experiments::e5_rounds::run),
-        ("e6", experiments::e6_k_sweep::run),
-        ("e7", experiments::e7_baseline::run),
-        ("e8", experiments::e8_timeouts::run),
-        ("e9", experiments::e9_message_complexity::run),
-        ("e10", experiments::e10_smr::run),
-    ];
-
-    for (name, runner) in runners {
+    for (name, _, runner) in runners {
         if !selected.is_empty() && !selected.iter().any(|s| s == name) {
             continue;
         }

@@ -1,0 +1,191 @@
+//! E11 — the replicated service as a *real distributed system*: n OS
+//! processes on 127.0.0.1, speaking the `minsync-wire` byte protocol over
+//! TCP, measured in wall-clock time.
+//!
+//! Every earlier experiment exchanged messages as in-memory Rust values;
+//! E11 is the first where the paper's claims must survive sockets: length-
+//! prefixed frames, partial reads, per-peer writer queues, reconnects, and
+//! real OS scheduling. Each case spawns a `minsync-node` cluster through
+//! `minsync_transport::cluster`, drains a deterministic m = 1 workload
+//! (batch content is a pure function of the commit stream, so every
+//! correct replica must commit the *identical* log — checked by comparing
+//! FNV-1a digests collected over the control pipe), and reports wall-clock
+//! throughput plus p50/p95/p99 submit→commit latency.
+//!
+//! Byzantine riders: a **silent** replica (occupies a fault slot, never
+//! sends) and a **flooding** replica (future-slot protocol spam *plus* raw
+//! garbage bytes dialed at every peer). The cluster must drain without
+//! stalling either way — bounded outbound queues absorb the flood, decode
+//! errors cost the flooder its connections (visible in the `cuts` column),
+//! and the committed logs stay digest-identical to the clean run.
+
+use std::time::Duration;
+
+use minsync_transport::cluster::{run_cluster, Behavior, ClusterReport, ClusterSpec};
+use minsync_workload::ArrivalProcess;
+
+use crate::Table;
+
+/// Tick length used by every E11 child (latency columns convert ticks to
+/// milliseconds with this).
+const TICK: Duration = Duration::from_micros(200);
+
+fn rider_label(riders: &[Behavior]) -> &'static str {
+    match riders {
+        [] => "none",
+        [Behavior::Silent] => "silent×1",
+        [Behavior::Flood] => "flood×1",
+        _ => "mixed",
+    }
+}
+
+fn spec(n: usize, t: usize, commands_per_client: usize, riders: Vec<Behavior>) -> ClusterSpec {
+    ClusterSpec {
+        n,
+        t,
+        groups: 1, // m = 1: the committed log is schedule-independent
+        clients_per_group: 4,
+        commands_per_client,
+        batch: 8,
+        arrivals: ArrivalProcess::Poisson { mean_gap: 1.0 },
+        seed: 7,
+        riders,
+        tick: TICK,
+        child_timeout: Duration::from_secs(60),
+        harness_timeout: Duration::from_secs(120),
+    }
+}
+
+/// Runs one cluster case and asserts the distributed-agreement and
+/// liveness criteria.
+///
+/// # Panics
+///
+/// Panics if the cluster cannot be spawned (build `minsync-node` first —
+/// `cargo build --release -p minsync-transport`), a correct replica
+/// stalls, or the committed-log digests diverge.
+fn run_case(spec: &ClusterSpec) -> ClusterReport {
+    let report = run_cluster(spec).unwrap_or_else(|e| {
+        panic!(
+            "E11 n={} riders={:?}: cluster failed: {e}",
+            spec.n, spec.riders
+        )
+    });
+    assert!(
+        report.digests_agree(),
+        "E11 n={} riders={:?}: committed-log digests diverged: {:?}",
+        spec.n,
+        spec.riders,
+        report
+            .replicas
+            .iter()
+            .map(|r| (r.id, r.digest))
+            .collect::<Vec<_>>()
+    );
+    for r in &report.replicas {
+        assert_eq!(
+            r.committed, report.total_commands,
+            "E11 n={} riders={:?}: replica {} stalled at {}/{} commands",
+            spec.n, spec.riders, r.id, r.committed, report.total_commands
+        );
+    }
+    report
+}
+
+fn ms(ticks: u64) -> f64 {
+    ticks as f64 * TICK.as_secs_f64() * 1000.0
+}
+
+/// Runs E11.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E11 — TCP cluster: wall-clock throughput/latency (n OS processes on 127.0.0.1, m = 1)",
+        [
+            "n", "t", "faults", "cmds", "wall ms", "cmds/s", "p50 ms", "p95 ms", "p99 ms", "drops",
+            "cuts",
+        ],
+    );
+    let sizes: &[(usize, usize)] = if quick {
+        &[(4, 1)]
+    } else {
+        &[(4, 1), (7, 2), (10, 3)]
+    };
+    let commands_per_client = if quick { 8 } else { 24 };
+    let rider_sets: &[&[Behavior]] = &[&[], &[Behavior::Silent], &[Behavior::Flood]];
+    for &(n, t) in sizes {
+        for &riders in rider_sets {
+            let spec = spec(n, t, commands_per_client, riders.to_vec());
+            let report = run_case(&spec);
+            let slowest = report
+                .replicas
+                .iter()
+                .max_by_key(|r| r.wall)
+                .expect("at least one correct replica");
+            let drops: u64 = report.replicas.iter().map(|r| r.outbound_dropped).sum();
+            let cuts: u64 = report
+                .replicas
+                .iter()
+                .map(|r| r.decode_disconnects + r.handshake_rejects)
+                .sum();
+            table.push_row([
+                n.to_string(),
+                t.to_string(),
+                rider_label(riders).to_string(),
+                report.total_commands.to_string(),
+                format!("{:.1}", slowest.wall.as_secs_f64() * 1000.0),
+                format!("{:.0}", report.cmds_per_sec()),
+                format!("{:.2}", ms(slowest.lat_p50)),
+                format!("{:.2}", ms(slowest.lat_p95)),
+                format!("{:.2}", ms(slowest.lat_p99)),
+                drops.to_string(),
+                cuts.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+/// One all-correct cluster run for the `e11_transport` bench: returns the
+/// slowest correct replica's drain time in nanoseconds (the in-cluster
+/// measurement; the bench wraps the whole spawn+run in its own wall-clock
+/// sample).
+pub fn bench_one(n: usize, t: usize, commands_per_client: usize) -> u128 {
+    let report = run_case(&spec(n, t, commands_per_client, Vec::new()));
+    report
+        .replicas
+        .iter()
+        .map(|r| r.wall.as_nanos())
+        .max()
+        .expect("at least one correct replica")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rider_labels_cover_the_sets() {
+        assert_eq!(rider_label(&[]), "none");
+        assert_eq!(rider_label(&[Behavior::Silent]), "silent×1");
+        assert_eq!(rider_label(&[Behavior::Flood]), "flood×1");
+        assert_eq!(rider_label(&[Behavior::Silent, Behavior::Flood]), "mixed");
+    }
+
+    #[test]
+    fn tick_conversion_is_milliseconds() {
+        assert!((ms(5) - 1.0).abs() < 1e-9, "5 × 200µs = 1ms");
+    }
+
+    #[test]
+    fn quick_table_covers_all_rider_sets() {
+        let table = run(true);
+        let riders: Vec<&str> = table.rows().iter().map(|r| r[2].as_str()).collect();
+        assert_eq!(riders, ["none", "silent×1", "flood×1"]);
+        // Liveness: every case really drained its workload at wall-clock
+        // speed (cmds/s parsed back out of the table).
+        for row in table.rows() {
+            let cps: f64 = row[5].parse().unwrap();
+            assert!(cps > 0.0, "zero throughput in case {row:?}");
+        }
+    }
+}

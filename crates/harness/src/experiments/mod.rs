@@ -1,4 +1,4 @@
-//! The experiment suite E1–E10 (see `EXPERIMENTS.md` for the paper-vs-
+//! The experiment suite E1–E11 (see `EXPERIMENTS.md` for the paper-vs-
 //! measured record).
 //!
 //! Every experiment is a pure function `run(quick) -> Table`; `quick = true`
@@ -8,6 +8,7 @@
 //! benches.
 
 pub mod e10_smr;
+pub mod e11_transport;
 pub mod e1_cb;
 pub mod e2_ac;
 pub mod e3_ea;
@@ -34,6 +35,7 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e8_timeouts::run(quick),
         e9_message_complexity::run(quick),
         e10_smr::run(quick),
+        e11_transport::run(quick),
     ]
 }
 
@@ -62,7 +64,7 @@ mod tests {
     #[test]
     fn quick_suite_produces_all_tables() {
         let tables = run_all(true);
-        assert_eq!(tables.len(), 10);
+        assert_eq!(tables.len(), 11);
         for t in &tables {
             assert!(!t.rows().is_empty(), "{} produced no rows", t.title());
         }

@@ -247,10 +247,14 @@ impl<M, O> Env<M, O> {
         std::mem::swap(&mut self.timers, &mut other.timers);
     }
 
-    /// Direct access to the timer table (substrate-side: the threaded
-    /// runtime keeps each process's table inside its own `Env` permanently
-    /// and consults it when applying timer effects and firings).
-    pub(crate) fn timers_mut(&mut self) -> &mut TimerTable {
+    /// Direct access to the timer table — **substrate-side only**. A
+    /// wall-clock runtime keeps each process's table inside its own `Env`
+    /// permanently and consults it when applying timer effects
+    /// ([`TimerTable::arm`] / [`TimerTable::cancel`]) and deciding whether
+    /// a due firing is still live ([`TimerTable::try_fire`]). Public so
+    /// out-of-crate substrates (the TCP transport) can reuse the scheme;
+    /// protocol automata must never touch it.
+    pub fn timers_mut(&mut self) -> &mut TimerTable {
         &mut self.timers
     }
 }

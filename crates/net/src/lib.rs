@@ -101,6 +101,7 @@
 mod channel;
 mod effect;
 mod node;
+mod seed;
 pub mod sim;
 pub mod threaded;
 mod time;
@@ -110,6 +111,7 @@ mod topology;
 pub use channel::{ChannelTiming, DelayLaw};
 pub use effect::{Effect, Env};
 pub use node::{Node, TimerId};
+pub use seed::{derive_stream, stream_of, SPLITMIX64_GOLDEN};
 pub use time::VirtualTime;
 pub use timer::TimerTable;
 pub use topology::NetworkTopology;

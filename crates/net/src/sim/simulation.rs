@@ -188,11 +188,11 @@ where
             "node count must match topology size"
         );
         let n = self.nodes.len();
-        // The node-visible random stream (Env) is derived from — but
-        // distinct from — the delay-sampling stream, so recorded effect
-        // traces replay identically even when the replaying nodes draw no
-        // randomness.
-        let env_seed = self.seed ^ 0x9E37_79B9_7F4A_7C15;
+        // The node-visible random stream (Env, stream 1) is derived from —
+        // but distinct from — the delay-sampling stream (the base seed), so
+        // recorded effect traces replay identically even when the replaying
+        // nodes draw no randomness.
+        let env_seed = crate::derive_stream(self.seed, 1);
         // Dense per-channel timing matrix (row-major `from · n + to`): the
         // routing hot path indexes instead of probing the topology's sparse
         // override map and cloning a `ChannelTiming` per message.

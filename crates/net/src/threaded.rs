@@ -26,6 +26,10 @@ use rand::SeedableRng;
 
 use crate::{Effect, Env, NetworkTopology, Node, TimerId, VirtualTime};
 
+/// Stream-namespace tag of the threaded runtime (`"THRD"`), keeping its
+/// derived seeds disjoint from every other consumer of the same base seed.
+const THREADED_STREAM_TAG: u32 = 0x5448_5244;
+
 /// Wall-clock execution parameters.
 #[derive(Clone, Debug)]
 pub struct ThreadedConfig {
@@ -126,7 +130,13 @@ where
         let topology = topology.clone();
         let inboxes = inbox_txs.clone();
         let tick = config.tick;
-        let mut rng = SplitMix64::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        // Tagged stream namespace (see `derive_stream`): local index 0 is
+        // the router's delay-sampling stream, 1..=n the node envs —
+        // disjoint from the simulator's and workload's bare indices.
+        let mut rng = SplitMix64::seed_from_u64(crate::derive_stream(
+            config.seed,
+            crate::stream_of(THREADED_STREAM_TAG, 0),
+        ));
         std::thread::spawn(move || {
             struct Pending<M> {
                 due: Instant,
@@ -239,7 +249,10 @@ where
         let outputs = output_tx.clone();
         let shutdown = Arc::clone(&shutdown);
         let tick = config.tick;
-        let seed = config.seed.wrapping_add(idx as u64 + 1);
+        let seed = crate::derive_stream(
+            config.seed,
+            crate::stream_of(THREADED_STREAM_TAG, idx as u32 + 1),
+        );
         handles.push(std::thread::spawn(move || {
             let mut worker = NodeWorker {
                 me,

@@ -1,0 +1,381 @@
+//! One replica of the batched SMR + workload pipeline, run as a real OS
+//! process over the TCP mesh — the unit the cluster orchestrator spawns.
+//!
+//! ```text
+//! minsync-node --id I --n N --t T --listen 127.0.0.1:0
+//!              [--peers a0,a1,…]           # else bootstrap over stdin
+//!              --groups M --clients C --commands K --batch B
+//!              --arrival poisson:G|bursty:B/P|closed:T
+//!              --seed S --behavior correct|silent|flood
+//!              --tick-us US --timeout-ms MS
+//! ```
+//!
+//! Control pipe (see `minsync_transport::cluster`): the process prints
+//! `PORT <p>` once its listener is bound; if `--peers` was not given it
+//! then reads one `PEERS <addr0> … <addrN−1>` line from stdin. A correct
+//! replica prints its statistics block (`COMMITTED`, `DIGEST`, `WALL_MS`,
+//! `LAT`, `DROPS`, `DONE`) the moment its workload drains, then *keeps
+//! serving* acks and checkpoints for laggards until `STOP` arrives on stdin
+//! (or stdin closes), bounded by `--timeout-ms`. Byzantine behaviors never
+//! report; they run until `STOP`.
+
+use std::io::{BufRead, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use minsync_adversary::{FloodNode, SilentNode};
+use minsync_core::{ConsensusConfig, ProtocolMsg};
+use minsync_net::sim::OutputRecord;
+use minsync_net::{Node, VirtualTime};
+use minsync_smr::{ReplicaNode, SmrEvent, SmrMsg};
+use minsync_transport::cluster::{control, parse_arrival, Behavior, LogDigest};
+use minsync_transport::mesh::{MeshConfig, MeshCounters, MeshOutput, TcpMesh};
+use minsync_types::{ProcessId, Round, SystemConfig};
+use minsync_wire::{Hello, WIRE_VERSION};
+use minsync_workload::{account, ArrivalProcess, Batch, ClientPopulation, WorkloadSpec};
+
+type Msg = SmrMsg<Batch>;
+type Out = SmrEvent<Batch>;
+
+struct Args {
+    id: usize,
+    n: usize,
+    t: usize,
+    listen: SocketAddr,
+    peers: Option<Vec<SocketAddr>>,
+    groups: usize,
+    clients: usize,
+    commands: usize,
+    batch: usize,
+    arrival: ArrivalProcess,
+    seed: u64,
+    behavior: Behavior,
+    tick: Duration,
+    timeout: Duration,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        id: 0,
+        n: 4,
+        t: 1,
+        listen: "127.0.0.1:0".parse().expect("static addr"),
+        peers: None,
+        groups: 1,
+        clients: 2,
+        commands: 8,
+        batch: 8,
+        arrival: ArrivalProcess::Poisson { mean_gap: 2.0 },
+        seed: 1,
+        behavior: Behavior::Correct,
+        tick: Duration::from_micros(200),
+        timeout: Duration::from_secs(30),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let value = argv
+            .get(i + 1)
+            .ok_or_else(|| format!("missing value for {flag}"))?;
+        match flag {
+            "--id" => args.id = value.parse().map_err(|e| format!("--id: {e}"))?,
+            "--n" => args.n = value.parse().map_err(|e| format!("--n: {e}"))?,
+            "--t" => args.t = value.parse().map_err(|e| format!("--t: {e}"))?,
+            "--listen" => args.listen = value.parse().map_err(|e| format!("--listen: {e}"))?,
+            "--peers" => {
+                let peers: Result<Vec<SocketAddr>, _> = value.split(',').map(str::parse).collect();
+                args.peers = Some(peers.map_err(|e| format!("--peers: {e}"))?);
+            }
+            "--groups" => args.groups = value.parse().map_err(|e| format!("--groups: {e}"))?,
+            "--clients" => args.clients = value.parse().map_err(|e| format!("--clients: {e}"))?,
+            "--commands" => {
+                args.commands = value.parse().map_err(|e| format!("--commands: {e}"))?
+            }
+            "--batch" => args.batch = value.parse().map_err(|e| format!("--batch: {e}"))?,
+            "--arrival" => {
+                args.arrival =
+                    parse_arrival(value).ok_or_else(|| format!("--arrival: bad spec {value}"))?
+            }
+            "--seed" => args.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--behavior" => {
+                args.behavior = Behavior::parse(value)
+                    .ok_or_else(|| format!("--behavior: unknown behavior {value}"))?
+            }
+            "--tick-us" => {
+                args.tick =
+                    Duration::from_micros(value.parse().map_err(|e| format!("--tick-us: {e}"))?)
+            }
+            "--timeout-ms" => {
+                args.timeout =
+                    Duration::from_millis(value.parse().map_err(|e| format!("--timeout-ms: {e}"))?)
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    if args.id >= args.n {
+        return Err(format!("--id {} out of range for --n {}", args.id, args.n));
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("minsync-node: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(args) {
+        eprintln!("minsync-node: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(args: Args) -> Result<(), String> {
+    let me = ProcessId::new(args.id);
+    let mesh = TcpMesh::bind(me, args.listen).map_err(|e| format!("bind {}: {e}", args.listen))?;
+    let port = mesh
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?
+        .port();
+    println!("{} {port}", control::PORT);
+    std::io::stdout().flush().ok();
+
+    // Stop flag: raised by STOP on stdin, or by stdin closing (the
+    // orchestrator died — never outlive it).
+    let stop_flag = Arc::new(AtomicBool::new(false));
+    let peers = match args.peers.clone() {
+        Some(peers) => {
+            spawn_stdin_watcher(Arc::clone(&stop_flag), None);
+            peers
+        }
+        None => {
+            let (peers_tx, peers_rx) = std::sync::mpsc::channel::<Vec<SocketAddr>>();
+            spawn_stdin_watcher(Arc::clone(&stop_flag), Some(peers_tx));
+            peers_rx
+                .recv_timeout(args.timeout)
+                .map_err(|_| "no PEERS line arrived on stdin".to_string())?
+        }
+    };
+    if peers.len() != args.n {
+        return Err(format!(
+            "peer list has {} addresses for --n {}",
+            peers.len(),
+            args.n
+        ));
+    }
+
+    let system = SystemConfig::new(args.n, args.t).map_err(|e| format!("system config: {e}"))?;
+    let pop = WorkloadSpec {
+        groups: args.groups,
+        clients_per_group: args.clients,
+        commands_per_client: args.commands,
+        arrivals: args.arrival,
+        seed: args.seed,
+    }
+    .generate(&system)
+    .map_err(|e| format!("workload: {e}"))?;
+    let total: usize = pop.total_commands();
+    let target = pop.slots_upper_bound(args.batch);
+
+    let config = MeshConfig {
+        tick: args.tick,
+        timeout: args.timeout,
+        seed: args.seed,
+        ..MeshConfig::default()
+    };
+
+    let node: Box<dyn Node<Msg = Msg, Output = Out>> = match args.behavior {
+        Behavior::Correct => {
+            let cfg = ConsensusConfig::paper(system);
+            Box::new(ReplicaNode::new(
+                cfg,
+                pop.source_for(args.id, args.batch),
+                target,
+            ))
+        }
+        Behavior::Silent => Box::new(SilentNode::<Msg, Out>::new()),
+        Behavior::Flood => {
+            // Protocol-level spam: bursts of future-slot garbage, plus raw
+            // garbage bytes dialed straight at every peer (the transport
+            // must disconnect those connections, not die).
+            spawn_garbage_dialers(me, args.n, &peers, Arc::clone(&stop_flag));
+            Box::new(FloodNode::<Msg, Out, _>::new(2, 64, u64::MAX, move |i| {
+                SmrMsg::Slot {
+                    slot: 2 + (i % target.max(3)),
+                    msg: ProtocolMsg::EaProp2 {
+                        round: Round::FIRST,
+                        value: Batch(vec![u64::MAX]),
+                    },
+                }
+            }))
+        }
+    };
+
+    // A correct replica reports the moment it drains, then lingers (serving
+    // acks/checkpoints to laggards) until STOP; Byzantine behaviors just
+    // run until STOP.
+    let mut reported = args.behavior != Behavior::Correct;
+    let tick = args.tick;
+    let stop = {
+        let stop_flag = Arc::clone(&stop_flag);
+        move |outs: &[MeshOutput<Out>], counters: &MeshCounters| {
+            if !reported && committed_commands(outs) >= total {
+                reported = true;
+                print_stats(&pop, outs, me, tick, counters);
+            }
+            // STOP (or stdin EOF — the orchestrator is gone) ends the run
+            // unconditionally: the orchestrator only sends STOP after every
+            // correct replica reported, and an orphan must never linger.
+            stop_flag.load(Ordering::Relaxed)
+        }
+    };
+    let report = mesh.run(node, &peers, &config, stop);
+
+    if args.behavior == Behavior::Correct
+        && report.timed_out
+        && committed_commands(&report.outputs) < total
+    {
+        return Err(format!(
+            "timed out at {}/{} commands",
+            committed_commands(&report.outputs),
+            total
+        ));
+    }
+    Ok(())
+}
+
+/// Commands committed so far in a mesh output stream.
+fn committed_commands(outs: &[MeshOutput<Out>]) -> usize {
+    outs.iter()
+        .filter_map(|o| o.event.as_committed())
+        .map(|(_, batch)| batch.len())
+        .sum()
+}
+
+/// Prints the statistics block the orchestrator parses (see
+/// `cluster::parse_stats`), ending in `DONE`.
+fn print_stats(
+    pop: &ClientPopulation,
+    outs: &[MeshOutput<Out>],
+    me: ProcessId,
+    tick: Duration,
+    counters: &MeshCounters,
+) {
+    let mut digest = LogDigest::new();
+    let mut slots = 0u64;
+    let mut commands = 0usize;
+    let mut wall = Duration::ZERO;
+    for out in outs {
+        if let Some((slot, batch)) = out.event.as_committed() {
+            digest.fold_slot(slot, batch.commands());
+            slots += 1;
+            commands += batch.len();
+            wall = wall.max(out.elapsed);
+        }
+    }
+    // Latency accounting reuses the workload crate: mesh outputs become
+    // OutputRecords at their tick-converted emission times.
+    let records: Vec<OutputRecord<Out>> = outs
+        .iter()
+        .map(|o| OutputRecord {
+            time: VirtualTime::from_ticks((o.elapsed.as_nanos() / tick.as_nanos().max(1)) as u64),
+            process: me,
+            event: o.event.clone(),
+        })
+        .collect();
+    let workload = account(pop, &records, me);
+    let lat = workload.latency;
+    println!("COMMITTED {commands} {slots}");
+    println!("DIGEST {:016x}", digest.value());
+    println!("WALL_MS {:.3}", wall.as_secs_f64() * 1000.0);
+    println!(
+        "LAT {} {} {} {} {:.3}",
+        lat.count, lat.p50, lat.p95, lat.p99, lat.mean
+    );
+    println!(
+        "DROPS {} {} {}",
+        counters.outbound_dropped_total(),
+        counters.decode_disconnects(),
+        counters.handshake_rejects()
+    );
+    println!("{}", control::DONE);
+    std::io::stdout().flush().ok();
+}
+
+/// Watches stdin: forwards the bootstrap `PEERS` line (if a sender is
+/// given) and raises the stop flag on `STOP` or EOF.
+fn spawn_stdin_watcher(
+    stop_flag: Arc<AtomicBool>,
+    peers_tx: Option<std::sync::mpsc::Sender<Vec<SocketAddr>>>,
+) {
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        let mut peers_tx = peers_tx;
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { break };
+            let line = line.trim().to_string();
+            if let Some(rest) = line.strip_prefix(control::PEERS) {
+                let peers: Result<Vec<SocketAddr>, _> =
+                    rest.split_whitespace().map(str::parse).collect();
+                if let (Some(tx), Ok(peers)) = (peers_tx.take(), peers) {
+                    let _ = tx.send(peers);
+                }
+            } else if line == control::STOP {
+                stop_flag.store(true, Ordering::Relaxed);
+            }
+        }
+        // EOF: the orchestrator is gone — stop regardless.
+        stop_flag.store(true, Ordering::Relaxed);
+    });
+}
+
+/// The byte-level arm of the flooder: dials every peer and writes garbage
+/// in both shapes the reader must survive — a valid handshake followed by
+/// an undecodable frame, and a connection that fails the handshake
+/// outright. Repeats until stopped.
+fn spawn_garbage_dialers(
+    me: ProcessId,
+    n: usize,
+    peers: &[SocketAddr],
+    stop_flag: Arc<AtomicBool>,
+) {
+    for (peer, &addr) in peers.iter().enumerate() {
+        if peer == me.index() {
+            continue;
+        }
+        let stop_flag = Arc::clone(&stop_flag);
+        std::thread::spawn(move || {
+            let mut round = 0u64;
+            while !stop_flag.load(Ordering::Relaxed) {
+                // Shape 1: honest handshake, garbage frame — must cost this
+                // connection a decode-disconnect on the receiver.
+                if let Ok(mut s) = TcpStream::connect_timeout(&addr, Duration::from_millis(250)) {
+                    let mut bytes = Hello {
+                        sender: me,
+                        n: n as u32,
+                    }
+                    .encode();
+                    bytes.extend_from_slice(&8u32.to_le_bytes());
+                    bytes.extend_from_slice(&round.to_le_bytes()); // bogus tag byte first
+                    bytes[minsync_wire::HELLO_LEN + 4] = 0xFF;
+                    let _ = s.write_all(&bytes);
+                }
+                // Shape 2: a foreign protocol — must be rejected at the
+                // handshake.
+                if let Ok(mut s) = TcpStream::connect_timeout(&addr, Duration::from_millis(250)) {
+                    let mut junk = *b"GET / HTTP/1.1\r\n";
+                    junk[15] = WIRE_VERSION as u8; // vary the bytes a little
+                    let _ = s.write_all(&junk);
+                }
+                round += 1;
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        });
+    }
+}

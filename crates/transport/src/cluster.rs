@@ -1,0 +1,750 @@
+//! Localhost cluster orchestration: spawn `n` `minsync-node` OS processes,
+//! bootstrap their port assignments over a stdin/stdout control pipe, and
+//! collect per-replica committed-log digests and latency statistics.
+//!
+//! The bootstrap avoids fixed ports entirely (parallel test runs never
+//! collide): every child binds `127.0.0.1:0`, reports the kernel-assigned
+//! port as a `PORT <p>` control line, the orchestrator gathers all `n`
+//! ports and writes one `PEERS <addr0> … <addrN−1>` line back to every
+//! child, and only then does the mesh start dialing. When a correct child
+//! drains its workload it emits its statistics block (ending in `DONE`) but
+//! **keeps serving** — laggards may still need its acks and checkpoints —
+//! until the orchestrator broadcasts `STOP` (or closes the pipe), at which
+//! point the child tears its mesh down and exits. Byzantine children never
+//! report; they run until `STOP`.
+//!
+//! The control-line grammar lives in [`control`], shared with the
+//! `minsync-node` binary so the two sides cannot drift.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError};
+use minsync_workload::ArrivalProcess;
+
+/// How one replica slot behaves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Behavior {
+    /// An honest replica running the full SMR + workload pipeline.
+    Correct,
+    /// Byzantine-silent: participates in nothing (occupies a fault slot).
+    Silent,
+    /// Byzantine-flooding: broadcasts bursts of future-slot protocol spam
+    /// *and* dials peers with raw garbage bytes (exercising both the
+    /// bounded-buffer and the decode-error-disconnect defenses).
+    Flood,
+}
+
+impl Behavior {
+    /// The `--behavior` CLI value.
+    pub fn arg(self) -> &'static str {
+        match self {
+            Behavior::Correct => "correct",
+            Behavior::Silent => "silent",
+            Behavior::Flood => "flood",
+        }
+    }
+
+    /// Parses a `--behavior` CLI value.
+    pub fn parse(s: &str) -> Option<Behavior> {
+        match s {
+            "correct" => Some(Behavior::Correct),
+            "silent" => Some(Behavior::Silent),
+            "flood" => Some(Behavior::Flood),
+            _ => None,
+        }
+    }
+}
+
+/// Control-pipe line grammar shared by the orchestrator and `minsync-node`.
+pub mod control {
+    /// Child → parent: "my listener is bound on this port".
+    pub const PORT: &str = "PORT";
+    /// Parent → child: the full space-separated peer address list.
+    pub const PEERS: &str = "PEERS";
+    /// Parent → child: tear down and exit.
+    pub const STOP: &str = "STOP";
+    /// Child → parent: end of the statistics block.
+    pub const DONE: &str = "DONE";
+}
+
+/// Serializes an [`ArrivalProcess`] as a CLI argument (`poisson:G`,
+/// `bursty:B/P`, `closed:T`).
+pub fn arrival_to_arg(a: &ArrivalProcess) -> String {
+    match a {
+        ArrivalProcess::Poisson { mean_gap } => format!("poisson:{mean_gap}"),
+        ArrivalProcess::Bursty { burst, period } => format!("bursty:{burst}/{period}"),
+        ArrivalProcess::ClosedLoop { think } => format!("closed:{think}"),
+    }
+}
+
+/// Parses the [`arrival_to_arg`] encoding.
+pub fn parse_arrival(s: &str) -> Option<ArrivalProcess> {
+    let (kind, rest) = s.split_once(':')?;
+    match kind {
+        "poisson" => Some(ArrivalProcess::Poisson {
+            mean_gap: rest.parse().ok().filter(|g: &f64| *g > 0.0)?,
+        }),
+        "bursty" => {
+            let (burst, period) = rest.split_once('/')?;
+            Some(ArrivalProcess::Bursty {
+                burst: burst.parse().ok().filter(|b: &usize| *b > 0)?,
+                period: period.parse().ok()?,
+            })
+        }
+        "closed" => Some(ArrivalProcess::ClosedLoop {
+            think: rest.parse().ok()?,
+        }),
+        _ => None,
+    }
+}
+
+/// FNV-1a over a committed log: each entry hashed as
+/// `(slot, batch length, commands…)`. Two replicas report equal digests iff
+/// they committed identical batches to identical slots — the cluster-wide
+/// agreement check, compressed to eight bytes per replica so it fits a
+/// control line.
+#[derive(Clone, Copy, Debug)]
+pub struct LogDigest(u64);
+
+impl LogDigest {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// An empty-log digest.
+    pub fn new() -> Self {
+        LogDigest(Self::OFFSET)
+    }
+
+    fn mix(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Folds one committed `(slot, commands)` entry into the digest (call
+    /// in commit order).
+    pub fn fold_slot(&mut self, slot: u64, commands: &[u64]) {
+        self.mix(slot);
+        self.mix(commands.len() as u64);
+        for &cmd in commands {
+            self.mix(cmd);
+        }
+    }
+
+    /// The digest value.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for LogDigest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Everything needed to spawn one cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterSpec {
+    /// System size.
+    pub n: usize,
+    /// Fault bound.
+    pub t: usize,
+    /// Workload routing groups `m` (use 1 for digest-comparable logs).
+    pub groups: usize,
+    /// Client streams per group.
+    pub clients_per_group: usize,
+    /// Commands per client.
+    pub commands_per_client: usize,
+    /// Batch cap of the proposal sources.
+    pub batch: usize,
+    /// Arrival process of every client.
+    pub arrivals: ArrivalProcess,
+    /// Cluster seed (workload generation and derived per-replica streams).
+    pub seed: u64,
+    /// Behaviors for the top replica ids: `riders[k]` is replica
+    /// `n − riders.len() + k`; all lower ids are correct.
+    pub riders: Vec<Behavior>,
+    /// Wall-clock duration of one virtual tick inside each child.
+    pub tick: Duration,
+    /// Per-child wall-clock cap.
+    pub child_timeout: Duration,
+    /// Orchestrator-side cap on the whole cluster run.
+    pub harness_timeout: Duration,
+}
+
+impl ClusterSpec {
+    /// Total client commands the workload will submit.
+    pub fn total_commands(&self) -> usize {
+        self.groups * self.clients_per_group * self.commands_per_client
+    }
+
+    /// Number of correct replicas (`n` minus the rider slots).
+    pub fn correct(&self) -> usize {
+        self.n - self.riders.len()
+    }
+}
+
+/// One correct replica's report, parsed off its control pipe.
+#[derive(Clone, Debug)]
+pub struct ReplicaStats {
+    /// Replica id.
+    pub id: usize,
+    /// Client commands committed.
+    pub committed: usize,
+    /// Log slots committed (including no-op batches).
+    pub slots: u64,
+    /// Committed-log digest ([`LogDigest`]).
+    pub digest: u64,
+    /// Wall-clock time from mesh start to workload drain.
+    pub wall: Duration,
+    /// Latency sample size.
+    pub lat_count: usize,
+    /// Submit→commit latency percentiles, in virtual ticks.
+    pub lat_p50: u64,
+    /// 95th percentile, ticks.
+    pub lat_p95: u64,
+    /// 99th percentile, ticks.
+    pub lat_p99: u64,
+    /// Mean latency, ticks.
+    pub lat_mean: f64,
+    /// Outbound messages this replica dropped across all peers (bounded
+    /// writer queues + broken-connection losses).
+    pub outbound_dropped: u64,
+    /// Inbound connections this replica cut for undecodable bytes.
+    pub decode_disconnects: u64,
+    /// Inbound connections this replica refused at the handshake.
+    pub handshake_rejects: u64,
+}
+
+/// Result of one cluster run: every *correct* replica's stats.
+#[derive(Clone, Debug)]
+pub struct ClusterReport {
+    /// Per-correct-replica statistics, ordered by id.
+    pub replicas: Vec<ReplicaStats>,
+    /// Total commands the workload submitted.
+    pub total_commands: usize,
+    /// Orchestrator-side wall-clock for the whole run (spawn to reap).
+    pub elapsed: Duration,
+}
+
+impl ClusterReport {
+    /// True iff every correct replica reported the same committed-log
+    /// digest — the distributed-agreement check.
+    pub fn digests_agree(&self) -> bool {
+        self.replicas.windows(2).all(|w| w[0].digest == w[1].digest)
+    }
+
+    /// Cluster throughput in commands per wall-clock second, measured at
+    /// the slowest correct replica.
+    pub fn cmds_per_sec(&self) -> f64 {
+        let slowest = self
+            .replicas
+            .iter()
+            .map(|r| r.wall)
+            .max()
+            .unwrap_or_default();
+        if slowest.is_zero() {
+            return 0.0;
+        }
+        self.total_commands as f64 / slowest.as_secs_f64()
+    }
+}
+
+/// Why a cluster run failed.
+#[derive(Clone, Debug)]
+pub enum ClusterError {
+    /// The `minsync-node` binary was not found (see [`node_binary`]).
+    BinaryMissing(String),
+    /// Spawning or piping a child failed.
+    Io(String),
+    /// A child misbehaved on the control pipe (bad line, early exit).
+    Protocol {
+        /// Offending replica id.
+        id: usize,
+        /// What went wrong.
+        what: String,
+    },
+    /// The cluster did not complete within the harness timeout.
+    Timeout {
+        /// Replica ids that never finished their report.
+        pending: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::BinaryMissing(hint) => write!(f, "minsync-node binary missing: {hint}"),
+            ClusterError::Io(e) => write!(f, "cluster io error: {e}"),
+            ClusterError::Protocol { id, what } => {
+                write!(f, "replica {id} control-pipe violation: {what}")
+            }
+            ClusterError::Timeout { pending } => {
+                write!(f, "cluster timed out; replicas still pending: {pending:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl ClusterError {
+    /// Fills a [`ClusterError::Timeout`]'s pending-replica list (the
+    /// deadline fires inside the line receiver, which does not know which
+    /// replicas the caller is still waiting on); other variants pass
+    /// through unchanged.
+    fn with_pending(self, pending: impl FnOnce() -> Vec<usize>) -> Self {
+        match self {
+            ClusterError::Timeout { .. } => ClusterError::Timeout { pending: pending() },
+            other => other,
+        }
+    }
+}
+
+/// Locates the `minsync-node` binary: the `MINSYNC_NODE_BIN` environment
+/// variable if set (integration tests point it at `CARGO_BIN_EXE_…`),
+/// otherwise a sibling of the current executable (walking a couple of
+/// directories up covers `target/<profile>/deps/` test binaries). If
+/// neither hits and a `cargo` is available (the `CARGO` environment
+/// variable any cargo-launched process inherits, or plain `cargo` on
+/// `PATH`), it builds the binary once — matching the running profile — and
+/// retries, so `cargo test -p minsync-harness` on a clean target directory
+/// does not fail on a bin another crate owns.
+///
+/// # Errors
+///
+/// [`ClusterError::BinaryMissing`] with a build hint.
+pub fn node_binary() -> Result<PathBuf, ClusterError> {
+    if let Ok(path) = std::env::var("MINSYNC_NODE_BIN") {
+        let path = PathBuf::from(path);
+        if path.is_file() {
+            return Ok(path);
+        }
+        return Err(ClusterError::BinaryMissing(format!(
+            "MINSYNC_NODE_BIN points at {} which does not exist",
+            path.display()
+        )));
+    }
+    if let Some(found) = locate_near_current_exe() {
+        return Ok(found);
+    }
+    // Fall back to building it. `current_exe` under `target/release`
+    // selects the release profile so cluster perf matches the caller's.
+    let release = std::env::current_exe()
+        .ok()
+        .is_some_and(|exe| exe.components().any(|c| c.as_os_str() == "release"));
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let mut build = Command::new(cargo);
+    build.args(["build", "-p", "minsync-transport", "--bin", "minsync-node"]);
+    if release {
+        build.arg("--release");
+    }
+    let built = build
+        .status()
+        .map(|status| status.success())
+        .unwrap_or(false);
+    if built {
+        if let Some(found) = locate_near_current_exe() {
+            return Ok(found);
+        }
+    }
+    Err(ClusterError::BinaryMissing(
+        "build it with `cargo build --release -p minsync-transport` (or set MINSYNC_NODE_BIN)"
+            .into(),
+    ))
+}
+
+/// The sibling-of-`current_exe` search `node_binary` uses.
+fn locate_near_current_exe() -> Option<PathBuf> {
+    let name = format!("minsync-node{}", std::env::consts::EXE_SUFFIX);
+    let exe = std::env::current_exe().ok()?;
+    exe.ancestors()
+        .skip(1)
+        .take(3)
+        .map(|dir| dir.join(&name))
+        .find(|candidate| candidate.is_file())
+}
+
+/// Kill-on-drop guard: whatever goes wrong in the orchestrator, no child
+/// process outlives it.
+struct Reaper(Vec<Child>);
+
+impl Drop for Reaper {
+    fn drop(&mut self) {
+        for child in &mut self.0 {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// One line read off a child's stdout, or its EOF marker.
+enum ChildLine {
+    Line(usize, String),
+    Eof(usize),
+}
+
+/// Spawns and runs one localhost cluster to completion (see the module
+/// docs for the bootstrap protocol).
+///
+/// # Errors
+///
+/// [`ClusterError`] if the binary is missing, a child dies or violates the
+/// control protocol, or the run exceeds [`ClusterSpec::harness_timeout`].
+pub fn run_cluster(spec: &ClusterSpec) -> Result<ClusterReport, ClusterError> {
+    assert!(
+        spec.riders.len() <= spec.t,
+        "riders must fit the fault bound"
+    );
+    assert!(spec.correct() >= 1, "need at least one correct replica");
+    let bin = node_binary()?;
+    let start = Instant::now();
+    let deadline = start + spec.harness_timeout;
+
+    // Spawn every child with a piped control pipe.
+    let mut children = Vec::with_capacity(spec.n);
+    for id in 0..spec.n {
+        let behavior = if id >= spec.correct() {
+            spec.riders[id - spec.correct()]
+        } else {
+            Behavior::Correct
+        };
+        let child = Command::new(&bin)
+            .arg("--id")
+            .arg(id.to_string())
+            .arg("--n")
+            .arg(spec.n.to_string())
+            .arg("--t")
+            .arg(spec.t.to_string())
+            .arg("--groups")
+            .arg(spec.groups.to_string())
+            .arg("--clients")
+            .arg(spec.clients_per_group.to_string())
+            .arg("--commands")
+            .arg(spec.commands_per_client.to_string())
+            .arg("--batch")
+            .arg(spec.batch.to_string())
+            .arg("--arrival")
+            .arg(arrival_to_arg(&spec.arrivals))
+            .arg("--seed")
+            .arg(spec.seed.to_string())
+            .arg("--behavior")
+            .arg(behavior.arg())
+            .arg("--tick-us")
+            .arg(spec.tick.as_micros().to_string())
+            .arg("--timeout-ms")
+            .arg(spec.child_timeout.as_millis().to_string())
+            .arg("--listen")
+            .arg("127.0.0.1:0")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| ClusterError::Io(format!("spawning replica {id}: {e}")))?;
+        children.push(child);
+    }
+
+    // One reader thread per child funnels control lines into a channel, so
+    // the orchestrator never blocks on a single quiet pipe.
+    let (line_tx, line_rx) = unbounded::<ChildLine>();
+    let mut stdins = Vec::with_capacity(spec.n);
+    for (id, child) in children.iter_mut().enumerate() {
+        stdins.push(child.stdin.take().expect("piped stdin"));
+        let stdout = child.stdout.take().expect("piped stdout");
+        let tx = line_tx.clone();
+        std::thread::spawn(move || {
+            let reader = BufReader::new(stdout);
+            for line in reader.lines() {
+                match line {
+                    Ok(line) => {
+                        if tx.send(ChildLine::Line(id, line)).is_err() {
+                            return;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+            let _ = tx.send(ChildLine::Eof(id));
+        });
+    }
+    drop(line_tx);
+    let mut reaper = Reaper(children);
+
+    // Phase 1: gather every child's kernel-assigned port.
+    let mut ports: BTreeMap<usize, u16> = BTreeMap::new();
+    let mut pending_lines: Vec<Vec<String>> = vec![Vec::new(); spec.n];
+    while ports.len() < spec.n {
+        let line = recv_line(&line_rx, deadline).map_err(|e| {
+            e.with_pending(|| (0..spec.n).filter(|id| !ports.contains_key(id)).collect())
+        })?;
+        match line {
+            ChildLine::Line(id, line) => {
+                if let Some(port) = line
+                    .strip_prefix(control::PORT)
+                    .and_then(|r| r.trim().parse::<u16>().ok())
+                {
+                    ports.insert(id, port);
+                } else {
+                    pending_lines[id].push(line);
+                }
+            }
+            ChildLine::Eof(id) => {
+                return Err(ClusterError::Protocol {
+                    id,
+                    what: "exited before announcing its port".into(),
+                });
+            }
+        }
+    }
+
+    // Phase 2: hand everyone the full peer list.
+    let peer_line = {
+        let addrs: Vec<String> = (0..spec.n)
+            .map(|id| format!("127.0.0.1:{}", ports[&id]))
+            .collect();
+        format!("{} {}\n", control::PEERS, addrs.join(" "))
+    };
+    for (id, stdin) in stdins.iter_mut().enumerate() {
+        stdin
+            .write_all(peer_line.as_bytes())
+            .and_then(|()| stdin.flush())
+            .map_err(|e| ClusterError::Io(format!("writing peer list to replica {id}: {e}")))?;
+    }
+
+    // Phase 3: collect every correct replica's statistics block.
+    let mut blocks: Vec<Vec<String>> = pending_lines;
+    let mut done = vec![false; spec.n];
+    while (0..spec.correct()).any(|id| !done[id]) {
+        let line = recv_line(&line_rx, deadline).map_err(|e| {
+            e.with_pending(|| (0..spec.correct()).filter(|&id| !done[id]).collect())
+        })?;
+        match line {
+            ChildLine::Line(id, line) => {
+                if line.trim() == control::DONE {
+                    done[id] = true;
+                } else {
+                    blocks[id].push(line);
+                }
+            }
+            ChildLine::Eof(id) if done[id] || id >= spec.correct() => {}
+            ChildLine::Eof(id) => {
+                return Err(ClusterError::Protocol {
+                    id,
+                    what: "exited before finishing its report".into(),
+                });
+            }
+        }
+    }
+
+    // Phase 4: everyone has reported — release the cluster.
+    for stdin in &mut stdins {
+        let _ = stdin.write_all(format!("{}\n", control::STOP).as_bytes());
+        let _ = stdin.flush();
+    }
+    drop(stdins); // EOF doubles as STOP for children that missed the line
+    for (id, child) in reaper.0.iter_mut().enumerate() {
+        let grace = Instant::now() + Duration::from_secs(5);
+        loop {
+            match child.try_wait() {
+                Ok(Some(_)) => break,
+                Ok(None) if Instant::now() < grace => std::thread::sleep(Duration::from_millis(10)),
+                _ => {
+                    // Byzantine or wedged: the reaper's kill handles it.
+                    let _ = id;
+                    break;
+                }
+            }
+        }
+    }
+
+    let mut replicas = Vec::with_capacity(spec.correct());
+    for (id, block) in blocks.iter().enumerate().take(spec.correct()) {
+        replicas.push(parse_stats(id, block)?);
+    }
+    Ok(ClusterReport {
+        replicas,
+        total_commands: spec.total_commands(),
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Receives one control line, failing cleanly at the deadline.
+fn recv_line(rx: &Receiver<ChildLine>, deadline: Instant) -> Result<ChildLine, ClusterError> {
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(ClusterError::Timeout { pending: vec![] });
+        }
+        match rx.recv_timeout((deadline - now).min(Duration::from_millis(100))) {
+            Ok(line) => return Ok(line),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err(ClusterError::Io("all control pipes closed".into()))
+            }
+        }
+    }
+}
+
+/// Parses one correct replica's statistics block:
+///
+/// ```text
+/// COMMITTED <commands> <slots>
+/// DIGEST <16-hex-digit fnv1a64>
+/// WALL_MS <float>
+/// LAT <count> <p50> <p95> <p99> <mean>      (virtual ticks)
+/// DROPS <outbound> <decode> <handshake>
+/// ```
+fn parse_stats(id: usize, block: &[String]) -> Result<ReplicaStats, ClusterError> {
+    let field = |key: &str| -> Result<Vec<String>, ClusterError> {
+        block
+            .iter()
+            .find_map(|l| l.strip_prefix(key))
+            .map(|rest| rest.split_whitespace().map(str::to_string).collect())
+            .ok_or_else(|| ClusterError::Protocol {
+                id,
+                what: format!("missing {key} line in report"),
+            })
+    };
+    let bad = |what: &str| ClusterError::Protocol {
+        id,
+        what: what.to_string(),
+    };
+    let committed = field("COMMITTED")?;
+    let digest = field("DIGEST")?;
+    let wall = field("WALL_MS")?;
+    let lat = field("LAT")?;
+    let drops = field("DROPS")?;
+    if committed.len() != 2
+        || digest.len() != 1
+        || wall.len() != 1
+        || lat.len() != 5
+        || drops.len() != 3
+    {
+        return Err(bad("malformed report line"));
+    }
+    Ok(ReplicaStats {
+        id,
+        committed: committed[0].parse().map_err(|_| bad("bad COMMITTED"))?,
+        slots: committed[1].parse().map_err(|_| bad("bad COMMITTED"))?,
+        digest: u64::from_str_radix(&digest[0], 16).map_err(|_| bad("bad DIGEST"))?,
+        wall: Duration::from_secs_f64(
+            wall[0].parse::<f64>().map_err(|_| bad("bad WALL_MS"))? / 1000.0,
+        ),
+        lat_count: lat[0].parse().map_err(|_| bad("bad LAT"))?,
+        lat_p50: lat[1].parse().map_err(|_| bad("bad LAT"))?,
+        lat_p95: lat[2].parse().map_err(|_| bad("bad LAT"))?,
+        lat_p99: lat[3].parse().map_err(|_| bad("bad LAT"))?,
+        lat_mean: lat[4].parse().map_err(|_| bad("bad LAT"))?,
+        outbound_dropped: drops[0].parse().map_err(|_| bad("bad DROPS"))?,
+        decode_disconnects: drops[1].parse().map_err(|_| bad("bad DROPS"))?,
+        handshake_rejects: drops[2].parse().map_err(|_| bad("bad DROPS"))?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_args_round_trip() {
+        for a in [
+            ArrivalProcess::Poisson { mean_gap: 2.5 },
+            ArrivalProcess::Bursty {
+                burst: 8,
+                period: 64,
+            },
+            ArrivalProcess::ClosedLoop { think: 9 },
+        ] {
+            assert_eq!(parse_arrival(&arrival_to_arg(&a)), Some(a));
+        }
+        assert_eq!(parse_arrival("poisson:0"), None);
+        assert_eq!(parse_arrival("nonsense"), None);
+        assert_eq!(parse_arrival("bursty:0/4"), None);
+    }
+
+    #[test]
+    fn log_digest_separates_slot_shapes() {
+        // Same flattened commands, different batch boundaries: distinct.
+        let mut a = LogDigest::new();
+        a.fold_slot(1, &[1, 2]);
+        a.fold_slot(2, &[3]);
+        let mut b = LogDigest::new();
+        b.fold_slot(1, &[1]);
+        b.fold_slot(2, &[2, 3]);
+        assert_ne!(a.value(), b.value());
+        // Determinism.
+        let mut c = LogDigest::new();
+        c.fold_slot(1, &[1, 2]);
+        c.fold_slot(2, &[3]);
+        assert_eq!(a.value(), c.value());
+    }
+
+    #[test]
+    fn stats_block_parses_and_reports_missing_fields() {
+        let block: Vec<String> = [
+            "COMMITTED 128 20",
+            "DIGEST cbf29ce484222325",
+            "WALL_MS 412.5",
+            "LAT 128 10 25 40 12.75",
+            "DROPS 3 1 0",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let stats = parse_stats(2, &block).unwrap();
+        assert_eq!(stats.committed, 128);
+        assert_eq!(stats.slots, 20);
+        assert_eq!(stats.digest, 0xcbf2_9ce4_8422_2325);
+        assert_eq!(stats.lat_p99, 40);
+        assert_eq!(stats.outbound_dropped, 3);
+        assert!((stats.wall.as_secs_f64() - 0.4125).abs() < 1e-9);
+
+        let missing = parse_stats(2, &block[..2]);
+        assert!(matches!(missing, Err(ClusterError::Protocol { id: 2, .. })));
+    }
+
+    #[test]
+    fn behavior_args_round_trip() {
+        for b in [Behavior::Correct, Behavior::Silent, Behavior::Flood] {
+            assert_eq!(Behavior::parse(b.arg()), Some(b));
+        }
+        assert_eq!(Behavior::parse("evil"), None);
+    }
+
+    #[test]
+    fn report_helpers() {
+        let stats = |id: usize, digest: u64, wall_ms: u64| ReplicaStats {
+            id,
+            committed: 100,
+            slots: 10,
+            digest,
+            wall: Duration::from_millis(wall_ms),
+            lat_count: 100,
+            lat_p50: 1,
+            lat_p95: 2,
+            lat_p99: 3,
+            lat_mean: 1.5,
+            outbound_dropped: 0,
+            decode_disconnects: 0,
+            handshake_rejects: 0,
+        };
+        let report = ClusterReport {
+            replicas: vec![stats(0, 7, 500), stats(1, 7, 250)],
+            total_commands: 100,
+            elapsed: Duration::from_secs(1),
+        };
+        assert!(report.digests_agree());
+        assert_eq!(report.cmds_per_sec(), 200.0);
+        let split = ClusterReport {
+            replicas: vec![stats(0, 7, 500), stats(1, 8, 500)],
+            ..report
+        };
+        assert!(!split.digests_agree());
+    }
+}

@@ -1,0 +1,34 @@
+//! The socket-backed substrate: run the same sans-io automata every other
+//! substrate runs — over real TCP connections, across real OS processes.
+//!
+//! The repository's other two substrates live in `minsync-net`: the
+//! deterministic discrete-event simulator and the in-process threaded
+//! runtime. This crate adds the third and most production-shaped one:
+//!
+//! * [`TcpMesh`] ([`mesh`]) — one mesh instance per process, speaking the
+//!   `minsync-wire` byte protocol over `std::net::TcpStream` threads, with
+//!   bounded outbound queues (slow or Byzantine peers cost drops, never
+//!   stalls), decode-error disconnects (garbage bytes cost the sender its
+//!   connection, never the receiver its process), reconnect with backoff,
+//!   and wall-clock timers on the shared
+//!   [`TimerTable`](minsync_net::TimerTable) generation scheme.
+//! * [`cluster`] — a localhost orchestrator that spawns `n` `minsync-node`
+//!   OS processes, bootstraps their port assignments over a stdin/stdout
+//!   control pipe, and collects per-replica committed-log digests and
+//!   latency statistics. This is what powers the E11 experiment and the CI
+//!   loopback smoke job.
+//!
+//! The `minsync-node` binary (in `src/bin/`) is one replica of the batched
+//! SMR + workload pipeline from `minsync-smr` / `minsync-workload`, run on
+//! a mesh; see the README's cluster walkthrough.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod mesh;
+
+pub use cluster::{
+    run_cluster, Behavior, ClusterError, ClusterReport, ClusterSpec, LogDigest, ReplicaStats,
+};
+pub use mesh::{MeshConfig, MeshOutput, MeshReport, TcpMesh};

@@ -1,0 +1,776 @@
+//! The TCP mesh: a wall-clock substrate running one sans-io [`Node`] per
+//! process over real `std::net` sockets.
+//!
+//! Where the threaded runtime (`minsync_net::threaded`) keeps every process
+//! in one address space and routes messages through an in-memory router,
+//! the mesh puts each process in its own OS process (or at least its own
+//! mesh instance) and speaks the `minsync-wire` byte protocol over
+//! `n · (n − 1)` directed TCP connections — one per ordered process pair,
+//! mirroring the paper's directed-channel model. Each mesh instance:
+//!
+//! * **Dials** one outbound connection per peer from a dedicated *writer
+//!   thread*. The node loop hands messages to writers through **bounded
+//!   queues** with `try_send`: when a peer is slow, dead, or Byzantine and
+//!   its queue fills, messages are dropped and counted
+//!   ([`MeshReport::outbound_dropped`]) — a misbehaving peer can never
+//!   stall the replica. Writers reconnect with exponential backoff; while
+//!   one is dialing, its queue buffers up to capacity (delivered late
+//!   after the re-handshake — protocols already tolerate arbitrary delay)
+//!   and overflow beyond capacity is dropped and counted, so the paper's
+//!   "reliable channel" assumption degrades to best-effort exactly at the
+//!   moment the network itself misbehaves.
+//! * **Accepts** inbound connections on a listener; each gets a *reader
+//!   thread* that first requires a valid [`Hello`] handshake (magic, codec
+//!   version, cluster size, claimed sender id) and then decodes
+//!   length-prefixed frames incrementally — arbitrary packetization is fine
+//!   ([`minsync_wire::split_frame`] just waits for more bytes). Any decode
+//!   error, oversized frame announcement, or handshake mismatch disconnects
+//!   *that peer's connection* and counts it; the process never dies on
+//!   received bytes.
+//! * **Drives the node** exactly like the other substrates: one [`Env`],
+//!   effects drained after every handler, wall-clock timers mapped onto the
+//!   shared [`TimerId`] generation scheme via the env's
+//!   [`TimerTable`](minsync_net::TimerTable) (`arm` / `cancel` /
+//!   `try_fire`), and self-addressed traffic delivered through an in-memory
+//!   queue (the paper's always-timely virtual self-channel).
+//!
+//! Identity is *claimed*, not authenticated — see [`Hello`]. Delivery is
+//! FIFO per directed channel (TCP) with no cross-channel ordering, exactly
+//! the guarantee the protocols were verified against on the simulator.
+
+use std::collections::{BinaryHeap, VecDeque};
+use std::fmt::Debug;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use minsync_net::{derive_stream, stream_of, Effect, Env, Node, TimerId, VirtualTime};
+use minsync_types::ProcessId;
+use minsync_wire::{
+    decode_frame, encode_frame, split_frame, Hello, Wire, DEFAULT_MAX_FRAME, HELLO_LEN,
+};
+
+/// Stream-namespace tag of the TCP mesh (`"MESH"`), keeping its derived
+/// seeds disjoint from every other consumer of the same base seed.
+const MESH_STREAM_TAG: u32 = 0x4D45_5348;
+
+/// Tuning knobs of one mesh instance.
+#[derive(Clone, Debug)]
+pub struct MeshConfig {
+    /// Wall-clock duration of one virtual tick (timer delays and
+    /// [`Env::now`] are expressed in ticks, as on every other substrate).
+    pub tick: Duration,
+    /// Hard wall-clock cap on the run.
+    pub timeout: Duration,
+    /// Cluster seed; this process's node-visible random stream is derived
+    /// under the mesh's own stream-namespace tag
+    /// ([`derive_stream`]`(seed, `[`stream_of`]`(MESH, me + 1))`), disjoint
+    /// from the simulator's and workload generator's streams of the same
+    /// base seed.
+    pub seed: u64,
+    /// Capacity of each per-peer outbound queue; overflow is dropped and
+    /// counted, never blocked on.
+    pub outbound_capacity: usize,
+    /// Capacity of the inbound queue readers feed. A full inbox blocks the
+    /// reader thread (TCP backpressure toward the sender), not the node.
+    pub inbox_capacity: usize,
+    /// Hard cap on one frame's payload (encode and decode side).
+    pub max_frame: usize,
+    /// First reconnect delay after a failed dial; doubles per failure.
+    pub initial_backoff: Duration,
+    /// Ceiling of the reconnect backoff.
+    pub max_backoff: Duration,
+    /// Per-attempt TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Cap on simultaneously live inbound connections (a Byzantine peer
+    /// opening sockets in a loop exhausts this, not the process's threads).
+    pub max_connections: usize,
+}
+
+impl Default for MeshConfig {
+    fn default() -> Self {
+        MeshConfig {
+            tick: Duration::from_micros(200),
+            timeout: Duration::from_secs(30),
+            seed: 0,
+            outbound_capacity: 16 * 1024,
+            inbox_capacity: 64 * 1024,
+            max_frame: DEFAULT_MAX_FRAME,
+            initial_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(200),
+            connect_timeout: Duration::from_millis(250),
+            max_connections: 64,
+        }
+    }
+}
+
+/// One output event with its wall-clock emission offset.
+#[derive(Clone, Debug)]
+pub struct MeshOutput<O> {
+    /// Wall-clock offset from run start.
+    pub elapsed: Duration,
+    /// The event.
+    pub event: O,
+}
+
+/// Result of a mesh run.
+#[derive(Clone, Debug)]
+pub struct MeshReport<O> {
+    /// All outputs of the local node, in emission order.
+    pub outputs: Vec<MeshOutput<O>>,
+    /// Total wall-clock duration.
+    pub elapsed: Duration,
+    /// True if the run hit [`MeshConfig::timeout`] before the stop
+    /// predicate was satisfied.
+    pub timed_out: bool,
+    /// Per-peer outbound messages dropped (full queue, or lost to a broken
+    /// connection mid-write). Index = peer id; the self slot stays 0.
+    pub outbound_dropped: Vec<u64>,
+    /// Inbound connections dropped because their bytes failed to decode
+    /// (garbage frames, oversized frame announcements, trailing bytes).
+    pub decode_disconnects: u64,
+    /// Inbound connections rejected at the handshake (bad magic, version
+    /// or cluster-size mismatch, out-of-range or self-claiming sender id).
+    pub handshake_rejects: u64,
+    /// Inbound connections refused before the handshake because the
+    /// [`MeshConfig::max_connections`] cap was reached.
+    pub accept_rejects: u64,
+    /// Successful writer re-connections after the first connect per peer.
+    pub reconnects: u64,
+}
+
+/// Live transport counters, shared across the mesh's threads and handed to
+/// the stop predicate on every evaluation — a replica can report transport
+/// health (drops, Byzantine disconnects) *while the mesh is still running*,
+/// which is how `minsync-node` fills its statistics block before lingering
+/// for laggards.
+#[derive(Debug)]
+pub struct MeshCounters {
+    shutdown: AtomicBool,
+    decode_disconnects: AtomicU64,
+    handshake_rejects: AtomicU64,
+    accept_rejects: AtomicU64,
+    reconnects: AtomicU64,
+    live_connections: AtomicUsize,
+    outbound_dropped: Vec<AtomicU64>,
+    /// Per-sender handshake epochs: only the *newest* connection claiming a
+    /// sender id stays alive (see `reader_loop`), so an attacker holding
+    /// sockets open cannot pin connection slots — and a correct peer's
+    /// reconnect always supersedes its own stale connection.
+    sender_epochs: Vec<AtomicU64>,
+}
+
+impl MeshCounters {
+    fn new(n: usize) -> Self {
+        MeshCounters {
+            shutdown: AtomicBool::new(false),
+            decode_disconnects: AtomicU64::new(0),
+            handshake_rejects: AtomicU64::new(0),
+            accept_rejects: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+            live_connections: AtomicUsize::new(0),
+            outbound_dropped: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            sender_epochs: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Outbound messages dropped toward `peer` so far.
+    pub fn outbound_dropped(&self, peer: usize) -> u64 {
+        self.outbound_dropped[peer].load(Ordering::Relaxed)
+    }
+
+    /// Outbound messages dropped across all peers so far.
+    pub fn outbound_dropped_total(&self) -> u64 {
+        self.outbound_dropped
+            .iter()
+            .map(|d| d.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Inbound connections cut for undecodable bytes so far.
+    pub fn decode_disconnects(&self) -> u64 {
+        self.decode_disconnects.load(Ordering::Relaxed)
+    }
+
+    /// Inbound connections refused at the handshake so far.
+    pub fn handshake_rejects(&self) -> u64 {
+        self.handshake_rejects.load(Ordering::Relaxed)
+    }
+
+    /// Inbound connections refused at the connection cap so far.
+    pub fn accept_rejects(&self) -> u64 {
+        self.accept_rejects.load(Ordering::Relaxed)
+    }
+
+    /// Successful writer re-connections so far.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
+    }
+}
+
+/// A bound listener, ready to run a node against a peer list.
+///
+/// Binding is split from running so a process can bind port 0, report the
+/// kernel-assigned port to an orchestrator, and only then learn the full
+/// peer list (the cluster bootstrap handshake in `minsync-node`).
+#[derive(Debug)]
+pub struct TcpMesh {
+    me: ProcessId,
+    listener: TcpListener,
+}
+
+impl TcpMesh {
+    /// Binds the listening socket for process `me`.
+    ///
+    /// # Errors
+    ///
+    /// Any socket-level bind failure.
+    pub fn bind(me: ProcessId, listen: SocketAddr) -> io::Result<Self> {
+        let listener = TcpListener::bind(listen)?;
+        Ok(TcpMesh { me, listener })
+    }
+
+    /// The actual bound address (resolves a port-0 bind).
+    ///
+    /// # Errors
+    ///
+    /// Any socket-level failure reading the local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs `node` against the peers at `peers` (index = process id;
+    /// `peers[me]` is this process's own address and is never dialed) until
+    /// `stop` returns true over the collected outputs and live transport
+    /// counters, the node halts, or the timeout elapses. The node loop runs
+    /// on the calling thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peers.len() < 2` or `me` is out of range.
+    pub fn run<M, O>(
+        self,
+        mut node: Box<dyn Node<Msg = M, Output = O>>,
+        peers: &[SocketAddr],
+        config: &MeshConfig,
+        mut stop: impl FnMut(&[MeshOutput<O>], &MeshCounters) -> bool,
+    ) -> MeshReport<O>
+    where
+        M: Wire + Clone + Debug + Send + 'static,
+        O: Clone + Debug + Send + 'static,
+    {
+        let n = peers.len();
+        let me = self.me;
+        assert!(n >= 2, "a mesh of one process has no wires");
+        assert!(me.index() < n, "process id out of range");
+        let start = Instant::now();
+        let shared = Arc::new(MeshCounters::new(n));
+
+        // Inbound plumbing: readers feed one bounded inbox.
+        let (inbox_tx, inbox_rx) = bounded::<(ProcessId, M)>(config.inbox_capacity);
+        let acceptor = spawn_acceptor::<M>(
+            self.listener,
+            inbox_tx,
+            Arc::clone(&shared),
+            me,
+            n,
+            config.max_frame,
+            config.max_connections,
+        );
+
+        // Outbound plumbing: one writer thread + bounded queue per peer.
+        let mut peer_txs: Vec<Option<Sender<M>>> = Vec::with_capacity(n);
+        let mut writers: Vec<JoinHandle<()>> = Vec::new();
+        for (peer, &addr) in peers.iter().enumerate() {
+            if peer == me.index() {
+                peer_txs.push(None);
+                continue;
+            }
+            let (tx, rx) = bounded::<M>(config.outbound_capacity);
+            peer_txs.push(Some(tx));
+            writers.push(spawn_writer::<M>(
+                WriterSpec {
+                    me,
+                    n: n as u32,
+                    peer,
+                    addr,
+                    max_frame: config.max_frame,
+                    initial_backoff: config.initial_backoff,
+                    max_backoff: config.max_backoff,
+                    connect_timeout: config.connect_timeout,
+                },
+                rx,
+                Arc::clone(&shared),
+            ));
+        }
+
+        // The node loop, on this thread.
+        let mut worker = MeshWorker {
+            me,
+            start,
+            tick: config.tick,
+            peer_txs,
+            counters: &shared,
+            self_queue: VecDeque::new(),
+            timers: BinaryHeap::new(),
+            outputs: Vec::new(),
+            halted: false,
+            env: Env::new(
+                n,
+                derive_stream(
+                    config.seed,
+                    stream_of(MESH_STREAM_TAG, me.index() as u32 + 1),
+                ),
+            ),
+        };
+        worker.env.prepare(me, worker.now());
+        node.on_start(&mut worker.env);
+        worker.apply_effects();
+
+        let mut timed_out = false;
+        loop {
+            // Evaluate the stop predicate even on the halting iteration:
+            // callers report off it (minsync-node prints its statistics
+            // block there), and a node emitting its final Output and Halt
+            // in one effect batch must not lose that last callback.
+            let stop_now = stop(&worker.outputs, &shared);
+            if worker.halted || stop_now {
+                break;
+            }
+            if start.elapsed() >= config.timeout {
+                timed_out = true;
+                break;
+            }
+            // 1. Self-channel first: always timely, never touches a socket.
+            while let Some((from, msg)) = worker.self_queue.pop_front() {
+                worker.env.prepare(me, worker.now());
+                node.on_message(from, msg, &mut worker.env);
+                worker.apply_effects();
+                if worker.halted {
+                    break;
+                }
+            }
+            if worker.halted {
+                continue; // loop top reports and exits
+            }
+            // 2. Due timers, filtered through the generation table.
+            let now = Instant::now();
+            while worker
+                .timers
+                .peek()
+                .is_some_and(|t: &PendingTimer| t.due <= now)
+            {
+                let t = worker.timers.pop().expect("peeked");
+                if worker.env.timers_mut().try_fire(t.id) {
+                    worker.env.prepare(me, worker.now());
+                    node.on_timer(t.id, &mut worker.env);
+                    worker.apply_effects();
+                    if worker.halted {
+                        break;
+                    }
+                }
+            }
+            if worker.halted || !worker.self_queue.is_empty() {
+                continue;
+            }
+            // 3. Remote traffic, waiting at most until the next timer.
+            let wait = worker
+                .timers
+                .peek()
+                .map(|t| t.due.saturating_duration_since(Instant::now()))
+                .unwrap_or(Duration::from_millis(10))
+                .min(Duration::from_millis(10));
+            match inbox_rx.recv_timeout(wait) {
+                Ok((from, msg)) => {
+                    worker.env.prepare(me, worker.now());
+                    node.on_message(from, msg, &mut worker.env);
+                    worker.apply_effects();
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        // Teardown: flag everyone down, unblock readers stuck on a full
+        // inbox by dropping the receiver, then join.
+        shared.shutdown.store(true, Ordering::Relaxed);
+        drop(inbox_rx);
+        let MeshWorker {
+            outputs, peer_txs, ..
+        } = worker;
+        drop(peer_txs);
+        for w in writers {
+            let _ = w.join();
+        }
+        let _ = acceptor.join();
+
+        MeshReport {
+            outputs,
+            elapsed: start.elapsed(),
+            timed_out,
+            outbound_dropped: (0..n).map(|p| shared.outbound_dropped(p)).collect(),
+            decode_disconnects: shared.decode_disconnects(),
+            handshake_rejects: shared.handshake_rejects(),
+            accept_rejects: shared.accept_rejects(),
+            reconnects: shared.reconnects(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Node-loop state
+// ---------------------------------------------------------------------------
+
+struct PendingTimer {
+    due: Instant,
+    id: TimerId,
+}
+
+impl PartialEq for PendingTimer {
+    fn eq(&self, o: &Self) -> bool {
+        self.due == o.due && self.id == o.id
+    }
+}
+impl Eq for PendingTimer {}
+impl PartialOrd for PendingTimer {
+    fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl Ord for PendingTimer {
+    fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+        (o.due, o.id).cmp(&(self.due, self.id)) // min-heap
+    }
+}
+
+/// Per-run interpreter state: the env, the local timer wheel, the writer
+/// queues, and the self-delivery queue.
+struct MeshWorker<'a, M, O> {
+    me: ProcessId,
+    start: Instant,
+    tick: Duration,
+    /// Outbound queue per peer (`None` at the self slot).
+    peer_txs: Vec<Option<Sender<M>>>,
+    counters: &'a MeshCounters,
+    /// The paper's virtual self-channel: always timely, in-memory.
+    self_queue: VecDeque<(ProcessId, M)>,
+    timers: BinaryHeap<PendingTimer>,
+    outputs: Vec<MeshOutput<O>>,
+    halted: bool,
+    env: Env<M, O>,
+}
+
+impl<M: Clone, O> MeshWorker<'_, M, O> {
+    fn now(&self) -> VirtualTime {
+        VirtualTime::from_ticks(
+            (self.start.elapsed().as_nanos() / self.tick.as_nanos().max(1)) as u64,
+        )
+    }
+
+    /// Queues `msg` toward `to` without ever blocking: self-delivery goes
+    /// through the local queue, remote delivery through the peer's bounded
+    /// writer queue (overflow dropped and counted).
+    fn enqueue(&mut self, to: usize, msg: M) {
+        match &self.peer_txs[to] {
+            None => self.self_queue.push_back((self.me, msg)),
+            Some(tx) => {
+                if tx.try_send(msg).is_err() {
+                    self.counters.outbound_dropped[to].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Drains the env and interprets each effect.
+    fn apply_effects(&mut self) {
+        let mut effects = self.env.take_buffer();
+        for effect in effects.drain(..) {
+            match effect {
+                Effect::Send { to, msg } => self.enqueue(to.index(), msg),
+                Effect::Broadcast { msg } => {
+                    // One copy per process, self included (the substrate
+                    // expands the fan-out, as on the other substrates).
+                    for to in 0..self.peer_txs.len() {
+                        self.enqueue(to, msg.clone());
+                    }
+                }
+                Effect::SetTimer { id, delay } => {
+                    let due = Instant::now() + self.tick * (delay.min(u32::MAX as u64) as u32);
+                    self.env.timers_mut().arm(id);
+                    self.timers.push(PendingTimer { due, id });
+                }
+                Effect::CancelTimer { id } => {
+                    self.env.timers_mut().cancel(id);
+                }
+                Effect::Output(event) => {
+                    self.outputs.push(MeshOutput {
+                        elapsed: self.start.elapsed(),
+                        event,
+                    });
+                }
+                Effect::Halt => {
+                    self.halted = true;
+                }
+            }
+        }
+        self.env.restore_buffer(effects);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer side
+// ---------------------------------------------------------------------------
+
+/// Everything a writer thread needs to know about its peer.
+struct WriterSpec {
+    me: ProcessId,
+    n: u32,
+    peer: usize,
+    addr: SocketAddr,
+    max_frame: usize,
+    initial_backoff: Duration,
+    max_backoff: Duration,
+    connect_timeout: Duration,
+}
+
+fn spawn_writer<M>(spec: WriterSpec, rx: Receiver<M>, shared: Arc<MeshCounters>) -> JoinHandle<()>
+where
+    M: Wire + Send + 'static,
+{
+    std::thread::spawn(move || {
+        let hello = Hello {
+            sender: spec.me,
+            n: spec.n,
+        }
+        .encode();
+        let mut backoff = spec.initial_backoff;
+        let mut connects = 0u64;
+        let mut buf = Vec::new();
+        'reconnect: while !shared.shutdown() {
+            let mut stream = match TcpStream::connect_timeout(&spec.addr, spec.connect_timeout) {
+                Ok(s) => s,
+                Err(_) => {
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(spec.max_backoff);
+                    continue 'reconnect;
+                }
+            };
+            backoff = spec.initial_backoff;
+            connects += 1;
+            if connects > 1 {
+                shared.reconnects.fetch_add(1, Ordering::Relaxed);
+            }
+            let _ = stream.set_nodelay(true);
+            // A peer that accepts but never reads would otherwise pin this
+            // thread in write_all forever (and hang shutdown): bound every
+            // write, and treat a timeout like any broken connection.
+            let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+            if stream.write_all(&hello).is_err() {
+                continue 'reconnect;
+            }
+            loop {
+                match rx.recv_timeout(Duration::from_millis(50)) {
+                    Ok(msg) => {
+                        if shared.shutdown() {
+                            // Teardown outranks the backlog: against a
+                            // slow (or byte-at-a-time Byzantine) reader,
+                            // draining a full queue at up to one write
+                            // timeout per message could hold the mesh's
+                            // join far past its wall-clock cap. The popped
+                            // message is discarded — count it like every
+                            // other drop.
+                            shared.outbound_dropped[spec.peer].fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                        buf.clear();
+                        if encode_frame(&msg, &mut buf, spec.max_frame).is_err() {
+                            // Oversized local message: unsendable, count it.
+                            shared.outbound_dropped[spec.peer].fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                        if stream.write_all(&buf).is_err() {
+                            // The popped message is lost with the
+                            // connection; count it and redial.
+                            shared.outbound_dropped[spec.peer].fetch_add(1, Ordering::Relaxed);
+                            continue 'reconnect;
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        if shared.shutdown() {
+                            return;
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+            }
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Reader side
+// ---------------------------------------------------------------------------
+
+fn spawn_acceptor<M>(
+    listener: TcpListener,
+    inbox: Sender<(ProcessId, M)>,
+    shared: Arc<MeshCounters>,
+    me: ProcessId,
+    n: usize,
+    max_frame: usize,
+    max_connections: usize,
+) -> JoinHandle<()>
+where
+    M: Wire + Send + 'static,
+{
+    std::thread::spawn(move || {
+        listener
+            .set_nonblocking(true)
+            .expect("listener nonblocking mode");
+        let mut readers: Vec<JoinHandle<()>> = Vec::new();
+        while !shared.shutdown() {
+            // Reap finished readers as we go: a Byzantine peer cycling
+            // short-lived connections must not accumulate dead threads'
+            // stacks for the life of the run.
+            readers.retain(|r| !r.is_finished());
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if shared.live_connections.load(Ordering::Relaxed) >= max_connections {
+                        // Socket-exhaustion defense: refuse, don't spawn —
+                        // and count it, so a lockout is visible.
+                        shared.accept_rejects.fetch_add(1, Ordering::Relaxed);
+                        drop(stream);
+                        continue;
+                    }
+                    shared.live_connections.fetch_add(1, Ordering::Relaxed);
+                    let inbox = inbox.clone();
+                    let shared = Arc::clone(&shared);
+                    readers.push(std::thread::spawn(move || {
+                        reader_loop::<M>(stream, inbox, &shared, me, n, max_frame);
+                        shared.live_connections.fetch_sub(1, Ordering::Relaxed);
+                    }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(2)),
+            }
+        }
+        for r in readers {
+            let _ = r.join();
+        }
+    })
+}
+
+/// Reads one connection until EOF, error, shutdown, or Byzantine bytes.
+///
+/// The loop tolerates arbitrary packetization: bytes accumulate in a local
+/// buffer and frames are split off as they complete. The buffer stays
+/// bounded by `max_frame` plus one read chunk — a peer announcing a larger
+/// frame is disconnected at the header, before any payload is buffered.
+fn reader_loop<M>(
+    mut stream: TcpStream,
+    inbox: Sender<(ProcessId, M)>,
+    shared: &MeshCounters,
+    me: ProcessId,
+    n: usize,
+    max_frame: usize,
+) where
+    M: Wire + Send + 'static,
+{
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    let mut sender: Option<ProcessId> = None;
+    // Two defenses keep connection slots reclaimable: connections that
+    // never complete a valid Hello are cut at a deadline, and completing a
+    // Hello claims the sender's *epoch* — only the newest connection per
+    // claimed sender survives, so neither an attacker holding hello'd
+    // sockets open nor a correct peer's own stale half-open connection can
+    // pin a slot (the reconnect supersedes it).
+    let mut my_epoch = 0;
+    let opened = Instant::now();
+    const HANDSHAKE_DEADLINE: Duration = Duration::from_secs(5);
+    while !shared.shutdown() {
+        match sender {
+            None if opened.elapsed() >= HANDSHAKE_DEADLINE => {
+                shared.handshake_rejects.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Some(from)
+                if shared.sender_epochs[from.index()].load(Ordering::Relaxed) != my_epoch =>
+            {
+                return; // superseded by a newer connection from this sender
+            }
+            _ => {}
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // clean EOF
+            Ok(k) => {
+                buf.extend_from_slice(&chunk[..k]);
+                if sender.is_none() {
+                    if buf.len() < HELLO_LEN {
+                        continue; // partial handshake: wait for more bytes
+                    }
+                    let mut input = buf.as_slice();
+                    match Hello::decode(&mut input) {
+                        Ok(hello)
+                            if hello.n as usize == n
+                                && hello.sender.index() < n
+                                && hello.sender != me =>
+                        {
+                            sender = Some(hello.sender);
+                            my_epoch = shared.sender_epochs[hello.sender.index()]
+                                .fetch_add(1, Ordering::Relaxed)
+                                + 1;
+                            buf.drain(..HELLO_LEN);
+                        }
+                        _ => {
+                            // Foreign protocol, incompatible version, wrong
+                            // cluster, or an impersonation attempt.
+                            shared.handshake_rejects.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+                let from = sender.expect("handshake complete");
+                let mut consumed = 0;
+                loop {
+                    match split_frame(&buf[consumed..], max_frame) {
+                        Ok(None) => break,
+                        Ok(Some((payload, used))) => match decode_frame::<M>(payload) {
+                            Ok(msg) => {
+                                consumed += used;
+                                if inbox.send((from, msg)).is_err() {
+                                    return; // node loop is gone
+                                }
+                            }
+                            Err(_) => {
+                                shared.decode_disconnects.fetch_add(1, Ordering::Relaxed);
+                                return;
+                            }
+                        },
+                        Err(_) => {
+                            shared.decode_disconnects.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+                buf.drain(..consumed);
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(_) => return,
+        }
+    }
+}

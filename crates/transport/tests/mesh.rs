@@ -1,0 +1,359 @@
+//! Mesh-level integration tests: real sockets on 127.0.0.1, one mesh
+//! instance per thread, adversarial byte streams poked in by hand.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+use minsync_net::{Env, Node, TimerId};
+use minsync_transport::mesh::{MeshConfig, MeshReport, TcpMesh};
+use minsync_types::ProcessId;
+use minsync_wire::{encode_frame, Hello, DEFAULT_MAX_FRAME, HELLO_LEN, WIRE_VERSION};
+
+/// Outputs every message it receives.
+struct Collector;
+
+impl Node for Collector {
+    type Msg = u64;
+    type Output = u64;
+
+    fn on_message(&mut self, _from: ProcessId, msg: u64, env: &mut Env<u64, u64>) {
+        env.output(msg);
+    }
+}
+
+/// Broadcasts `value` once at start, then collects.
+struct Caster(u64);
+
+impl Node for Caster {
+    type Msg = u64;
+    type Output = u64;
+
+    fn on_start(&mut self, env: &mut Env<u64, u64>) {
+        env.broadcast(self.0);
+    }
+
+    fn on_message(&mut self, _from: ProcessId, msg: u64, env: &mut Env<u64, u64>) {
+        env.output(msg);
+    }
+}
+
+fn quick_config() -> MeshConfig {
+    MeshConfig {
+        timeout: Duration::from_secs(20),
+        ..MeshConfig::default()
+    }
+}
+
+/// Two mesh instances exchange broadcasts: every process sees both values
+/// (its peer's over TCP, its own over the self-channel).
+#[test]
+fn two_meshes_broadcast_to_each_other() {
+    let a = TcpMesh::bind(ProcessId::new(0), "127.0.0.1:0".parse().unwrap()).unwrap();
+    let b = TcpMesh::bind(ProcessId::new(1), "127.0.0.1:0".parse().unwrap()).unwrap();
+    let peers = vec![a.local_addr().unwrap(), b.local_addr().unwrap()];
+    let peers_b = peers.clone();
+    let handle = std::thread::spawn(move || {
+        b.run(
+            Box::new(Caster(200)),
+            &peers_b,
+            &quick_config(),
+            |outs, _| outs.len() >= 2,
+        )
+    });
+    let report_a = a.run(Box::new(Caster(100)), &peers, &quick_config(), |outs, _| {
+        outs.len() >= 2
+    });
+    let report_b = handle.join().unwrap();
+    let sorted = |r: &MeshReport<u64>| {
+        let mut v: Vec<u64> = r.outputs.iter().map(|o| o.event).collect();
+        v.sort_unstable();
+        v
+    };
+    assert!(!report_a.timed_out && !report_b.timed_out);
+    assert_eq!(sorted(&report_a), [100, 200]);
+    assert_eq!(sorted(&report_b), [100, 200]);
+    assert_eq!(report_a.decode_disconnects, 0);
+}
+
+/// Timers fire and cancel through the shared generation table, mapped to
+/// wall-clock deadlines.
+#[test]
+fn mesh_timers_fire_and_cancel() {
+    struct TimerNode;
+    impl Node for TimerNode {
+        type Msg = u64;
+        type Output = &'static str;
+
+        fn on_start(&mut self, env: &mut Env<u64, &'static str>) {
+            let keep = env.set_timer(3);
+            let cancel = env.set_timer(1);
+            env.cancel_timer(cancel);
+            let _ = keep;
+        }
+
+        fn on_message(&mut self, _: ProcessId, _: u64, _: &mut Env<u64, &'static str>) {}
+
+        fn on_timer(&mut self, _t: TimerId, env: &mut Env<u64, &'static str>) {
+            env.output("fired");
+        }
+    }
+
+    let a = TcpMesh::bind(ProcessId::new(0), "127.0.0.1:0".parse().unwrap()).unwrap();
+    // Peer 1 never exists; its writer just backs off in the background.
+    let peers = vec![
+        a.local_addr().unwrap(),
+        "127.0.0.1:1".parse::<SocketAddr>().unwrap(),
+    ];
+    let report = a.run(Box::new(TimerNode), &peers, &quick_config(), |outs, _| {
+        !outs.is_empty()
+    });
+    assert!(!report.timed_out);
+    assert_eq!(report.outputs.len(), 1, "cancelled timer must not fire");
+    assert_eq!(report.outputs[0].event, "fired");
+}
+
+/// Byzantine bytes cost the sender its connection, never the receiver its
+/// process: a garbage frame after a valid handshake is cut with a
+/// decode-disconnect, a foreign protocol is cut at the handshake, an
+/// oversized frame announcement is cut at its header — and honest traffic
+/// keeps flowing throughout.
+#[test]
+fn garbage_bytes_disconnect_the_peer_not_the_process() {
+    let mesh = TcpMesh::bind(ProcessId::new(0), "127.0.0.1:0".parse().unwrap()).unwrap();
+    let addr = mesh.local_addr().unwrap();
+    let peers = vec![addr, "127.0.0.1:1".parse().unwrap()];
+
+    let poker = std::thread::spawn(move || {
+        let hello = Hello {
+            sender: ProcessId::new(1),
+            n: 2,
+        }
+        .encode();
+        // 1. Valid handshake, then a frame whose payload cannot be one
+        //    u64: nine bytes decode eight and leave one trailing.
+        let mut s1 = TcpStream::connect(addr).unwrap();
+        s1.write_all(&hello).unwrap();
+        s1.write_all(&9u32.to_le_bytes()).unwrap();
+        s1.write_all(&[0xFF; 9]).unwrap();
+        // 2. A foreign protocol: rejected at the handshake.
+        let mut s2 = TcpStream::connect(addr).unwrap();
+        s2.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        // 3. Valid handshake, then an absurd frame length announcement.
+        let mut s3 = TcpStream::connect(addr).unwrap();
+        s3.write_all(&hello).unwrap();
+        s3.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        // 4. A version from the future: rejected at the handshake.
+        let mut future = hello.clone();
+        future[4..6].copy_from_slice(&(WIRE_VERSION + 1).to_le_bytes());
+        let mut s4 = TcpStream::connect(addr).unwrap();
+        s4.write_all(&future).unwrap();
+        // 5. Honest traffic, delivered in two split writes (partial-read
+        //    tolerance), still goes through after all of the above.
+        let mut s5 = TcpStream::connect(addr).unwrap();
+        s5.write_all(&hello).unwrap();
+        let mut frame = Vec::new();
+        encode_frame(&42u64, &mut frame, DEFAULT_MAX_FRAME).unwrap();
+        let (head, tail) = frame.split_at(3);
+        s5.write_all(head).unwrap();
+        s5.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        s5.write_all(tail).unwrap();
+        // Hold the honest sockets open until the mesh stops, so their
+        // teardown cannot race the assertions.
+        std::thread::sleep(Duration::from_millis(500));
+        drop((s1, s2, s3, s4, s5));
+    });
+
+    let report = mesh.run(
+        Box::new(Collector),
+        &peers,
+        &quick_config(),
+        |outs, counters| {
+            outs.iter().any(|o| o.event == 42)
+                && counters.decode_disconnects() >= 2
+                && counters.handshake_rejects() >= 2
+        },
+    );
+    poker.join().unwrap();
+    assert!(!report.timed_out, "mesh survived and delivered");
+    assert_eq!(report.outputs.len(), 1);
+    assert_eq!(report.outputs[0].event, 42);
+    assert!(
+        report.decode_disconnects >= 2,
+        "garbage frame + oversized header"
+    );
+    assert!(report.handshake_rejects >= 2, "bad magic + future version");
+}
+
+/// The handshake pins the cluster size and forbids claiming the host's own
+/// id — both rejected without reading protocol traffic.
+#[test]
+fn handshake_rejects_wrong_cluster_and_impersonation() {
+    let mesh = TcpMesh::bind(ProcessId::new(0), "127.0.0.1:0".parse().unwrap()).unwrap();
+    let addr = mesh.local_addr().unwrap();
+    let peers = vec![addr, "127.0.0.1:1".parse().unwrap()];
+    let poker = std::thread::spawn(move || {
+        // Wrong cluster size.
+        let mut s1 = TcpStream::connect(addr).unwrap();
+        s1.write_all(
+            &Hello {
+                sender: ProcessId::new(1),
+                n: 9,
+            }
+            .encode(),
+        )
+        .unwrap();
+        // Claiming the host's own id.
+        let mut s2 = TcpStream::connect(addr).unwrap();
+        s2.write_all(
+            &Hello {
+                sender: ProcessId::new(0),
+                n: 2,
+            }
+            .encode(),
+        )
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(300));
+        drop((s1, s2));
+    });
+    let report = mesh.run(
+        Box::new(Collector),
+        &peers,
+        &quick_config(),
+        |_, counters| counters.handshake_rejects() >= 2,
+    );
+    poker.join().unwrap();
+    assert!(!report.timed_out);
+    assert_eq!(report.handshake_rejects, 2);
+    assert!(report.outputs.is_empty(), "no traffic was ever accepted");
+}
+
+/// A writer whose connection is cut reconnects with backoff and re-sends
+/// its handshake; messages lost to the broken connection are counted as
+/// drops, later messages flow again.
+#[test]
+fn writer_reconnects_after_peer_drops_the_connection() {
+    struct Beacon;
+    impl Node for Beacon {
+        type Msg = u64;
+        type Output = u64;
+
+        fn on_start(&mut self, env: &mut Env<u64, u64>) {
+            env.send(ProcessId::new(1), 0);
+            env.set_timer(1);
+        }
+
+        fn on_message(&mut self, _: ProcessId, _: u64, _: &mut Env<u64, u64>) {}
+
+        fn on_timer(&mut self, _t: TimerId, env: &mut Env<u64, u64>) {
+            env.send(ProcessId::new(1), 0);
+            env.set_timer(1);
+        }
+    }
+
+    // A hand-rolled "peer 1": accept, read the hello, slam the door, then
+    // accept again and verify the handshake comes back.
+    let peer = TcpListener::bind("127.0.0.1:0").unwrap();
+    let peer_addr = peer.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let read_hello = |stream: &mut TcpStream| {
+            let mut buf = [0u8; HELLO_LEN];
+            stream.read_exact(&mut buf).unwrap();
+            Hello::decode(&mut buf.as_slice()).unwrap()
+        };
+        let (mut first, _) = peer.accept().unwrap();
+        let hello = read_hello(&mut first);
+        assert_eq!(hello.sender, ProcessId::new(0));
+        drop(first); // cut the connection mid-stream
+        let (mut second, _) = peer.accept().unwrap();
+        let hello = read_hello(&mut second);
+        assert_eq!(hello.sender, ProcessId::new(0), "handshake re-sent");
+        // Keep reading so the beacon's writes succeed until shutdown.
+        let mut sink = [0u8; 1024];
+        second
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        loop {
+            match second.read(&mut sink) {
+                Ok(0) => break,
+                Ok(_) => {}
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(_) => break,
+            }
+        }
+    });
+
+    let mesh = TcpMesh::bind(ProcessId::new(0), "127.0.0.1:0".parse().unwrap()).unwrap();
+    let peers = vec![mesh.local_addr().unwrap(), peer_addr];
+    let report = mesh.run(Box::new(Beacon), &peers, &quick_config(), |_, counters| {
+        counters.reconnects() >= 1
+    });
+    assert!(!report.timed_out, "writer reconnected");
+    assert!(report.reconnects >= 1);
+    server.join().unwrap();
+}
+
+/// Completing a handshake supersedes any older connection claiming the
+/// same sender: an attacker (or a stale half-open connection) cannot pin
+/// connection slots by holding hello'd sockets open.
+#[test]
+fn newer_connection_from_a_sender_supersedes_the_older_one() {
+    let mesh = TcpMesh::bind(ProcessId::new(0), "127.0.0.1:0".parse().unwrap()).unwrap();
+    let addr = mesh.local_addr().unwrap();
+    let peers = vec![addr, "127.0.0.1:1".parse().unwrap()];
+    let poker = std::thread::spawn(move || {
+        let hello = Hello {
+            sender: ProcessId::new(1),
+            n: 2,
+        }
+        .encode();
+        let frame = |v: u64| {
+            let mut f = Vec::new();
+            encode_frame(&v, &mut f, DEFAULT_MAX_FRAME).unwrap();
+            f
+        };
+        // First connection delivers 1…
+        let mut first = TcpStream::connect(addr).unwrap();
+        first.write_all(&hello).unwrap();
+        first.write_all(&frame(1)).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        // …then a second connection claims the same sender.
+        let mut second = TcpStream::connect(addr).unwrap();
+        second.write_all(&hello).unwrap();
+        // Give the first reader time to notice it was superseded, then try
+        // to sneak a frame through it: it must never be delivered.
+        std::thread::sleep(Duration::from_millis(300));
+        let _ = first.write_all(&frame(99));
+        std::thread::sleep(Duration::from_millis(100));
+        second.write_all(&frame(2)).unwrap();
+        // Hold the live socket open until the mesh stops.
+        std::thread::sleep(Duration::from_millis(500));
+        drop((first, second));
+    });
+    let mut seen_two_since = None;
+    let report = mesh.run(
+        Box::new(Collector),
+        &peers,
+        &quick_config(),
+        move |outs, _| {
+            // Wait a grace period past the delivery of 2, so a stray 99
+            // would have had time to arrive before we assert.
+            if outs.iter().any(|o| o.event == 2) {
+                let at = *seen_two_since.get_or_insert_with(std::time::Instant::now);
+                return at.elapsed() > Duration::from_millis(200);
+            }
+            false
+        },
+    );
+    poker.join().unwrap();
+    assert!(!report.timed_out);
+    let events: Vec<u64> = report.outputs.iter().map(|o| o.event).collect();
+    assert_eq!(
+        events,
+        [1, 2],
+        "superseded connection's frame must not land"
+    );
+}

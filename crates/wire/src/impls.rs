@@ -1,0 +1,422 @@
+//! [`Wire`] implementations for every type that crosses a socket: integer
+//! primitives, sequences and options, and the protocol / SMR / workload
+//! message types (see the crate docs for the format rules).
+
+use minsync_broadcast::RbMsg;
+use minsync_core::{CbId, ProtocolMsg, RbTag};
+use minsync_smr::SmrMsg;
+use minsync_types::{ProcessId, Round};
+use minsync_workload::Batch;
+
+use crate::{Wire, WireError};
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
+
+/// Splits `N` bytes off the front of `input`, or fails with `Truncated`.
+fn take<'a, const N: usize>(input: &mut &'a [u8]) -> Result<&'a [u8; N], WireError> {
+    let Some(bytes) = input.get(..N) else {
+        return Err(WireError::Truncated);
+    };
+    *input = &input[N..];
+    Ok(bytes.try_into().expect("exactly N bytes"))
+}
+
+macro_rules! int_wire {
+    ($($ty:ty => $len:literal),* $(,)?) => {$(
+        impl Wire for $ty {
+            fn encode_into(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+
+            fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+                Ok(<$ty>::from_le_bytes(*take::<$len>(input)?))
+            }
+        }
+    )*};
+}
+
+int_wire!(u8 => 1, u16 => 2, u32 => 4, u64 => 8);
+
+impl Wire for bool {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(input)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::InvalidTag { ty: "bool", tag }),
+        }
+    }
+}
+
+impl<V: Wire> Wire for Option<V> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode_into(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(input)? {
+            0 => Ok(None),
+            1 => Ok(Some(V::decode(input)?)),
+            tag => Err(WireError::InvalidTag { ty: "Option", tag }),
+        }
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(
+            &u32::try_from(self.len())
+                .expect("sequence fits u32")
+                .to_le_bytes(),
+        );
+        for item in self {
+            item.encode_into(out);
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        let len = u32::decode(input)? as usize;
+        // Allocation bound: every element encodes to ≥ 1 byte, so a count
+        // exceeding the remaining input cannot be honest — reject before
+        // reserving anything (the frame cap bounds `input.len()`).
+        if len > input.len() {
+            return Err(WireError::Truncated);
+        }
+        let mut items = Vec::with_capacity(len);
+        for _ in 0..len {
+            items.push(T::decode(input)?);
+        }
+        Ok(items)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// minsync-types
+// ---------------------------------------------------------------------------
+
+impl Wire for ProcessId {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        u32::try_from(self.index())
+            .expect("process ids fit u32")
+            .encode_into(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(ProcessId::new(u32::decode(input)? as usize))
+    }
+}
+
+impl Wire for Round {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.get().encode_into(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        match u64::decode(input)? {
+            0 => Err(WireError::InvalidValue("round numbers are 1-based")),
+            r => Ok(Round::new(r)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast / protocol layer
+// ---------------------------------------------------------------------------
+
+impl Wire for CbId {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            CbId::ConsValid => out.push(0),
+            CbId::AcProp(round) => {
+                out.push(1);
+                round.encode_into(out);
+            }
+            CbId::EaProp(round) => {
+                out.push(2);
+                round.encode_into(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(input)? {
+            0 => Ok(CbId::ConsValid),
+            1 => Ok(CbId::AcProp(Round::decode(input)?)),
+            2 => Ok(CbId::EaProp(Round::decode(input)?)),
+            tag => Err(WireError::InvalidTag { ty: "CbId", tag }),
+        }
+    }
+}
+
+impl Wire for RbTag {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            RbTag::CbVal(id) => {
+                out.push(0);
+                id.encode_into(out);
+            }
+            RbTag::AcEst(round) => {
+                out.push(1);
+                round.encode_into(out);
+            }
+            RbTag::Decide => out.push(2),
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(input)? {
+            0 => Ok(RbTag::CbVal(CbId::decode(input)?)),
+            1 => Ok(RbTag::AcEst(Round::decode(input)?)),
+            2 => Ok(RbTag::Decide),
+            tag => Err(WireError::InvalidTag { ty: "RbTag", tag }),
+        }
+    }
+}
+
+impl<T: Wire, V: Wire> Wire for RbMsg<T, V> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            RbMsg::Init { tag, value } => {
+                out.push(0);
+                tag.encode_into(out);
+                value.encode_into(out);
+            }
+            RbMsg::Echo { origin, tag, value } => {
+                out.push(1);
+                origin.encode_into(out);
+                tag.encode_into(out);
+                value.encode_into(out);
+            }
+            RbMsg::Ready { origin, tag, value } => {
+                out.push(2);
+                origin.encode_into(out);
+                tag.encode_into(out);
+                value.encode_into(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(input)? {
+            0 => Ok(RbMsg::Init {
+                tag: T::decode(input)?,
+                value: V::decode(input)?,
+            }),
+            1 => Ok(RbMsg::Echo {
+                origin: ProcessId::decode(input)?,
+                tag: T::decode(input)?,
+                value: V::decode(input)?,
+            }),
+            2 => Ok(RbMsg::Ready {
+                origin: ProcessId::decode(input)?,
+                tag: T::decode(input)?,
+                value: V::decode(input)?,
+            }),
+            tag => Err(WireError::InvalidTag { ty: "RbMsg", tag }),
+        }
+    }
+}
+
+impl<V: Wire> Wire for ProtocolMsg<V> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            ProtocolMsg::Rb(rb) => {
+                out.push(0);
+                rb.encode_into(out);
+            }
+            ProtocolMsg::EaProp2 { round, value } => {
+                out.push(1);
+                round.encode_into(out);
+                value.encode_into(out);
+            }
+            ProtocolMsg::EaCoord { round, value } => {
+                out.push(2);
+                round.encode_into(out);
+                value.encode_into(out);
+            }
+            ProtocolMsg::EaRelay { round, value } => {
+                out.push(3);
+                round.encode_into(out);
+                value.encode_into(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(input)? {
+            0 => Ok(ProtocolMsg::Rb(RbMsg::decode(input)?)),
+            1 => Ok(ProtocolMsg::EaProp2 {
+                round: Round::decode(input)?,
+                value: V::decode(input)?,
+            }),
+            2 => Ok(ProtocolMsg::EaCoord {
+                round: Round::decode(input)?,
+                value: V::decode(input)?,
+            }),
+            3 => Ok(ProtocolMsg::EaRelay {
+                round: Round::decode(input)?,
+                value: Option::<V>::decode(input)?,
+            }),
+            tag => Err(WireError::InvalidTag {
+                ty: "ProtocolMsg",
+                tag,
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SMR / workload layer
+// ---------------------------------------------------------------------------
+
+impl<V: Wire> Wire for SmrMsg<V> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            SmrMsg::Slot { slot, msg } => {
+                out.push(0);
+                slot.encode_into(out);
+                msg.encode_into(out);
+            }
+            SmrMsg::Ack { slot } => {
+                out.push(1);
+                slot.encode_into(out);
+            }
+            SmrMsg::Checkpoint { slot, value } => {
+                out.push(2);
+                slot.encode_into(out);
+                value.encode_into(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(input)? {
+            0 => Ok(SmrMsg::Slot {
+                slot: u64::decode(input)?,
+                msg: ProtocolMsg::decode(input)?,
+            }),
+            1 => Ok(SmrMsg::Ack {
+                slot: u64::decode(input)?,
+            }),
+            2 => Ok(SmrMsg::Checkpoint {
+                slot: u64::decode(input)?,
+                value: V::decode(input)?,
+            }),
+            tag => Err(WireError::InvalidTag { ty: "SmrMsg", tag }),
+        }
+    }
+}
+
+impl Wire for Batch {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.0.encode_into(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(Batch(Vec::decode(input)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = value.encode();
+        let mut input = bytes.as_slice();
+        let back = T::decode(&mut input).expect("decodes");
+        assert_eq!(back, value);
+        assert!(input.is_empty(), "all bytes consumed");
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0xABu8);
+        round_trip(0xAB_CDu16);
+        round_trip(0xDEAD_BEEFu32);
+        round_trip(u64::MAX);
+        round_trip(true);
+        round_trip(Some(7u64));
+        round_trip(Option::<u64>::None);
+        round_trip(vec![1u64, 2, 3]);
+        round_trip(Vec::<u64>::new());
+    }
+
+    #[test]
+    fn protocol_messages_round_trip() {
+        let r = Round::new(5);
+        round_trip(ProcessId::new(11));
+        round_trip(r);
+        round_trip(CbId::AcProp(r));
+        round_trip(RbTag::CbVal(CbId::EaProp(r)));
+        round_trip::<ProtocolMsg<Batch>>(ProtocolMsg::Rb(RbMsg::Echo {
+            origin: ProcessId::new(2),
+            tag: RbTag::Decide,
+            value: Batch(vec![1, 2, 3]),
+        }));
+        round_trip::<ProtocolMsg<Batch>>(ProtocolMsg::EaRelay {
+            round: r,
+            value: None,
+        });
+        round_trip::<SmrMsg<Batch>>(SmrMsg::Slot {
+            slot: 9,
+            msg: ProtocolMsg::EaCoord {
+                round: r,
+                value: Batch(Vec::new()),
+            },
+        });
+        round_trip::<SmrMsg<Batch>>(SmrMsg::Ack { slot: 3 });
+        round_trip::<SmrMsg<Batch>>(SmrMsg::Checkpoint {
+            slot: 4,
+            value: Batch(vec![u64::MAX]),
+        });
+    }
+
+    #[test]
+    fn zero_round_is_invalid() {
+        let bytes = 0u64.encode();
+        assert_eq!(
+            Round::decode(&mut bytes.as_slice()),
+            Err(WireError::InvalidValue("round numbers are 1-based"))
+        );
+    }
+
+    #[test]
+    fn bogus_tags_are_errors_not_panics() {
+        for ty_bytes in [
+            vec![9u8],                            // SmrMsg tag
+            vec![0u8, 0, 0, 0, 0, 0, 0, 0, 0, 9], // Slot with bad ProtocolMsg tag
+            vec![2u8],                            // bool out of range is tag 2
+        ] {
+            let _ = SmrMsg::<Batch>::decode(&mut ty_bytes.as_slice());
+            let _ = bool::decode(&mut ty_bytes.as_slice());
+        }
+        assert_eq!(
+            bool::decode(&mut [7u8].as_slice()),
+            Err(WireError::InvalidTag { ty: "bool", tag: 7 })
+        );
+    }
+
+    #[test]
+    fn sequence_count_is_checked_against_remaining_input() {
+        // Claims 2^32 − 1 elements with a 4-byte body: must fail fast
+        // without allocating.
+        let mut bytes = u32::MAX.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[1, 2, 3, 4]);
+        assert_eq!(
+            Vec::<u64>::decode(&mut bytes.as_slice()),
+            Err(WireError::Truncated)
+        );
+    }
+}

@@ -1,0 +1,424 @@
+//! Hand-rolled binary wire codec for the `minsync` stack.
+//!
+//! Every other substrate in this repository exchanges messages as in-memory
+//! Rust values; the TCP transport (`minsync-transport`) needs *bytes*. The
+//! build environment has no network access, so there is no serde — this
+//! crate is the manual, dependency-free replacement: a [`Wire`] trait
+//! (`encode_into` / `decode`) with hand-written implementations for every
+//! message type that crosses a socket, plus the two pieces of connection
+//! plumbing every byte protocol needs:
+//!
+//! * **Length-prefixed framing** ([`encode_frame`] / [`split_frame`]): each
+//!   message travels as a little-endian `u32` length followed by the
+//!   encoded body. The length is validated against a hard cap *before* any
+//!   allocation, so a Byzantine peer announcing a multi-gigabyte frame
+//!   costs the receiver four bytes of header, not memory
+//!   ([`DEFAULT_MAX_FRAME`]).
+//! * **A versioned handshake header** ([`Hello`]): the first bytes on every
+//!   connection are a magic tag, the codec version, the sender's claimed
+//!   process id, and the cluster size. Mismatches reject the connection
+//!   before any protocol traffic is parsed.
+//!
+//! # Encoding rules
+//!
+//! The format is deliberately boring: all integers are fixed-width
+//! little-endian, enums are a one-byte tag followed by the variant's fields
+//! in declaration order, sequences are a `u32` count followed by the
+//! elements. Decoders must consume input exactly: trailing bytes inside a
+//! frame are an error ([`decode_frame`]), truncated input is an error, and
+//! every invalid tag or out-of-range value is an error — a decoder never
+//! panics on attacker-controlled bytes (property-tested in
+//! `tests/prop_wire.rs`).
+//!
+//! Sequence decoding is allocation-bounded: a declared element count is
+//! checked against the *remaining input length* before reserving anything,
+//! so the largest possible allocation is proportional to the frame size,
+//! which the framing layer already capped.
+//!
+//! # Versioning
+//!
+//! [`WIRE_VERSION`] must be bumped whenever any `Wire` implementation (or
+//! the framing / handshake layout) changes incompatibly. Peers with
+//! different versions refuse each other at handshake time — a cluster is
+//! always all-old or all-new.
+//!
+//! ```rust
+//! use minsync_wire::{decode_frame, encode_frame, Wire, DEFAULT_MAX_FRAME};
+//! use minsync_smr::SmrMsg;
+//! use minsync_workload::Batch;
+//!
+//! let msg: SmrMsg<Batch> = SmrMsg::Ack { slot: 7 };
+//! let mut frame = Vec::new();
+//! encode_frame(&msg, &mut frame, DEFAULT_MAX_FRAME).unwrap();
+//! let (payload, consumed) = minsync_wire::split_frame(&frame, DEFAULT_MAX_FRAME)
+//!     .unwrap()
+//!     .expect("complete frame");
+//! assert_eq!(consumed, frame.len());
+//! assert_eq!(decode_frame::<SmrMsg<Batch>>(payload).unwrap(), msg);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod impls;
+
+use core::fmt;
+
+use minsync_types::ProcessId;
+
+/// Codec version carried in every [`Hello`]. Bump on any incompatible
+/// change to an encoding, the framing, or the handshake itself.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Magic tag opening every connection — rejects accidental cross-protocol
+/// connections (a browser, a port scanner) with a clean error instead of a
+/// confusing decode failure.
+pub const MAGIC: [u8; 4] = *b"MSYN";
+
+/// Default hard cap on one frame's payload length (1 MiB). A correct
+/// replica's largest message is a batch of a few hundred `u64` commands —
+/// orders of magnitude below this; anything larger is garbage or an attack.
+pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
+
+/// Why a decode failed. All variants are *data* errors: the input bytes
+/// cannot be a valid encoding. Transports must treat any of them as a
+/// Byzantine (or foreign) peer and drop the connection — never the process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the value was complete.
+    Truncated,
+    /// An enum tag byte matched no variant.
+    InvalidTag {
+        /// The type being decoded.
+        ty: &'static str,
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// A structurally valid field carried an out-of-range value (e.g. a
+    /// zero round number).
+    InvalidValue(&'static str),
+    /// A frame header announced a payload beyond the configured cap.
+    FrameTooLarge {
+        /// Announced payload length.
+        len: usize,
+        /// Configured cap.
+        cap: usize,
+    },
+    /// A frame's payload decoded successfully but left bytes unconsumed.
+    TrailingBytes {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+    /// A handshake did not start with [`MAGIC`].
+    BadMagic,
+    /// A handshake carried a different [`WIRE_VERSION`].
+    VersionMismatch {
+        /// The version this side speaks.
+        ours: u16,
+        /// The version the peer announced.
+        theirs: u16,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "input truncated"),
+            WireError::InvalidTag { ty, tag } => write!(f, "invalid tag {tag:#04x} for {ty}"),
+            WireError::InvalidValue(what) => write!(f, "invalid value: {what}"),
+            WireError::FrameTooLarge { len, cap } => {
+                write!(f, "frame of {len} bytes exceeds the {cap}-byte cap")
+            }
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after a complete value")
+            }
+            WireError::BadMagic => write!(f, "handshake does not start with the MSYN magic"),
+            WireError::VersionMismatch { ours, theirs } => {
+                write!(
+                    f,
+                    "wire version mismatch: ours {ours}, peer announced {theirs}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A type with a canonical binary encoding (see the crate docs for the
+/// format rules).
+///
+/// `decode` takes `&mut &[u8]` and advances the slice past the bytes it
+/// consumed, so implementations compose by plain sequencing. The contract
+/// is round-trip identity: for every value, `decode(encode(v)) == v` with
+/// all input consumed — property-tested for every implementation in this
+/// crate.
+pub trait Wire: Sized {
+    /// Appends this value's encoding to `out`.
+    fn encode_into(&self, out: &mut Vec<u8>);
+
+    /// Decodes one value from the front of `input`, advancing it past the
+    /// consumed bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] if the bytes are not a valid encoding; `input`'s
+    /// position is unspecified after an error.
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError>;
+
+    /// Convenience: this value's encoding as a fresh buffer.
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Appends one length-prefixed frame carrying `msg` to `out`.
+///
+/// # Errors
+///
+/// [`WireError::FrameTooLarge`] if the encoded body exceeds `cap` (the
+/// frame is not written in that case).
+pub fn encode_frame<T: Wire>(msg: &T, out: &mut Vec<u8>, cap: usize) -> Result<(), WireError> {
+    let header_at = out.len();
+    out.extend_from_slice(&[0, 0, 0, 0]);
+    msg.encode_into(out);
+    let len = out.len() - header_at - 4;
+    if len > cap || u32::try_from(len).is_err() {
+        out.truncate(header_at);
+        return Err(WireError::FrameTooLarge { len, cap });
+    }
+    out[header_at..header_at + 4].copy_from_slice(&(len as u32).to_le_bytes());
+    Ok(())
+}
+
+/// Attempts to split one frame off the front of `buf`.
+///
+/// Returns `Ok(None)` while the buffer holds only a partial frame (read
+/// more bytes and retry — this is what lets stream readers survive
+/// arbitrary packetization), or `Ok(Some((payload, consumed)))` where
+/// `consumed` covers the header and payload.
+///
+/// # Errors
+///
+/// [`WireError::FrameTooLarge`] as soon as a header announces a payload
+/// beyond `cap` — before any of the payload arrives, so an attacker cannot
+/// make the receiver buffer toward an absurd length.
+pub fn split_frame(buf: &[u8], cap: usize) -> Result<Option<(&[u8], usize)>, WireError> {
+    let Some(header) = buf.get(..4) else {
+        return Ok(None);
+    };
+    let len = u32::from_le_bytes(header.try_into().expect("4-byte slice")) as usize;
+    if len > cap {
+        return Err(WireError::FrameTooLarge { len, cap });
+    }
+    match buf.get(4..4 + len) {
+        Some(payload) => Ok(Some((payload, 4 + len))),
+        None => Ok(None),
+    }
+}
+
+/// Decodes a frame payload as exactly one `T`.
+///
+/// # Errors
+///
+/// Any decode error of `T`, or [`WireError::TrailingBytes`] if the payload
+/// holds more than one value — a frame carries exactly one message.
+pub fn decode_frame<T: Wire>(mut payload: &[u8]) -> Result<T, WireError> {
+    let value = T::decode(&mut payload)?;
+    if payload.is_empty() {
+        Ok(value)
+    } else {
+        Err(WireError::TrailingBytes {
+            extra: payload.len(),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Handshake
+// ---------------------------------------------------------------------------
+
+/// The fixed-size header opening every connection, sent before any frame.
+///
+/// Identity caveat: `sender` is *claimed*, not authenticated — the paper's
+/// model assumes no impersonation (Section 2.1), and this transport
+/// substrate inherits that assumption on a trusted network. An
+/// authenticating transport (TLS, MACs) would wrap this layer without
+/// changing the codec.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hello {
+    /// The sender's claimed process id.
+    pub sender: ProcessId,
+    /// The cluster size the sender was configured with; receivers reject a
+    /// mismatch (two clusters accidentally sharing ports fail fast).
+    pub n: u32,
+}
+
+/// Encoded size of a [`Hello`] in bytes (magic + version + sender + n).
+pub const HELLO_LEN: usize = 4 + 2 + 4 + 4;
+
+impl Hello {
+    /// Appends the handshake header to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        out.extend_from_slice(
+            &u32::try_from(self.sender.index())
+                .unwrap_or(u32::MAX)
+                .to_le_bytes(),
+        );
+        out.extend_from_slice(&self.n.to_le_bytes());
+    }
+
+    /// Decodes and validates a handshake header from the front of `input`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] on short input, [`WireError::BadMagic`] /
+    /// [`WireError::VersionMismatch`] on foreign or incompatible peers.
+    pub fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        let Some(bytes) = input.get(..HELLO_LEN) else {
+            return Err(WireError::Truncated);
+        };
+        if bytes[..4] != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
+        if version != WIRE_VERSION {
+            return Err(WireError::VersionMismatch {
+                ours: WIRE_VERSION,
+                theirs: version,
+            });
+        }
+        let sender = u32::from_le_bytes(bytes[6..10].try_into().expect("4 bytes"));
+        let n = u32::from_le_bytes(bytes[10..14].try_into().expect("4 bytes"));
+        *input = &input[HELLO_LEN..];
+        Ok(Hello {
+            sender: ProcessId::new(sender as usize),
+            n,
+        })
+    }
+
+    /// Convenience: the header as a fresh buffer (always [`HELLO_LEN`]
+    /// bytes).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HELLO_LEN);
+        self.encode_into(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        encode_frame(&7u64, &mut buf, DEFAULT_MAX_FRAME).unwrap();
+        encode_frame(&9u64, &mut buf, DEFAULT_MAX_FRAME).unwrap();
+        let (payload, used) = split_frame(&buf, DEFAULT_MAX_FRAME).unwrap().unwrap();
+        assert_eq!(decode_frame::<u64>(payload).unwrap(), 7);
+        let (payload2, used2) = split_frame(&buf[used..], DEFAULT_MAX_FRAME)
+            .unwrap()
+            .unwrap();
+        assert_eq!(decode_frame::<u64>(payload2).unwrap(), 9);
+        assert_eq!(used + used2, buf.len());
+    }
+
+    #[test]
+    fn partial_frames_ask_for_more() {
+        let mut buf = Vec::new();
+        encode_frame(&0xAABBu64, &mut buf, DEFAULT_MAX_FRAME).unwrap();
+        for cut in 0..buf.len() {
+            assert_eq!(split_frame(&buf[..cut], DEFAULT_MAX_FRAME).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn oversized_header_rejected_before_payload_arrives() {
+        let header = (u32::MAX).to_le_bytes();
+        assert_eq!(
+            split_frame(&header, 1024),
+            Err(WireError::FrameTooLarge {
+                len: u32::MAX as usize,
+                cap: 1024
+            })
+        );
+    }
+
+    #[test]
+    fn encode_frame_respects_the_cap() {
+        let big: Vec<u64> = vec![0; 100];
+        let mut buf = Vec::new();
+        let err = encode_frame(&big, &mut buf, 16).unwrap_err();
+        assert!(matches!(err, WireError::FrameTooLarge { cap: 16, .. }));
+        assert!(buf.is_empty(), "failed frame leaves the buffer untouched");
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut payload = 3u64.encode();
+        payload.push(0xFF);
+        assert_eq!(
+            decode_frame::<u64>(&payload),
+            Err(WireError::TrailingBytes { extra: 1 })
+        );
+    }
+
+    #[test]
+    fn hello_round_trips() {
+        let hello = Hello {
+            sender: ProcessId::new(3),
+            n: 7,
+        };
+        let bytes = hello.encode();
+        assert_eq!(bytes.len(), HELLO_LEN);
+        let mut input = bytes.as_slice();
+        assert_eq!(Hello::decode(&mut input).unwrap(), hello);
+        assert!(input.is_empty());
+    }
+
+    #[test]
+    fn hello_rejects_magic_version_and_truncation() {
+        let hello = Hello {
+            sender: ProcessId::new(0),
+            n: 4,
+        };
+        let good = hello.encode();
+
+        let mut short = &good[..HELLO_LEN - 1];
+        assert_eq!(Hello::decode(&mut short), Err(WireError::Truncated));
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(
+            Hello::decode(&mut bad_magic.as_slice()),
+            Err(WireError::BadMagic)
+        );
+
+        let mut bad_version = good.clone();
+        bad_version[4] = WIRE_VERSION as u8 + 1;
+        assert!(matches!(
+            Hello::decode(&mut bad_version.as_slice()),
+            Err(WireError::VersionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_display_helpfully() {
+        let s = WireError::InvalidTag {
+            ty: "SmrMsg",
+            tag: 9,
+        }
+        .to_string();
+        assert!(s.contains("SmrMsg"));
+        assert!(WireError::Truncated.to_string().contains("truncated"));
+    }
+}

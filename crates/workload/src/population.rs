@@ -94,7 +94,7 @@ impl WorkloadSpec {
             for i in 0..self.clients_per_group {
                 let client = (g + i * m) as u64;
                 let ticks = self.arrivals.submit_ticks(
-                    self.seed ^ client.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    minsync_net::derive_stream(self.seed, client),
                     self.commands_per_client,
                 );
                 for (seq, &tick) in ticks.iter().enumerate() {

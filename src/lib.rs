@@ -23,7 +23,11 @@
 //! * [`smr`] — the batched replicated log (state-machine replication with
 //!   commit acks, log GC, and checkpoint catch-up);
 //! * [`workload`] — deterministic client populations, arrival processes,
-//!   and submit→commit latency accounting for the replicated log.
+//!   and submit→commit latency accounting for the replicated log;
+//! * [`wire`] — the hand-rolled binary codec (`Wire` trait, length-prefixed
+//!   framing with a hard cap, versioned handshake) every socket speaks;
+//! * [`transport`] — the TCP mesh substrate and the localhost cluster
+//!   orchestrator behind the `minsync-node` binary and experiment E11.
 //!
 //! # Quickstart
 //!
@@ -51,5 +55,7 @@ pub use minsync_core as core;
 pub use minsync_harness as harness;
 pub use minsync_net as net;
 pub use minsync_smr as smr;
+pub use minsync_transport as transport;
 pub use minsync_types as types;
+pub use minsync_wire as wire;
 pub use minsync_workload as workload;

@@ -62,6 +62,54 @@ pub mod channel {
 
     impl<T> std::error::Error for SendError<T> {}
 
+    /// Error returned by [`Sender::try_send`]; the unsent message is
+    /// returned to the caller either way.
+    pub enum TrySendError<T> {
+        /// The channel is bounded and currently full.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recovers the message that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(msg) | TrySendError::Disconnected(msg) => msg,
+            }
+        }
+
+        /// True if the failure was a full bounded channel.
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+
+        /// True if the failure was a disconnected channel.
+        pub fn is_disconnected(&self) -> bool {
+            matches!(self, TrySendError::Disconnected(_))
+        }
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
+    impl<T> std::error::Error for TrySendError<T> {}
+
     /// Error returned by [`Receiver::recv`].
     #[derive(Clone, Copy, Debug, Eq, PartialEq)]
     pub struct RecvError;
@@ -188,6 +236,27 @@ pub mod channel {
                         inner = self.shared.not_full.wait(inner).unwrap();
                     }
                     _ => break,
+                }
+            }
+            inner.queue.push_back(msg);
+            drop(inner);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Enqueues `msg` without blocking: fails with
+        /// [`TrySendError::Full`] when a bounded channel is at capacity —
+        /// the caller decides whether to drop, retry, or count (the TCP
+        /// transport's bounded outbound queues drop-and-count so a slow
+        /// peer never stalls the sender).
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut inner = self.shared.inner.lock().unwrap();
+            if inner.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if let Some(cap) = inner.capacity {
+                if inner.queue.len() >= cap {
+                    return Err(TrySendError::Full(msg));
                 }
             }
             inner.queue.push_back(msg);
@@ -327,6 +396,20 @@ pub mod channel {
             let (tx, rx) = unbounded::<u8>();
             drop(rx);
             assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn try_send_reports_full_and_disconnected() {
+            let (tx, rx) = bounded::<u8>(1);
+            tx.try_send(1).unwrap();
+            let err = tx.try_send(2).unwrap_err();
+            assert!(err.is_full());
+            assert_eq!(err.into_inner(), 2);
+            assert_eq!(rx.recv().unwrap(), 1);
+            tx.try_send(3).unwrap();
+            drop(rx);
+            let err = tx.try_send(4).unwrap_err();
+            assert!(err.is_disconnected());
         }
     }
 }
