@@ -1,0 +1,838 @@
+//! Bounded schedule exploration over the simulator's
+//! [`ScheduleOracle`] seam.
+//!
+//! A [`Schedule`] is a finite vector of [`ScheduleCommand`]s consumed one
+//! per routed message (consultation order is deterministic, so the vector
+//! *is* the schedule); messages past the end of the vector route normally.
+//! [`explore`] enumerates schedules three ways — the empty schedule, a
+//! bounded DFS over a small command alphabet, and seeded random walks —
+//! runs a caller-supplied property check on each, and shrinks any
+//! violating schedule to a minimal prefix with maximal `Default` content.
+//!
+//! [`run_protocol`] is the standard property check: it runs one of the
+//! five protocol stacks under the schedule and checks agreement, validity,
+//! and (when no messages were dropped) termination-on-quiescence.
+
+use core::fmt::Write as _;
+
+use minsync_core::{
+    AcNode, AcTag, BotConsensusNode, BotEvent, ConsensusConfig, ConsensusNode, EaNode,
+    TimeoutPolicy,
+};
+use minsync_net::sim::{
+    OutputRecord, ScheduleCommand, ScheduleOracle, SimBuilder, Simulation, StopReason,
+};
+use minsync_net::{NetworkTopology, VirtualTime};
+use minsync_smr::{ReplicaNode, SmrEvent, TwoClientSource};
+use minsync_types::{ProcessId, RoundSchedule, SystemConfig};
+use rand::rngs::SplitMix64;
+use rand::{RngCore, SeedableRng};
+
+/// One explored schedule: a decision per consulted message, plus the set
+/// of processes whose messages may be dropped (the `t`-faults budget).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    /// Command for the `i`-th consulted message; exhausted → `Default`.
+    pub decisions: Vec<ScheduleCommand>,
+    /// Processes designated faulty: `Drop` is honored only for messages
+    /// *from* these processes, keeping every run inside the model.
+    pub droppable: Vec<ProcessId>,
+}
+
+impl Schedule {
+    /// The all-`Default` schedule (byte-identical to no oracle at all).
+    pub fn empty() -> Self {
+        Schedule {
+            decisions: Vec::new(),
+            droppable: Vec::new(),
+        }
+    }
+
+    /// Commands that are not `Default` (the schedule's "interesting" part).
+    pub fn active_decisions(&self) -> usize {
+        self.decisions
+            .iter()
+            .filter(|d| **d != ScheduleCommand::Default)
+            .count()
+    }
+}
+
+/// A [`ScheduleOracle`] that replays a [`Schedule`] by consultation index.
+///
+/// Deterministic by construction: the simulator consults the oracle in a
+/// fixed order, so index `i` always names the same message for a given
+/// protocol line-up and seed.
+pub struct VectorOracle {
+    decisions: Vec<ScheduleCommand>,
+    droppable: Vec<ProcessId>,
+    index: usize,
+}
+
+impl VectorOracle {
+    /// Builds the oracle for one run of `schedule`.
+    pub fn new(schedule: &Schedule) -> Self {
+        VectorOracle {
+            decisions: schedule.decisions.clone(),
+            droppable: schedule.droppable.clone(),
+            index: 0,
+        }
+    }
+}
+
+impl<M> ScheduleOracle<M> for VectorOracle {
+    fn command(
+        &mut self,
+        from: ProcessId,
+        _to: ProcessId,
+        _at: VirtualTime,
+        _msg: &M,
+        _default: u64,
+    ) -> ScheduleCommand {
+        let cmd = self
+            .decisions
+            .get(self.index)
+            .copied()
+            .unwrap_or(ScheduleCommand::Default);
+        self.index += 1;
+        match cmd {
+            // Dropping from a non-designated process would exceed the
+            // t-faults budget; demote to Default instead.
+            ScheduleCommand::Drop if !self.droppable.contains(&from) => ScheduleCommand::Default,
+            other => other,
+        }
+    }
+}
+
+/// Which paper property a schedule broke.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Two correct processes decided/committed differently.
+    Agreement,
+    /// A decided value was never proposed by a correct process.
+    Validity,
+    /// The run went quiescent (nothing left to deliver, no drops applied)
+    /// with a correct process still undecided — a genuine deadlock, not a
+    /// budget artifact.
+    Termination,
+}
+
+impl core::fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ViolationKind::Agreement => write!(f, "agreement"),
+            ViolationKind::Validity => write!(f, "validity"),
+            ViolationKind::Termination => write!(f, "termination"),
+        }
+    }
+}
+
+/// A property violation, with the (shrunk) schedule that triggers it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// The broken property.
+    pub kind: ViolationKind,
+    /// Human-readable evidence (which processes, which values).
+    pub detail: String,
+    /// Minimal violating schedule found by shrinking.
+    pub schedule: Schedule,
+}
+
+/// Exploration budget and shape.
+#[derive(Clone, Debug)]
+pub struct ExplorerConfig {
+    /// Random-walk schedules to try.
+    pub random_schedules: usize,
+    /// DFS enumerates all command vectors of this length…
+    pub dfs_depth: usize,
+    /// …capped at this many schedules total.
+    pub dfs_limit: usize,
+    /// Length of each random-walk decision vector.
+    pub decision_horizon: usize,
+    /// Tick delays available to `After` commands.
+    pub palette: Vec<u64>,
+    /// Processes whose messages may be dropped.
+    pub droppable: Vec<ProcessId>,
+    /// RNG seed for the random walks (exploration is deterministic).
+    pub seed: u64,
+}
+
+impl ExplorerConfig {
+    /// A small, CI-friendly budget.
+    pub fn quick() -> Self {
+        ExplorerConfig {
+            random_schedules: 12,
+            dfs_depth: 3,
+            dfs_limit: 40,
+            decision_horizon: 24,
+            palette: vec![1, 2, 5, 8],
+            droppable: Vec::new(),
+            seed: 0x5eed_0e14,
+        }
+    }
+
+    /// The full E14 budget.
+    pub fn full() -> Self {
+        ExplorerConfig {
+            random_schedules: 40,
+            dfs_depth: 4,
+            dfs_limit: 100,
+            ..ExplorerConfig::quick()
+        }
+    }
+}
+
+/// What [`explore`] did.
+#[derive(Clone, Debug)]
+pub struct ExplorationReport {
+    /// Schedules actually run (including shrink probes).
+    pub schedules_explored: usize,
+    /// Violations found, each with its shrunk schedule.
+    pub violations: Vec<Violation>,
+}
+
+/// Runs `check` over the configured schedule families, shrinking every
+/// violating schedule to a minimal prefix.
+///
+/// `check` runs one full protocol execution under the given schedule and
+/// returns the first property violation, if any. It must be deterministic
+/// in the schedule — [`shrink`] relies on re-running it.
+pub fn explore<F>(mut check: F, cfg: &ExplorerConfig) -> ExplorationReport
+where
+    F: FnMut(&Schedule) -> Result<(), (ViolationKind, String)>,
+{
+    let mut explored = 0usize;
+    let mut violations = Vec::new();
+    let try_schedule = |schedule: Schedule,
+                        explored: &mut usize,
+                        violations: &mut Vec<Violation>,
+                        check: &mut F| {
+        *explored += 1;
+        if let Err((kind, detail)) = check(&schedule) {
+            let (shrunk, probes) = shrink(&schedule, check);
+            *explored += probes;
+            violations.push(Violation {
+                kind,
+                detail,
+                schedule: shrunk,
+            });
+        }
+    };
+
+    // Family 1: the undisturbed run.
+    let mut base = Schedule::empty();
+    base.droppable = cfg.droppable.clone();
+    try_schedule(base, &mut explored, &mut violations, &mut check);
+
+    // Family 2: bounded DFS — every command vector of length `dfs_depth`
+    // over [Default, After(palette…), Drop], in mixed-radix order, capped
+    // at `dfs_limit` schedules.
+    let mut alphabet = vec![ScheduleCommand::Default];
+    alphabet.extend(cfg.palette.iter().map(|&d| ScheduleCommand::After(d)));
+    if !cfg.droppable.is_empty() {
+        alphabet.push(ScheduleCommand::Drop);
+    }
+    let radix = alphabet.len();
+    let mut digits = vec![0usize; cfg.dfs_depth];
+    let mut emitted = 0usize;
+    'dfs: loop {
+        // Skip the all-zero vector: that's family 1 again.
+        if digits.iter().any(|&d| d != 0) {
+            let schedule = Schedule {
+                decisions: digits.iter().map(|&d| alphabet[d]).collect(),
+                droppable: cfg.droppable.clone(),
+            };
+            try_schedule(schedule, &mut explored, &mut violations, &mut check);
+            emitted += 1;
+            if emitted >= cfg.dfs_limit {
+                break 'dfs;
+            }
+        }
+        // Increment the mixed-radix counter.
+        let mut pos = 0;
+        loop {
+            if pos == digits.len() {
+                break 'dfs;
+            }
+            digits[pos] += 1;
+            if digits[pos] < radix {
+                break;
+            }
+            digits[pos] = 0;
+            pos += 1;
+        }
+    }
+
+    // Family 3: seeded random walks over longer horizons.
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed);
+    for _ in 0..cfg.random_schedules {
+        let decisions = (0..cfg.decision_horizon)
+            .map(|_| {
+                let roll = rng.next_u64() % 100;
+                if roll < 50 {
+                    ScheduleCommand::Default
+                } else if roll < 90 || cfg.droppable.is_empty() {
+                    let pick = cfg.palette[(rng.next_u64() as usize) % cfg.palette.len()];
+                    ScheduleCommand::After(pick)
+                } else {
+                    ScheduleCommand::Drop
+                }
+            })
+            .collect();
+        let schedule = Schedule {
+            decisions,
+            droppable: cfg.droppable.clone(),
+        };
+        try_schedule(schedule, &mut explored, &mut violations, &mut check);
+    }
+
+    ExplorationReport {
+        schedules_explored: explored,
+        violations,
+    }
+}
+
+/// Shrinks a violating schedule to a minimal violating prefix, then
+/// greedily `Default`s out remaining entries. Returns the shrunk schedule
+/// and the number of check runs spent.
+///
+/// Precondition: `check(schedule)` is `Err`. The shrunk result still
+/// violates (not necessarily with the same violation kind — any violation
+/// counts, since all of them are bugs).
+pub fn shrink<F>(schedule: &Schedule, check: &mut F) -> (Schedule, usize)
+where
+    F: FnMut(&Schedule) -> Result<(), (ViolationKind, String)>,
+{
+    let mut probes = 0usize;
+    let violates = |s: &Schedule, probes: &mut usize, check: &mut F| {
+        *probes += 1;
+        check(s).is_err()
+    };
+
+    // Binary search the minimal violating prefix: prefixes of a decision
+    // vector are themselves schedules (the tail routes normally).
+    let prefix = |len: usize| Schedule {
+        decisions: schedule.decisions[..len].to_vec(),
+        droppable: schedule.droppable.clone(),
+    };
+    let (mut lo, mut hi) = (0usize, schedule.decisions.len());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if violates(&prefix(mid), &mut probes, check) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let mut best = prefix(hi);
+
+    // Greedy pass: knock surviving non-Default entries back to Default.
+    // Bounded so pathological schedules can't stall the explorer.
+    if best.active_decisions() <= 64 {
+        for i in 0..best.decisions.len() {
+            if best.decisions[i] == ScheduleCommand::Default || probes >= 128 {
+                continue;
+            }
+            let saved = best.decisions[i];
+            best.decisions[i] = ScheduleCommand::Default;
+            if !violates(&best, &mut probes, check) {
+                best.decisions[i] = saved;
+            }
+        }
+    }
+    (best, probes)
+}
+
+/// The five protocol stacks the explorer exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Protocol {
+    /// Figure 4 multivalued consensus.
+    Consensus,
+    /// Figure 2 adopt-commit in isolation.
+    AdoptCommit,
+    /// Figure 3 eventual agreement, free-running rounds.
+    EventualAgreement,
+    /// The ⊥-variant (Section 5).
+    Bot,
+    /// The replicated log, slot 1.
+    Smr,
+}
+
+impl Protocol {
+    /// All five, in experiment-table order.
+    pub const ALL: [Protocol; 5] = [
+        Protocol::Consensus,
+        Protocol::AdoptCommit,
+        Protocol::EventualAgreement,
+        Protocol::Bot,
+        Protocol::Smr,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Consensus => "consensus",
+            Protocol::AdoptCommit => "adopt-commit",
+            Protocol::EventualAgreement => "eventual-agreement",
+            Protocol::Bot => "bot-variant",
+            Protocol::Smr => "smr",
+        }
+    }
+}
+
+/// Timely delay bound used for explorer topologies: large enough that the
+/// `After` palette produces genuinely different interleavings.
+const EXPLORER_DELTA: u64 = 8;
+
+/// Binary proposal split used by every explorer run.
+const PROPOSALS: [u64; 2] = [3, 8];
+
+fn proposal_for(i: usize) -> u64 {
+    PROPOSALS[i % 2]
+}
+
+/// Runs `protocol` with `n` processes under `schedule` and checks the
+/// paper's properties.
+///
+/// Agreement and validity are checked over the outputs of non-`droppable`
+/// processes (a process whose messages were dropped is the designated
+/// faulty one — its own outcome carries no guarantee). Termination is
+/// checked only when `check_termination` is set **and** the run applied no
+/// drops and went quiescent: every correct process must then have produced
+/// its decision, since nothing remained in flight. Budget exhaustion is
+/// never a violation — it is inconclusive by construction.
+///
+/// # Errors
+///
+/// The violated property and its evidence.
+pub fn run_protocol(
+    protocol: Protocol,
+    n: usize,
+    schedule: &Schedule,
+    max_events: u64,
+    check_termination: bool,
+) -> Result<(), (ViolationKind, String)> {
+    let t = (n - 1) / 3;
+    let system = SystemConfig::new(n, t).expect("explorer sizes satisfy n > 3t");
+    let topology = NetworkTopology::all_timely(n, EXPLORER_DELTA);
+    // Round-1 timeout 33 > 2δ: under an undisturbed timely network the EA
+    // fast path completes inside the first timeout, so runs converge fast
+    // and the explorer spends its budget on the interesting schedules.
+    let mut cfg = ConsensusConfig::paper(system);
+    cfg.timeout = TimeoutPolicy::linear(1, 32);
+
+    match protocol {
+        Protocol::Consensus => {
+            let mut builder = SimBuilder::new(topology)
+                .seed(schedule_seed(schedule))
+                .max_events(max_events)
+                .with_schedule_oracle(VectorOracle::new(schedule));
+            for i in 0..n {
+                builder = builder
+                    .node(ConsensusNode::new(cfg, proposal_for(i)).expect("paper config is valid"));
+            }
+            let mut sim = builder.build();
+            let report = sim.run_until(|outs| decided_count(outs) >= n);
+            check_consensus(&sim, &report.reason, schedule, n, check_termination)
+        }
+        Protocol::AdoptCommit => {
+            let mut builder = SimBuilder::new(topology)
+                .seed(schedule_seed(schedule))
+                .max_events(max_events)
+                .with_schedule_oracle(VectorOracle::new(schedule));
+            for i in 0..n {
+                builder = builder.node(AcNode::new(system, proposal_for(i)));
+            }
+            let mut sim = builder.build();
+            let report = sim.run_until(|outs| outs.len() >= n);
+            check_adopt_commit(&sim, &report.reason, schedule, n, check_termination)
+        }
+        Protocol::EventualAgreement => {
+            let round_schedule = RoundSchedule::new(&system, 0).expect("k=0 is always valid");
+            let mut builder = SimBuilder::new(topology)
+                .seed(schedule_seed(schedule))
+                .max_events(max_events)
+                .with_schedule_oracle(VectorOracle::new(schedule));
+            for i in 0..n {
+                builder = builder.node(EaNode::new(
+                    system,
+                    round_schedule.clone(),
+                    ProcessId::new(i),
+                    TimeoutPolicy::linear(1, 32),
+                    proposal_for(i),
+                    2,
+                ));
+            }
+            let mut sim = builder.build();
+            let report = sim.run();
+            check_eventual_agreement(&sim, &report.reason, schedule, n, check_termination)
+        }
+        Protocol::Bot => {
+            let mut builder = SimBuilder::new(topology)
+                .seed(schedule_seed(schedule))
+                .max_events(max_events)
+                .with_schedule_oracle(VectorOracle::new(schedule));
+            for i in 0..n {
+                builder = builder.node(
+                    BotConsensusNode::new(cfg, proposal_for(i)).expect("paper config is valid"),
+                );
+            }
+            let mut sim = builder.build();
+            let report = sim.run_until(|outs| outs.len() >= n);
+            check_bot(&sim, &report.reason, schedule, n, check_termination)
+        }
+        Protocol::Smr => {
+            let mut builder = SimBuilder::new(topology)
+                .seed(schedule_seed(schedule))
+                .max_events(max_events)
+                .with_schedule_oracle(VectorOracle::new(schedule));
+            for i in 0..n {
+                let preferred = if i % 2 == 0 { 1 } else { 2 };
+                builder = builder.node(ReplicaNode::new(cfg, TwoClientSource::new(preferred), 1));
+            }
+            let mut sim = builder.build();
+            let report = sim.run_until(|outs| {
+                outs.iter()
+                    .filter(|o| matches!(o.event, SmrEvent::Committed { .. }))
+                    .count()
+                    >= n
+            });
+            check_smr(&sim, &report.reason, schedule, n, check_termination)
+        }
+    }
+}
+
+/// Every protocol run under the same schedule uses the same seed, so the
+/// oracle's consultation indices are stable across shrink probes.
+fn schedule_seed(_schedule: &Schedule) -> u64 {
+    0xe14_5eed
+}
+
+fn decided_count<V>(outs: &[OutputRecord<minsync_core::ConsensusEvent<V>>]) -> usize
+where
+    V: Clone + core::fmt::Debug,
+{
+    outs.iter()
+        .filter(|o| o.event.as_decision().is_some())
+        .count()
+}
+
+fn is_correct(p: ProcessId, schedule: &Schedule) -> bool {
+    !schedule.droppable.contains(&p)
+}
+
+/// Shared termination rule: only a *quiescent* run with no drops applied
+/// can prove a deadlock.
+fn termination_applies<M, O>(
+    sim: &Simulation<M, O>,
+    reason: &StopReason,
+    check_termination: bool,
+) -> bool
+where
+    M: Clone + core::fmt::Debug + Send + 'static,
+    O: Clone + core::fmt::Debug + Send + 'static,
+{
+    check_termination && *reason == StopReason::Quiescent && sim.metrics().messages_suppressed == 0
+}
+
+fn agreement_error(values: &[(ProcessId, String)]) -> (ViolationKind, String) {
+    let mut detail = String::from("correct processes disagree:");
+    for (p, v) in values {
+        let _ = write!(detail, " p{}={v}", p.index());
+    }
+    (ViolationKind::Agreement, detail)
+}
+
+fn check_consensus(
+    sim: &Simulation<minsync_core::ProtocolMsg<u64>, minsync_core::ConsensusEvent<u64>>,
+    reason: &StopReason,
+    schedule: &Schedule,
+    n: usize,
+    check_termination: bool,
+) -> Result<(), (ViolationKind, String)> {
+    let mut decisions: Vec<(ProcessId, String)> = Vec::new();
+    let mut decided = vec![false; n];
+    for rec in sim.outputs() {
+        if let Some(v) = rec.event.as_decision() {
+            decided[rec.process.index()] = true;
+            if is_correct(rec.process, schedule) {
+                if !PROPOSALS.contains(v) {
+                    return Err((
+                        ViolationKind::Validity,
+                        format!("p{} decided unproposed value {v}", rec.process.index()),
+                    ));
+                }
+                decisions.push((rec.process, format!("{v}")));
+            }
+        }
+    }
+    if decisions.windows(2).any(|w| w[0].1 != w[1].1) {
+        return Err(agreement_error(&decisions));
+    }
+    if termination_applies(sim, reason, check_termination) {
+        for (i, done) in decided.iter().enumerate() {
+            if !done && is_correct(ProcessId::new(i), schedule) {
+                return Err((
+                    ViolationKind::Termination,
+                    format!("quiescent with p{i} undecided"),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_adopt_commit(
+    sim: &Simulation<minsync_core::ProtocolMsg<u64>, minsync_core::AcNodeEvent<u64>>,
+    reason: &StopReason,
+    schedule: &Schedule,
+    n: usize,
+    check_termination: bool,
+) -> Result<(), (ViolationKind, String)> {
+    let mut returned = vec![false; n];
+    let mut committed: Option<(ProcessId, u64)> = None;
+    let mut outcomes: Vec<(ProcessId, AcTag, u64)> = Vec::new();
+    for rec in sim.outputs() {
+        let minsync_core::AcNodeEvent::Returned { tag, value } = &rec.event;
+        returned[rec.process.index()] = true;
+        if is_correct(rec.process, schedule) {
+            if !PROPOSALS.contains(value) {
+                return Err((
+                    ViolationKind::Validity,
+                    format!("p{} returned unproposed value {value}", rec.process.index()),
+                ));
+            }
+            if *tag == AcTag::Commit {
+                committed.get_or_insert((rec.process, *value));
+            }
+            outcomes.push((rec.process, *tag, *value));
+        }
+    }
+    // Quasi-agreement: one commit pins every other outcome's value.
+    if let Some((cp, cv)) = committed {
+        for (p, tag, v) in &outcomes {
+            if *v != cv {
+                return Err((
+                    ViolationKind::Agreement,
+                    format!(
+                        "p{} committed {cv} but p{} returned ({tag:?}, {v})",
+                        cp.index(),
+                        p.index()
+                    ),
+                ));
+            }
+        }
+    }
+    if termination_applies(sim, reason, check_termination) {
+        for (i, done) in returned.iter().enumerate() {
+            if !done && is_correct(ProcessId::new(i), schedule) {
+                return Err((
+                    ViolationKind::Termination,
+                    format!("quiescent with p{i} not returned"),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_eventual_agreement(
+    sim: &Simulation<minsync_core::ProtocolMsg<u64>, minsync_core::EaNodeEvent<u64>>,
+    reason: &StopReason,
+    schedule: &Schedule,
+    n: usize,
+    check_termination: bool,
+) -> Result<(), (ViolationKind, String)> {
+    // EA guarantees no agreement; check validity and per-round liveness.
+    let mut first_round = vec![false; n];
+    for rec in sim.outputs() {
+        let minsync_core::EaNodeEvent::Returned { round, value, .. } = &rec.event;
+        if *round == minsync_types::Round::FIRST {
+            first_round[rec.process.index()] = true;
+        }
+        if is_correct(rec.process, schedule) && !PROPOSALS.contains(value) {
+            return Err((
+                ViolationKind::Validity,
+                format!("p{} returned unproposed value {value}", rec.process.index()),
+            ));
+        }
+    }
+    if termination_applies(sim, reason, check_termination) {
+        for (i, done) in first_round.iter().enumerate() {
+            if !done && is_correct(ProcessId::new(i), schedule) {
+                return Err((
+                    ViolationKind::Termination,
+                    format!("quiescent with p{i} stuck in round 1"),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_bot(
+    sim: &Simulation<minsync_core::BotMsg<u64>, BotEvent<u64>>,
+    reason: &StopReason,
+    schedule: &Schedule,
+    n: usize,
+    check_termination: bool,
+) -> Result<(), (ViolationKind, String)> {
+    let mut decided = vec![false; n];
+    let mut decisions: Vec<(ProcessId, String)> = Vec::new();
+    for rec in sim.outputs() {
+        decided[rec.process.index()] = true;
+        if is_correct(rec.process, schedule) {
+            match &rec.event {
+                BotEvent::Decided { value } => {
+                    if !PROPOSALS.contains(value) {
+                        return Err((
+                            ViolationKind::Validity,
+                            format!("p{} decided unproposed value {value}", rec.process.index()),
+                        ));
+                    }
+                    decisions.push((rec.process, format!("{value}")));
+                }
+                BotEvent::DecidedBottom => decisions.push((rec.process, "⊥".into())),
+            }
+        }
+    }
+    if decisions.windows(2).any(|w| w[0].1 != w[1].1) {
+        return Err(agreement_error(&decisions));
+    }
+    if termination_applies(sim, reason, check_termination) {
+        for (i, done) in decided.iter().enumerate() {
+            if !done && is_correct(ProcessId::new(i), schedule) {
+                return Err((
+                    ViolationKind::Termination,
+                    format!("quiescent with p{i} undecided"),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_smr(
+    sim: &Simulation<minsync_smr::SmrMsg<u64>, SmrEvent<u64>>,
+    reason: &StopReason,
+    schedule: &Schedule,
+    n: usize,
+    check_termination: bool,
+) -> Result<(), (ViolationKind, String)> {
+    let mut committed = vec![false; n];
+    let mut slot_one: Vec<(ProcessId, String)> = Vec::new();
+    for rec in sim.outputs() {
+        if let SmrEvent::Committed { slot, command } = &rec.event {
+            committed[rec.process.index()] = true;
+            if *slot == 1 && is_correct(rec.process, schedule) {
+                slot_one.push((rec.process, format!("{command:?}")));
+            }
+        }
+    }
+    if slot_one.windows(2).any(|w| w[0].1 != w[1].1) {
+        return Err(agreement_error(&slot_one));
+    }
+    if termination_applies(sim, reason, check_termination) {
+        for (i, done) in committed.iter().enumerate() {
+            if !done && is_correct(ProcessId::new(i), schedule) {
+                return Err((
+                    ViolationKind::Termination,
+                    format!("quiescent with p{i} uncommitted"),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_schedule_passes_every_protocol() {
+        for protocol in Protocol::ALL {
+            run_protocol(protocol, 4, &Schedule::empty(), 30_000, true)
+                .unwrap_or_else(|(k, d)| panic!("{}: {k} violation: {d}", protocol.name()));
+        }
+    }
+
+    #[test]
+    fn quick_exploration_of_consensus_is_clean() {
+        let mut cfg = ExplorerConfig::quick();
+        cfg.random_schedules = 4;
+        cfg.dfs_limit = 10;
+        let report = explore(
+            |s| run_protocol(Protocol::Consensus, 4, s, 30_000, true),
+            &cfg,
+        );
+        assert!(report.schedules_explored >= 15);
+        assert!(
+            report.violations.is_empty(),
+            "unexpected violations: {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn shrink_finds_a_minimal_prefix() {
+        // Synthetic property: "violates" iff the schedule delays at least
+        // two of its first six messages by ≥5 ticks.
+        let mut check = |s: &Schedule| {
+            let long = s
+                .decisions
+                .iter()
+                .take(6)
+                .filter(|c| matches!(c, ScheduleCommand::After(d) if *d >= 5))
+                .count();
+            if long >= 2 {
+                Err((ViolationKind::Agreement, "synthetic".to_string()))
+            } else {
+                Ok(())
+            }
+        };
+        let full = Schedule {
+            decisions: vec![
+                ScheduleCommand::After(8),
+                ScheduleCommand::Default,
+                ScheduleCommand::After(8),
+                ScheduleCommand::After(8),
+                ScheduleCommand::Drop,
+                ScheduleCommand::After(1),
+            ],
+            droppable: vec![],
+        };
+        assert!(check(&full).is_err());
+        let (shrunk, _probes) = shrink(&full, &mut check);
+        assert_eq!(shrunk.decisions.len(), 3);
+        assert_eq!(shrunk.active_decisions(), 2);
+        assert!(check(&shrunk).is_err());
+    }
+
+    #[test]
+    fn vector_oracle_respects_the_drop_budget() {
+        let schedule = Schedule {
+            decisions: vec![ScheduleCommand::Drop, ScheduleCommand::Drop],
+            droppable: vec![ProcessId::new(0)],
+        };
+        let mut oracle = VectorOracle::new(&schedule);
+        let cmd = ScheduleOracle::<u32>::command(
+            &mut oracle,
+            ProcessId::new(0),
+            ProcessId::new(1),
+            VirtualTime::ZERO,
+            &7,
+            3,
+        );
+        assert_eq!(cmd, ScheduleCommand::Drop);
+        // Second decision targets a non-droppable sender: demoted.
+        let cmd = ScheduleOracle::<u32>::command(
+            &mut oracle,
+            ProcessId::new(1),
+            ProcessId::new(0),
+            VirtualTime::ZERO,
+            &7,
+            3,
+        );
+        assert_eq!(cmd, ScheduleCommand::Default);
+    }
+}

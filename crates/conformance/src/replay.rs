@@ -1,0 +1,419 @@
+//! Replayers: three independent ways to check a recorded [`Trace`] against
+//! the current implementation.
+//!
+//! * [`replay_direct`] — no substrate at all: fresh protocol automata are
+//!   driven through the recorded causes with a bare
+//!   [`Env`], and every invocation's queued effects must
+//!   be **byte-identical** to the recording. This is the strongest check:
+//!   any behavioral drift in a protocol (different message, different
+//!   timer, different order) fails on the exact divergent invocation.
+//! * [`replay_scripted_sim`] — the recorded effect stream is replayed by
+//!   [`ScriptedNode`]s on the deterministic simulator (same topology, same
+//!   seed): the re-recorded trace must reproduce the original, which pins
+//!   the *simulator's* routing, timing, and timer semantics.
+//! * [`replay_threaded`] — the same scripted line-up on the threaded
+//!   runtime: per-process effect streams must match the recording
+//!   (cross-process interleaving is OS-dependent and not compared).
+
+use core::fmt::Debug;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use minsync_adversary::ScriptedNode;
+use minsync_net::sim::{InvocationCause, SimBuilder};
+use minsync_net::threaded::{run_threaded_recorded, ThreadedConfig};
+use minsync_net::{derive_stream, Effect, Env, NetworkTopology, Node, TimerId, TimerTable};
+use minsync_types::ProcessId;
+use minsync_wire::Wire;
+
+use crate::trace::Trace;
+
+/// Why a replay diverged from the recording.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The caller supplied the wrong number of nodes or a topology of the
+    /// wrong size.
+    WrongSize {
+        /// Processes in the trace.
+        expected: usize,
+        /// Processes supplied.
+        got: usize,
+    },
+    /// A recorded timer firing was stale or cancelled under replay — the
+    /// timer bookkeeping diverged before this step.
+    StaleTimer {
+        /// Global step index.
+        step: usize,
+        /// The process.
+        process: ProcessId,
+    },
+    /// An invocation queued different effects than the recording.
+    EffectMismatch {
+        /// Global step index (direct/sim replay) or per-process invocation
+        /// index (threaded replay).
+        step: usize,
+        /// The process.
+        process: ProcessId,
+        /// Recorded and replayed effects, `Debug`-formatted.
+        detail: String,
+    },
+    /// The replayed run produced fewer invocations than the recording.
+    ShortReplay {
+        /// Invocations recorded.
+        expected: usize,
+        /// Invocations replayed.
+        got: usize,
+    },
+    /// The threaded run hit its wall-clock timeout before reproducing
+    /// every recorded output.
+    Timeout,
+    /// The trace is internally inconsistent — it could not have been
+    /// produced by the simulator (e.g. a delivery with no matching send, or
+    /// a cancelled timer firing that should have produced an invocation).
+    Inconsistent {
+        /// Global step index.
+        step: usize,
+        /// What failed to line up.
+        detail: String,
+    },
+}
+
+impl core::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ReplayError::WrongSize { expected, got } => {
+                write!(f, "trace has {expected} processes, caller supplied {got}")
+            }
+            ReplayError::StaleTimer { step, process } => {
+                write!(f, "step {step}: recorded timer stale at {process:?}")
+            }
+            ReplayError::EffectMismatch {
+                step,
+                process,
+                detail,
+            } => write!(f, "step {step} ({process:?}): effects diverged: {detail}"),
+            ReplayError::ShortReplay { expected, got } => {
+                write!(
+                    f,
+                    "replay produced {got} invocations, recording has {expected}"
+                )
+            }
+            ReplayError::Timeout => write!(f, "threaded replay timed out"),
+            ReplayError::Inconsistent { step, detail } => {
+                write!(f, "step {step}: trace is inconsistent: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Drives fresh automata through the recorded causes with a bare [`Env`]
+/// and asserts every invocation queues exactly the recorded effects.
+///
+/// `nodes` must be freshly-constructed automata in the same line-up as the
+/// recorded run. The env's randomness stream and each process's timer
+/// table evolve exactly as the simulator's did, so timer ids and `random`
+/// draws reproduce bit-for-bit.
+///
+/// Reproducing the timer tables needs more than the recorded invocations:
+/// a cancelled or stale timer firing produces *no* invocation, but the
+/// simulator's `try_fire` still consumes it (recycling the slot and
+/// bumping its generation, which changes the id the next `set_timer`
+/// allocates). The replayer therefore rebuilds the simulator's event
+/// ordering — every push gets the same `(time, seq)` key the event queue
+/// assigned — and consumes those invisible firings at exactly the point
+/// the simulator did. Traces recorded under a dropping schedule oracle are
+/// not supported here (dropped messages would shift the seq numbering);
+/// golden fixtures are always recorded oracle-free.
+///
+/// # Errors
+///
+/// The [`ReplayError`] pinpointing the first divergent step.
+pub fn replay_direct<M, O>(
+    trace: &Trace<M, O>,
+    nodes: Vec<Box<dyn Node<Msg = M, Output = O>>>,
+) -> Result<(), ReplayError>
+where
+    M: Clone + Debug + Send + PartialEq + 'static,
+    O: Clone + Debug + Send + PartialEq + 'static,
+{
+    let n = trace.n as usize;
+    if nodes.len() != n {
+        return Err(ReplayError::WrongSize {
+            expected: n,
+            got: nodes.len(),
+        });
+    }
+    let mut nodes = nodes;
+    // Same derivation the simulator uses for its shared env.
+    let mut env: Env<M, O> = Env::new(n, derive_stream(trace.seed, 1));
+    let mut tables: Vec<TimerTable> = (0..n).map(|_| TimerTable::new()).collect();
+    let mut halted = vec![false; n];
+    // The simulator's event bookkeeping, reconstructed: `seq` mirrors the
+    // queue's push counter (Start events take 0..n), `sends` maps each
+    // channel to its pushed-but-undelivered messages, and `pending_timers`
+    // holds scheduled firings keyed exactly as the queue orders them.
+    let mut seq = n as u64;
+    let mut sends: HashMap<(usize, usize), VecDeque<(u64, M)>> = HashMap::new();
+    let mut pending_timers: BTreeMap<(minsync_net::VirtualTime, u64), (ProcessId, TimerId)> =
+        BTreeMap::new();
+
+    for (i, step) in trace.steps.iter().enumerate() {
+        let p = step.cause.process;
+        let now = step.cause.time;
+        // Locate this invocation's own queue key.
+        let step_seq = match &step.cause.cause {
+            InvocationCause::Start => p.index() as u64,
+            InvocationCause::Deliver { from, msg } => {
+                let channel = sends.get_mut(&(from.index(), p.index())).ok_or_else(|| {
+                    ReplayError::Inconsistent {
+                        step: i,
+                        detail: format!("delivery from p{} with no prior send", from.index()),
+                    }
+                })?;
+                let pos = channel.iter().position(|(_, m)| m == msg).ok_or_else(|| {
+                    ReplayError::Inconsistent {
+                        step: i,
+                        detail: format!("delivery from p{} matches no sent message", from.index()),
+                    }
+                })?;
+                channel.remove(pos).expect("position just found").0
+            }
+            InvocationCause::Timer { id } => *pending_timers
+                .iter()
+                .find(|(&(t, _), &(tp, tid))| t == now && tp == p && tid == *id)
+                .map(|((_, s), _)| s)
+                .ok_or(ReplayError::StaleTimer {
+                    step: i,
+                    process: p,
+                })?,
+        };
+        // Consume every scheduled firing the simulator popped before this
+        // invocation. None of them may actually fire — a firing produces an
+        // invocation, and the trace has none here — but consuming them is
+        // what recycles timer slots at the recorded moments.
+        while let Some((&(t, s), &(tp, tid))) = pending_timers.first_key_value() {
+            if (t, s) >= (now, step_seq) {
+                break;
+            }
+            pending_timers.remove(&(t, s));
+            if halted[tp.index()] {
+                continue; // the simulator skips halted processes pre-fire
+            }
+            if tables[tp.index()].try_fire(tid) {
+                return Err(ReplayError::Inconsistent {
+                    step: i,
+                    detail: format!(
+                        "timer {tid:?} of p{} would fire at {t:?}, but the trace records no \
+                         invocation for it",
+                        tp.index()
+                    ),
+                });
+            }
+        }
+        // The simulator fires on the per-process table *before* swapping it
+        // into the env; mirror that order so generations line up.
+        if let InvocationCause::Timer { id } = &step.cause.cause {
+            pending_timers.remove(&(now, step_seq));
+            if !tables[p.index()].try_fire(*id) {
+                return Err(ReplayError::StaleTimer {
+                    step: i,
+                    process: p,
+                });
+            }
+        }
+        env.prepare(p, now);
+        core::mem::swap(&mut tables[p.index()], env.timers_mut());
+        match &step.cause.cause {
+            InvocationCause::Start => nodes[p.index()].on_start(&mut env),
+            InvocationCause::Deliver { from, msg } => {
+                nodes[p.index()].on_message(*from, msg.clone(), &mut env);
+            }
+            InvocationCause::Timer { id } => nodes[p.index()].on_timer(*id, &mut env),
+        }
+        let effects = env.take_buffer();
+        for effect in &effects {
+            match effect {
+                Effect::Send { to, msg } => {
+                    sends
+                        .entry((p.index(), to.index()))
+                        .or_default()
+                        .push_back((seq, msg.clone()));
+                    seq += 1;
+                }
+                Effect::Broadcast { msg } => {
+                    // enqueue_broadcast routes in destination order 0..n.
+                    for to in 0..n {
+                        sends
+                            .entry((p.index(), to))
+                            .or_default()
+                            .push_back((seq, msg.clone()));
+                        seq += 1;
+                    }
+                }
+                Effect::SetTimer { id, delay } => {
+                    env.timers_mut().arm(*id);
+                    pending_timers.insert((now.saturating_add(*delay), seq), (p, *id));
+                    seq += 1;
+                }
+                Effect::CancelTimer { id } => env.timers_mut().cancel(*id),
+                Effect::Output(_) => {}
+                Effect::Halt => halted[p.index()] = true,
+            }
+        }
+        core::mem::swap(&mut tables[p.index()], env.timers_mut());
+        if effects != step.effects.effects {
+            return Err(ReplayError::EffectMismatch {
+                step: i,
+                process: p,
+                detail: format!(
+                    "recorded {:?}, replayed {:?}",
+                    step.effects.effects, effects
+                ),
+            });
+        }
+        env.restore_buffer(effects);
+    }
+    Ok(())
+}
+
+/// Replays the trace on the deterministic simulator with a
+/// [`ScriptedNode`] in every slot and asserts the re-recorded effect trace
+/// reproduces the original.
+///
+/// The recorded run may have stopped mid-flight (a predicate fired with
+/// messages still queued); the replay runs to quiescence, so it may append
+/// extra invocations past the recorded prefix — those must all be
+/// effect-empty (exhausted scripts reacting to leftover deliveries).
+///
+/// # Errors
+///
+/// The [`ReplayError`] pinpointing the first divergent step.
+pub fn replay_scripted_sim<M, O>(
+    trace: &Trace<M, O>,
+    topology: NetworkTopology,
+) -> Result<(), ReplayError>
+where
+    M: Wire + Clone + Debug + Send + PartialEq + 'static,
+    O: Wire + Clone + Debug + Send + PartialEq + 'static,
+{
+    let n = trace.n as usize;
+    if topology.n() != n {
+        return Err(ReplayError::WrongSize {
+            expected: n,
+            got: topology.n(),
+        });
+    }
+    let records = trace.effect_records();
+    let mut builder = SimBuilder::new(topology)
+        .seed(trace.seed)
+        .record_effects(usize::MAX);
+    for p in 0..n {
+        builder = builder.node(ScriptedNode::from_trace(&records, ProcessId::new(p)));
+    }
+    let mut sim = builder.build();
+    sim.run();
+    let replayed = sim.effect_trace();
+    if replayed.len() < records.len() {
+        return Err(ReplayError::ShortReplay {
+            expected: records.len(),
+            got: replayed.len(),
+        });
+    }
+    for (i, (got, want)) in replayed.iter().zip(&records).enumerate() {
+        if got != want {
+            return Err(ReplayError::EffectMismatch {
+                step: i,
+                process: want.process,
+                detail: format!("recorded {want:?}, replayed {got:?}"),
+            });
+        }
+    }
+    for (i, extra) in replayed.iter().enumerate().skip(records.len()) {
+        if !extra.effects.is_empty() {
+            return Err(ReplayError::EffectMismatch {
+                step: i,
+                process: extra.process,
+                detail: format!("unexpected post-recording effects {:?}", extra.effects),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Replays the trace on the threaded runtime and asserts each process's
+/// effect stream matches the recording.
+///
+/// Cross-process interleaving is OS-dependent, so only per-process
+/// subsequences are compared; invocations past a process's recorded count
+/// must be effect-empty. The run stops once every recorded output has
+/// reappeared (or times out per `config`).
+///
+/// # Errors
+///
+/// The [`ReplayError`] pinpointing the first divergent invocation.
+pub fn replay_threaded<M, O>(
+    trace: &Trace<M, O>,
+    topology: NetworkTopology,
+    config: ThreadedConfig,
+) -> Result<(), ReplayError>
+where
+    M: Wire + Clone + Debug + Send + PartialEq + 'static,
+    O: Wire + Clone + Debug + Send + PartialEq + 'static,
+{
+    let n = trace.n as usize;
+    if topology.n() != n {
+        return Err(ReplayError::WrongSize {
+            expected: n,
+            got: topology.n(),
+        });
+    }
+    let records = trace.effect_records();
+    let nodes: Vec<Box<dyn Node<Msg = M, Output = O>>> = (0..n)
+        .map(|p| {
+            Box::new(ScriptedNode::from_trace(&records, ProcessId::new(p)))
+                as Box<dyn Node<Msg = M, Output = O>>
+        })
+        .collect();
+    let expected_outputs = trace.output_count();
+    let (report, recorded) = run_threaded_recorded(topology, nodes, config, |outs| {
+        outs.len() >= expected_outputs
+    });
+    if report.timed_out {
+        return Err(ReplayError::Timeout);
+    }
+    for p in 0..n {
+        let process = ProcessId::new(p);
+        let golden: Vec<&Vec<Effect<M, O>>> = records
+            .iter()
+            .filter(|r| r.process == process)
+            .map(|r| &r.effects)
+            .collect();
+        let replayed: Vec<&Vec<Effect<M, O>>> = recorded
+            .iter()
+            .filter(|r| r.process == process)
+            .map(|r| &r.effects)
+            .collect();
+        for (i, got) in replayed.iter().enumerate() {
+            match golden.get(i) {
+                Some(want) if got != want => {
+                    return Err(ReplayError::EffectMismatch {
+                        step: i,
+                        process,
+                        detail: format!("recorded {want:?}, replayed {got:?}"),
+                    });
+                }
+                Some(_) => {}
+                None if !got.is_empty() => {
+                    return Err(ReplayError::EffectMismatch {
+                        step: i,
+                        process,
+                        detail: format!("unexpected post-recording effects {got:?}"),
+                    });
+                }
+                None => {}
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Fuzz the trace container decoder with hostile bytes.
+//!
+//! Committed fixture files are decoded on every CI run; a corrupted file —
+//! truncated checkout, bad merge, bit rot — must produce a [`TraceError`],
+//! never a panic or a runaway allocation. The corpus here is a *real*
+//! recorded run (the consensus golden scenario), so the mutations land on
+//! genuine protocol payloads, not synthetic ones.
+
+use std::sync::OnceLock;
+
+use minsync_conformance::{golden_scenarios, Trace};
+use minsync_core::{ConsensusEvent, ProtocolMsg};
+use proptest::prelude::*;
+
+type ConsTrace = Trace<ProtocolMsg<u64>, ConsensusEvent<u64>>;
+
+/// The consensus golden scenario's encoded bytes, recorded once.
+fn corpus() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let scenario = golden_scenarios()
+            .into_iter()
+            .find(|s| s.name == "consensus-n4")
+            .expect("consensus scenario is registered");
+        (scenario.record)()
+    })
+}
+
+proptest! {
+    /// Every strict prefix fails with an error, never a panic.
+    #[test]
+    fn truncations_fail_cleanly(cut_seed in any::<u64>()) {
+        let bytes = corpus();
+        let cut = (cut_seed as usize) % bytes.len();
+        prop_assert!(ConsTrace::decode(&bytes[..cut]).is_err());
+    }
+
+    /// Point mutations either still decode (payload byte) or fail with an
+    /// error — never a panic. A mutated decode that succeeds must change
+    /// the digest or be the identity (the flip is XOR, never zero).
+    #[test]
+    fn mutations_never_panic(at_seed in any::<u64>(), flip in 1u8..=255) {
+        let mut bytes = corpus().to_vec();
+        let at = (at_seed as usize) % bytes.len();
+        bytes[at] ^= flip;
+        if let Ok(trace) = ConsTrace::decode(&bytes) {
+            // Re-encoding a successfully decoded mutant reproduces the
+            // mutant bytes: the codec is canonical, so the digest pins the
+            // mutation.
+            prop_assert_eq!(trace.encode(), bytes);
+        }
+    }
+
+    /// Raw garbage (with and without a valid magic) never panics.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = ConsTrace::decode(&bytes);
+        let mut tagged = b"MTRC".to_vec();
+        tagged.extend_from_slice(&bytes);
+        let _ = ConsTrace::decode(&tagged);
+    }
+
+    /// Appending junk to a valid trace is rejected as trailing bytes.
+    #[test]
+    fn trailing_junk_is_rejected(junk in proptest::collection::vec(any::<u8>(), 1..32)) {
+        let mut bytes = corpus().to_vec();
+        bytes.extend_from_slice(&junk);
+        prop_assert!(ConsTrace::decode(&bytes).is_err());
+    }
+}

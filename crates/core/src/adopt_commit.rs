@@ -54,6 +54,13 @@ pub struct AcRound<V> {
     est_senders: BTreeSet<ProcessId>,
     /// Set once the host executed lines 1–2 (CB returned, `AC_EST` sent).
     est_sent: bool,
+    /// Witness size used by line 3 instead of `cfg.quorum()`, when set.
+    ///
+    /// This exists solely so the conformance suite can seed a deliberately
+    /// broken adopt-commit (witness of `n − t − 1`) and prove the schedule
+    /// explorer catches the resulting agreement violation. Production
+    /// constructors never set it.
+    quorum_override: Option<usize>,
     outcome: Option<AcOutcome<V>>,
 }
 
@@ -66,8 +73,18 @@ impl<V: Value> AcRound<V> {
             ests: Vec::new(),
             est_senders: BTreeSet::new(),
             est_sent: false,
+            quorum_override: None,
             outcome: None,
         }
+    }
+
+    /// Replaces the line-3 witness size with `quorum` — a deliberately
+    /// *unsound* knob for mutation testing (see the field docs). Passing
+    /// anything below `cfg.quorum()` breaks AC-Quasi-agreement.
+    #[must_use]
+    pub fn with_quorum_override(mut self, quorum: usize) -> Self {
+        self.quorum_override = Some(quorum);
+        self
     }
 
     /// Feeds an RB delivery of `CB_VAL` for this AC's CB instance
@@ -119,7 +136,7 @@ impl<V: Value> AcRound<V> {
             // cannot be waiting at line 3 yet.
             return None;
         }
-        let quorum = self.cfg.quorum();
+        let quorum = self.quorum_override.unwrap_or_else(|| self.cfg.quorum());
         let witness: Vec<&V> = self
             .ests
             .iter()
@@ -429,6 +446,19 @@ mod tests {
         ac.on_est_delivered(ProcessId::new(0), 5);
         assert_eq!(ac.est_count(), 1);
         assert_eq!(ac.try_complete(), None);
+    }
+
+    #[test]
+    fn quorum_override_shrinks_the_witness() {
+        // n = 4, t = 1 → sound quorum 3. With the override at 2 the object
+        // commits on a 2-unanimous witness — the seeded bug the conformance
+        // explorer must catch.
+        let mut ac = round_with_cb(&[(0, 5)]).with_quorum_override(2);
+        ac.mark_est_sent();
+        ac.on_est_delivered(ProcessId::new(0), 5);
+        assert_eq!(ac.try_complete(), None);
+        ac.on_est_delivered(ProcessId::new(1), 5);
+        assert_eq!(ac.try_complete(), Some((AcTag::Commit, 5)));
     }
 
     #[test]

@@ -31,6 +31,23 @@ use crate::eventual_agreement::{EaAction, EaObject};
 use crate::messages::{CbId, ProtocolMsg, RbTag};
 use crate::timeout::TimeoutPolicy;
 
+/// A deliberately seeded protocol bug, used only by the conformance
+/// suite's mutation smoke: the schedule explorer must be able to find the
+/// violation the mutation introduces, or the explorer itself is broken.
+///
+/// Runtime-selected (a field on [`ConsensusConfig`]) rather than
+/// feature-gated so a single workspace build carries both the sound and
+/// the broken automaton without cargo feature unification poisoning every
+/// other crate's artifacts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SeededMutation {
+    /// Adopt-commit waits for a witness of `n − t − 1` estimates instead of
+    /// `n − t` (Figure 2 line 3 off by one). With `n = 4, t = 1` two
+    /// partitioned halves can each assemble a unanimous 2-witness and
+    /// commit different values — an agreement violation.
+    AcQuorumOffByOne,
+}
+
 /// Static parameters of one consensus instance.
 #[derive(Clone, Copy, Debug)]
 pub struct ConsensusConfig {
@@ -47,6 +64,9 @@ pub struct ConsensusConfig {
     /// RB so others stay live, but initiates nothing new). `None` =
     /// unbounded, the paper's semantics.
     pub max_rounds: Option<u64>,
+    /// Seeded bug for mutation testing. `None` (every production
+    /// constructor) runs the paper's algorithm unmodified.
+    pub mutation: Option<SeededMutation>,
 }
 
 impl ConsensusConfig {
@@ -57,6 +77,7 @@ impl ConsensusConfig {
             k: 0,
             timeout: TimeoutPolicy::paper(),
             max_rounds: None,
+            mutation: None,
         }
     }
 
@@ -268,9 +289,16 @@ impl<V: Value> ConsensusNode<V> {
 
     fn ac_round(&mut self, r: Round) -> &mut AcRound<V> {
         let system = self.cfg.system;
-        self.ac_rounds
-            .entry(r)
-            .or_insert_with(|| AcRound::new(system))
+        let mutation = self.cfg.mutation;
+        self.ac_rounds.entry(r).or_insert_with(|| {
+            let ac = AcRound::new(system);
+            match mutation {
+                Some(SeededMutation::AcQuorumOffByOne) => {
+                    ac.with_quorum_override(system.quorum().saturating_sub(1))
+                }
+                None => ac,
+            }
+        })
     }
 
     /// Line 1 completion: `CB[0]` returned → enter round 1.

@@ -56,7 +56,7 @@ mod timeout;
 
 pub use adopt_commit::{AcNode, AcNodeEvent, AcOutcome, AcRound};
 pub use bot_variant::{BotConsensusNode, BotEvent, BotMsg};
-pub use consensus::{ConsensusConfig, ConsensusNode};
+pub use consensus::{ConsensusConfig, ConsensusNode, SeededMutation};
 pub use events::{AcTag, ConsensusEvent};
 pub use eventual_agreement::{EaAction, EaNode, EaNodeEvent, EaObject};
 pub use messages::{CbId, ProtocolMsg, RbTag};

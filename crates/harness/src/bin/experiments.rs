@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (E1–E11).
+//! Regenerates every experiment table (E1–E11, E14).
 //!
 //! ```text
 //! cargo run -p minsync-harness --release --bin experiments [-- --quick] [--csv DIR] [e1 e3 ...]
@@ -75,6 +75,11 @@ fn catalog() -> Vec<(&'static str, &'static str, Runner)> {
             "e11",
             "TCP cluster: n OS processes over minsync-wire on 127.0.0.1, wall-clock throughput/latency, silent+flood riders",
             experiments::e11_transport::run,
+        ),
+        (
+            "e14",
+            "Conformance: schedule exploration (reorder/delay/drop) over all five stacks + ac-quorum mutation smoke",
+            experiments::e14_conformance::run,
         ),
     ]
 }

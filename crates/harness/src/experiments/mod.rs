@@ -1,5 +1,5 @@
-//! The experiment suite E1–E11 (see `EXPERIMENTS.md` for the paper-vs-
-//! measured record).
+//! The experiment suite E1–E11 plus E14 (see `EXPERIMENTS.md` for the
+//! paper-vs-measured record).
 //!
 //! Every experiment is a pure function `run(quick) -> Table`; `quick = true`
 //! shrinks sweeps and seed counts so the whole suite stays test-suite-fast,
@@ -9,6 +9,7 @@
 
 pub mod e10_smr;
 pub mod e11_transport;
+pub mod e14_conformance;
 pub mod e1_cb;
 pub mod e2_ac;
 pub mod e3_ea;
@@ -36,6 +37,7 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e9_message_complexity::run(quick),
         e10_smr::run(quick),
         e11_transport::run(quick),
+        e14_conformance::run(quick),
     ]
 }
 
@@ -64,7 +66,7 @@ mod tests {
     #[test]
     fn quick_suite_produces_all_tables() {
         let tables = run_all(true);
-        assert_eq!(tables.len(), 11);
+        assert_eq!(tables.len(), 12);
         for t in &tables {
             assert!(!t.rows().is_empty(), "{} produced no rows", t.title());
         }

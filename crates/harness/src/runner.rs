@@ -123,6 +123,7 @@ impl ConsensusRunBuilder {
             k: self.k,
             timeout: self.timeout,
             max_rounds: self.max_rounds,
+            mutation: None,
         };
         // Surface schedule errors (invalid k) eagerly.
         cons_cfg.schedule()?;

@@ -39,6 +39,17 @@ impl TimerId {
     pub const fn get(self) -> u64 {
         self.0
     }
+
+    /// Rebuilds an id from its raw representation — the inverse of
+    /// [`TimerId::get`], for trace codecs that persist recorded executions.
+    ///
+    /// An id built this way is *foreign* to any live
+    /// [`TimerTable`](crate::TimerTable): applying it via a recorded
+    /// `SetTimer` effect makes the table adopt the id's slot and
+    /// generation, which is what keeps scripted replays byte-identical.
+    pub const fn from_raw(raw: u64) -> TimerId {
+        TimerId(raw)
+    }
 }
 
 /// An event-driven process automaton, written sans-io.
@@ -105,6 +116,7 @@ mod tests {
         let t = TimerId(9);
         assert_eq!(t.get(), 9);
         assert_eq!(format!("{t:?}"), "TimerId(9)");
+        assert_eq!(TimerId::from_raw(t.get()), t);
     }
 
     // Compile-time check: Node stays object-safe (heterogeneous Byzantine

@@ -18,6 +18,10 @@ pub struct Metrics {
     pub messages_delivered: u64,
     /// Messages dropped because the destination had halted.
     pub messages_dropped: u64,
+    /// Messages suppressed by an installed
+    /// [`ScheduleOracle`](crate::sim::ScheduleOracle) returning
+    /// [`ScheduleCommand::Drop`](crate::sim::ScheduleCommand::Drop).
+    pub messages_suppressed: u64,
     /// Timer firings delivered (cancelled timers excluded).
     pub timers_fired: u64,
     /// Events processed in total (starts + deliveries + timers).

@@ -7,7 +7,9 @@
 //! [`NetworkTopology`](crate::NetworkTopology); an optional [`DelayOracle`]
 //! lets an adversary pick delays on the channels the model leaves
 //! asynchronous (and pre-stabilization eventually-timely channels, clamped
-//! to the paper's `max(τ, τ′) + δ` bound).
+//! to the paper's `max(τ, τ′) + δ` bound), and an optional
+//! [`ScheduleOracle`] additionally controls reorderings and drops — the
+//! seam the `minsync-conformance` schedule explorer drives.
 //!
 //! Identical seeds and inputs produce identical executions — trace hashes
 //! are part of the integration test suite.
@@ -20,8 +22,9 @@ mod simulation;
 
 pub use event::StopReason;
 pub use metrics::Metrics;
-pub use oracle::DelayOracle;
+pub use oracle::{DelayOracle, ScheduleCommand, ScheduleOracle};
 pub use queue::EventQueue;
 pub use simulation::{
-    DeliveryRecord, EffectRecord, OutputRecord, RunReport, SimBuilder, Simulation,
+    CauseRecord, DeliveryRecord, EffectRecord, InvocationCause, OutputRecord, RunReport,
+    SimBuilder, Simulation,
 };

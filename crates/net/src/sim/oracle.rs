@@ -49,6 +49,75 @@ where
     }
 }
 
+/// One routing decision returned by a [`ScheduleOracle`].
+///
+/// Unlike a [`DelayOracle`] — which can only pick a number of ticks — a
+/// schedule oracle chooses among the three things an adversarial scheduler
+/// can actually do to a message: leave it alone, reorder it, or lose it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScheduleCommand {
+    /// Let the channel's own law (and any installed [`DelayOracle`])
+    /// schedule the message.
+    Default,
+    /// Deliver after the given number of ticks, clamped to whatever bound
+    /// the channel's timing guarantees (a schedule cannot break a timely
+    /// or stabilized eventually-timely channel).
+    After(u64),
+    /// Suppress the message entirely. The simulator counts it in
+    /// [`Metrics::messages_suppressed`](super::Metrics::messages_suppressed)
+    /// and never delivers it. The *caller* is responsible for keeping drops
+    /// within the model's `t`-faults budget — the simulator applies the
+    /// command mechanically.
+    Drop,
+}
+
+/// Adversarial control over the full delivery *schedule*: reorderings,
+/// bounded delays, and message drops.
+///
+/// This is the seam the conformance explorer drives: it is consulted once
+/// per routed message (after the channel law has sampled its own delay, so
+/// installing an oracle that always returns
+/// [`ScheduleCommand::Default`] leaves the execution byte-identical), and
+/// its consultation order is deterministic — a recorded sequence of
+/// commands indexed by consultation count reproduces the run exactly.
+///
+/// Channel guarantees are enforced by the simulator, not trusted to the
+/// oracle: an [`After`](ScheduleCommand::After) delay is clamped so a
+/// timely channel still delivers within `δ` and a stabilized
+/// eventually-timely channel within `max(τ, send time) + δ`. Only
+/// [`Drop`](ScheduleCommand::Drop) can exceed those bounds, and modelling
+/// a drop on a timely channel is only sound for messages *from* a process
+/// the caller has designated faulty.
+pub trait ScheduleOracle<M>: Send {
+    /// Picks the command for a message from `from` to `to` sent at `at`.
+    /// `default` is the delay (in ticks) the channel's law sampled.
+    fn command(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        at: VirtualTime,
+        msg: &M,
+        default: u64,
+    ) -> ScheduleCommand;
+}
+
+/// Blanket impl so closures can serve as schedule oracles.
+impl<M, F> ScheduleOracle<M> for F
+where
+    F: FnMut(ProcessId, ProcessId, VirtualTime, &M, u64) -> ScheduleCommand + Send,
+{
+    fn command(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        at: VirtualTime,
+        msg: &M,
+        default: u64,
+    ) -> ScheduleCommand {
+        self(from, to, at, msg, default)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,5 +134,28 @@ mod tests {
             10,
         );
         assert_eq!(d, 20);
+    }
+
+    #[test]
+    fn closures_are_schedule_oracles() {
+        let mut oracle = |_f: ProcessId, _t: ProcessId, _at: VirtualTime, _m: &u32, d: u64| {
+            if d > 5 {
+                ScheduleCommand::Drop
+            } else {
+                ScheduleCommand::After(d + 1)
+            }
+        };
+        let mut pick = |d| {
+            ScheduleOracle::command(
+                &mut oracle,
+                ProcessId::new(0),
+                ProcessId::new(1),
+                VirtualTime::ZERO,
+                &5u32,
+                d,
+            )
+        };
+        assert_eq!(pick(10), ScheduleCommand::Drop);
+        assert_eq!(pick(3), ScheduleCommand::After(4));
     }
 }

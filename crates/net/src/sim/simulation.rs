@@ -6,7 +6,7 @@ use rand::SeedableRng;
 
 use super::event::{EventKind, StopReason};
 use super::metrics::Metrics;
-use super::oracle::DelayOracle;
+use super::oracle::{DelayOracle, ScheduleCommand, ScheduleOracle};
 use super::queue::EventQueue;
 use crate::{ChannelTiming, Effect, Env, NetworkTopology, Node, TimerTable, VirtualTime};
 
@@ -51,6 +51,47 @@ pub struct EffectRecord<M, O> {
     pub effects: Vec<Effect<M, O>>,
 }
 
+/// What triggered one handler invocation: the start event, a message
+/// delivery, or a timer firing.
+///
+/// Recorded (via [`SimBuilder::record_causes`]) in lockstep with the
+/// [`EffectRecord`] stream, a cause trace turns a recorded run into a fully
+/// self-contained transcript: `(cause, effects)` pairs are exactly the
+/// input/output contract of the sans-io [`Node`] API, so the run can be
+/// re-driven and checked without the simulator (see `minsync-conformance`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InvocationCause<M> {
+    /// `on_start` ran.
+    Start,
+    /// `on_message(from, msg)` ran.
+    Deliver {
+        /// The (claimed) sender.
+        from: ProcessId,
+        /// The delivered message.
+        msg: M,
+    },
+    /// `on_timer(id)` ran (the firing survived cancellation checks).
+    Timer {
+        /// The fired timer.
+        id: crate::TimerId,
+    },
+}
+
+/// One recorded invocation cause (see [`SimBuilder::record_causes`]).
+///
+/// When both cause and effect recording run uncapped, record `i` of the
+/// cause trace describes the invocation whose effects are record `i` of the
+/// effect trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CauseRecord<M> {
+    /// Invocation time.
+    pub time: VirtualTime,
+    /// The process whose handler ran.
+    pub process: ProcessId,
+    /// What triggered the handler.
+    pub cause: InvocationCause<M>,
+}
+
 /// Summary of a finished (or paused) run.
 #[derive(Clone, Debug)]
 pub struct RunReport<O> {
@@ -81,8 +122,10 @@ pub struct SimBuilder<M, O> {
     max_events: u64,
     classifier: Option<fn(&M) -> &'static str>,
     oracle: Option<Box<dyn DelayOracle<M>>>,
+    schedule: Option<Box<dyn ScheduleOracle<M>>>,
     log_deliveries: usize,
     record_effects: usize,
+    record_causes: usize,
 }
 
 impl<M, O> SimBuilder<M, O>
@@ -101,8 +144,10 @@ where
             max_events: 50_000_000,
             classifier: None,
             oracle: None,
+            schedule: None,
             log_deliveries: 0,
             record_effects: 0,
+            record_causes: 0,
         }
     }
 
@@ -163,6 +208,16 @@ where
         self
     }
 
+    /// Records the first `capacity` invocation causes as [`CauseRecord`]s —
+    /// the input side of the transcript [`SimBuilder::record_effects`]
+    /// records the output side of. Read them back via
+    /// [`Simulation::cause_trace`]. Use `usize::MAX` (together with an
+    /// uncapped effect trace) for a self-contained replayable transcript.
+    pub fn record_causes(mut self, capacity: usize) -> Self {
+        self.record_causes = capacity;
+        self
+    }
+
     /// Installs an adversarial delay oracle (see [`DelayOracle`]).
     pub fn delay_oracle(mut self, oracle: impl DelayOracle<M> + 'static) -> Self {
         self.oracle = Some(Box::new(oracle));
@@ -173,6 +228,24 @@ where
     /// runtime).
     pub fn boxed_delay_oracle(mut self, oracle: Box<dyn DelayOracle<M>>) -> Self {
         self.oracle = Some(oracle);
+        self
+    }
+
+    /// Installs an adversarial schedule oracle (see [`ScheduleOracle`]).
+    ///
+    /// The oracle is consulted once per routed message, *after* the channel
+    /// law sampled its own delay — so an oracle answering
+    /// [`ScheduleCommand::Default`] everywhere leaves the execution
+    /// byte-identical to a build without one.
+    pub fn with_schedule_oracle(mut self, oracle: impl ScheduleOracle<M> + 'static) -> Self {
+        self.schedule = Some(Box::new(oracle));
+        self
+    }
+
+    /// Installs an already-boxed schedule oracle (for oracles chosen at
+    /// runtime).
+    pub fn with_boxed_schedule_oracle(mut self, oracle: Box<dyn ScheduleOracle<M>>) -> Self {
+        self.schedule = Some(oracle);
         self
     }
 
@@ -218,10 +291,13 @@ where
             max_events: self.max_events,
             classifier: self.classifier,
             oracle: self.oracle,
+            schedule: self.schedule,
             delivery_log: Vec::new(),
             delivery_log_capacity: self.log_deliveries,
             effect_trace: Vec::new(),
             effect_trace_capacity: self.record_effects,
+            cause_trace: Vec::new(),
+            cause_trace_capacity: self.record_causes,
         };
         for p in 0..n {
             sim.push_event(VirtualTime::ZERO, EventKind::Start(ProcessId::new(p)));
@@ -264,10 +340,13 @@ pub struct Simulation<M, O> {
     max_events: u64,
     classifier: Option<fn(&M) -> &'static str>,
     oracle: Option<Box<dyn DelayOracle<M>>>,
+    schedule: Option<Box<dyn ScheduleOracle<M>>>,
     delivery_log: Vec<DeliveryRecord>,
     delivery_log_capacity: usize,
     effect_trace: Vec<EffectRecord<M, O>>,
     effect_trace_capacity: usize,
+    cause_trace: Vec<CauseRecord<M>>,
+    cause_trace_capacity: usize,
 }
 
 impl<M, O> Simulation<M, O>
@@ -301,6 +380,14 @@ where
     /// capacity).
     pub fn effect_trace(&self) -> &[EffectRecord<M, O>] {
         &self.effect_trace
+    }
+
+    /// Recorded invocation causes (empty unless
+    /// [`SimBuilder::record_causes`] was used; capped at the configured
+    /// capacity). With both traces uncapped, entry `i` here caused entry
+    /// `i` of [`Simulation::effect_trace`].
+    pub fn cause_trace(&self) -> &[CauseRecord<M>] {
+        &self.cause_trace
     }
 
     /// FNV-1a digest of the recorded effect trace (over the `Debug`
@@ -386,6 +473,7 @@ where
                 if self.halted[p.index()] {
                     return;
                 }
+                self.record_cause(p, || InvocationCause::Start);
                 self.begin_invocation(p);
                 self.nodes[p.index()].on_start(&mut self.env);
                 self.end_invocation(p);
@@ -404,6 +492,10 @@ where
                         kind: self.classifier.map_or("?", |c| c(&msg)),
                     });
                 }
+                self.record_cause(to, || InvocationCause::Deliver {
+                    from,
+                    msg: msg.clone(),
+                });
                 self.begin_invocation(to);
                 self.nodes[to.index()].on_message(from, msg, &mut self.env);
                 self.end_invocation(to);
@@ -416,10 +508,25 @@ where
                     return; // cancelled or stale generation
                 }
                 self.metrics.timers_fired += 1;
+                self.record_cause(process, || InvocationCause::Timer { id: timer });
                 self.begin_invocation(process);
                 self.nodes[process.index()].on_timer(timer, &mut self.env);
                 self.end_invocation(process);
             }
+        }
+    }
+
+    /// Records the cause of the invocation about to run. Called only on
+    /// paths that reach the handler, so the cause and effect traces stay in
+    /// lockstep; the closure defers the message clone until the capacity
+    /// check has passed.
+    fn record_cause(&mut self, p: ProcessId, cause: impl FnOnce() -> InvocationCause<M>) {
+        if self.cause_trace.len() < self.cause_trace_capacity {
+            self.cause_trace.push(CauseRecord {
+                time: self.now,
+                process: p,
+                cause: cause(),
+            });
         }
     }
 
@@ -519,7 +626,37 @@ where
     fn route(&mut self, from: ProcessId, to: ProcessId, msg: M) {
         let idx = from.index() * self.topology.n() + to.index();
         let timing = &self.timings[idx];
+        // The channel law always samples first — before either oracle gets
+        // a say — so an oracle that defers everywhere leaves the RNG stream,
+        // and therefore the execution, byte-identical to an oracle-free run.
         let sampled = timing.delivery_time(self.now, &mut self.rng);
+        if self.schedule.is_some() {
+            // The hard delivery bound this channel guarantees no matter
+            // what the schedule asks for (`None` = asynchronous,
+            // unbounded). Only the bound is copied out so the matrix
+            // borrow ends before the `&mut self` consultation.
+            let bound = match timing {
+                ChannelTiming::Timely { delta } => Some(self.now.saturating_add(*delta)),
+                ChannelTiming::EventuallyTimely { tau, delta, .. } => {
+                    Some(self.now.max(*tau).saturating_add(*delta))
+                }
+                ChannelTiming::Asynchronous { .. } => None,
+            };
+            match self.consult_schedule(from, to, &msg, sampled - self.now) {
+                ScheduleCommand::Default => {}
+                ScheduleCommand::Drop => {
+                    self.metrics.messages_suppressed += 1;
+                    return;
+                }
+                ScheduleCommand::After(d) => {
+                    let at = self.now.saturating_add(d);
+                    let at = bound.map_or(at, |b| at.min(b));
+                    self.push_event(at, EventKind::Deliver { from, to, msg });
+                    return;
+                }
+            }
+        }
+        let timing = &self.timings[idx];
         // Copy the oracle-relevant facts out of the matrix borrow before
         // consulting (the oracle call needs `&mut self`). `None` = the
         // oracle has no say on this channel at this time.
@@ -547,6 +684,22 @@ where
         let d = oracle.delay(from, to, self.now, msg, default);
         self.oracle = Some(oracle);
         d
+    }
+
+    fn consult_schedule(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        msg: &M,
+        default: u64,
+    ) -> ScheduleCommand {
+        let mut schedule = self
+            .schedule
+            .take()
+            .expect("caller checked schedule presence");
+        let cmd = schedule.command(from, to, self.now, msg, default);
+        self.schedule = Some(schedule);
+        cmd
     }
 }
 
@@ -799,6 +952,126 @@ mod tests {
             .build();
         let report = sim.run();
         assert_eq!(report.outputs[0].time, VirtualTime::from_ticks(105));
+    }
+
+    #[test]
+    fn schedule_oracle_default_is_byte_identical_to_none() {
+        let topo = NetworkTopology::uniform(
+            2,
+            ChannelTiming::asynchronous(DelayLaw::Uniform { min: 1, max: 50 }),
+        );
+        let run = |with_oracle: bool| {
+            let mut builder = SimBuilder::new(topo.clone())
+                .seed(11)
+                .record_effects(usize::MAX)
+                .node(Echo { hops: 6 })
+                .node(Echo { hops: 6 });
+            if with_oracle {
+                builder = builder.with_schedule_oracle(
+                    |_f: ProcessId, _t: ProcessId, _at: VirtualTime, _m: &u32, _d: u64| {
+                        ScheduleCommand::Default
+                    },
+                );
+            }
+            let mut sim = builder.build();
+            sim.run();
+            sim.effect_trace_digest()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn schedule_oracle_reorders_and_drops() {
+        // Drop the first message outright: the ping-pong never starts and
+        // the drop is counted as suppressed, not dropped-at-destination.
+        let topo = NetworkTopology::uniform(2, ChannelTiming::asynchronous(DelayLaw::Fixed(1)));
+        let mut sim = SimBuilder::new(topo.clone())
+            .node(Echo { hops: 4 })
+            .node(Echo { hops: 4 })
+            .with_schedule_oracle(
+                |_f: ProcessId, _t: ProcessId, _at: VirtualTime, _m: &u32, _d: u64| {
+                    ScheduleCommand::Drop
+                },
+            )
+            .build();
+        let report = sim.run();
+        assert_eq!(report.outputs.len(), 0);
+        assert_eq!(report.metrics.messages_suppressed, 1);
+        assert_eq!(report.metrics.messages_delivered, 0);
+
+        // A chosen delay on an asynchronous channel is applied verbatim.
+        let mut sim = SimBuilder::new(topo)
+            .node(Echo { hops: 0 })
+            .node(Echo { hops: 0 })
+            .with_schedule_oracle(
+                |_f: ProcessId, _t: ProcessId, _at: VirtualTime, _m: &u32, _d: u64| {
+                    ScheduleCommand::After(777)
+                },
+            )
+            .build();
+        let report = sim.run();
+        assert_eq!(report.outputs[0].time, VirtualTime::from_ticks(777));
+    }
+
+    #[test]
+    fn schedule_oracle_cannot_break_channel_bounds() {
+        // Timely channel with δ = 7: a huge requested delay is clamped.
+        let mut sim = SimBuilder::new(NetworkTopology::all_timely(2, 7))
+            .node(Echo { hops: 0 })
+            .node(Echo { hops: 0 })
+            .with_schedule_oracle(
+                |_f: ProcessId, _t: ProcessId, _at: VirtualTime, _m: &u32, _d: u64| {
+                    ScheduleCommand::After(u64::MAX)
+                },
+            )
+            .build();
+        let report = sim.run();
+        assert_eq!(report.outputs[0].time, VirtualTime::from_ticks(7));
+
+        // Eventually-timely channel stabilizing at τ = 100 with δ = 5: a
+        // message sent at t = 0 must still arrive by 105.
+        let topo = NetworkTopology::uniform(
+            2,
+            ChannelTiming::eventually_timely(VirtualTime::from_ticks(100), 5),
+        );
+        let mut sim = SimBuilder::new(topo)
+            .node(Echo { hops: 0 })
+            .node(Echo { hops: 0 })
+            .with_schedule_oracle(
+                |_f: ProcessId, _t: ProcessId, _at: VirtualTime, _m: &u32, _d: u64| {
+                    ScheduleCommand::After(u64::MAX)
+                },
+            )
+            .build();
+        let report = sim.run();
+        assert_eq!(report.outputs[0].time, VirtualTime::from_ticks(105));
+    }
+
+    #[test]
+    fn cause_trace_aligns_with_effect_trace() {
+        let mut sim = SimBuilder::new(NetworkTopology::all_timely(2, 10))
+            .node(Echo { hops: 2 })
+            .node(Echo { hops: 2 })
+            .record_effects(usize::MAX)
+            .record_causes(usize::MAX)
+            .build();
+        sim.run();
+        let causes = sim.cause_trace();
+        let effects = sim.effect_trace();
+        assert_eq!(causes.len(), effects.len());
+        for (c, e) in causes.iter().zip(effects) {
+            assert_eq!((c.time, c.process), (e.time, e.process));
+        }
+        // 2 starts, then deliveries of payloads 0, 1, 2.
+        assert_eq!(causes[0].cause, InvocationCause::Start);
+        assert_eq!(causes[1].cause, InvocationCause::Start);
+        assert_eq!(
+            causes[2].cause,
+            InvocationCause::Deliver {
+                from: ProcessId::new(0),
+                msg: 0
+            }
+        );
     }
 
     #[test]

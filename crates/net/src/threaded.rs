@@ -76,6 +76,22 @@ pub struct ThreadedReport<O> {
     pub timed_out: bool,
 }
 
+/// One handler invocation's queued effects, as recorded by
+/// [`run_threaded_recorded`].
+///
+/// The stream is ordered per process (each node thread records its own
+/// invocations in execution order); interleaving *across* processes follows
+/// collector arrival order and is not meaningful. Compare per-process
+/// subsequences — that is what the conformance replayer does.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecordedInvocation<M, O> {
+    /// The process whose handler ran.
+    pub process: ProcessId,
+    /// Every effect the handler queued, in emission order (possibly none —
+    /// recorded anyway so replays can line invocations up one-to-one).
+    pub effects: Vec<Effect<M, O>>,
+}
+
 enum RouterCmd<M> {
     Send {
         from: ProcessId,
@@ -101,7 +117,54 @@ pub fn run_threaded<M, O>(
     topology: NetworkTopology,
     nodes: Vec<Box<dyn Node<Msg = M, Output = O>>>,
     config: ThreadedConfig,
+    stop: impl FnMut(&[ThreadedOutput<O>]) -> bool,
+) -> ThreadedReport<O>
+where
+    M: Clone + Debug + Send + 'static,
+    O: Clone + Debug + Send + 'static,
+{
+    run_threaded_inner(topology, nodes, config, stop, None)
+}
+
+/// Like [`run_threaded`], but additionally records every handler
+/// invocation's effect stream — the threaded counterpart of
+/// [`SimBuilder::record_effects`](crate::sim::SimBuilder::record_effects),
+/// which is what lets conformance fixtures be replayed and checked on this
+/// substrate too.
+///
+/// The returned invocations are in collector arrival order; only the
+/// per-process subsequences are deterministic (given deterministic nodes).
+///
+/// # Panics
+///
+/// Panics if `nodes.len() != topology.n()`.
+pub fn run_threaded_recorded<M, O>(
+    topology: NetworkTopology,
+    nodes: Vec<Box<dyn Node<Msg = M, Output = O>>>,
+    config: ThreadedConfig,
+    stop: impl FnMut(&[ThreadedOutput<O>]) -> bool,
+) -> (ThreadedReport<O>, Vec<RecordedInvocation<M, O>>)
+where
+    M: Clone + Debug + Send + 'static,
+    O: Clone + Debug + Send + 'static,
+{
+    let (record_tx, record_rx) = unbounded::<RecordedInvocation<M, O>>();
+    let report = run_threaded_inner(topology, nodes, config, stop, Some(record_tx));
+    // Every worker thread (and the local clone) has dropped its sender by
+    // the time the inner run returns, so this drain terminates.
+    let mut recorded = Vec::new();
+    while let Ok(inv) = record_rx.try_recv() {
+        recorded.push(inv);
+    }
+    (report, recorded)
+}
+
+fn run_threaded_inner<M, O>(
+    topology: NetworkTopology,
+    nodes: Vec<Box<dyn Node<Msg = M, Output = O>>>,
+    config: ThreadedConfig,
     mut stop: impl FnMut(&[ThreadedOutput<O>]) -> bool,
+    record: Option<Sender<RecordedInvocation<M, O>>>,
 ) -> ThreadedReport<O>
 where
     M: Clone + Debug + Send + 'static,
@@ -247,6 +310,7 @@ where
         let inbox = inbox_rxs[idx].clone();
         let router = router_tx.clone();
         let outputs = output_tx.clone();
+        let record = record.clone();
         let shutdown = Arc::clone(&shutdown);
         let tick = config.tick;
         let seed = crate::derive_stream(
@@ -260,6 +324,7 @@ where
                 tick,
                 router,
                 outputs,
+                record,
                 timers: BinaryHeap::new(),
                 halted: false,
                 env: Env::new(n, seed),
@@ -308,6 +373,7 @@ where
     }
     drop(router_tx);
     drop(output_tx);
+    drop(record);
 
     // Collector loop on the calling thread.
     let mut collected: Vec<ThreadedOutput<O>> = Vec::new();
@@ -375,12 +441,14 @@ struct NodeWorker<M, O> {
     tick: Duration,
     router: Sender<RouterCmd<M>>,
     outputs: Sender<ThreadedOutput<O>>,
+    /// Recording channel of [`run_threaded_recorded`] (`None` = plain run).
+    record: Option<Sender<RecordedInvocation<M, O>>>,
     timers: BinaryHeap<PendingTimer>,
     halted: bool,
     env: Env<M, O>,
 }
 
-impl<M, O> NodeWorker<M, O> {
+impl<M: Clone, O: Clone> NodeWorker<M, O> {
     fn now(&self) -> VirtualTime {
         VirtualTime::from_ticks(
             (self.start.elapsed().as_nanos() / self.tick.as_nanos().max(1)) as u64,
@@ -390,6 +458,12 @@ impl<M, O> NodeWorker<M, O> {
     /// Drains the env and interprets each effect.
     fn apply_effects(&mut self) {
         let mut effects = self.env.take_buffer();
+        if let Some(tx) = &self.record {
+            let _ = tx.send(RecordedInvocation {
+                process: self.me,
+                effects: effects.clone(),
+            });
+        }
         for effect in effects.drain(..) {
             match effect {
                 Effect::Send { to, msg } => {
@@ -469,6 +543,32 @@ mod tests {
         assert!(!report.timed_out, "threaded run timed out");
         assert_eq!(report.outputs.len(), 3);
         assert!(report.outputs.iter().all(|o| o.event == 1));
+    }
+
+    #[test]
+    fn recorded_run_captures_per_invocation_effects() {
+        let topo = NetworkTopology::uniform(2, ChannelTiming::timely(1));
+        let nodes: Vec<Box<dyn Node<Msg = u32, Output = u32>>> =
+            vec![Box::new(Pinger), Box::new(Pinger)];
+        let (report, recorded) = run_threaded_recorded(
+            topo,
+            nodes,
+            ThreadedConfig {
+                tick: Duration::from_micros(50),
+                timeout: Duration::from_secs(10),
+                seed: 3,
+            },
+            |outs| outs.len() >= 2,
+        );
+        assert!(!report.timed_out, "threaded run timed out");
+        let p0: Vec<_> = recorded
+            .iter()
+            .filter(|r| r.process == ProcessId::new(0))
+            .collect();
+        // p0's first invocation is on_start, which queued the broadcast.
+        assert_eq!(p0[0].effects, [Effect::Broadcast { msg: 1 }]);
+        // Every process recorded at least its start invocation.
+        assert!(recorded.iter().any(|r| r.process == ProcessId::new(1)));
     }
 
     struct TimerOnly;

@@ -61,6 +61,7 @@
 #![warn(missing_docs)]
 
 mod impls;
+mod trace;
 
 use core::fmt;
 

@@ -1,0 +1,538 @@
+//! [`Wire`] implementations for the *trace* layer: the records a recorded
+//! simulation run is made of ([`EffectRecord`], [`CauseRecord`],
+//! [`Effect`]) and the protocol *output* types they embed.
+//!
+//! The transport codec in [`crate::impls`] covers what crosses a socket;
+//! this module covers what goes into a `minsync-conformance` trace file —
+//! a complete, versioned, byte-stable transcript of an execution. The
+//! same encoding rules apply (fixed-width little-endian integers, one-byte
+//! enum tags in declaration order, `u32`-counted sequences), so a trace
+//! file is decodable with nothing but this crate.
+
+use minsync_core::{AcNodeEvent, AcTag, BotEvent, BotMsg, ConsensusEvent, EaNodeEvent};
+use minsync_net::sim::{CauseRecord, EffectRecord, InvocationCause};
+use minsync_net::{Effect, TimerId, VirtualTime};
+use minsync_smr::SmrEvent;
+use minsync_types::{ProcessId, Round};
+
+use crate::{Wire, WireError};
+
+impl Wire for () {
+    fn encode_into(&self, _out: &mut Vec<u8>) {}
+
+    fn decode(_input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(())
+    }
+}
+
+impl Wire for String {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(
+            &u32::try_from(self.len())
+                .expect("string fits u32")
+                .to_le_bytes(),
+        );
+        out.extend_from_slice(self.as_bytes());
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        let len = u32::decode(input)? as usize;
+        let Some(bytes) = input.get(..len) else {
+            return Err(WireError::Truncated);
+        };
+        let s = core::str::from_utf8(bytes)
+            .map_err(|_| WireError::InvalidValue("string is not UTF-8"))?
+            .to_owned();
+        *input = &input[len..];
+        Ok(s)
+    }
+}
+
+impl Wire for VirtualTime {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.ticks().encode_into(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(VirtualTime::from_ticks(u64::decode(input)?))
+    }
+}
+
+impl Wire for TimerId {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.get().encode_into(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(TimerId::from_raw(u64::decode(input)?))
+    }
+}
+
+impl<M: Wire, O: Wire> Wire for Effect<M, O> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Effect::Send { to, msg } => {
+                out.push(0);
+                to.encode_into(out);
+                msg.encode_into(out);
+            }
+            Effect::Broadcast { msg } => {
+                out.push(1);
+                msg.encode_into(out);
+            }
+            Effect::SetTimer { id, delay } => {
+                out.push(2);
+                id.encode_into(out);
+                delay.encode_into(out);
+            }
+            Effect::CancelTimer { id } => {
+                out.push(3);
+                id.encode_into(out);
+            }
+            Effect::Output(o) => {
+                out.push(4);
+                o.encode_into(out);
+            }
+            Effect::Halt => out.push(5),
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(input)? {
+            0 => Ok(Effect::Send {
+                to: ProcessId::decode(input)?,
+                msg: M::decode(input)?,
+            }),
+            1 => Ok(Effect::Broadcast {
+                msg: M::decode(input)?,
+            }),
+            2 => Ok(Effect::SetTimer {
+                id: TimerId::decode(input)?,
+                delay: u64::decode(input)?,
+            }),
+            3 => Ok(Effect::CancelTimer {
+                id: TimerId::decode(input)?,
+            }),
+            4 => Ok(Effect::Output(O::decode(input)?)),
+            5 => Ok(Effect::Halt),
+            tag => Err(WireError::InvalidTag { ty: "Effect", tag }),
+        }
+    }
+}
+
+impl<M: Wire> Wire for InvocationCause<M> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            InvocationCause::Start => out.push(0),
+            InvocationCause::Deliver { from, msg } => {
+                out.push(1);
+                from.encode_into(out);
+                msg.encode_into(out);
+            }
+            InvocationCause::Timer { id } => {
+                out.push(2);
+                id.encode_into(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(input)? {
+            0 => Ok(InvocationCause::Start),
+            1 => Ok(InvocationCause::Deliver {
+                from: ProcessId::decode(input)?,
+                msg: M::decode(input)?,
+            }),
+            2 => Ok(InvocationCause::Timer {
+                id: TimerId::decode(input)?,
+            }),
+            tag => Err(WireError::InvalidTag {
+                ty: "InvocationCause",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<M: Wire> Wire for CauseRecord<M> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.time.encode_into(out);
+        self.process.encode_into(out);
+        self.cause.encode_into(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(CauseRecord {
+            time: VirtualTime::decode(input)?,
+            process: ProcessId::decode(input)?,
+            cause: InvocationCause::decode(input)?,
+        })
+    }
+}
+
+impl<M: Wire, O: Wire> Wire for EffectRecord<M, O> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.time.encode_into(out);
+        self.process.encode_into(out);
+        self.effects.encode_into(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(EffectRecord {
+            time: VirtualTime::decode(input)?,
+            process: ProcessId::decode(input)?,
+            effects: Vec::decode(input)?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol output (telemetry) types — these never cross a socket, but they
+// appear inside `Effect::Output` entries of a recorded trace.
+// ---------------------------------------------------------------------------
+
+impl Wire for AcTag {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            AcTag::Commit => out.push(0),
+            AcTag::Adopt => out.push(1),
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(input)? {
+            0 => Ok(AcTag::Commit),
+            1 => Ok(AcTag::Adopt),
+            tag => Err(WireError::InvalidTag { ty: "AcTag", tag }),
+        }
+    }
+}
+
+impl<V: Wire> Wire for ConsensusEvent<V> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            ConsensusEvent::RoundStarted { round } => {
+                out.push(0);
+                round.encode_into(out);
+            }
+            ConsensusEvent::EaReturned { round, value, fast } => {
+                out.push(1);
+                round.encode_into(out);
+                value.encode_into(out);
+                fast.encode_into(out);
+            }
+            ConsensusEvent::AcReturned { round, tag, value } => {
+                out.push(2);
+                round.encode_into(out);
+                tag.encode_into(out);
+                value.encode_into(out);
+            }
+            ConsensusEvent::DecideBroadcast { round, value } => {
+                out.push(3);
+                round.encode_into(out);
+                value.encode_into(out);
+            }
+            ConsensusEvent::Decided { value } => {
+                out.push(4);
+                value.encode_into(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(input)? {
+            0 => Ok(ConsensusEvent::RoundStarted {
+                round: Round::decode(input)?,
+            }),
+            1 => Ok(ConsensusEvent::EaReturned {
+                round: Round::decode(input)?,
+                value: V::decode(input)?,
+                fast: bool::decode(input)?,
+            }),
+            2 => Ok(ConsensusEvent::AcReturned {
+                round: Round::decode(input)?,
+                tag: AcTag::decode(input)?,
+                value: V::decode(input)?,
+            }),
+            3 => Ok(ConsensusEvent::DecideBroadcast {
+                round: Round::decode(input)?,
+                value: V::decode(input)?,
+            }),
+            4 => Ok(ConsensusEvent::Decided {
+                value: V::decode(input)?,
+            }),
+            tag => Err(WireError::InvalidTag {
+                ty: "ConsensusEvent",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<V: Wire> Wire for AcNodeEvent<V> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            AcNodeEvent::Returned { tag, value } => {
+                out.push(0);
+                tag.encode_into(out);
+                value.encode_into(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(input)? {
+            0 => Ok(AcNodeEvent::Returned {
+                tag: AcTag::decode(input)?,
+                value: V::decode(input)?,
+            }),
+            tag => Err(WireError::InvalidTag {
+                ty: "AcNodeEvent",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<V: Wire> Wire for EaNodeEvent<V> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            EaNodeEvent::Returned { round, value, fast } => {
+                out.push(0);
+                round.encode_into(out);
+                value.encode_into(out);
+                fast.encode_into(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(input)? {
+            0 => Ok(EaNodeEvent::Returned {
+                round: Round::decode(input)?,
+                value: V::decode(input)?,
+                fast: bool::decode(input)?,
+            }),
+            tag => Err(WireError::InvalidTag {
+                ty: "EaNodeEvent",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<V: Wire> Wire for BotMsg<V> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            BotMsg::CertRb(rb) => {
+                out.push(0);
+                rb.encode_into(out);
+            }
+            BotMsg::Inner(inner) => {
+                out.push(1);
+                inner.encode_into(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(input)? {
+            0 => Ok(BotMsg::CertRb(minsync_broadcast::RbMsg::decode(input)?)),
+            1 => Ok(BotMsg::Inner(minsync_core::ProtocolMsg::decode(input)?)),
+            tag => Err(WireError::InvalidTag { ty: "BotMsg", tag }),
+        }
+    }
+}
+
+impl<V: Wire> Wire for BotEvent<V> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            BotEvent::Decided { value } => {
+                out.push(0);
+                value.encode_into(out);
+            }
+            BotEvent::DecidedBottom => out.push(1),
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(input)? {
+            0 => Ok(BotEvent::Decided {
+                value: V::decode(input)?,
+            }),
+            1 => Ok(BotEvent::DecidedBottom),
+            tag => Err(WireError::InvalidTag {
+                ty: "BotEvent",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<V: Wire> Wire for SmrEvent<V> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            SmrEvent::Committed { slot, command } => {
+                out.push(0);
+                slot.encode_into(out);
+                command.encode_into(out);
+            }
+            SmrEvent::Retired { through } => {
+                out.push(1);
+                through.encode_into(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(input)? {
+            0 => Ok(SmrEvent::Committed {
+                slot: u64::decode(input)?,
+                command: V::decode(input)?,
+            }),
+            1 => Ok(SmrEvent::Retired {
+                through: u64::decode(input)?,
+            }),
+            tag => Err(WireError::InvalidTag {
+                ty: "SmrEvent",
+                tag,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minsync_core::ProtocolMsg;
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = value.encode();
+        let mut input = bytes.as_slice();
+        let back = T::decode(&mut input).expect("decodes");
+        assert_eq!(back, value);
+        assert!(input.is_empty(), "all bytes consumed");
+    }
+
+    #[test]
+    fn trace_primitives_round_trip() {
+        round_trip(());
+        round_trip(String::new());
+        round_trip("hello τ′ world".to_owned());
+        round_trip(VirtualTime::from_ticks(u64::MAX));
+        round_trip(TimerId::from_raw(0xDEAD_BEEF_0000_0001));
+    }
+
+    #[test]
+    fn non_utf8_strings_are_rejected() {
+        let mut bytes = 2u32.encode();
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        assert_eq!(
+            String::decode(&mut bytes.as_slice()),
+            Err(WireError::InvalidValue("string is not UTF-8"))
+        );
+    }
+
+    #[test]
+    fn effects_round_trip() {
+        type E = Effect<ProtocolMsg<u64>, ConsensusEvent<u64>>;
+        round_trip::<E>(Effect::Send {
+            to: ProcessId::new(3),
+            msg: ProtocolMsg::EaCoord {
+                round: Round::new(2),
+                value: 9,
+            },
+        });
+        round_trip::<E>(Effect::Broadcast {
+            msg: ProtocolMsg::EaProp2 {
+                round: Round::new(1),
+                value: 0,
+            },
+        });
+        round_trip::<E>(Effect::SetTimer {
+            id: TimerId::from_raw(7),
+            delay: 100,
+        });
+        round_trip::<E>(Effect::CancelTimer {
+            id: TimerId::from_raw(7),
+        });
+        round_trip::<E>(Effect::Output(ConsensusEvent::Decided { value: 4 }));
+        round_trip::<E>(Effect::Halt);
+    }
+
+    #[test]
+    fn records_round_trip() {
+        round_trip::<CauseRecord<ProtocolMsg<u64>>>(CauseRecord {
+            time: VirtualTime::from_ticks(5),
+            process: ProcessId::new(1),
+            cause: InvocationCause::Deliver {
+                from: ProcessId::new(0),
+                msg: ProtocolMsg::EaCoord {
+                    round: Round::new(1),
+                    value: 11,
+                },
+            },
+        });
+        round_trip::<CauseRecord<u64>>(CauseRecord {
+            time: VirtualTime::ZERO,
+            process: ProcessId::new(0),
+            cause: InvocationCause::Start,
+        });
+        round_trip::<CauseRecord<u64>>(CauseRecord {
+            time: VirtualTime::from_ticks(9),
+            process: ProcessId::new(2),
+            cause: InvocationCause::Timer {
+                id: TimerId::from_raw(3),
+            },
+        });
+        round_trip::<EffectRecord<u64, u64>>(EffectRecord {
+            time: VirtualTime::from_ticks(1),
+            process: ProcessId::new(1),
+            effects: vec![Effect::Broadcast { msg: 2 }, Effect::Output(3)],
+        });
+    }
+
+    #[test]
+    fn protocol_events_round_trip() {
+        let r = Round::new(4);
+        round_trip(AcTag::Commit);
+        round_trip(AcTag::Adopt);
+        round_trip::<ConsensusEvent<u64>>(ConsensusEvent::RoundStarted { round: r });
+        round_trip::<ConsensusEvent<u64>>(ConsensusEvent::EaReturned {
+            round: r,
+            value: 8,
+            fast: true,
+        });
+        round_trip::<ConsensusEvent<u64>>(ConsensusEvent::AcReturned {
+            round: r,
+            tag: AcTag::Adopt,
+            value: 8,
+        });
+        round_trip::<ConsensusEvent<u64>>(ConsensusEvent::DecideBroadcast { round: r, value: 8 });
+        round_trip::<ConsensusEvent<u64>>(ConsensusEvent::Decided { value: 8 });
+        round_trip::<AcNodeEvent<u64>>(AcNodeEvent::Returned {
+            tag: AcTag::Commit,
+            value: 6,
+        });
+        round_trip::<EaNodeEvent<u64>>(EaNodeEvent::Returned {
+            round: r,
+            value: 6,
+            fast: false,
+        });
+        round_trip::<BotMsg<u64>>(BotMsg::CertRb(minsync_broadcast::RbMsg::Init {
+            tag: (),
+            value: 12,
+        }));
+        round_trip::<BotMsg<u64>>(BotMsg::Inner(ProtocolMsg::EaRelay {
+            round: r,
+            value: None,
+        }));
+        round_trip::<BotEvent<u64>>(BotEvent::Decided { value: 12 });
+        round_trip::<BotEvent<u64>>(BotEvent::DecidedBottom);
+        round_trip::<SmrEvent<u64>>(SmrEvent::Committed {
+            slot: 1,
+            command: 42,
+        });
+        round_trip::<SmrEvent<u64>>(SmrEvent::Retired { through: 3 });
+    }
+}

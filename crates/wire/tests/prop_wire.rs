@@ -6,6 +6,8 @@
 
 use minsync_broadcast::RbMsg;
 use minsync_core::{CbId, ProtocolMsg, RbTag};
+use minsync_net::sim::{CauseRecord, EffectRecord, InvocationCause};
+use minsync_net::{Effect, TimerId, VirtualTime};
 use minsync_smr::SmrMsg;
 use minsync_types::{ProcessId, Round};
 use minsync_wire::{
@@ -80,6 +82,54 @@ fn arb_smr_msg() -> impl Strategy<Value = SmrMsg<Batch>> {
     ]
 }
 
+fn arb_timer_id() -> impl Strategy<Value = TimerId> {
+    any::<u64>().prop_map(TimerId::from_raw)
+}
+
+fn arb_vtime() -> impl Strategy<Value = VirtualTime> {
+    any::<u64>().prop_map(VirtualTime::from_ticks)
+}
+
+/// Effects as a conformance trace records them: protocol messages out,
+/// batches as outputs.
+fn arb_effect() -> impl Strategy<Value = Effect<ProtocolMsg<Batch>, Batch>> {
+    prop_oneof![
+        (arb_process(), arb_protocol_msg()).prop_map(|(to, msg)| Effect::Send { to, msg }),
+        arb_protocol_msg().prop_map(|msg| Effect::Broadcast { msg }),
+        (arb_timer_id(), any::<u64>()).prop_map(|(id, delay)| Effect::SetTimer { id, delay }),
+        arb_timer_id().prop_map(|id| Effect::CancelTimer { id }),
+        arb_batch().prop_map(Effect::Output),
+        Just(Effect::Halt),
+    ]
+}
+
+fn arb_cause_record() -> impl Strategy<Value = CauseRecord<ProtocolMsg<Batch>>> {
+    let cause = prop_oneof![
+        Just(InvocationCause::Start),
+        (arb_process(), arb_protocol_msg())
+            .prop_map(|(from, msg)| InvocationCause::Deliver { from, msg }),
+        arb_timer_id().prop_map(|id| InvocationCause::Timer { id }),
+    ];
+    (arb_vtime(), arb_process(), cause).prop_map(|(time, process, cause)| CauseRecord {
+        time,
+        process,
+        cause,
+    })
+}
+
+fn arb_effect_record() -> impl Strategy<Value = EffectRecord<ProtocolMsg<Batch>, Batch>> {
+    (
+        arb_vtime(),
+        arb_process(),
+        proptest::collection::vec(arb_effect(), 0..8),
+    )
+        .prop_map(|(time, process, effects)| EffectRecord {
+            time,
+            process,
+            effects,
+        })
+}
+
 fn round_trips<T: Wire + PartialEq + std::fmt::Debug>(value: &T) -> Result<(), TestCaseError> {
     let bytes = value.encode();
     let mut input = bytes.as_slice();
@@ -143,6 +193,50 @@ proptest! {
     #[test]
     fn batches_round_trip(batch in arb_batch()) {
         round_trips(&batch)?;
+    }
+
+    /// Trace records (the conformance fixture payload) round-trip like any
+    /// other wire type.
+    #[test]
+    fn trace_records_round_trip(cause in arb_cause_record(), effects in arb_effect_record()) {
+        round_trips(&cause)?;
+        round_trips(&effects)?;
+    }
+
+    /// Truncating a trace record anywhere fails cleanly — committed
+    /// fixture files cut short must error, not panic.
+    #[test]
+    fn trace_record_truncations_fail_cleanly(
+        cause in arb_cause_record(),
+        effects in arb_effect_record(),
+        cut_seed in any::<u64>(),
+    ) {
+        let bytes = cause.encode();
+        let cut = (cut_seed as usize) % bytes.len().max(1);
+        prop_assert!(CauseRecord::<ProtocolMsg<Batch>>::decode(&mut &bytes[..cut]).is_err());
+        let bytes = effects.encode();
+        let cut = (cut_seed as usize) % bytes.len().max(1);
+        prop_assert!(
+            EffectRecord::<ProtocolMsg<Batch>, Batch>::decode(&mut &bytes[..cut]).is_err()
+        );
+    }
+
+    /// Point mutations and raw garbage never panic the trace-record
+    /// decoders.
+    #[test]
+    fn trace_record_mutations_never_panic(
+        effects in arb_effect_record(),
+        at_seed in any::<u64>(),
+        flip in 1u8..=255,
+        garbage in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut bytes = effects.encode();
+        let at = (at_seed as usize) % bytes.len();
+        bytes[at] ^= flip;
+        let _ = EffectRecord::<ProtocolMsg<Batch>, Batch>::decode(&mut bytes.as_slice());
+        let _ = CauseRecord::<ProtocolMsg<Batch>>::decode(&mut garbage.as_slice());
+        let _ = EffectRecord::<ProtocolMsg<Batch>, Batch>::decode(&mut garbage.as_slice());
+        let _ = Effect::<ProtocolMsg<Batch>, Batch>::decode(&mut garbage.as_slice());
     }
 
     // -----------------------------------------------------------------------

@@ -27,7 +27,10 @@
 //! * [`wire`] — the hand-rolled binary codec (`Wire` trait, length-prefixed
 //!   framing with a hard cap, versioned handshake) every socket speaks;
 //! * [`transport`] — the TCP mesh substrate and the localhost cluster
-//!   orchestrator behind the `minsync-node` binary and experiment E11.
+//!   orchestrator behind the `minsync-node` binary and experiment E11;
+//! * [`conformance`] — recorded-trace fixtures (versioned wire format,
+//!   replayers for every substrate) and the bounded schedule explorer
+//!   checking agreement/validity/termination under reorder/delay/drop.
 //!
 //! # Quickstart
 //!
@@ -51,6 +54,7 @@
 pub use minsync_adversary as adversary;
 pub use minsync_baselines as baselines;
 pub use minsync_broadcast as broadcast;
+pub use minsync_conformance as conformance;
 pub use minsync_core as core;
 pub use minsync_harness as harness;
 pub use minsync_net as net;

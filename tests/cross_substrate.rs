@@ -6,11 +6,14 @@
 use std::time::Duration;
 
 use minsync::adversary::ScriptedNode;
+use minsync::conformance::{fnv1a, golden_scenarios, Trace};
 use minsync::core::{ConsensusConfig, ConsensusEvent, ConsensusNode, ProtocolMsg};
 use minsync::net::sim::SimBuilder;
 use minsync::net::threaded::{run_threaded, ThreadedConfig};
 use minsync::net::{NetworkTopology, Node};
+use minsync::smr::{ReplicaNode, SmrEvent, SmrMsg};
 use minsync::types::{ProcessId, SystemConfig};
+use minsync::workload::{committed_commands, ArrivalProcess, Batch, WorkloadSpec};
 
 type Msg = ProtocolMsg<u64>;
 type Out = ConsensusEvent<u64>;
@@ -140,6 +143,150 @@ fn seeded_effect_trace_digest_is_stable() {
 /// Pinned by `seeded_effect_trace_digest_is_stable` (printed by running the
 /// test with the constant set to 0 and reading the assertion message).
 const GOLDEN_TRACE_DIGEST: u64 = 12_930_462_810_997_223_412;
+
+/// Structured-trace counterpart of [`GOLDEN_TRACE_DIGEST`]: FNV-1a of the
+/// consensus golden scenario's *wire-encoded* cause+effect trace (the same
+/// bytes committed as `crates/conformance/tests/fixtures/consensus-n4.trace`).
+/// The Debug-string digest above pins execution semantics; this one
+/// additionally pins the trace wire format — either changing means recorded
+/// fixtures from older builds no longer replay.
+const GOLDEN_STRUCTURED_DIGEST: u64 = 2_256_461_288_522_276_043;
+
+/// The structured (wire-encoded) golden trace digest is reproducible and
+/// pinned. Recorded through the conformance crate's canonical consensus
+/// scenario, decoded back, and digested — so encode/decode round-tripping
+/// is on the pinned path too.
+#[test]
+fn golden_structured_trace_digest_is_stable() {
+    let scenario = golden_scenarios()
+        .into_iter()
+        .find(|s| s.name == "consensus-n4")
+        .expect("consensus scenario is registered");
+    let digest = || {
+        let bytes = (scenario.record)();
+        let trace =
+            Trace::<ProtocolMsg<u64>, ConsensusEvent<u64>>::decode(&bytes).expect("round-trip");
+        assert_eq!(fnv1a(&bytes), trace.digest(), "encode is not canonical");
+        trace.digest()
+    };
+    let first = digest();
+    assert_eq!(first, digest(), "structured digest not reproducible");
+    assert_eq!(
+        first, GOLDEN_STRUCTURED_DIGEST,
+        "trace wire format or execution semantics changed: update \
+         GOLDEN_STRUCTURED_DIGEST (and re-bless the committed fixtures) only \
+         if intentional"
+    );
+}
+
+/// The batched SMR pipeline with a real client workload (one group, batch
+/// cap 8) commits the identical command sequence on the simulator and the
+/// threaded runtime, and both substrates agree on the committed-log digest.
+#[test]
+fn smr_workload_commits_identically_on_both_substrates() {
+    let seed = 5;
+    let system = SystemConfig::new(4, 1).expect("valid system");
+    let pop = WorkloadSpec {
+        groups: 1,
+        clients_per_group: 2,
+        commands_per_client: 8,
+        arrivals: ArrivalProcess::Poisson { mean_gap: 2.0 },
+        seed,
+    }
+    .generate(&system)
+    .expect("feasible workload");
+    let total = pop.total_commands();
+    let batch = 8;
+    let cfg = ConsensusConfig::paper(system);
+    let topo = NetworkTopology::all_timely(4, 3);
+
+    let nodes = || -> Vec<Box<dyn Node<Msg = SmrMsg<Batch>, Output = SmrEvent<Batch>>>> {
+        (0..4)
+            .map(|i| {
+                Box::new(ReplicaNode::new(
+                    cfg,
+                    pop.source_for(i, batch),
+                    pop.slots_upper_bound(batch),
+                )) as Box<dyn Node<Msg = SmrMsg<Batch>, Output = SmrEvent<Batch>>>
+            })
+            .collect()
+    };
+    let flatten =
+        |outputs: &[minsync::net::sim::OutputRecord<SmrEvent<Batch>>], p: usize| -> Vec<u64> {
+            outputs
+                .iter()
+                .filter(|o| o.process.index() == p)
+                .filter_map(|o| o.event.as_committed())
+                .flat_map(|(_, b)| b.commands().iter().copied())
+                .collect()
+        };
+    let flatten_threaded =
+        |outputs: &[minsync::net::threaded::ThreadedOutput<SmrEvent<Batch>>],
+         p: usize|
+         -> Vec<u64> {
+            outputs
+                .iter()
+                .filter(|o| o.process.index() == p)
+                .filter_map(|o| o.event.as_committed())
+                .flat_map(|(_, b)| b.commands().iter().copied())
+                .collect()
+        };
+    let log_digest = |log: &[u64]| -> u64 {
+        let bytes: Vec<u8> = log.iter().flat_map(|c| c.to_le_bytes()).collect();
+        fnv1a(&bytes)
+    };
+
+    let mut builder = SimBuilder::new(topo.clone()).seed(seed);
+    for node in nodes() {
+        builder = builder.boxed_node(node);
+    }
+    let mut sim = builder.build();
+    let sim_report = sim.run_until(move |outs| {
+        (0..4).all(|p| committed_commands(outs, ProcessId::new(p)) >= total)
+    });
+
+    let threaded = run_threaded(
+        topo,
+        nodes(),
+        ThreadedConfig {
+            tick: Duration::from_micros(50),
+            timeout: Duration::from_secs(60),
+            seed,
+        },
+        |outs| {
+            (0..4).all(|p| {
+                outs.iter()
+                    .filter(|o| o.process.index() == p)
+                    .filter_map(|o| o.event.as_committed())
+                    .map(|(_, b)| b.len())
+                    .sum::<usize>()
+                    >= total
+            })
+        },
+    );
+    assert!(!threaded.timed_out, "threaded SMR run timed out");
+
+    let sim_log = flatten(&sim_report.outputs, 0);
+    assert_eq!(sim_log.len(), total, "simulator did not drain the workload");
+    for p in 0..4usize {
+        assert_eq!(
+            flatten(&sim_report.outputs, p),
+            sim_log,
+            "sim replica {p} diverged"
+        );
+        let threaded_log = flatten_threaded(&threaded.outputs, p);
+        assert_eq!(
+            &threaded_log[..total],
+            &sim_log[..],
+            "threaded replica {p} diverged from the simulator"
+        );
+        assert_eq!(
+            log_digest(&threaded_log[..total]),
+            log_digest(&sim_log),
+            "committed-log digests disagree across substrates"
+        );
+    }
+}
 
 /// A recorded consensus execution replays byte-identically through
 /// `ScriptedNode`s — the sans-io API's replayability guarantee, end to end
