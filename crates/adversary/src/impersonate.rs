@@ -1,0 +1,169 @@
+//! The impersonator: an adversary that violates §2.1's *no-impersonation*
+//! assumption on purpose.
+//!
+//! Every other behavior in this crate is model-legal — the paper simply
+//! *assumes* a Byzantine process cannot forge another process's sender
+//! identity. Over an in-memory substrate that assumption is free; over TCP
+//! it is exactly as strong as the transport makes it. This module supplies
+//! the attack that probes it:
+//!
+//! * [`CaptureNode`] — a silent replica that records every message it
+//!   legitimately receives, handing the transcript to out-of-band attack
+//!   threads (replaying genuine traffic under a forged identity is the
+//!   strongest impersonation: every byte of the body is well-formed);
+//! * byte-level forgery helpers ([`forged_hello`], [`tagged_frame`],
+//!   [`tampered_frame`]) for building the dialed attack streams.
+//!
+//! An **unauthenticated** mesh accepts these streams — the E15 experiment
+//! demonstrates committed-log divergence from forged checkpoint votes. An
+//! **authenticated** mesh must sever every one of them at the MAC check,
+//! before the bytes reach the codec.
+
+use std::marker::PhantomData;
+use std::sync::{Arc, Mutex};
+
+use minsync_auth::{Authenticator, MAC_LEN};
+use minsync_net::{Env, Node};
+use minsync_types::ProcessId;
+use minsync_wire::Hello;
+
+/// Shared transcript of everything a [`CaptureNode`] has received.
+pub type CaptureHandle<M> = Arc<Mutex<Vec<(ProcessId, M)>>>;
+
+/// A replica that participates in nothing but remembers everything: each
+/// inbound message is appended (up to a bound) to a shared transcript that
+/// attack threads replay under forged identities.
+///
+/// Like [`SilentNode`](crate::SilentNode) it occupies a fault slot without
+/// contributing to quorums, so safety results with a `CaptureNode` rider
+/// hold under the paper's fault bound.
+#[derive(Debug)]
+pub struct CaptureNode<M, O> {
+    seen: CaptureHandle<M>,
+    cap: usize,
+    _out: PhantomData<fn() -> O>,
+}
+
+impl<M, O> CaptureNode<M, O> {
+    /// A capture node remembering at most `cap` messages (older traffic
+    /// wins: the bound is a memory guard, not a sampling policy).
+    pub fn new(cap: usize) -> Self {
+        CaptureNode {
+            seen: Arc::new(Mutex::new(Vec::new())),
+            cap,
+            _out: PhantomData,
+        }
+    }
+
+    /// The shared transcript; clone it before moving the node into a
+    /// substrate.
+    pub fn handle(&self) -> CaptureHandle<M> {
+        Arc::clone(&self.seen)
+    }
+}
+
+impl<M, O> Node for CaptureNode<M, O>
+where
+    M: Clone + Send + std::fmt::Debug + 'static,
+    O: Clone + Send + std::fmt::Debug + 'static,
+{
+    type Msg = M;
+    type Output = O;
+
+    fn on_message(&mut self, from: ProcessId, msg: M, _env: &mut Env<M, O>) {
+        let mut seen = self.seen.lock().expect("capture transcript poisoned");
+        if seen.len() < self.cap {
+            seen.push((from, msg));
+        }
+    }
+}
+
+/// A handshake claiming `claim`'s identity with a zeroed key-confirmation
+/// tag — the best a process that does not hold `claim`'s keys can do.
+///
+/// An unauthenticated mesh accepts this (the tag bytes are ignored); an
+/// authenticated one must reject it *before* claiming the sender's
+/// connection epoch, so the forgery cannot evict the genuine connection.
+pub fn forged_hello(claim: ProcessId, n: u32) -> Vec<u8> {
+    Hello::new(claim, n).encode()
+}
+
+/// A correctly-framed, correctly-MAC'd frame carrying an **arbitrary**
+/// body, built with keys the attacker legitimately holds.
+///
+/// This is the probe for MAC-then-decode ordering: the tag verifies, so the
+/// bytes reach the codec, and an undecodable body must cost the sender a
+/// decode-disconnect — never the receiver its process.
+pub fn tagged_frame(body: &[u8], auth: &dyn Authenticator, to: ProcessId) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(4 + body.len() + MAC_LEN);
+    frame.extend_from_slice(&((body.len() + MAC_LEN) as u32).to_le_bytes());
+    frame.extend_from_slice(body);
+    frame.extend_from_slice(&auth.tag(to, body).0);
+    frame
+}
+
+/// Like [`tagged_frame`], but with one tag bit flipped: a well-formed frame
+/// whose MAC must fail, severing the connection at the authentication check
+/// without the body ever reaching the codec.
+pub fn tampered_frame(body: &[u8], auth: &dyn Authenticator, to: ProcessId) -> Vec<u8> {
+    let mut frame = tagged_frame(body, auth, to);
+    let last = frame.len() - 1;
+    frame[last] ^= 0x01;
+    frame
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minsync_auth::HmacAuthenticator;
+    use minsync_wire::{split_frame, verify_frame_tag, WireError, DEFAULT_MAX_FRAME};
+
+    fn pair() -> (HmacAuthenticator, HmacAuthenticator) {
+        let mut ring = HmacAuthenticator::deal(b"impersonate-test", 4);
+        let b = ring.remove(1);
+        let a = ring.remove(0);
+        (a, b)
+    }
+
+    #[test]
+    fn tagged_frames_verify_and_tampered_ones_fail() {
+        let (attacker, victim) = pair();
+        let body = b"not a protocol message at all";
+        let good = tagged_frame(body, &attacker, ProcessId::new(1));
+        let (payload, used) = split_frame(&good, DEFAULT_MAX_FRAME).unwrap().unwrap();
+        assert_eq!(used, good.len());
+        let verified = verify_frame_tag(payload, &victim, ProcessId::new(0)).unwrap();
+        assert_eq!(verified, body, "valid MAC admits the (garbage) body");
+
+        let bad = tampered_frame(body, &attacker, ProcessId::new(1));
+        let (payload, _) = split_frame(&bad, DEFAULT_MAX_FRAME).unwrap().unwrap();
+        assert!(matches!(
+            verify_frame_tag(payload, &victim, ProcessId::new(0)),
+            Err(WireError::AuthFailed)
+        ));
+    }
+
+    #[test]
+    fn forged_hello_decodes_but_fails_key_confirmation() {
+        let (_, victim) = pair();
+        let bytes = forged_hello(ProcessId::new(2), 4);
+        let hello = Hello::decode(&mut bytes.as_slice()).unwrap();
+        assert_eq!(hello.sender, ProcessId::new(2));
+        assert!(!hello.verify_auth(&victim), "zeroed tag must not verify");
+    }
+
+    #[test]
+    fn capture_node_records_up_to_its_bound() {
+        let node: CaptureNode<u64, u64> = CaptureNode::new(2);
+        let handle = node.handle();
+        let mut node = node;
+        let mut env = Env::new(4, 7);
+        for v in 0..5u64 {
+            node.on_message(ProcessId::new(0), v, &mut env);
+        }
+        assert_eq!(env.drain().count(), 0, "capture sends nothing");
+        let seen = handle.lock().unwrap();
+        assert_eq!(seen.len(), 2, "bounded at cap");
+        assert_eq!(seen[0], (ProcessId::new(0), 0));
+    }
+}

@@ -20,6 +20,10 @@
 //!   valid but semantically hostile [`ProtocolMsg`] traffic;
 //! * [`ReplayNode`] — records and replays observed messages, attacking every
 //!   first-message-only dedup rule of §2.1 at once;
+//! * [`CaptureNode`] and the [`impersonate`] forgery helpers — the one
+//!   deliberately model-**illegal** behavior: it forges other processes'
+//!   sender identities at the byte level, probing the assumption the others
+//!   take for granted (an authenticated transport must sever it);
 //! * [`ScriptedNode`] — replays a recorded effect trace verbatim (the
 //!   perfect mimic), reproducing a simulated execution byte-for-byte from
 //!   a [`minsync_net::sim::SimBuilder::record_effects`] recording;
@@ -28,15 +32,16 @@
 //!   channels the model leaves asynchronous as adversarially as the model
 //!   allows.
 //!
-//! Everything here is *model-legal*: safety properties of the protocols must
-//! hold against any combination of these behaviors, and the test suites
-//! assert exactly that.
+//! With one flagged exception ([`impersonate`]), everything here is
+//! *model-legal*: safety properties of the protocols must hold against any
+//! combination of these behaviors, and the test suites assert exactly that.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod filter;
 mod flood;
+pub mod impersonate;
 pub mod mutators;
 pub mod oracles;
 mod random_node;
@@ -45,6 +50,7 @@ mod silent;
 
 pub use filter::FilterNode;
 pub use flood::FloodNode;
+pub use impersonate::{CaptureHandle, CaptureNode};
 pub use random_node::RandomProtocolNode;
 pub use replay::{ReplayNode, ScriptedNode};
 pub use silent::{CrashNode, SilentNode};

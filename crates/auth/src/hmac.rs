@@ -1,0 +1,77 @@
+//! HMAC-SHA256 (RFC 2104) over the hand-rolled hash, pinned to the RFC 4231
+//! test vectors.
+
+use crate::hash::{Sha256, BLOCK_LEN, DIGEST_LEN};
+
+/// `HMAC-SHA256(key, msg)`.
+///
+/// Keys longer than the 64-byte block are hashed down first, shorter keys
+/// are zero-padded — the standard RFC 2104 preprocessing.
+pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut block_key = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        block_key[..DIGEST_LEN].copy_from_slice(&Sha256::digest(key));
+    } else {
+        block_key[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Sha256::new();
+    let ipad: Vec<u8> = block_key.iter().map(|b| b ^ 0x36).collect();
+    inner.update(&ipad);
+    inner.update(msg);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    let opad: Vec<u8> = block_key.iter().map(|b| b ^ 0x5c).collect();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// RFC 4231 test cases 1, 2, 6, and 7 — short key, short-key-with-
+    /// padding, oversized key, and oversized key with long data.
+    #[test]
+    fn rfc4231_vectors() {
+        // Case 1.
+        assert_eq!(
+            hex(&hmac_sha256(&[0x0b; 20], b"Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+        // Case 2: "Jefe" / "what do ya want for nothing?".
+        assert_eq!(
+            hex(&hmac_sha256(b"Jefe", b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+        // Case 6: 131-byte key (hashed down), "Test Using Larger Than
+        // Block-Size Key - Hash Key First".
+        assert_eq!(
+            hex(&hmac_sha256(
+                &[0xaa; 131],
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+        // Case 7: 131-byte key, long data.
+        assert_eq!(
+            hex(&hmac_sha256(
+                &[0xaa; 131],
+                b"This is a test using a larger than block-size key and a larger than block-size data. The key needs to be hashed before being used by the HMAC algorithm."
+            )),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+        );
+    }
+
+    #[test]
+    fn distinct_keys_distinct_macs() {
+        let m = b"the same message";
+        assert_ne!(hmac_sha256(b"key-a", m), hmac_sha256(b"key-b", m));
+        assert_ne!(hmac_sha256(b"key-a", m), hmac_sha256(b"key-a", b"other"));
+    }
+}

@@ -1,0 +1,49 @@
+//! E15 — authentication overhead on the TCP cluster: the same all-correct
+//! n=4 drain run twice, once over the plain transport and once with the
+//! full authenticated stack (per-frame MACs verified on every receive,
+//! authenticated hellos, signature-backed commit certificates). The delta
+//! between the two cases is the wire-authentication tax.
+//!
+//! Like E11 this hand-rolls its loop to emit a machine-readable
+//! `BENCH_e15.json` (min/mean/max nanoseconds per case) that successive
+//! PRs diff with `bench_diff`. Invoked without `--bench` (e.g. `cargo
+//! test --benches`) it smoke-runs every case once and writes nothing.
+//!
+//! Requires the `minsync-node` binary next to this bench's own profile
+//! directory (`cargo build --release -p minsync-transport` for `cargo
+//! bench`); the cluster layer's discovery handles the rest.
+//!
+//! Flags (after `--`): `--smoke` (three samples per case), `--json PATH`
+//! (redirect the report; the default workspace-root `BENCH_e15.json` is
+//! only written on full runs).
+
+use std::time::Instant;
+
+use criterion::black_box;
+use minsync_bench::{CaseStats, JsonBenchRun};
+use minsync_harness::experiments::e15_auth;
+
+fn main() {
+    // Flag/filter handling is the shared JsonBenchRun convention.
+    let Some(run) = JsonBenchRun::from_env("e15_auth", 10) else {
+        return;
+    };
+    let samples = run.samples;
+    let mut cases = Vec::new();
+    for (label, auth) in [("plain", false), ("auth", true)] {
+        let mut times = Vec::with_capacity(samples);
+        let mut cluster_ns = 0u128;
+        for _ in 0..samples {
+            let start = Instant::now();
+            cluster_ns = black_box(e15_auth::bench_one(4, 1, auth));
+            times.push(start.elapsed());
+        }
+        let stats = CaseStats::from_times(format!("cluster/n=4/{label}"), &times);
+        println!(
+            "e15_auth/{}: mean {}ns, min {}ns, max {}ns ({} samples, cluster {}ns)",
+            stats.name, stats.mean_ns, stats.min_ns, stats.max_ns, stats.samples, cluster_ns
+        );
+        cases.push(stats);
+    }
+    run.write_report("e15_auth", "BENCH_e15.json", &cases);
+}

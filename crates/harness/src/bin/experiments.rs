@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (E1–E11, E14).
+//! Regenerates every experiment table (E1–E11, E14, E15).
 //!
 //! ```text
 //! cargo run -p minsync-harness --release --bin experiments [-- --quick] [--csv DIR] [e1 e3 ...]
@@ -10,8 +10,8 @@
 //! `--list` prints the experiment catalog (id + one-line description) and
 //! exits without running anything.
 //!
-//! E11 spawns real `minsync-node` OS processes — build them first
-//! (`cargo build --release -p minsync-transport`) or it aborts with a hint.
+//! E11 and E15 spawn real `minsync-node` OS processes — build them first
+//! (`cargo build --release -p minsync-transport`) or they abort with a hint.
 
 use minsync_harness::experiments;
 use minsync_harness::Table;
@@ -80,6 +80,11 @@ fn catalog() -> Vec<(&'static str, &'static str, Runner)> {
             "e14",
             "Conformance: schedule exploration (reorder/delay/drop) over all five stacks + ac-quorum mutation smoke",
             experiments::e14_conformance::run,
+        ),
+        (
+            "e15",
+            "Authenticated transport: impersonator severed vs accepted, quorum-certificate catch-up accounting",
+            experiments::e15_auth::run,
         ),
     ]
 }

@@ -50,6 +50,7 @@ fn spec(n: usize, t: usize, commands_per_client: usize, riders: Vec<Behavior>) -
         arrivals: ArrivalProcess::Poisson { mean_gap: 1.0 },
         seed: 7,
         riders,
+        auth: false,
         tick: TICK,
         child_timeout: Duration::from_secs(60),
         harness_timeout: Duration::from_secs(120),

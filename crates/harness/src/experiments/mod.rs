@@ -1,5 +1,5 @@
-//! The experiment suite E1–E11 plus E14 (see `EXPERIMENTS.md` for the
-//! paper-vs-measured record).
+//! The experiment suite E1–E11 plus E14 and E15 (see `EXPERIMENTS.md` for
+//! the paper-vs-measured record).
 //!
 //! Every experiment is a pure function `run(quick) -> Table`; `quick = true`
 //! shrinks sweeps and seed counts so the whole suite stays test-suite-fast,
@@ -10,6 +10,7 @@
 pub mod e10_smr;
 pub mod e11_transport;
 pub mod e14_conformance;
+pub mod e15_auth;
 pub mod e1_cb;
 pub mod e2_ac;
 pub mod e3_ea;
@@ -38,6 +39,7 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e10_smr::run(quick),
         e11_transport::run(quick),
         e14_conformance::run(quick),
+        e15_auth::run(quick),
     ]
 }
 
@@ -66,7 +68,7 @@ mod tests {
     #[test]
     fn quick_suite_produces_all_tables() {
         let tables = run_all(true);
-        assert_eq!(tables.len(), 12);
+        assert_eq!(tables.len(), 13);
         for t in &tables {
             assert!(!t.rows().is_empty(), "{} produced no rows", t.title());
         }

@@ -4,11 +4,17 @@
 //! ```text
 //! minsync-node --id I --n N --t T --listen 127.0.0.1:0
 //!              [--peers a0,a1,…]           # else bootstrap over stdin
+//!              [--auth-keys HEX]           # this replica's MAC keyring
 //!              --groups M --clients C --commands K --batch B
 //!              --arrival poisson:G|bursty:B/P|closed:T
-//!              --seed S --behavior correct|silent|flood
+//!              --seed S --behavior correct|silent|flood|impersonate
 //!              --tick-us US --timeout-ms MS
 //! ```
+//!
+//! With `--auth-keys` (an [`HmacAuthenticator::to_hex`] keyring from the
+//! orchestrator's dealer) the mesh authenticates its handshake and MACs
+//! every frame; forged streams are severed and counted in the fourth
+//! `DROPS` field.
 //!
 //! Control pipe (see `minsync_transport::cluster`): the process prints
 //! `PORT <p>` once its listener is bound; if `--peers` was not given it
@@ -25,7 +31,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use minsync_adversary::{FloodNode, SilentNode};
+use minsync_adversary::impersonate::{forged_hello, tagged_frame, tampered_frame};
+use minsync_adversary::{CaptureHandle, CaptureNode, FloodNode, SilentNode};
+use minsync_auth::{Authenticator, HmacAuthenticator};
 use minsync_core::{ConsensusConfig, ProtocolMsg};
 use minsync_net::sim::OutputRecord;
 use minsync_net::{Node, VirtualTime};
@@ -33,7 +41,7 @@ use minsync_smr::{ReplicaNode, SmrEvent, SmrMsg};
 use minsync_transport::cluster::{control, parse_arrival, Behavior, LogDigest};
 use minsync_transport::mesh::{MeshConfig, MeshCounters, MeshOutput, TcpMesh};
 use minsync_types::{ProcessId, Round, SystemConfig};
-use minsync_wire::{Hello, WIRE_VERSION};
+use minsync_wire::{encode_frame, Hello, DEFAULT_MAX_FRAME, WIRE_VERSION};
 use minsync_workload::{account, ArrivalProcess, Batch, ClientPopulation, WorkloadSpec};
 
 type Msg = SmrMsg<Batch>;
@@ -54,6 +62,7 @@ struct Args {
     behavior: Behavior,
     tick: Duration,
     timeout: Duration,
+    auth: Option<Arc<HmacAuthenticator>>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -72,6 +81,7 @@ fn parse_args() -> Result<Args, String> {
         behavior: Behavior::Correct,
         tick: Duration::from_micros(200),
         timeout: Duration::from_secs(30),
+        auth: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -112,12 +122,29 @@ fn parse_args() -> Result<Args, String> {
                 args.timeout =
                     Duration::from_millis(value.parse().map_err(|e| format!("--timeout-ms: {e}"))?)
             }
+            "--auth-keys" => {
+                args.auth = Some(Arc::new(
+                    HmacAuthenticator::from_hex(value)
+                        .ok_or("--auth-keys: malformed keyring".to_string())?,
+                ))
+            }
             other => return Err(format!("unknown flag {other}")),
         }
         i += 2;
     }
     if args.id >= args.n {
         return Err(format!("--id {} out of range for --n {}", args.id, args.n));
+    }
+    if let Some(auth) = &args.auth {
+        if auth.me().index() != args.id || auth.n() != args.n {
+            return Err(format!(
+                "--auth-keys is for replica {} of {}, not replica {} of {}",
+                auth.me().index(),
+                auth.n(),
+                args.id,
+                args.n
+            ));
+        }
     }
     Ok(args)
 }
@@ -187,6 +214,7 @@ fn run(args: Args) -> Result<(), String> {
         tick: args.tick,
         timeout: args.timeout,
         seed: args.seed,
+        auth: args.auth.clone().map(|a| a as Arc<dyn Authenticator>),
         ..MeshConfig::default()
     };
 
@@ -200,6 +228,23 @@ fn run(args: Args) -> Result<(), String> {
             ))
         }
         Behavior::Silent => Box::new(SilentNode::<Msg, Out>::new()),
+        Behavior::Impersonate => {
+            // The in-protocol half is a silent recorder (it occupies a
+            // fault slot and contributes nothing to quorums); the attack
+            // itself runs in dialer threads forging *other* replicas'
+            // identities at the byte level.
+            let capture: CaptureNode<Msg, Out> = CaptureNode::new(1024);
+            spawn_impersonator_dialers(
+                me,
+                args.n,
+                args.t,
+                &peers,
+                args.auth.clone(),
+                capture.handle(),
+                Arc::clone(&stop_flag),
+            );
+            Box::new(capture)
+        }
         Behavior::Flood => {
             // Protocol-level spam: bursts of future-slot garbage, plus raw
             // garbage bytes dialed straight at every peer (the transport
@@ -299,10 +344,11 @@ fn print_stats(
         lat.count, lat.p50, lat.p95, lat.p99, lat.mean
     );
     println!(
-        "DROPS {} {} {}",
+        "DROPS {} {} {} {}",
         counters.outbound_dropped_total(),
         counters.decode_disconnects(),
-        counters.handshake_rejects()
+        counters.handshake_rejects(),
+        counters.auth_rejects()
     );
     println!("{}", control::DONE);
     std::io::stdout().flush().ok();
@@ -335,6 +381,133 @@ fn spawn_stdin_watcher(
     });
 }
 
+/// Slots the impersonator tries to poison with forged checkpoint votes.
+const POISON_SLOTS: u64 = 3;
+/// The attacker-chosen command the forged checkpoint votes inject. One
+/// *global* value, deliberately: victims the storm misses catch up through
+/// the ordinary checkpoint path (their poisoned peers' echoes match, so
+/// `t + 1` votes assemble), keeping the poisoned cluster *live* — the
+/// demonstration is that an unauthenticated cluster cleanly commits a
+/// command no client ever submitted, measured as a digest split against a
+/// clean run of the identical workload.
+const POISON_COMMAND: u64 = 0xDEAD_BEEF;
+/// Rounds of the forged-identity arms (~1s at the dialer cadence). Against
+/// an unauthenticated mesh each forged handshake *evicts* the genuine
+/// sender's connection (the epoch rule sides with the newest claimant), so
+/// an endless storm is a trivial denial of service that would mask the
+/// subtler result: bounding it to the cluster's startup window shows the
+/// poison landing in the committed logs *and* the cluster then draining —
+/// divergence, not just downtime. The MAC-game arm has no such side effect
+/// and runs until STOP.
+const FORGERY_ROUNDS: u64 = 64;
+
+/// The impersonator's dialer threads: every peer is attacked on three
+/// byte-level arms, repeating until STOP.
+///
+/// 1. **Forged identities** — dial claiming each of `t + 1` *other*
+///    replicas (zero-tag handshakes, since the attacker holds none of their
+///    keys) and stream poison checkpoint votes for the victim's first
+///    slots. An unauthenticated victim counts them toward the `t + 1`
+///    checkpoint plurality and commits values no correct replica proposed;
+///    an authenticated victim severs the connection at key confirmation,
+///    before the forgery can claim the genuine sender's connection epoch.
+/// 2. **MAC games** (requires the attacker's own keyring) — a genuine
+///    handshake as itself, then a well-formed frame with one tag bit
+///    flipped (severed at the MAC check) and a correctly-MAC'd frame over
+///    undecodable garbage (severed at the codec — proving the MAC is
+///    verified first and the codec still guards behind it).
+/// 3. **Replay** — genuine traffic the capture node observed, re-encoded
+///    and re-sent under a forged identity.
+fn spawn_impersonator_dialers(
+    me: ProcessId,
+    n: usize,
+    t: usize,
+    peers: &[SocketAddr],
+    auth: Option<Arc<HmacAuthenticator>>,
+    captured: CaptureHandle<Msg>,
+    stop_flag: Arc<AtomicBool>,
+) {
+    for (victim, &addr) in peers.iter().enumerate() {
+        if victim == me.index() {
+            continue;
+        }
+        // `t + 1` identities the attacker holds no keys for — never the
+        // victim's own id (the handshake refuses that outright, keys or
+        // not, so it would test nothing).
+        let claims: Vec<ProcessId> = (0..n)
+            .filter(|&p| p != victim && p != me.index())
+            .take(t + 1)
+            .map(ProcessId::new)
+            .collect();
+        let auth = auth.clone();
+        let captured = Arc::clone(&captured);
+        let stop_flag = Arc::clone(&stop_flag);
+        std::thread::spawn(move || {
+            let mut round = 0u64;
+            while !stop_flag.load(Ordering::Relaxed) {
+                let forging = round < FORGERY_ROUNDS;
+                // Arm 1: forged hellos carrying poison checkpoint votes.
+                for &claim in claims.iter().filter(|_| forging) {
+                    if let Ok(mut s) = TcpStream::connect_timeout(&addr, Duration::from_millis(250))
+                    {
+                        let mut bytes = forged_hello(claim, n as u32);
+                        for slot in 1..=POISON_SLOTS {
+                            let poison: Msg = SmrMsg::Checkpoint {
+                                slot,
+                                value: Batch(vec![POISON_COMMAND]),
+                            };
+                            encode_frame(&poison, &mut bytes, DEFAULT_MAX_FRAME)
+                                .expect("a one-command poison batch fits any cap");
+                        }
+                        let _ = s.write_all(&bytes);
+                    }
+                }
+                // Arm 2: MAC games under the attacker's own identity —
+                // both shapes every round, each on its own connection
+                // (each costs the attacker that connection), so even the
+                // shortest run sees a MAC-severed *and* a codec-severed
+                // stream.
+                if let Some(auth) = &auth {
+                    let to = ProcessId::new(victim);
+                    let shapes = [
+                        tampered_frame(&round.to_le_bytes(), auth.as_ref(), to),
+                        tagged_frame(&[0xFF; 9], auth.as_ref(), to),
+                    ];
+                    for frame in shapes {
+                        if let Ok(mut s) =
+                            TcpStream::connect_timeout(&addr, Duration::from_millis(250))
+                        {
+                            let mut bytes =
+                                Hello::authenticated(n as u32, auth.as_ref(), to).encode();
+                            bytes.extend_from_slice(&frame);
+                            let _ = s.write_all(&bytes);
+                        }
+                    }
+                }
+                // Arm 3: replay captured genuine traffic, forged sender.
+                let replay: Vec<Msg> = if forging {
+                    let seen = captured.lock().expect("capture transcript poisoned");
+                    seen.iter().rev().take(8).map(|(_, m)| m.clone()).collect()
+                } else {
+                    Vec::new()
+                };
+                if !replay.is_empty() {
+                    if let Ok(mut s) = TcpStream::connect_timeout(&addr, Duration::from_millis(250))
+                    {
+                        let mut bytes = forged_hello(claims[0], n as u32);
+                        for msg in &replay {
+                            let _ = encode_frame(msg, &mut bytes, DEFAULT_MAX_FRAME);
+                        }
+                        let _ = s.write_all(&bytes);
+                    }
+                }
+                round += 1;
+                std::thread::sleep(Duration::from_millis(15));
+            }
+        });
+    }
+}
+
 /// The byte-level arm of the flooder: dials every peer and writes garbage
 /// in both shapes the reader must survive — a valid handshake followed by
 /// an undecodable frame, and a connection that fails the handshake
@@ -356,11 +529,7 @@ fn spawn_garbage_dialers(
                 // Shape 1: honest handshake, garbage frame — must cost this
                 // connection a decode-disconnect on the receiver.
                 if let Ok(mut s) = TcpStream::connect_timeout(&addr, Duration::from_millis(250)) {
-                    let mut bytes = Hello {
-                        sender: me,
-                        n: n as u32,
-                    }
-                    .encode();
+                    let mut bytes = Hello::new(me, n as u32).encode();
                     bytes.extend_from_slice(&8u32.to_le_bytes());
                     bytes.extend_from_slice(&round.to_le_bytes()); // bogus tag byte first
                     bytes[minsync_wire::HELLO_LEN + 4] = 0xFF;

@@ -23,6 +23,7 @@ use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError};
+use minsync_auth::HmacAuthenticator;
 use minsync_workload::ArrivalProcess;
 
 /// How one replica slot behaves.
@@ -36,6 +37,13 @@ pub enum Behavior {
     /// *and* dials peers with raw garbage bytes (exercising both the
     /// bounded-buffer and the decode-error-disconnect defenses).
     Flood,
+    /// Byzantine-impersonating: dials peers claiming *other* replicas'
+    /// identities — forged handshakes carrying poison checkpoint votes,
+    /// replays of captured genuine traffic, and (when it holds keys of its
+    /// own) MAC games probing the verify-before-decode pipeline. An
+    /// unauthenticated cluster accepts the forged streams; an authenticated
+    /// one must sever every arm of the attack.
+    Impersonate,
 }
 
 impl Behavior {
@@ -45,6 +53,7 @@ impl Behavior {
             Behavior::Correct => "correct",
             Behavior::Silent => "silent",
             Behavior::Flood => "flood",
+            Behavior::Impersonate => "impersonate",
         }
     }
 
@@ -54,6 +63,7 @@ impl Behavior {
             "correct" => Some(Behavior::Correct),
             "silent" => Some(Behavior::Silent),
             "flood" => Some(Behavior::Flood),
+            "impersonate" => Some(Behavior::Impersonate),
             _ => None,
         }
     }
@@ -170,6 +180,12 @@ pub struct ClusterSpec {
     /// Behaviors for the top replica ids: `riders[k]` is replica
     /// `n − riders.len() + k`; all lower ids are correct.
     pub riders: Vec<Behavior>,
+    /// Authenticate the mesh: a dealer keyed off `seed` hands every child
+    /// its pairwise-MAC keyring (`--auth-keys`), and each child MACs its
+    /// handshake and every frame. Riders receive their *own* genuine
+    /// keyring — a corrupt replica legitimately holds its keys; what it
+    /// must not hold is anyone else's.
+    pub auth: bool,
     /// Wall-clock duration of one virtual tick inside each child.
     pub tick: Duration,
     /// Per-child wall-clock cap.
@@ -220,6 +236,10 @@ pub struct ReplicaStats {
     pub decode_disconnects: u64,
     /// Inbound connections this replica refused at the handshake.
     pub handshake_rejects: u64,
+    /// Inbound connections this replica severed for failed MAC checks
+    /// (forged handshake tags and forged frame tags alike); always zero
+    /// when the cluster runs unauthenticated.
+    pub auth_rejects: u64,
 }
 
 /// Result of one cluster run: every *correct* replica's stats.
@@ -407,6 +427,13 @@ pub fn run_cluster(spec: &ClusterSpec) -> Result<ClusterReport, ClusterError> {
     let start = Instant::now();
     let deadline = start + spec.harness_timeout;
 
+    // The trusted dealer: pairwise MAC keys derived from the cluster seed,
+    // serialized per replica so each child only ever sees its own keyring.
+    let keyrings = spec.auth.then(|| {
+        let master = cluster_master(spec.seed);
+        HmacAuthenticator::deal(&master, spec.n)
+    });
+
     // Spawn every child with a piped control pipe.
     let mut children = Vec::with_capacity(spec.n);
     for id in 0..spec.n {
@@ -415,7 +442,11 @@ pub fn run_cluster(spec: &ClusterSpec) -> Result<ClusterReport, ClusterError> {
         } else {
             Behavior::Correct
         };
-        let child = Command::new(&bin)
+        let mut command = Command::new(&bin);
+        if let Some(keyrings) = &keyrings {
+            command.arg("--auth-keys").arg(keyrings[id].to_hex());
+        }
+        let child = command
             .arg("--id")
             .arg(id.to_string())
             .arg("--n")
@@ -495,9 +526,14 @@ pub fn run_cluster(spec: &ClusterSpec) -> Result<ClusterReport, ClusterError> {
                 }
             }
             ChildLine::Eof(id) => {
+                // Fail fast with the child's exit status rather than
+                // letting the caller wait out the harness deadline.
                 return Err(ClusterError::Protocol {
                     id,
-                    what: "exited before announcing its port".into(),
+                    what: format!(
+                        "exited before announcing its port ({})",
+                        exit_status_of(&mut reaper.0[id])
+                    ),
                 });
             }
         }
@@ -536,7 +572,10 @@ pub fn run_cluster(spec: &ClusterSpec) -> Result<ClusterReport, ClusterError> {
             ChildLine::Eof(id) => {
                 return Err(ClusterError::Protocol {
                     id,
-                    what: "exited before finishing its report".into(),
+                    what: format!(
+                        "exited before finishing its report ({})",
+                        exit_status_of(&mut reaper.0[id])
+                    ),
                 });
             }
         }
@@ -574,6 +613,28 @@ pub fn run_cluster(spec: &ClusterSpec) -> Result<ClusterReport, ClusterError> {
     })
 }
 
+/// The dealer's master secret for a cluster, derived from its seed (every
+/// child of one cluster shares it; two clusters with different seeds never
+/// cross-authenticate).
+fn cluster_master(seed: u64) -> Vec<u8> {
+    let mut master = b"minsync-cluster-master-".to_vec();
+    master.extend_from_slice(&seed.to_le_bytes());
+    master
+}
+
+/// Best-effort exit status of a child whose control pipe just closed. The
+/// pipe's EOF races the process table, so poll briefly before giving up.
+fn exit_status_of(child: &mut Child) -> String {
+    for _ in 0..50 {
+        match child.try_wait() {
+            Ok(Some(status)) => return status.to_string(),
+            Ok(None) => std::thread::sleep(Duration::from_millis(10)),
+            Err(_) => break,
+        }
+    }
+    "exit status unknown".into()
+}
+
 /// Receives one control line, failing cleanly at the deadline.
 fn recv_line(rx: &Receiver<ChildLine>, deadline: Instant) -> Result<ChildLine, ClusterError> {
     loop {
@@ -598,7 +659,7 @@ fn recv_line(rx: &Receiver<ChildLine>, deadline: Instant) -> Result<ChildLine, C
 /// DIGEST <16-hex-digit fnv1a64>
 /// WALL_MS <float>
 /// LAT <count> <p50> <p95> <p99> <mean>      (virtual ticks)
-/// DROPS <outbound> <decode> <handshake>
+/// DROPS <outbound> <decode> <handshake> <auth>
 /// ```
 fn parse_stats(id: usize, block: &[String]) -> Result<ReplicaStats, ClusterError> {
     let field = |key: &str| -> Result<Vec<String>, ClusterError> {
@@ -624,7 +685,7 @@ fn parse_stats(id: usize, block: &[String]) -> Result<ReplicaStats, ClusterError
         || digest.len() != 1
         || wall.len() != 1
         || lat.len() != 5
-        || drops.len() != 3
+        || drops.len() != 4
     {
         return Err(bad("malformed report line"));
     }
@@ -644,6 +705,7 @@ fn parse_stats(id: usize, block: &[String]) -> Result<ReplicaStats, ClusterError
         outbound_dropped: drops[0].parse().map_err(|_| bad("bad DROPS"))?,
         decode_disconnects: drops[1].parse().map_err(|_| bad("bad DROPS"))?,
         handshake_rejects: drops[2].parse().map_err(|_| bad("bad DROPS"))?,
+        auth_rejects: drops[3].parse().map_err(|_| bad("bad DROPS"))?,
     })
 }
 
@@ -692,7 +754,7 @@ mod tests {
             "DIGEST cbf29ce484222325",
             "WALL_MS 412.5",
             "LAT 128 10 25 40 12.75",
-            "DROPS 3 1 0",
+            "DROPS 3 1 0 2",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -703,6 +765,7 @@ mod tests {
         assert_eq!(stats.digest, 0xcbf2_9ce4_8422_2325);
         assert_eq!(stats.lat_p99, 40);
         assert_eq!(stats.outbound_dropped, 3);
+        assert_eq!(stats.auth_rejects, 2);
         assert!((stats.wall.as_secs_f64() - 0.4125).abs() < 1e-9);
 
         let missing = parse_stats(2, &block[..2]);
@@ -711,7 +774,12 @@ mod tests {
 
     #[test]
     fn behavior_args_round_trip() {
-        for b in [Behavior::Correct, Behavior::Silent, Behavior::Flood] {
+        for b in [
+            Behavior::Correct,
+            Behavior::Silent,
+            Behavior::Flood,
+            Behavior::Impersonate,
+        ] {
             assert_eq!(Behavior::parse(b.arg()), Some(b));
         }
         assert_eq!(Behavior::parse("evil"), None);
@@ -733,6 +801,7 @@ mod tests {
             outbound_dropped: 0,
             decode_disconnects: 0,
             handshake_rejects: 0,
+            auth_rejects: 0,
         };
         let report = ClusterReport {
             replicas: vec![stats(0, 7, 500), stats(1, 7, 250)],

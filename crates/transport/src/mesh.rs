@@ -34,9 +34,15 @@
 //!   `try_fire`), and self-addressed traffic delivered through an in-memory
 //!   queue (the paper's always-timely virtual self-channel).
 //!
-//! Identity is *claimed*, not authenticated — see [`Hello`]. Delivery is
-//! FIFO per directed channel (TCP) with no cross-channel ordering, exactly
-//! the guarantee the protocols were verified against on the simulator.
+//! Identity is *claimed* by default — see [`Hello`] — but a mesh configured
+//! with an [`Authenticator`] ([`MeshConfig::auth`]) **proves** it: the
+//! handshake carries a key-confirmation tag, every frame carries a MAC over
+//! its body verified *before* the decoder sees a byte, and any forgery cuts
+//! the connection and counts in [`MeshReport::auth_rejects`]. That closes
+//! the paper's no-impersonation assumption (Section 2.1) over real sockets.
+//! Delivery is FIFO per directed channel (TCP) with no cross-channel
+//! ordering, exactly the guarantee the protocols were verified against on
+//! the simulator.
 
 use std::collections::{BinaryHeap, VecDeque};
 use std::fmt::Debug;
@@ -48,10 +54,12 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use minsync_auth::Authenticator;
 use minsync_net::{derive_stream, stream_of, Effect, Env, Node, TimerId, VirtualTime};
 use minsync_types::ProcessId;
 use minsync_wire::{
-    decode_frame, encode_frame, split_frame, Hello, Wire, DEFAULT_MAX_FRAME, HELLO_LEN,
+    decode_frame, encode_frame, encode_frame_tagged, split_frame, tagged_frame_cap,
+    verify_frame_tag, Hello, Wire, DEFAULT_MAX_FRAME, HELLO_LEN, KEEPALIVE_FRAME, MAGIC,
 };
 
 /// Stream-namespace tag of the TCP mesh (`"MESH"`), keeping its derived
@@ -89,6 +97,15 @@ pub struct MeshConfig {
     /// Cap on simultaneously live inbound connections (a Byzantine peer
     /// opening sockets in a loop exhausts this, not the process's threads).
     pub max_connections: usize,
+    /// Message authentication. `None` (the default) runs the mesh open, as
+    /// before: sender ids are trusted as claimed. `Some` requires a valid
+    /// key-confirmation tag on every inbound handshake and a valid MAC on
+    /// every inbound frame — checked **before** the payload reaches the
+    /// decoder — and tags all outbound traffic. Note the frame cap
+    /// ([`MeshConfig::max_frame`]) keeps applying to the message *body*:
+    /// readers admit [`tagged_frame_cap`]`(max_frame)` bytes so the MAC
+    /// rides for free instead of stealing payload capacity.
+    pub auth: Option<Arc<dyn Authenticator>>,
 }
 
 impl Default for MeshConfig {
@@ -104,6 +121,7 @@ impl Default for MeshConfig {
             max_backoff: Duration::from_millis(200),
             connect_timeout: Duration::from_millis(250),
             max_connections: 64,
+            auth: None,
         }
     }
 }
@@ -141,6 +159,9 @@ pub struct MeshReport<O> {
     pub accept_rejects: u64,
     /// Successful writer re-connections after the first connect per peer.
     pub reconnects: u64,
+    /// Inbound connections cut for failed authentication (a handshake tag
+    /// or frame MAC that did not verify) — always 0 on an open mesh.
+    pub auth_rejects: u64,
 }
 
 /// Live transport counters, shared across the mesh's threads and handed to
@@ -155,6 +176,7 @@ pub struct MeshCounters {
     handshake_rejects: AtomicU64,
     accept_rejects: AtomicU64,
     reconnects: AtomicU64,
+    auth_rejects: AtomicU64,
     live_connections: AtomicUsize,
     outbound_dropped: Vec<AtomicU64>,
     /// Per-sender handshake epochs: only the *newest* connection claiming a
@@ -172,6 +194,7 @@ impl MeshCounters {
             handshake_rejects: AtomicU64::new(0),
             accept_rejects: AtomicU64::new(0),
             reconnects: AtomicU64::new(0),
+            auth_rejects: AtomicU64::new(0),
             live_connections: AtomicUsize::new(0),
             outbound_dropped: (0..n).map(|_| AtomicU64::new(0)).collect(),
             sender_epochs: (0..n).map(|_| AtomicU64::new(0)).collect(),
@@ -213,6 +236,11 @@ impl MeshCounters {
     /// Successful writer re-connections so far.
     pub fn reconnects(&self) -> u64 {
         self.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Inbound connections cut for failed authentication so far.
+    pub fn auth_rejects(&self) -> u64 {
+        self.auth_rejects.load(Ordering::Relaxed)
     }
 }
 
@@ -280,10 +308,13 @@ impl TcpMesh {
             self.listener,
             inbox_tx,
             Arc::clone(&shared),
-            me,
-            n,
-            config.max_frame,
             config.max_connections,
+            ReaderConfig {
+                me,
+                n,
+                max_frame: config.max_frame,
+                auth: config.auth.clone(),
+            },
         );
 
         // Outbound plumbing: one writer thread + bounded queue per peer.
@@ -306,6 +337,7 @@ impl TcpMesh {
                     initial_backoff: config.initial_backoff,
                     max_backoff: config.max_backoff,
                     connect_timeout: config.connect_timeout,
+                    auth: config.auth.clone(),
                 },
                 rx,
                 Arc::clone(&shared),
@@ -421,6 +453,7 @@ impl TcpMesh {
             handshake_rejects: shared.handshake_rejects(),
             accept_rejects: shared.accept_rejects(),
             reconnects: shared.reconnects(),
+            auth_rejects: shared.auth_rejects(),
         }
     }
 }
@@ -539,21 +572,38 @@ struct WriterSpec {
     initial_backoff: Duration,
     max_backoff: Duration,
     connect_timeout: Duration,
+    auth: Option<Arc<dyn Authenticator>>,
 }
+
+/// Byte budget for a writer's replay ring (see [`spawn_writer`]).
+const WRITER_REPLAY_BYTES: usize = 1 << 20;
 
 fn spawn_writer<M>(spec: WriterSpec, rx: Receiver<M>, shared: Arc<MeshCounters>) -> JoinHandle<()>
 where
     M: Wire + Send + 'static,
 {
     std::thread::spawn(move || {
-        let hello = Hello {
-            sender: spec.me,
-            n: spec.n,
+        let peer_id = ProcessId::new(spec.peer);
+        let hello = match &spec.auth {
+            Some(auth) => Hello::authenticated(spec.n, auth.as_ref(), peer_id),
+            None => Hello::new(spec.me, spec.n),
         }
         .encode();
         let mut backoff = spec.initial_backoff;
         let mut connects = 0u64;
         let mut buf = Vec::new();
+        // The protocol stack assumes reliable channels: every consensus
+        // message is sent exactly once, so a frame that dies with a broken
+        // connection is a liveness hole (most insidiously when the peer's
+        // epoch rule evicts this connection — e.g. under an impersonation
+        // storm — and TCP only reports the break on a *later* write). Two
+        // mechanisms close the gap: recently written frames ride a bounded
+        // replay ring that is re-sent wholesale after every reconnect
+        // (every layer above dedups by sender, so duplicates are free), and
+        // an idle writer probes the socket with keepalive frames so a dead
+        // connection is noticed in ~100ms instead of never.
+        let mut replay: VecDeque<Vec<u8>> = VecDeque::new();
+        let mut replay_bytes = 0usize;
         'reconnect: while !shared.shutdown() {
             let mut stream = match TcpStream::connect_timeout(&spec.addr, spec.connect_timeout) {
                 Ok(s) => s,
@@ -576,6 +626,11 @@ where
             if stream.write_all(&hello).is_err() {
                 continue 'reconnect;
             }
+            for frame in &replay {
+                if stream.write_all(frame).is_err() {
+                    continue 'reconnect;
+                }
+            }
             loop {
                 match rx.recv_timeout(Duration::from_millis(50)) {
                     Ok(msg) => {
@@ -591,21 +646,43 @@ where
                             return;
                         }
                         buf.clear();
-                        if encode_frame(&msg, &mut buf, spec.max_frame).is_err() {
+                        let encoded = match &spec.auth {
+                            Some(auth) => encode_frame_tagged(
+                                &msg,
+                                &mut buf,
+                                spec.max_frame,
+                                auth.as_ref(),
+                                peer_id,
+                            ),
+                            None => encode_frame(&msg, &mut buf, spec.max_frame),
+                        };
+                        if encoded.is_err() {
                             // Oversized local message: unsendable, count it.
                             shared.outbound_dropped[spec.peer].fetch_add(1, Ordering::Relaxed);
                             continue;
                         }
+                        // Into the ring *before* the write: a failed write
+                        // is then a retransmission matter, not a loss (the
+                        // frame goes out with the replay on reconnect).
+                        // Frames evicted past the byte budget may or may
+                        // not have been delivered — they are not counted as
+                        // drops, the ring is a best-effort replay window.
+                        replay_bytes += buf.len();
+                        replay.push_back(buf.clone());
+                        while replay_bytes > WRITER_REPLAY_BYTES && replay.len() > 1 {
+                            let evicted = replay.pop_front().expect("ring is non-empty");
+                            replay_bytes -= evicted.len();
+                        }
                         if stream.write_all(&buf).is_err() {
-                            // The popped message is lost with the
-                            // connection; count it and redial.
-                            shared.outbound_dropped[spec.peer].fetch_add(1, Ordering::Relaxed);
                             continue 'reconnect;
                         }
                     }
                     Err(RecvTimeoutError::Timeout) => {
                         if shared.shutdown() {
                             return;
+                        }
+                        if stream.write_all(&KEEPALIVE_FRAME).is_err() {
+                            continue 'reconnect;
                         }
                     }
                     Err(RecvTimeoutError::Disconnected) => return,
@@ -619,14 +696,21 @@ where
 // Reader side
 // ---------------------------------------------------------------------------
 
+/// The per-connection knobs every reader inherits from the mesh.
+#[derive(Clone)]
+struct ReaderConfig {
+    me: ProcessId,
+    n: usize,
+    max_frame: usize,
+    auth: Option<Arc<dyn Authenticator>>,
+}
+
 fn spawn_acceptor<M>(
     listener: TcpListener,
     inbox: Sender<(ProcessId, M)>,
     shared: Arc<MeshCounters>,
-    me: ProcessId,
-    n: usize,
-    max_frame: usize,
     max_connections: usize,
+    reader: ReaderConfig,
 ) -> JoinHandle<()>
 where
     M: Wire + Send + 'static,
@@ -653,8 +737,9 @@ where
                     shared.live_connections.fetch_add(1, Ordering::Relaxed);
                     let inbox = inbox.clone();
                     let shared = Arc::clone(&shared);
+                    let reader = reader.clone();
                     readers.push(std::thread::spawn(move || {
-                        reader_loop::<M>(stream, inbox, &shared, me, n, max_frame);
+                        reader_loop::<M>(stream, inbox, &shared, reader);
                         shared.live_connections.fetch_sub(1, Ordering::Relaxed);
                     }));
                 }
@@ -680,12 +765,23 @@ fn reader_loop<M>(
     mut stream: TcpStream,
     inbox: Sender<(ProcessId, M)>,
     shared: &MeshCounters,
-    me: ProcessId,
-    n: usize,
-    max_frame: usize,
+    config: ReaderConfig,
 ) where
     M: Wire + Send + 'static,
 {
+    let ReaderConfig {
+        me,
+        n,
+        max_frame,
+        auth,
+    } = config;
+    // With auth on, the sender's MAC tag rides inside the frame body, so a
+    // max-size message legitimately occupies `max_frame + FRAME_TAG_OVERHEAD`
+    // bytes on the wire. Admit exactly that much; the cap still binds.
+    let read_cap = match auth {
+        Some(_) => tagged_frame_cap(max_frame),
+        None => max_frame,
+    };
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
     let _ = stream.set_nodelay(true);
     let mut buf: Vec<u8> = Vec::new();
@@ -718,6 +814,15 @@ fn reader_loop<M>(
             Ok(k) => {
                 buf.extend_from_slice(&chunk[..k]);
                 if sender.is_none() {
+                    // A foreign protocol is cut the moment its prefix
+                    // diverges from the magic — don't hold the connection
+                    // to the handshake deadline waiting for a full Hello
+                    // that can no longer arrive.
+                    let k = buf.len().min(MAGIC.len());
+                    if buf[..k] != MAGIC[..k] {
+                        shared.handshake_rejects.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
                     if buf.len() < HELLO_LEN {
                         continue; // partial handshake: wait for more bytes
                     }
@@ -728,6 +833,15 @@ fn reader_loop<M>(
                                 && hello.sender.index() < n
                                 && hello.sender != me =>
                         {
+                            // Key confirmation comes BEFORE the epoch claim:
+                            // a forged Hello must not supersede (and thereby
+                            // kill) the genuine sender's live connection.
+                            if let Some(auth) = &auth {
+                                if !hello.verify_auth(auth.as_ref()) {
+                                    shared.auth_rejects.fetch_add(1, Ordering::Relaxed);
+                                    return;
+                                }
+                            }
                             sender = Some(hello.sender);
                             my_epoch = shared.sender_epochs[hello.sender.index()]
                                 .fetch_add(1, Ordering::Relaxed)
@@ -745,20 +859,42 @@ fn reader_loop<M>(
                 let from = sender.expect("handshake complete");
                 let mut consumed = 0;
                 loop {
-                    match split_frame(&buf[consumed..], max_frame) {
+                    match split_frame(&buf[consumed..], read_cap) {
                         Ok(None) => break,
-                        Ok(Some((payload, used))) => match decode_frame::<M>(payload) {
-                            Ok(msg) => {
+                        Ok(Some((payload, used))) => {
+                            if payload.is_empty() {
+                                // Idle keepalive probe: liveness only. It is
+                                // skipped before MAC verification — it has no
+                                // payload, so forging one achieves nothing.
                                 consumed += used;
-                                if inbox.send((from, msg)).is_err() {
-                                    return; // node loop is gone
+                                continue;
+                            }
+                            // The MAC is checked before any byte reaches the
+                            // codec: forged frames are cut without giving the
+                            // decoder attacker-controlled input.
+                            let body = match &auth {
+                                Some(a) => match verify_frame_tag(payload, a.as_ref(), from) {
+                                    Ok(body) => body,
+                                    Err(_) => {
+                                        shared.auth_rejects.fetch_add(1, Ordering::Relaxed);
+                                        return;
+                                    }
+                                },
+                                None => payload,
+                            };
+                            match decode_frame::<M>(body) {
+                                Ok(msg) => {
+                                    consumed += used;
+                                    if inbox.send((from, msg)).is_err() {
+                                        return; // node loop is gone
+                                    }
+                                }
+                                Err(_) => {
+                                    shared.decode_disconnects.fetch_add(1, Ordering::Relaxed);
+                                    return;
                                 }
                             }
-                            Err(_) => {
-                                shared.decode_disconnects.fetch_add(1, Ordering::Relaxed);
-                                return;
-                            }
-                        },
+                        }
                         Err(_) => {
                             shared.decode_disconnects.fetch_add(1, Ordering::Relaxed);
                             return;

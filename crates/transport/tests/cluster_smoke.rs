@@ -23,6 +23,7 @@ fn spec(n: usize, t: usize, riders: Vec<Behavior>) -> ClusterSpec {
         arrivals: ArrivalProcess::Poisson { mean_gap: 2.0 },
         seed: 7,
         riders,
+        auth: false,
         tick: Duration::from_micros(200),
         child_timeout: Duration::from_secs(30),
         harness_timeout: Duration::from_secs(60),
@@ -75,6 +76,80 @@ fn flooding_rider_is_survived_and_disconnected() {
         .map(|r| r.decode_disconnects + r.handshake_rejects)
         .sum();
     assert!(cuts >= 1, "no replica ever cut the garbage dialer");
+}
+
+/// An authenticated cluster (per-frame MACs, key-confirmed handshakes)
+/// drains and agrees exactly like a plain one — the MAC layer must be
+/// transparent to honest traffic.
+#[test]
+fn authenticated_cluster_agrees_over_tcp() {
+    use_built_binary();
+    let mut spec = spec(4, 1, vec![]);
+    spec.auth = true;
+    let report = run_cluster(&spec).expect("authenticated cluster runs");
+    assert_eq!(report.replicas.len(), 4);
+    assert!(report.digests_agree());
+    for r in &report.replicas {
+        assert_eq!(r.committed, report.total_commands);
+        assert_eq!(r.auth_rejects, 0, "honest traffic must always verify");
+    }
+}
+
+/// An impersonator rider forging other replicas' identities against an
+/// authenticated cluster: every forged stream is severed at the MAC layer
+/// (`auth_rejects`), its valid-MAC garbage arm is cut at the codec, and the
+/// committed logs stay digest-identical with full liveness.
+#[test]
+fn authenticated_cluster_severs_an_impersonator() {
+    use_built_binary();
+    let mut spec = spec(4, 1, vec![Behavior::Impersonate]);
+    spec.auth = true;
+    let report = run_cluster(&spec).expect("cluster runs");
+    assert_eq!(report.replicas.len(), 3);
+    assert!(
+        report.digests_agree(),
+        "forged identities must not steer agreement"
+    );
+    for r in &report.replicas {
+        assert_eq!(r.committed, report.total_commands);
+    }
+    let auth_rejects: u64 = report.replicas.iter().map(|r| r.auth_rejects).sum();
+    assert!(auth_rejects >= 1, "no replica ever severed a forged stream");
+    // The impersonator's valid-MAC-but-undecodable arm passes the MAC
+    // check and must die at the codec instead.
+    let cuts: u64 = report.replicas.iter().map(|r| r.decode_disconnects).sum();
+    assert!(cuts >= 1, "the valid-MAC garbage arm was never cut");
+}
+
+/// The same impersonator against an *unauthenticated* cluster: its forged
+/// checkpoint votes pass for `t + 1` distinct correct senders, and the
+/// cluster commits the attacker's command — the committed log differs from
+/// a clean run of the *identical* workload. (This is the attack
+/// demonstration; the defense is the test above.)
+#[test]
+fn unauthenticated_cluster_accepts_the_forged_stream() {
+    use_built_binary();
+    let clean = run_cluster(&spec(4, 1, vec![Behavior::Silent])).expect("clean cluster");
+    let poisoned = run_cluster(&spec(4, 1, vec![Behavior::Impersonate])).expect("poisoned cluster");
+    assert_eq!(poisoned.replicas.len(), 3);
+    for r in &poisoned.replicas {
+        assert_eq!(r.auth_rejects, 0, "nothing to sever without keys");
+    }
+    // The flood test proves model-legal noise cannot move the m=1 log; the
+    // impersonator's forgery *does* move it.
+    assert!(
+        poisoned
+            .replicas
+            .iter()
+            .all(|r| r.digest != clean.replicas[0].digest),
+        "no replica committed the forged command: clean={:016x} poisoned={:?}",
+        clean.replicas[0].digest,
+        poisoned
+            .replicas
+            .iter()
+            .map(|r| (r.id, r.digest))
+            .collect::<Vec<_>>()
+    );
 }
 
 /// The deterministic m=1 workload commits the *same* log whether the

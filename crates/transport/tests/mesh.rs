@@ -5,10 +5,13 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::time::Duration;
 
+use minsync_auth::HmacAuthenticator;
 use minsync_net::{Env, Node, TimerId};
 use minsync_transport::mesh::{MeshConfig, MeshReport, TcpMesh};
 use minsync_types::ProcessId;
-use minsync_wire::{encode_frame, Hello, DEFAULT_MAX_FRAME, HELLO_LEN, WIRE_VERSION};
+use minsync_wire::{
+    encode_frame, encode_frame_tagged, Hello, DEFAULT_MAX_FRAME, HELLO_LEN, WIRE_VERSION,
+};
 
 /// Outputs every message it receives.
 struct Collector;
@@ -125,11 +128,7 @@ fn garbage_bytes_disconnect_the_peer_not_the_process() {
     let peers = vec![addr, "127.0.0.1:1".parse().unwrap()];
 
     let poker = std::thread::spawn(move || {
-        let hello = Hello {
-            sender: ProcessId::new(1),
-            n: 2,
-        }
-        .encode();
+        let hello = Hello::new(ProcessId::new(1), 2).encode();
         // 1. Valid handshake, then a frame whose payload cannot be one
         //    u64: nine bytes decode eight and leave one trailing.
         let mut s1 = TcpStream::connect(addr).unwrap();
@@ -196,24 +195,12 @@ fn handshake_rejects_wrong_cluster_and_impersonation() {
     let poker = std::thread::spawn(move || {
         // Wrong cluster size.
         let mut s1 = TcpStream::connect(addr).unwrap();
-        s1.write_all(
-            &Hello {
-                sender: ProcessId::new(1),
-                n: 9,
-            }
-            .encode(),
-        )
-        .unwrap();
+        s1.write_all(&Hello::new(ProcessId::new(1), 9).encode())
+            .unwrap();
         // Claiming the host's own id.
         let mut s2 = TcpStream::connect(addr).unwrap();
-        s2.write_all(
-            &Hello {
-                sender: ProcessId::new(0),
-                n: 2,
-            }
-            .encode(),
-        )
-        .unwrap();
+        s2.write_all(&Hello::new(ProcessId::new(0), 2).encode())
+            .unwrap();
         std::thread::sleep(Duration::from_millis(300));
         drop((s1, s2));
     });
@@ -230,8 +217,8 @@ fn handshake_rejects_wrong_cluster_and_impersonation() {
 }
 
 /// A writer whose connection is cut reconnects with backoff and re-sends
-/// its handshake; messages lost to the broken connection are counted as
-/// drops, later messages flow again.
+/// its handshake; frames in flight when the connection broke ride the
+/// replay ring back out, and later messages flow again.
 #[test]
 fn writer_reconnects_after_peer_drops_the_connection() {
     struct Beacon;
@@ -305,11 +292,7 @@ fn newer_connection_from_a_sender_supersedes_the_older_one() {
     let addr = mesh.local_addr().unwrap();
     let peers = vec![addr, "127.0.0.1:1".parse().unwrap()];
     let poker = std::thread::spawn(move || {
-        let hello = Hello {
-            sender: ProcessId::new(1),
-            n: 2,
-        }
-        .encode();
+        let hello = Hello::new(ProcessId::new(1), 2).encode();
         let frame = |v: u64| {
             let mut f = Vec::new();
             encode_frame(&v, &mut f, DEFAULT_MAX_FRAME).unwrap();
@@ -355,5 +338,69 @@ fn newer_connection_from_a_sender_supersedes_the_older_one() {
         events,
         [1, 2],
         "superseded connection's frame must not land"
+    );
+}
+
+/// Key confirmation happens *before* the epoch claim: a forged handshake
+/// racing the genuine sender's connection is rejected without superseding
+/// it, so the impersonator can neither deliver traffic nor knock the real
+/// replica off the mesh — frames sent on the genuine connection after the
+/// forgery storm still land.
+#[test]
+fn forged_handshakes_cannot_evict_the_genuine_connection() {
+    let mut ring = HmacAuthenticator::deal(b"mesh-epoch-test", 2);
+    let peer_auth = ring.remove(1);
+    let my_auth = ring.remove(0);
+    let mesh = TcpMesh::bind(ProcessId::new(0), "127.0.0.1:0".parse().unwrap()).unwrap();
+    let addr = mesh.local_addr().unwrap();
+    let peers = vec![addr, "127.0.0.1:1".parse().unwrap()];
+    let config = MeshConfig {
+        auth: Some(std::sync::Arc::new(my_auth)),
+        ..quick_config()
+    };
+
+    let poker = std::thread::spawn(move || {
+        let frame = |v: u64| {
+            let mut f = Vec::new();
+            encode_frame_tagged(&v, &mut f, DEFAULT_MAX_FRAME, &peer_auth, ProcessId::new(0))
+                .unwrap();
+            f
+        };
+        // The genuine replica 1 connects with a key-confirmed handshake.
+        let mut genuine = TcpStream::connect(addr).unwrap();
+        genuine
+            .write_all(&Hello::authenticated(2, &peer_auth, ProcessId::new(0)).encode())
+            .unwrap();
+        genuine.write_all(&frame(1)).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        // A forgery storm claims the same sender with zeroed tags. If the
+        // epoch were claimed before key confirmation, each of these would
+        // kill the genuine connection.
+        let mut forged = Vec::new();
+        for _ in 0..3 {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&Hello::new(ProcessId::new(1), 2).encode())
+                .unwrap();
+            forged.push(s);
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        std::thread::sleep(Duration::from_millis(200));
+        // The genuine connection must still be live.
+        genuine.write_all(&frame(2)).unwrap();
+        std::thread::sleep(Duration::from_millis(500));
+        drop((genuine, forged));
+    });
+
+    let report = mesh.run(Box::new(Collector), &peers, &config, |outs, counters| {
+        outs.iter().any(|o| o.event == 2) && counters.auth_rejects() >= 3
+    });
+    poker.join().unwrap();
+    assert!(!report.timed_out, "genuine traffic survived the forgeries");
+    let events: Vec<u64> = report.outputs.iter().map(|o| o.event).collect();
+    assert_eq!(events, [1, 2], "both genuine frames on one connection");
+    assert!(report.auth_rejects >= 3, "every forgery was severed");
+    assert_eq!(
+        report.decode_disconnects, 0,
+        "forged bytes never reached the codec"
     );
 }

@@ -16,8 +16,17 @@
 //!   ([`DEFAULT_MAX_FRAME`]).
 //! * **A versioned handshake header** ([`Hello`]): the first bytes on every
 //!   connection are a magic tag, the codec version, the sender's claimed
-//!   process id, and the cluster size. Mismatches reject the connection
-//!   before any protocol traffic is parsed.
+//!   process id, the cluster size, and a key-confirmation tag (all zeros on
+//!   unauthenticated clusters). Mismatches reject the connection before any
+//!   protocol traffic is parsed.
+//! * **Authenticated frames** ([`encode_frame_tagged`] /
+//!   [`verify_frame_tag`]): on authenticated clusters every frame carries a
+//!   [`minsync_auth::Mac`] over its body appended after it, and receivers
+//!   verify the tag **before** handing the body to any decoder — forged
+//!   bytes are rejected by a constant-time tag check, never parsed. The
+//!   frame cap applies to the *body*: a maximum-size message still fits an
+//!   authenticated frame (readers allow [`FRAME_TAG_OVERHEAD`] extra bytes
+//!   via [`tagged_frame_cap`]).
 //!
 //! # Encoding rules
 //!
@@ -65,11 +74,15 @@ mod trace;
 
 use core::fmt;
 
+use minsync_auth::{Authenticator, Mac, MAC_LEN};
 use minsync_types::ProcessId;
 
 /// Codec version carried in every [`Hello`]. Bump on any incompatible
 /// change to an encoding, the framing, or the handshake itself.
-pub const WIRE_VERSION: u16 = 1;
+///
+/// History: v1 — original framing and 14-byte `Hello`; v2 — `Hello` grew
+/// the key-confirmation tag and frames may carry per-message MACs.
+pub const WIRE_VERSION: u16 = 2;
 
 /// Magic tag opening every connection — rejects accidental cross-protocol
 /// connections (a browser, a port scanner) with a clean error instead of a
@@ -119,6 +132,10 @@ pub enum WireError {
         /// The version the peer announced.
         theirs: u16,
     },
+    /// An authentication tag failed to verify (or was missing): the claimed
+    /// sender does not hold the channel key. Transports must cut the
+    /// connection exactly like a decode error.
+    AuthFailed,
 }
 
 impl fmt::Display for WireError {
@@ -140,6 +157,7 @@ impl fmt::Display for WireError {
                     "wire version mismatch: ours {ours}, peer announced {theirs}"
                 )
             }
+            WireError::AuthFailed => write!(f, "authentication tag failed to verify"),
         }
     }
 }
@@ -198,6 +216,15 @@ pub fn encode_frame<T: Wire>(msg: &T, out: &mut Vec<u8>, cap: usize) -> Result<(
     Ok(())
 }
 
+/// A zero-length frame used as an idle-connection liveness probe.
+///
+/// A writer with nothing to send cannot otherwise discover that its peer
+/// closed the connection (TCP only reports the break on the *next* write),
+/// so idle writers emit these probes periodically. Receivers skip them
+/// before MAC verification and before the codec: a keepalive carries no
+/// payload, so forging one achieves nothing.
+pub const KEEPALIVE_FRAME: [u8; 4] = [0, 0, 0, 0];
+
 /// Attempts to split one frame off the front of `buf`.
 ///
 /// Returns `Ok(None)` while the buffer holds only a partial frame (read
@@ -242,16 +269,92 @@ pub fn decode_frame<T: Wire>(mut payload: &[u8]) -> Result<T, WireError> {
 }
 
 // ---------------------------------------------------------------------------
+// Authenticated framing
+// ---------------------------------------------------------------------------
+
+/// Bytes an authenticated frame adds after the body (the MAC tag).
+pub const FRAME_TAG_OVERHEAD: usize = MAC_LEN;
+
+/// The frame-length cap a *reader* must apply on an authenticated
+/// connection: the body cap plus the tag. Using the bare body cap would
+/// reject a maximum-size message the moment authentication is enabled —
+/// the accounting bug this helper exists to prevent (unit-tested at the
+/// exact boundary below).
+pub const fn tagged_frame_cap(cap: usize) -> usize {
+    cap + FRAME_TAG_OVERHEAD
+}
+
+/// Appends one authenticated frame: length prefix, encoded body, then the
+/// MAC over the body for the channel `auth.me() → to`.
+///
+/// The `cap` check applies to the **body** (symmetric with the reader's
+/// [`tagged_frame_cap`]), so any message sendable unauthenticated is
+/// sendable authenticated.
+///
+/// # Errors
+///
+/// [`WireError::FrameTooLarge`] if the encoded body exceeds `cap` (the
+/// frame is not written in that case).
+pub fn encode_frame_tagged<T: Wire>(
+    msg: &T,
+    out: &mut Vec<u8>,
+    cap: usize,
+    auth: &dyn Authenticator,
+    to: ProcessId,
+) -> Result<(), WireError> {
+    let header_at = out.len();
+    out.extend_from_slice(&[0, 0, 0, 0]);
+    msg.encode_into(out);
+    let body_len = out.len() - header_at - 4;
+    if body_len > cap || u32::try_from(body_len + MAC_LEN).is_err() {
+        out.truncate(header_at);
+        return Err(WireError::FrameTooLarge { len: body_len, cap });
+    }
+    let mac = auth.tag(to, &out[header_at + 4..]);
+    out.extend_from_slice(&mac.0);
+    out[header_at..header_at + 4].copy_from_slice(&((body_len + MAC_LEN) as u32).to_le_bytes());
+    Ok(())
+}
+
+/// Verifies an authenticated frame payload's trailing MAC for the channel
+/// `from → auth.me()` and returns the body (everything before the tag),
+/// ready for [`decode_frame`]. This runs **before** any decoding: forged
+/// bytes never reach a parser.
+///
+/// # Errors
+///
+/// [`WireError::AuthFailed`] if the payload is too short to carry a tag or
+/// the tag does not verify.
+pub fn verify_frame_tag<'a>(
+    payload: &'a [u8],
+    auth: &dyn Authenticator,
+    from: ProcessId,
+) -> Result<&'a [u8], WireError> {
+    let Some(body_len) = payload.len().checked_sub(MAC_LEN) else {
+        return Err(WireError::AuthFailed);
+    };
+    let (body, tag) = payload.split_at(body_len);
+    let mac = Mac(tag.try_into().expect("exactly MAC_LEN bytes"));
+    if auth.verify(from, body, &mac) {
+        Ok(body)
+    } else {
+        Err(WireError::AuthFailed)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Handshake
 // ---------------------------------------------------------------------------
 
 /// The fixed-size header opening every connection, sent before any frame.
 ///
-/// Identity caveat: `sender` is *claimed*, not authenticated — the paper's
-/// model assumes no impersonation (Section 2.1), and this transport
-/// substrate inherits that assumption on a trusted network. An
-/// authenticating transport (TLS, MACs) would wrap this layer without
-/// changing the codec.
+/// On an **authenticated** cluster `auth_tag` carries a key-confirmation
+/// MAC over the header fields for the dialed peer (build with
+/// [`Hello::authenticated`], check with [`Hello::verify_auth`]): completing
+/// the handshake proves the dialer holds the channel key, so a claimed
+/// sender id is *proven*, not trusted. On unauthenticated clusters the tag
+/// is all zeros and ignored — the paper's no-impersonation assumption
+/// (Section 2.1) is then inherited from the network, as before.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Hello {
     /// The sender's claimed process id.
@@ -259,22 +362,69 @@ pub struct Hello {
     /// The cluster size the sender was configured with; receivers reject a
     /// mismatch (two clusters accidentally sharing ports fail fast).
     pub n: u32,
+    /// Key-confirmation tag over the preceding header fields (zeros when
+    /// the cluster runs unauthenticated).
+    pub auth_tag: [u8; MAC_LEN],
 }
 
-/// Encoded size of a [`Hello`] in bytes (magic + version + sender + n).
-pub const HELLO_LEN: usize = 4 + 2 + 4 + 4;
+/// Encoded size of a [`Hello`] in bytes
+/// (magic + version + sender + n + auth tag).
+pub const HELLO_LEN: usize = HELLO_MAC_COVERED + MAC_LEN;
+
+/// The [`Hello`] prefix the key-confirmation tag covers
+/// (magic + version + sender + n).
+const HELLO_MAC_COVERED: usize = 4 + 2 + 4 + 4;
 
 impl Hello {
-    /// Appends the handshake header to `out`.
-    pub fn encode_into(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&MAGIC);
-        out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
-        out.extend_from_slice(
+    /// An unauthenticated handshake header (all-zero tag).
+    pub fn new(sender: ProcessId, n: u32) -> Self {
+        Hello {
+            sender,
+            n,
+            auth_tag: [0; MAC_LEN],
+        }
+    }
+
+    /// An authenticated handshake header for the connection
+    /// `auth.me() → to`: the tag MACs the header fields (magic and version
+    /// included), so a receiver verifying it knows the dialer holds the
+    /// pair key *and* meant this exact header.
+    pub fn authenticated(n: u32, auth: &dyn Authenticator, to: ProcessId) -> Self {
+        let mut hello = Hello::new(auth.me(), n);
+        hello.auth_tag = auth.tag(to, &hello.mac_covered()).0;
+        hello
+    }
+
+    /// The header bytes the key-confirmation tag covers.
+    fn mac_covered(&self) -> [u8; HELLO_MAC_COVERED] {
+        let mut out = [0u8; HELLO_MAC_COVERED];
+        out[..4].copy_from_slice(&MAGIC);
+        out[4..6].copy_from_slice(&WIRE_VERSION.to_le_bytes());
+        out[6..10].copy_from_slice(
             &u32::try_from(self.sender.index())
                 .unwrap_or(u32::MAX)
                 .to_le_bytes(),
         );
-        out.extend_from_slice(&self.n.to_le_bytes());
+        out[10..14].copy_from_slice(&self.n.to_le_bytes());
+        out
+    }
+
+    /// Verifies the key-confirmation tag against the claimed sender — the
+    /// receiver-side half of [`Hello::authenticated`]. Returns false for a
+    /// zeroed (unauthenticated) tag: on an authenticated cluster a legacy
+    /// or forged handshake must not pass.
+    pub fn verify_auth(&self, auth: &dyn Authenticator) -> bool {
+        auth.verify(
+            self.sender,
+            &self.mac_covered(),
+            &minsync_auth::Mac(self.auth_tag),
+        )
+    }
+
+    /// Appends the handshake header to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.mac_covered());
+        out.extend_from_slice(&self.auth_tag);
     }
 
     /// Decodes and validates a handshake header from the front of `input`.
@@ -299,10 +449,12 @@ impl Hello {
         }
         let sender = u32::from_le_bytes(bytes[6..10].try_into().expect("4 bytes"));
         let n = u32::from_le_bytes(bytes[10..14].try_into().expect("4 bytes"));
+        let auth_tag = bytes[14..HELLO_LEN].try_into().expect("MAC_LEN bytes");
         *input = &input[HELLO_LEN..];
         Ok(Hello {
             sender: ProcessId::new(sender as usize),
             n,
+            auth_tag,
         })
     }
 
@@ -331,6 +483,22 @@ mod tests {
             .unwrap();
         assert_eq!(decode_frame::<u64>(payload2).unwrap(), 9);
         assert_eq!(used + used2, buf.len());
+    }
+
+    #[test]
+    fn keepalive_splits_as_an_empty_frame() {
+        // A keepalive probe is an ordinary zero-length frame: it splits off
+        // cleanly (consuming exactly its header) and never reaches the
+        // codec, and a frame queued right behind it is unaffected.
+        let mut buf = KEEPALIVE_FRAME.to_vec();
+        encode_frame(&7u64, &mut buf, DEFAULT_MAX_FRAME).unwrap();
+        let (payload, used) = split_frame(&buf, DEFAULT_MAX_FRAME).unwrap().unwrap();
+        assert!(payload.is_empty());
+        assert_eq!(used, KEEPALIVE_FRAME.len());
+        let (next, _) = split_frame(&buf[used..], DEFAULT_MAX_FRAME)
+            .unwrap()
+            .unwrap();
+        assert_eq!(decode_frame::<u64>(next).unwrap(), 7);
     }
 
     #[test]
@@ -375,10 +543,7 @@ mod tests {
 
     #[test]
     fn hello_round_trips() {
-        let hello = Hello {
-            sender: ProcessId::new(3),
-            n: 7,
-        };
+        let hello = Hello::new(ProcessId::new(3), 7);
         let bytes = hello.encode();
         assert_eq!(bytes.len(), HELLO_LEN);
         let mut input = bytes.as_slice();
@@ -388,10 +553,7 @@ mod tests {
 
     #[test]
     fn hello_rejects_magic_version_and_truncation() {
-        let hello = Hello {
-            sender: ProcessId::new(0),
-            n: 4,
-        };
+        let hello = Hello::new(ProcessId::new(0), 4);
         let good = hello.encode();
 
         let mut short = &good[..HELLO_LEN - 1];
@@ -421,5 +583,115 @@ mod tests {
         .to_string();
         assert!(s.contains("SmrMsg"));
         assert!(WireError::Truncated.to_string().contains("truncated"));
+        assert!(WireError::AuthFailed.to_string().contains("tag"));
+    }
+
+    // -- authenticated framing --------------------------------------------
+
+    use minsync_auth::HmacAuthenticator;
+
+    fn pair() -> (HmacAuthenticator, HmacAuthenticator) {
+        let mut ring = HmacAuthenticator::deal(b"wire-test-master", 4).into_iter();
+        let a = ring.next().unwrap();
+        let b = ring.next().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn tagged_frames_round_trip_through_verification() {
+        let (a, b) = pair();
+        let mut buf = Vec::new();
+        encode_frame_tagged(
+            &0xFEEDu64,
+            &mut buf,
+            DEFAULT_MAX_FRAME,
+            &a,
+            ProcessId::new(1),
+        )
+        .unwrap();
+        let (payload, used) = split_frame(&buf, tagged_frame_cap(DEFAULT_MAX_FRAME))
+            .unwrap()
+            .unwrap();
+        assert_eq!(used, buf.len());
+        let body = verify_frame_tag(payload, &b, ProcessId::new(0)).unwrap();
+        assert_eq!(decode_frame::<u64>(body).unwrap(), 0xFEED);
+    }
+
+    #[test]
+    fn forged_and_truncated_tags_fail_before_decode() {
+        let (a, b) = pair();
+        let mut buf = Vec::new();
+        encode_frame_tagged(&7u64, &mut buf, DEFAULT_MAX_FRAME, &a, ProcessId::new(1)).unwrap();
+        let (payload, _) = split_frame(&buf, tagged_frame_cap(DEFAULT_MAX_FRAME))
+            .unwrap()
+            .unwrap();
+        // Bit-flip anywhere — body or tag — and verification fails.
+        for i in 0..payload.len() {
+            let mut flipped = payload.to_vec();
+            flipped[i] ^= 0x01;
+            assert_eq!(
+                verify_frame_tag(&flipped, &b, ProcessId::new(0)),
+                Err(WireError::AuthFailed),
+                "bit flip at {i} must be caught"
+            );
+        }
+        // Wrong claimed sender: the pair key differs.
+        assert_eq!(
+            verify_frame_tag(payload, &b, ProcessId::new(2)),
+            Err(WireError::AuthFailed)
+        );
+        // Too short to even hold a tag.
+        assert_eq!(
+            verify_frame_tag(&payload[..MAC_LEN - 1], &b, ProcessId::new(0)),
+            Err(WireError::AuthFailed)
+        );
+    }
+
+    /// The `DEFAULT_MAX_FRAME` accounting fix, pinned exactly at the
+    /// boundary: a body of exactly `cap` bytes must encode and pass a
+    /// reader using [`tagged_frame_cap`], while `cap + 1` must fail on the
+    /// encode side — authentication adds overhead without stealing payload
+    /// capacity or over-admitting.
+    #[test]
+    fn tagged_frame_boundary_exactly_at_the_cap() {
+        let (a, b) = pair();
+        let cap = 4 + 256; // Vec<u8> encodes as u32 count + bytes
+        let body_at_cap: Vec<u8> = vec![0xAB; 256];
+        let mut buf = Vec::new();
+        encode_frame_tagged(&body_at_cap, &mut buf, cap, &a, ProcessId::new(1))
+            .expect("a body of exactly cap bytes fits an authenticated frame");
+        assert_eq!(buf.len(), 4 + cap + FRAME_TAG_OVERHEAD);
+        // A reader still applying the bare cap would reject this frame —
+        // the exact bug the tagged cap prevents.
+        assert!(matches!(
+            split_frame(&buf, cap),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+        let (payload, _) = split_frame(&buf, tagged_frame_cap(cap)).unwrap().unwrap();
+        let body = verify_frame_tag(payload, &b, ProcessId::new(0)).unwrap();
+        assert_eq!(decode_frame::<Vec<u8>>(body).unwrap(), body_at_cap);
+        // One byte past the cap: rejected at encode time, buffer untouched.
+        let over: Vec<u8> = vec![0xAB; 257];
+        let mut buf2 = Vec::new();
+        assert!(matches!(
+            encode_frame_tagged(&over, &mut buf2, cap, &a, ProcessId::new(1)),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+        assert!(buf2.is_empty());
+    }
+
+    #[test]
+    fn authenticated_hello_verifies_and_rejects_forgery() {
+        let ring = HmacAuthenticator::deal(b"hello-master", 4);
+        let hello = Hello::authenticated(4, &ring[1], ProcessId::new(2));
+        assert_eq!(hello.sender, ProcessId::new(1));
+        let decoded = Hello::decode(&mut hello.encode().as_slice()).unwrap();
+        assert!(decoded.verify_auth(&ring[2]));
+        // The wrong receiver, a zeroed tag, and a lying sender id all fail.
+        assert!(!decoded.verify_auth(&ring[3]));
+        assert!(!Hello::new(ProcessId::new(1), 4).verify_auth(&ring[2]));
+        let mut lying = hello;
+        lying.sender = ProcessId::new(3);
+        assert!(!lying.verify_auth(&ring[2]));
     }
 }

@@ -4,6 +4,7 @@
 //! garbage, absurd length announcements — never panic and never make the
 //! decoder allocate beyond the frame cap.
 
+use minsync_auth::{HmacAuthenticator, QuorumCert, Sig};
 use minsync_broadcast::RbMsg;
 use minsync_core::{CbId, ProtocolMsg, RbTag};
 use minsync_net::sim::{CauseRecord, EffectRecord, InvocationCause};
@@ -11,7 +12,8 @@ use minsync_net::{Effect, TimerId, VirtualTime};
 use minsync_smr::SmrMsg;
 use minsync_types::{ProcessId, Round};
 use minsync_wire::{
-    decode_frame, encode_frame, split_frame, Hello, Wire, WireError, DEFAULT_MAX_FRAME,
+    decode_frame, encode_frame, encode_frame_tagged, split_frame, tagged_frame_cap,
+    verify_frame_tag, Hello, Wire, WireError, DEFAULT_MAX_FRAME,
 };
 use minsync_workload::Batch;
 use proptest::prelude::*;
@@ -74,11 +76,28 @@ fn arb_protocol_msg() -> impl Strategy<Value = ProtocolMsg<Batch>> {
     ]
 }
 
+fn arb_sig() -> impl Strategy<Value = Sig> {
+    (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(a, b, c, d)| {
+        let mut bytes = [0u8; 32];
+        for (chunk, word) in bytes.chunks_exact_mut(8).zip([a, b, c, d]) {
+            chunk.copy_from_slice(&word.to_le_bytes());
+        }
+        Sig(bytes)
+    })
+}
+
+fn arb_cert() -> impl Strategy<Value = QuorumCert> {
+    proptest::collection::vec((arb_process(), arb_sig()), 0..6).prop_map(QuorumCert::from_sigs)
+}
+
 fn arb_smr_msg() -> impl Strategy<Value = SmrMsg<Batch>> {
     prop_oneof![
         (any::<u64>(), arb_protocol_msg()).prop_map(|(slot, msg)| SmrMsg::Slot { slot, msg }),
         any::<u64>().prop_map(|slot| SmrMsg::Ack { slot }),
         (any::<u64>(), arb_batch()).prop_map(|(slot, value)| SmrMsg::Checkpoint { slot, value }),
+        (any::<u64>(), arb_sig()).prop_map(|(slot, sig)| SmrMsg::SigAck { slot, sig }),
+        (any::<u64>(), arb_batch(), arb_cert())
+            .prop_map(|(slot, value, cert)| SmrMsg::CertCheckpoint { slot, value, cert }),
     ]
 }
 
@@ -263,7 +282,7 @@ proptest! {
         let at = (at_seed as usize) % bytes.len();
         bytes[at] ^= flip;
         let _ = decode_frame::<SmrMsg<Batch>>(&bytes);
-        let mut hello = Hello { sender: ProcessId::new(1), n: 4 }.encode();
+        let mut hello = Hello::new(ProcessId::new(1), 4).encode();
         let h_at = at % hello.len();
         hello[h_at] ^= flip;
         let _ = Hello::decode(&mut hello.as_slice());
@@ -311,5 +330,53 @@ proptest! {
         if count as usize > body.len() {
             prop_assert_eq!(result, Err(WireError::Truncated));
         }
+        // Same property for the certificate container: each claimed entry
+        // needs 36 bytes of input.
+        let mut bytes = count.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&body);
+        let result = QuorumCert::decode(&mut bytes.as_slice());
+        if count as usize > body.len() / 36 {
+            prop_assert_eq!(result, Err(WireError::Truncated));
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Authenticated frames: tampering is rejected, never a panic
+    // -----------------------------------------------------------------------
+
+    /// Authenticated frames survive the round trip; any single bit flip,
+    /// truncation, or sender-id lie fails verification cleanly (and the
+    /// body is never handed to the decoder on failure).
+    #[test]
+    fn tagged_frames_reject_tampering_without_panicking(
+        msg in arb_smr_msg(),
+        at_seed in any::<u64>(),
+        flip in 1u8..=255,
+        cut_seed in any::<u64>(),
+    ) {
+        let ring = HmacAuthenticator::deal(b"prop-wire-master", 4);
+        let mut frame = Vec::new();
+        encode_frame_tagged(&msg, &mut frame, DEFAULT_MAX_FRAME, &ring[0], ProcessId::new(1))
+            .expect("fits the cap");
+        let (payload, used) = split_frame(&frame, tagged_frame_cap(DEFAULT_MAX_FRAME))
+            .expect("header valid")
+            .expect("frame complete");
+        prop_assert_eq!(used, frame.len());
+        let body = verify_frame_tag(payload, &ring[1], ProcessId::new(0))
+            .expect("genuine tag verifies");
+        prop_assert_eq!(&decode_frame::<SmrMsg<Batch>>(body).expect("decodes"), &msg);
+        // One flipped bit anywhere — body or tag — is caught by the MAC.
+        let mut flipped = payload.to_vec();
+        let at = (at_seed as usize) % flipped.len();
+        flipped[at] ^= flip;
+        prop_assert_eq!(
+            verify_frame_tag(&flipped, &ring[1], ProcessId::new(0)),
+            Err(WireError::AuthFailed)
+        );
+        // Truncations and sender-id lies fail cleanly too.
+        let cut = (cut_seed as usize) % payload.len();
+        prop_assert!(verify_frame_tag(&payload[..cut], &ring[1], ProcessId::new(0)).is_err());
+        prop_assert!(verify_frame_tag(payload, &ring[1], ProcessId::new(2)).is_err());
+        prop_assert!(verify_frame_tag(payload, &ring[1], ProcessId::new(77)).is_err());
     }
 }

@@ -15,6 +15,9 @@
 //! * [`core`] — adopt-commit (Figure 2), eventual agreement (Figure 3, plus
 //!   the parameterized variant of Section 5.4), the consensus algorithm
 //!   (Figure 4), and the ⊥-validity variant (Section 7);
+//! * [`auth`] — message authentication (hand-rolled SHA-256/HMAC pinned to
+//!   published vectors, pairwise MACs, toy signatures, quorum
+//!   certificates) closing the transport's no-impersonation gap;
 //! * [`adversary`] — Byzantine behaviors and adversarial schedulers;
 //! * [`baselines`] — Ben-Or-style randomized binary consensus for
 //!   comparison;
@@ -52,6 +55,7 @@
 #![forbid(unsafe_code)]
 
 pub use minsync_adversary as adversary;
+pub use minsync_auth as auth;
 pub use minsync_baselines as baselines;
 pub use minsync_broadcast as broadcast;
 pub use minsync_conformance as conformance;
