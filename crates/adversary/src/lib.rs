@@ -30,7 +30,11 @@
 //! * [`oracles`] — delay oracles for the simulator's
 //!   [`DelayOracle`](minsync_net::sim::DelayOracle) hook, which schedule the
 //!   channels the model leaves asynchronous as adversarially as the model
-//!   allows.
+//!   allows;
+//! * [`churn`] — time-windowed dynamic faults (partitions that heal,
+//!   isolation that models crash/restart, rotating-GST schedules, adaptive
+//!   targeting) for the [`ScheduleOracle`](minsync_net::sim::ScheduleOracle)
+//!   seam, driving the liveness-under-churn scenarios of experiment E13.
 //!
 //! With one flagged exception ([`impersonate`]), everything here is
 //! *model-legal*: safety properties of the protocols must hold against any
@@ -39,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 mod filter;
 mod flood;
 pub mod impersonate;
@@ -48,6 +53,7 @@ mod random_node;
 mod replay;
 mod silent;
 
+pub use churn::{ChurnOracle, ChurnWindow, Disruption};
 pub use filter::FilterNode;
 pub use flood::FloodNode;
 pub use impersonate::{CaptureHandle, CaptureNode};

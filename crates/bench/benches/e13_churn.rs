@@ -1,0 +1,54 @@
+//! E13 — churn recovery wall-clock: full cost of a partition+heal cluster
+//! run (spawn an n-process `minsync-node` cluster, cut one replica off
+//! mid-run over the control pipe, heal, and drain to digest-identical
+//! logs).
+//!
+//! The interesting delta is against `BENCH_e11.json`'s clean cluster
+//! drain: the gap is what a ~140 ms message-level partition costs end to
+//! end, including the checkpoint-push catch-up of the healed side. Like
+//! E11 this hand-rolls its loop to emit a machine-readable
+//! `BENCH_e13.json` (min/mean/max nanoseconds per case) that successive
+//! PRs diff with `bench_diff`. Invoked without `--bench` (e.g. `cargo
+//! test --benches`) it smoke-runs every case once and writes nothing.
+//!
+//! Requires the `minsync-node` binary next to this bench's own profile
+//! directory (`cargo build --release -p minsync-transport` for `cargo
+//! bench`); the cluster layer's discovery handles the rest.
+//!
+//! Flags (after `--`): `--smoke` (three samples per case), `--json PATH`
+//! (redirect the report; the default workspace-root `BENCH_e13.json` is
+//! only written on full runs).
+
+use std::time::Instant;
+
+use criterion::black_box;
+use minsync_bench::{CaseStats, JsonBenchRun};
+use minsync_harness::experiments::e13_churn;
+
+fn main() {
+    let Some(run) = JsonBenchRun::from_env("e13_churn", 10) else {
+        return;
+    };
+    let samples = run.samples;
+    // The plan partitions one replica 10 ms in and heals at 150 ms, so
+    // every sample is dominated by the heal-and-catch-up path; the
+    // command count is fixed and n is the swept variable.
+    const COMMANDS_PER_CLIENT: usize = 8;
+    let mut cases = Vec::new();
+    for (n, t) in [(4usize, 1usize), (7, 2)] {
+        let mut times = Vec::with_capacity(samples);
+        let mut cluster_ns = 0u128;
+        for _ in 0..samples {
+            let start = Instant::now();
+            cluster_ns = black_box(e13_churn::bench_one(n, t, COMMANDS_PER_CLIENT));
+            times.push(start.elapsed());
+        }
+        let stats = CaseStats::from_times(format!("partition-heal/n={n}"), &times);
+        println!(
+            "e13_churn/{}: mean {}ns, min {}ns, max {}ns ({} samples, cluster {}ns)",
+            stats.name, stats.mean_ns, stats.min_ns, stats.max_ns, stats.samples, cluster_ns
+        );
+        cases.push(stats);
+    }
+    run.write_report("e13_churn", "BENCH_e13.json", &cases);
+}

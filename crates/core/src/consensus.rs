@@ -30,6 +30,7 @@ use crate::events::{AcTag, ConsensusEvent};
 use crate::eventual_agreement::{EaAction, EaObject};
 use crate::messages::{CbId, ProtocolMsg, RbTag};
 use crate::timeout::TimeoutPolicy;
+use crate::view_sync::ViewSynchronizer;
 
 /// A deliberately seeded protocol bug, used only by the conformance
 /// suite's mutation smoke: the schedule explorer must be able to find the
@@ -150,10 +151,9 @@ pub struct ConsensusNode<V> {
     /// Counts RB-delivered `DECIDE(v)` per value; `t + 1` triggers decision.
     decide_votes: CbInstance<V>,
     est: V,
-    round: Round,
     phase: Phase,
-    timers: BTreeMap<TimerId, Round>,
-    timer_of_round: BTreeMap<Round, TimerId>,
+    /// Round advancement + round-timer ownership (see [`ViewSynchronizer`]).
+    sync: ViewSynchronizer,
     decide_broadcast: bool,
     decided: Option<V>,
 }
@@ -184,10 +184,8 @@ impl<V: Value> ConsensusNode<V> {
             ac_rounds: BTreeMap::new(),
             decide_votes: CbInstance::new(cfg.system),
             est: proposal,
-            round: Round::FIRST,
             phase: Phase::AwaitValid,
-            timers: BTreeMap::new(),
-            timer_of_round: BTreeMap::new(),
+            sync: ViewSynchronizer::new(cfg.timeout),
             decide_broadcast: false,
             decided: None,
         })
@@ -200,7 +198,13 @@ impl<V: Value> ConsensusNode<V> {
 
     /// The round the loop is currently in.
     pub fn current_round(&self) -> Round {
-        self.round
+        self.sync.current()
+    }
+
+    /// The view synchronizer (round position + live round timers) — exposed
+    /// for harness/telemetry inspection.
+    pub fn synchronizer(&self) -> &ViewSynchronizer {
+        &self.sync
     }
 
     /// The current estimate `est_i`.
@@ -236,15 +240,10 @@ impl<V: Value> ConsensusNode<V> {
                 EaAction::RbBroadcast { tag, value } => self.rb_broadcast(tag, value, env),
                 EaAction::Broadcast(msg) => env.broadcast(msg),
                 EaAction::SetTimer { round, delay } => {
-                    let id = env.set_timer(delay);
-                    self.timers.insert(id, round);
-                    self.timer_of_round.insert(round, id);
+                    self.sync.arm_with(round, delay, env);
                 }
                 EaAction::CancelTimer { round } => {
-                    if let Some(id) = self.timer_of_round.remove(&round) {
-                        self.timers.remove(&id);
-                        env.cancel_timer(id);
-                    }
+                    self.sync.cancel(round, env);
                 }
                 EaAction::Returned { round, value, fast } => {
                     self.on_ea_returned(round, value, fast, env)
@@ -319,7 +318,7 @@ impl<V: Value> ConsensusNode<V> {
                 return;
             }
         }
-        self.round = r;
+        self.sync.advance_to(r);
         self.phase = Phase::InEa;
         env.output(ConsensusEvent::RoundStarted { round: r });
         let acts = self.ea.propose(r, self.est.clone());
@@ -328,7 +327,7 @@ impl<V: Value> ConsensusNode<V> {
 
     /// Line 5 plus entry into line 6.
     fn on_ea_returned(&mut self, round: Round, value: V, fast: bool, env: &mut Ctx<V>) {
-        if self.decided.is_some() || self.phase != Phase::InEa || round != self.round {
+        if self.decided.is_some() || self.phase != Phase::InEa || round != self.sync.current() {
             return;
         }
         // Line 5: adopt only values CB[0] certifies as coming from a
@@ -345,7 +344,7 @@ impl<V: Value> ConsensusNode<V> {
     }
 
     fn try_advance_ac(&mut self, r: Round, env: &mut Ctx<V>) {
-        if self.decided.is_some() || r != self.round {
+        if self.decided.is_some() || r != self.sync.current() {
             return;
         }
         if self.phase == Phase::AwaitAcCb {
@@ -359,7 +358,7 @@ impl<V: Value> ConsensusNode<V> {
             self.rb_broadcast(RbTag::AcEst(r), est2, env);
             // rb_broadcast may have recursed into try_advance_ac and
             // completed the round; re-check the phase before continuing.
-            if self.phase != Phase::AwaitAcEst || self.round != r {
+            if self.phase != Phase::AwaitAcEst || self.sync.current() != r {
                 return;
             }
         }
@@ -400,10 +399,7 @@ impl<V: Value> ConsensusNode<V> {
         self.phase = Phase::Stopped;
         // Cancel every pending timer: the round loop is over. The RB layer
         // stays live (see module docs).
-        for (id, _) in std::mem::take(&mut self.timers) {
-            env.cancel_timer(id);
-        }
-        self.timer_of_round.clear();
+        self.sync.cancel_all(env);
         // Release per-round state: a decided process ignores EA/AC traffic,
         // so the accumulated round maps are dead weight. (The RB engine is
         // kept: other correct processes still need its echoes/readies.)
@@ -464,8 +460,7 @@ impl<V: Value> Node for ConsensusNode<V> {
     }
 
     fn on_timer(&mut self, timer: TimerId, env: &mut Ctx<V>) {
-        if let Some(round) = self.timers.remove(&timer) {
-            self.timer_of_round.remove(&round);
+        if let Some(round) = self.sync.expire(timer) {
             if self.decided.is_none() {
                 let acts = self.ea.on_timer_expired(round);
                 self.apply_ea(acts, env);

@@ -43,6 +43,7 @@ use minsync_types::{ProcessId, Round, RoundSchedule, SystemConfig, Value};
 
 use crate::messages::{CbId, ProtocolMsg, RbTag};
 use crate::timeout::TimeoutPolicy;
+use crate::view_sync::ViewSynchronizer;
 
 /// Effects the host must apply after feeding the EA object.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -461,9 +462,8 @@ pub struct EaNode<V> {
     max_rounds: u64,
     rb: Option<RbEngine<RbTag, V>>,
     ea: EaObject<V>,
-    current: Round,
-    timers: BTreeMap<TimerId, Round>,
-    timer_of_round: BTreeMap<Round, TimerId>,
+    /// Round position + round-timer ownership.
+    sync: ViewSynchronizer,
 }
 
 impl<V: Value> EaNode<V> {
@@ -487,9 +487,7 @@ impl<V: Value> EaNode<V> {
             max_rounds,
             rb: None,
             ea: EaObject::new(cfg, schedule, me, policy),
-            current: Round::FIRST,
-            timers: BTreeMap::new(),
-            timer_of_round: BTreeMap::new(),
+            sync: ViewSynchronizer::new(policy),
         }
     }
 
@@ -504,24 +502,19 @@ impl<V: Value> EaNode<V> {
                 }
                 EaAction::Broadcast(msg) => env.broadcast(msg),
                 EaAction::SetTimer { round, delay } => {
-                    let id = env.set_timer(delay);
-                    self.timers.insert(id, round);
-                    self.timer_of_round.insert(round, id);
+                    self.sync.arm_with(round, delay, env);
                 }
                 EaAction::CancelTimer { round } => {
-                    if let Some(id) = self.timer_of_round.remove(&round) {
-                        self.timers.remove(&id);
-                        env.cancel_timer(id);
-                    }
+                    self.sync.cancel(round, env);
                 }
                 EaAction::Returned { round, value, fast } => {
                     self.estimate = value.clone();
                     env.output(EaNodeEvent::Returned { round, value, fast });
                     if round.get() >= self.max_rounds {
                         env.halt();
-                    } else if round == self.current {
-                        self.current = round.next();
-                        let next = self.ea.propose(self.current, self.estimate.clone());
+                    } else if round == self.sync.current() {
+                        self.sync.advance_to(round.next());
+                        let next = self.ea.propose(self.sync.current(), self.estimate.clone());
                         self.apply(next, env);
                     }
                 }
@@ -588,8 +581,7 @@ impl<V: Value> Node for EaNode<V> {
     }
 
     fn on_timer(&mut self, timer: TimerId, env: &mut Env<ProtocolMsg<V>, EaNodeEvent<V>>) {
-        if let Some(round) = self.timers.remove(&timer) {
-            self.timer_of_round.remove(&round);
+        if let Some(round) = self.sync.expire(timer) {
             let actions = self.ea.on_timer_expired(round);
             self.apply(actions, env);
         }

@@ -53,6 +53,7 @@ mod events;
 pub mod eventual_agreement;
 mod messages;
 mod timeout;
+pub mod view_sync;
 
 pub use adopt_commit::{AcNode, AcNodeEvent, AcOutcome, AcRound};
 pub use bot_variant::{BotConsensusNode, BotEvent, BotMsg};
@@ -61,3 +62,4 @@ pub use events::{AcTag, ConsensusEvent};
 pub use eventual_agreement::{EaAction, EaNode, EaNodeEvent, EaObject};
 pub use messages::{CbId, ProtocolMsg, RbTag};
 pub use timeout::TimeoutPolicy;
+pub use view_sync::ViewSynchronizer;

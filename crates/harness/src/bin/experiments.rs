@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (E1–E11, E14, E15).
+//! Regenerates every experiment table (E1–E11, E13–E15).
 //!
 //! ```text
 //! cargo run -p minsync-harness --release --bin experiments [-- --quick] [--csv DIR] [e1 e3 ...]
@@ -10,7 +10,8 @@
 //! `--list` prints the experiment catalog (id + one-line description) and
 //! exits without running anything.
 //!
-//! E11 and E15 spawn real `minsync-node` OS processes — build them first
+//! E11, E13, and E15 spawn real `minsync-node` OS processes — build them
+//! first
 //! (`cargo build --release -p minsync-transport`) or they abort with a hint.
 
 use minsync_harness::experiments;
@@ -75,6 +76,11 @@ fn catalog() -> Vec<(&'static str, &'static str, Runner)> {
             "e11",
             "TCP cluster: n OS processes over minsync-wire on 127.0.0.1, wall-clock throughput/latency, silent+flood riders",
             experiments::e11_transport::run,
+        ),
+        (
+            "e13",
+            "Liveness under churn: partition/heal, crash/rejoin via WAL, moving GST, adaptive champion targeting — sim + cluster",
+            experiments::e13_churn::run,
         ),
         (
             "e14",

@@ -89,6 +89,18 @@ fn run_case(spec: &ClusterSpec) -> ClusterReport {
             "E11 n={} riders={:?}: replica {} stalled at {}/{} commands",
             spec.n, spec.riders, r.id, r.committed, report.total_commands
         );
+        if spec.riders.is_empty() {
+            // A clean run must never touch the flow-control cap or the MAC
+            // check: future traffic is bounded by the pipeline width and no
+            // honest frame fails verification, so a nonzero counter means
+            // honest traffic was discarded. Retired drops are NOT zero by
+            // invariant — a peer's instance can answer a straggler's echo
+            // *after* acking the slot, and that relay races the straggler's
+            // own ack on a different TCP stream — so they are surfaced in
+            // the table but only asserted in the deterministic sim (E13).
+            assert_eq!(r.future_drops, 0, "E11 clean run dropped future traffic");
+            assert_eq!(r.auth_rejects, 0, "E11 clean run rejected a frame");
+        }
     }
     report
 }

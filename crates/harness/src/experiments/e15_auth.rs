@@ -95,6 +95,16 @@ fn run_case(spec: &ClusterSpec) -> ClusterReport {
             "E15 n={} auth={}: replica {} stalled at {}/{} commands",
             spec.n, spec.auth, r.id, r.committed, report.total_commands
         );
+        if spec.riders.iter().all(|&b| b == Behavior::Silent) {
+            // With no rider actively injecting traffic (silent ones only
+            // occupy fault slots), the flow-control cap and the MAC check
+            // must stay untouched — a nonzero counter means an honest frame
+            // was discarded. Retired drops can race honestly (a peer's
+            // late slot relay vs. the straggler's own ack on another TCP
+            // stream), so they are surfaced but not asserted; see E11.
+            assert_eq!(r.future_drops, 0, "E15 clean run dropped future traffic");
+            assert_eq!(r.auth_rejects, 0, "E15 clean run rejected a frame");
+        }
     }
     report
 }

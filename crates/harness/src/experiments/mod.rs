@@ -1,4 +1,4 @@
-//! The experiment suite E1–E11 plus E14 and E15 (see `EXPERIMENTS.md` for
+//! The experiment suite E1–E11 plus E13–E15 (see `EXPERIMENTS.md` for
 //! the paper-vs-measured record).
 //!
 //! Every experiment is a pure function `run(quick) -> Table`; `quick = true`
@@ -9,6 +9,7 @@
 
 pub mod e10_smr;
 pub mod e11_transport;
+pub mod e13_churn;
 pub mod e14_conformance;
 pub mod e15_auth;
 pub mod e1_cb;
@@ -38,6 +39,7 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e9_message_complexity::run(quick),
         e10_smr::run(quick),
         e11_transport::run(quick),
+        e13_churn::run(quick),
         e14_conformance::run(quick),
         e15_auth::run(quick),
     ]
@@ -68,7 +70,7 @@ mod tests {
     #[test]
     fn quick_suite_produces_all_tables() {
         let tables = run_all(true);
-        assert_eq!(tables.len(), 13);
+        assert_eq!(tables.len(), 14);
         for t in &tables {
             assert!(!t.rows().is_empty(), "{} produced no rows", t.title());
         }

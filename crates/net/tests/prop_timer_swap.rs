@@ -1,0 +1,175 @@
+//! Property tests of [`TimerTable`] re-arm semantics under
+//! [`Env::swap_timers`] — the wrapper-node idiom `ReplicaNode` leans on
+//! (the table travels into a child environment before every inner drive
+//! and back out after) and the crash-restart replay path (ids applied
+//! verbatim from a recorded trace adopt their slot's generation).
+//!
+//! The oracle is the documented contract, which matches the pre-slab
+//! id-set design: `SetTimer` schedules one firing, `CancelTimer`
+//! suppresses exactly one subsequent matching firing (even when applied
+//! before the arm), a drained id never fires again, and ids are unique
+//! for the lifetime of the table. Slot recycling and generation packing
+//! are implementation details the oracle deliberately knows nothing
+//! about.
+
+use std::collections::BTreeSet;
+
+use minsync_net::{Env, TimerId, TimerTable};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Oracle state for one allocated id.
+#[derive(Clone, Copy, Default)]
+struct ModelTimer {
+    /// Scheduled firings not yet consumed.
+    armed: u32,
+    /// One pending suppression (a bool, not a count: the table's contract).
+    cancel: bool,
+    /// The id fully drained once; the contract promises it stays dead.
+    drained: bool,
+}
+
+impl ModelTimer {
+    /// The oracle's `try_fire`: whether the node handler should run.
+    fn fire(&mut self) -> bool {
+        if self.drained || self.armed == 0 {
+            return false;
+        }
+        let fire = !self.cancel;
+        self.cancel = false;
+        self.armed -= 1;
+        if self.armed == 0 {
+            self.drained = true;
+        }
+        fire
+    }
+}
+
+/// One step of a generated schedule: `(opcode, operand)`. The operand
+/// picks an id (modulo the live count) where one is needed.
+type OpStream = Vec<(u8, u8)>;
+
+/// Replays `ops` against a *logical* table that hops between two
+/// environments via `swap_timers` whenever the schedule says so (skipped
+/// entirely when `honor_swaps` is false, for the transparency check).
+/// Returns the observable trace: every allocated id and every `try_fire`
+/// verdict, in order. Panics if the table ever disagrees with the oracle.
+fn replay(ops: &OpStream, honor_swaps: bool) -> (Vec<TimerId>, Vec<bool>) {
+    let mut envs: [Env<(), ()>; 2] = [Env::new(4, 0), Env::new(4, 0)];
+    let mut cur = 0usize; // which env holds the logical table
+    let mut ids: Vec<TimerId> = Vec::new();
+    let mut model: Vec<ModelTimer> = Vec::new();
+    let mut seen = BTreeSet::new();
+    let mut fires = Vec::new();
+
+    for &(op, pick) in ops {
+        let env = &mut envs[cur];
+        match op % 5 {
+            // Arm a fresh timer, the Env way: `set_timer` allocates the
+            // id and queues the effect; the substrate applying the effect
+            // is the `arm`.
+            0 => {
+                let id = env.set_timer(1);
+                env.drain().for_each(drop);
+                env.timers_mut().arm(id);
+                assert!(seen.insert(id), "alloc reused a live id: {id:?}");
+                ids.push(id);
+                model.push(ModelTimer {
+                    armed: 1,
+                    ..ModelTimer::default()
+                });
+            }
+            // Re-arm an existing, not-yet-drained id (a recurring timer
+            // being pushed back). Re-arming a drained id is outside the
+            // contract — that is the replay-adoption path, tested below.
+            1 if !ids.is_empty() => {
+                let i = pick as usize % ids.len();
+                if !model[i].drained {
+                    env.timers_mut().arm(ids[i]);
+                    model[i].armed += 1;
+                }
+            }
+            2 if !ids.is_empty() => {
+                let i = pick as usize % ids.len();
+                if !model[i].drained {
+                    env.timers_mut().cancel(ids[i]);
+                    model[i].cancel = true;
+                }
+            }
+            // Fire anything, drained ids included: a stale firing must
+            // come back `false`.
+            3 if !ids.is_empty() => {
+                let i = pick as usize % ids.len();
+                let got = env.timers_mut().try_fire(ids[i]);
+                let want = model[i].fire();
+                assert_eq!(
+                    got,
+                    want,
+                    "try_fire({:?}) disagreed with the oracle at step {}",
+                    ids[i],
+                    fires.len()
+                );
+                fires.push(got);
+            }
+            4 if honor_swaps => {
+                let (a, b) = envs.split_at_mut(1);
+                a[0].swap_timers(&mut b[0]);
+                cur ^= 1;
+            }
+            _ => {}
+        }
+    }
+    (ids, fires)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The table never disagrees with the id-set oracle, no matter how
+    /// arms, re-arms, cancels, and firings interleave — with the table
+    /// hopping between environments mid-schedule, as wrapper nodes make
+    /// it do on every inner drive.
+    #[test]
+    fn table_matches_the_id_set_oracle_across_swaps(
+        ops in vec((any::<u8>(), any::<u8>()), 1..200),
+    ) {
+        replay(&ops, true);
+    }
+
+    /// `swap_timers` is semantically invisible: the same schedule with
+    /// every swap elided produces the identical id and firing trace.
+    #[test]
+    fn swaps_are_transparent(
+        ops in vec((any::<u8>(), any::<u8>()), 1..200),
+    ) {
+        prop_assert_eq!(replay(&ops, true), replay(&ops, false));
+    }
+
+    /// Crash-restart replay: arming ids verbatim (never allocated here)
+    /// adopts the slot at the id's generation, so after an arbitrary
+    /// generation history only the *final* generation is live, and it
+    /// fires exactly once per arm in its trailing run.
+    #[test]
+    fn foreign_arms_adopt_the_final_generation(
+        gens in vec(0u32..4, 1..20),
+    ) {
+        fn pack(slot: u32, gen: u32) -> TimerId {
+            TimerId::from_raw((u64::from(gen) << 32) | u64::from(slot))
+        }
+        let mut t = TimerTable::new();
+        for &g in &gens {
+            t.arm(pack(0, g));
+        }
+        let last = *gens.last().unwrap();
+        let run = gens.iter().rev().take_while(|&&g| g == last).count();
+        for g in 0..4 {
+            if g != last {
+                prop_assert!(!t.try_fire(pack(0, g)), "stale generation fired");
+            }
+        }
+        for i in 0..run {
+            prop_assert!(t.try_fire(pack(0, last)), "arm {i} of the live generation lost");
+        }
+        prop_assert!(!t.try_fire(pack(0, last)), "fired more often than armed");
+    }
+}

@@ -83,6 +83,7 @@
 #![warn(missing_docs)]
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use minsync_auth::{debug_digest, Authenticator, QuorumCert, Sig};
@@ -314,6 +315,26 @@ pub struct SmrLimits {
     pub future_horizon: u64,
     /// Total cap on buffered future-slot messages across all slots.
     pub max_buffered: usize,
+    /// Checkpoint-retry period in ticks; `0` (the default) disables it.
+    ///
+    /// Checkpoint replies are rate-limited to once per peer per slot
+    /// (`ckpt_sent`) so Byzantine slot-traffic cannot amplify into reply
+    /// storms — but on a lossy link that single reply can be dropped,
+    /// permanently wedging a laggard the rate limit now refuses to serve
+    /// again. With a nonzero period the replica arms a recurring timer
+    /// that clears the served-checkpoint marks, re-broadcasts its own
+    /// cumulative ack floor, *pushes* one checkpoint per period to every
+    /// peer whose floor trails (a quiescent rejoiner cannot be relied on
+    /// to ask), and re-broadcasts every message its head-of-line
+    /// consensus instance has sent so far (loss can wedge the next slot
+    /// at **all** replicas at once — no one committed it, so there is no
+    /// checkpoint to push; sub-protocol state is keyed by sender, so the
+    /// duplicates are no-ops). Amplification stays bounded: at most one
+    /// reply per peer per slot per period, and one head-of-line replay
+    /// per period. Enable this on lossy substrates (real sockets under
+    /// fault injection, drop-oracle simulations); the default stays off
+    /// so loss-free runs keep their recorded golden traces.
+    pub ckpt_retry: u64,
 }
 
 impl Default for SmrLimits {
@@ -322,7 +343,43 @@ impl Default for SmrLimits {
             window: 64,
             future_horizon: 128,
             max_buffered: 65_536,
+            ckpt_retry: 0,
         }
+    }
+}
+
+/// Thread-visible mirrors of a replica's drop counters, for substrates that
+/// consume the node by value (the TCP mesh moves it into its run loop, so
+/// `minsync-node` can no longer ask the replica itself after the run). Hand
+/// a clone of the `Arc` to [`ReplicaNode::with_stats`] and read the other
+/// clone from anywhere, any time — the replica bumps both its internal
+/// counters and these on every refused message.
+#[derive(Debug, Default)]
+pub struct SmrStats {
+    future_drops: AtomicU64,
+    retired_drops: AtomicU64,
+    cert_rejects: AtomicU64,
+}
+
+impl SmrStats {
+    /// A zeroed handle, ready to share.
+    pub fn new() -> Self {
+        SmrStats::default()
+    }
+
+    /// Future-slot messages dropped by the horizon/buffer caps.
+    pub fn future_drops(&self) -> u64 {
+        self.future_drops.load(Ordering::Relaxed)
+    }
+
+    /// Messages refused because their slot was already retired.
+    pub fn retired_drops(&self) -> u64 {
+        self.retired_drops.load(Ordering::Relaxed)
+    }
+
+    /// Invalid commit signatures / quorum certificates refused.
+    pub fn cert_rejects(&self) -> u64 {
+        self.cert_rejects.load(Ordering::Relaxed)
     }
 }
 
@@ -340,6 +397,10 @@ impl ProcSet {
         fresh
     }
 }
+
+/// A write-ahead hook invoked synchronously on every commit (see
+/// [`ReplicaNode::with_commit_log`]).
+type CommitLog<V> = Box<dyn FnMut(u64, &V) + Send>;
 
 /// One replica: a pipeline of consensus instances, one per log slot, plus
 /// the ack/retire/checkpoint control plane described in the crate docs.
@@ -404,6 +465,25 @@ pub struct ReplicaNode<V, P> {
     cert_sigs: BTreeMap<u64, QuorumCert>,
     /// Invalid signatures and certificates refused.
     cert_rejects: u64,
+    /// Optional shared mirror of the drop counters (see [`SmrStats`]).
+    stats: Option<Arc<SmrStats>>,
+    /// Crash-recovered committed prefix (slots `1..=len`), replayed into
+    /// replica state and the output stream on start.
+    recovered: Vec<V>,
+    /// Write-ahead hook invoked synchronously on every commit, before the
+    /// ack leaves the replica (see [`ReplicaNode::with_commit_log`]).
+    commit_log: Option<CommitLog<V>>,
+    /// The recurring lossy-link catch-up timer ([`SmrLimits::ckpt_retry`]);
+    /// `None` when disabled.
+    ckpt_retry_timer: Option<TimerId>,
+    /// Every broadcast each in-flight slot instance has made, recorded
+    /// only while `ckpt_retry` is enabled: the retry timer re-broadcasts
+    /// the head-of-line slot's messages so a consensus instance wedged by
+    /// message loss (the paper assumes reliable channels; dropped frames
+    /// are a stronger adversary) eventually re-offers every peer its
+    /// missing pieces. An entry is dropped when its slot commits, so the
+    /// memory held is bounded by the instances still in flight.
+    outbox: BTreeMap<u64, Vec<ProtocolMsg<V>>>,
     timer_slots: BTreeMap<TimerId, u64>,
     /// Child environment all slot instances run on (created lazily on
     /// first drive; seed irrelevant — slot instances are deterministic and
@@ -449,6 +529,11 @@ impl<V: Value, P: ProposalSource<V>> ReplicaNode<V, P> {
             certs: None,
             cert_sigs: BTreeMap::new(),
             cert_rejects: 0,
+            stats: None,
+            recovered: Vec::new(),
+            commit_log: None,
+            ckpt_retry_timer: None,
+            outbox: BTreeMap::new(),
             timer_slots: BTreeMap::new(),
             slot_env: None,
         }
@@ -461,6 +546,59 @@ impl<V: Value, P: ProposalSource<V>> ReplicaNode<V, P> {
     /// must belong to the same process the replica runs as.
     pub fn with_certs(mut self, auth: Arc<dyn Authenticator>) -> Self {
         self.certs = Some(auth);
+        self
+    }
+
+    /// Mirrors the drop counters into a shared [`SmrStats`] handle the
+    /// caller keeps, for substrates that consume the node by value.
+    pub fn with_stats(mut self, stats: Arc<SmrStats>) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// Crash recovery: seeds the replica with the committed prefix it
+    /// persisted before crashing — `log[i]` is the value of slot `i + 1`.
+    ///
+    /// On start the prefix is replayed (in slot order) into the proposal
+    /// source, the `recent` checkpoint store, and the output stream, so a
+    /// recovered replica's observable log is byte-identical to one that
+    /// never crashed; one cumulative ack then announces the recovered
+    /// floor, and everything past the prefix is caught up through the
+    /// ordinary [`SmrMsg::Checkpoint`] / [`SmrMsg::CertCheckpoint`] path.
+    /// That path is guaranteed to still have the tail: full retirement
+    /// ([`SmrMsg::Ack`] floors) tracks the **minimum** floor across all
+    /// replicas, and the crashed replica's floor froze at its last ack —
+    /// no correct peer can have retired a slot the rejoiner is missing.
+    ///
+    /// The prefix itself comes from the replica's own stable storage (the
+    /// standard crash-recovery assumption); it is trusted exactly as far
+    /// as the replica trusts itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prefix exceeds `target_slots`.
+    pub fn with_recovered_prefix(mut self, log: Vec<V>) -> Self {
+        assert!(
+            log.len() as u64 <= self.target_slots,
+            "recovered prefix longer than the target log"
+        );
+        self.recovered = log;
+        self
+    }
+
+    /// Installs a **write-ahead commit hook**, called synchronously for
+    /// every fresh commit *before* the commit's ack effect is queued —
+    /// i.e. strictly before any substrate can put the ack on a wire.
+    ///
+    /// This ordering is what makes [`Self::with_recovered_prefix`] sound
+    /// against crash faults: ack floors are cumulative and never regress,
+    /// so once a peer has seen `Ack { slot }` it will refuse to serve
+    /// `slot` back via checkpoints. Persisting the slot first guarantees a
+    /// replica never acks a commit its stable storage could lose.
+    /// Replayed prefix slots do not re-invoke the hook (they are already
+    /// persisted — that is where the prefix came from).
+    pub fn with_commit_log(mut self, log: impl FnMut(u64, &V) + Send + 'static) -> Self {
+        self.commit_log = Some(Box::new(log));
         self
     }
 
@@ -519,6 +657,27 @@ impl<V: Value, P: ProposalSource<V>> ReplicaNode<V, P> {
         self.cert_rejects
     }
 
+    fn count_future_drop(&mut self) {
+        self.future_drops += 1;
+        if let Some(s) = &self.stats {
+            s.future_drops.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn count_retired_drop(&mut self) {
+        self.retired_drops += 1;
+        if let Some(s) = &self.stats {
+            s.retired_drops.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn count_cert_reject(&mut self) {
+        self.cert_rejects += 1;
+        if let Some(s) = &self.stats {
+            s.cert_rejects.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Starts every slot the pipeline and flow-control window allow.
     fn try_start(&mut self, env: &mut Env<SmrMsg<V>, SmrEvent<V>>) {
         while self.started < self.target_slots
@@ -561,7 +720,12 @@ impl<V: Value, P: ProposalSource<V>> ReplicaNode<V, P> {
         for effect in ienv.drain() {
             match effect {
                 Effect::Send { to, msg } => env.send(to, SmrMsg::Slot { slot, msg }),
-                Effect::Broadcast { msg } => env.broadcast(SmrMsg::Slot { slot, msg }),
+                Effect::Broadcast { msg } => {
+                    if self.limits.ckpt_retry > 0 {
+                        self.outbox.entry(slot).or_default().push(msg.clone());
+                    }
+                    env.broadcast(SmrMsg::Slot { slot, msg });
+                }
                 Effect::SetTimer { id, delay } => {
                     self.timer_slots.insert(id, slot);
                     env.push(Effect::SetTimer { id, delay });
@@ -588,9 +752,13 @@ impl<V: Value, P: ProposalSource<V>> ReplicaNode<V, P> {
         if slot != self.committed + 1 {
             return;
         }
+        if let Some(log) = &mut self.commit_log {
+            log(slot, &value); // write-ahead: persist before the ack exists
+        }
         self.committed = slot;
         self.ckpt_seen = ProcSet::default();
         self.ckpt_votes.clear();
+        self.outbox.remove(&slot);
         self.source.on_commit(slot, &value);
         env.output(SmrEvent::Committed {
             slot,
@@ -773,6 +941,42 @@ impl<V: Value, P: ProposalSource<V>> Node for ReplicaNode<V, P> {
     type Output = SmrEvent<V>;
 
     fn on_start(&mut self, env: &mut Env<SmrMsg<V>, SmrEvent<V>>) {
+        if !self.recovered.is_empty() {
+            // Replay the crash-recovered prefix (see
+            // [`ReplicaNode::with_recovered_prefix`]): state first, then
+            // one cumulative ack instead of per-slot broadcasts.
+            let prefix = std::mem::take(&mut self.recovered);
+            for (i, value) in prefix.into_iter().enumerate() {
+                let slot = i as u64 + 1;
+                self.committed = slot;
+                self.source.on_commit(slot, &value);
+                env.output(SmrEvent::Committed {
+                    slot,
+                    command: value.clone(),
+                });
+                if let Some(auth) = &self.certs {
+                    let sig = auth.sign(&commit_statement(slot, &value));
+                    self.cert_sigs.entry(slot).or_default().add(auth.me(), sig);
+                }
+                self.recent.insert(slot, value);
+            }
+            self.started = self.committed;
+            match &self.certs {
+                Some(auth) => {
+                    let slot = self.committed;
+                    let value = self.recent.get(&slot).expect("prefix is non-empty");
+                    let sig = auth.sign(&commit_statement(slot, value));
+                    env.broadcast(SmrMsg::SigAck { slot, sig });
+                }
+                None => env.broadcast(SmrMsg::Ack {
+                    slot: self.committed,
+                }),
+            }
+            self.note_ack(self.committed, env.me());
+        }
+        if self.limits.ckpt_retry > 0 {
+            self.ckpt_retry_timer = Some(env.set_timer(self.limits.ckpt_retry));
+        }
         self.try_start(env);
     }
 
@@ -788,7 +992,7 @@ impl<V: Value, P: ProposalSource<V>> Node for ReplicaNode<V, P> {
                     return; // out-of-range slot: Byzantine garbage
                 }
                 if slot <= self.low_water {
-                    self.retired_drops += 1;
+                    self.count_retired_drop();
                     return;
                 }
                 if self.instances.contains_key(&slot) {
@@ -803,7 +1007,7 @@ impl<V: Value, P: ProposalSource<V>> Node for ReplicaNode<V, P> {
                     if slot > self.committed + 1 + self.limits.future_horizon
                         || self.buffered >= self.limits.max_buffered
                     {
-                        self.future_drops += 1;
+                        self.count_future_drop();
                     } else {
                         self.buffered += 1;
                         self.pending.entry(slot).or_default().push((from, msg));
@@ -841,7 +1045,7 @@ impl<V: Value, P: ProposalSource<V>> Node for ReplicaNode<V, P> {
                             if auth.verify_sig(from, &commit_statement(slot, value), &sig) {
                                 self.cert_sigs.entry(slot).or_default().add(from, sig);
                             } else {
-                                self.cert_rejects += 1;
+                                self.count_cert_reject();
                                 return; // a forged ack raises no floors
                             }
                         }
@@ -868,7 +1072,7 @@ impl<V: Value, P: ProposalSource<V>> Node for ReplicaNode<V, P> {
                 let n = self.cfg.system.n();
                 let quorum = self.cfg.system.quorum();
                 if !cert.verify(auth.as_ref(), &commit_statement(slot, &value), n, quorum) {
-                    self.cert_rejects += 1;
+                    self.count_cert_reject();
                     return;
                 }
                 // A correct sender only serves slots it committed, so the
@@ -893,6 +1097,49 @@ impl<V: Value, P: ProposalSource<V>> Node for ReplicaNode<V, P> {
     }
 
     fn on_timer(&mut self, timer: TimerId, env: &mut Env<SmrMsg<V>, SmrEvent<V>>) {
+        if self.ckpt_retry_timer == Some(timer) {
+            // Lossy-link catch-up (see [`SmrLimits::ckpt_retry`]): forget
+            // which checkpoints were already served, re-announce our own
+            // floor, and *push* the next slot to every peer whose ack
+            // floor trails our committed prefix. The push is what makes
+            // recovery unconditional: a replica rejoining after a long
+            // partition may have gone fully quiescent (its in-flight
+            // instances backed off, every reply to it already marked
+            // served and lost), so repair cannot rely on the laggard
+            // asking — each period, up to one checkpoint per peer flows
+            // from whoever holds the data, and each commit it unlocks
+            // raises the floor that gates the next one.
+            self.ckpt_sent.clear();
+            if self.committed > 0 {
+                env.broadcast(SmrMsg::Ack {
+                    slot: self.committed,
+                });
+            }
+            for p in 0..self.ack_floors.len() {
+                let peer = ProcessId::new(p);
+                let floor = self.ack_floors[p];
+                if peer != env.me() && floor < self.committed {
+                    self.checkpoint_reply(floor + 1, peer, env);
+                }
+            }
+            // Loss can also wedge the *next* slot's consensus at every
+            // replica at once — no one committed it, so there is no
+            // checkpoint to push. Replay everything our head-of-line
+            // instance has said: receivers key sub-protocol state by
+            // sender (duplicates are no-ops), and peers already past the
+            // slot answer with a checkpoint instead.
+            let head = self.committed + 1;
+            if let Some(msgs) = self.outbox.get(&head) {
+                for msg in msgs {
+                    env.broadcast(SmrMsg::Slot {
+                        slot: head,
+                        msg: msg.clone(),
+                    });
+                }
+            }
+            self.ckpt_retry_timer = Some(env.set_timer(self.limits.ckpt_retry));
+            return;
+        }
         if let Some(slot) = self.timer_slots.remove(&timer) {
             self.drive(slot, env, |node, ienv| node.on_timer(timer, ienv));
         }
@@ -992,6 +1239,7 @@ mod tests {
                 window: 4,
                 future_horizon: 8,
                 max_buffered: 16,
+                ckpt_retry: 0,
             });
         let mut env = Env::new(4, 0);
         env.prepare(ProcessId::new(0), minsync_net::VirtualTime::ZERO);
@@ -1019,6 +1267,7 @@ mod tests {
                 window: 64,
                 future_horizon: 64,
                 max_buffered: 16,
+                ckpt_retry: 0,
             });
         let mut env = Env::new(4, 0);
         env.prepare(ProcessId::new(0), minsync_net::VirtualTime::ZERO);
@@ -1094,6 +1343,193 @@ mod tests {
             })
             .collect();
         assert_eq!(committed, [(1, 77)]);
+    }
+
+    #[test]
+    fn ckpt_retry_clears_the_served_marks_and_reannounces_the_floor() {
+        let mut r: ReplicaNode<u64, TwoClientSource> =
+            ReplicaNode::new(cfg4(), TwoClientSource::new(1), 10).with_limits(SmrLimits {
+                ckpt_retry: 10,
+                ..SmrLimits::default()
+            });
+        let mut env = Env::new(4, 0);
+        env.prepare(ProcessId::new(0), minsync_net::VirtualTime::ZERO);
+        r.on_start(&mut env);
+        let retry = env
+            .drain()
+            .find_map(|e| match e {
+                Effect::SetTimer { id, delay: 10 } => Some(id),
+                _ => None,
+            })
+            .expect("retry timer armed on start");
+        // Commit slot 1 through the checkpoint plurality.
+        for p in [1, 2] {
+            r.on_message(
+                ProcessId::new(p),
+                SmrMsg::Checkpoint { slot: 1, value: 77 },
+                &mut env,
+            );
+        }
+        assert_eq!(r.committed_count(), 1);
+        let _ = env.take_buffer();
+        let serves_checkpoint =
+            |r: &mut ReplicaNode<u64, TwoClientSource>,
+             env: &mut Env<SmrMsg<u64>, SmrEvent<u64>>| {
+                r.on_message(
+                    ProcessId::new(3),
+                    SmrMsg::Slot {
+                        slot: 1,
+                        msg: garbage_msg(),
+                    },
+                    env,
+                );
+                env.drain().any(|e| {
+                    matches!(
+                        e,
+                        Effect::Send {
+                            msg: SmrMsg::Checkpoint { slot: 1, value: 77 },
+                            ..
+                        }
+                    )
+                })
+            };
+        assert!(serves_checkpoint(&mut r, &mut env), "first request served");
+        assert!(
+            !serves_checkpoint(&mut r, &mut env),
+            "second request rate-limited"
+        );
+        // The retry timer forgives the marks, re-announces our floor, and
+        // pushes the next slot to the one peer whose ack floor trails us
+        // (3 never acked; 1 and 2 acked implicitly via their checkpoint
+        // votes) — so a dropped reply is a delay, not a wedge, even if
+        // the laggard never asks again.
+        r.on_timer(retry, &mut env);
+        let effects: Vec<_> = env.drain().collect();
+        assert!(
+            effects.iter().any(|e| matches!(
+                e,
+                Effect::Broadcast {
+                    msg: SmrMsg::Ack { slot: 1 }
+                }
+            )),
+            "cumulative ack re-broadcast"
+        );
+        let pushes: Vec<_> = effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Send {
+                    to,
+                    msg: SmrMsg::Checkpoint { slot: 1, value: 77 },
+                } => Some(to.index()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(pushes, vec![3], "push goes to the laggard alone");
+        assert!(
+            effects
+                .iter()
+                .any(|e| matches!(e, Effect::SetTimer { delay: 10, .. })),
+            "timer re-armed"
+        );
+    }
+
+    #[test]
+    fn commit_log_hook_sees_fresh_commits_only() {
+        let wal: Arc<std::sync::Mutex<Vec<(u64, u64)>>> = Arc::default();
+        let sink = Arc::clone(&wal);
+        let mut r: ReplicaNode<u64, TwoClientSource> =
+            ReplicaNode::new(cfg4(), TwoClientSource::new(1), 10)
+                .with_recovered_prefix(vec![1000, 2000])
+                .with_commit_log(move |slot, value| sink.lock().unwrap().push((slot, *value)));
+        let mut env = Env::new(4, 0);
+        env.prepare(ProcessId::new(0), minsync_net::VirtualTime::ZERO);
+        r.on_start(&mut env);
+        let _ = env.take_buffer();
+        assert!(
+            wal.lock().unwrap().is_empty(),
+            "replayed slots are already persisted and must not re-log"
+        );
+        for p in [1, 2] {
+            r.on_message(
+                ProcessId::new(p),
+                SmrMsg::Checkpoint { slot: 3, value: 77 },
+                &mut env,
+            );
+        }
+        assert_eq!(r.committed_count(), 3);
+        assert_eq!(*wal.lock().unwrap(), [(3, 77)]);
+    }
+
+    #[test]
+    fn recovered_prefix_replays_then_tail_catches_up_by_checkpoint() {
+        let mut r: ReplicaNode<u64, TwoClientSource> =
+            ReplicaNode::new(cfg4(), TwoClientSource::new(1), 10)
+                .with_recovered_prefix(vec![1000, 2000, 1001]);
+        let mut env = Env::new(4, 0);
+        env.prepare(ProcessId::new(0), minsync_net::VirtualTime::ZERO);
+        r.on_start(&mut env);
+        assert_eq!(r.committed_count(), 3, "prefix replayed");
+        let effects: Vec<_> = env.drain().collect();
+        let committed: Vec<_> = effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Output(SmrEvent::Committed { slot, command }) => Some((*slot, *command)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(committed, [(1, 1000), (2, 2000), (3, 1001)]);
+        let acks: Vec<_> = effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Broadcast {
+                    msg: SmrMsg::Ack { slot },
+                } => Some(*slot),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(acks, [3], "one cumulative ack for the whole prefix");
+        assert!(
+            effects.iter().any(|e| matches!(
+                e,
+                Effect::Broadcast {
+                    msg: SmrMsg::Slot { slot: 4, .. }
+                }
+            )),
+            "the slot after the prefix starts immediately"
+        );
+        // The tail arrives through the ordinary checkpoint path (t + 1
+        // matching votes).
+        for p in [1, 2] {
+            r.on_message(
+                ProcessId::new(p),
+                SmrMsg::Checkpoint { slot: 4, value: 77 },
+                &mut env,
+            );
+        }
+        assert_eq!(r.committed_count(), 4, "caught up past the prefix");
+        // And the recovered slots are servable to other laggards.
+        let _ = env.take_buffer();
+        r.on_message(
+            ProcessId::new(3),
+            SmrMsg::Slot {
+                slot: 2,
+                msg: garbage_msg(),
+            },
+            &mut env,
+        );
+        assert!(
+            env.drain().any(|e| matches!(
+                e,
+                Effect::Send {
+                    to,
+                    msg: SmrMsg::Checkpoint {
+                        slot: 2,
+                        value: 2000
+                    }
+                } if to == ProcessId::new(3)
+            )),
+            "recovered value serves checkpoint catch-up"
+        );
     }
 
     #[test]

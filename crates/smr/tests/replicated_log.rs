@@ -202,6 +202,7 @@ fn flooding_adversary_cannot_break_liveness_or_memory() {
         window: 8,
         future_horizon: 16,
         max_buffered: 32, // tiny on purpose: the flood must overflow it
+        ckpt_retry: 0,
     };
     let mut builder = SimBuilder::new(NetworkTopology::all_timely(n, 3))
         .seed(13)

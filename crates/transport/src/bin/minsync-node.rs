@@ -5,6 +5,7 @@
 //! minsync-node --id I --n N --t T --listen 127.0.0.1:0
 //!              [--peers a0,a1,…]           # else bootstrap over stdin
 //!              [--auth-keys HEX]           # this replica's MAC keyring
+//!              [--wal PATH]                # durable committed-log file
 //!              --groups M --clients C --commands K --batch B
 //!              --arrival poisson:G|bursty:B/P|closed:T
 //!              --seed S --behavior correct|silent|flood|impersonate
@@ -16,17 +17,28 @@
 //! every frame; forged streams are severed and counted in the fourth
 //! `DROPS` field.
 //!
+//! With `--wal` a correct replica appends every committed slot to the
+//! named file (one `;`-terminated text line per slot) and, on startup,
+//! replays whatever complete prefix the file already holds — the crash
+//! half of crash-recovery. A restarted replica thus rejoins with its
+//! pre-crash log intact and catches the tail over the checkpoint path; the
+//! churn orchestrator leans on this for `ChurnAction::Restart`.
+//!
 //! Control pipe (see `minsync_transport::cluster`): the process prints
 //! `PORT <p>` once its listener is bound; if `--peers` was not given it
-//! then reads one `PEERS <addr0> … <addrN−1>` line from stdin. A correct
-//! replica prints its statistics block (`COMMITTED`, `DIGEST`, `WALL_MS`,
-//! `LAT`, `DROPS`, `DONE`) the moment its workload drains, then *keeps
-//! serving* acks and checkpoints for laggards until `STOP` arrives on stdin
-//! (or stdin closes), bounded by `--timeout-ms`. Byzantine behaviors never
-//! report; they run until `STOP`.
+//! then reads one `PEERS <addr0> … <addrN−1>` line from stdin. Mid-run the
+//! orchestrator may inject link faults: `PART <ids…>` drops all outbound
+//! traffic to the listed peers (replacing any previous set) and `HEAL`
+//! clears every rule. A correct replica prints its statistics block
+//! (`COMMITTED`, `DIGEST`, `WALL_MS`, `LAT`, `DROPS`, `DONE`) the moment
+//! its workload drains, then *keeps serving* acks and checkpoints for
+//! laggards until `STOP` arrives on stdin (or stdin closes), bounded by
+//! `--timeout-ms`. Byzantine behaviors never report; they run until
+//! `STOP`.
 
 use std::io::{BufRead, Write as _};
 use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -37,9 +49,9 @@ use minsync_auth::{Authenticator, HmacAuthenticator};
 use minsync_core::{ConsensusConfig, ProtocolMsg};
 use minsync_net::sim::OutputRecord;
 use minsync_net::{Node, VirtualTime};
-use minsync_smr::{ReplicaNode, SmrEvent, SmrMsg};
+use minsync_smr::{ReplicaNode, SmrEvent, SmrLimits, SmrMsg, SmrStats};
 use minsync_transport::cluster::{control, parse_arrival, Behavior, LogDigest};
-use minsync_transport::mesh::{MeshConfig, MeshCounters, MeshOutput, TcpMesh};
+use minsync_transport::mesh::{LinkFaults, MeshConfig, MeshCounters, MeshOutput, TcpMesh};
 use minsync_types::{ProcessId, Round, SystemConfig};
 use minsync_wire::{encode_frame, Hello, DEFAULT_MAX_FRAME, WIRE_VERSION};
 use minsync_workload::{account, ArrivalProcess, Batch, ClientPopulation, WorkloadSpec};
@@ -63,6 +75,8 @@ struct Args {
     tick: Duration,
     timeout: Duration,
     auth: Option<Arc<HmacAuthenticator>>,
+    wal: Option<PathBuf>,
+    ckpt_retry: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -82,6 +96,8 @@ fn parse_args() -> Result<Args, String> {
         tick: Duration::from_micros(200),
         timeout: Duration::from_secs(30),
         auth: None,
+        wal: None,
+        ckpt_retry: 0,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -127,6 +143,10 @@ fn parse_args() -> Result<Args, String> {
                     HmacAuthenticator::from_hex(value)
                         .ok_or("--auth-keys: malformed keyring".to_string())?,
                 ))
+            }
+            "--wal" => args.wal = Some(PathBuf::from(value)),
+            "--ckpt-retry" => {
+                args.ckpt_retry = value.parse().map_err(|e| format!("--ckpt-retry: {e}"))?
             }
             other => return Err(format!("unknown flag {other}")),
         }
@@ -174,16 +194,18 @@ fn run(args: Args) -> Result<(), String> {
     std::io::stdout().flush().ok();
 
     // Stop flag: raised by STOP on stdin, or by stdin closing (the
-    // orchestrator died — never outlive it).
+    // orchestrator died — never outlive it). Link faults: flipped by
+    // PART/HEAL on stdin, consulted by every mesh writer.
     let stop_flag = Arc::new(AtomicBool::new(false));
+    let faults = Arc::new(LinkFaults::new(args.n));
     let peers = match args.peers.clone() {
         Some(peers) => {
-            spawn_stdin_watcher(Arc::clone(&stop_flag), None);
+            spawn_stdin_watcher(Arc::clone(&stop_flag), Arc::clone(&faults), None);
             peers
         }
         None => {
             let (peers_tx, peers_rx) = std::sync::mpsc::channel::<Vec<SocketAddr>>();
-            spawn_stdin_watcher(Arc::clone(&stop_flag), Some(peers_tx));
+            spawn_stdin_watcher(Arc::clone(&stop_flag), Arc::clone(&faults), Some(peers_tx));
             peers_rx
                 .recv_timeout(args.timeout)
                 .map_err(|_| "no PEERS line arrived on stdin".to_string())?
@@ -215,17 +237,56 @@ fn run(args: Args) -> Result<(), String> {
         timeout: args.timeout,
         seed: args.seed,
         auth: args.auth.clone().map(|a| a as Arc<dyn Authenticator>),
+        faults: Some(Arc::clone(&faults)),
         ..MeshConfig::default()
     };
 
+    let stats = Arc::new(SmrStats::new());
     let node: Box<dyn Node<Msg = Msg, Output = Out>> = match args.behavior {
         Behavior::Correct => {
             let cfg = ConsensusConfig::paper(system);
-            Box::new(ReplicaNode::new(
-                cfg,
-                pop.source_for(args.id, args.batch),
-                target,
-            ))
+            // Under fault injection, links lose frames outright (a
+            // partition blocks a frame at the fault switch; nothing
+            // replays it), so the churn orchestrator passes `--ckpt-retry`
+            // to enable the repair timer: a dropped state-transfer reply
+            // must be a delay, never a permanent wedge. It stays off by
+            // default — the repair's ack re-broadcasts speed up slot
+            // retirement enough that honest late instance traffic starts
+            // landing on retired slots, and clean runs assert those drop
+            // counters stay zero.
+            let mut replica = ReplicaNode::new(cfg, pop.source_for(args.id, args.batch), target)
+                .with_limits(SmrLimits {
+                    ckpt_retry: args.ckpt_retry,
+                    ..SmrLimits::default()
+                })
+                .with_stats(Arc::clone(&stats));
+            if let Some(path) = &args.wal {
+                let prefix = load_wal(path);
+                let mut file = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .map_err(|e| format!("opening WAL {}: {e}", path.display()))?;
+                replica = replica.with_recovered_prefix(prefix).with_commit_log(
+                    move |slot, batch: &Batch| {
+                        let mut line = slot.to_string();
+                        for &cmd in batch.commands() {
+                            line.push(' ');
+                            line.push_str(&cmd.to_string());
+                        }
+                        line.push_str(" ;\n");
+                        // The `;` lands with the rest of the line or not at
+                        // all, so a crash mid-write costs one slot, never a
+                        // corrupt prefix. WAL writes must succeed: acking a
+                        // commit the log lost would strand us after a
+                        // restart (peers refuse to re-serve acked slots).
+                        file.write_all(line.as_bytes())
+                            .and_then(|()| file.flush())
+                            .expect("WAL append failed");
+                    },
+                );
+            }
+            Box::new(replica)
         }
         Behavior::Silent => Box::new(SilentNode::<Msg, Out>::new()),
         Behavior::Impersonate => {
@@ -269,10 +330,21 @@ fn run(args: Args) -> Result<(), String> {
     let tick = args.tick;
     let stop = {
         let stop_flag = Arc::clone(&stop_flag);
+        let stats = Arc::clone(&stats);
+        let mut last_dbg = std::time::Instant::now();
         move |outs: &[MeshOutput<Out>], counters: &MeshCounters| {
+            if std::env::var_os("MINSYNC_NODE_DEBUG").is_some()
+                && last_dbg.elapsed() > Duration::from_secs(1)
+            {
+                last_dbg = std::time::Instant::now();
+                eprintln!(
+                    "minsync-node[{me:?}]: progress {}/{total}",
+                    committed_commands(outs)
+                );
+            }
             if !reported && committed_commands(outs) >= total {
                 reported = true;
-                print_stats(&pop, outs, me, tick, counters);
+                print_stats(&pop, outs, me, tick, counters, &stats);
             }
             // STOP (or stdin EOF — the orchestrator is gone) ends the run
             // unconditionally: the orchestrator only sends STOP after every
@@ -311,17 +383,28 @@ fn print_stats(
     me: ProcessId,
     tick: Duration,
     counters: &MeshCounters,
+    stats: &SmrStats,
 ) {
     let mut digest = LogDigest::new();
     let mut slots = 0u64;
     let mut commands = 0usize;
     let mut wall = Duration::ZERO;
+    let total = pop.total_commands();
     for out in outs {
         if let Some((slot, batch)) = out.event.as_committed() {
+            wall = wall.max(out.elapsed);
+            if commands >= total {
+                // The stop condition cuts at `total` *commands*, but under
+                // churn the log can keep growing with empty slots — how
+                // many land before this replica's cutoff is a race, so
+                // they stay out of the digest. Everything up to the slot
+                // carrying the last command is prefix-identical by
+                // agreement.
+                continue;
+            }
             digest.fold_slot(slot, batch.commands());
             slots += 1;
             commands += batch.len();
-            wall = wall.max(out.elapsed);
         }
     }
     // Latency accounting reuses the workload crate: mesh outputs become
@@ -344,20 +427,24 @@ fn print_stats(
         lat.count, lat.p50, lat.p95, lat.p99, lat.mean
     );
     println!(
-        "DROPS {} {} {} {}",
+        "DROPS {} {} {} {} {} {}",
         counters.outbound_dropped_total(),
         counters.decode_disconnects(),
         counters.handshake_rejects(),
-        counters.auth_rejects()
+        counters.auth_rejects(),
+        stats.future_drops(),
+        stats.retired_drops()
     );
     println!("{}", control::DONE);
     std::io::stdout().flush().ok();
 }
 
 /// Watches stdin: forwards the bootstrap `PEERS` line (if a sender is
-/// given) and raises the stop flag on `STOP` or EOF.
+/// given), applies `PART`/`HEAL` link-fault rules, and raises the stop
+/// flag on `STOP` or EOF.
 fn spawn_stdin_watcher(
     stop_flag: Arc<AtomicBool>,
+    faults: Arc<LinkFaults>,
     peers_tx: Option<std::sync::mpsc::Sender<Vec<SocketAddr>>>,
 ) {
     std::thread::spawn(move || {
@@ -372,6 +459,14 @@ fn spawn_stdin_watcher(
                 if let (Some(tx), Ok(peers)) = (peers_tx.take(), peers) {
                     let _ = tx.send(peers);
                 }
+            } else if let Some(rest) = line.strip_prefix(control::PART) {
+                let blocked: Result<Vec<usize>, _> =
+                    rest.split_whitespace().map(str::parse).collect();
+                if let Ok(blocked) = blocked {
+                    faults.set_blocked(&blocked);
+                }
+            } else if line == control::HEAL {
+                faults.heal();
             } else if line == control::STOP {
                 stop_flag.store(true, Ordering::Relaxed);
             }
@@ -379,6 +474,40 @@ fn spawn_stdin_watcher(
         // EOF: the orchestrator is gone — stop regardless.
         stop_flag.store(true, Ordering::Relaxed);
     });
+}
+
+/// Loads the complete committed prefix out of a WAL file: one
+/// `<slot> <cmd>… ;` text line per slot, slots contiguous from 1. The
+/// trailing `;` is the torn-write sentinel — an unterminated or
+/// out-of-sequence line and everything after it is discarded, so a crash
+/// mid-append costs at most the slot being written (which was never acked;
+/// see `ReplicaNode::with_commit_log`).
+fn load_wal(path: &std::path::Path) -> Vec<Batch> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new(); // first boot: no log yet
+    };
+    let mut prefix = Vec::new();
+    for line in text.lines() {
+        let mut tokens: Vec<&str> = line.split_whitespace().collect();
+        if tokens.pop() != Some(";") {
+            break;
+        }
+        let Some(slot) = tokens.first().and_then(|t| t.parse::<u64>().ok()) else {
+            break;
+        };
+        if slot != prefix.len() as u64 + 1 {
+            break;
+        }
+        let Ok(commands) = tokens[1..]
+            .iter()
+            .map(|t| t.parse())
+            .collect::<Result<Vec<u64>, _>>()
+        else {
+            break;
+        };
+        prefix.push(Batch(commands));
+    }
+    prefix
 }
 
 /// Slots the impersonator tries to poison with forged checkpoint votes.

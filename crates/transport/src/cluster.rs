@@ -18,11 +18,12 @@
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
-use std::path::PathBuf;
-use std::process::{Child, Command, Stdio};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use minsync_auth::HmacAuthenticator;
 use minsync_workload::ArrivalProcess;
 
@@ -75,6 +76,12 @@ pub mod control {
     pub const PORT: &str = "PORT";
     /// Parent → child: the full space-separated peer address list.
     pub const PEERS: &str = "PEERS";
+    /// Parent → child: drop all outbound traffic to the listed peer ids
+    /// (replacing any previous `PART` set) — the fault-injection verb
+    /// behind cluster partitions and rotating isolation.
+    pub const PART: &str = "PART";
+    /// Parent → child: clear every `PART` rule.
+    pub const HEAL: &str = "HEAL";
     /// Parent → child: tear down and exit.
     pub const STOP: &str = "STOP";
     /// Child → parent: end of the statistics block.
@@ -240,6 +247,12 @@ pub struct ReplicaStats {
     /// (forged handshake tags and forged frame tags alike); always zero
     /// when the cluster runs unauthenticated.
     pub auth_rejects: u64,
+    /// Future-slot messages the SMR layer dropped at its horizon/buffer
+    /// caps; zero in a clean run.
+    pub future_drops: u64,
+    /// Messages the SMR layer refused for already-retired slots; zero in a
+    /// clean run.
+    pub retired_drops: u64,
 }
 
 /// Result of one cluster run: every *correct* replica's stats.
@@ -437,48 +450,16 @@ pub fn run_cluster(spec: &ClusterSpec) -> Result<ClusterReport, ClusterError> {
     // Spawn every child with a piped control pipe.
     let mut children = Vec::with_capacity(spec.n);
     for id in 0..spec.n {
-        let behavior = if id >= spec.correct() {
-            spec.riders[id - spec.correct()]
-        } else {
-            Behavior::Correct
+        let cfg = ChildConfig {
+            id,
+            behavior: behavior_of(spec, id),
+            auth_hex: keyrings.as_ref().map(|k| k[id].to_hex()),
+            listen: "127.0.0.1:0".into(),
+            peers: None,
+            wal: None,
+            ckpt_retry: 0,
         };
-        let mut command = Command::new(&bin);
-        if let Some(keyrings) = &keyrings {
-            command.arg("--auth-keys").arg(keyrings[id].to_hex());
-        }
-        let child = command
-            .arg("--id")
-            .arg(id.to_string())
-            .arg("--n")
-            .arg(spec.n.to_string())
-            .arg("--t")
-            .arg(spec.t.to_string())
-            .arg("--groups")
-            .arg(spec.groups.to_string())
-            .arg("--clients")
-            .arg(spec.clients_per_group.to_string())
-            .arg("--commands")
-            .arg(spec.commands_per_client.to_string())
-            .arg("--batch")
-            .arg(spec.batch.to_string())
-            .arg("--arrival")
-            .arg(arrival_to_arg(&spec.arrivals))
-            .arg("--seed")
-            .arg(spec.seed.to_string())
-            .arg("--behavior")
-            .arg(behavior.arg())
-            .arg("--tick-us")
-            .arg(spec.tick.as_micros().to_string())
-            .arg("--timeout-ms")
-            .arg(spec.child_timeout.as_millis().to_string())
-            .arg("--listen")
-            .arg("127.0.0.1:0")
-            .stdin(Stdio::piped())
-            .stdout(Stdio::piped())
-            .stderr(Stdio::inherit())
-            .spawn()
-            .map_err(|e| ClusterError::Io(format!("spawning replica {id}: {e}")))?;
-        children.push(child);
+        children.push(spawn_replica(&bin, spec, &cfg)?);
     }
 
     // One reader thread per child funnels control lines into a channel, so
@@ -486,23 +467,7 @@ pub fn run_cluster(spec: &ClusterSpec) -> Result<ClusterReport, ClusterError> {
     let (line_tx, line_rx) = unbounded::<ChildLine>();
     let mut stdins = Vec::with_capacity(spec.n);
     for (id, child) in children.iter_mut().enumerate() {
-        stdins.push(child.stdin.take().expect("piped stdin"));
-        let stdout = child.stdout.take().expect("piped stdout");
-        let tx = line_tx.clone();
-        std::thread::spawn(move || {
-            let reader = BufReader::new(stdout);
-            for line in reader.lines() {
-                match line {
-                    Ok(line) => {
-                        if tx.send(ChildLine::Line(id, line)).is_err() {
-                            return;
-                        }
-                    }
-                    Err(_) => break,
-                }
-            }
-            let _ = tx.send(ChildLine::Eof(id));
-        });
+        stdins.push(attach_reader(id, child, &line_tx));
     }
     drop(line_tx);
     let mut reaper = Reaper(children);
@@ -527,13 +492,16 @@ pub fn run_cluster(spec: &ClusterSpec) -> Result<ClusterReport, ClusterError> {
             }
             ChildLine::Eof(id) => {
                 // Fail fast with the child's exit status rather than
-                // letting the caller wait out the harness deadline.
+                // letting the caller wait out the harness deadline. Name
+                // the phase honestly: the victim may already have spoken.
+                let when = if ports.contains_key(&id) {
+                    "right after announcing its port"
+                } else {
+                    "before announcing its port"
+                };
                 return Err(ClusterError::Protocol {
                     id,
-                    what: format!(
-                        "exited before announcing its port ({})",
-                        exit_status_of(&mut reaper.0[id])
-                    ),
+                    what: format!("exited {when} ({})", exit_status_of(&mut reaper.0[id])),
                 });
             }
         }
@@ -547,10 +515,21 @@ pub fn run_cluster(spec: &ClusterSpec) -> Result<ClusterReport, ClusterError> {
         format!("{} {}\n", control::PEERS, addrs.join(" "))
     };
     for (id, stdin) in stdins.iter_mut().enumerate() {
-        stdin
+        if let Err(e) = stdin
             .write_all(peer_line.as_bytes())
             .and_then(|()| stdin.flush())
-            .map_err(|e| ClusterError::Io(format!("writing peer list to replica {id}: {e}")))?;
+        {
+            // A broken pipe here means the child died *after* announcing
+            // its port; name the victim rather than reporting a generic
+            // io error (or worse, timing out in phase 3).
+            return Err(ClusterError::Protocol {
+                id,
+                what: format!(
+                    "closed its control pipe before taking the peer list: {e} ({})",
+                    exit_status_of(&mut reaper.0[id])
+                ),
+            });
+        }
     }
 
     // Phase 3: collect every correct replica's statistics block.
@@ -613,6 +592,480 @@ pub fn run_cluster(spec: &ClusterSpec) -> Result<ClusterReport, ClusterError> {
     })
 }
 
+/// One mid-run disruption in a [`ChurnPlan`].
+#[derive(Clone, Debug)]
+pub enum ChurnAction {
+    /// Install a full bidirectional partition: every replica in `side`
+    /// drops outbound traffic to every replica outside it and vice versa
+    /// (each live child gets the `PART` rule for the complement of its own
+    /// side).
+    Partition {
+        /// Replica ids on one side of the cut.
+        side: Vec<usize>,
+    },
+    /// Clear every partition rule on every live replica.
+    Heal,
+    /// Kill a replica outright (SIGKILL) — a crash fault, no goodbye.
+    Kill {
+        /// Replica to kill.
+        id: usize,
+    },
+    /// Respawn a previously killed replica on its original port with the
+    /// peer list preloaded; it replays its committed prefix from its
+    /// write-ahead log and catches the tail over the checkpoint path.
+    Restart {
+        /// Replica to restart.
+        id: usize,
+    },
+}
+
+/// A [`ChurnAction`] scheduled at an offset from the bootstrap broadcast
+/// (the moment every child has received `PEERS`).
+#[derive(Clone, Debug)]
+pub struct ChurnStep {
+    /// When to act, relative to the bootstrap broadcast.
+    pub at: Duration,
+    /// What to do.
+    pub action: ChurnAction,
+}
+
+/// A scripted sequence of disruptions for [`run_churn_cluster`], executed
+/// in `at` order while the cluster works through its workload.
+#[derive(Clone, Debug, Default)]
+pub struct ChurnPlan {
+    /// The scheduled steps.
+    pub steps: Vec<ChurnStep>,
+}
+
+impl ChurnPlan {
+    /// An empty plan (a churn run with no disruptions).
+    pub fn new() -> ChurnPlan {
+        ChurnPlan::default()
+    }
+
+    /// Appends one step, builder-style.
+    #[must_use]
+    pub fn step(mut self, at: Duration, action: ChurnAction) -> ChurnPlan {
+        self.steps.push(ChurnStep { at, action });
+        self
+    }
+}
+
+/// Checkpoint-retry period (node ticks) passed to every child of a churn
+/// run via `--ckpt-retry`: a partition really loses frames at the fault
+/// switch, so the replicas must run the lossy-link repair
+/// (`SmrLimits::ckpt_retry` in `minsync-smr`) or a single dropped
+/// state-transfer reply wedges a laggard forever. 100 ticks ≈ 20 ms at
+/// the default 200 µs tick. Plain [`run_cluster`] children leave it off:
+/// loss-free runs keep the exact default-trace behavior (and their drop
+/// counters stay zero — the repair's ack re-broadcasts would otherwise
+/// retire slots fast enough for honest late instance traffic to land on
+/// retired slots).
+const CHURN_CKPT_RETRY: u64 = 100;
+
+/// Like [`run_cluster`], but executes a scripted [`ChurnPlan`] of
+/// partitions, heals, crashes, and recoveries while the cluster runs.
+///
+/// Every correct replica is handed a write-ahead log in a per-run temp
+/// directory, so a [`ChurnAction::Restart`] recovers the victim's committed
+/// prefix from disk and catches the tail over the checkpoint path; its
+/// fresh report (digest included) covers the recovered log, which is how
+/// E13 asserts a rejoiner ends byte-identical to the replicas that never
+/// crashed. Details worth knowing when writing plans:
+///
+/// * A plan that kills a correct replica must also restart it, or the run
+///   times out waiting for the victim's report.
+/// * Steps that come due after every correct replica has reported are
+///   skipped (the run is over; there is nothing left to disrupt).
+/// * Restarted children come back with an empty partition set; if a
+///   partition is active at restart time the orchestrator re-sends the
+///   matching `PART` rule.
+///
+/// # Errors
+///
+/// As [`run_cluster`].
+pub fn run_churn_cluster(
+    spec: &ClusterSpec,
+    plan: &ChurnPlan,
+) -> Result<ClusterReport, ClusterError> {
+    assert!(
+        spec.riders.len() <= spec.t,
+        "riders must fit the fault bound"
+    );
+    assert!(spec.correct() >= 1, "need at least one correct replica");
+    let bin = node_binary()?;
+    let start = Instant::now();
+    let deadline = start + spec.harness_timeout;
+
+    // Each run gets its own WAL directory (removed on exit, success or
+    // not); the sequence number keeps parallel runs in one process apart.
+    static CHURN_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+    let wal_dir = TempDir::create(std::env::temp_dir().join(format!(
+        "minsync-churn-{}-{}",
+        std::process::id(),
+        CHURN_DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    )))?;
+    let wal_path =
+        |id: usize| (id < spec.correct()).then(|| wal_dir.0.join(format!("wal-{id}.log")));
+
+    let keyrings = spec.auth.then(|| {
+        let master = cluster_master(spec.seed);
+        HmacAuthenticator::deal(&master, spec.n)
+    });
+    let auth_hex = |id: usize| keyrings.as_ref().map(|k| k[id].to_hex());
+
+    let mut children = Vec::with_capacity(spec.n);
+    for id in 0..spec.n {
+        let cfg = ChildConfig {
+            id,
+            behavior: behavior_of(spec, id),
+            auth_hex: auth_hex(id),
+            listen: "127.0.0.1:0".into(),
+            peers: None,
+            wal: wal_path(id),
+            ckpt_retry: CHURN_CKPT_RETRY,
+        };
+        children.push(spawn_replica(&bin, spec, &cfg)?);
+    }
+
+    let (line_tx, line_rx) = unbounded::<ChildLine>();
+    let mut stdins: Vec<Option<ChildStdin>> = Vec::with_capacity(spec.n);
+    for (id, child) in children.iter_mut().enumerate() {
+        stdins.push(Some(attach_reader(id, child, &line_tx)));
+    }
+    // `line_tx` stays alive: restarted children clone it for their reader
+    // threads. Liveness comes from the deadline, not channel disconnect.
+    let mut reaper = Reaper(children);
+
+    // Phase 1: gather every child's kernel-assigned port.
+    let mut ports: BTreeMap<usize, u16> = BTreeMap::new();
+    let mut pending_lines: Vec<Vec<String>> = vec![Vec::new(); spec.n];
+    while ports.len() < spec.n {
+        let line = recv_line(&line_rx, deadline).map_err(|e| {
+            e.with_pending(|| (0..spec.n).filter(|id| !ports.contains_key(id)).collect())
+        })?;
+        match line {
+            ChildLine::Line(id, line) => {
+                if let Some(port) = line
+                    .strip_prefix(control::PORT)
+                    .and_then(|r| r.trim().parse::<u16>().ok())
+                {
+                    ports.insert(id, port);
+                } else {
+                    pending_lines[id].push(line);
+                }
+            }
+            ChildLine::Eof(id) => {
+                let when = if ports.contains_key(&id) {
+                    "right after announcing its port"
+                } else {
+                    "before announcing its port"
+                };
+                return Err(ClusterError::Protocol {
+                    id,
+                    what: format!("exited {when} ({})", exit_status_of(&mut reaper.0[id])),
+                });
+            }
+        }
+    }
+
+    // Phase 2: hand everyone the full peer list; the moment the last child
+    // has it is the epoch every plan step's offset is measured from.
+    let addrs: Vec<String> = (0..spec.n)
+        .map(|id| format!("127.0.0.1:{}", ports[&id]))
+        .collect();
+    let peer_line = format!("{} {}\n", control::PEERS, addrs.join(" "));
+    for (id, slot) in stdins.iter_mut().enumerate() {
+        let stdin = slot.as_mut().expect("all children alive at bootstrap");
+        if let Err(e) = stdin
+            .write_all(peer_line.as_bytes())
+            .and_then(|()| stdin.flush())
+        {
+            return Err(ClusterError::Protocol {
+                id,
+                what: format!(
+                    "closed its control pipe before taking the peer list: {e} ({})",
+                    exit_status_of(&mut reaper.0[id])
+                ),
+            });
+        }
+    }
+    let epoch = Instant::now();
+
+    // Phase 3: interleave plan steps with report collection.
+    let mut steps = plan.steps.clone();
+    steps.sort_by_key(|s| s.at);
+    let mut next_step = 0;
+    let mut killed = vec![false; spec.n];
+    // Killed incarnations owe the channel one EOF each; count them so a
+    // stale EOF (or a stale line racing it) is never blamed on — or mixed
+    // into the report of — the restarted incarnation.
+    let mut stale_eofs = vec![0usize; spec.n];
+    let mut partition: Option<Vec<usize>> = None;
+    let mut blocks: Vec<Vec<String>> = pending_lines;
+    let mut done = vec![false; spec.n];
+
+    while (0..spec.correct()).any(|id| !done[id]) {
+        // Fire every step that has come due.
+        while next_step < steps.len() && epoch.elapsed() >= steps[next_step].at {
+            let action = steps[next_step].action.clone();
+            next_step += 1;
+            match action {
+                ChurnAction::Partition { side } => {
+                    for (id, stdin) in stdins.iter_mut().enumerate() {
+                        send_part(stdin, id, &side, spec.n);
+                    }
+                    partition = Some(side);
+                }
+                ChurnAction::Heal => {
+                    for stdin in stdins.iter_mut().flatten() {
+                        let _ = stdin
+                            .write_all(format!("{}\n", control::HEAL).as_bytes())
+                            .and_then(|()| stdin.flush());
+                    }
+                    partition = None;
+                }
+                ChurnAction::Kill { id } => {
+                    assert!(!killed[id], "churn plan killed replica {id} twice");
+                    killed[id] = true;
+                    stale_eofs[id] += 1;
+                    done[id] = false;
+                    blocks[id].clear();
+                    stdins[id] = None;
+                    let _ = reaper.0[id].kill();
+                    let _ = reaper.0[id].wait();
+                }
+                ChurnAction::Restart { id } => {
+                    assert!(killed[id], "churn plan restarted live replica {id}");
+                    let cfg = ChildConfig {
+                        id,
+                        behavior: behavior_of(spec, id),
+                        auth_hex: auth_hex(id),
+                        // SO_REUSEADDR (std sets it on Unix) lets the
+                        // rejoiner re-bind the port its peers still dial.
+                        listen: format!("127.0.0.1:{}", ports[&id]),
+                        peers: Some(addrs.join(",")),
+                        wal: wal_path(id),
+                        ckpt_retry: CHURN_CKPT_RETRY,
+                    };
+                    let mut child = spawn_replica(&bin, spec, &cfg)?;
+                    stdins[id] = Some(attach_reader(id, &mut child, &line_tx));
+                    reaper.0[id] = child;
+                    killed[id] = false;
+                    if let Some(side) = &partition {
+                        send_part(&mut stdins[id], id, side, spec.n);
+                    }
+                }
+            }
+        }
+
+        // Sleep until a pipe speaks, the next step comes due, or the
+        // deadline — whichever is first.
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(ClusterError::Timeout {
+                pending: (0..spec.correct()).filter(|&id| !done[id]).collect(),
+            });
+        }
+        let wake = steps
+            .get(next_step)
+            .map(|s| epoch + s.at)
+            .unwrap_or(deadline)
+            .min(deadline);
+        let wait = wake
+            .saturating_duration_since(now)
+            .clamp(Duration::from_millis(1), Duration::from_millis(50));
+        match line_rx.recv_timeout(wait) {
+            Ok(ChildLine::Line(id, line)) => {
+                if stale_eofs[id] > 0 {
+                    // Tail output of a killed incarnation still draining.
+                } else if line.trim() == control::DONE {
+                    done[id] = true;
+                } else if line.starts_with(control::PORT) {
+                    // A restarted child re-announces its (unchanged) port.
+                } else {
+                    blocks[id].push(line);
+                }
+            }
+            Ok(ChildLine::Eof(id)) => {
+                if stale_eofs[id] > 0 {
+                    stale_eofs[id] -= 1;
+                } else if !(done[id] || killed[id] || id >= spec.correct()) {
+                    return Err(ClusterError::Protocol {
+                        id,
+                        what: format!(
+                            "exited before finishing its report ({})",
+                            exit_status_of(&mut reaper.0[id])
+                        ),
+                    });
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err(ClusterError::Io("all control pipes closed".into()));
+            }
+        }
+    }
+    drop(line_tx);
+
+    // Phase 4: everyone has reported — release the cluster.
+    for stdin in stdins.iter_mut().flatten() {
+        let _ = stdin.write_all(format!("{}\n", control::STOP).as_bytes());
+        let _ = stdin.flush();
+    }
+    drop(stdins);
+    for child in reaper.0.iter_mut() {
+        let grace = Instant::now() + Duration::from_secs(5);
+        loop {
+            match child.try_wait() {
+                Ok(Some(_)) => break,
+                Ok(None) if Instant::now() < grace => std::thread::sleep(Duration::from_millis(10)),
+                _ => break, // wedged: the reaper's kill handles it
+            }
+        }
+    }
+
+    let mut replicas = Vec::with_capacity(spec.correct());
+    for (id, block) in blocks.iter().enumerate().take(spec.correct()) {
+        replicas.push(parse_stats(id, block)?);
+    }
+    Ok(ClusterReport {
+        replicas,
+        total_commands: spec.total_commands(),
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Writes the `PART` rule replica `id` needs under a full bipartition:
+/// members of `side` block the complement; everyone else blocks `side`.
+/// Best effort — a dying child's broken pipe is not an orchestrator error.
+fn send_part(stdin: &mut Option<ChildStdin>, id: usize, side: &[usize], n: usize) {
+    let Some(stdin) = stdin.as_mut() else { return };
+    let blocked: Vec<String> = if side.contains(&id) {
+        (0..n)
+            .filter(|p| !side.contains(p))
+            .map(|p| p.to_string())
+            .collect()
+    } else {
+        side.iter().map(|p| p.to_string()).collect()
+    };
+    let line = format!("{} {}\n", control::PART, blocked.join(" "));
+    let _ = stdin
+        .write_all(line.as_bytes())
+        .and_then(|()| stdin.flush());
+}
+
+/// The behavior of replica `id` under `spec` (riders occupy the top ids).
+fn behavior_of(spec: &ClusterSpec, id: usize) -> Behavior {
+    if id >= spec.correct() {
+        spec.riders[id - spec.correct()]
+    } else {
+        Behavior::Correct
+    }
+}
+
+/// Per-child variations on the shared CLI: fresh children bind port 0 and
+/// learn their peers over stdin; restarted children re-bind their old
+/// port, take the peer list up front, and reopen their write-ahead log.
+struct ChildConfig {
+    id: usize,
+    behavior: Behavior,
+    auth_hex: Option<String>,
+    listen: String,
+    peers: Option<String>,
+    wal: Option<PathBuf>,
+    ckpt_retry: u64,
+}
+
+/// Spawns one `minsync-node` child with a piped control pipe.
+fn spawn_replica(bin: &Path, spec: &ClusterSpec, cfg: &ChildConfig) -> Result<Child, ClusterError> {
+    let mut command = Command::new(bin);
+    if let Some(hex) = &cfg.auth_hex {
+        command.arg("--auth-keys").arg(hex);
+    }
+    if let Some(peers) = &cfg.peers {
+        command.arg("--peers").arg(peers);
+    }
+    if let Some(wal) = &cfg.wal {
+        command.arg("--wal").arg(wal);
+    }
+    if cfg.ckpt_retry > 0 {
+        command.arg("--ckpt-retry").arg(cfg.ckpt_retry.to_string());
+    }
+    command
+        .arg("--id")
+        .arg(cfg.id.to_string())
+        .arg("--n")
+        .arg(spec.n.to_string())
+        .arg("--t")
+        .arg(spec.t.to_string())
+        .arg("--groups")
+        .arg(spec.groups.to_string())
+        .arg("--clients")
+        .arg(spec.clients_per_group.to_string())
+        .arg("--commands")
+        .arg(spec.commands_per_client.to_string())
+        .arg("--batch")
+        .arg(spec.batch.to_string())
+        .arg("--arrival")
+        .arg(arrival_to_arg(&spec.arrivals))
+        .arg("--seed")
+        .arg(spec.seed.to_string())
+        .arg("--behavior")
+        .arg(cfg.behavior.arg())
+        .arg("--tick-us")
+        .arg(spec.tick.as_micros().to_string())
+        .arg("--timeout-ms")
+        .arg(spec.child_timeout.as_millis().to_string())
+        .arg("--listen")
+        .arg(&cfg.listen)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| ClusterError::Io(format!("spawning replica {}: {e}", cfg.id)))
+}
+
+/// Takes a freshly spawned child's pipes: its stdout gets a funnel thread
+/// feeding `tx`, and its stdin comes back to the caller for control writes.
+fn attach_reader(id: usize, child: &mut Child, tx: &Sender<ChildLine>) -> ChildStdin {
+    let stdin = child.stdin.take().expect("piped stdin");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let tx = tx.clone();
+    std::thread::spawn(move || {
+        let reader = BufReader::new(stdout);
+        for line in reader.lines() {
+            match line {
+                Ok(line) => {
+                    if tx.send(ChildLine::Line(id, line)).is_err() {
+                        return;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        let _ = tx.send(ChildLine::Eof(id));
+    });
+    stdin
+}
+
+/// Create-and-remove guard for the churn runner's WAL directory.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn create(path: PathBuf) -> Result<TempDir, ClusterError> {
+        std::fs::create_dir_all(&path)
+            .map_err(|e| ClusterError::Io(format!("creating WAL dir {}: {e}", path.display())))?;
+        Ok(TempDir(path))
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
 /// The dealer's master secret for a cluster, derived from its seed (every
 /// child of one cluster shares it; two clusters with different seeds never
 /// cross-authenticate).
@@ -659,7 +1112,7 @@ fn recv_line(rx: &Receiver<ChildLine>, deadline: Instant) -> Result<ChildLine, C
 /// DIGEST <16-hex-digit fnv1a64>
 /// WALL_MS <float>
 /// LAT <count> <p50> <p95> <p99> <mean>      (virtual ticks)
-/// DROPS <outbound> <decode> <handshake> <auth>
+/// DROPS <outbound> <decode> <handshake> <auth> <future> <retired>
 /// ```
 fn parse_stats(id: usize, block: &[String]) -> Result<ReplicaStats, ClusterError> {
     let field = |key: &str| -> Result<Vec<String>, ClusterError> {
@@ -685,7 +1138,7 @@ fn parse_stats(id: usize, block: &[String]) -> Result<ReplicaStats, ClusterError
         || digest.len() != 1
         || wall.len() != 1
         || lat.len() != 5
-        || drops.len() != 4
+        || drops.len() != 6
     {
         return Err(bad("malformed report line"));
     }
@@ -706,6 +1159,8 @@ fn parse_stats(id: usize, block: &[String]) -> Result<ReplicaStats, ClusterError
         decode_disconnects: drops[1].parse().map_err(|_| bad("bad DROPS"))?,
         handshake_rejects: drops[2].parse().map_err(|_| bad("bad DROPS"))?,
         auth_rejects: drops[3].parse().map_err(|_| bad("bad DROPS"))?,
+        future_drops: drops[4].parse().map_err(|_| bad("bad DROPS"))?,
+        retired_drops: drops[5].parse().map_err(|_| bad("bad DROPS"))?,
     })
 }
 
@@ -754,7 +1209,7 @@ mod tests {
             "DIGEST cbf29ce484222325",
             "WALL_MS 412.5",
             "LAT 128 10 25 40 12.75",
-            "DROPS 3 1 0 2",
+            "DROPS 3 1 0 2 5 4",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -766,7 +1221,17 @@ mod tests {
         assert_eq!(stats.lat_p99, 40);
         assert_eq!(stats.outbound_dropped, 3);
         assert_eq!(stats.auth_rejects, 2);
+        assert_eq!(stats.future_drops, 5);
+        assert_eq!(stats.retired_drops, 4);
         assert!((stats.wall.as_secs_f64() - 0.4125).abs() < 1e-9);
+
+        // The old four-field DROPS grammar is rejected, not half-parsed.
+        let mut short = block.clone();
+        short[4] = "DROPS 3 1 0 2".into();
+        assert!(matches!(
+            parse_stats(2, &short),
+            Err(ClusterError::Protocol { id: 2, .. })
+        ));
 
         let missing = parse_stats(2, &block[..2]);
         assert!(matches!(missing, Err(ClusterError::Protocol { id: 2, .. })));
@@ -802,6 +1267,8 @@ mod tests {
             decode_disconnects: 0,
             handshake_rejects: 0,
             auth_rejects: 0,
+            future_drops: 0,
+            retired_drops: 0,
         };
         let report = ClusterReport {
             replicas: vec![stats(0, 7, 500), stats(1, 7, 250)],

@@ -29,6 +29,7 @@ pub mod cluster;
 pub mod mesh;
 
 pub use cluster::{
-    run_cluster, Behavior, ClusterError, ClusterReport, ClusterSpec, LogDigest, ReplicaStats,
+    run_churn_cluster, run_cluster, Behavior, ChurnAction, ChurnPlan, ChurnStep, ClusterError,
+    ClusterReport, ClusterSpec, LogDigest, ReplicaStats,
 };
-pub use mesh::{MeshConfig, MeshOutput, MeshReport, TcpMesh};
+pub use mesh::{LinkFaults, MeshConfig, MeshOutput, MeshReport, TcpMesh};

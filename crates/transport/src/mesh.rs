@@ -94,6 +94,10 @@ pub struct MeshConfig {
     pub max_backoff: Duration,
     /// Per-attempt TCP connect timeout.
     pub connect_timeout: Duration,
+    /// Idle interval after which a writer probes its connection with a
+    /// keepalive frame (and notices a dead peer). Churn tests tighten this;
+    /// the default matches the historical hard-coded 50 ms.
+    pub keepalive: Duration,
     /// Cap on simultaneously live inbound connections (a Byzantine peer
     /// opening sockets in a loop exhausts this, not the process's threads).
     pub max_connections: usize,
@@ -106,6 +110,11 @@ pub struct MeshConfig {
     /// readers admit [`tagged_frame_cap`]`(max_frame)` bytes so the MAC
     /// rides for free instead of stealing payload capacity.
     pub auth: Option<Arc<dyn Authenticator>>,
+    /// Per-peer outbound drop switches for fault injection. `None` (the
+    /// default) sends everywhere; `Some` lets an orchestrator partition and
+    /// heal links while the mesh runs (see [`LinkFaults`]). Blocked sends
+    /// are counted per peer in [`MeshReport::outbound_dropped`].
+    pub faults: Option<Arc<LinkFaults>>,
 }
 
 impl Default for MeshConfig {
@@ -120,9 +129,57 @@ impl Default for MeshConfig {
             initial_backoff: Duration::from_millis(5),
             max_backoff: Duration::from_millis(200),
             connect_timeout: Duration::from_millis(250),
+            keepalive: Duration::from_millis(50),
             max_connections: 64,
             auth: None,
+            faults: None,
         }
+    }
+}
+
+/// Per-peer outbound drop switches — the cluster-side analog of the
+/// simulator's churn oracle. The orchestrator (or a `PART`/`HEAL` control
+/// verb in `minsync-node`) flips flags while the mesh runs; a blocked peer's
+/// traffic is counted into `outbound_dropped` and never reaches the socket,
+/// so a symmetric pair of `LinkFaults` on both sides of a cut is a real
+/// bidirectional partition. Healing is just clearing the flags: the writer
+/// threads and their reconnect/backoff machinery never notice the fault,
+/// which is exactly the "network came back" shape churn recovery must absorb.
+#[derive(Debug)]
+pub struct LinkFaults {
+    blocked: Vec<AtomicBool>,
+}
+
+impl LinkFaults {
+    /// All `n` links healthy.
+    pub fn new(n: usize) -> Self {
+        LinkFaults {
+            blocked: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    /// Starts dropping outbound traffic to `peer`.
+    pub fn block(&self, peer: usize) {
+        self.blocked[peer].store(true, Ordering::Relaxed);
+    }
+
+    /// Replaces the blocked set wholesale (the `PART` verb's semantics).
+    pub fn set_blocked(&self, peers: &[usize]) {
+        for (i, b) in self.blocked.iter().enumerate() {
+            b.store(peers.contains(&i), Ordering::Relaxed);
+        }
+    }
+
+    /// Heals every link.
+    pub fn heal(&self) {
+        for b in &self.blocked {
+            b.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// Is outbound traffic to `peer` currently suppressed?
+    pub fn is_blocked(&self, peer: usize) -> bool {
+        self.blocked[peer].load(Ordering::Relaxed)
     }
 }
 
@@ -337,6 +394,7 @@ impl TcpMesh {
                     initial_backoff: config.initial_backoff,
                     max_backoff: config.max_backoff,
                     connect_timeout: config.connect_timeout,
+                    keepalive: config.keepalive,
                     auth: config.auth.clone(),
                 },
                 rx,
@@ -355,6 +413,7 @@ impl TcpMesh {
             timers: BinaryHeap::new(),
             outputs: Vec::new(),
             halted: false,
+            faults: config.faults.clone(),
             env: Env::new(
                 n,
                 derive_stream(
@@ -498,6 +557,7 @@ struct MeshWorker<'a, M, O> {
     timers: BinaryHeap<PendingTimer>,
     outputs: Vec<MeshOutput<O>>,
     halted: bool,
+    faults: Option<Arc<LinkFaults>>,
     env: Env<M, O>,
 }
 
@@ -515,6 +575,14 @@ impl<M: Clone, O> MeshWorker<'_, M, O> {
         match &self.peer_txs[to] {
             None => self.self_queue.push_back((self.me, msg)),
             Some(tx) => {
+                // Injected link faults sit in front of the queue: a blocked
+                // peer's traffic is counted as dropped and never queued, so a
+                // heal does not release a backlog of stale partition-era
+                // frames. The self-channel (above) is never faultable.
+                if self.faults.as_ref().is_some_and(|f| f.is_blocked(to)) {
+                    self.counters.outbound_dropped[to].fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
                 if tx.try_send(msg).is_err() {
                     self.counters.outbound_dropped[to].fetch_add(1, Ordering::Relaxed);
                 }
@@ -572,6 +640,7 @@ struct WriterSpec {
     initial_backoff: Duration,
     max_backoff: Duration,
     connect_timeout: Duration,
+    keepalive: Duration,
     auth: Option<Arc<dyn Authenticator>>,
 }
 
@@ -632,7 +701,7 @@ where
                 }
             }
             loop {
-                match rx.recv_timeout(Duration::from_millis(50)) {
+                match rx.recv_timeout(spec.keepalive) {
                     Ok(msg) => {
                         if shared.shutdown() {
                             // Teardown outranks the backlog: against a

@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use minsync_auth::HmacAuthenticator;
 use minsync_net::{Env, Node, TimerId};
-use minsync_transport::mesh::{MeshConfig, MeshReport, TcpMesh};
+use minsync_transport::mesh::{LinkFaults, MeshConfig, MeshReport, TcpMesh};
 use minsync_types::ProcessId;
 use minsync_wire::{
     encode_frame, encode_frame_tagged, Hello, DEFAULT_MAX_FRAME, HELLO_LEN, WIRE_VERSION,
@@ -339,6 +339,107 @@ fn newer_connection_from_a_sender_supersedes_the_older_one() {
         [1, 2],
         "superseded connection's frame must not land"
     );
+}
+
+/// Injected link faults partition a live mesh and heal without any
+/// reconnect: while the fault is up, outbound frames toward the blocked
+/// peer are counted as drops and never hit the socket; after `heal()` the
+/// very next send goes through and the peer's reply comes back.
+#[test]
+fn link_faults_block_then_heal_outbound_traffic() {
+    /// Sends `7` toward peer 1 every tick until peer 1's echo arrives.
+    struct Beacon;
+    impl Node for Beacon {
+        type Msg = u64;
+        type Output = u64;
+
+        fn on_start(&mut self, env: &mut Env<u64, u64>) {
+            env.send(ProcessId::new(1), 7);
+            env.set_timer(1);
+        }
+
+        fn on_message(&mut self, _: ProcessId, msg: u64, env: &mut Env<u64, u64>) {
+            env.output(msg);
+        }
+
+        fn on_timer(&mut self, _t: TimerId, env: &mut Env<u64, u64>) {
+            env.send(ProcessId::new(1), 7);
+            env.set_timer(1);
+        }
+    }
+    /// Echoes everything back to process 0.
+    struct Echo;
+    impl Node for Echo {
+        type Msg = u64;
+        type Output = u64;
+
+        fn on_message(&mut self, _: ProcessId, msg: u64, env: &mut Env<u64, u64>) {
+            env.send(ProcessId::new(0), msg + 1);
+            env.output(msg);
+        }
+    }
+
+    let faults = std::sync::Arc::new(LinkFaults::new(2));
+    faults.block(1);
+    assert!(faults.is_blocked(1) && !faults.is_blocked(0));
+
+    let a = TcpMesh::bind(ProcessId::new(0), "127.0.0.1:0".parse().unwrap()).unwrap();
+    let b = TcpMesh::bind(ProcessId::new(1), "127.0.0.1:0".parse().unwrap()).unwrap();
+    let peers = vec![a.local_addr().unwrap(), b.local_addr().unwrap()];
+    let peers_b = peers.clone();
+    // B lingers past its first echo: stopping immediately would race its
+    // writer thread (teardown outranks the backlog and would discard the
+    // still-queued reply frame).
+    let mut served_since = None;
+    let echo = std::thread::spawn(move || {
+        b.run(Box::new(Echo), &peers_b, &quick_config(), move |outs, _| {
+            if outs.is_empty() {
+                return false;
+            }
+            let at = *served_since.get_or_insert_with(std::time::Instant::now);
+            at.elapsed() > Duration::from_millis(300)
+        })
+    });
+    let healer = {
+        let faults = std::sync::Arc::clone(&faults);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(300));
+            faults.heal();
+        })
+    };
+    let config = MeshConfig {
+        faults: Some(std::sync::Arc::clone(&faults)),
+        ..quick_config()
+    };
+    let report_a = a.run(Box::new(Beacon), &peers, &config, |outs, _| {
+        !outs.is_empty()
+    });
+    let report_b = echo.join().unwrap();
+    healer.join().unwrap();
+    assert!(!report_a.timed_out && !report_b.timed_out);
+    assert_eq!(report_a.outputs[0].event, 8, "echo landed after the heal");
+    assert_eq!(report_b.outputs[0].event, 7);
+    assert!(
+        report_a.outbound_dropped[1] >= 1,
+        "partition-era sends were counted as drops, got {:?}",
+        report_a.outbound_dropped
+    );
+}
+
+/// `set_blocked` replaces the whole blocked set (the `PART` control verb's
+/// semantics) and `heal` clears it.
+#[test]
+fn link_faults_set_blocked_replaces_wholesale() {
+    let f = LinkFaults::new(4);
+    f.set_blocked(&[1, 3]);
+    assert!(!f.is_blocked(0) && f.is_blocked(1) && !f.is_blocked(2) && f.is_blocked(3));
+    f.set_blocked(&[2]);
+    assert!(
+        !f.is_blocked(1) && f.is_blocked(2) && !f.is_blocked(3),
+        "replaced, not unioned"
+    );
+    f.heal();
+    assert!((0..4).all(|p| !f.is_blocked(p)));
 }
 
 /// Key confirmation happens *before* the epoch claim: a forged handshake

@@ -31,6 +31,7 @@ fn retired_slot_gc_keeps_live_state_bounded_over_10k_commands() {
         window: 16,
         future_horizon: 32,
         max_buffered: 4096,
+        ckpt_retry: 0,
     };
     let cfg = ConsensusConfig::paper(system);
     let mut builder = SimBuilder::new(NetworkTopology::all_timely(4, 3))
