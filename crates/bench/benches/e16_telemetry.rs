@@ -1,0 +1,65 @@
+//! E16 — telemetry: the cost of running fully instrumented, plus the
+//! stage breakdown the instrumentation exists to produce.
+//!
+//! Two kinds of cases land in `BENCH_e16.json`:
+//!
+//! * `traced_run/n=4` — wall-clock nanoseconds for the instrumented E10
+//!   configuration (trace recorder + registry live on every replica and
+//!   the simulator, dump written and re-parsed). Diffing this against
+//!   `e10_smr_throughput` trends tracks the instrumentation tax.
+//! * `stage/<name>` — per-stage commit-pipeline latency percentiles from
+//!   the trace analyzer, in **virtual ticks** stored in the nanosecond
+//!   fields (the run is deterministic, so these diff exactly across PRs:
+//!   any drift is a protocol change, not machine noise).
+//!
+//! Like E4/E15 this hand-rolls its loop for the machine-readable report
+//! diffed by `bench_diff`. Invoked without `--bench` (e.g. `cargo test
+//! --benches`) it smoke-runs once and writes nothing.
+//!
+//! Flags (after `--`): `--smoke` (three samples per case), `--json PATH`
+//! (redirect the report; the default workspace-root `BENCH_e16.json` is
+//! only written on full runs).
+
+use std::time::{Duration, Instant};
+
+use criterion::black_box;
+use minsync_bench::{CaseStats, JsonBenchRun, BENCH_SEED};
+use minsync_harness::experiments::e16_telemetry;
+
+fn main() {
+    // Flag/filter handling is the shared JsonBenchRun convention.
+    let Some(run) = JsonBenchRun::from_env("e16_telemetry", 20) else {
+        return;
+    };
+    let samples = run.samples;
+    let mut cases = Vec::new();
+
+    let mut times = Vec::with_capacity(samples);
+    let mut stages = Vec::new();
+    for _ in 0..samples {
+        let start = Instant::now();
+        stages = black_box(e16_telemetry::bench_one(16, BENCH_SEED));
+        times.push(start.elapsed());
+    }
+    let wall = CaseStats::from_times("traced_run/n=4", &times);
+    println!(
+        "e16_telemetry/{}: mean {}ns, min {}ns, max {}ns ({} samples)",
+        wall.name, wall.mean_ns, wall.min_ns, wall.max_ns, wall.samples
+    );
+    cases.push(wall);
+
+    // Stage latencies are virtual ticks (deterministic per seed); encode
+    // each tick count as one "nanosecond" sample so CaseStats carries the
+    // distribution.
+    for (stage, ticks) in stages {
+        let as_times: Vec<Duration> = ticks.iter().map(|&t| Duration::from_nanos(t)).collect();
+        let stats = CaseStats::from_times(format!("stage/{stage}"), &as_times);
+        println!(
+            "e16_telemetry/{}: mean {} ticks, min {}, max {} ({} slots)",
+            stats.name, stats.mean_ns, stats.min_ns, stats.max_ns, stats.samples
+        );
+        cases.push(stats);
+    }
+
+    run.write_report("e16_telemetry", "BENCH_e16.json", &cases);
+}

@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (E1–E11, E13–E15).
+//! Regenerates every experiment table (E1–E11, E13–E16).
 //!
 //! ```text
 //! cargo run -p minsync-harness --release --bin experiments [-- --quick] [--csv DIR] [e1 e3 ...]
@@ -10,8 +10,8 @@
 //! `--list` prints the experiment catalog (id + one-line description) and
 //! exits without running anything.
 //!
-//! E11, E13, and E15 spawn real `minsync-node` OS processes — build them
-//! first
+//! E11, E13, E15, and E16 spawn real `minsync-node` OS processes — build
+//! them first
 //! (`cargo build --release -p minsync-transport`) or they abort with a hint.
 
 use minsync_harness::experiments;
@@ -91,6 +91,11 @@ fn catalog() -> Vec<(&'static str, &'static str, Runner)> {
             "e15",
             "Authenticated transport: impersonator severed vs accepted, quorum-certificate catch-up accounting",
             experiments::e15_auth::run,
+        ),
+        (
+            "e16",
+            "Unified telemetry: per-substrate stage breakdowns, pipelining-window overlap, tracing overhead gate",
+            experiments::e16_telemetry::run,
         ),
     ]
 }

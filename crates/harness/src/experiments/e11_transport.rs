@@ -54,6 +54,8 @@ fn spec(n: usize, t: usize, commands_per_client: usize, riders: Vec<Behavior>) -
         tick: TICK,
         child_timeout: Duration::from_secs(60),
         harness_timeout: Duration::from_secs(120),
+        window: None,
+        trace_dir: None,
     }
 }
 
@@ -93,13 +95,29 @@ fn run_case(spec: &ClusterSpec) -> ClusterReport {
             // A clean run must never touch the flow-control cap or the MAC
             // check: future traffic is bounded by the pipeline width and no
             // honest frame fails verification, so a nonzero counter means
-            // honest traffic was discarded. Retired drops are NOT zero by
-            // invariant — a peer's instance can answer a straggler's echo
-            // *after* acking the slot, and that relay races the straggler's
-            // own ack on a different TCP stream — so they are surfaced in
-            // the table but only asserted in the deterministic sim (E13).
-            assert_eq!(r.future_drops, 0, "E11 clean run dropped future traffic");
-            assert_eq!(r.auth_rejects, 0, "E11 clean run rejected a frame");
+            // honest traffic was discarded. Read straight off the child's
+            // registry snapshot — the metric names are the contract.
+            // Retired drops are NOT zero by invariant — a peer's instance
+            // can answer a straggler's echo *after* acking the slot, and
+            // that relay races the straggler's own ack on a different TCP
+            // stream — so they are surfaced in the table but only asserted
+            // in the deterministic sim (E13).
+            let counter = |name: &str| r.snapshot.counter(name).unwrap_or(0);
+            assert_eq!(
+                counter("smr.future_drops"),
+                0,
+                "E11 clean run dropped future traffic"
+            );
+            assert_eq!(
+                counter("mesh.auth_rejects"),
+                0,
+                "E11 clean run rejected a frame"
+            );
+            assert_eq!(
+                counter("smr.cert_rejects"),
+                0,
+                "E11 clean run rejected a certificate"
+            );
         }
     }
     report

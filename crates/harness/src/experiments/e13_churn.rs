@@ -264,6 +264,8 @@ fn cluster_spec(n: usize, t: usize, commands_per_client: usize, seed: u64) -> Cl
         tick: TICK,
         child_timeout: Duration::from_secs(60),
         harness_timeout: Duration::from_secs(120),
+        window: None,
+        trace_dir: None,
     }
 }
 

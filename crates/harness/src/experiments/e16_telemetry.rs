@@ -1,0 +1,801 @@
+//! E16 — unified telemetry: cross-substrate tracing, the per-replica
+//! metrics registry, and the profiling overhead gate.
+//!
+//! PR 9 threads one observability layer (`minsync-telemetry`) through all
+//! three substrates — the deterministic simulator, the threaded runtime,
+//! and the TCP mesh — without perturbing any of them. E16 measures what
+//! that buys and what it costs, in four arms:
+//!
+//! 1. **Simulator stage breakdown** — an instrumented E10-configuration
+//!    SMR run records `Submitted → Proposed → Committed → AckQuorum` stage
+//!    events (client arrival ticks back-filled from the workload
+//!    schedule); the span-pairing analyzer folds them into per-stage
+//!    latency percentiles plus central-queue residency. The dump is
+//!    written as JSONL, re-parsed, and re-analyzed — asserting the
+//!    `minsync-trace` pipeline reproduces the breakdown byte-for-byte from
+//!    the file alone.
+//! 2. **Threaded runtime** — the same replica line-up on OS threads via
+//!    `run_threaded_traced`, asserting the trace carries handler-step and
+//!    queue events from every worker (the cross-substrate half of the
+//!    tentpole: one event vocabulary, three substrates).
+//! 3. **TCP cluster + pipelining window** — two real `minsync-node`
+//!    clusters with `--trace` dumps, one at the default window (64) and
+//!    one serialized at `--window 1`. The per-replica dumps prove the
+//!    stage pipeline end-to-end over sockets, and the *eager-proposal*
+//!    count (slots proposed before the previous slot's `n − t` ack quorum
+//!    landed — exactly what `started < quorum_floor + window` permits)
+//!    verifies the window plumbing: zero under `--window 1`, nonzero
+//!    under the pipelined default.
+//! 4. **Overhead gate** — telemetry must be *semantically* free always
+//!    (paired idle/recorder-attached E4 runs decide at the identical
+//!    virtual time with the identical message count — asserted on every
+//!    run) and *temporally* within the 5% budget: full release runs
+//!    assert that attaching the metrics registry — the always-on half of
+//!    the layer — moves the paired in-process E4 min by less than 5%.
+//!    Two further numbers are reported without a gate, with their
+//!    caveats: the fresh idle min vs the committed `BENCH_e4.json` min
+//!    (the same machine measures identical code ~8% apart across
+//!    *binaries* — code layout, not telemetry), and the cost of a fully
+//!    *attached* trace recorder on the ~150µs microbenchmark (per-event
+//!    ring writes are real work, priced openly as the active-tracing
+//!    tax). The idle-hook cost itself was pinned by running the e4 bench
+//!    harness on the pre-telemetry and instrumented trees back to back:
+//!    +2.4% on the min — the number EXPERIMENTS.md records.
+//!
+//! The wall-clock stage numbers feed `BENCH_e16.json` via the
+//! `e16_telemetry` bench target.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use minsync_core::ConsensusConfig;
+use minsync_net::sim::SimBuilder;
+use minsync_net::threaded::{run_threaded_traced, ThreadedConfig};
+use minsync_net::{NetworkTopology, Node};
+use minsync_smr::{ReplicaNode, SmrEvent, SmrMsg};
+use minsync_telemetry::analyze::{
+    queue_residency, slot_timelines, slowest_slots, stage_breakdown, Percentiles, SlotTimeline,
+    StageStats,
+};
+use minsync_telemetry::trace::{
+    parse_dump, queues, TraceEvent, TraceKind, TraceMeta, TraceRecorder, DEFAULT_TRACE_CAPACITY,
+};
+use minsync_telemetry::Registry;
+use minsync_transport::cluster::{run_cluster, ClusterReport, ClusterSpec};
+use minsync_types::{ProcessId, SystemConfig};
+use minsync_workload::{committed_commands, ArrivalProcess, Batch, ClientPopulation, WorkloadSpec};
+
+use crate::runner::ConsensusRunBuilder;
+use crate::Table;
+
+type Msg = SmrMsg<Batch>;
+type Out = SmrEvent<Batch>;
+
+/// Tick length of the E16 cluster children (stage ticks convert to wall
+/// time with this).
+const TICK: Duration = Duration::from_micros(200);
+
+/// Where E16 leaves its trace dumps (`target/e16/` at the workspace root),
+/// so a failed assertion can be replayed through `minsync-trace` by hand.
+fn dump_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/e16")
+}
+
+/// The E10-style workload every arm shares: m = 1 (digest-comparable
+/// logs), 4 clients, Poisson arrivals.
+fn workload(system: &SystemConfig, commands_per_client: usize, seed: u64) -> ClientPopulation {
+    WorkloadSpec {
+        groups: 1,
+        clients_per_group: 4,
+        commands_per_client,
+        arrivals: ArrivalProcess::Poisson { mean_gap: 0.5 },
+        seed,
+    }
+    .generate(system)
+    .expect("feasible workload")
+}
+
+/// Fully-instrumented replica line-up: every replica records stage events
+/// into `trace` and interns its drop counters in `registry`.
+fn traced_lineup(
+    system: SystemConfig,
+    pop: &ClientPopulation,
+    batch: usize,
+    trace: &Arc<TraceRecorder>,
+    registry: &Registry,
+) -> Vec<Box<dyn Node<Msg = Msg, Output = Out>>> {
+    let cfg = ConsensusConfig::paper(system);
+    let target = pop.slots_upper_bound(batch);
+    (0..system.n())
+        .map(|i| {
+            Box::new(
+                ReplicaNode::new(cfg, pop.source_for(i, batch), target)
+                    .with_registry(registry)
+                    .with_trace(Arc::clone(trace)),
+            ) as Box<dyn Node<Msg = Msg, Output = Out>>
+        })
+        .collect()
+}
+
+/// Back-fills `Submitted` stage events: a slot "finished arriving" at the
+/// latest workload arrival tick among the commands its committed batch
+/// carries (the analyzer keeps the earliest observation per stage, so
+/// appending after the run is equivalent to recording live).
+fn backfill_submitted(
+    trace: &TraceRecorder,
+    pop: &ClientPopulation,
+    committed: impl IntoIterator<Item = (u64, Batch)>,
+) {
+    for (slot, batch) in committed {
+        if let Some(at) = batch
+            .commands()
+            .iter()
+            .filter_map(|&cmd| pop.submit_tick(cmd))
+            .max()
+        {
+            trace.record_at(at, 0, TraceKind::Submitted { slot });
+        }
+    }
+}
+
+/// One simulator run of the instrumented E10 configuration: returns the
+/// trace events (with `Submitted` back-filled) and the registry snapshot.
+fn sim_arm(
+    commands_per_client: usize,
+    seed: u64,
+) -> (Vec<TraceEvent>, minsync_telemetry::Snapshot) {
+    let system = SystemConfig::new(4, 1).expect("valid system");
+    let pop = workload(&system, commands_per_client, seed);
+    let total = pop.total_commands();
+    let batch = 8;
+    let trace = Arc::new(TraceRecorder::new(DEFAULT_TRACE_CAPACITY));
+    let registry = Arc::new(Registry::new());
+
+    let mut builder = SimBuilder::new(NetworkTopology::all_timely(4, 3))
+        .seed(seed)
+        .classify(SmrMsg::classify)
+        .trace(Arc::clone(&trace))
+        .registry(Arc::clone(&registry));
+    for node in traced_lineup(system, &pop, batch, &trace, &registry) {
+        builder = builder.boxed_node(node);
+    }
+    let mut sim = builder.build();
+    let report = sim.run_until(move |outs| {
+        (0..4).all(|p| committed_commands(outs, ProcessId::new(p)) >= total)
+    });
+
+    backfill_submitted(
+        &trace,
+        &pop,
+        report
+            .outputs
+            .iter()
+            .filter(|o| o.process.index() == 0)
+            .filter_map(|o| o.event.as_committed().map(|(s, b)| (s, b.clone()))),
+    );
+
+    // The dump → parse → re-analyze round trip is the `minsync-trace`
+    // acceptance path: the breakdown must be reproducible from the file
+    // alone.
+    let events = trace.events();
+    let dump = trace.dump(&TraceMeta {
+        source: "sim".into(),
+        tick_ns: 0,
+        seed,
+    });
+    let dir = dump_dir();
+    std::fs::create_dir_all(&dir).expect("create target/e16");
+    let path = dir.join("sim-trace.jsonl");
+    std::fs::write(&path, &dump).expect("write sim trace dump");
+    let reparsed = parse_dump(&std::fs::read_to_string(&path).expect("read sim trace dump"))
+        .expect("parse sim trace dump");
+    assert_eq!(reparsed.meta.source, "sim");
+    assert_eq!(
+        stage_breakdown(&slot_timelines(&reparsed.events)),
+        stage_breakdown(&slot_timelines(&events)),
+        "E16: dump round trip changed the stage breakdown"
+    );
+
+    let snapshot = registry.snapshot();
+    assert!(
+        snapshot.gauge("sim.events_processed").unwrap_or(0) > 0,
+        "E16: simulator exported no metrics into the registry"
+    );
+    assert_eq!(
+        snapshot.counter("smr.future_drops").unwrap_or(0),
+        0,
+        "E16: clean instrumented run dropped future traffic"
+    );
+    (events, snapshot)
+}
+
+/// The threaded-runtime arm: same line-up on OS threads, asserting the
+/// trace carries per-worker handler and queue events.
+fn threaded_arm(commands_per_client: usize, seed: u64) -> (usize, usize) {
+    let system = SystemConfig::new(4, 1).expect("valid system");
+    let pop = workload(&system, commands_per_client, seed);
+    let total = pop.total_commands();
+    let trace = Arc::new(TraceRecorder::new(DEFAULT_TRACE_CAPACITY));
+    let registry = Registry::new();
+    let nodes = traced_lineup(system, &pop, 8, &trace, &registry);
+    let report = run_threaded_traced(
+        NetworkTopology::all_timely(4, 3),
+        nodes,
+        ThreadedConfig {
+            tick: Duration::from_micros(50),
+            timeout: Duration::from_secs(60),
+            seed,
+        },
+        |outs| {
+            (0..4).all(|p| {
+                outs.iter()
+                    .filter(|o| o.process.index() == p)
+                    .filter_map(|o| o.event.as_committed())
+                    .map(|(_, b)| b.len())
+                    .sum::<usize>()
+                    >= total
+            })
+        },
+        Arc::clone(&trace),
+    );
+    assert!(!report.timed_out, "E16 threaded arm timed out");
+    let events = trace.events();
+    let steps = events
+        .iter()
+        .filter(|e| matches!(e.kind, TraceKind::HandlerStep { .. }))
+        .count();
+    let queue_events = events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.kind,
+                TraceKind::Enqueue { queue, .. } | TraceKind::Dequeue { queue, .. }
+                if queue == queues::INBOX
+            )
+        })
+        .count();
+    assert!(steps > 0, "E16 threaded arm recorded no handler steps");
+    assert!(
+        queue_events > 0,
+        "E16 threaded arm recorded no inbox events"
+    );
+    (steps, queue_events)
+}
+
+/// Result of one traced cluster run.
+struct ClusterArm {
+    report: ClusterReport,
+    /// Replica 0's parsed trace events.
+    events: Vec<TraceEvent>,
+    /// Slots replica 0 proposed before the previous slot's ack quorum
+    /// landed — the pipelining the window allows (0 under `--window 1`).
+    eager: usize,
+}
+
+/// Runs one traced TCP cluster (optionally with a window override) and
+/// parses replica 0's trace dump.
+fn cluster_arm(window: Option<u64>, commands_per_client: usize, label: &str) -> ClusterArm {
+    let dir = dump_dir().join(format!("cluster-{label}"));
+    std::fs::create_dir_all(&dir).expect("create cluster trace dir");
+    let spec = ClusterSpec {
+        n: 4,
+        t: 1,
+        groups: 1,
+        clients_per_group: 4,
+        commands_per_client,
+        batch: 8,
+        arrivals: ArrivalProcess::Poisson { mean_gap: 0.5 },
+        seed: 7,
+        riders: Vec::new(),
+        auth: false,
+        tick: TICK,
+        child_timeout: Duration::from_secs(60),
+        harness_timeout: Duration::from_secs(120),
+        window,
+        trace_dir: Some(dir.clone()),
+    };
+    let report =
+        run_cluster(&spec).unwrap_or_else(|e| panic!("E16 cluster ({label}): cluster failed: {e}"));
+    assert!(
+        report.digests_agree(),
+        "E16 cluster ({label}): committed-log digests diverged"
+    );
+    for r in &report.replicas {
+        assert_eq!(
+            r.committed, report.total_commands,
+            "E16 cluster ({label}): replica {} stalled",
+            r.id
+        );
+    }
+    let path = dir.join("trace-0.jsonl");
+    let dump = parse_dump(&std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "E16 cluster ({label}): missing trace dump {}: {e}",
+            path.display()
+        )
+    }))
+    .unwrap_or_else(|e| panic!("E16 cluster ({label}): bad trace dump: {e}"));
+    assert_eq!(dump.meta.source, "tcp");
+    assert_eq!(dump.meta.tick_ns, TICK.as_nanos() as u64);
+    let eager = eager_proposals(&dump.events, 0);
+    ClusterArm {
+        report,
+        events: dump.events,
+        eager,
+    }
+}
+
+/// Counts node `node`'s slots proposed *before* the previous slot's ack
+/// quorum landed.
+///
+/// A replica never overlaps consensus instances (slot s + 1 starts only
+/// after s commits); what `SmrLimits::window` governs is how far the log
+/// may run *ahead of the cluster-wide ack quorum* (`started <
+/// quorum_floor + window`). Under the pipelined default a replica
+/// proposes s + 1 the moment s commits — several ticks before s's acks
+/// return — while `--window 1` forces it to wait for the quorum, so this
+/// count is the window's signature in a trace: zero means lockstep.
+/// Same-tick pairs don't count as eager (the window-1 replica proposes in
+/// the very handler step the floor advances).
+fn eager_proposals(events: &[TraceEvent], node: u32) -> usize {
+    let mut proposed: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    let mut quorum: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    for ev in events.iter().filter(|e| e.node == node) {
+        match ev.kind {
+            TraceKind::Proposed { slot } => {
+                proposed.entry(slot).or_insert(ev.at);
+            }
+            TraceKind::AckQuorum { slot } => {
+                quorum.entry(slot).or_insert(ev.at);
+            }
+            _ => {}
+        }
+    }
+    proposed
+        .iter()
+        .filter(|&(&slot, &at)| slot > 1 && quorum.get(&(slot - 1)).is_some_and(|&q| at < q))
+        .count()
+}
+
+/// The overhead gate: paired plain/instrumented runs of the E4 consensus
+/// configuration. Returns `(idle mean ns, traced mean ns)`.
+///
+/// Semantic passivity is asserted on every pair: the traced run must
+/// decide at the identical virtual time with the identical message count.
+/// The wall-clock delta is the *active-tracing tax* (ring writes per
+/// event on a ~150µs run) — reported, not gated; the idle-cost gate is
+/// [`e4_baseline_gate`].
+fn overhead_arm(samples: usize) -> (u64, u64) {
+    let run = |traced: bool, seed: u64| {
+        let mut builder = ConsensusRunBuilder::new(4, 1)
+            .expect("valid system")
+            .proposals([0, 1, 0, 1])
+            .seed(seed);
+        if traced {
+            builder = builder
+                .trace(Arc::new(TraceRecorder::new(DEFAULT_TRACE_CAPACITY)))
+                .registry(Arc::new(Registry::new()));
+        }
+        let start = Instant::now();
+        let outcome = builder.run().expect("e4 run");
+        (
+            start.elapsed(),
+            outcome.decision_latency(),
+            outcome.total_messages(),
+        )
+    };
+    let mut plain_total = Duration::ZERO;
+    let mut traced_total = Duration::ZERO;
+    for i in 0..samples {
+        let seed = 1 + i as u64;
+        // Interleave the pairing so drift (frequency scaling, competing
+        // load) hits both sides equally.
+        let (plain_wall, plain_lat, plain_msgs) = run(false, seed);
+        let (traced_wall, traced_lat, traced_msgs) = run(true, seed);
+        assert_eq!(
+            plain_lat, traced_lat,
+            "E16: tracing changed the decision latency at seed {seed}"
+        );
+        assert_eq!(
+            plain_msgs, traced_msgs,
+            "E16: tracing changed the message count at seed {seed}"
+        );
+        plain_total += plain_wall;
+        traced_total += traced_wall;
+    }
+    let plain_mean = (plain_total.as_nanos() / samples as u128) as u64;
+    let traced_mean = (traced_total.as_nanos() / samples as u128) as u64;
+    (plain_mean, traced_mean)
+}
+
+/// The in-process 5% budget gate: attaching a metrics [`Registry`] — the
+/// always-on half of the telemetry layer — must not move the E4 min by
+/// more than 5% against paired idle runs in the same process.
+///
+/// This is the half of the overhead story that *can* be asserted
+/// reliably: both sides run interleaved in one binary, so code layout,
+/// heap state, and machine drift cancel. The min is gated (the cache-hot
+/// best case is what per-event hook cost would move); means drift ~10%
+/// with process state. Returns `(idle min ns, registry min ns,
+/// asserted)`; the assert fires only on full release runs — debug builds
+/// spend their time elsewhere entirely.
+fn registry_gate(samples: usize, assert_budget: bool) -> (u64, u64, bool) {
+    let sample = |with_registry: bool, seed: u64| {
+        let mut builder = ConsensusRunBuilder::new(4, 1)
+            .expect("valid system")
+            .proposals([0, 1, 0, 1])
+            .seed(seed);
+        if with_registry {
+            builder = builder.registry(Arc::new(Registry::new()));
+        }
+        let start = Instant::now();
+        std::hint::black_box(builder.run().expect("e4 run"));
+        start.elapsed().as_nanos() as u64
+    };
+    // Warm caches and lazy setup before measuring.
+    sample(false, 1);
+    sample(true, 1);
+    let mut idle_min = u64::MAX;
+    let mut reg_min = u64::MAX;
+    for i in 0..samples {
+        let seed = 1 + i as u64;
+        idle_min = idle_min.min(sample(false, seed));
+        reg_min = reg_min.min(sample(true, seed));
+    }
+    let gate = assert_budget && !cfg!(debug_assertions);
+    if gate {
+        assert!(
+            (reg_min as f64) <= (idle_min as f64) * 1.05,
+            "E16: attaching the metrics registry exceeds the 5% budget \
+             (idle min {idle_min}ns vs registry min {reg_min}ns)"
+        );
+    }
+    (idle_min, reg_min, gate)
+}
+
+/// Fresh idle E4 measurement vs the committed `BENCH_e4.json` min —
+/// reported without a gate: the same machine measures identical code ~8%
+/// apart across *binaries* (code layout), so a cross-binary 5% assert
+/// would gate the linker, not telemetry. Returns
+/// `(baseline min ns, fresh min ns, fresh mean ns)`.
+fn e4_baseline_report(samples: usize) -> (u64, u64, u64) {
+    // The seed every bench target uses (minsync-bench's BENCH_SEED; the
+    // bench crate depends on this one, so the constant is repeated here).
+    const BENCH_SEED: u64 = 0xBEEF;
+    let baseline = e4_baseline_min().expect("BENCH_e4.json with an all_correct/n=4 case");
+    let sample = || {
+        let start = Instant::now();
+        std::hint::black_box(super::e4_consensus::bench_one(
+            4,
+            1,
+            crate::FaultPlan::AllCorrect,
+            BENCH_SEED,
+        ));
+        start.elapsed()
+    };
+    for _ in 0..3 {
+        sample();
+    }
+    let mut total = Duration::ZERO;
+    let mut fresh_min = u64::MAX;
+    for _ in 0..samples {
+        let t = sample();
+        total += t;
+        fresh_min = fresh_min.min(t.as_nanos() as u64);
+    }
+    let fresh_mean = (total.as_nanos() / samples as u128) as u64;
+    (baseline, fresh_min, fresh_mean)
+}
+
+/// Reads the `all_correct/n=4` min out of the workspace-root
+/// `BENCH_e4.json` (a flat schema — scanned, not deserialized, to keep
+/// the harness dependency-free).
+fn e4_baseline_min() -> Option<u64> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_e4.json");
+    let text = std::fs::read_to_string(path).ok()?;
+    let case = text.lines().find(|l| l.contains("\"all_correct/n=4\""))?;
+    let tail = case.split("\"min\":").nth(1)?;
+    tail.trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .ok()
+}
+
+fn percentile_row(
+    case: &str,
+    detail: String,
+    what: &str,
+    p: Percentiles,
+    unit: &str,
+) -> [String; 8] {
+    [
+        case.to_string(),
+        detail,
+        what.to_string(),
+        p.count.to_string(),
+        p.p50.to_string(),
+        p.p95.to_string(),
+        p.p99.to_string(),
+        format!("{} {unit}", p.max),
+    ]
+}
+
+/// Pushes one row per pipeline stage, asserting every stage was observed.
+fn push_stage_rows(table: &mut Table, case: &str, detail: &str, unit: &str, stages: &[StageStats]) {
+    for s in stages {
+        assert!(
+            s.latency.count > 0,
+            "E16 {case} ({detail}): stage {:?} was never observed end-to-end",
+            s.stage
+        );
+        table.push_row(percentile_row(
+            case,
+            detail.to_string(),
+            s.stage,
+            s.latency,
+            unit,
+        ));
+    }
+}
+
+/// Runs E16.
+///
+/// # Panics
+///
+/// Panics if any arm's assertion fails: a stage missing from a breakdown,
+/// a dump that does not reproduce its analysis, a window override that
+/// does not serialize the pipeline, tracing perturbing a run's semantics,
+/// or (full mode) wall-clock overhead beyond the 5% budget.
+pub fn run(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E16 — Unified telemetry: stage breakdowns per substrate, pipelining window, overhead gate",
+        [
+            "case", "detail", "stage", "count", "p50", "p95", "p99", "max",
+        ],
+    );
+    let commands_per_client = if quick { 8 } else { 24 };
+    let seed = 1;
+
+    // Arm 4's wall-clock measurements run first, in a process state
+    // comparable to the bench process that produced BENCH_e4.json —
+    // after the cluster arms the heap and caches are hot with unrelated
+    // work and the same measurement reads ~30% slower.
+    let (idle_min, reg_min, gated) = registry_gate(if quick { 5 } else { 15 }, !quick);
+    let (baseline, fresh_min, fresh_mean) = e4_baseline_report(if quick { 5 } else { 20 });
+
+    // Arm 1: simulator stage breakdown + queue residency.
+    let (sim_events, _snapshot) = sim_arm(commands_per_client, seed);
+    let timelines: Vec<SlotTimeline> = slot_timelines(&sim_events);
+    push_stage_rows(
+        &mut table,
+        "sim-stages",
+        "n=4 batch=8",
+        "ticks",
+        &stage_breakdown(&timelines),
+    );
+    for (slot, span) in slowest_slots(&timelines, 3) {
+        table.push_row([
+            "sim-slowest".to_string(),
+            "n=4 batch=8".to_string(),
+            format!("slot {slot}"),
+            "1".to_string(),
+            "—".to_string(),
+            "—".to_string(),
+            "—".to_string(),
+            format!("{span} ticks"),
+        ]);
+    }
+    for (queue, p) in queue_residency(&sim_events) {
+        if queue == queues::SIM_EVENTS {
+            table.push_row(percentile_row(
+                "sim-queue",
+                "n=4 batch=8".to_string(),
+                "events",
+                p,
+                "ticks",
+            ));
+        }
+    }
+
+    // Arm 2: the threaded runtime speaks the same event vocabulary.
+    let (steps, inbox_events) = threaded_arm(commands_per_client.min(8), seed);
+    table.push_row([
+        "threaded".to_string(),
+        "n=4 batch=8".to_string(),
+        "handler-steps".to_string(),
+        steps.to_string(),
+        "—".to_string(),
+        "—".to_string(),
+        "—".to_string(),
+        format!("{inbox_events} inbox events"),
+    ]);
+
+    // Arm 3: TCP cluster stage breakdown, pipelined vs serialized window.
+    let pipelined = cluster_arm(None, commands_per_client, "w64");
+    let serialized = cluster_arm(Some(1), commands_per_client, "w1");
+    push_stage_rows(
+        &mut table,
+        "tcp-stages",
+        "window=64",
+        "ticks",
+        &stage_breakdown(&slot_timelines(&pipelined.events)),
+    );
+    push_stage_rows(
+        &mut table,
+        "tcp-stages",
+        "window=1",
+        "ticks",
+        &stage_breakdown(&slot_timelines(&serialized.events)),
+    );
+    assert_eq!(
+        serialized.eager, 0,
+        "E16: --window 1 still proposed ahead of the ack quorum"
+    );
+    assert!(
+        pipelined.eager > 0,
+        "E16: the default window never proposed ahead of the ack quorum"
+    );
+    table.push_row([
+        "tcp-window".to_string(),
+        "eager proposals w64 vs w1".to_string(),
+        "ahead of ack quorum".to_string(),
+        "—".to_string(),
+        "—".to_string(),
+        "—".to_string(),
+        "—".to_string(),
+        format!("{} vs {}", pipelined.eager, serialized.eager),
+    ]);
+    let wall = |arm: &ClusterArm| {
+        arm.report
+            .replicas
+            .iter()
+            .map(|r| r.wall)
+            .max()
+            .unwrap_or_default()
+    };
+    table.push_row([
+        "tcp-window".to_string(),
+        "drain wall ms w64 vs w1".to_string(),
+        "slowest replica".to_string(),
+        "—".to_string(),
+        "—".to_string(),
+        "—".to_string(),
+        "—".to_string(),
+        format!(
+            "{:.1} vs {:.1}",
+            wall(&pipelined).as_secs_f64() * 1000.0,
+            wall(&serialized).as_secs_f64() * 1000.0
+        ),
+    ]);
+
+    // Arm 4: semantic passivity + the active-tracing tax, then the
+    // idle-overhead gate against the committed E4 baseline.
+    let (plain_mean, traced_mean) = overhead_arm(if quick { 3 } else { 10 });
+    table.push_row([
+        "overhead".to_string(),
+        "e4 n=4, paired".to_string(),
+        "idle vs recorder-attached mean".to_string(),
+        "—".to_string(),
+        "—".to_string(),
+        "—".to_string(),
+        "—".to_string(),
+        format!(
+            "{plain_mean} vs {traced_mean} ns ({:+.1}% active-tracing tax)",
+            (traced_mean as f64 / plain_mean as f64 - 1.0) * 100.0
+        ),
+    ]);
+    table.push_row([
+        "overhead".to_string(),
+        "e4 n=4, paired".to_string(),
+        if gated {
+            "registry-attached min (<5%, asserted)".to_string()
+        } else {
+            "registry-attached min (report-only)".to_string()
+        },
+        "—".to_string(),
+        "—".to_string(),
+        "—".to_string(),
+        "—".to_string(),
+        format!(
+            "{idle_min} vs {reg_min} ns ({:+.1}%)",
+            (reg_min as f64 / idle_min as f64 - 1.0) * 100.0
+        ),
+    ]);
+    table.push_row([
+        "overhead".to_string(),
+        "e4 n=4 vs BENCH_e4.json".to_string(),
+        "idle min (report-only, cross-binary)".to_string(),
+        "—".to_string(),
+        "—".to_string(),
+        "—".to_string(),
+        "—".to_string(),
+        format!(
+            "{baseline} vs {fresh_min} ns ({:+.1}%, mean {fresh_mean})",
+            (fresh_min as f64 / baseline as f64 - 1.0) * 100.0
+        ),
+    ]);
+    table
+}
+
+/// One instrumented simulator run for the `e16_telemetry` bench: returns
+/// the per-stage tick samples of the E10 configuration (the bench converts
+/// ticks to percentiles and wraps the whole run in its wall-clock sample).
+pub fn bench_one(commands_per_client: usize, seed: u64) -> Vec<(&'static str, Vec<u64>)> {
+    let (events, _) = sim_arm(commands_per_client, seed);
+    minsync_telemetry::analyze::stage_samples(&slot_timelines(&events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_arm_observes_every_stage() {
+        let (events, snapshot) = sim_arm(6, 3);
+        let stages = stage_breakdown(&slot_timelines(&events));
+        assert_eq!(stages.len(), 3);
+        for s in &stages {
+            assert!(s.latency.count > 0, "stage {:?} unobserved", s.stage);
+        }
+        assert!(snapshot.gauge("sim.messages_sent").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn overhead_arm_preserves_semantics() {
+        // Three paired runs; the assertions inside compare decision
+        // latency and message counts with and without a recorder.
+        let (plain, traced) = overhead_arm(3);
+        assert!(plain > 0 && traced > 0);
+    }
+
+    #[test]
+    fn e4_baseline_is_readable() {
+        // The committed BENCH_e4.json must keep the case the report row
+        // scans for.
+        let min = e4_baseline_min().expect("all_correct/n=4 in BENCH_e4.json");
+        assert!(min > 0);
+    }
+
+    #[test]
+    fn registry_gate_runs_paired() {
+        // Debug build: measurement only, no wall-clock assert.
+        let (idle, reg, gated) = registry_gate(2, false);
+        assert!(idle > 0 && reg > 0 && !gated);
+    }
+
+    #[test]
+    fn eager_proposals_detect_window_pipelining() {
+        let ev = |at, kind| TraceEvent { at, node: 0, kind };
+        // Lockstep (window = 1): slot 2 proposed only after slot 1's
+        // quorum — including the same-tick handler-step case.
+        let lockstep = [
+            ev(0, TraceKind::Proposed { slot: 1 }),
+            ev(5, TraceKind::AckQuorum { slot: 1 }),
+            ev(5, TraceKind::Proposed { slot: 2 }),
+            ev(12, TraceKind::AckQuorum { slot: 2 }),
+            ev(13, TraceKind::Proposed { slot: 3 }),
+        ];
+        assert_eq!(eager_proposals(&lockstep, 0), 0);
+        // Pipelined: slot 2 proposed at tick 3, before slot 1's quorum
+        // at tick 5.
+        let piped = [
+            ev(0, TraceKind::Proposed { slot: 1 }),
+            ev(3, TraceKind::Proposed { slot: 2 }),
+            ev(5, TraceKind::AckQuorum { slot: 1 }),
+            ev(9, TraceKind::AckQuorum { slot: 2 }),
+        ];
+        assert_eq!(eager_proposals(&piped, 0), 1);
+        // Another node's events are ignored.
+        assert_eq!(eager_proposals(&piped, 3), 0);
+    }
+
+    #[test]
+    fn bench_one_yields_stage_samples() {
+        let samples = bench_one(4, 2);
+        assert_eq!(samples.len(), 3);
+        assert!(samples.iter().all(|(_, s)| !s.is_empty()));
+    }
+}

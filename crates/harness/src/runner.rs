@@ -1,5 +1,9 @@
+use std::sync::Arc;
+
 use minsync_core::{ConsensusConfig, ConsensusEvent, ProtocolMsg, TimeoutPolicy};
 use minsync_net::sim::{DelayOracle, SimBuilder};
+use minsync_telemetry::trace::TraceRecorder;
+use minsync_telemetry::Registry;
 use minsync_types::SystemConfig;
 
 use crate::faults::FaultPlan;
@@ -22,6 +26,8 @@ pub struct ConsensusRunBuilder {
     max_events: u64,
     max_rounds: Option<u64>,
     oracle: Option<Box<dyn DelayOracle<ProtocolMsg<u64>>>>,
+    registry: Option<Arc<Registry>>,
+    trace: Option<Arc<TraceRecorder>>,
 }
 
 impl ConsensusRunBuilder {
@@ -46,6 +52,8 @@ impl ConsensusRunBuilder {
             max_events: 10_000_000,
             max_rounds: None,
             oracle: None,
+            registry: None,
+            trace: None,
         })
     }
 
@@ -103,6 +111,21 @@ impl ConsensusRunBuilder {
         self
     }
 
+    /// Exports the simulator's dense metrics into `registry` (as `sim.*`
+    /// gauges) when the run ends — the cross-substrate metrics surface of
+    /// `minsync-telemetry`.
+    pub fn registry(mut self, registry: Arc<Registry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Records structured trace events (effects, queue residency, handler
+    /// steps, timer fires) into `trace` as the simulation executes.
+    pub fn trace(mut self, trace: Arc<TraceRecorder>) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
     /// Executes the run: simulates until every correct process decided (or
     /// the event budget is spent) and evaluates the outcome.
     ///
@@ -135,6 +158,12 @@ impl ConsensusRunBuilder {
             .classify(ProtocolMsg::<u64>::classify);
         if let Some(oracle) = self.oracle {
             builder = builder.boxed_delay_oracle(oracle);
+        }
+        if let Some(registry) = self.registry {
+            builder = builder.registry(registry);
+        }
+        if let Some(trace) = self.trace {
+            builder = builder.trace(trace);
         }
         for slot in 0..n {
             let node = self
@@ -192,6 +221,13 @@ impl ConsensusRunBuilder {
         if self.oracle.is_some() {
             return Err(HarnessError::Unsupported {
                 reason: "run_seeds cannot share a boxed delay oracle across threads".into(),
+            });
+        }
+        if self.registry.is_some() || self.trace.is_some() {
+            return Err(HarnessError::Unsupported {
+                reason: "run_seeds would interleave telemetry from unrelated seeds; \
+                         instrument single runs instead"
+                    .into(),
             });
         }
         let spec = SweepSpec {

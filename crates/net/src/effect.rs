@@ -14,7 +14,9 @@
 //! compiles to plain enum matching.
 
 use std::fmt;
+use std::sync::Arc;
 
+use minsync_telemetry::trace::{EffectKind, TraceKind, TraceRecorder};
 use minsync_types::ProcessId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -107,6 +109,7 @@ pub struct Env<M, O> {
     timers: TimerTable,
     rng: StdRng,
     effects: Vec<Effect<M, O>>,
+    trace: Option<Arc<TraceRecorder>>,
 }
 
 impl<M, O> Env<M, O> {
@@ -122,7 +125,18 @@ impl<M, O> Env<M, O> {
             timers: TimerTable::new(),
             rng: StdRng::seed_from_u64(seed),
             effects: Vec::new(),
+            trace: None,
         }
+    }
+
+    /// Attaches a telemetry trace recorder: every subsequently queued
+    /// effect is mirrored into the ring as a [`TraceKind::Effect`] event
+    /// (plus [`TraceKind::TimerArmed`] for timer arms), stamped with this
+    /// environment's identity and clock. Purely passive — the effect
+    /// stream, RNG, and timer allocation are untouched, so traced and
+    /// untraced runs of the same seed are identical.
+    pub fn set_trace(&mut self, trace: Arc<TraceRecorder>) {
+        self.trace = Some(trace);
     }
 
     // ------------------------------------------------------------------
@@ -155,12 +169,12 @@ impl<M, O> Env<M, O> {
 
     /// Queues [`Effect::Send`].
     pub fn send(&mut self, to: ProcessId, msg: M) {
-        self.effects.push(Effect::Send { to, msg });
+        self.push(Effect::Send { to, msg });
     }
 
     /// Queues [`Effect::Broadcast`].
     pub fn broadcast(&mut self, msg: M) {
-        self.effects.push(Effect::Broadcast { msg });
+        self.push(Effect::Broadcast { msg });
     }
 
     /// Allocates a fresh [`TimerId`] and queues [`Effect::SetTimer`] firing
@@ -168,28 +182,39 @@ impl<M, O> Env<M, O> {
     /// immediately (see the module docs for the allocation rule).
     pub fn set_timer(&mut self, delay: u64) -> TimerId {
         let id = self.timers.alloc();
-        self.effects.push(Effect::SetTimer { id, delay });
+        self.push(Effect::SetTimer { id, delay });
         id
     }
 
     /// Queues [`Effect::CancelTimer`].
     pub fn cancel_timer(&mut self, id: TimerId) {
-        self.effects.push(Effect::CancelTimer { id });
+        self.push(Effect::CancelTimer { id });
     }
 
     /// Queues [`Effect::Output`].
     pub fn output(&mut self, event: O) {
-        self.effects.push(Effect::Output(event));
+        self.push(Effect::Output(event));
     }
 
     /// Queues [`Effect::Halt`].
     pub fn halt(&mut self) {
-        self.effects.push(Effect::Halt);
+        self.push(Effect::Halt);
     }
 
     /// Queues an already-built effect (used by adversaries and adapters
-    /// that rewrite effect streams).
+    /// that rewrite effect streams). Every queued effect funnels through
+    /// here, which is what makes this the one trace hook covering all
+    /// three substrates.
     pub fn push(&mut self, effect: Effect<M, O>) {
+        if let Some(trace) = &self.trace {
+            let (at, node) = (self.now.ticks(), self.me.index() as u32);
+            if let Effect::SetTimer { delay, .. } = &effect {
+                trace.record_at(at, node, TraceKind::TimerArmed { delay: *delay });
+            }
+            if let Some(kind) = EffectKind::from_label(effect.kind()) {
+                trace.record_at(at, node, TraceKind::Effect { kind });
+            }
+        }
         self.effects.push(effect);
     }
 

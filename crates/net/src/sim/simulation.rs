@@ -1,5 +1,9 @@
 use std::fmt::{Debug, Write as _};
+use std::sync::Arc;
+use std::time::Instant;
 
+use minsync_telemetry::trace::{queues, TraceKind, TraceRecorder};
+use minsync_telemetry::Registry;
 use minsync_types::ProcessId;
 use rand::rngs::SplitMix64;
 use rand::SeedableRng;
@@ -126,6 +130,8 @@ pub struct SimBuilder<M, O> {
     log_deliveries: usize,
     record_effects: usize,
     record_causes: usize,
+    trace: Option<Arc<TraceRecorder>>,
+    registry: Option<Arc<Registry>>,
 }
 
 impl<M, O> SimBuilder<M, O>
@@ -148,6 +154,8 @@ where
             log_deliveries: 0,
             record_effects: 0,
             record_causes: 0,
+            trace: None,
+            registry: None,
         }
     }
 
@@ -215,6 +223,25 @@ where
     /// uncapped effect trace) for a self-contained replayable transcript.
     pub fn record_causes(mut self, capacity: usize) -> Self {
         self.record_causes = capacity;
+        self
+    }
+
+    /// Attaches a telemetry trace recorder. The simulator mirrors its
+    /// execution into the ring — every queued effect (via the shared
+    /// [`Env`]), every central-queue enqueue/dequeue with depth, timer
+    /// firings, and per-handler wall-clock step costs — stamped with
+    /// virtual time. Purely passive: RNG streams, event order, and effect
+    /// traces are identical with and without a recorder attached.
+    pub fn trace(mut self, trace: Arc<TraceRecorder>) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Attaches a metrics registry: when a run returns, the simulator's
+    /// dense [`Metrics`] are exported into it as `sim.*` gauges (alongside
+    /// whatever the nodes themselves record).
+    pub fn registry(mut self, registry: Arc<Registry>) -> Self {
+        self.registry = Some(registry);
         self
     }
 
@@ -298,7 +325,12 @@ where
             effect_trace_capacity: self.record_effects,
             cause_trace: Vec::new(),
             cause_trace_capacity: self.record_causes,
+            trace: self.trace,
+            registry: self.registry,
         };
+        if let Some(trace) = &sim.trace {
+            sim.env.set_trace(Arc::clone(trace));
+        }
         for p in 0..n {
             sim.push_event(VirtualTime::ZERO, EventKind::Start(ProcessId::new(p)));
         }
@@ -347,6 +379,8 @@ pub struct Simulation<M, O> {
     effect_trace_capacity: usize,
     cause_trace: Vec<CauseRecord<M>>,
     cause_trace_capacity: usize,
+    trace: Option<Arc<TraceRecorder>>,
+    registry: Option<Arc<Registry>>,
 }
 
 impl<M, O> Simulation<M, O>
@@ -454,6 +488,7 @@ where
             let (time, _seq, kind) = self.queue.pop().expect("peeked");
             self.dispatch(time, kind);
         };
+        self.export_registry();
         RunReport {
             outputs: self.outputs.clone(),
             metrics: self.metrics.clone(),
@@ -467,6 +502,16 @@ where
         self.now = time;
         self.metrics.events_processed += 1;
         self.metrics.last_event_time = self.now;
+        if let Some(trace) = &self.trace {
+            trace.record_at(
+                time.ticks(),
+                event_target(&kind).index() as u32,
+                TraceKind::Dequeue {
+                    queue: queues::SIM_EVENTS,
+                    depth: self.queue.len() as u64,
+                },
+            );
+        }
 
         match kind {
             EventKind::Start(p) => {
@@ -474,9 +519,11 @@ where
                     return;
                 }
                 self.record_cause(p, || InvocationCause::Start);
+                let step = self.step_start();
                 self.begin_invocation(p);
                 self.nodes[p.index()].on_start(&mut self.env);
                 self.end_invocation(p);
+                self.note_step(p, step);
             }
             EventKind::Deliver { from, to, msg } => {
                 if self.halted[to.index()] {
@@ -496,9 +543,11 @@ where
                     from,
                     msg: msg.clone(),
                 });
+                let step = self.step_start();
                 self.begin_invocation(to);
                 self.nodes[to.index()].on_message(from, msg, &mut self.env);
                 self.end_invocation(to);
+                self.note_step(to, step);
             }
             EventKind::Timer { process, timer } => {
                 if self.halted[process.index()] {
@@ -508,10 +557,65 @@ where
                     return; // cancelled or stale generation
                 }
                 self.metrics.timers_fired += 1;
+                if let Some(trace) = &self.trace {
+                    trace.record_at(
+                        self.now.ticks(),
+                        process.index() as u32,
+                        TraceKind::TimerFired,
+                    );
+                }
                 self.record_cause(process, || InvocationCause::Timer { id: timer });
+                let step = self.step_start();
                 self.begin_invocation(process);
                 self.nodes[process.index()].on_timer(timer, &mut self.env);
                 self.end_invocation(process);
+                self.note_step(process, step);
+            }
+        }
+    }
+
+    /// Wall-clock start of a handler step, taken only when tracing (the
+    /// untraced hot loop never calls `Instant::now`).
+    fn step_start(&self) -> Option<Instant> {
+        self.trace.as_ref().map(|_| Instant::now())
+    }
+
+    /// Records the handler step cost begun at `step` (no-op untraced).
+    fn note_step(&self, p: ProcessId, step: Option<Instant>) {
+        if let (Some(trace), Some(start)) = (&self.trace, step) {
+            trace.record_at(
+                self.now.ticks(),
+                p.index() as u32,
+                TraceKind::HandlerStep {
+                    nanos: start.elapsed().as_nanos() as u64,
+                },
+            );
+        }
+    }
+
+    /// Exports the dense [`Metrics`] into the attached registry (if any)
+    /// as `sim.*` gauges. Idempotent — values are overwritten, so calling
+    /// at the end of every `run_until` leaves the latest totals.
+    fn export_registry(&self) {
+        let Some(registry) = &self.registry else {
+            return;
+        };
+        let m = &self.metrics;
+        for (name, value) in [
+            ("sim.events_processed", m.events_processed),
+            ("sim.messages_sent", m.messages_sent),
+            ("sim.messages_delivered", m.messages_delivered),
+            ("sim.messages_dropped", m.messages_dropped),
+            ("sim.messages_suppressed", m.messages_suppressed),
+            ("sim.timers_fired", m.timers_fired),
+            ("sim.max_queue_len", m.max_queue_len as u64),
+            ("sim.last_event_ticks", m.last_event_time.ticks()),
+        ] {
+            registry.gauge(name).set(value);
+        }
+        for (kind, count) in m.kind_counts() {
+            if !kind.contains(char::is_whitespace) {
+                registry.gauge(&format!("sim.sent_kind.{kind}")).set(count);
             }
         }
     }
@@ -589,9 +693,23 @@ where
     /// Schedules one event and maintains the queue's high-water mark (the
     /// mark lives on the push path so pops pay nothing for it).
     fn push_event(&mut self, time: VirtualTime, kind: EventKind<M>) {
+        let target = self
+            .trace
+            .as_ref()
+            .map(|_| event_target(&kind).index() as u32);
         self.queue.push(time, kind);
         if self.queue.len() > self.metrics.max_queue_len {
             self.metrics.max_queue_len = self.queue.len();
+        }
+        if let (Some(trace), Some(node)) = (&self.trace, target) {
+            trace.record_at(
+                self.now.ticks(),
+                node,
+                TraceKind::Enqueue {
+                    queue: queues::SIM_EVENTS,
+                    depth: self.queue.len() as u64,
+                },
+            );
         }
     }
 
@@ -700,6 +818,16 @@ where
         let cmd = schedule.command(from, to, self.now, msg, default);
         self.schedule = Some(schedule);
         cmd
+    }
+}
+
+/// The process an event will be handed to — the node a queue-telemetry
+/// event is attributed to.
+fn event_target<M>(kind: &EventKind<M>) -> ProcessId {
+    match kind {
+        EventKind::Start(p) => *p,
+        EventKind::Deliver { to, .. } => *to,
+        EventKind::Timer { process, .. } => *process,
     }
 }
 
@@ -1184,6 +1312,61 @@ mod tests {
         // The start of p1 queued nothing — recorded anyway (replay needs
         // the invocation count to line up).
         assert_eq!(trace[1].effects, []);
+    }
+
+    #[test]
+    fn telemetry_trace_is_passive_and_observes_the_run() {
+        let topo = NetworkTopology::uniform(
+            2,
+            ChannelTiming::asynchronous(DelayLaw::Uniform { min: 1, max: 9 }),
+        );
+        let run = |traced: bool| {
+            let recorder = Arc::new(TraceRecorder::new(4096));
+            let registry = Arc::new(Registry::new());
+            let mut builder = SimBuilder::new(topo.clone())
+                .seed(5)
+                .node(Echo { hops: 5 })
+                .node(Echo { hops: 5 })
+                .record_effects(usize::MAX);
+            if traced {
+                builder = builder
+                    .trace(Arc::clone(&recorder))
+                    .registry(Arc::clone(&registry));
+            }
+            let mut sim = builder.build();
+            let report = sim.run();
+            (sim.effect_trace_digest(), report, recorder, registry)
+        };
+        let (plain, ..) = run(false);
+        let (traced, report, recorder, registry) = run(true);
+        assert_eq!(
+            plain, traced,
+            "attaching telemetry must not perturb the run"
+        );
+        // The ring saw effects, queue traffic, and handler steps.
+        let events = recorder.events();
+        assert!(!events.is_empty());
+        let effects = events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::Effect { .. }))
+            .count();
+        assert_eq!(effects, 8, "6 sends + output + halt at the effect boundary");
+        assert!(events.iter().any(
+            |e| matches!(e.kind, TraceKind::Dequeue { queue, .. } if queue == queues::SIM_EVENTS)
+        ));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::HandlerStep { .. })));
+        // The registry got the dense metrics.
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.gauge("sim.messages_sent"),
+            Some(report.metrics.messages_sent)
+        );
+        assert_eq!(
+            snap.gauge("sim.events_processed"),
+            Some(report.metrics.events_processed)
+        );
     }
 
     #[test]

@@ -15,11 +15,12 @@
 
 use std::collections::BinaryHeap;
 use std::fmt::Debug;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, RecvTimeoutError, Sender};
+use minsync_telemetry::trace::{queues, TraceKind, TraceRecorder};
 use minsync_types::ProcessId;
 use rand::rngs::SplitMix64;
 use rand::SeedableRng;
@@ -123,7 +124,31 @@ where
     M: Clone + Debug + Send + 'static,
     O: Clone + Debug + Send + 'static,
 {
-    run_threaded_inner(topology, nodes, config, stop, None)
+    run_threaded_inner(topology, nodes, config, stop, None, None)
+}
+
+/// Like [`run_threaded`], but mirrors the execution into a telemetry trace
+/// ring: every effect at the sans-io boundary (via each worker's [`Env`]),
+/// inbox enqueue/dequeue with depth, timer firings, and per-handler
+/// wall-clock step costs. Timestamps are wall-clock time divided by
+/// [`ThreadedConfig::tick`], so dumps line up with simulator dumps of the
+/// same configuration.
+///
+/// # Panics
+///
+/// Panics if `nodes.len() != topology.n()`.
+pub fn run_threaded_traced<M, O>(
+    topology: NetworkTopology,
+    nodes: Vec<Box<dyn Node<Msg = M, Output = O>>>,
+    config: ThreadedConfig,
+    stop: impl FnMut(&[ThreadedOutput<O>]) -> bool,
+    trace: Arc<TraceRecorder>,
+) -> ThreadedReport<O>
+where
+    M: Clone + Debug + Send + 'static,
+    O: Clone + Debug + Send + 'static,
+{
+    run_threaded_inner(topology, nodes, config, stop, None, Some(trace))
 }
 
 /// Like [`run_threaded`], but additionally records every handler
@@ -149,7 +174,7 @@ where
     O: Clone + Debug + Send + 'static,
 {
     let (record_tx, record_rx) = unbounded::<RecordedInvocation<M, O>>();
-    let report = run_threaded_inner(topology, nodes, config, stop, Some(record_tx));
+    let report = run_threaded_inner(topology, nodes, config, stop, Some(record_tx), None);
     // Every worker thread (and the local clone) has dropped its sender by
     // the time the inner run returns, so this drain terminates.
     let mut recorded = Vec::new();
@@ -165,6 +190,7 @@ fn run_threaded_inner<M, O>(
     config: ThreadedConfig,
     mut stop: impl FnMut(&[ThreadedOutput<O>]) -> bool,
     record: Option<Sender<RecordedInvocation<M, O>>>,
+    trace: Option<Arc<TraceRecorder>>,
 ) -> ThreadedReport<O>
 where
     M: Clone + Debug + Send + 'static,
@@ -186,12 +212,17 @@ where
         inbox_txs.push(tx);
         inbox_rxs.push(rx);
     }
+    // Inbox depth tracking exists only for telemetry (the vendored channel
+    // has no len()); untraced runs never touch the atomics.
+    let inbox_depths: Vec<Arc<AtomicU64>> = (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
 
     // Router thread: applies channel delays, then forwards into inboxes.
     let router_handle = {
         let shutdown = Arc::clone(&shutdown);
         let topology = topology.clone();
         let inboxes = inbox_txs.clone();
+        let depths = inbox_depths.clone();
+        let trace = trace.clone();
         let tick = config.tick;
         // Tagged stream namespace (see `derive_stream`): local index 0 is
         // the router's delay-sampling stream, 1..=n the node envs —
@@ -260,10 +291,26 @@ where
                 while heap.peek().is_some_and(|p| p.due <= now) {
                     let p = heap.pop().expect("peeked");
                     // A closed inbox just means the node is done.
-                    let _ = inboxes[p.to.index()].send(NodeEvent::Deliver {
-                        from: p.from,
-                        msg: p.msg,
-                    });
+                    let to = p.to.index();
+                    if inboxes[to]
+                        .send(NodeEvent::Deliver {
+                            from: p.from,
+                            msg: p.msg,
+                        })
+                        .is_ok()
+                    {
+                        if let Some(trace) = &trace {
+                            let depth = depths[to].fetch_add(1, Ordering::Relaxed) + 1;
+                            trace.record_at(
+                                ticks_now(start, tick).ticks(),
+                                to as u32,
+                                TraceKind::Enqueue {
+                                    queue: queues::INBOX,
+                                    depth,
+                                },
+                            );
+                        }
+                    }
                 }
                 let wait = heap
                     .peek()
@@ -311,6 +358,8 @@ where
         let router = router_tx.clone();
         let outputs = output_tx.clone();
         let record = record.clone();
+        let trace = trace.clone();
+        let depth = Arc::clone(&inbox_depths[idx]);
         let shutdown = Arc::clone(&shutdown);
         let tick = config.tick;
         let seed = crate::derive_stream(
@@ -325,13 +374,20 @@ where
                 router,
                 outputs,
                 record,
+                trace,
+                inbox_depth: depth,
                 timers: BinaryHeap::new(),
                 halted: false,
                 env: Env::new(n, seed),
             };
+            if let Some(trace) = &worker.trace {
+                worker.env.set_trace(Arc::clone(trace));
+            }
             worker.env.prepare(me, worker.now());
+            let step = worker.step_start();
             node.on_start(&mut worker.env);
             worker.apply_effects();
+            worker.note_step(step);
             while !worker.halted && !shutdown.load(Ordering::Relaxed) {
                 let now = Instant::now();
                 // Fire due timers first.
@@ -343,8 +399,17 @@ where
                     let t = worker.timers.pop().expect("peeked");
                     if worker.env.timers_mut().try_fire(t.id) {
                         worker.env.prepare(me, worker.now());
+                        if let Some(trace) = &worker.trace {
+                            trace.record_at(
+                                worker.now().ticks(),
+                                me.index() as u32,
+                                TraceKind::TimerFired,
+                            );
+                        }
+                        let step = worker.step_start();
                         node.on_timer(t.id, &mut worker.env);
                         worker.apply_effects();
+                        worker.note_step(step);
                         if worker.halted {
                             break;
                         }
@@ -361,9 +426,12 @@ where
                     .min(Duration::from_millis(20));
                 match inbox.recv_timeout(wait) {
                     Ok(NodeEvent::Deliver { from, msg }) => {
+                        worker.note_dequeue();
                         worker.env.prepare(me, worker.now());
+                        let step = worker.step_start();
                         node.on_message(from, msg, &mut worker.env);
                         worker.apply_effects();
+                        worker.note_step(step);
                     }
                     Err(RecvTimeoutError::Timeout) => {}
                     Err(RecvTimeoutError::Disconnected) => break,
@@ -443,6 +511,10 @@ struct NodeWorker<M, O> {
     outputs: Sender<ThreadedOutput<O>>,
     /// Recording channel of [`run_threaded_recorded`] (`None` = plain run).
     record: Option<Sender<RecordedInvocation<M, O>>>,
+    /// Telemetry ring of [`run_threaded_traced`] (`None` = untraced run).
+    trace: Option<Arc<TraceRecorder>>,
+    /// This node's inbox depth, shared with the router thread.
+    inbox_depth: Arc<AtomicU64>,
     timers: BinaryHeap<PendingTimer>,
     halted: bool,
     env: Env<M, O>,
@@ -453,6 +525,46 @@ impl<M: Clone, O: Clone> NodeWorker<M, O> {
         VirtualTime::from_ticks(
             (self.start.elapsed().as_nanos() / self.tick.as_nanos().max(1)) as u64,
         )
+    }
+
+    /// Wall-clock start of a handler step, taken only when tracing.
+    fn step_start(&self) -> Option<Instant> {
+        self.trace.as_ref().map(|_| Instant::now())
+    }
+
+    /// Records the handler step cost begun at `step` (no-op untraced).
+    fn note_step(&self, step: Option<Instant>) {
+        if let (Some(trace), Some(start)) = (&self.trace, step) {
+            trace.record_at(
+                self.now().ticks(),
+                self.me.index() as u32,
+                TraceKind::HandlerStep {
+                    nanos: start.elapsed().as_nanos() as u64,
+                },
+            );
+        }
+    }
+
+    /// Records an inbox dequeue with the post-dequeue depth (no-op
+    /// untraced).
+    fn note_dequeue(&self) {
+        if let Some(trace) = &self.trace {
+            let depth = self
+                .inbox_depth
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                    Some(d.saturating_sub(1))
+                })
+                .unwrap_or(0)
+                .saturating_sub(1);
+            trace.record_at(
+                self.now().ticks(),
+                self.me.index() as u32,
+                TraceKind::Dequeue {
+                    queue: queues::INBOX,
+                    depth,
+                },
+            );
+        }
     }
 
     /// Drains the env and interprets each effect.

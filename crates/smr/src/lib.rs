@@ -83,13 +83,14 @@
 #![warn(missing_docs)]
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use minsync_auth::{debug_digest, Authenticator, QuorumCert, Sig};
 use minsync_core::{ConsensusConfig, ConsensusEvent, ConsensusNode, ProtocolMsg};
 use minsync_net::sim::OutputRecord;
 use minsync_net::{Effect, Env, Node, TimerId};
+use minsync_telemetry::trace::{TraceKind, TraceRecorder};
+use minsync_telemetry::{Counter, Registry};
 use minsync_types::{ProcessId, Value};
 
 /// The statement a replica signs when it commits `slot = value`: a domain
@@ -348,41 +349,6 @@ impl Default for SmrLimits {
     }
 }
 
-/// Thread-visible mirrors of a replica's drop counters, for substrates that
-/// consume the node by value (the TCP mesh moves it into its run loop, so
-/// `minsync-node` can no longer ask the replica itself after the run). Hand
-/// a clone of the `Arc` to [`ReplicaNode::with_stats`] and read the other
-/// clone from anywhere, any time — the replica bumps both its internal
-/// counters and these on every refused message.
-#[derive(Debug, Default)]
-pub struct SmrStats {
-    future_drops: AtomicU64,
-    retired_drops: AtomicU64,
-    cert_rejects: AtomicU64,
-}
-
-impl SmrStats {
-    /// A zeroed handle, ready to share.
-    pub fn new() -> Self {
-        SmrStats::default()
-    }
-
-    /// Future-slot messages dropped by the horizon/buffer caps.
-    pub fn future_drops(&self) -> u64 {
-        self.future_drops.load(Ordering::Relaxed)
-    }
-
-    /// Messages refused because their slot was already retired.
-    pub fn retired_drops(&self) -> u64 {
-        self.retired_drops.load(Ordering::Relaxed)
-    }
-
-    /// Invalid commit signatures / quorum certificates refused.
-    pub fn cert_rejects(&self) -> u64 {
-        self.cert_rejects.load(Ordering::Relaxed)
-    }
-}
-
 /// A set of process indices as a bitmap (`n ≤ 128` is asserted at replica
 /// construction; the simulator tops out well below that).
 #[derive(Clone, Copy, Default, Debug)]
@@ -465,8 +431,17 @@ pub struct ReplicaNode<V, P> {
     cert_sigs: BTreeMap<u64, QuorumCert>,
     /// Invalid signatures and certificates refused.
     cert_rejects: u64,
-    /// Optional shared mirror of the drop counters (see [`SmrStats`]).
-    stats: Option<Arc<SmrStats>>,
+    /// Telemetry mirrors of the drop counters, for substrates that consume
+    /// the node by value (the TCP mesh moves it into its run loop, so
+    /// `minsync-node` can no longer ask the replica itself after the run).
+    /// Detached no-op handles until [`ReplicaNode::with_registry`] interns
+    /// them in a shared registry.
+    ctr_future_drops: Counter,
+    ctr_retired_drops: Counter,
+    ctr_cert_rejects: Counter,
+    /// Stage-trace hook (see [`ReplicaNode::with_trace`]): records when
+    /// slots are proposed, committed, and covered by an ack quorum.
+    trace: Option<Arc<TraceRecorder>>,
     /// Crash-recovered committed prefix (slots `1..=len`), replayed into
     /// replica state and the output stream on start.
     recovered: Vec<V>,
@@ -529,7 +504,10 @@ impl<V: Value, P: ProposalSource<V>> ReplicaNode<V, P> {
             certs: None,
             cert_sigs: BTreeMap::new(),
             cert_rejects: 0,
-            stats: None,
+            ctr_future_drops: Counter::detached(),
+            ctr_retired_drops: Counter::detached(),
+            ctr_cert_rejects: Counter::detached(),
+            trace: None,
             recovered: Vec::new(),
             commit_log: None,
             ckpt_retry_timer: None,
@@ -549,10 +527,25 @@ impl<V: Value, P: ProposalSource<V>> ReplicaNode<V, P> {
         self
     }
 
-    /// Mirrors the drop counters into a shared [`SmrStats`] handle the
-    /// caller keeps, for substrates that consume the node by value.
-    pub fn with_stats(mut self, stats: Arc<SmrStats>) -> Self {
-        self.stats = Some(stats);
+    /// Interns the replica's drop counters in a shared telemetry
+    /// [`Registry`] — `smr.future_drops`, `smr.retired_drops`, and
+    /// `smr.cert_rejects` — for substrates that consume the node by value:
+    /// any snapshot of the registry reads them, any time.
+    pub fn with_registry(mut self, registry: &Registry) -> Self {
+        self.ctr_future_drops = registry.counter("smr.future_drops");
+        self.ctr_retired_drops = registry.counter("smr.retired_drops");
+        self.ctr_cert_rejects = registry.counter("smr.cert_rejects");
+        self
+    }
+
+    /// Installs a stage-trace hook: the replica records
+    /// [`TraceKind::Proposed`] when it starts a slot's consensus instance,
+    /// [`TraceKind::Committed`] when the slot commits, and
+    /// [`TraceKind::AckQuorum`] when an `n − t` quorum has acked it. The
+    /// hook only appends to the bounded ring — replica behaviour is
+    /// byte-identical with and without it.
+    pub fn with_trace(mut self, trace: Arc<TraceRecorder>) -> Self {
+        self.trace = Some(trace);
         self
     }
 
@@ -659,22 +652,24 @@ impl<V: Value, P: ProposalSource<V>> ReplicaNode<V, P> {
 
     fn count_future_drop(&mut self) {
         self.future_drops += 1;
-        if let Some(s) = &self.stats {
-            s.future_drops.fetch_add(1, Ordering::Relaxed);
-        }
+        self.ctr_future_drops.inc();
     }
 
     fn count_retired_drop(&mut self) {
         self.retired_drops += 1;
-        if let Some(s) = &self.stats {
-            s.retired_drops.fetch_add(1, Ordering::Relaxed);
-        }
+        self.ctr_retired_drops.inc();
     }
 
     fn count_cert_reject(&mut self) {
         self.cert_rejects += 1;
-        if let Some(s) = &self.stats {
-            s.cert_rejects.fetch_add(1, Ordering::Relaxed);
+        self.ctr_cert_rejects.inc();
+    }
+
+    /// Records a stage event stamped with the environment's clock and
+    /// identity; a no-op when tracing is off.
+    fn trace_stage(&self, env: &Env<SmrMsg<V>, SmrEvent<V>>, kind: TraceKind) {
+        if let Some(trace) = &self.trace {
+            trace.record_at(env.now().ticks(), env.me().index() as u32, kind);
         }
     }
 
@@ -686,6 +681,7 @@ impl<V: Value, P: ProposalSource<V>> ReplicaNode<V, P> {
         {
             let slot = self.started + 1;
             self.started = slot;
+            self.trace_stage(env, TraceKind::Proposed { slot });
             let proposal = self.source.propose(slot);
             let node = ConsensusNode::new(self.cfg, proposal).expect("config validated");
             self.instances.insert(slot, node);
@@ -756,6 +752,7 @@ impl<V: Value, P: ProposalSource<V>> ReplicaNode<V, P> {
             log(slot, &value); // write-ahead: persist before the ack exists
         }
         self.committed = slot;
+        self.trace_stage(env, TraceKind::Committed { slot });
         self.ckpt_seen = ProcSet::default();
         self.ckpt_votes.clear();
         self.outbox.remove(&slot);
@@ -778,15 +775,16 @@ impl<V: Value, P: ProposalSource<V>> ReplicaNode<V, P> {
                 env.broadcast(SmrMsg::Ack { slot });
             }
         }
-        self.note_ack(slot, env.me());
+        self.note_ack(slot, env.me(), env);
         self.try_retire(env);
         self.try_start(env);
     }
 
     /// Raises one peer's cumulative ack floor and re-derives the quorum
     /// floor (the `(n − t)`-th largest floor), then drops instances the
-    /// quorum has moved past.
-    fn note_ack(&mut self, slot: u64, from: ProcessId) {
+    /// quorum has moved past. `env` is read-only here — only its clock and
+    /// identity, for the ack-quorum stage trace.
+    fn note_ack(&mut self, slot: u64, from: ProcessId, env: &Env<SmrMsg<V>, SmrEvent<V>>) {
         let floor = &mut self.ack_floors[from.index()];
         if slot <= *floor {
             return; // stale: acks are cumulative
@@ -798,7 +796,15 @@ impl<V: Value, P: ProposalSource<V>> ReplicaNode<V, P> {
         let (_, kth, _) = self
             .floor_scratch
             .select_nth_unstable_by(k, |a, b| b.cmp(a));
+        let prev = self.quorum_floor;
         self.quorum_floor = *kth;
+        if self.trace.is_some() {
+            // The floor is an order statistic of monotone per-peer floors,
+            // so it never regresses: each newly covered slot is traced once.
+            for covered in prev + 1..=self.quorum_floor {
+                self.trace_stage(env, TraceKind::AckQuorum { slot: covered });
+            }
+        }
         // Decided instances behind the quorum floor are no longer needed
         // for catch-up (committed peers answer stragglers with
         // checkpoints), so their memory is reclaimed even while slower or
@@ -893,7 +899,7 @@ impl<V: Value, P: ProposalSource<V>> ReplicaNode<V, P> {
         // message doubles as a cumulative ack — this also repairs acks a
         // far-behind replica dropped before catching up.
         if slot > self.ack_floors[from.index()] {
-            self.note_ack(slot, from);
+            self.note_ack(slot, from, env);
             self.try_retire(env);
             self.try_start(env);
         }
@@ -949,6 +955,7 @@ impl<V: Value, P: ProposalSource<V>> Node for ReplicaNode<V, P> {
             for (i, value) in prefix.into_iter().enumerate() {
                 let slot = i as u64 + 1;
                 self.committed = slot;
+                self.trace_stage(env, TraceKind::Committed { slot });
                 self.source.on_commit(slot, &value);
                 env.output(SmrEvent::Committed {
                     slot,
@@ -972,7 +979,7 @@ impl<V: Value, P: ProposalSource<V>> Node for ReplicaNode<V, P> {
                     slot: self.committed,
                 }),
             }
-            self.note_ack(self.committed, env.me());
+            self.note_ack(self.committed, env.me(), env);
         }
         if self.limits.ckpt_retry > 0 {
             self.ckpt_retry_timer = Some(env.set_timer(self.limits.ckpt_retry));
@@ -1024,7 +1031,7 @@ impl<V: Value, P: ProposalSource<V>> Node for ReplicaNode<V, P> {
                 if slot == 0 || slot > self.target_slots || slot <= self.ack_floors[from.index()] {
                     return;
                 }
-                self.note_ack(slot, from);
+                self.note_ack(slot, from, env);
                 self.try_retire(env);
                 self.try_start(env);
             }
@@ -1055,7 +1062,7 @@ impl<V: Value, P: ProposalSource<V>> Node for ReplicaNode<V, P> {
                 if slot <= self.ack_floors[from.index()] {
                     return;
                 }
-                self.note_ack(slot, from);
+                self.note_ack(slot, from, env);
                 self.try_retire(env);
                 self.try_start(env);
             }
@@ -1078,7 +1085,7 @@ impl<V: Value, P: ProposalSource<V>> Node for ReplicaNode<V, P> {
                 // A correct sender only serves slots it committed, so the
                 // message doubles as a cumulative ack — as with Checkpoint.
                 if slot > self.ack_floors[from.index()] {
-                    self.note_ack(slot, from);
+                    self.note_ack(slot, from, env);
                     self.try_retire(env);
                     self.try_start(env);
                 }

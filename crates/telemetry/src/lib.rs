@@ -1,0 +1,41 @@
+//! Unified observability layer for the minsync stack.
+//!
+//! Three pieces, shared by all three substrates (deterministic simulator,
+//! threaded runtime, TCP cluster):
+//!
+//! - [`Registry`]: interned counter / gauge / log2-histogram handles with a
+//!   self-describing text [`Snapshot`] format (`STAT v1` … `END STAT`) that
+//!   survives a stdout control pipe and round-trips through
+//!   [`Snapshot::parse`]. No floats and no allocation on the hot path —
+//!   a counter bump is one relaxed atomic add.
+//! - [`TraceRecorder`]: a bounded ring of typed [`TraceEvent`]s (effects,
+//!   frame codec timing, queue enqueue/dequeue depths, timers, slot stage
+//!   transitions) stamped with virtual ticks or monotonic time, dumpable
+//!   as JSONL and re-loadable with [`parse_dump`].
+//! - the [`analyze`] module: span pairing over a dump — per-slot stage
+//!   timelines, the client→propose→commit→ack-quorum latency breakdown,
+//!   top-k slowest slots, queue-residency percentiles — consumed by the
+//!   `minsync-trace` CLI and the E16 experiment.
+//!
+//! The crate is dependency-free so every other crate in the workspace can
+//! link it without cycles or feature plumbing.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod analyze;
+pub mod registry;
+pub mod trace;
+
+pub use analyze::{
+    codec_timing, diff_breakdown, queue_residency, slot_timelines, slowest_slots, stage_breakdown,
+    stage_samples, Percentiles, SlotTimeline, StageStats, STAGE_LABELS,
+};
+pub use registry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, Registry, Snapshot, HIST_BUCKETS,
+    SNAPSHOT_FOOTER, SNAPSHOT_HEADER,
+};
+pub use trace::{
+    parse_dump, queues, EffectKind, TraceDump, TraceEvent, TraceKind, TraceMeta, TraceRecorder,
+    DEFAULT_TRACE_CAPACITY,
+};

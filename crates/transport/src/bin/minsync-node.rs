@@ -6,6 +6,8 @@
 //!              [--peers a0,a1,…]           # else bootstrap over stdin
 //!              [--auth-keys HEX]           # this replica's MAC keyring
 //!              [--wal PATH]                # durable committed-log file
+//!              [--window W]                # SMR pipelining window override
+//!              [--trace PATH]              # structured trace dump (JSONL)
 //!              --groups M --clients C --commands K --batch B
 //!              --arrival poisson:G|bursty:B/P|closed:T
 //!              --seed S --behavior correct|silent|flood|impersonate
@@ -14,8 +16,14 @@
 //!
 //! With `--auth-keys` (an [`HmacAuthenticator::to_hex`] keyring from the
 //! orchestrator's dealer) the mesh authenticates its handshake and MACs
-//! every frame; forged streams are severed and counted in the fourth
-//! `DROPS` field.
+//! every frame; forged streams are severed and counted in the
+//! `mesh.auth_rejects` metric of the statistics snapshot.
+//!
+//! With `--trace` the mesh, SMR layer, and codec record structured trace
+//! events into a bounded ring; when the run ends the ring is dumped as
+//! JSONL to the named path (readable by `minsync-trace` and the
+//! `minsync-telemetry` analyzer), with client `Submitted` stage events
+//! back-filled from the workload's arrival schedule.
 //!
 //! With `--wal` a correct replica appends every committed slot to the
 //! named file (one `;`-terminated text line per slot) and, on startup,
@@ -29,8 +37,8 @@
 //! then reads one `PEERS <addr0> … <addrN−1>` line from stdin. Mid-run the
 //! orchestrator may inject link faults: `PART <ids…>` drops all outbound
 //! traffic to the listed peers (replacing any previous set) and `HEAL`
-//! clears every rule. A correct replica prints its statistics block
-//! (`COMMITTED`, `DIGEST`, `WALL_MS`, `LAT`, `DROPS`, `DONE`) the moment
+//! clears every rule. A correct replica prints its statistics block (a
+//! `STAT v1 … END STAT` registry snapshot followed by `DONE`) the moment
 //! its workload drains, then *keeps serving* acks and checkpoints for
 //! laggards until `STOP` arrives on stdin (or stdin closes), bounded by
 //! `--timeout-ms`. Byzantine behaviors never report; they run until
@@ -49,9 +57,11 @@ use minsync_auth::{Authenticator, HmacAuthenticator};
 use minsync_core::{ConsensusConfig, ProtocolMsg};
 use minsync_net::sim::OutputRecord;
 use minsync_net::{Node, VirtualTime};
-use minsync_smr::{ReplicaNode, SmrEvent, SmrLimits, SmrMsg, SmrStats};
+use minsync_smr::{ReplicaNode, SmrEvent, SmrLimits, SmrMsg};
+use minsync_telemetry::trace::{TraceKind, TraceMeta, TraceRecorder, DEFAULT_TRACE_CAPACITY};
+use minsync_telemetry::Registry;
 use minsync_transport::cluster::{control, parse_arrival, Behavior, LogDigest};
-use minsync_transport::mesh::{LinkFaults, MeshConfig, MeshCounters, MeshOutput, TcpMesh};
+use minsync_transport::mesh::{LinkFaults, MeshConfig, MeshOutput, TcpMesh};
 use minsync_types::{ProcessId, Round, SystemConfig};
 use minsync_wire::{encode_frame, Hello, DEFAULT_MAX_FRAME, WIRE_VERSION};
 use minsync_workload::{account, ArrivalProcess, Batch, ClientPopulation, WorkloadSpec};
@@ -77,6 +87,8 @@ struct Args {
     auth: Option<Arc<HmacAuthenticator>>,
     wal: Option<PathBuf>,
     ckpt_retry: u64,
+    window: Option<u64>,
+    trace: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -98,6 +110,8 @@ fn parse_args() -> Result<Args, String> {
         auth: None,
         wal: None,
         ckpt_retry: 0,
+        window: None,
+        trace: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -148,6 +162,14 @@ fn parse_args() -> Result<Args, String> {
             "--ckpt-retry" => {
                 args.ckpt_retry = value.parse().map_err(|e| format!("--ckpt-retry: {e}"))?
             }
+            "--window" => {
+                let window: u64 = value.parse().map_err(|e| format!("--window: {e}"))?;
+                if window == 0 {
+                    return Err("--window: must be at least 1".into());
+                }
+                args.window = Some(window);
+            }
+            "--trace" => args.trace = Some(PathBuf::from(value)),
             other => return Err(format!("unknown flag {other}")),
         }
         i += 2;
@@ -232,16 +254,25 @@ fn run(args: Args) -> Result<(), String> {
     let total: usize = pop.total_commands();
     let target = pop.slots_upper_bound(args.batch);
 
+    // One registry backs every counter in the process (mesh + SMR layer);
+    // the statistics block is its snapshot. The trace ring only exists
+    // when `--trace` asked for it — untraced runs keep zero-cost hooks.
+    let registry = Arc::new(Registry::new());
+    let trace = args
+        .trace
+        .as_ref()
+        .map(|_| Arc::new(TraceRecorder::new(DEFAULT_TRACE_CAPACITY)));
+
     let config = MeshConfig {
         tick: args.tick,
         timeout: args.timeout,
         seed: args.seed,
         auth: args.auth.clone().map(|a| a as Arc<dyn Authenticator>),
         faults: Some(Arc::clone(&faults)),
+        registry: Some(Arc::clone(&registry)),
+        trace: trace.clone(),
         ..MeshConfig::default()
     };
-
-    let stats = Arc::new(SmrStats::new());
     let node: Box<dyn Node<Msg = Msg, Output = Out>> = match args.behavior {
         Behavior::Correct => {
             let cfg = ConsensusConfig::paper(system);
@@ -254,12 +285,19 @@ fn run(args: Args) -> Result<(), String> {
             // retirement enough that honest late instance traffic starts
             // landing on retired slots, and clean runs assert those drop
             // counters stay zero.
+            let mut limits = SmrLimits {
+                ckpt_retry: args.ckpt_retry,
+                ..SmrLimits::default()
+            };
+            if let Some(window) = args.window {
+                limits.window = window;
+            }
             let mut replica = ReplicaNode::new(cfg, pop.source_for(args.id, args.batch), target)
-                .with_limits(SmrLimits {
-                    ckpt_retry: args.ckpt_retry,
-                    ..SmrLimits::default()
-                })
-                .with_stats(Arc::clone(&stats));
+                .with_limits(limits)
+                .with_registry(&registry);
+            if let Some(trace) = &trace {
+                replica = replica.with_trace(Arc::clone(trace));
+            }
             if let Some(path) = &args.wal {
                 let prefix = load_wal(path);
                 let mut file = std::fs::OpenOptions::new()
@@ -330,9 +368,10 @@ fn run(args: Args) -> Result<(), String> {
     let tick = args.tick;
     let stop = {
         let stop_flag = Arc::clone(&stop_flag);
-        let stats = Arc::clone(&stats);
+        let registry = Arc::clone(&registry);
+        let pop = &pop;
         let mut last_dbg = std::time::Instant::now();
-        move |outs: &[MeshOutput<Out>], counters: &MeshCounters| {
+        move |outs: &[MeshOutput<Out>], _counters: &minsync_transport::mesh::MeshCounters| {
             if std::env::var_os("MINSYNC_NODE_DEBUG").is_some()
                 && last_dbg.elapsed() > Duration::from_secs(1)
             {
@@ -344,7 +383,7 @@ fn run(args: Args) -> Result<(), String> {
             }
             if !reported && committed_commands(outs) >= total {
                 reported = true;
-                print_stats(&pop, outs, me, tick, counters, &stats);
+                print_stats(pop, outs, me, tick, &registry);
             }
             // STOP (or stdin EOF — the orchestrator is gone) ends the run
             // unconditionally: the orchestrator only sends STOP after every
@@ -353,6 +392,33 @@ fn run(args: Args) -> Result<(), String> {
         }
     };
     let report = mesh.run(node, &peers, &config, stop);
+
+    if let (Some(trace), Some(path)) = (&trace, &args.trace) {
+        // Back-fill the client `Submitted` stage: the workload has no real
+        // client processes, so a slot "finished arriving" at the latest
+        // arrival tick among the commands its committed batch carries.
+        // (The analyzer keeps the earliest observation per stage, so the
+        // append order of these post-hoc events is irrelevant.)
+        for out in &report.outputs {
+            if let Some((slot, batch)) = out.event.as_committed() {
+                if let Some(at) = batch
+                    .commands()
+                    .iter()
+                    .filter_map(|&cmd| pop.submit_tick(cmd))
+                    .max()
+                {
+                    trace.record_at(at, me.index() as u32, TraceKind::Submitted { slot });
+                }
+            }
+        }
+        let dump = trace.dump(&TraceMeta {
+            source: "tcp".into(),
+            tick_ns: args.tick.as_nanos() as u64,
+            seed: args.seed,
+        });
+        std::fs::write(path, dump)
+            .map_err(|e| format!("writing trace dump {}: {e}", path.display()))?;
+    }
 
     if args.behavior == Behavior::Correct
         && report.timed_out
@@ -376,14 +442,16 @@ fn committed_commands(outs: &[MeshOutput<Out>]) -> usize {
 }
 
 /// Prints the statistics block the orchestrator parses (see
-/// `cluster::parse_stats`), ending in `DONE`.
+/// `cluster::parse_stats`), ending in `DONE`: the run's summary numbers
+/// are written into the shared registry as `node.*` gauges and the whole
+/// registry — mesh and SMR counters included — goes out as one
+/// `STAT v1 … END STAT` snapshot.
 fn print_stats(
     pop: &ClientPopulation,
     outs: &[MeshOutput<Out>],
     me: ProcessId,
     tick: Duration,
-    counters: &MeshCounters,
-    stats: &SmrStats,
+    registry: &Registry,
 ) {
     let mut digest = LogDigest::new();
     let mut slots = 0u64;
@@ -419,22 +487,23 @@ fn print_stats(
         .collect();
     let workload = account(pop, &records, me);
     let lat = workload.latency;
-    println!("COMMITTED {commands} {slots}");
-    println!("DIGEST {:016x}", digest.value());
-    println!("WALL_MS {:.3}", wall.as_secs_f64() * 1000.0);
-    println!(
-        "LAT {} {} {} {} {:.3}",
-        lat.count, lat.p50, lat.p95, lat.p99, lat.mean
-    );
-    println!(
-        "DROPS {} {} {} {} {} {}",
-        counters.outbound_dropped_total(),
-        counters.decode_disconnects(),
-        counters.handshake_rejects(),
-        counters.auth_rejects(),
-        stats.future_drops(),
-        stats.retired_drops()
-    );
+    // Run-summary gauges: all integers (the registry holds no floats), so
+    // the two fractional quantities ship scaled — wall time in
+    // microseconds, mean latency in milliticks.
+    registry
+        .gauge("node.committed_commands")
+        .set(commands as u64);
+    registry.gauge("node.committed_slots").set(slots);
+    registry.gauge("node.digest").set(digest.value());
+    registry.gauge("node.wall_us").set(wall.as_micros() as u64);
+    registry.gauge("node.lat_count").set(lat.count as u64);
+    registry.gauge("node.lat_p50").set(lat.p50);
+    registry.gauge("node.lat_p95").set(lat.p95);
+    registry.gauge("node.lat_p99").set(lat.p99);
+    registry
+        .gauge("node.lat_mean_milli")
+        .set((lat.mean * 1000.0).round() as u64);
+    print!("{}", registry.snapshot().to_text());
     println!("{}", control::DONE);
     std::io::stdout().flush().ok();
 }

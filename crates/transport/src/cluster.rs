@@ -25,6 +25,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use minsync_auth::HmacAuthenticator;
+use minsync_telemetry::Snapshot;
 use minsync_workload::ArrivalProcess;
 
 /// How one replica slot behaves.
@@ -199,6 +200,17 @@ pub struct ClusterSpec {
     pub child_timeout: Duration,
     /// Orchestrator-side cap on the whole cluster run.
     pub harness_timeout: Duration,
+    /// Override the SMR pipelining window (`SmrLimits::window`) of every
+    /// correct child; `None` keeps the crate default. `Some(1)` serializes
+    /// the log — one slot must commit before the next starts — which is
+    /// the baseline the E16 pipelining comparison measures against.
+    pub window: Option<u64>,
+    /// Hand every correct child a `--trace` path inside this directory
+    /// (`trace-<id>.jsonl`): the mesh + SMR trace ring is dumped there
+    /// when the child stops, ready for `minsync-trace` or the
+    /// `minsync-telemetry` analyzer. `None` disables tracing (and its
+    /// cost) entirely.
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl ClusterSpec {
@@ -253,6 +265,12 @@ pub struct ReplicaStats {
     /// Messages the SMR layer refused for already-retired slots; zero in a
     /// clean run.
     pub retired_drops: u64,
+    /// The child's full metrics snapshot, when it reported in the
+    /// `STAT v1` format — every `mesh.*`/`smr.*`/`node.*` metric the
+    /// summary fields above were extracted from, for callers that need
+    /// counters without a dedicated field (keepalives, cert rejects, …).
+    /// Empty for legacy positional reports.
+    pub snapshot: Snapshot,
 }
 
 /// Result of one cluster run: every *correct* replica's stats.
@@ -992,6 +1010,16 @@ fn spawn_replica(bin: &Path, spec: &ClusterSpec, cfg: &ChildConfig) -> Result<Ch
     if cfg.ckpt_retry > 0 {
         command.arg("--ckpt-retry").arg(cfg.ckpt_retry.to_string());
     }
+    if cfg.behavior == Behavior::Correct {
+        if let Some(window) = spec.window {
+            command.arg("--window").arg(window.to_string());
+        }
+        if let Some(dir) = &spec.trace_dir {
+            command
+                .arg("--trace")
+                .arg(dir.join(format!("trace-{}.jsonl", cfg.id)));
+        }
+    }
     command
         .arg("--id")
         .arg(cfg.id.to_string())
@@ -1105,7 +1133,12 @@ fn recv_line(rx: &Receiver<ChildLine>, deadline: Instant) -> Result<ChildLine, C
     }
 }
 
-/// Parses one correct replica's statistics block:
+/// Parses one correct replica's statistics block. The current format is a
+/// `minsync-telemetry` registry snapshot (`STAT v1 … END STAT`): the
+/// summary fields come out of `node.*` gauges, the defense counters out of
+/// the `mesh.*`/`smr.*` metrics, and the whole snapshot rides along in
+/// [`ReplicaStats::snapshot`]. Blocks without a `STAT v1` line fall back
+/// to the legacy positional grammar older nodes printed:
 ///
 /// ```text
 /// COMMITTED <commands> <slots>
@@ -1115,6 +1148,47 @@ fn recv_line(rx: &Receiver<ChildLine>, deadline: Instant) -> Result<ChildLine, C
 /// DROPS <outbound> <decode> <handshake> <auth> <future> <retired>
 /// ```
 fn parse_stats(id: usize, block: &[String]) -> Result<ReplicaStats, ClusterError> {
+    if block.iter().any(|l| l.trim() == "STAT v1") {
+        parse_snapshot_stats(id, block)
+    } else {
+        parse_legacy_stats(id, block)
+    }
+}
+
+/// The `STAT v1` half of [`parse_stats`].
+fn parse_snapshot_stats(id: usize, block: &[String]) -> Result<ReplicaStats, ClusterError> {
+    let text = block.join("\n");
+    let snapshot = Snapshot::parse(&text).map_err(|what| ClusterError::Protocol { id, what })?;
+    let gauge = |name: &str| -> Result<u64, ClusterError> {
+        snapshot.gauge(name).ok_or_else(|| ClusterError::Protocol {
+            id,
+            what: format!("snapshot missing {name} gauge"),
+        })
+    };
+    let counter = |name: &str| snapshot.counter(name).unwrap_or(0);
+    Ok(ReplicaStats {
+        id,
+        committed: gauge("node.committed_commands")? as usize,
+        slots: gauge("node.committed_slots")?,
+        digest: gauge("node.digest")?,
+        wall: Duration::from_micros(gauge("node.wall_us")?),
+        lat_count: gauge("node.lat_count")? as usize,
+        lat_p50: gauge("node.lat_p50")?,
+        lat_p95: gauge("node.lat_p95")?,
+        lat_p99: gauge("node.lat_p99")?,
+        lat_mean: gauge("node.lat_mean_milli")? as f64 / 1000.0,
+        outbound_dropped: snapshot.sum_counters("mesh.outbound_dropped."),
+        decode_disconnects: counter("mesh.decode_disconnects"),
+        handshake_rejects: counter("mesh.handshake_rejects"),
+        auth_rejects: counter("mesh.auth_rejects"),
+        future_drops: counter("smr.future_drops"),
+        retired_drops: counter("smr.retired_drops"),
+        snapshot,
+    })
+}
+
+/// The positional half of [`parse_stats`] (pre-snapshot node builds).
+fn parse_legacy_stats(id: usize, block: &[String]) -> Result<ReplicaStats, ClusterError> {
     let field = |key: &str| -> Result<Vec<String>, ClusterError> {
         block
             .iter()
@@ -1161,6 +1235,7 @@ fn parse_stats(id: usize, block: &[String]) -> Result<ReplicaStats, ClusterError
         auth_rejects: drops[3].parse().map_err(|_| bad("bad DROPS"))?,
         future_drops: drops[4].parse().map_err(|_| bad("bad DROPS"))?,
         retired_drops: drops[5].parse().map_err(|_| bad("bad DROPS"))?,
+        snapshot: Snapshot::empty(),
     })
 }
 
@@ -1200,6 +1275,55 @@ mod tests {
         c.fold_slot(1, &[1, 2]);
         c.fold_slot(2, &[3]);
         assert_eq!(a.value(), c.value());
+    }
+
+    #[test]
+    fn snapshot_stats_round_trip_through_the_text_format() {
+        // A node-side registry writes the block; the orchestrator-side
+        // parser must recover every summary field exactly.
+        let mut snap = Snapshot::empty();
+        snap.set_gauge("node.committed_commands", 128);
+        snap.set_gauge("node.committed_slots", 20);
+        snap.set_gauge("node.digest", 0xcbf2_9ce4_8422_2325);
+        snap.set_gauge("node.wall_us", 412_500);
+        snap.set_gauge("node.lat_count", 128);
+        snap.set_gauge("node.lat_p50", 10);
+        snap.set_gauge("node.lat_p95", 25);
+        snap.set_gauge("node.lat_p99", 40);
+        snap.set_gauge("node.lat_mean_milli", 12_750);
+        snap.set_counter("mesh.outbound_dropped.p0", 1);
+        snap.set_counter("mesh.outbound_dropped.p2", 2);
+        snap.set_counter("mesh.decode_disconnects", 1);
+        snap.set_counter("mesh.auth_rejects", 2);
+        snap.set_counter("mesh.keepalives", 9);
+        snap.set_counter("smr.future_drops", 5);
+        snap.set_counter("smr.retired_drops", 4);
+        let block: Vec<String> = snap.to_text().lines().map(str::to_string).collect();
+        let stats = parse_stats(2, &block).unwrap();
+        assert_eq!(stats.committed, 128);
+        assert_eq!(stats.slots, 20);
+        assert_eq!(stats.digest, 0xcbf2_9ce4_8422_2325);
+        assert!((stats.wall.as_secs_f64() - 0.4125).abs() < 1e-9);
+        assert_eq!(stats.lat_p99, 40);
+        assert!((stats.lat_mean - 12.75).abs() < 1e-9);
+        assert_eq!(stats.outbound_dropped, 3, "summed across peers");
+        assert_eq!(stats.decode_disconnects, 1);
+        assert_eq!(stats.handshake_rejects, 0, "absent counters read zero");
+        assert_eq!(stats.auth_rejects, 2);
+        assert_eq!(stats.future_drops, 5);
+        assert_eq!(stats.retired_drops, 4);
+        // The full snapshot rides along for fields without a summary slot.
+        assert_eq!(stats.snapshot.counter("mesh.keepalives"), Some(9));
+
+        // A snapshot missing a summary gauge is a protocol error, not a
+        // zero-filled report.
+        let mut gutted = Snapshot::empty();
+        gutted.set_gauge("node.committed_commands", 1);
+        let block: Vec<String> = gutted.to_text().lines().map(str::to_string).collect();
+        assert!(matches!(
+            parse_stats(2, &block),
+            Err(ClusterError::Protocol { id: 2, .. })
+        ));
     }
 
     #[test]
@@ -1269,6 +1393,7 @@ mod tests {
             auth_rejects: 0,
             future_drops: 0,
             retired_drops: 0,
+            snapshot: Snapshot::empty(),
         };
         let report = ClusterReport {
             replicas: vec![stats(0, 7, 500), stats(1, 7, 250)],

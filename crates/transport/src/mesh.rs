@@ -48,7 +48,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use std::fmt::Debug;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -56,10 +56,13 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use minsync_auth::Authenticator;
 use minsync_net::{derive_stream, stream_of, Effect, Env, Node, TimerId, VirtualTime};
+use minsync_telemetry::trace::{queues, TraceKind, TraceRecorder};
+use minsync_telemetry::{Counter, Gauge, Registry};
 use minsync_types::ProcessId;
 use minsync_wire::{
-    decode_frame, encode_frame, encode_frame_tagged, split_frame, tagged_frame_cap,
-    verify_frame_tag, Hello, Wire, DEFAULT_MAX_FRAME, HELLO_LEN, KEEPALIVE_FRAME, MAGIC,
+    decode_frame, decode_frame_timed, encode_frame, encode_frame_tagged, encode_frame_timed,
+    split_frame, tagged_frame_cap, verify_frame_tag, Hello, Wire, DEFAULT_MAX_FRAME, HELLO_LEN,
+    KEEPALIVE_FRAME, MAGIC,
 };
 
 /// Stream-namespace tag of the TCP mesh (`"MESH"`), keeping its derived
@@ -115,6 +118,15 @@ pub struct MeshConfig {
     /// heal links while the mesh runs (see [`LinkFaults`]). Blocked sends
     /// are counted per peer in [`MeshReport::outbound_dropped`].
     pub faults: Option<Arc<LinkFaults>>,
+    /// Telemetry registry the mesh interns its transport counters in
+    /// (`mesh.*` — see [`MeshCounters`]). `None` keeps them as detached
+    /// handles: the report and stop-predicate accessors work either way.
+    pub registry: Option<Arc<Registry>>,
+    /// Structured-trace hook. When set, the mesh stamps effect, queue
+    /// enqueue/dequeue, timer, handler-step, and frame codec-timing events
+    /// into the shared ring (timestamps in ticks of [`MeshConfig::tick`]).
+    /// Purely observational: the node's behaviour is unchanged.
+    pub trace: Option<Arc<TraceRecorder>>,
 }
 
 impl Default for MeshConfig {
@@ -133,6 +145,8 @@ impl Default for MeshConfig {
             max_connections: 64,
             auth: None,
             faults: None,
+            registry: None,
+            trace: None,
         }
     }
 }
@@ -219,6 +233,10 @@ pub struct MeshReport<O> {
     /// Inbound connections cut for failed authentication (a handshake tag
     /// or frame MAC that did not verify) — always 0 on an open mesh.
     pub auth_rejects: u64,
+    /// Idle keepalive probes written by the writer threads.
+    pub keepalives: u64,
+    /// Failed dial attempts that triggered a reconnect-backoff sleep.
+    pub dial_backoffs: u64,
 }
 
 /// Live transport counters, shared across the mesh's threads and handed to
@@ -226,16 +244,25 @@ pub struct MeshReport<O> {
 /// health (drops, Byzantine disconnects) *while the mesh is still running*,
 /// which is how `minsync-node` fills its statistics block before lingering
 /// for laggards.
+///
+/// The counters are telemetry handles: when [`MeshConfig::registry`] is
+/// set they are interned there under `mesh.*` names (per-peer drops as
+/// `mesh.outbound_dropped.p<i>`, the connection count as the gauge
+/// `mesh.live_connections`), so a registry snapshot carries transport
+/// health with no extra plumbing. Without a registry they are detached
+/// handles — same behaviour, just unnamed.
 #[derive(Debug)]
 pub struct MeshCounters {
     shutdown: AtomicBool,
-    decode_disconnects: AtomicU64,
-    handshake_rejects: AtomicU64,
-    accept_rejects: AtomicU64,
-    reconnects: AtomicU64,
-    auth_rejects: AtomicU64,
-    live_connections: AtomicUsize,
-    outbound_dropped: Vec<AtomicU64>,
+    decode_disconnects: Counter,
+    handshake_rejects: Counter,
+    accept_rejects: Counter,
+    reconnects: Counter,
+    auth_rejects: Counter,
+    keepalives: Counter,
+    dial_backoffs: Counter,
+    live_connections: Gauge,
+    outbound_dropped: Vec<Counter>,
     /// Per-sender handshake epochs: only the *newest* connection claiming a
     /// sender id stays alive (see `reader_loop`), so an attacker holding
     /// sockets open cannot pin connection slots — and a correct peer's
@@ -244,16 +271,27 @@ pub struct MeshCounters {
 }
 
 impl MeshCounters {
-    fn new(n: usize) -> Self {
+    fn new(n: usize, registry: Option<&Registry>) -> Self {
+        let counter = |name: &str| match registry {
+            Some(r) => r.counter(name),
+            None => Counter::detached(),
+        };
         MeshCounters {
             shutdown: AtomicBool::new(false),
-            decode_disconnects: AtomicU64::new(0),
-            handshake_rejects: AtomicU64::new(0),
-            accept_rejects: AtomicU64::new(0),
-            reconnects: AtomicU64::new(0),
-            auth_rejects: AtomicU64::new(0),
-            live_connections: AtomicUsize::new(0),
-            outbound_dropped: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            decode_disconnects: counter("mesh.decode_disconnects"),
+            handshake_rejects: counter("mesh.handshake_rejects"),
+            accept_rejects: counter("mesh.accept_rejects"),
+            reconnects: counter("mesh.reconnects"),
+            auth_rejects: counter("mesh.auth_rejects"),
+            keepalives: counter("mesh.keepalives"),
+            dial_backoffs: counter("mesh.dial_backoffs"),
+            live_connections: match registry {
+                Some(r) => r.gauge("mesh.live_connections"),
+                None => Gauge::detached(),
+            },
+            outbound_dropped: (0..n)
+                .map(|p| counter(&format!("mesh.outbound_dropped.p{p}")))
+                .collect(),
             sender_epochs: (0..n).map(|_| AtomicU64::new(0)).collect(),
         }
     }
@@ -264,40 +302,68 @@ impl MeshCounters {
 
     /// Outbound messages dropped toward `peer` so far.
     pub fn outbound_dropped(&self, peer: usize) -> u64 {
-        self.outbound_dropped[peer].load(Ordering::Relaxed)
+        self.outbound_dropped[peer].get()
     }
 
     /// Outbound messages dropped across all peers so far.
     pub fn outbound_dropped_total(&self) -> u64 {
-        self.outbound_dropped
-            .iter()
-            .map(|d| d.load(Ordering::Relaxed))
-            .sum()
+        self.outbound_dropped.iter().map(Counter::get).sum()
     }
 
     /// Inbound connections cut for undecodable bytes so far.
     pub fn decode_disconnects(&self) -> u64 {
-        self.decode_disconnects.load(Ordering::Relaxed)
+        self.decode_disconnects.get()
     }
 
     /// Inbound connections refused at the handshake so far.
     pub fn handshake_rejects(&self) -> u64 {
-        self.handshake_rejects.load(Ordering::Relaxed)
+        self.handshake_rejects.get()
     }
 
     /// Inbound connections refused at the connection cap so far.
     pub fn accept_rejects(&self) -> u64 {
-        self.accept_rejects.load(Ordering::Relaxed)
+        self.accept_rejects.get()
     }
 
     /// Successful writer re-connections so far.
     pub fn reconnects(&self) -> u64 {
-        self.reconnects.load(Ordering::Relaxed)
+        self.reconnects.get()
     }
 
     /// Inbound connections cut for failed authentication so far.
     pub fn auth_rejects(&self) -> u64 {
-        self.auth_rejects.load(Ordering::Relaxed)
+        self.auth_rejects.get()
+    }
+
+    /// Idle keepalive probes written so far.
+    pub fn keepalives(&self) -> u64 {
+        self.keepalives.get()
+    }
+
+    /// Failed dial attempts (each followed by a backoff sleep) so far.
+    pub fn dial_backoffs(&self) -> u64 {
+        self.dial_backoffs.get()
+    }
+}
+
+/// Wall-clock → tick trace context shared with the mesh's I/O threads, so
+/// reader and writer threads can stamp queue and codec events on the same
+/// clock as the node loop.
+#[derive(Debug)]
+struct TraceCtx {
+    trace: Arc<TraceRecorder>,
+    start: Instant,
+    tick_ns: u64,
+    me: u32,
+}
+
+impl TraceCtx {
+    fn now_ticks(&self) -> u64 {
+        (self.start.elapsed().as_nanos() as u64) / self.tick_ns.max(1)
+    }
+
+    fn record(&self, kind: TraceKind) {
+        self.trace.record_at(self.now_ticks(), self.me, kind);
     }
 }
 
@@ -357,7 +423,19 @@ impl TcpMesh {
         assert!(n >= 2, "a mesh of one process has no wires");
         assert!(me.index() < n, "process id out of range");
         let start = Instant::now();
-        let shared = Arc::new(MeshCounters::new(n));
+        let shared = Arc::new(MeshCounters::new(n, config.registry.as_deref()));
+        let trace_ctx = config.trace.as_ref().map(|trace| {
+            Arc::new(TraceCtx {
+                trace: Arc::clone(trace),
+                start,
+                tick_ns: config.tick.as_nanos().max(1) as u64,
+                me: me.index() as u32,
+            })
+        });
+        // Queue depths live beside the channels (the vendored channel has no
+        // len()); they exist only to label trace events and are untouched —
+        // like every hook here — when tracing is off.
+        let inbox_depth = Arc::new(AtomicU64::new(0));
 
         // Inbound plumbing: readers feed one bounded inbox.
         let (inbox_tx, inbox_rx) = bounded::<(ProcessId, M)>(config.inbox_capacity);
@@ -371,12 +449,16 @@ impl TcpMesh {
                 n,
                 max_frame: config.max_frame,
                 auth: config.auth.clone(),
+                trace: trace_ctx.clone(),
+                inbox_depth: Arc::clone(&inbox_depth),
             },
         );
 
         // Outbound plumbing: one writer thread + bounded queue per peer.
         let mut peer_txs: Vec<Option<Sender<M>>> = Vec::with_capacity(n);
         let mut writers: Vec<JoinHandle<()>> = Vec::new();
+        let outbound_depths: Vec<Arc<AtomicU64>> =
+            (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
         for (peer, &addr) in peers.iter().enumerate() {
             if peer == me.index() {
                 peer_txs.push(None);
@@ -396,6 +478,8 @@ impl TcpMesh {
                     connect_timeout: config.connect_timeout,
                     keepalive: config.keepalive,
                     auth: config.auth.clone(),
+                    trace: trace_ctx.clone(),
+                    depth: Arc::clone(&outbound_depths[peer]),
                 },
                 rx,
                 Arc::clone(&shared),
@@ -414,6 +498,9 @@ impl TcpMesh {
             outputs: Vec::new(),
             halted: false,
             faults: config.faults.clone(),
+            trace: trace_ctx,
+            outbound_depths,
+            inbox_depth,
             env: Env::new(
                 n,
                 derive_stream(
@@ -422,8 +509,13 @@ impl TcpMesh {
                 ),
             ),
         };
+        if let Some(trace) = &config.trace {
+            worker.env.set_trace(Arc::clone(trace));
+        }
         worker.env.prepare(me, worker.now());
+        let step = worker.step_start();
         node.on_start(&mut worker.env);
+        worker.note_step(step);
         worker.apply_effects();
 
         let mut timed_out = false;
@@ -443,7 +535,9 @@ impl TcpMesh {
             // 1. Self-channel first: always timely, never touches a socket.
             while let Some((from, msg)) = worker.self_queue.pop_front() {
                 worker.env.prepare(me, worker.now());
+                let step = worker.step_start();
                 node.on_message(from, msg, &mut worker.env);
+                worker.note_step(step);
                 worker.apply_effects();
                 if worker.halted {
                     break;
@@ -462,7 +556,12 @@ impl TcpMesh {
                 let t = worker.timers.pop().expect("peeked");
                 if worker.env.timers_mut().try_fire(t.id) {
                     worker.env.prepare(me, worker.now());
+                    if let Some(ctx) = &worker.trace {
+                        ctx.record(TraceKind::TimerFired);
+                    }
+                    let step = worker.step_start();
                     node.on_timer(t.id, &mut worker.env);
+                    worker.note_step(step);
                     worker.apply_effects();
                     if worker.halted {
                         break;
@@ -481,8 +580,11 @@ impl TcpMesh {
                 .min(Duration::from_millis(10));
             match inbox_rx.recv_timeout(wait) {
                 Ok((from, msg)) => {
+                    worker.note_inbox_dequeue();
                     worker.env.prepare(me, worker.now());
+                    let step = worker.step_start();
                     node.on_message(from, msg, &mut worker.env);
+                    worker.note_step(step);
                     worker.apply_effects();
                 }
                 Err(RecvTimeoutError::Timeout) => {}
@@ -513,6 +615,8 @@ impl TcpMesh {
             accept_rejects: shared.accept_rejects(),
             reconnects: shared.reconnects(),
             auth_rejects: shared.auth_rejects(),
+            keepalives: shared.keepalives(),
+            dial_backoffs: shared.dial_backoffs(),
         }
     }
 }
@@ -558,6 +662,11 @@ struct MeshWorker<'a, M, O> {
     outputs: Vec<MeshOutput<O>>,
     halted: bool,
     faults: Option<Arc<LinkFaults>>,
+    trace: Option<Arc<TraceCtx>>,
+    /// Shadow depths of the per-peer writer queues (trace labels only).
+    outbound_depths: Vec<Arc<AtomicU64>>,
+    /// Shadow depth of the inbox (readers increment, this loop decrements).
+    inbox_depth: Arc<AtomicU64>,
     env: Env<M, O>,
 }
 
@@ -566,6 +675,35 @@ impl<M: Clone, O> MeshWorker<'_, M, O> {
         VirtualTime::from_ticks(
             (self.start.elapsed().as_nanos() / self.tick.as_nanos().max(1)) as u64,
         )
+    }
+
+    /// Starts the handler-step stopwatch; `None` (free) when untraced.
+    fn step_start(&self) -> Option<Instant> {
+        self.trace.as_ref().map(|_| Instant::now())
+    }
+
+    fn note_step(&self, step: Option<Instant>) {
+        if let (Some(ctx), Some(t0)) = (&self.trace, step) {
+            ctx.record(TraceKind::HandlerStep {
+                nanos: t0.elapsed().as_nanos() as u64,
+            });
+        }
+    }
+
+    fn note_inbox_dequeue(&self) {
+        if let Some(ctx) = &self.trace {
+            let depth = self
+                .inbox_depth
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                    Some(d.saturating_sub(1))
+                })
+                .unwrap_or(0)
+                .saturating_sub(1);
+            ctx.record(TraceKind::Dequeue {
+                queue: queues::INBOX,
+                depth,
+            });
+        }
     }
 
     /// Queues `msg` toward `to` without ever blocking: self-delivery goes
@@ -580,11 +718,17 @@ impl<M: Clone, O> MeshWorker<'_, M, O> {
                 // heal does not release a backlog of stale partition-era
                 // frames. The self-channel (above) is never faultable.
                 if self.faults.as_ref().is_some_and(|f| f.is_blocked(to)) {
-                    self.counters.outbound_dropped[to].fetch_add(1, Ordering::Relaxed);
+                    self.counters.outbound_dropped[to].inc();
                     return;
                 }
                 if tx.try_send(msg).is_err() {
-                    self.counters.outbound_dropped[to].fetch_add(1, Ordering::Relaxed);
+                    self.counters.outbound_dropped[to].inc();
+                } else if let Some(ctx) = &self.trace {
+                    let depth = self.outbound_depths[to].fetch_add(1, Ordering::Relaxed) + 1;
+                    ctx.record(TraceKind::Enqueue {
+                        queue: queues::OUTBOUND_BASE + to as u32,
+                        depth,
+                    });
                 }
             }
         }
@@ -642,6 +786,9 @@ struct WriterSpec {
     connect_timeout: Duration,
     keepalive: Duration,
     auth: Option<Arc<dyn Authenticator>>,
+    trace: Option<Arc<TraceCtx>>,
+    /// Shadow depth of this writer's queue (trace labels only).
+    depth: Arc<AtomicU64>,
 }
 
 /// Byte budget for a writer's replay ring (see [`spawn_writer`]).
@@ -677,6 +824,7 @@ where
             let mut stream = match TcpStream::connect_timeout(&spec.addr, spec.connect_timeout) {
                 Ok(s) => s,
                 Err(_) => {
+                    shared.dial_backoffs.inc();
                     std::thread::sleep(backoff);
                     backoff = (backoff * 2).min(spec.max_backoff);
                     continue 'reconnect;
@@ -685,7 +833,7 @@ where
             backoff = spec.initial_backoff;
             connects += 1;
             if connects > 1 {
-                shared.reconnects.fetch_add(1, Ordering::Relaxed);
+                shared.reconnects.inc();
             }
             let _ = stream.set_nodelay(true);
             // A peer that accepts but never reads would otherwise pin this
@@ -703,6 +851,19 @@ where
             loop {
                 match rx.recv_timeout(spec.keepalive) {
                     Ok(msg) => {
+                        if let Some(ctx) = &spec.trace {
+                            let depth = spec
+                                .depth
+                                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                                    Some(d.saturating_sub(1))
+                                })
+                                .unwrap_or(0)
+                                .saturating_sub(1);
+                            ctx.record(TraceKind::Dequeue {
+                                queue: queues::OUTBOUND_BASE + spec.peer as u32,
+                                depth,
+                            });
+                        }
                         if shared.shutdown() {
                             // Teardown outranks the backlog: against a
                             // slow (or byte-at-a-time Byzantine) reader,
@@ -711,23 +872,48 @@ where
                             // join far past its wall-clock cap. The popped
                             // message is discarded — count it like every
                             // other drop.
-                            shared.outbound_dropped[spec.peer].fetch_add(1, Ordering::Relaxed);
+                            shared.outbound_dropped[spec.peer].inc();
                             return;
                         }
                         buf.clear();
-                        let encoded = match &spec.auth {
-                            Some(auth) => encode_frame_tagged(
-                                &msg,
-                                &mut buf,
-                                spec.max_frame,
-                                auth.as_ref(),
-                                peer_id,
-                            ),
-                            None => encode_frame(&msg, &mut buf, spec.max_frame),
+                        // Untraced runs call the plain codec — the timing
+                        // probe costs two clock reads per frame, paid only
+                        // when someone will look at the result.
+                        let encoded = if let Some(ctx) = &spec.trace {
+                            let (res, nanos) = match &spec.auth {
+                                Some(auth) => {
+                                    let t0 = Instant::now();
+                                    let r = encode_frame_tagged(
+                                        &msg,
+                                        &mut buf,
+                                        spec.max_frame,
+                                        auth.as_ref(),
+                                        peer_id,
+                                    );
+                                    (r, t0.elapsed().as_nanos() as u64)
+                                }
+                                None => encode_frame_timed(&msg, &mut buf, spec.max_frame),
+                            };
+                            ctx.record(TraceKind::FrameEncoded {
+                                bytes: buf.len() as u64,
+                                nanos,
+                            });
+                            res
+                        } else {
+                            match &spec.auth {
+                                Some(auth) => encode_frame_tagged(
+                                    &msg,
+                                    &mut buf,
+                                    spec.max_frame,
+                                    auth.as_ref(),
+                                    peer_id,
+                                ),
+                                None => encode_frame(&msg, &mut buf, spec.max_frame),
+                            }
                         };
                         if encoded.is_err() {
                             // Oversized local message: unsendable, count it.
-                            shared.outbound_dropped[spec.peer].fetch_add(1, Ordering::Relaxed);
+                            shared.outbound_dropped[spec.peer].inc();
                             continue;
                         }
                         // Into the ring *before* the write: a failed write
@@ -750,6 +936,7 @@ where
                         if shared.shutdown() {
                             return;
                         }
+                        shared.keepalives.inc();
                         if stream.write_all(&KEEPALIVE_FRAME).is_err() {
                             continue 'reconnect;
                         }
@@ -772,6 +959,9 @@ struct ReaderConfig {
     n: usize,
     max_frame: usize,
     auth: Option<Arc<dyn Authenticator>>,
+    trace: Option<Arc<TraceCtx>>,
+    /// Shadow depth of the inbox (trace labels only).
+    inbox_depth: Arc<AtomicU64>,
 }
 
 fn spawn_acceptor<M>(
@@ -796,20 +986,20 @@ where
             readers.retain(|r| !r.is_finished());
             match listener.accept() {
                 Ok((stream, _)) => {
-                    if shared.live_connections.load(Ordering::Relaxed) >= max_connections {
+                    if shared.live_connections.get() as usize >= max_connections {
                         // Socket-exhaustion defense: refuse, don't spawn —
                         // and count it, so a lockout is visible.
-                        shared.accept_rejects.fetch_add(1, Ordering::Relaxed);
+                        shared.accept_rejects.inc();
                         drop(stream);
                         continue;
                     }
-                    shared.live_connections.fetch_add(1, Ordering::Relaxed);
+                    shared.live_connections.inc();
                     let inbox = inbox.clone();
                     let shared = Arc::clone(&shared);
                     let reader = reader.clone();
                     readers.push(std::thread::spawn(move || {
                         reader_loop::<M>(stream, inbox, &shared, reader);
-                        shared.live_connections.fetch_sub(1, Ordering::Relaxed);
+                        shared.live_connections.dec();
                     }));
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -843,6 +1033,8 @@ fn reader_loop<M>(
         n,
         max_frame,
         auth,
+        trace,
+        inbox_depth,
     } = config;
     // With auth on, the sender's MAC tag rides inside the frame body, so a
     // max-size message legitimately occupies `max_frame + FRAME_TAG_OVERHEAD`
@@ -868,7 +1060,7 @@ fn reader_loop<M>(
     while !shared.shutdown() {
         match sender {
             None if opened.elapsed() >= HANDSHAKE_DEADLINE => {
-                shared.handshake_rejects.fetch_add(1, Ordering::Relaxed);
+                shared.handshake_rejects.inc();
                 return;
             }
             Some(from)
@@ -889,7 +1081,7 @@ fn reader_loop<M>(
                     // that can no longer arrive.
                     let k = buf.len().min(MAGIC.len());
                     if buf[..k] != MAGIC[..k] {
-                        shared.handshake_rejects.fetch_add(1, Ordering::Relaxed);
+                        shared.handshake_rejects.inc();
                         return;
                     }
                     if buf.len() < HELLO_LEN {
@@ -907,7 +1099,7 @@ fn reader_loop<M>(
                             // kill) the genuine sender's live connection.
                             if let Some(auth) = &auth {
                                 if !hello.verify_auth(auth.as_ref()) {
-                                    shared.auth_rejects.fetch_add(1, Ordering::Relaxed);
+                                    shared.auth_rejects.inc();
                                     return;
                                 }
                             }
@@ -920,7 +1112,7 @@ fn reader_loop<M>(
                         _ => {
                             // Foreign protocol, incompatible version, wrong
                             // cluster, or an impersonation attempt.
-                            shared.handshake_rejects.fetch_add(1, Ordering::Relaxed);
+                            shared.handshake_rejects.inc();
                             return;
                         }
                     }
@@ -945,27 +1137,45 @@ fn reader_loop<M>(
                                 Some(a) => match verify_frame_tag(payload, a.as_ref(), from) {
                                     Ok(body) => body,
                                     Err(_) => {
-                                        shared.auth_rejects.fetch_add(1, Ordering::Relaxed);
+                                        shared.auth_rejects.inc();
                                         return;
                                     }
                                 },
                                 None => payload,
                             };
-                            match decode_frame::<M>(body) {
+                            let decoded = match &trace {
+                                Some(ctx) => {
+                                    let (res, nanos) = decode_frame_timed::<M>(body);
+                                    ctx.record(TraceKind::FrameDecoded {
+                                        bytes: body.len() as u64,
+                                        nanos,
+                                    });
+                                    res
+                                }
+                                None => decode_frame::<M>(body),
+                            };
+                            match decoded {
                                 Ok(msg) => {
                                     consumed += used;
                                     if inbox.send((from, msg)).is_err() {
                                         return; // node loop is gone
                                     }
+                                    if let Some(ctx) = &trace {
+                                        let depth = inbox_depth.fetch_add(1, Ordering::Relaxed) + 1;
+                                        ctx.record(TraceKind::Enqueue {
+                                            queue: queues::INBOX,
+                                            depth,
+                                        });
+                                    }
                                 }
                                 Err(_) => {
-                                    shared.decode_disconnects.fetch_add(1, Ordering::Relaxed);
+                                    shared.decode_disconnects.inc();
                                     return;
                                 }
                             }
                         }
                         Err(_) => {
-                            shared.decode_disconnects.fetch_add(1, Ordering::Relaxed);
+                            shared.decode_disconnects.inc();
                             return;
                         }
                     }

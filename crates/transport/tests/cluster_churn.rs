@@ -29,6 +29,8 @@ fn spec(seed: u64) -> ClusterSpec {
         tick: Duration::from_micros(200),
         child_timeout: Duration::from_secs(60),
         harness_timeout: Duration::from_secs(120),
+        window: None,
+        trace_dir: None,
     }
 }
 

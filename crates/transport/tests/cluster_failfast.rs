@@ -29,6 +29,8 @@ fn child_dying_before_port_fails_fast_with_its_exit_status() {
         tick: Duration::from_micros(200),
         child_timeout: Duration::from_secs(30),
         harness_timeout: Duration::from_secs(60),
+        window: None,
+        trace_dir: None,
     };
     let start = Instant::now();
     let err = run_cluster(&spec).expect_err("a cluster of /bin/false cannot run");

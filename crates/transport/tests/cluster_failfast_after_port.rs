@@ -39,6 +39,8 @@ fn child_dying_after_port_fails_fast_naming_the_victim() {
         tick: Duration::from_micros(200),
         child_timeout: Duration::from_secs(30),
         harness_timeout: Duration::from_secs(60),
+        window: None,
+        trace_dir: None,
     };
     let start = Instant::now();
     let err = run_cluster(&spec).expect_err("a cluster of exiting stubs cannot run");

@@ -27,6 +27,8 @@ fn spec(n: usize, t: usize, riders: Vec<Behavior>) -> ClusterSpec {
         tick: Duration::from_micros(200),
         child_timeout: Duration::from_secs(30),
         harness_timeout: Duration::from_secs(60),
+        window: None,
+        trace_dir: None,
     }
 }
 
