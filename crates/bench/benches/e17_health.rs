@@ -1,0 +1,51 @@
+//! E17 — the health plane under load: the wall-clock cost of a clean,
+//! fully sampled simulator run *including* the aggregator watchdog replay
+//! of the reconstructed series.
+//!
+//! One case lands in `BENCH_e17.json`:
+//!
+//! * `sampled_run/n=4` — wall-clock nanoseconds for a clean n = 4 SMR run
+//!   with watch gauges, a shared registry, periodic `STAT-STREAM`
+//!   sampling, and a full watchdog replay over the resulting series. The
+//!   replay must raise zero alarms (asserted); diffing this against
+//!   `e10_smr_throughput` trends tracks the cost of the whole live plane,
+//!   sampling included.
+//!
+//! Like E4/E15/E16 this hand-rolls its loop for the machine-readable
+//! report diffed by `bench_diff`. Invoked without `--bench` (e.g. `cargo
+//! test --benches`) it smoke-runs once and writes nothing.
+//!
+//! Flags (after `--`): `--smoke` (three samples per case), `--json PATH`
+//! (redirect the report; the default workspace-root `BENCH_e17.json` is
+//! only written on full runs).
+
+use std::time::Instant;
+
+use criterion::black_box;
+use minsync_bench::{CaseStats, JsonBenchRun, BENCH_SEED};
+use minsync_harness::experiments::e17_health;
+
+fn main() {
+    let Some(run) = JsonBenchRun::from_env("e17_health", 20) else {
+        return;
+    };
+    let samples = run.samples;
+    let mut cases = Vec::new();
+
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        let (applied, alarms) = black_box(e17_health::bench_one(4, 1, 16, BENCH_SEED));
+        times.push(start.elapsed());
+        assert!(applied > 0, "sampling produced no series");
+        assert_eq!(alarms, 0, "a clean benched run raised alarms");
+    }
+    let wall = CaseStats::from_times("sampled_run/n=4", &times);
+    println!(
+        "e17_health/{}: mean {}ns, min {}ns, max {}ns ({} samples)",
+        wall.name, wall.mean_ns, wall.min_ns, wall.max_ns, wall.samples
+    );
+    cases.push(wall);
+
+    run.write_report("e17_health", "BENCH_e17.json", &cases);
+}

@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (E1–E11, E13–E16).
+//! Regenerates every experiment table (E1–E11, E13–E17).
 //!
 //! ```text
 //! cargo run -p minsync-harness --release --bin experiments [-- --quick] [--csv DIR] [e1 e3 ...]
@@ -96,6 +96,11 @@ fn catalog() -> Vec<(&'static str, &'static str, Runner)> {
             "e16",
             "Unified telemetry: per-substrate stage breakdowns, pipelining-window overlap, tracing overhead gate",
             experiments::e16_telemetry::run,
+        ),
+        (
+            "e17",
+            "Live health plane: clean-run alarm silence, per-fault detection latency (stall/divergence/backlog/auth), watchdog passivity",
+            experiments::e17_health::run,
         ),
     ]
 }

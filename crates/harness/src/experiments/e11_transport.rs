@@ -56,6 +56,7 @@ fn spec(n: usize, t: usize, commands_per_client: usize, riders: Vec<Behavior>) -
         harness_timeout: Duration::from_secs(120),
         window: None,
         trace_dir: None,
+        stats_period: None,
     }
 }
 

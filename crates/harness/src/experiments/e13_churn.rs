@@ -266,6 +266,7 @@ fn cluster_spec(n: usize, t: usize, commands_per_client: usize, seed: u64) -> Cl
         harness_timeout: Duration::from_secs(120),
         window: None,
         trace_dir: None,
+        stats_period: None,
     }
 }
 

@@ -62,6 +62,7 @@ fn spec(n: usize, t: usize, auth: bool, riders: Vec<Behavior>) -> ClusterSpec {
         harness_timeout: Duration::from_secs(120),
         window: None,
         trace_dir: None,
+        stats_period: None,
     }
 }
 

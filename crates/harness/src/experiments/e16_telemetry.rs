@@ -294,6 +294,7 @@ fn cluster_arm(window: Option<u64>, commands_per_client: usize, label: &str) -> 
         harness_timeout: Duration::from_secs(120),
         window,
         trace_dir: Some(dir.clone()),
+        stats_period: None,
     };
     let report =
         run_cluster(&spec).unwrap_or_else(|e| panic!("E16 cluster ({label}): cluster failed: {e}"));

@@ -1,4 +1,4 @@
-//! The experiment suite E1–E11 plus E13–E16 (see `EXPERIMENTS.md` for
+//! The experiment suite E1–E11 plus E13–E17 (see `EXPERIMENTS.md` for
 //! the paper-vs-measured record).
 //!
 //! Every experiment is a pure function `run(quick) -> Table`; `quick = true`
@@ -13,6 +13,7 @@ pub mod e13_churn;
 pub mod e14_conformance;
 pub mod e15_auth;
 pub mod e16_telemetry;
+pub mod e17_health;
 pub mod e1_cb;
 pub mod e2_ac;
 pub mod e3_ea;
@@ -44,6 +45,7 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e14_conformance::run(quick),
         e15_auth::run(quick),
         e16_telemetry::run(quick),
+        e17_health::run(quick),
     ]
 }
 
@@ -72,7 +74,7 @@ mod tests {
     #[test]
     fn quick_suite_produces_all_tables() {
         let tables = run_all(true);
-        assert_eq!(tables.len(), 15);
+        assert_eq!(tables.len(), 16);
         for t in &tables {
             assert!(!t.rows().is_empty(), "{} produced no rows", t.title());
         }

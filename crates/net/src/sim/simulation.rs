@@ -3,7 +3,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use minsync_telemetry::trace::{queues, TraceKind, TraceRecorder};
-use minsync_telemetry::Registry;
+use minsync_telemetry::{Registry, Sampler, TimeSeries};
 use minsync_types::ProcessId;
 use rand::rngs::SplitMix64;
 use rand::SeedableRng;
@@ -132,6 +132,7 @@ pub struct SimBuilder<M, O> {
     record_causes: usize,
     trace: Option<Arc<TraceRecorder>>,
     registry: Option<Arc<Registry>>,
+    sample_period: Option<u64>,
 }
 
 impl<M, O> SimBuilder<M, O>
@@ -156,6 +157,7 @@ where
             record_causes: 0,
             trace: None,
             registry: None,
+            sample_period: None,
         }
     }
 
@@ -245,6 +247,23 @@ where
         self
     }
 
+    /// Enables periodic stat sampling: every `period` virtual ticks the
+    /// attached registry (see [`SimBuilder::registry`]) is exported and
+    /// snapshotted into a delta-encoded time series
+    /// ([`Simulation::stat_series`]) — the simulator's analog of a live
+    /// `STAT-STREAM v1` feed. Purely passive: sampling draws no
+    /// randomness and schedules no events, so executions are identical
+    /// with and without it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is 0.
+    pub fn sample_stats(mut self, period: u64) -> Self {
+        assert!(period > 0, "a zero sampling period never advances");
+        self.sample_period = Some(period);
+        self
+    }
+
     /// Installs an adversarial delay oracle (see [`DelayOracle`]).
     pub fn delay_oracle(mut self, oracle: impl DelayOracle<M> + 'static) -> Self {
         self.oracle = Some(Box::new(oracle));
@@ -302,6 +321,7 @@ where
                 (0..n).map(move |to| topology.timing(ProcessId::new(from), ProcessId::new(to)))
             })
             .collect();
+        let n_links = n * n;
         let mut sim = Simulation {
             timings,
             topology: self.topology,
@@ -327,6 +347,11 @@ where
             cause_trace_capacity: self.record_causes,
             trace: self.trace,
             registry: self.registry,
+            sample_period: self.sample_period,
+            next_sample_at: self.sample_period.unwrap_or(0),
+            sampler: Sampler::new(),
+            stat_series: TimeSeries::with_capacity(4096),
+            link_ewma: vec![0; n_links],
         };
         if let Some(trace) = &sim.trace {
             sim.env.set_trace(Arc::clone(trace));
@@ -381,6 +406,20 @@ pub struct Simulation<M, O> {
     cause_trace_capacity: usize,
     trace: Option<Arc<TraceRecorder>>,
     registry: Option<Arc<Registry>>,
+    /// Virtual-tick sampling period (see [`SimBuilder::sample_stats`]);
+    /// `None` disables the live stat stream.
+    sample_period: Option<u64>,
+    /// Next virtual tick a sample is due at.
+    next_sample_at: u64,
+    /// Delta encoder feeding [`Simulation::stat_series`].
+    sampler: Sampler,
+    /// The reconstructed sample ring (what a live consumer would hold).
+    stat_series: TimeSeries,
+    /// Dense per-directed-link EWMA of observed delivery delays, in ticks
+    /// (row-major `from · n + to`), exported as `link.rtt_ewma.p<f>.p<t>`
+    /// gauges — the simulator's analog of the TCP mesh's ping-measured
+    /// RTT. Folded only when a registry is attached.
+    link_ewma: Vec<u64>,
 }
 
 impl<M, O> Simulation<M, O>
@@ -401,6 +440,14 @@ where
     /// Metrics collected so far.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// The periodic stat stream recorded so far. Empty unless both
+    /// [`SimBuilder::sample_stats`] and [`SimBuilder::registry`] were
+    /// configured — sampling snapshots the registry, so without one there
+    /// is nothing to record.
+    pub fn stat_series(&self) -> &TimeSeries {
+        &self.stat_series
     }
 
     /// Recorded deliveries (empty unless [`SimBuilder::log_deliveries`] was
@@ -485,10 +532,25 @@ where
                 // Leave it queued so a later run_until can resume.
                 break StopReason::MaxTimeReached;
             }
+            if let Some(period) = self.sample_period {
+                // Catch up on every sample boundary the event stream has
+                // crossed: each sample reflects the state as of *entering*
+                // its tick (events at exactly the boundary come after).
+                while self.next_sample_at <= next.ticks() {
+                    let at = self.next_sample_at;
+                    self.take_sample(at);
+                    self.next_sample_at += period;
+                }
+            }
             let (time, _seq, kind) = self.queue.pop().expect("peeked");
             self.dispatch(time, kind);
         };
         self.export_registry();
+        if self.sample_period.is_some() {
+            // One closing sample so the series' latest point carries the
+            // final state even when the run ends off-boundary.
+            self.take_sample(self.now.ticks());
+        }
         RunReport {
             outputs: self.outputs.clone(),
             metrics: self.metrics.clone(),
@@ -616,6 +678,15 @@ where
         for (kind, count) in m.kind_counts() {
             if !kind.contains(char::is_whitespace) {
                 registry.gauge(&format!("sim.sent_kind.{kind}")).set(count);
+            }
+        }
+        let n = self.topology.n();
+        for (idx, &ewma) in self.link_ewma.iter().enumerate() {
+            if ewma > 0 {
+                let (from, to) = (idx / n, idx % n);
+                registry
+                    .gauge(&format!("link.rtt_ewma.p{from}.p{to}"))
+                    .set(ewma);
             }
         }
     }
@@ -769,6 +840,7 @@ where
                 ScheduleCommand::After(d) => {
                     let at = self.now.saturating_add(d);
                     let at = bound.map_or(at, |b| at.min(b));
+                    self.note_link_delay(idx, at - self.now);
                     self.push_event(at, EventKind::Deliver { from, to, msg });
                     return;
                 }
@@ -794,7 +866,39 @@ where
                 bound.map_or(at, |b| at.min(b))
             }
         };
+        self.note_link_delay(idx, deliver_at - self.now);
         self.push_event(deliver_at, EventKind::Deliver { from, to, msg });
+    }
+
+    /// Folds one observed delivery delay (in ticks) into the directed
+    /// link's EWMA, `new = (7·prev + delay) / 8`. Gated on the registry so
+    /// the hot path of an unobserved run stays untouched; `idx` is the
+    /// dense `from·n + to` channel index `route` already computed.
+    fn note_link_delay(&mut self, idx: usize, delay: u64) {
+        if self.registry.is_none() {
+            return;
+        }
+        let delay = delay.max(1);
+        let prev = self.link_ewma[idx];
+        self.link_ewma[idx] = if prev == 0 {
+            delay
+        } else {
+            (prev * 7 + delay) / 8
+        };
+    }
+
+    /// Refreshes the `sim.*` gauges and appends one delta-encoded sample
+    /// at virtual tick `at` to the in-memory stat series. No-op without a
+    /// registry (there is nothing to snapshot).
+    fn take_sample(&mut self, at: u64) {
+        self.export_registry();
+        let Some(registry) = &self.registry else {
+            return;
+        };
+        let sample = self.sampler.sample(at, &registry.snapshot());
+        self.stat_series
+            .apply(&sample)
+            .expect("sampler emits strictly sequential samples");
     }
 
     fn consult_oracle(&mut self, from: ProcessId, to: ProcessId, msg: &M, default: u64) -> u64 {
@@ -1367,6 +1471,62 @@ mod tests {
             snap.gauge("sim.events_processed"),
             Some(report.metrics.events_processed)
         );
+    }
+
+    #[test]
+    fn stat_sampling_is_passive_and_records_a_series() {
+        let topo = NetworkTopology::uniform(
+            2,
+            ChannelTiming::asynchronous(DelayLaw::Uniform { min: 1, max: 9 }),
+        );
+        let run = |sampled: bool| {
+            let registry = Arc::new(Registry::new());
+            let mut builder = SimBuilder::new(topo.clone())
+                .seed(5)
+                .node(Echo { hops: 5 })
+                .node(Echo { hops: 5 })
+                .record_effects(usize::MAX)
+                .registry(Arc::clone(&registry));
+            if sampled {
+                builder = builder.sample_stats(3);
+            }
+            let mut sim = builder.build();
+            sim.run();
+            (sim, registry)
+        };
+        let (plain, _) = run(false);
+        let (sampled, registry) = run(true);
+        assert_eq!(
+            plain.effect_trace_digest(),
+            sampled.effect_trace_digest(),
+            "sampling must not perturb the run"
+        );
+        assert!(plain.stat_series().is_empty());
+        let series = sampled.stat_series();
+        assert!(series.len() >= 2, "periodic samples plus the closing one");
+        // Boundary samples carry period-aligned stamps; the closing sample
+        // lands at the final virtual time.
+        let mut stamps: Vec<u64> = series.points().map(|p| p.at).collect();
+        let closing = stamps.pop().expect("non-empty");
+        assert!(stamps.iter().all(|at| at % 3 == 0));
+        assert_eq!(closing, sampled.now().ticks());
+        // Replaying the deltas reconstructs the live registry exactly.
+        let live = registry.snapshot();
+        assert_eq!(
+            series.state().gauge("sim.messages_sent"),
+            live.gauge("sim.messages_sent")
+        );
+        assert_eq!(
+            series.state().gauge("sim.events_processed"),
+            live.gauge("sim.events_processed")
+        );
+        // Channel delays surfaced as per-directed-link EWMA gauges within
+        // the law's 1..=9 tick envelope.
+        let rtt = live
+            .gauge("link.rtt_ewma.p0.p1")
+            .expect("observed link exports a gauge");
+        assert!((1..=9).contains(&rtt), "EWMA {rtt} outside the delay law");
+        assert_eq!(series.state().gauge("link.rtt_ewma.p0.p1"), Some(rtt));
     }
 
     #[test]

@@ -21,6 +21,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, RecvTimeoutError, Sender};
 use minsync_telemetry::trace::{queues, TraceKind, TraceRecorder};
+use minsync_telemetry::{Registry, Sampler, TimeSeries};
 use minsync_types::ProcessId;
 use rand::rngs::SplitMix64;
 use rand::SeedableRng;
@@ -124,7 +125,44 @@ where
     M: Clone + Debug + Send + 'static,
     O: Clone + Debug + Send + 'static,
 {
-    run_threaded_inner(topology, nodes, config, stop, None, None)
+    run_threaded_inner(topology, nodes, config, stop, None, None, None).0
+}
+
+/// Like [`run_threaded`], but additionally samples `registry` on the
+/// collector thread every `period` of wall-clock time, returning the
+/// delta-encoded stat stream alongside the report — the threaded
+/// counterpart of [`SimBuilder::sample_stats`](crate::sim::SimBuilder::sample_stats).
+///
+/// Sample timestamps are wall-clock offsets divided by
+/// [`ThreadedConfig::tick`], so they line up with traced dumps of the same
+/// configuration. A closing sample is always taken after shutdown, so the
+/// series' latest point reflects the final state.
+///
+/// # Panics
+///
+/// Panics if `nodes.len() != topology.n()` or `period` is zero.
+pub fn run_threaded_sampled<M, O>(
+    topology: NetworkTopology,
+    nodes: Vec<Box<dyn Node<Msg = M, Output = O>>>,
+    config: ThreadedConfig,
+    stop: impl FnMut(&[ThreadedOutput<O>]) -> bool,
+    registry: Arc<Registry>,
+    period: Duration,
+) -> (ThreadedReport<O>, TimeSeries)
+where
+    M: Clone + Debug + Send + 'static,
+    O: Clone + Debug + Send + 'static,
+{
+    assert!(!period.is_zero(), "a zero sampling period never advances");
+    run_threaded_inner(
+        topology,
+        nodes,
+        config,
+        stop,
+        None,
+        None,
+        Some((registry, period)),
+    )
 }
 
 /// Like [`run_threaded`], but mirrors the execution into a telemetry trace
@@ -148,7 +186,7 @@ where
     M: Clone + Debug + Send + 'static,
     O: Clone + Debug + Send + 'static,
 {
-    run_threaded_inner(topology, nodes, config, stop, None, Some(trace))
+    run_threaded_inner(topology, nodes, config, stop, None, Some(trace), None).0
 }
 
 /// Like [`run_threaded`], but additionally records every handler
@@ -174,7 +212,8 @@ where
     O: Clone + Debug + Send + 'static,
 {
     let (record_tx, record_rx) = unbounded::<RecordedInvocation<M, O>>();
-    let report = run_threaded_inner(topology, nodes, config, stop, Some(record_tx), None);
+    let (report, _) =
+        run_threaded_inner(topology, nodes, config, stop, Some(record_tx), None, None);
     // Every worker thread (and the local clone) has dropped its sender by
     // the time the inner run returns, so this drain terminates.
     let mut recorded = Vec::new();
@@ -191,7 +230,8 @@ fn run_threaded_inner<M, O>(
     mut stop: impl FnMut(&[ThreadedOutput<O>]) -> bool,
     record: Option<Sender<RecordedInvocation<M, O>>>,
     trace: Option<Arc<TraceRecorder>>,
-) -> ThreadedReport<O>
+    sample: Option<(Arc<Registry>, Duration)>,
+) -> (ThreadedReport<O>, TimeSeries)
 where
     M: Clone + Debug + Send + 'static,
     O: Clone + Debug + Send + 'static,
@@ -443,9 +483,24 @@ where
     drop(output_tx);
     drop(record);
 
-    // Collector loop on the calling thread.
+    // Collector loop on the calling thread. Stat sampling rides the same
+    // loop: each pass checks whether the wall-clock sampling boundary has
+    // passed, so sampling needs no extra thread and observes the registry
+    // at most once per collector wake-up.
     let mut collected: Vec<ThreadedOutput<O>> = Vec::new();
     let mut timed_out = false;
+    let mut sampler = Sampler::new();
+    let mut series = TimeSeries::with_capacity(4096);
+    let ticks_of = |elapsed: Duration| (elapsed.as_nanos() / config.tick.as_nanos().max(1)) as u64;
+    let take_sample = |sampler: &mut Sampler, series: &mut TimeSeries| {
+        if let Some((registry, _)) = &sample {
+            let s = sampler.sample(ticks_of(start.elapsed()), &registry.snapshot());
+            series
+                .apply(&s)
+                .expect("sampler emits strictly sequential samples");
+        }
+    };
+    let mut next_sample = sample.as_ref().map(|(_, period)| start + *period);
     loop {
         if stop(&collected) {
             break;
@@ -453,6 +508,12 @@ where
         if start.elapsed() >= config.timeout {
             timed_out = true;
             break;
+        }
+        if let (Some(due), Some((_, period))) = (next_sample, &sample) {
+            if Instant::now() >= due {
+                take_sample(&mut sampler, &mut series);
+                next_sample = Some(due + *period);
+            }
         }
         match output_rx.recv_timeout(Duration::from_millis(10)) {
             Ok(out) => collected.push(out),
@@ -469,11 +530,17 @@ where
         let _ = h.join();
     }
     let _ = router_handle.join();
-    ThreadedReport {
-        outputs: collected,
-        elapsed: start.elapsed(),
-        timed_out,
-    }
+    // Closing sample after every worker has quiesced, so the latest point
+    // carries the final gauge values.
+    take_sample(&mut sampler, &mut series);
+    (
+        ThreadedReport {
+            outputs: collected,
+            elapsed: start.elapsed(),
+            timed_out,
+        },
+        series,
+    )
 }
 
 struct PendingTimer {
@@ -702,6 +769,64 @@ mod tests {
             env.output("fired");
             env.halt();
         }
+    }
+
+    /// Outputs a beat on a repeating timer, never halting — keeps the run
+    /// alive until the stop predicate fires.
+    struct Beater;
+
+    impl Node for Beater {
+        type Msg = ();
+        type Output = u64;
+
+        fn on_start(&mut self, env: &mut Env<(), u64>) {
+            env.set_timer(2);
+        }
+
+        fn on_message(&mut self, _: ProcessId, _: (), _: &mut Env<(), u64>) {}
+
+        fn on_timer(&mut self, _t: TimerId, env: &mut Env<(), u64>) {
+            env.output(1);
+            env.set_timer(2);
+        }
+    }
+
+    #[test]
+    fn sampled_run_streams_registry_deltas() {
+        let topo = NetworkTopology::all_timely(1, 1);
+        let registry = Arc::new(Registry::new());
+        let progress = registry.gauge("test.collected");
+        let began = Instant::now();
+        let (report, series) = run_threaded_sampled(
+            topo,
+            vec![Box::new(Beater) as Box<dyn Node<Msg = (), Output = u64>>],
+            ThreadedConfig {
+                tick: Duration::from_micros(200),
+                timeout: Duration::from_secs(10),
+                seed: 1,
+            },
+            // Publish collector progress through the registry so the
+            // periodic samples have something to delta-encode; hold the
+            // run open long enough for at least two boundaries to pass.
+            |outs| {
+                progress.set(outs.len() as u64);
+                outs.len() >= 3 && began.elapsed() >= Duration::from_millis(50)
+            },
+            Arc::clone(&registry),
+            Duration::from_millis(10),
+        );
+        assert!(!report.timed_out, "threaded run timed out");
+        assert!(series.len() >= 2, "periodic samples plus the closing one");
+        assert_eq!(
+            series.applied(),
+            series.latest().map(|p| p.index + 1).unwrap()
+        );
+        // The closing sample captured the collected count as of the last
+        // stop-predicate call (the post-break drain may add a few more).
+        let sampled_count = series.state().gauge("test.collected").unwrap();
+        assert!((3..=report.outputs.len() as u64).contains(&sampled_count));
+        let stamps: Vec<u64> = series.points().map(|p| p.at).collect();
+        assert!(stamps.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

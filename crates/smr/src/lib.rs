@@ -90,7 +90,7 @@ use minsync_core::{ConsensusConfig, ConsensusEvent, ConsensusNode, ProtocolMsg};
 use minsync_net::sim::OutputRecord;
 use minsync_net::{Effect, Env, Node, TimerId};
 use minsync_telemetry::trace::{TraceKind, TraceRecorder};
-use minsync_telemetry::{Counter, Registry};
+use minsync_telemetry::{watch_name, Counter, Gauge, Registry};
 use minsync_types::{ProcessId, Value};
 
 /// The statement a replica signs when it commits `slot = value`: a domain
@@ -104,6 +104,39 @@ pub fn commit_statement<V: Value>(slot: u64, value: &V) -> Vec<u8> {
     out.extend_from_slice(&slot.to_le_bytes());
     out.extend_from_slice(&debug_digest(value));
     out
+}
+
+/// Live health gauges exported under the `watch.p<id>.*` naming contract
+/// consumed by [`minsync_telemetry::watchdog`] (see
+/// [`ReplicaNode::with_watch`]), plus the running commit-prefix digest
+/// behind the `ckpt_digest` gauge.
+struct WatchGauges {
+    commit_floor: Gauge,
+    ack_floor: Gauge,
+    committed_cmds: Gauge,
+    ckpt_slot: Gauge,
+    ckpt_digest: Gauge,
+    /// FNV-1a fold of every committed `(slot, debug_digest(value))`, in
+    /// commit order — two replicas expose equal digests at equal floors
+    /// iff their committed prefixes are identical.
+    digest: u64,
+}
+
+impl WatchGauges {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Folds one commit into the digest and publishes the new floor.
+    fn on_commit<V: Value>(&mut self, slot: u64, value: &V) {
+        for byte in slot.to_le_bytes().into_iter().chain(debug_digest(value)) {
+            self.digest ^= u64::from(byte);
+            self.digest = self.digest.wrapping_mul(Self::PRIME);
+        }
+        self.commit_floor.set(slot);
+        self.committed_cmds.set(slot);
+        self.ckpt_slot.set(slot);
+        self.ckpt_digest.set(self.digest);
+    }
 }
 
 /// Replica-to-replica traffic: slot-stamped consensus messages plus the GC
@@ -439,6 +472,9 @@ pub struct ReplicaNode<V, P> {
     ctr_future_drops: Counter,
     ctr_retired_drops: Counter,
     ctr_cert_rejects: Counter,
+    /// Live health gauges (see [`ReplicaNode::with_watch`]); `None` keeps
+    /// the hot path untouched.
+    watch: Option<WatchGauges>,
     /// Stage-trace hook (see [`ReplicaNode::with_trace`]): records when
     /// slots are proposed, committed, and covered by an ack quorum.
     trace: Option<Arc<TraceRecorder>>,
@@ -507,6 +543,7 @@ impl<V: Value, P: ProposalSource<V>> ReplicaNode<V, P> {
             ctr_future_drops: Counter::detached(),
             ctr_retired_drops: Counter::detached(),
             ctr_cert_rejects: Counter::detached(),
+            watch: None,
             trace: None,
             recovered: Vec::new(),
             commit_log: None,
@@ -535,6 +572,32 @@ impl<V: Value, P: ProposalSource<V>> ReplicaNode<V, P> {
         self.ctr_future_drops = registry.counter("smr.future_drops");
         self.ctr_retired_drops = registry.counter("smr.retired_drops");
         self.ctr_cert_rejects = registry.counter("smr.cert_rejects");
+        self
+    }
+
+    /// Exports the replica's live health gauges into `registry` under the
+    /// `watch.p<id>.*` naming contract that
+    /// [`minsync_telemetry::watchdog::Watchdog`] consumes:
+    /// `commit_floor` (contiguous committed-slot floor), `ack_floor` (the
+    /// `n − t` quorum-ack floor), `submitted` (the slot target, so a
+    /// watcher can tell an idle replica from a stalled one) with
+    /// `committed_cmds` (slots committed so far), and
+    /// `ckpt_slot`/`ckpt_digest` — a running FNV-1a fold of the committed
+    /// prefix, the online cross-replica divergence signal. Pure
+    /// observation: replica behaviour is byte-identical with and without
+    /// it.
+    pub fn with_watch(mut self, registry: &Registry, id: usize) -> Self {
+        registry
+            .gauge(&watch_name(id, "submitted"))
+            .set(self.target_slots);
+        self.watch = Some(WatchGauges {
+            commit_floor: registry.gauge(&watch_name(id, "commit_floor")),
+            ack_floor: registry.gauge(&watch_name(id, "ack_floor")),
+            committed_cmds: registry.gauge(&watch_name(id, "committed_cmds")),
+            ckpt_slot: registry.gauge(&watch_name(id, "ckpt_slot")),
+            ckpt_digest: registry.gauge(&watch_name(id, "ckpt_digest")),
+            digest: WatchGauges::OFFSET,
+        });
         self
     }
 
@@ -753,6 +816,9 @@ impl<V: Value, P: ProposalSource<V>> ReplicaNode<V, P> {
         }
         self.committed = slot;
         self.trace_stage(env, TraceKind::Committed { slot });
+        if let Some(watch) = &mut self.watch {
+            watch.on_commit(slot, &value);
+        }
         self.ckpt_seen = ProcSet::default();
         self.ckpt_votes.clear();
         self.outbox.remove(&slot);
@@ -798,6 +864,9 @@ impl<V: Value, P: ProposalSource<V>> ReplicaNode<V, P> {
             .select_nth_unstable_by(k, |a, b| b.cmp(a));
         let prev = self.quorum_floor;
         self.quorum_floor = *kth;
+        if let Some(watch) = &self.watch {
+            watch.ack_floor.set(self.quorum_floor);
+        }
         if self.trace.is_some() {
             // The floor is an order statistic of monotone per-peer floors,
             // so it never regresses: each newly covered slot is traced once.
@@ -956,6 +1025,9 @@ impl<V: Value, P: ProposalSource<V>> Node for ReplicaNode<V, P> {
                 let slot = i as u64 + 1;
                 self.committed = slot;
                 self.trace_stage(env, TraceKind::Committed { slot });
+                if let Some(watch) = &mut self.watch {
+                    watch.on_commit(slot, &value);
+                }
                 self.source.on_commit(slot, &value);
                 env.output(SmrEvent::Committed {
                     slot,
@@ -1465,6 +1537,42 @@ mod tests {
         }
         assert_eq!(r.committed_count(), 3);
         assert_eq!(*wal.lock().unwrap(), [(3, 77)]);
+    }
+
+    #[test]
+    fn watch_gauges_track_floors_and_prefix_digest() {
+        // Drive commits through the replay path: three replicas, two with
+        // identical logs, one diverging at slot 2.
+        let run = |id: usize, log: Vec<u64>| -> Registry {
+            let registry = Registry::new();
+            let mut r: ReplicaNode<u64, TwoClientSource> =
+                ReplicaNode::new(cfg4(), TwoClientSource::new(1), 10)
+                    .with_watch(&registry, id)
+                    .with_recovered_prefix(log);
+            let mut env = Env::new(4, 0);
+            env.prepare(ProcessId::new(id), minsync_net::VirtualTime::ZERO);
+            r.on_start(&mut env);
+            let _ = env.drain().count();
+            registry
+        };
+        let a = run(0, vec![1000, 2000]).snapshot();
+        let b = run(1, vec![1000, 2000]).snapshot();
+        let c = run(2, vec![1000, 2001]).snapshot();
+        assert_eq!(a.gauge("watch.p0.submitted"), Some(10));
+        assert_eq!(a.gauge("watch.p0.commit_floor"), Some(2));
+        assert_eq!(a.gauge("watch.p0.committed_cmds"), Some(2));
+        assert_eq!(a.gauge("watch.p0.ckpt_slot"), Some(2));
+        assert_eq!(
+            a.gauge("watch.p0.ckpt_digest"),
+            b.gauge("watch.p1.ckpt_digest"),
+            "identical prefixes expose identical digests"
+        );
+        assert_ne!(
+            a.gauge("watch.p0.ckpt_digest"),
+            c.gauge("watch.p2.ckpt_digest"),
+            "a diverging prefix exposes a different digest"
+        );
+        assert!(a.gauge("watch.p0.ack_floor").is_some());
     }
 
     #[test]

@@ -244,6 +244,43 @@ pub fn diff_breakdown(a: &[StageStats], b: &[StageStats]) -> Vec<String> {
     lines
 }
 
+/// Stages of `b` that regressed against baseline `a` by more than
+/// `pct` percent — the gate behind `minsync-trace`'s `--fail-on`.
+///
+/// A stage regresses when its p50 or p99 exceeds the baseline's by more
+/// than `pct`%; a stage whose baseline percentile is zero regresses on
+/// any positive reading (there is no finite ratio to compare against).
+/// Stages absent from either side, or observed by zero slots on the
+/// *new* side, never regress — a producer that stopped emitting a stage
+/// is a coverage change, not a latency one.
+pub fn breakdown_regressions(a: &[StageStats], b: &[StageStats], pct: f64) -> Vec<String> {
+    let mut lines = Vec::new();
+    for label in STAGE_LABELS {
+        let find = |set: &[StageStats]| set.iter().find(|s| s.stage == label).map(|s| s.latency);
+        let (Some(la), Some(lb)) = (find(a), find(b)) else {
+            continue;
+        };
+        if la.count == 0 || lb.count == 0 {
+            continue;
+        }
+        let worse = |base: u64, new: u64| {
+            if base == 0 {
+                new > 0
+            } else {
+                new as f64 > base as f64 * (1.0 + pct / 100.0)
+            }
+        };
+        for (which, base, new) in [("p50", la.p50, lb.p50), ("p99", la.p99, lb.p99)] {
+            if worse(base, new) {
+                lines.push(format!(
+                    "{label}: {which} regressed {base} → {new} (> {pct}% over baseline)"
+                ));
+            }
+        }
+    }
+    lines
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -369,9 +406,120 @@ mod tests {
     }
 
     #[test]
+    fn regressions_gate_on_p50_and_p99() {
+        let base = stage_breakdown(&slot_timelines(&[
+            stage(0, 0, TraceKind::Proposed { slot: 1 }),
+            stage(10, 0, TraceKind::Committed { slot: 1 }),
+        ]));
+        let slower = stage_breakdown(&slot_timelines(&[
+            stage(0, 0, TraceKind::Proposed { slot: 1 }),
+            stage(30, 0, TraceKind::Committed { slot: 1 }),
+        ]));
+        // 3× is a regression at 25% but not at 300%.
+        let hits = breakdown_regressions(&base, &slower, 25.0);
+        assert_eq!(hits.len(), 2, "p50 and p99 both tripled: {hits:?}");
+        assert!(hits[0].contains("propose→commit"));
+        assert!(breakdown_regressions(&base, &slower, 300.0).is_empty());
+        // Unchanged and improved runs never trip.
+        assert!(breakdown_regressions(&base, &base, 0.0).is_empty());
+        assert!(breakdown_regressions(&slower, &base, 25.0).is_empty());
+    }
+
+    #[test]
+    fn regressions_treat_zero_baseline_as_any_positive() {
+        // Proposed and committed at the same tick: baseline latency 0.
+        let base = stage_breakdown(&slot_timelines(&[
+            stage(5, 0, TraceKind::Proposed { slot: 1 }),
+            stage(5, 0, TraceKind::Committed { slot: 1 }),
+        ]));
+        let nonzero = stage_breakdown(&slot_timelines(&[
+            stage(5, 0, TraceKind::Proposed { slot: 1 }),
+            stage(6, 0, TraceKind::Committed { slot: 1 }),
+        ]));
+        assert!(!breakdown_regressions(&base, &nonzero, 1000.0).is_empty());
+        // A stage that vanished from the new side is coverage, not latency.
+        let empty = stage_breakdown(&slot_timelines(&[]));
+        assert!(breakdown_regressions(&base, &empty, 0.0).is_empty());
+    }
+
+    #[test]
     fn percentiles_match_nearest_rank() {
         let p = Percentiles::of((1..=100).collect());
         assert_eq!((p.p50, p.p95, p.p99, p.max), (50, 95, 99, 100));
         assert_eq!(Percentiles::of(Vec::new()), Percentiles::default());
+    }
+
+    #[test]
+    fn analyzers_accept_an_empty_dump() {
+        assert!(slot_timelines(&[]).is_empty());
+        let stats = stage_breakdown(&[]);
+        assert_eq!(stats.len(), STAGE_LABELS.len(), "all stages still listed");
+        for s in stats {
+            assert_eq!(s.latency, Percentiles::default());
+        }
+        assert!(slowest_slots(&[], 5).is_empty());
+        assert!(queue_residency(&[]).is_empty());
+        assert!(codec_timing(&[]).is_empty());
+        assert!(diff_breakdown(&stage_breakdown(&[]), &stage_breakdown(&[])).is_empty());
+    }
+
+    #[test]
+    fn analyzers_accept_a_single_event_dump() {
+        // One lone stage observation: a timeline with a zero span, no
+        // stage transition completed, nothing resident in any queue.
+        let events = [stage(7, 0, TraceKind::Committed { slot: 3 })];
+        let tls = slot_timelines(&events);
+        assert_eq!(tls.len(), 1);
+        assert_eq!(tls[0].total(), Some(0));
+        for s in stage_breakdown(&tls) {
+            assert_eq!(s.latency.count, 0, "{} completed from one event", s.stage);
+        }
+        assert_eq!(slowest_slots(&tls, 5), [(3, 0)]);
+        // A lone dequeue (its enqueue predates the dump) yields no sample.
+        let torn = [stage(7, 0, TraceKind::Dequeue { queue: 1, depth: 0 })];
+        assert!(queue_residency(&torn).is_empty());
+    }
+
+    /// A ring-wrapped dump: the recorder evicted the oldest events, so the
+    /// surviving window opens mid-flight — enqueues and early stage marks
+    /// of old slots are gone. The analyzers must fold what remains without
+    /// inventing samples for the missing halves.
+    #[test]
+    fn analyzers_accept_a_torn_ring_dump() {
+        use crate::trace::{TraceMeta, TraceRecorder};
+
+        let rec = TraceRecorder::new(4);
+        // Slot 1 completes fully, then slot 2's tail events push slot 1's
+        // head (and slot 2's own Proposed) out of the 4-slot ring.
+        rec.record(stage(0, 0, TraceKind::Enqueue { queue: 1, depth: 1 }));
+        rec.record(stage(1, 0, TraceKind::Proposed { slot: 1 }));
+        rec.record(stage(5, 0, TraceKind::Committed { slot: 1 }));
+        rec.record(stage(6, 0, TraceKind::Proposed { slot: 2 }));
+        rec.record(stage(9, 0, TraceKind::Dequeue { queue: 1, depth: 0 }));
+        rec.record(stage(12, 0, TraceKind::Committed { slot: 2 }));
+        let meta = TraceMeta {
+            source: "test".into(),
+            tick_ns: 0,
+            seed: 0,
+        };
+        let dump = crate::trace::parse_dump(&rec.dump(&meta)).expect("dump parses");
+        assert_eq!(dump.dropped, 2, "the ring evicted the two oldest events");
+
+        let tls = slot_timelines(&dump.events);
+        assert_eq!(tls.len(), 2);
+        // Slot 1 lost its Proposed mark: only the commit survives, so no
+        // propose→commit sample for it; slot 2 kept both.
+        assert_eq!(tls[0].proposed, None);
+        assert_eq!(tls[0].committed, Some(5));
+        let stats = stage_breakdown(&tls);
+        let pc = stats
+            .iter()
+            .find(|s| s.stage == "propose→commit")
+            .expect("stage listed");
+        assert_eq!(pc.latency.count, 1, "only the untorn slot contributes");
+        assert_eq!(pc.latency.p50, 6);
+        // The enqueue at t=0 was evicted: the surviving dequeue stays
+        // unmatched and produces no residency sample.
+        assert!(queue_residency(&dump.events).is_empty());
     }
 }

@@ -16,6 +16,13 @@
 //!   timelines, the client→propose→commit→ack-quorum latency breakdown,
 //!   top-k slowest slots, queue-residency percentiles — consumed by the
 //!   `minsync-trace` CLI and the E16 experiment.
+//! - the [`timeseries`] module: periodic registry sampling with the
+//!   delta-encoded `STAT-STREAM v1` incremental format ([`Sampler`] on the
+//!   producing side, [`TimeSeries`] ring reconstruction on the consuming
+//!   side), so a run can be watched while it is still in flight.
+//! - the [`watchdog`] module: an online invariant [`Watchdog`] over those
+//!   samples — stall, divergence, quorum-regress, queue-saturation and
+//!   auth-reject-rate alarms, mirrored into the trace ring and `STAT v1`.
 //!
 //! The crate is dependency-free so every other crate in the workspace can
 //! link it without cycles or feature plumbing.
@@ -25,7 +32,9 @@
 
 pub mod analyze;
 pub mod registry;
+pub mod timeseries;
 pub mod trace;
+pub mod watchdog;
 
 pub use analyze::{
     codec_timing, diff_breakdown, queue_residency, slot_timelines, slowest_slots, stage_breakdown,
@@ -35,7 +44,12 @@ pub use registry::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, Registry, Snapshot, HIST_BUCKETS,
     SNAPSHOT_FOOTER, SNAPSHOT_HEADER,
 };
+pub use timeseries::{
+    valid_stream_name, Change, Sample, Sampler, SeriesPoint, TimeSeries, STREAM_FOOTER,
+    STREAM_HEADER,
+};
 pub use trace::{
     parse_dump, queues, EffectKind, TraceDump, TraceEvent, TraceKind, TraceMeta, TraceRecorder,
     DEFAULT_TRACE_CAPACITY,
 };
+pub use watchdog::{watch_name, Alarm, AlarmClass, Watchdog, WatchdogConfig, WATCH_PREFIX};

@@ -128,6 +128,16 @@ pub enum TraceKind {
         /// Log slot.
         slot: u64,
     },
+    /// The invariant watchdog raised an alarm (see
+    /// [`watchdog`](crate::watchdog)).
+    Alarm {
+        /// Alarm class code ([`watchdog::AlarmClass::code`]).
+        ///
+        /// [`watchdog::AlarmClass::code`]: crate::watchdog::AlarmClass::code
+        class: u32,
+        /// Class-specific evidence (flat-for ticks, regressed floor, …).
+        detail: u64,
+    },
 }
 
 /// Well-known queue ids for [`TraceKind::Enqueue`]/[`TraceKind::Dequeue`].
@@ -283,6 +293,9 @@ fn event_line(ev: &TraceEvent) -> String {
         TraceKind::Proposed { slot } => format!(",\"ev\":\"proposed\",\"slot\":{slot}"),
         TraceKind::Committed { slot } => format!(",\"ev\":\"committed\",\"slot\":{slot}"),
         TraceKind::AckQuorum { slot } => format!(",\"ev\":\"ack-quorum\",\"slot\":{slot}"),
+        TraceKind::Alarm { class, detail } => {
+            format!(",\"ev\":\"alarm\",\"class\":{class},\"detail\":{detail}")
+        }
     };
     format!("{head}{tail}}}")
 }
@@ -399,6 +412,10 @@ fn parse_event(line: &str) -> Result<TraceEvent, String> {
         "ack-quorum" => TraceKind::AckQuorum {
             slot: need("slot")?,
         },
+        "alarm" => TraceKind::Alarm {
+            class: need("class")? as u32,
+            detail: need("detail")?,
+        },
         other => return Err(format!("unknown event type {other:?}")),
     };
     Ok(TraceEvent { at, node, kind })
@@ -447,6 +464,10 @@ mod tests {
             TraceKind::Proposed { slot: 7 },
             TraceKind::Committed { slot: 7 },
             TraceKind::AckQuorum { slot: 7 },
+            TraceKind::Alarm {
+                class: 1,
+                detail: 640,
+            },
         ];
         for (i, &kind) in kinds.iter().enumerate() {
             rec.record(TraceEvent {

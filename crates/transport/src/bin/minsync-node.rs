@@ -8,6 +8,7 @@
 //!              [--wal PATH]                # durable committed-log file
 //!              [--window W]                # SMR pipelining window override
 //!              [--trace PATH]              # structured trace dump (JSONL)
+//!              [--stats-period MS]         # live STAT-STREAM sampling
 //!              --groups M --clients C --commands K --batch B
 //!              --arrival poisson:G|bursty:B/P|closed:T
 //!              --seed S --behavior correct|silent|flood|impersonate
@@ -24,6 +25,12 @@
 //! JSONL to the named path (readable by `minsync-trace` and the
 //! `minsync-telemetry` analyzer), with client `Submitted` stage events
 //! back-filled from the workload's arrival schedule.
+//!
+//! With `--stats-period` the process emits one `STAT-STREAM v1` delta
+//! sample (see `minsync_telemetry::timeseries`) over the control pipe every
+//! period, and runs a local invariant watchdog over the same snapshots —
+//! alarms surface as `watchdog.alarms*` counters in the stream and the
+//! final statistics block, and as `alarm` records in the `--trace` ring.
 //!
 //! With `--wal` a correct replica appends every committed slot to the
 //! named file (one `;`-terminated text line per slot) and, on startup,
@@ -59,7 +66,7 @@ use minsync_net::sim::OutputRecord;
 use minsync_net::{Node, VirtualTime};
 use minsync_smr::{ReplicaNode, SmrEvent, SmrLimits, SmrMsg};
 use minsync_telemetry::trace::{TraceKind, TraceMeta, TraceRecorder, DEFAULT_TRACE_CAPACITY};
-use minsync_telemetry::Registry;
+use minsync_telemetry::{Registry, Sampler, Watchdog, WatchdogConfig};
 use minsync_transport::cluster::{control, parse_arrival, Behavior, LogDigest};
 use minsync_transport::mesh::{LinkFaults, MeshConfig, MeshOutput, TcpMesh};
 use minsync_types::{ProcessId, Round, SystemConfig};
@@ -89,6 +96,7 @@ struct Args {
     ckpt_retry: u64,
     window: Option<u64>,
     trace: Option<PathBuf>,
+    stats_period: Option<Duration>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -112,6 +120,7 @@ fn parse_args() -> Result<Args, String> {
         ckpt_retry: 0,
         window: None,
         trace: None,
+        stats_period: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -170,6 +179,13 @@ fn parse_args() -> Result<Args, String> {
                 args.window = Some(window);
             }
             "--trace" => args.trace = Some(PathBuf::from(value)),
+            "--stats-period" => {
+                let ms: u64 = value.parse().map_err(|e| format!("--stats-period: {e}"))?;
+                if ms == 0 {
+                    return Err("--stats-period: must be at least 1 ms".into());
+                }
+                args.stats_period = Some(Duration::from_millis(ms));
+            }
             other => return Err(format!("unknown flag {other}")),
         }
         i += 2;
@@ -263,7 +279,7 @@ fn run(args: Args) -> Result<(), String> {
         .as_ref()
         .map(|_| Arc::new(TraceRecorder::new(DEFAULT_TRACE_CAPACITY)));
 
-    let config = MeshConfig {
+    let mut config = MeshConfig {
         tick: args.tick,
         timeout: args.timeout,
         seed: args.seed,
@@ -273,6 +289,11 @@ fn run(args: Args) -> Result<(), String> {
         trace: trace.clone(),
         ..MeshConfig::default()
     };
+    if let Some(period) = args.stats_period {
+        // Health probes must outpace the sampler: tighten the ping cadence
+        // to the sampling period so every sample can carry fresh RTT.
+        config.keepalive = config.keepalive.min(period);
+    }
     let node: Box<dyn Node<Msg = Msg, Output = Out>> = match args.behavior {
         Behavior::Correct => {
             let cfg = ConsensusConfig::paper(system);
@@ -294,7 +315,8 @@ fn run(args: Args) -> Result<(), String> {
             }
             let mut replica = ReplicaNode::new(cfg, pop.source_for(args.id, args.batch), target)
                 .with_limits(limits)
-                .with_registry(&registry);
+                .with_registry(&registry)
+                .with_watch(&registry, args.id);
             if let Some(trace) = &trace {
                 replica = replica.with_trace(Arc::clone(trace));
             }
@@ -363,14 +385,25 @@ fn run(args: Args) -> Result<(), String> {
 
     // A correct replica reports the moment it drains, then lingers (serving
     // acks/checkpoints to laggards) until STOP; Byzantine behaviors just
-    // run until STOP.
+    // run until STOP. With `--stats-period`, every period the stop probe
+    // also emits one `STAT-STREAM v1` delta sample over the control pipe
+    // and feeds the snapshot to a local invariant watchdog, whose alarm
+    // totals land back in the registry (`watchdog.alarms*`) — visible in
+    // the very next sample and in the final `STAT v1` block.
     let mut reported = args.behavior != Behavior::Correct;
     let tick = args.tick;
+    let run_start = std::time::Instant::now();
     let stop = {
         let stop_flag = Arc::clone(&stop_flag);
         let registry = Arc::clone(&registry);
         let pop = &pop;
         let mut last_dbg = std::time::Instant::now();
+        let mut sampler = Sampler::new();
+        let mut watchdog = Watchdog::new(WatchdogConfig::default()).with_registry(&registry);
+        if let Some(trace) = &trace {
+            watchdog = watchdog.with_trace(Arc::clone(trace));
+        }
+        let mut next_sample = args.stats_period.map(|p| run_start + p);
         move |outs: &[MeshOutput<Out>], _counters: &minsync_transport::mesh::MeshCounters| {
             if std::env::var_os("MINSYNC_NODE_DEBUG").is_some()
                 && last_dbg.elapsed() > Duration::from_secs(1)
@@ -388,7 +421,23 @@ fn run(args: Args) -> Result<(), String> {
             // STOP (or stdin EOF — the orchestrator is gone) ends the run
             // unconditionally: the orchestrator only sends STOP after every
             // correct replica reported, and an orphan must never linger.
-            stop_flag.load(Ordering::Relaxed)
+            let stopping = stop_flag.load(Ordering::Relaxed);
+            if let (Some(period), Some(due)) = (args.stats_period, next_sample) {
+                // One sample per period, plus a closing sample on the way
+                // out so the stream tail always carries the drained state.
+                if stopping || std::time::Instant::now() >= due {
+                    let at = (run_start.elapsed().as_nanos() / tick.as_nanos().max(1)) as u64;
+                    // Observe first, sample second: alarms this observation
+                    // raises bump `watchdog.alarms*` counters that the
+                    // sample about to ship already carries.
+                    watchdog.observe(args.id as u32, at, &registry.snapshot());
+                    let sample = sampler.sample(at, &registry.snapshot());
+                    print!("{}", sample.to_text());
+                    std::io::stdout().flush().ok();
+                    next_sample = Some(due + period);
+                }
+            }
+            stopping
         }
     };
     let report = mesh.run(node, &peers, &config, stop);

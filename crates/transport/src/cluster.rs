@@ -25,7 +25,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use minsync_auth::HmacAuthenticator;
-use minsync_telemetry::Snapshot;
+use minsync_telemetry::{Sample, Snapshot, TimeSeries, STREAM_FOOTER, STREAM_HEADER};
 use minsync_workload::ArrivalProcess;
 
 /// How one replica slot behaves.
@@ -211,6 +211,12 @@ pub struct ClusterSpec {
     /// `minsync-telemetry` analyzer. `None` disables tracing (and its
     /// cost) entirely.
     pub trace_dir: Option<PathBuf>,
+    /// Ask every correct child for live `STAT-STREAM v1` samples at this
+    /// wall-clock period (`--stats-period`); the orchestrator reassembles
+    /// them into each [`ReplicaStats::series`] and the children run their
+    /// local invariant watchdogs over the same snapshots. `None` keeps the
+    /// control pipe quiet until the final report.
+    pub stats_period: Option<Duration>,
 }
 
 impl ClusterSpec {
@@ -271,6 +277,12 @@ pub struct ReplicaStats {
     /// counters without a dedicated field (keepalives, cert rejects, …).
     /// Empty for legacy positional reports.
     pub snapshot: Snapshot,
+    /// The reassembled live stat stream, when the run asked for one
+    /// ([`ClusterSpec::stats_period`]); empty otherwise. Each point is the
+    /// child's full reconstructed metric state at one sampling instant —
+    /// ready for [`minsync_telemetry::Watchdog::observe`] replay or
+    /// detection-latency measurement.
+    pub series: TimeSeries,
 }
 
 /// Result of one cluster run: every *correct* replica's stats.
@@ -441,6 +453,57 @@ enum ChildLine {
     Eof(usize),
 }
 
+/// Reassembles per-child `STAT-STREAM v1` blocks out of the control-pipe
+/// line stream. Stream lines are consumed here — they must not leak into
+/// the statistics blocks — and assembly is best-effort: a malformed or
+/// out-of-order sample is dropped rather than failing the run, since the
+/// stream is telemetry, not protocol.
+struct StreamAssembler {
+    series: Vec<TimeSeries>,
+    partial: Vec<Option<Vec<String>>>,
+}
+
+impl StreamAssembler {
+    fn new(n: usize) -> StreamAssembler {
+        StreamAssembler {
+            series: (0..n).map(|_| TimeSeries::with_capacity(4096)).collect(),
+            partial: vec![None; n],
+        }
+    }
+
+    /// Routes one control line; true iff it belonged to a stat stream.
+    fn consume(&mut self, id: usize, line: &str) -> bool {
+        if let Some(buf) = &mut self.partial[id] {
+            buf.push(line.to_string());
+            if line.trim() == STREAM_FOOTER {
+                let text = buf.join("\n");
+                self.partial[id] = None;
+                if let Ok(sample) = Sample::parse(&text) {
+                    let _ = self.series[id].apply(&sample);
+                }
+            }
+            true
+        } else if line.trim_start().starts_with(STREAM_HEADER) {
+            self.partial[id] = Some(vec![line.to_string()]);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Discards a child's stream state (a killed incarnation's replacement
+    /// restarts its sampler at index 0, which the old series would reject).
+    fn reset(&mut self, id: usize) {
+        self.series[id] = TimeSeries::with_capacity(4096);
+        self.partial[id] = None;
+    }
+
+    /// Moves a child's finished series out.
+    fn take(&mut self, id: usize) -> TimeSeries {
+        std::mem::replace(&mut self.series[id], TimeSeries::with_capacity(1))
+    }
+}
+
 /// Spawns and runs one localhost cluster to completion (see the module
 /// docs for the bootstrap protocol).
 ///
@@ -550,22 +613,29 @@ pub fn run_cluster(spec: &ClusterSpec) -> Result<ClusterReport, ClusterError> {
         }
     }
 
-    // Phase 3: collect every correct replica's statistics block.
+    // Phase 3: collect every correct replica's statistics block, routing
+    // live stat-stream samples into per-child series as they arrive.
     let mut blocks: Vec<Vec<String>> = pending_lines;
+    let mut streams = StreamAssembler::new(spec.n);
     let mut done = vec![false; spec.n];
+    let mut eofs_owed = vec![1usize; spec.n];
     while (0..spec.correct()).any(|id| !done[id]) {
         let line = recv_line(&line_rx, deadline).map_err(|e| {
             e.with_pending(|| (0..spec.correct()).filter(|&id| !done[id]).collect())
         })?;
         match line {
             ChildLine::Line(id, line) => {
-                if line.trim() == control::DONE {
+                if streams.consume(id, &line) {
+                    // A stat-stream line, absorbed into the series.
+                } else if line.trim() == control::DONE {
                     done[id] = true;
                 } else {
                     blocks[id].push(line);
                 }
             }
-            ChildLine::Eof(id) if done[id] || id >= spec.correct() => {}
+            ChildLine::Eof(id) if done[id] || id >= spec.correct() => {
+                eofs_owed[id] = eofs_owed[id].saturating_sub(1);
+            }
             ChildLine::Eof(id) => {
                 return Err(ClusterError::Protocol {
                     id,
@@ -598,16 +668,42 @@ pub fn run_cluster(spec: &ClusterSpec) -> Result<ClusterReport, ClusterError> {
             }
         }
     }
+    drain_stream_tail(&line_rx, &mut streams, eofs_owed);
 
     let mut replicas = Vec::with_capacity(spec.correct());
     for (id, block) in blocks.iter().enumerate().take(spec.correct()) {
-        replicas.push(parse_stats(id, block)?);
+        let mut stats = parse_stats(id, block)?;
+        stats.series = streams.take(id);
+        replicas.push(stats);
     }
     Ok(ClusterReport {
         replicas,
         total_commands: spec.total_commands(),
         elapsed: start.elapsed(),
     })
+}
+
+/// Phase-4 tail drain: a sampled child emits one closing `STAT-STREAM`
+/// sample on its way out — *after* phase 3 stopped routing at `DONE` — so
+/// the reader threads still hold stream lines when the reaping finishes.
+/// Drain until every pipe has delivered the EOFs it owes (best effort,
+/// deadline-bounded: the stream is telemetry, never worth failing a run
+/// over), so each reconstructed series ends at the replica's drained state.
+fn drain_stream_tail(
+    line_rx: &Receiver<ChildLine>,
+    streams: &mut StreamAssembler,
+    mut eofs_owed: Vec<usize>,
+) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while eofs_owed.iter().any(|&owed| owed > 0) {
+        match line_rx.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
+            Ok(ChildLine::Line(id, line)) => {
+                streams.consume(id, &line);
+            }
+            Ok(ChildLine::Eof(id)) => eofs_owed[id] = eofs_owed[id].saturating_sub(1),
+            Err(_) => break,
+        }
+    }
 }
 
 /// One mid-run disruption in a [`ChurnPlan`].
@@ -819,8 +915,12 @@ pub fn run_churn_cluster(
     // stale EOF (or a stale line racing it) is never blamed on — or mixed
     // into the report of — the restarted incarnation.
     let mut stale_eofs = vec![0usize; spec.n];
+    // EOFs of children that legitimately exited ahead of phase 4 (a done or
+    // Byzantine process dying early) — already delivered, so not owed.
+    let mut early_eofs = vec![0usize; spec.n];
     let mut partition: Option<Vec<usize>> = None;
     let mut blocks: Vec<Vec<String>> = pending_lines;
+    let mut streams = StreamAssembler::new(spec.n);
     let mut done = vec![false; spec.n];
 
     while (0..spec.correct()).any(|id| !done[id]) {
@@ -849,6 +949,7 @@ pub fn run_churn_cluster(
                     stale_eofs[id] += 1;
                     done[id] = false;
                     blocks[id].clear();
+                    streams.reset(id);
                     stdins[id] = None;
                     let _ = reaper.0[id].kill();
                     let _ = reaper.0[id].wait();
@@ -897,6 +998,8 @@ pub fn run_churn_cluster(
             Ok(ChildLine::Line(id, line)) => {
                 if stale_eofs[id] > 0 {
                     // Tail output of a killed incarnation still draining.
+                } else if streams.consume(id, &line) {
+                    // A stat-stream line, absorbed into the series.
                 } else if line.trim() == control::DONE {
                     done[id] = true;
                 } else if line.starts_with(control::PORT) {
@@ -908,7 +1011,9 @@ pub fn run_churn_cluster(
             Ok(ChildLine::Eof(id)) => {
                 if stale_eofs[id] > 0 {
                     stale_eofs[id] -= 1;
-                } else if !(done[id] || killed[id] || id >= spec.correct()) {
+                } else if done[id] || killed[id] || id >= spec.correct() {
+                    early_eofs[id] += 1;
+                } else {
                     return Err(ClusterError::Protocol {
                         id,
                         what: format!(
@@ -942,10 +1047,18 @@ pub fn run_churn_cluster(
             }
         }
     }
+    // Each live incarnation owes one EOF, plus whatever stale EOFs of
+    // killed incarnations are still in flight.
+    let eofs_owed = (0..spec.n)
+        .map(|id| (stale_eofs[id] + usize::from(!killed[id])).saturating_sub(early_eofs[id]))
+        .collect();
+    drain_stream_tail(&line_rx, &mut streams, eofs_owed);
 
     let mut replicas = Vec::with_capacity(spec.correct());
     for (id, block) in blocks.iter().enumerate().take(spec.correct()) {
-        replicas.push(parse_stats(id, block)?);
+        let mut stats = parse_stats(id, block)?;
+        stats.series = streams.take(id);
+        replicas.push(stats);
     }
     Ok(ClusterReport {
         replicas,
@@ -1013,6 +1126,11 @@ fn spawn_replica(bin: &Path, spec: &ClusterSpec, cfg: &ChildConfig) -> Result<Ch
     if cfg.behavior == Behavior::Correct {
         if let Some(window) = spec.window {
             command.arg("--window").arg(window.to_string());
+        }
+        if let Some(period) = spec.stats_period {
+            command
+                .arg("--stats-period")
+                .arg(period.as_millis().max(1).to_string());
         }
         if let Some(dir) = &spec.trace_dir {
             command
@@ -1184,6 +1302,7 @@ fn parse_snapshot_stats(id: usize, block: &[String]) -> Result<ReplicaStats, Clu
         future_drops: counter("smr.future_drops"),
         retired_drops: counter("smr.retired_drops"),
         snapshot,
+        series: TimeSeries::with_capacity(1),
     })
 }
 
@@ -1236,6 +1355,7 @@ fn parse_legacy_stats(id: usize, block: &[String]) -> Result<ReplicaStats, Clust
         future_drops: drops[4].parse().map_err(|_| bad("bad DROPS"))?,
         retired_drops: drops[5].parse().map_err(|_| bad("bad DROPS"))?,
         snapshot: Snapshot::empty(),
+        series: TimeSeries::with_capacity(1),
     })
 }
 
@@ -1362,6 +1482,41 @@ mod tests {
     }
 
     #[test]
+    fn stream_assembler_routes_and_reassembles() {
+        use minsync_telemetry::Sampler;
+        let mut streams = StreamAssembler::new(2);
+        // Non-stream lines pass through untouched.
+        assert!(!streams.consume(0, "STAT v1"));
+        assert!(!streams.consume(0, "G node.digest 7"));
+        // Two sequential samples from child 1, interleaved with child 0
+        // noise, reassemble into child 1's series only.
+        let mut sampler = Sampler::new();
+        let mut snap = Snapshot::empty();
+        snap.set_gauge("watch.p1.commit_floor", 3);
+        let first = sampler.sample(100, &snap);
+        snap.set_gauge("watch.p1.commit_floor", 5);
+        snap.set_counter("mesh.pings", 2);
+        let second = sampler.sample(200, &snap);
+        for sample in [first, second] {
+            for line in sample.to_text().lines() {
+                assert!(streams.consume(1, line), "stream line {line:?} leaked");
+                assert!(!streams.consume(0, "DONE-ish noise"));
+            }
+        }
+        let series = streams.take(1);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series.latest().unwrap().at, 200);
+        assert_eq!(series.state().gauge("watch.p1.commit_floor"), Some(5));
+        assert_eq!(series.state().counter("mesh.pings"), Some(2));
+        assert!(streams.take(0).is_empty());
+        // A malformed block is dropped, not fatal, and the series survives.
+        let mut streams = StreamAssembler::new(1);
+        assert!(streams.consume(0, "STAT-STREAM v1 not-a-number 0"));
+        assert!(streams.consume(0, STREAM_FOOTER));
+        assert!(streams.take(0).is_empty());
+    }
+
+    #[test]
     fn behavior_args_round_trip() {
         for b in [
             Behavior::Correct,
@@ -1394,6 +1549,7 @@ mod tests {
             future_drops: 0,
             retired_drops: 0,
             snapshot: Snapshot::empty(),
+            series: TimeSeries::with_capacity(1),
         };
         let report = ClusterReport {
             replicas: vec![stats(0, 7, 500), stats(1, 7, 250)],

@@ -60,9 +60,9 @@ use minsync_telemetry::trace::{queues, TraceKind, TraceRecorder};
 use minsync_telemetry::{Counter, Gauge, Registry};
 use minsync_types::ProcessId;
 use minsync_wire::{
-    decode_frame, decode_frame_timed, encode_frame, encode_frame_tagged, encode_frame_timed,
-    split_frame, tagged_frame_cap, verify_frame_tag, Hello, Wire, DEFAULT_MAX_FRAME, HELLO_LEN,
-    KEEPALIVE_FRAME, MAGIC,
+    control_frame, decode_frame, decode_frame_timed, encode_frame, encode_frame_tagged,
+    encode_frame_timed, split_control, split_frame, tagged_frame_cap, verify_frame_tag, Hello,
+    Wire, DEFAULT_MAX_FRAME, HELLO_LEN, KEEPALIVE_FRAME, MAGIC, PING_TAG, PONG_TAG,
 };
 
 /// Stream-namespace tag of the TCP mesh (`"MESH"`), keeping its derived
@@ -237,6 +237,11 @@ pub struct MeshReport<O> {
     pub keepalives: u64,
     /// Failed dial attempts that triggered a reconnect-backoff sleep.
     pub dial_backoffs: u64,
+    /// RTT probes written by the writer threads.
+    pub pings: u64,
+    /// Final per-peer RTT EWMA in ticks (see [`MeshCounters::rtt_ewma`]);
+    /// index = peer id, 0 at the self slot and for peers never measured.
+    pub rtt_ewma: Vec<u64>,
 }
 
 /// Live transport counters, shared across the mesh's threads and handed to
@@ -262,7 +267,17 @@ pub struct MeshCounters {
     keepalives: Counter,
     dial_backoffs: Counter,
     live_connections: Gauge,
+    pings: Counter,
     outbound_dropped: Vec<Counter>,
+    /// Per-peer RTT EWMA gauges (`link.rtt_ewma.p<i>`, in ticks): each
+    /// writer pings its peer on the keepalive cadence, the peer's reader
+    /// echoes a pong through its own writer queue, and this side's reader
+    /// folds the measured round trip as `ewma ← (7·ewma + rtt) / 8` —
+    /// so the estimate covers the wire *and* the peer's outbound backlog,
+    /// which is exactly the responsiveness a repair policy cares about.
+    rtt_ewma: Vec<Gauge>,
+    /// Per-peer outbound queue depth gauges (`link.backlog.p<i>`).
+    backlog: Vec<Gauge>,
     /// Per-sender handshake epochs: only the *newest* connection claiming a
     /// sender id stays alive (see `reader_loop`), so an attacker holding
     /// sockets open cannot pin connection slots — and a correct peer's
@@ -289,8 +304,21 @@ impl MeshCounters {
                 Some(r) => r.gauge("mesh.live_connections"),
                 None => Gauge::detached(),
             },
+            pings: counter("mesh.pings"),
             outbound_dropped: (0..n)
                 .map(|p| counter(&format!("mesh.outbound_dropped.p{p}")))
+                .collect(),
+            rtt_ewma: (0..n)
+                .map(|p| match registry {
+                    Some(r) => r.gauge(&format!("link.rtt_ewma.p{p}")),
+                    None => Gauge::detached(),
+                })
+                .collect(),
+            backlog: (0..n)
+                .map(|p| match registry {
+                    Some(r) => r.gauge(&format!("link.backlog.p{p}")),
+                    None => Gauge::detached(),
+                })
                 .collect(),
             sender_epochs: (0..n).map(|_| AtomicU64::new(0)).collect(),
         }
@@ -343,6 +371,27 @@ impl MeshCounters {
     /// Failed dial attempts (each followed by a backoff sleep) so far.
     pub fn dial_backoffs(&self) -> u64 {
         self.dial_backoffs.get()
+    }
+
+    /// RTT probes written so far (idle cadence plus under-load refreshes).
+    pub fn pings(&self) -> u64 {
+        self.pings.get()
+    }
+
+    /// Current RTT EWMA toward `peer`, in ticks (0 until the first pong).
+    pub fn rtt_ewma(&self, peer: usize) -> u64 {
+        self.rtt_ewma[peer].get()
+    }
+
+    /// Folds one measured round trip (in ticks) into `peer`'s EWMA gauge.
+    fn observe_rtt(&self, peer: usize, rtt_ticks: u64) {
+        let prev = self.rtt_ewma[peer].get();
+        let next = if prev == 0 {
+            rtt_ticks
+        } else {
+            (prev.saturating_mul(7).saturating_add(rtt_ticks)) / 8
+        };
+        self.rtt_ewma[peer].set(next.max(1));
     }
 }
 
@@ -437,25 +486,10 @@ impl TcpMesh {
         // like every hook here — when tracing is off.
         let inbox_depth = Arc::new(AtomicU64::new(0));
 
-        // Inbound plumbing: readers feed one bounded inbox.
-        let (inbox_tx, inbox_rx) = bounded::<(ProcessId, M)>(config.inbox_capacity);
-        let acceptor = spawn_acceptor::<M>(
-            self.listener,
-            inbox_tx,
-            Arc::clone(&shared),
-            config.max_connections,
-            ReaderConfig {
-                me,
-                n,
-                max_frame: config.max_frame,
-                auth: config.auth.clone(),
-                trace: trace_ctx.clone(),
-                inbox_depth: Arc::clone(&inbox_depth),
-            },
-        );
-
-        // Outbound plumbing: one writer thread + bounded queue per peer.
-        let mut peer_txs: Vec<Option<Sender<M>>> = Vec::with_capacity(n);
+        // Outbound plumbing first (readers route pong echoes through the
+        // writer queues, so the channels must exist before the acceptor):
+        // one writer thread + bounded queue per peer.
+        let mut peer_txs: Vec<Option<Sender<WriterCmd<M>>>> = Vec::with_capacity(n);
         let mut writers: Vec<JoinHandle<()>> = Vec::new();
         let outbound_depths: Vec<Arc<AtomicU64>> =
             (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
@@ -464,7 +498,7 @@ impl TcpMesh {
                 peer_txs.push(None);
                 continue;
             }
-            let (tx, rx) = bounded::<M>(config.outbound_capacity);
+            let (tx, rx) = bounded::<WriterCmd<M>>(config.outbound_capacity);
             peer_txs.push(Some(tx));
             writers.push(spawn_writer::<M>(
                 WriterSpec {
@@ -480,11 +514,32 @@ impl TcpMesh {
                     auth: config.auth.clone(),
                     trace: trace_ctx.clone(),
                     depth: Arc::clone(&outbound_depths[peer]),
+                    epoch: start,
                 },
                 rx,
                 Arc::clone(&shared),
             ));
         }
+
+        // Inbound plumbing: readers feed one bounded inbox.
+        let (inbox_tx, inbox_rx) = bounded::<(ProcessId, M)>(config.inbox_capacity);
+        let acceptor = spawn_acceptor::<M>(
+            self.listener,
+            inbox_tx,
+            Arc::clone(&shared),
+            config.max_connections,
+            ReaderConfig {
+                me,
+                n,
+                max_frame: config.max_frame,
+                auth: config.auth.clone(),
+                trace: trace_ctx.clone(),
+                inbox_depth: Arc::clone(&inbox_depth),
+                pong_txs: peer_txs.clone(),
+                epoch: start,
+                tick_ns: config.tick.as_nanos().max(1) as u64,
+            },
+        );
 
         // The node loop, on this thread.
         let mut worker = MeshWorker {
@@ -617,6 +672,8 @@ impl TcpMesh {
             auth_rejects: shared.auth_rejects(),
             keepalives: shared.keepalives(),
             dial_backoffs: shared.dial_backoffs(),
+            pings: shared.pings(),
+            rtt_ewma: (0..n).map(|p| shared.rtt_ewma(p)).collect(),
         }
     }
 }
@@ -654,7 +711,7 @@ struct MeshWorker<'a, M, O> {
     start: Instant,
     tick: Duration,
     /// Outbound queue per peer (`None` at the self slot).
-    peer_txs: Vec<Option<Sender<M>>>,
+    peer_txs: Vec<Option<Sender<WriterCmd<M>>>>,
     counters: &'a MeshCounters,
     /// The paper's virtual self-channel: always timely, in-memory.
     self_queue: VecDeque<(ProcessId, M)>,
@@ -721,14 +778,17 @@ impl<M: Clone, O> MeshWorker<'_, M, O> {
                     self.counters.outbound_dropped[to].inc();
                     return;
                 }
-                if tx.try_send(msg).is_err() {
+                if tx.try_send(WriterCmd::Msg(msg)).is_err() {
                     self.counters.outbound_dropped[to].inc();
-                } else if let Some(ctx) = &self.trace {
+                } else {
                     let depth = self.outbound_depths[to].fetch_add(1, Ordering::Relaxed) + 1;
-                    ctx.record(TraceKind::Enqueue {
-                        queue: queues::OUTBOUND_BASE + to as u32,
-                        depth,
-                    });
+                    self.counters.backlog[to].set(depth);
+                    if let Some(ctx) = &self.trace {
+                        ctx.record(TraceKind::Enqueue {
+                            queue: queues::OUTBOUND_BASE + to as u32,
+                            depth,
+                        });
+                    }
                 }
             }
         }
@@ -774,6 +834,19 @@ impl<M: Clone, O> MeshWorker<'_, M, O> {
 // Writer side
 // ---------------------------------------------------------------------------
 
+/// What rides a writer's queue: protocol messages from the node loop, or
+/// pong echoes a reader owes the peer that pinged it (a reader cannot
+/// write to its inbound socket's other direction — connections are
+/// unidirectional — so the echo travels over this side's own outbound
+/// connection to that peer).
+enum WriterCmd<M> {
+    /// A protocol message (framed through the codec, MAC'd, replayed).
+    Msg(M),
+    /// Echo of an RTT probe: the originator's stamp, returned verbatim as
+    /// a raw control frame (no codec, no MAC, no replay).
+    Pong(u64),
+}
+
 /// Everything a writer thread needs to know about its peer.
 struct WriterSpec {
     me: ProcessId,
@@ -787,14 +860,22 @@ struct WriterSpec {
     keepalive: Duration,
     auth: Option<Arc<dyn Authenticator>>,
     trace: Option<Arc<TraceCtx>>,
-    /// Shadow depth of this writer's queue (trace labels only).
+    /// Shadow depth of this writer's queue (trace labels and the
+    /// `link.backlog.p<i>` gauge).
     depth: Arc<AtomicU64>,
+    /// The mesh's start instant — the clock RTT probe stamps are taken
+    /// from, shared with the readers that resolve the echoes.
+    epoch: Instant,
 }
 
 /// Byte budget for a writer's replay ring (see [`spawn_writer`]).
 const WRITER_REPLAY_BYTES: usize = 1 << 20;
 
-fn spawn_writer<M>(spec: WriterSpec, rx: Receiver<M>, shared: Arc<MeshCounters>) -> JoinHandle<()>
+fn spawn_writer<M>(
+    spec: WriterSpec,
+    rx: Receiver<WriterCmd<M>>,
+    shared: Arc<MeshCounters>,
+) -> JoinHandle<()>
 where
     M: Wire + Send + 'static,
 {
@@ -848,17 +929,38 @@ where
                     continue 'reconnect;
                 }
             }
+            // Seed the RTT estimate at establishment: one probe right after
+            // the hello, then on the keepalive cadence. Without it a link
+            // that lives shorter than one keepalive is never measured.
+            shared.pings.inc();
+            let stamp = spec.epoch.elapsed().as_nanos() as u64;
+            if stream.write_all(&control_frame(PING_TAG, stamp)).is_err() {
+                continue 'reconnect;
+            }
+            let mut last_ping = Instant::now();
             loop {
                 match rx.recv_timeout(spec.keepalive) {
-                    Ok(msg) => {
+                    Ok(WriterCmd::Pong(stamp)) => {
+                        // Echo the peer's RTT probe. Raw control frame:
+                        // best-effort (no replay ring) — a lost pong just
+                        // skips one RTT observation.
+                        if shared.shutdown() {
+                            return;
+                        }
+                        if stream.write_all(&control_frame(PONG_TAG, stamp)).is_err() {
+                            continue 'reconnect;
+                        }
+                    }
+                    Ok(WriterCmd::Msg(msg)) => {
+                        let depth = spec
+                            .depth
+                            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                                Some(d.saturating_sub(1))
+                            })
+                            .unwrap_or(0)
+                            .saturating_sub(1);
+                        shared.backlog[spec.peer].set(depth);
                         if let Some(ctx) = &spec.trace {
-                            let depth = spec
-                                .depth
-                                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
-                                    Some(d.saturating_sub(1))
-                                })
-                                .unwrap_or(0)
-                                .saturating_sub(1);
                             ctx.record(TraceKind::Dequeue {
                                 queue: queues::OUTBOUND_BASE + spec.peer as u32,
                                 depth,
@@ -931,13 +1033,29 @@ where
                         if stream.write_all(&buf).is_err() {
                             continue 'reconnect;
                         }
+                        // Refresh the RTT estimate under load too: without
+                        // this, a busy connection would only ever be
+                        // measured while idle.
+                        if last_ping.elapsed() >= spec.keepalive {
+                            last_ping = Instant::now();
+                            shared.pings.inc();
+                            let stamp = spec.epoch.elapsed().as_nanos() as u64;
+                            if stream.write_all(&control_frame(PING_TAG, stamp)).is_err() {
+                                continue 'reconnect;
+                            }
+                        }
                     }
                     Err(RecvTimeoutError::Timeout) => {
                         if shared.shutdown() {
                             return;
                         }
                         shared.keepalives.inc();
-                        if stream.write_all(&KEEPALIVE_FRAME).is_err() {
+                        shared.pings.inc();
+                        last_ping = Instant::now();
+                        let stamp = spec.epoch.elapsed().as_nanos() as u64;
+                        let mut probe = KEEPALIVE_FRAME.to_vec();
+                        probe.extend_from_slice(&control_frame(PING_TAG, stamp));
+                        if stream.write_all(&probe).is_err() {
                             continue 'reconnect;
                         }
                     }
@@ -953,8 +1071,7 @@ where
 // ---------------------------------------------------------------------------
 
 /// The per-connection knobs every reader inherits from the mesh.
-#[derive(Clone)]
-struct ReaderConfig {
+struct ReaderConfig<M> {
     me: ProcessId,
     n: usize,
     max_frame: usize,
@@ -962,6 +1079,32 @@ struct ReaderConfig {
     trace: Option<Arc<TraceCtx>>,
     /// Shadow depth of the inbox (trace labels only).
     inbox_depth: Arc<AtomicU64>,
+    /// Writer queues (self slot `None`), for routing a pong echo back to
+    /// whichever peer pinged this reader's connection.
+    pong_txs: Vec<Option<Sender<WriterCmd<M>>>>,
+    /// The stamp clock RTT probes are measured against (the mesh's start
+    /// instant, shared with the writer threads).
+    epoch: Instant,
+    /// Nanoseconds per virtual tick — the RTT gauges' unit.
+    tick_ns: u64,
+}
+
+// Manual impl: `derive(Clone)` would demand `M: Clone`, which readers
+// never need (they only clone the channel handles).
+impl<M> Clone for ReaderConfig<M> {
+    fn clone(&self) -> Self {
+        ReaderConfig {
+            me: self.me,
+            n: self.n,
+            max_frame: self.max_frame,
+            auth: self.auth.clone(),
+            trace: self.trace.clone(),
+            inbox_depth: Arc::clone(&self.inbox_depth),
+            pong_txs: self.pong_txs.clone(),
+            epoch: self.epoch,
+            tick_ns: self.tick_ns,
+        }
+    }
 }
 
 fn spawn_acceptor<M>(
@@ -969,7 +1112,7 @@ fn spawn_acceptor<M>(
     inbox: Sender<(ProcessId, M)>,
     shared: Arc<MeshCounters>,
     max_connections: usize,
-    reader: ReaderConfig,
+    reader: ReaderConfig<M>,
 ) -> JoinHandle<()>
 where
     M: Wire + Send + 'static,
@@ -1024,7 +1167,7 @@ fn reader_loop<M>(
     mut stream: TcpStream,
     inbox: Sender<(ProcessId, M)>,
     shared: &MeshCounters,
-    config: ReaderConfig,
+    config: ReaderConfig<M>,
 ) where
     M: Wire + Send + 'static,
 {
@@ -1035,6 +1178,9 @@ fn reader_loop<M>(
         auth,
         trace,
         inbox_depth,
+        pong_txs,
+        epoch,
+        tick_ns,
     } = config;
     // With auth on, the sender's MAC tag rides inside the frame body, so a
     // max-size message legitimately occupies `max_frame + FRAME_TAG_OVERHEAD`
@@ -1128,6 +1274,29 @@ fn reader_loop<M>(
                                 // skipped before MAC verification — it has no
                                 // payload, so forging one achieves nothing.
                                 consumed += used;
+                                continue;
+                            }
+                            if let Some((tag, stamp)) = split_control(payload) {
+                                // RTT plumbing, recognized (like keepalives)
+                                // before MAC verification: control frames
+                                // carry no protocol data, so the worst a
+                                // forgery can do is nudge a health gauge.
+                                consumed += used;
+                                if tag == PING_TAG {
+                                    // The echo owed travels over our own
+                                    // outbound connection to the pinger
+                                    // (connections are unidirectional); a
+                                    // full queue just drops the echo and
+                                    // skips one RTT observation.
+                                    if let Some(tx) = &pong_txs[from.index()] {
+                                        let _ = tx.try_send(WriterCmd::Pong(stamp));
+                                    }
+                                } else {
+                                    debug_assert_eq!(tag, PONG_TAG);
+                                    let now = epoch.elapsed().as_nanos() as u64;
+                                    let rtt = now.saturating_sub(stamp);
+                                    shared.observe_rtt(from.index(), (rtt / tick_ns.max(1)).max(1));
+                                }
                                 continue;
                             }
                             // The MAC is checked before any byte reaches the

@@ -31,6 +31,7 @@ fn spec(seed: u64) -> ClusterSpec {
         harness_timeout: Duration::from_secs(120),
         window: None,
         trace_dir: None,
+        stats_period: None,
     }
 }
 

@@ -31,6 +31,7 @@ fn child_dying_before_port_fails_fast_with_its_exit_status() {
         harness_timeout: Duration::from_secs(60),
         window: None,
         trace_dir: None,
+        stats_period: None,
     };
     let start = Instant::now();
     let err = run_cluster(&spec).expect_err("a cluster of /bin/false cannot run");

@@ -41,6 +41,7 @@ fn child_dying_after_port_fails_fast_naming_the_victim() {
         harness_timeout: Duration::from_secs(60),
         window: None,
         trace_dir: None,
+        stats_period: None,
     };
     let start = Instant::now();
     let err = run_cluster(&spec).expect_err("a cluster of exiting stubs cannot run");

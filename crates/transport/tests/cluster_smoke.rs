@@ -29,6 +29,7 @@ fn spec(n: usize, t: usize, riders: Vec<Behavior>) -> ClusterSpec {
         harness_timeout: Duration::from_secs(60),
         window: None,
         trace_dir: None,
+        stats_period: None,
     }
 }
 
@@ -152,6 +153,48 @@ fn unauthenticated_cluster_accepts_the_forged_stream() {
             .map(|r| (r.id, r.digest))
             .collect::<Vec<_>>()
     );
+}
+
+/// A cluster run with live stat streaming: every correct replica emits
+/// periodic `STAT-STREAM v1` samples over its control pipe, the
+/// orchestrator reassembles them into per-replica series carrying the
+/// `watch.p<i>.*` health gauges, and the local watchdogs stay silent on a
+/// clean run — all while the final report is exactly as healthy as an
+/// unsampled one.
+#[test]
+fn sampled_cluster_streams_health_gauges_without_alarms() {
+    use_built_binary();
+    let mut spec = spec(4, 1, vec![]);
+    // The node tightens its mesh ping cadence to the sampling period, and
+    // emits one closing sample at STOP — so even a short run ends with a
+    // series whose tail has seen at least one ping round-trip.
+    spec.stats_period = Some(Duration::from_millis(25));
+    let report = run_cluster(&spec).expect("sampled cluster runs");
+    assert_eq!(report.replicas.len(), 4);
+    assert!(report.digests_agree());
+    for r in &report.replicas {
+        assert_eq!(r.committed, report.total_commands);
+        assert!(!r.series.is_empty(), "replica {} streamed no samples", r.id);
+        // The reconstructed tail carries the replica's own watch plane at
+        // its drained state, and the mesh's per-peer RTT estimators.
+        let state = r.series.state();
+        let floor = state.gauge(&format!("watch.p{}.commit_floor", r.id));
+        assert!(
+            floor.is_some_and(|f| f > 0),
+            "replica {} floor {floor:?}",
+            r.id
+        );
+        assert!(
+            (0..4).any(|p| state
+                .gauge(&format!("link.rtt_ewma.p{p}"))
+                .is_some_and(|v| v > 0)),
+            "replica {} observed no peer RTT",
+            r.id
+        );
+        // Clean run: the local watchdog never fired.
+        assert_eq!(state.counter("watchdog.alarms").unwrap_or(0), 0);
+        assert_eq!(r.snapshot.counter("watchdog.alarms").unwrap_or(0), 0);
+    }
 }
 
 /// The deterministic m=1 workload commits the *same* log whether the

@@ -79,6 +79,70 @@ fn two_meshes_broadcast_to_each_other() {
     assert_eq!(report_a.decode_disconnects, 0);
 }
 
+/// The RTT plumbing measures live links: after a couple of keepalive
+/// periods each side's ping has been echoed back, so the per-peer
+/// `link.rtt_ewma` gauge is populated (and exported through the registry
+/// and the report) while the self slot stays unmeasured.
+#[test]
+fn rtt_probes_populate_per_peer_gauges() {
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    use minsync_telemetry::Registry;
+
+    let a = TcpMesh::bind(ProcessId::new(0), "127.0.0.1:0".parse().unwrap()).unwrap();
+    let b = TcpMesh::bind(ProcessId::new(1), "127.0.0.1:0".parse().unwrap()).unwrap();
+    let peers = vec![a.local_addr().unwrap(), b.local_addr().unwrap()];
+    let registry = Arc::new(Registry::new());
+    let config = MeshConfig {
+        timeout: Duration::from_secs(20),
+        keepalive: Duration::from_millis(10),
+        registry: Some(Arc::clone(&registry)),
+        ..MeshConfig::default()
+    };
+    let config_b = MeshConfig {
+        registry: None,
+        ..config.clone()
+    };
+    let peers_b = peers.clone();
+    let handle = std::thread::spawn(move || {
+        let hold = Instant::now();
+        b.run(
+            Box::new(Caster(200)),
+            &peers_b,
+            &config_b,
+            move |outs, _| {
+                // Stay up long enough for a's ping to be echoed back.
+                !outs.is_empty() && hold.elapsed() >= Duration::from_millis(300)
+            },
+        )
+    });
+    let hold = Instant::now();
+    let report_a = a.run(Box::new(Caster(100)), &peers, &config, move |_, c| {
+        c.rtt_ewma(1) > 0 && hold.elapsed() >= Duration::from_millis(300)
+    });
+    let report_b = handle.join().unwrap();
+    assert!(!report_a.timed_out && !report_b.timed_out);
+    assert!(report_a.pings > 0, "idle cadence sends probes");
+    assert!(report_a.rtt_ewma[1] > 0, "peer link measured");
+    assert_eq!(report_a.rtt_ewma[0], 0, "self slot never measured");
+    // A loopback round trip sits far below a second: the estimate must be
+    // in a sane range, not just nonzero (tick = 200µs → 5000 ticks/s).
+    assert!(
+        report_a.rtt_ewma[1] < 5_000,
+        "rtt_ewma {} ticks is implausible for loopback",
+        report_a.rtt_ewma[1]
+    );
+    let snapshot = registry.snapshot();
+    assert_eq!(
+        snapshot.gauge("link.rtt_ewma.p1"),
+        Some(report_a.rtt_ewma[1])
+    );
+    assert!(snapshot.gauge("link.backlog.p1").is_some());
+    // b ran without a registry: detached handles still fed its report.
+    assert!(report_b.rtt_ewma[0] > 0, "detached gauges still measure");
+}
+
 /// Timers fire and cancel through the shared generation table, mapped to
 /// wall-clock deadlines.
 #[test]

@@ -225,6 +225,46 @@ pub fn encode_frame<T: Wire>(msg: &T, out: &mut Vec<u8>, cap: usize) -> Result<(
 /// payload, so forging one achieves nothing.
 pub const KEEPALIVE_FRAME: [u8; 4] = [0, 0, 0, 0];
 
+/// Control-frame tag of an RTT probe (see [`control_frame`]).
+pub const PING_TAG: u8 = 0xC5;
+
+/// Control-frame tag of an RTT probe's echo, carrying the probe's stamp
+/// back unchanged.
+pub const PONG_TAG: u8 = 0xC6;
+
+/// Payload length of a ping/pong control frame: one tag byte plus the
+/// originator's 8-byte stamp.
+pub const CONTROL_LEN: usize = 9;
+
+/// Builds a ping/pong control frame (header + tag + little-endian stamp).
+///
+/// Like [`KEEPALIVE_FRAME`], control frames are connection-level plumbing:
+/// receivers recognize them *before* MAC verification and before the
+/// codec. That is sound for the same reason the keepalive is: they carry
+/// no protocol data, so forging one can at worst perturb a health gauge.
+/// Ambiguity with real payloads is excluded structurally — with
+/// authentication on, every data payload carries a [`MAC_LEN`]-byte tag
+/// and is therefore longer than [`CONTROL_LEN`]; without it, the codec
+/// never emits a 9-byte message whose first byte is in the `0xC5..=0xC6`
+/// range (enum discriminants are small integers).
+pub fn control_frame(tag: u8, stamp: u64) -> [u8; 13] {
+    let mut out = [0u8; 13];
+    out[..4].copy_from_slice(&(CONTROL_LEN as u32).to_le_bytes());
+    out[4] = tag;
+    out[5..].copy_from_slice(&stamp.to_le_bytes());
+    out
+}
+
+/// Recognizes a ping/pong control frame's payload, returning its tag and
+/// stamp. `None` for anything else — the payload is then ordinary data.
+pub fn split_control(payload: &[u8]) -> Option<(u8, u64)> {
+    if payload.len() != CONTROL_LEN || !(payload[0] == PING_TAG || payload[0] == PONG_TAG) {
+        return None;
+    }
+    let stamp = u64::from_le_bytes(payload[1..].try_into().expect("8-byte slice"));
+    Some((payload[0], stamp))
+}
+
 /// Attempts to split one frame off the front of `buf`.
 ///
 /// Returns `Ok(None)` while the buffer holds only a partial frame (read
@@ -537,6 +577,32 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(decode_frame::<u64>(next).unwrap(), 7);
+    }
+
+    #[test]
+    fn control_frames_split_and_roundtrip() {
+        // A ping splits off as an ordinary frame whose payload the control
+        // recognizer claims; a data frame queued right behind is unaffected.
+        let mut buf = control_frame(PING_TAG, 0xDEAD_BEEF_0042).to_vec();
+        encode_frame(&7u64, &mut buf, DEFAULT_MAX_FRAME).unwrap();
+        let (payload, used) = split_frame(&buf, DEFAULT_MAX_FRAME).unwrap().unwrap();
+        assert_eq!(split_control(payload), Some((PING_TAG, 0xDEAD_BEEF_0042)));
+        let (next, _) = split_frame(&buf[used..], DEFAULT_MAX_FRAME)
+            .unwrap()
+            .unwrap();
+        assert_eq!(split_control(next), None, "data payloads are not control");
+        assert_eq!(decode_frame::<u64>(next).unwrap(), 7);
+        let pong = control_frame(PONG_TAG, u64::MAX);
+        let (payload, _) = split_frame(&pong, DEFAULT_MAX_FRAME).unwrap().unwrap();
+        assert_eq!(split_control(payload), Some((PONG_TAG, u64::MAX)));
+    }
+
+    #[test]
+    fn control_recognizer_rejects_near_misses() {
+        assert_eq!(split_control(&[]), None);
+        assert_eq!(split_control(&[PING_TAG]), None, "truncated stamp");
+        assert_eq!(split_control(&[0x00; 9]), None, "wrong tag");
+        assert_eq!(split_control(&[PING_TAG; 10]), None, "wrong length");
     }
 
     #[test]
